@@ -1,0 +1,1 @@
+bench/bench_util.ml: Analyze Array Bechamel Benchmark Float Hashtbl Instance List Measure Printf Stdlib String Time Toolkit Unix

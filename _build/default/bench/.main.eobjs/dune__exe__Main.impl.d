@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Arg Cmd Cmdliner Experiments List Term

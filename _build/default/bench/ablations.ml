@@ -1,0 +1,312 @@
+(* Ablation benchmarks for the design choices called out in DESIGN.md
+   (A1–A4) plus a Bechamel microbenchmark suite for the cryptographic
+   primitives. *)
+
+open Bechamel
+open Secmed_bigint
+open Secmed_crypto
+open Secmed_relalg
+open Secmed_core
+
+(* ------------------------------------------------------------------ *)
+(* A1 — PM payload encodings: direct vs session keys (footnote 2). *)
+
+let pm_payload () =
+  Bench_util.heading
+    "A1 — PM payload encoding: direct packing vs session-key/ID-table (footnote 2)";
+  (* Direct packing needs the tuple set to fit the Paillier plaintext, so
+     this ablation uses a 1024-bit key and sweeps rows per join value. *)
+  let params = { Env.group_bits = 256; paillier_bits = 1024 } in
+  let rows =
+    List.filter_map
+      (fun rows_per_value ->
+        let spec =
+          {
+            Workload.default with
+            rows_left = 6 * rows_per_value;
+            rows_right = 6 * rows_per_value;
+            distinct_left = 6;
+            distinct_right = 6;
+            overlap = 3;
+            extra_attrs = 0;
+            seed = 2007;
+          }
+        in
+        let env, client, query = Workload.scenario ~params spec in
+        let run variant = Protocol.run (Protocol.Private_matching variant) env client ~query in
+        let session = run Pm_join.Session_keys in
+        let direct =
+          try
+            let o = run Pm_join.Direct_payload in
+            Some o
+          with Invalid_argument _ -> None
+        in
+        let bytes o = Secmed_mediation.Transcript.total_bytes o.Outcome.transcript in
+        Some
+          [
+            string_of_int rows_per_value;
+            (match direct with
+             | Some o -> Printf.sprintf "%s (%s)" (Bench_util.fmt_bytes (bytes o))
+                           (if Outcome.correct o then "ok" else "WRONG")
+             | None -> "exceeds plaintext capacity");
+            Printf.sprintf "%s (%s)" (Bench_util.fmt_bytes (bytes session))
+              (if Outcome.correct session then "ok" else "WRONG");
+          ])
+      [ 1; 2; 4; 8 ]
+  in
+  Bench_util.print_table
+    ~headers:[ "rows per join value"; "direct payload"; "session keys" ]
+    rows;
+  print_endline "The direct encoding hits the Paillier plaintext ceiling as tuple sets grow;";
+  print_endline "the session-key variant scales (the paper's motivation for footnote 2)."
+
+(* ------------------------------------------------------------------ *)
+(* A2 — mediator server-query evaluation: pair-index vs nested loop. *)
+
+let das_server_eval ~sizes () =
+  Bench_util.heading "A2 — DAS mediator evaluation: pair-index join vs literal sigma-over-product";
+  let rows =
+    List.map
+      (fun size ->
+        let spec = Experiments.spec_for_domain size in
+        let env, client, query = Workload.scenario ~params:Experiments.bench_params spec in
+        let mediator_time eval =
+          let o = Protocol.run (Protocol.Das (Das_partition.Equi_depth 4, eval)) env client ~query in
+          Option.value ~default:0.0 (List.assoc_opt "mediator-server-query" o.Outcome.timings)
+        in
+        [
+          string_of_int size;
+          Bench_util.fmt_ms (mediator_time Das.Pair_index);
+          Bench_util.fmt_ms (mediator_time Das.Nested_loop);
+        ])
+      sizes
+  in
+  Bench_util.print_table
+    ~headers:[ "|domactive|"; "pair-index (ms)"; "nested-loop (ms)" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* A3 — encrypted polynomial evaluation: Horner vs naive powers. *)
+
+let horner ~degrees () =
+  Bench_util.heading "A3 — homomorphic polynomial evaluation: Horner vs term-by-term";
+  let prng = Prng.of_int_seed 1 in
+  let sk = Paillier.keygen prng ~bits:512 in
+  let pk = Paillier.public sk in
+  let point = Pm_join.root_of_value (Value.Int 42) in
+  let rows =
+    List.map
+      (fun degree ->
+        let roots =
+          List.init degree (fun i -> Pm_join.root_of_value (Value.Int i))
+        in
+        let poly = Pm_poly.from_roots ~modulus:pk.Paillier.n roots in
+        let coeffs = Pm_poly.encrypt prng pk poly in
+        let t_horner =
+          Bench_util.time_median ~runs:3 (fun () -> Pm_poly.eval_encrypted pk coeffs point)
+        in
+        let t_naive =
+          Bench_util.time_median ~runs:3 (fun () ->
+              Pm_poly.eval_encrypted_naive prng pk coeffs point)
+        in
+        [ string_of_int degree; Bench_util.fmt_ms t_horner; Bench_util.fmt_ms t_naive;
+          Printf.sprintf "%.2fx" (t_naive /. Float.max 1e-9 t_horner) ])
+      degrees
+  in
+  Bench_util.print_table
+    ~headers:[ "degree"; "Horner (ms)"; "naive (ms)"; "naive/Horner" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* A4 — Karatsuba threshold in the bigint substrate. *)
+
+let karatsuba () =
+  Bench_util.heading "A4 — bigint multiplication: Karatsuba threshold sweep (2048-bit operands)";
+  let prng = Prng.of_int_seed 2 in
+  let x = Bigint.random_bits (Prng.byte_source prng) 2048 in
+  let y = Bigint.random_bits (Prng.byte_source prng) 2048 in
+  let saved = !Bigint.karatsuba_threshold in
+  let test threshold =
+    Test.make
+      ~name:(Printf.sprintf "threshold=%d" threshold)
+      (Staged.stage (fun () ->
+           Bigint.karatsuba_threshold := threshold;
+           ignore (Bigint.mul x y)))
+  in
+  let grouped =
+    Test.make_grouped ~name:"karatsuba" ~fmt:"%s %s"
+      (List.map test [ 4; 8; 16; 32; 64; 1_000_000 ])
+  in
+  let estimates = Bench_util.bechamel_estimates ~quota:0.3 grouped in
+  Bigint.karatsuba_threshold := saved;
+  Bench_util.print_bechamel_table "2048-bit multiply" estimates;
+  print_endline "threshold=1000000 disables Karatsuba (pure schoolbook)."
+
+(* ------------------------------------------------------------------ *)
+(* A5 — Montgomery (CIOS) vs plain modular exponentiation, and its
+   effect on a full PM protocol run. *)
+
+let montgomery () =
+  Bench_util.heading "A5 — modular exponentiation: Montgomery (CIOS) vs plain division";
+  let prng = Prng.of_int_seed 5 in
+  let src = Prng.byte_source prng in
+  let rows =
+    List.map
+      (fun bits ->
+        let m = Bigint.random_bits src bits in
+        let m = if Bigint.is_even m then Bigint.succ m else m in
+        let b = Bigint.emod (Bigint.random_bits src bits) m in
+        let e = Bigint.random_bits src bits in
+        let with_flag flag f =
+          Bigint.use_montgomery := flag;
+          let result = Bench_util.time_median ~runs:5 f in
+          Bigint.use_montgomery := true;
+          result
+        in
+        let t_mont = with_flag true (fun () -> Bigint.mod_pow b e m) in
+        let t_plain = with_flag false (fun () -> Bigint.mod_pow b e m) in
+        [ string_of_int bits; Bench_util.fmt_ms t_mont; Bench_util.fmt_ms t_plain;
+          Printf.sprintf "%.2fx" (t_plain /. Float.max 1e-9 t_mont) ])
+      [ 256; 512; 1024 ]
+  in
+  Bench_util.print_table
+    ~headers:[ "modulus bits"; "montgomery (ms)"; "plain (ms)"; "speedup" ]
+    rows;
+  (* End-to-end effect on the exponentiation-heavy PM protocol. *)
+  let spec = Experiments.spec_for_domain 8 in
+  let env, client, query = Workload.scenario ~params:Experiments.bench_params spec in
+  let run_pm flag =
+    Bigint.use_montgomery := flag;
+    let t =
+      Bench_util.time_median ~runs:3 (fun () ->
+          Protocol.run (Protocol.Private_matching Pm_join.Session_keys) env client ~query)
+    in
+    Bigint.use_montgomery := true;
+    t
+  in
+  let t_on = run_pm true and t_off = run_pm false in
+  Printf.printf "\nfull PM run at |domactive|=8: %.1f ms with Montgomery, %.1f ms without (%.2fx)\n"
+    (t_on *. 1000.0) (t_off *. 1000.0) (t_off /. Float.max 1e-9 t_on)
+
+(* ------------------------------------------------------------------ *)
+(* A6 — lean set-operation protocols vs full join + projection. *)
+
+let setops () =
+  Bench_util.heading
+    "A6 — set operations: lean protocol (no right-side payloads) vs join-based";
+  let spec = Experiments.spec_for_domain 16 in
+  let left, right = Workload.generate spec in
+  let env =
+    Env.two_source ~params:Experiments.bench_params ~seed:spec.Workload.seed
+      ~left:("L", left) ~right:("R", right) ()
+  in
+  let client = Env.make_client env ~identity:"bench" ~properties:[ [] ] in
+  let semi = Set_ops.run ~on:[ "a_join" ] env client Set_ops.Semi_join ~left:"L" ~right:"R" in
+  let join =
+    Protocol.run (Protocol.Commutative { use_ids = false }) env client
+      ~query:"select * from L natural join R"
+  in
+  let bytes o = Secmed_mediation.Transcript.total_bytes o.Outcome.transcript in
+  let s2 o = Secmed_mediation.Transcript.bytes_sent_by o.Outcome.transcript
+      (Secmed_mediation.Transcript.Source 2) in
+  Bench_util.print_table
+    ~headers:[ "pipeline"; "total bytes"; "right-source bytes"; "correct" ]
+    [
+      [ "semi-join protocol"; Bench_util.fmt_bytes (bytes semi); Bench_util.fmt_bytes (s2 semi);
+        string_of_bool (Outcome.correct semi) ];
+      [ "commutative join"; Bench_util.fmt_bytes (bytes join); Bench_util.fmt_bytes (s2 join);
+        string_of_bool (Outcome.correct join) ];
+    ];
+  print_endline "The dedicated semi-join never ships right-source tuple data."
+
+(* ------------------------------------------------------------------ *)
+(* A7 — DAS query-translator placement (paper §3.1: client / source /
+   mediator settings; only the client setting is described there). *)
+
+let das_settings () =
+  Bench_util.heading
+    "A7 — DAS translator placement: client vs source vs mediator setting";
+  let spec = Experiments.spec_for_domain 16 in
+  let env, client, query = Workload.scenario ~params:Experiments.bench_params spec in
+  let rows =
+    List.map
+      (fun setting ->
+        let o =
+          Das.run ~strategy:(Das_partition.Equi_depth 4) ~setting env client ~query
+        in
+        let t = o.Outcome.transcript in
+        let observed list key =
+          match Outcome.observed list key with Some v -> string_of_int v | None -> "-"
+        in
+        [
+          Das.setting_name setting;
+          string_of_bool (Outcome.correct o);
+          string_of_int (Secmed_mediation.Transcript.sends_by t Secmed_mediation.Transcript.Client);
+          Bench_util.fmt_bytes (Secmed_mediation.Transcript.total_bytes t);
+          observed o.Outcome.mediator_observed "partitions-R1";
+          (match Outcome.observed o.Outcome.mediator_observed "approx-value-centibits-R1" with
+           | Some cb -> Printf.sprintf "%.2f bits/tuple" (float_of_int cb /. 100.0)
+           | None -> "-");
+        ])
+      [ Das.Client_setting; Das.Source_setting; Das.Mediator_setting ]
+  in
+  Bench_util.print_table
+    ~headers:
+      [ "setting"; "correct"; "client sends"; "total bytes"; "mediator sees partitions";
+        "mediator value approximation" ]
+    rows;
+  print_endline "Paper §6: 'it is crucial to encrypt the index table and let the query";
+  print_endline "translator reside on client side' — the mediator setting is cheaper (one";
+  print_endline "client interaction) but hands the mediator the partition ranges."
+
+(* ------------------------------------------------------------------ *)
+(* Micro: Bechamel suite over the primitives every protocol builds on. *)
+
+let micro () =
+  Bench_util.heading "Microbenchmarks — cryptographic primitives (Bechamel/OLS)";
+  let prng = Prng.of_int_seed 3 in
+  let group = Group.default ~bits:256 in
+  let elg = Elgamal.keygen prng group in
+  let pk = Elgamal.public elg in
+  let hybrid_ct = Hybrid.encrypt prng pk (String.make 256 'x') in
+  let comm_key = Commutative.keygen prng group in
+  let oracle_point = Random_oracle.hash group "bench" in
+  let paillier = Paillier.keygen prng ~bits:512 in
+  let ppk = Paillier.public paillier in
+  let pct = Paillier.encrypt prng ppk (Bigint.of_int 31337) in
+  let exponent = Group.random_exponent prng group in
+  let tests =
+    Test.make_grouped ~name:"crypto" ~fmt:"%s %s"
+      [
+        Test.make ~name:"sha256 (1 KiB)"
+          (Staged.stage
+             (let block = String.make 1024 'a' in
+              fun () -> ignore (Sha256.digest block)));
+        Test.make ~name:"aes128-ctr (1 KiB)"
+          (Staged.stage
+             (let key = Prng.bytes prng 16 and nonce = Prng.bytes prng 12 in
+              let block = String.make 1024 'b' in
+              fun () -> ignore (Aes.ctr_transform ~key ~nonce block)));
+        Test.make ~name:"modpow 256-bit"
+          (Staged.stage (fun () ->
+               ignore (Bigint.mod_pow group.Group.g exponent group.Group.p)));
+        Test.make ~name:"hybrid encrypt (256 B)"
+          (Staged.stage (fun () -> ignore (Hybrid.encrypt prng pk (String.make 256 'x'))));
+        Test.make ~name:"hybrid decrypt (256 B)"
+          (Staged.stage (fun () -> ignore (Hybrid.decrypt elg hybrid_ct)));
+        Test.make ~name:"commutative apply"
+          (Staged.stage (fun () -> ignore (Commutative.apply comm_key oracle_point)));
+        Test.make ~name:"random-oracle hash"
+          (Staged.stage (fun () -> ignore (Random_oracle.hash group "some-join-value")));
+        Test.make ~name:"paillier encrypt (512-bit n)"
+          (Staged.stage (fun () -> ignore (Paillier.encrypt prng ppk (Bigint.of_int 99))));
+        Test.make ~name:"paillier decrypt (512-bit n)"
+          (Staged.stage (fun () -> ignore (Paillier.decrypt paillier pct)));
+        Test.make ~name:"paillier scalar-mul (128-bit k)"
+          (Staged.stage
+             (let k = Pm_join.root_of_value (Value.Int 7) in
+              fun () -> ignore (Paillier.scalar_mul ppk k pct)));
+      ]
+  in
+  let estimates = Bench_util.bechamel_estimates ~quota:0.4 tests in
+  Bench_util.print_bechamel_table "primitive costs" estimates

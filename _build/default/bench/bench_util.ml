@@ -1,0 +1,85 @@
+(* Shared helpers for the benchmark harness: text tables, direct timing,
+   and a thin wrapper around Bechamel's OLS pipeline. *)
+
+let heading title =
+  let bar = String.make (String.length title) '=' in
+  Printf.printf "\n%s\n%s\n\n" title bar
+
+let subheading title = Printf.printf "\n--- %s ---\n\n" title
+
+(* Render rows as an aligned text table. *)
+let print_table ~headers rows =
+  let columns = List.length headers in
+  let widths = Array.make columns 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell)) row
+  in
+  measure headers;
+  List.iter measure rows;
+  let line () =
+    print_char '+';
+    Array.iter
+      (fun w ->
+        print_string (String.make (w + 2) '-');
+        print_char '+')
+      widths;
+    print_newline ()
+  in
+  let row cells =
+    print_char '|';
+    List.iteri (fun i cell -> Printf.printf " %-*s |" widths.(i) cell) cells;
+    print_newline ()
+  in
+  line ();
+  row headers;
+  line ();
+  List.iter row rows;
+  line ()
+
+let fmt_ms seconds = Printf.sprintf "%.1f" (seconds *. 1000.0)
+let fmt_bytes b =
+  if b >= 1_048_576 then Printf.sprintf "%.2f MiB" (float_of_int b /. 1_048_576.0)
+  else if b >= 1024 then Printf.sprintf "%.1f KiB" (float_of_int b /. 1024.0)
+  else Printf.sprintf "%d B" b
+
+(* Direct timing: median over [runs] repetitions. *)
+let time_median ?(runs = 3) f =
+  let samples =
+    List.init runs (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (f ());
+        Unix.gettimeofday () -. t0)
+  in
+  match List.sort compare samples with
+  | [] -> 0.0
+  | sorted -> List.nth sorted (List.length sorted / 2)
+
+(* Bechamel: run a grouped test and return (name, estimated ns/run). *)
+let bechamel_estimates ?(quota = 0.5) tests =
+  let open Bechamel in
+  let open Toolkit in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second quota) ~stabilize:false ~kde:None ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name o acc ->
+      let ns =
+        match Analyze.OLS.estimates o with Some (e :: _) -> e | Some [] | None -> Float.nan
+      in
+      (name, ns) :: acc)
+    results []
+  |> List.sort compare
+
+let fmt_ns ns =
+  if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2f µs" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let print_bechamel_table title estimates =
+  subheading title;
+  print_table ~headers:[ "benchmark"; "time/run" ]
+    (List.map (fun (name, ns) -> [ name; fmt_ns ns ]) estimates)

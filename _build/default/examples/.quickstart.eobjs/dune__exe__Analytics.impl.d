@@ -1,0 +1,1 @@
+examples/analytics.ml: Aggregate_join Env Option Outcome Printf Relation Schema Secmed_core Secmed_mediation Secmed_relalg Value

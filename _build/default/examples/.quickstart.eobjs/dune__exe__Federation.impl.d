@@ -1,0 +1,1 @@
+examples/federation.ml: Catalog Credential Env List Multi_join Outcome Policy Printf Relation Schema Secmed_core Secmed_mediation Secmed_relalg Transcript Value

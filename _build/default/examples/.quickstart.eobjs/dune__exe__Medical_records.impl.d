@@ -1,0 +1,1 @@
+examples/medical_records.ml: Catalog Credential Env Outcome Policy Predicate Printf Protocol Relation Request Schema Secmed_core Secmed_mediation Secmed_relalg Value

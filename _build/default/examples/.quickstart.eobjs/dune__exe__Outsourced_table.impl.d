@@ -1,0 +1,1 @@
+examples/outsourced_table.ml: Das_partition Env List Outcome Printf Relation Schema Secmed_core Secmed_mediation Secmed_relalg Select_query Value

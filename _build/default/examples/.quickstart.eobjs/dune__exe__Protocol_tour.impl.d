@@ -1,0 +1,1 @@
+examples/protocol_tour.ml: Leakage List Outcome Printf Protocol Relation Secmed_core Secmed_mediation Secmed_relalg String Transcript Unix Workload

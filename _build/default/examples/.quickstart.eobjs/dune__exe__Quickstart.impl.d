@@ -1,0 +1,1 @@
+examples/quickstart.ml: Env List Outcome Printf Protocol Relation Schema Secmed_core Secmed_mediation Secmed_relalg Value

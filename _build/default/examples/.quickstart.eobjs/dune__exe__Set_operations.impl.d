@@ -1,0 +1,1 @@
+examples/set_operations.ml: Env Outcome Printf Relation Schema Secmed_core Secmed_mediation Secmed_relalg Set_ops Value

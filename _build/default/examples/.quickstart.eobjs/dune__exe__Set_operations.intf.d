@@ -1,0 +1,1 @@
+examples/set_operations.mli:

@@ -1,0 +1,1 @@
+examples/supply_chain.ml: Env Format Ground_truth Leakage Outcome Pm_join Protocol Relation Schema Secmed_core Secmed_mediation Secmed_relalg Value

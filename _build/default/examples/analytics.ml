@@ -1,0 +1,68 @@
+(* Encrypted aggregation: answering analytics queries over a mediated
+   join without revealing a single row to anyone.
+
+   A retailer holds a customer directory; a payment processor holds
+   transactions.  An analyst asks for per-customer and total spending.
+   With the dedicated aggregation protocol the sources transmit only
+   per-key statistics; with the homomorphic strategy the *mediator* sums
+   the matched Paillier ciphertexts, so even the client sees nothing but
+   the final totals.
+
+   Run with:  dune exec examples/analytics.exe *)
+
+open Secmed_relalg
+open Secmed_core
+
+let customers =
+  Relation.of_rows
+    (Schema.of_list [ ("customer_id", Value.Tint); ("tier", Value.Tstring) ])
+    [
+      [ Value.Int 11; Value.Str "gold" ];
+      [ Value.Int 12; Value.Str "silver" ];
+      [ Value.Int 13; Value.Str "gold" ];
+      [ Value.Int 14; Value.Str "bronze" ];
+    ]
+
+let transactions =
+  Relation.of_rows
+    (Schema.of_list [ ("customer_id", Value.Tint); ("amount", Value.Tint) ])
+    [
+      [ Value.Int 11; Value.Int 250 ];
+      [ Value.Int 11; Value.Int 120 ];
+      [ Value.Int 12; Value.Int 75 ];
+      [ Value.Int 13; Value.Int 310 ];
+      [ Value.Int 13; Value.Int 45 ];
+      [ Value.Int 99; Value.Int 9999 ];  (* customer unknown to the retailer *)
+    ]
+
+let () =
+  let env =
+    Env.two_source ~seed:23 ~left:("Customers", customers) ~right:("Transactions", transactions) ()
+  in
+  let client =
+    Env.make_client env ~identity:"analyst"
+      ~properties:[ [ Secmed_mediation.Credential.property "role" "analyst" ] ]
+  in
+
+  let grouped =
+    "select customer_id, count(*) as orders, sum(amount) as spent, max(amount) \
+     from Customers natural join Transactions group by customer_id"
+  in
+  Printf.printf "Query: %s\n\n" grouped;
+  let o = Aggregate_join.run env client ~query:grouped in
+  print_endline (Relation.to_string o.Outcome.result);
+  Printf.printf "correct: %b — bytes on the wire: %d (sources shipped per-key stats, no rows)\n\n"
+    (Outcome.correct o)
+    (Secmed_mediation.Transcript.total_bytes o.Outcome.transcript);
+
+  let scalar = "select count(*) as orders, sum(amount) as revenue \
+                from Customers natural join Transactions" in
+  Printf.printf "Query: %s   (homomorphic strategy)\n\n" scalar;
+  let o = Aggregate_join.run ~strategy:Aggregate_join.Homomorphic env client ~query:scalar in
+  print_endline (Relation.to_string o.Outcome.result);
+  Printf.printf
+    "correct: %b — the mediator combined Paillier ciphertexts; the client received %d\n\
+     ciphertexts and learned nothing beyond these totals.\n"
+    (Outcome.correct o)
+    (Option.value ~default:0
+       (Outcome.observed o.Outcome.client_observed "ciphertexts-received"))

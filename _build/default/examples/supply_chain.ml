@@ -1,0 +1,62 @@
+(* Private matching between two loosely coupled enterprises.
+
+   A manufacturer and a logistics provider join their records on order
+   numbers via an untrusted mediator, using the homomorphic-encryption
+   (private matching) protocol.  Neither company learns which of its
+   records the *other* side holds beyond what the client assembles, and
+   the mediator only learns the sizes of the active join domains (the
+   polynomial degrees).
+
+   Run with:  dune exec examples/supply_chain.exe *)
+
+open Secmed_relalg
+open Secmed_core
+
+let orders =
+  Relation.of_rows
+    (Schema.of_list [ ("order_no", Value.Tint); ("part", Value.Tstring); ("qty", Value.Tint) ])
+    [
+      [ Value.Int 1001; Value.Str "bearing"; Value.Int 500 ];
+      [ Value.Int 1002; Value.Str "gearbox"; Value.Int 20 ];
+      [ Value.Int 1003; Value.Str "rotor"; Value.Int 64 ];
+      [ Value.Int 1004; Value.Str "stator"; Value.Int 64 ];
+      [ Value.Int 1005; Value.Str "coupling"; Value.Int 150 ];
+    ]
+
+let shipments =
+  Relation.of_rows
+    (Schema.of_list [ ("order_no", Value.Tint); ("carrier", Value.Tstring); ("eta_days", Value.Tint) ])
+    [
+      [ Value.Int 1002; Value.Str "north-rail"; Value.Int 4 ];
+      [ Value.Int 1003; Value.Str "blue-freight"; Value.Int 11 ];
+      [ Value.Int 1005; Value.Str "north-rail"; Value.Int 2 ];
+      [ Value.Int 1006; Value.Str "air-express"; Value.Int 1 ];
+    ]
+
+let () =
+  let env =
+    Env.two_source ~seed:11 ~left:("Orders", orders) ~right:("Shipments", shipments) ()
+  in
+  let client =
+    Env.make_client env ~identity:"auditor"
+      ~properties:[ [ Secmed_mediation.Credential.property "role" "auditor" ] ]
+  in
+  let query = "select * from Orders natural join Shipments" in
+  let outcome =
+    Protocol.run (Protocol.Private_matching Pm_join.Session_keys) env client ~query
+  in
+
+  print_endline "Joined orders/shipments (client-side view):";
+  print_endline (Relation.to_string outcome.Outcome.result);
+  print_newline ();
+
+  (* The leakage report: what each party could derive, checked against
+     the ground truth. *)
+  let ground_truth = Ground_truth.compute orders shipments ~join_attr:"order_no" in
+  Format.printf "Ground truth: %a@.@." Ground_truth.pp ground_truth;
+  let claims = Leakage.verify outcome ~ground_truth in
+  print_endline "Paper Table 1 claims, instantiated and machine-checked:";
+  Format.printf "%a@." Leakage.pp_claims claims;
+
+  print_endline "Message flow through the untrusted mediator:";
+  print_endline (Secmed_mediation.Transcript.summary outcome.Outcome.transcript)

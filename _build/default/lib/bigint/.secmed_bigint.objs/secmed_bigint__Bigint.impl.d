@@ -1,0 +1,1 @@
+lib/bigint/bigint.ml: Array Buffer Char Format Hashtbl List Printf String

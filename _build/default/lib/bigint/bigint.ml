@@ -1,0 +1,828 @@
+(* Sign-magnitude arbitrary-precision integers.
+
+   Magnitudes are little-endian arrays of 31-bit limbs (base 2^31).  The
+   base is chosen so that every intermediate of schoolbook multiplication
+   and Knuth Algorithm-D division fits in OCaml's 63-bit native int:
+   (B-1)^2 + 2*(B-1) = B^2 - 1 = 2^62 - 1 = max_int. *)
+
+type t = { sign : int; mag : int array }
+(* Invariants: [mag] has no leading (high-index) zero limb; [sign] is 0 iff
+   [mag] is empty, otherwise -1 or 1. *)
+
+exception Overflow
+exception Division_by_zero_big
+
+let limb_bits = 31
+let base = 1 lsl limb_bits
+let mask = base - 1
+
+let karatsuba_threshold = ref 32
+
+let zero = { sign = 0; mag = [||] }
+
+(* ------------------------------------------------------------------ *)
+(* Magnitude (nat) helpers: arrays may carry leading zeros internally;
+   [trim] restores the canonical form. *)
+
+let trim_len (a : int array) =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  !n
+
+let trim a =
+  let n = trim_len a in
+  if n = Array.length a then a else Array.sub a 0 n
+
+let nat_of_int n =
+  (* n >= 0 *)
+  if n = 0 then [||]
+  else if n < base then [| n |]
+  else begin
+    let rec count acc v = if v = 0 then acc else count (acc + 1) (v lsr limb_bits) in
+    let len = count 0 n in
+    Array.init len (fun i -> (n lsr (i * limb_bits)) land mask)
+  end
+
+let nat_cmp a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let nat_add a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = (if la > lb then la else lb) + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let av = if i < la then a.(i) else 0 in
+    let bv = if i < lb then b.(i) else 0 in
+    let s = av + bv + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr limb_bits
+  done;
+  trim r
+
+(* [nat_sub a b] requires a >= b. *)
+let nat_sub a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let bv = if i < lb then b.(i) else 0 in
+    let d = a.(i) - bv - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  assert (!borrow = 0);
+  trim r
+
+let nat_mul_school a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          (* ai * b.(j) <= (B-1)^2; + r + carry <= B^2 - 1 = max_int *)
+          let p = (ai * b.(j)) + r.(i + j) + !carry in
+          r.(i + j) <- p land mask;
+          carry := p lsr limb_bits
+        done;
+        r.(i + lb) <- r.(i + lb) + !carry
+      end
+    done;
+    trim r
+  end
+
+(* Karatsuba split at limb k: x = x1 * B^k + x0. *)
+let nat_split a k =
+  let la = Array.length a in
+  if la <= k then (a, [||])
+  else (Array.sub a 0 k, Array.sub a k (la - k))
+
+let rec nat_mul a b =
+  let la = Array.length a and lb = Array.length b in
+  let smaller = if la < lb then la else lb in
+  if smaller < !karatsuba_threshold then nat_mul_school a b
+  else begin
+    let k = (if la > lb then la else lb) / 2 in
+    let a0, a1 = nat_split a k in
+    let b0, b1 = nat_split b k in
+    let z0 = nat_mul a0 b0 in
+    let z2 = nat_mul a1 b1 in
+    let z1 = nat_sub (nat_mul (nat_add a0 a1) (nat_add b0 b1)) (nat_add z0 z2) in
+    (* result = z2 * B^2k + z1 * B^k + z0 *)
+    let lr = la + lb in
+    let r = Array.make lr 0 in
+    Array.blit z0 0 r 0 (Array.length z0);
+    let add_shifted src off =
+      let carry = ref 0 in
+      let ls = Array.length src in
+      let i = ref 0 in
+      while !i < ls || !carry <> 0 do
+        let idx = off + !i in
+        let sv = if !i < ls then src.(!i) else 0 in
+        let s = r.(idx) + sv + !carry in
+        r.(idx) <- s land mask;
+        carry := s lsr limb_bits;
+        incr i
+      done
+    in
+    add_shifted z1 k;
+    add_shifted z2 (2 * k);
+    trim r
+  end
+
+let nat_shift_left a n =
+  if Array.length a = 0 then [||]
+  else begin
+    let limbs = n / limb_bits and bits = n mod limb_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limbs + 1) 0 in
+    if bits = 0 then Array.blit a 0 r limbs la
+    else begin
+      let carry = ref 0 in
+      for i = 0 to la - 1 do
+        let v = (a.(i) lsl bits) lor !carry in
+        r.(i + limbs) <- v land mask;
+        carry := v lsr limb_bits
+      done;
+      r.(la + limbs) <- !carry
+    end;
+    trim r
+  end
+
+let nat_shift_right a n =
+  let limbs = n / limb_bits and bits = n mod limb_bits in
+  let la = Array.length a in
+  if limbs >= la then [||]
+  else begin
+    let lr = la - limbs in
+    let r = Array.make lr 0 in
+    if bits = 0 then Array.blit a limbs r 0 lr
+    else
+      for i = 0 to lr - 1 do
+        let lo = a.(i + limbs) lsr bits in
+        let hi = if i + limbs + 1 < la then (a.(i + limbs + 1) lsl (limb_bits - bits)) land mask else 0 in
+        r.(i) <- lo lor hi
+      done;
+    trim r
+  end
+
+let int_numbits v =
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  go 0 v
+
+let nat_numbits a =
+  let la = Array.length a in
+  if la = 0 then 0 else ((la - 1) * limb_bits) + int_numbits a.(la - 1)
+
+(* Division by a single limb; returns (quotient, remainder-int). *)
+let nat_divmod_limb a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl limb_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (trim q, !r)
+
+(* Knuth TAOCP vol.2 Algorithm D.  Requires Array.length v >= 2 and
+   v trimmed (top limb non-zero), and nat_cmp u v >= 0 not required. *)
+let nat_divmod_knuth u v =
+  let n = Array.length v in
+  let shift = limb_bits - int_numbits v.(n - 1) in
+  let vn = trim (nat_shift_left v shift) in
+  let un_t = nat_shift_left u shift in
+  let m = Array.length u - n in
+  (* Working dividend with one extra high limb. *)
+  let un = Array.make (Array.length u + 1) 0 in
+  Array.blit un_t 0 un 0 (Array.length un_t);
+  let q = Array.make (m + 1) 0 in
+  let v1 = vn.(n - 1) and v2 = vn.(n - 2) in
+  for j = m downto 0 do
+    let u2 = un.(j + n) and u1 = un.(j + n - 1) and u0 = un.(j + n - 2) in
+    let num = (u2 lsl limb_bits) lor u1 in
+    let qhat = ref (num / v1) and rhat = ref (num mod v1) in
+    let continue_adjust = ref true in
+    while !continue_adjust do
+      if !qhat >= base || !qhat * v2 > (!rhat lsl limb_bits) lor u0 then begin
+        decr qhat;
+        rhat := !rhat + v1;
+        if !rhat >= base then continue_adjust := false
+      end
+      else continue_adjust := false
+    done;
+    (* Multiply and subtract qhat * vn from un[j .. j+n]. *)
+    let borrow = ref 0 and carry = ref 0 in
+    for i = 0 to n - 1 do
+      let p = (!qhat * vn.(i)) + !carry in
+      carry := p lsr limb_bits;
+      let d = un.(j + i) - (p land mask) - !borrow in
+      if d < 0 then begin
+        un.(j + i) <- d + base;
+        borrow := 1
+      end
+      else begin
+        un.(j + i) <- d;
+        borrow := 0
+      end
+    done;
+    let d = un.(j + n) - !carry - !borrow in
+    if d < 0 then begin
+      (* qhat was one too large: add back. *)
+      un.(j + n) <- d + base;
+      decr qhat;
+      let carry2 = ref 0 in
+      for i = 0 to n - 1 do
+        let s = un.(j + i) + vn.(i) + !carry2 in
+        un.(j + i) <- s land mask;
+        carry2 := s lsr limb_bits
+      done;
+      un.(j + n) <- (un.(j + n) + !carry2) land mask
+    end
+    else un.(j + n) <- d;
+    q.(j) <- !qhat
+  done;
+  let r = nat_shift_right (trim (Array.sub un 0 n)) shift in
+  (trim q, r)
+
+let nat_divmod a b =
+  let lb = Array.length b in
+  if lb = 0 then raise Division_by_zero_big
+  else if nat_cmp a b < 0 then ([||], a)
+  else if lb = 1 then begin
+    let q, r = nat_divmod_limb a b.(0) in
+    (q, nat_of_int r)
+  end
+  else nat_divmod_knuth a b
+
+(* ------------------------------------------------------------------ *)
+(* Signed layer. *)
+
+let make sign mag =
+  let mag = trim mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let one = { sign = 1; mag = [| 1 |] }
+let two = { sign = 1; mag = [| 2 |] }
+let minus_one = { sign = -1; mag = [| 1 |] }
+
+let of_int n =
+  if n = 0 then zero
+  else if n > 0 then { sign = 1; mag = nat_of_int n }
+  else if n = min_int then
+    (* -min_int overflows; build from magnitude bits directly. *)
+    { sign = -1; mag = nat_add (nat_of_int max_int) [| 1 |] }
+  else { sign = -1; mag = nat_of_int (-n) }
+
+let to_int_opt a =
+  let la = Array.length a.mag in
+  if la = 0 then Some 0
+  else if nat_numbits a.mag > 62 then
+    if a.sign < 0 && nat_numbits a.mag = 63 then begin
+      (* Could still be min_int. *)
+      let m = of_int min_int in
+      if nat_cmp a.mag m.mag = 0 then Some min_int else None
+    end
+    else None
+  else begin
+    let v = ref 0 in
+    for i = la - 1 downto 0 do
+      v := (!v lsl limb_bits) lor a.mag.(i)
+    done;
+    Some (a.sign * !v)
+  end
+
+let to_int a = match to_int_opt a with Some v -> v | None -> raise Overflow
+
+let sign a = a.sign
+let is_zero a = a.sign = 0
+let is_one a = a.sign = 1 && Array.length a.mag = 1 && a.mag.(0) = 1
+let is_even a = a.sign = 0 || a.mag.(0) land 1 = 0
+let is_odd a = not (is_even a)
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then nat_cmp a.mag b.mag
+  else nat_cmp b.mag a.mag
+
+let equal a b = compare a b = 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let hash a = Hashtbl.hash (a.sign, a.mag)
+
+let neg a = if a.sign = 0 then zero else { a with sign = -a.sign }
+let abs a = if a.sign < 0 then neg a else a
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (nat_add a.mag b.mag)
+  else begin
+    let c = nat_cmp a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (nat_sub a.mag b.mag)
+    else make b.sign (nat_sub b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+let succ a = add a one
+let pred a = sub a one
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else make (a.sign * b.sign) (nat_mul a.mag b.mag)
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero_big
+  else if a.sign = 0 then (zero, zero)
+  else begin
+    let q, r = nat_divmod a.mag b.mag in
+    let quotient = make (a.sign * b.sign) q in
+    let remainder = make a.sign r in
+    (quotient, remainder)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let ediv_rem a b =
+  let q, r = divmod a b in
+  if r.sign >= 0 then (q, r)
+  else if b.sign > 0 then (pred q, add r b)
+  else (succ q, sub r b)
+
+let ediv a b = fst (ediv_rem a b)
+let emod a b = snd (ediv_rem a b)
+
+let mul_int a n = mul a (of_int n)
+let add_int a n = add a (of_int n)
+
+let pow a n =
+  if n < 0 then invalid_arg "Bigint.pow: negative exponent"
+  else begin
+    let rec go acc b n =
+      if n = 0 then acc
+      else begin
+        let acc = if n land 1 = 1 then mul acc b else acc in
+        go acc (mul b b) (n lsr 1)
+      end
+    in
+    go one a n
+  end
+
+let shift_left a n =
+  if n < 0 then invalid_arg "Bigint.shift_left: negative count"
+  else if a.sign = 0 || n = 0 then a
+  else make a.sign (nat_shift_left a.mag n)
+
+let shift_right a n =
+  if n < 0 then invalid_arg "Bigint.shift_right: negative count"
+  else if a.sign = 0 || n = 0 then a
+  else make a.sign (nat_shift_right a.mag n)
+
+let numbits a = nat_numbits a.mag
+
+let testbit a n =
+  if n < 0 then invalid_arg "Bigint.testbit: negative index"
+  else begin
+    let limb = n / limb_bits and bit = n mod limb_bits in
+    limb < Array.length a.mag && (a.mag.(limb) lsr bit) land 1 = 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Number theory. *)
+
+let gcd a b =
+  let rec go a b = if is_zero b then a else go b (emod a b) in
+  go (abs a) (abs b)
+
+let extended_gcd a b =
+  (* Invariants: r = u*a + v*b for both running rows. *)
+  let rec go r0 u0 v0 r1 u1 v1 =
+    if is_zero r1 then (r0, u0, v0)
+    else begin
+      let q = div r0 r1 in
+      go r1 u1 v1 (sub r0 (mul q r1)) (sub u0 (mul q u1)) (sub v0 (mul q v1))
+    end
+  in
+  let g, u, v = go a one zero b zero one in
+  if g.sign < 0 then (neg g, neg u, neg v) else (g, u, v)
+
+let mod_inverse a m =
+  if m.sign <= 0 then invalid_arg "Bigint.mod_inverse: modulus must be positive"
+  else begin
+    let g, u, _ = extended_gcd (emod a m) m in
+    if is_one g then Some (emod u m) else None
+  end
+
+(* Plain square-and-multiply with full divisions after every step; kept as
+   the reference implementation and the fallback for even moduli. *)
+let mod_pow_plain b e m =
+  let nbits = numbits e in
+  let result = ref one and acc = ref b in
+  for i = 0 to nbits - 1 do
+    if testbit e i then result := emod (mul !result !acc) m;
+    if i < nbits - 1 then acc := emod (mul !acc !acc) m
+  done;
+  !result
+
+(* ------------------------------------------------------------------ *)
+(* Montgomery arithmetic (CIOS) for odd moduli: multiplication in the
+   Montgomery domain avoids the per-step long division of the plain
+   route.  All loops stay within the 63-bit int bounds established for
+   the schoolbook multiplier. *)
+
+module Montgomery = struct
+  type ctx = {
+    m : int array; (* modulus limbs, n >= 1, odd *)
+    n : int;
+    m_prime : int; (* -m^{-1} mod B *)
+    modulus : t;
+    r_mod_m : t; (* B^n mod m: the Montgomery representation of 1 *)
+  }
+
+  (* Inverse of an odd limb modulo B = 2^31 by Newton iteration. *)
+  let limb_inverse m0 =
+    let x = ref m0 in
+    (* Each step doubles the number of correct low bits; 5 steps > 31. *)
+    for _ = 1 to 5 do
+      x := (!x * ((2 - (m0 * !x)) land mask)) land mask
+    done;
+    !x
+
+  let create modulus =
+    if modulus.sign <= 0 || is_even modulus || is_one modulus then None
+    else begin
+      let m = modulus.mag in
+      let n = Array.length m in
+      let m_prime = (base - limb_inverse m.(0)) land mask in
+      let r_mod_m = emod { sign = 1; mag = nat_shift_left [| 1 |] (n * limb_bits) } modulus in
+      Some { m; n; m_prime; modulus; r_mod_m }
+    end
+
+  (* t <- (a * b + (..) * m) / B^n, result < 2m then conditionally
+     subtracted; a, b are n-limb Montgomery representatives (< m). *)
+  let mont_mul ctx a b =
+    let n = ctx.n and m = ctx.m in
+    let t = Array.make (n + 2) 0 in
+    for i = 0 to n - 1 do
+      let ai = if i < Array.length a then a.(i) else 0 in
+      (* t += a_i * b *)
+      let carry = ref 0 in
+      for j = 0 to n - 1 do
+        let bj = if j < Array.length b then b.(j) else 0 in
+        let sum = t.(j) + (ai * bj) + !carry in
+        t.(j) <- sum land mask;
+        carry := sum lsr limb_bits
+      done;
+      let sum = t.(n) + !carry in
+      t.(n) <- sum land mask;
+      t.(n + 1) <- t.(n + 1) + (sum lsr limb_bits);
+      (* Reduce one limb: add mtimes * m and shift right one limb. *)
+      let mtimes = (t.(0) * ctx.m_prime) land mask in
+      let carry = ref ((t.(0) + (mtimes * m.(0))) lsr limb_bits) in
+      for j = 1 to n - 1 do
+        let sum = t.(j) + (mtimes * m.(j)) + !carry in
+        t.(j - 1) <- sum land mask;
+        carry := sum lsr limb_bits
+      done;
+      let sum = t.(n) + !carry in
+      t.(n - 1) <- sum land mask;
+      t.(n) <- t.(n + 1) + (sum lsr limb_bits);
+      t.(n + 1) <- 0
+    done;
+    let result = trim (Array.sub t 0 (n + 1)) in
+    if nat_cmp result ctx.m >= 0 then nat_sub result ctx.m else result
+
+  let to_mont ctx x =
+    (* x * B^n mod m *)
+    (emod { sign = 1; mag = nat_shift_left x.mag (ctx.n * limb_bits) } ctx.modulus).mag
+
+  let from_mont ctx x = make 1 (mont_mul ctx x [| 1 |])
+
+  (* Left-to-right 4-bit fixed-window exponentiation in the domain. *)
+  let mod_pow ctx b e =
+    if is_zero e then emod one ctx.modulus
+    else begin
+      let b = emod b ctx.modulus in
+      let b_mont = to_mont ctx b in
+      let one_mont = ctx.r_mod_m.mag in
+      (* Precompute b^0..b^15 in Montgomery form. *)
+      let window = 4 in
+      let table = Array.make (1 lsl window) one_mont in
+      for i = 1 to (1 lsl window) - 1 do
+        table.(i) <- mont_mul ctx table.(i - 1) b_mont
+      done;
+      let nbits = numbits e in
+      let top_chunk = (nbits + window - 1) / window in
+      let acc = ref one_mont in
+      for chunk = top_chunk - 1 downto 0 do
+        if chunk < top_chunk - 1 then
+          for _ = 1 to window do
+            acc := mont_mul ctx !acc !acc
+          done;
+        let digit = ref 0 in
+        for bit = window - 1 downto 0 do
+          let position = (chunk * window) + bit in
+          digit := (!digit lsl 1) lor (if position < nbits && testbit e position then 1 else 0)
+        done;
+        if !digit <> 0 then acc := mont_mul ctx !acc table.(!digit)
+      done;
+      from_mont ctx !acc
+    end
+end
+
+let use_montgomery = ref true
+
+let mod_pow b e m =
+  if m.sign <= 0 then invalid_arg "Bigint.mod_pow: modulus must be positive"
+  else if is_one m then zero
+  else begin
+    let b =
+      if e.sign < 0 then
+        match mod_inverse b m with
+        | Some inv -> inv
+        | None -> invalid_arg "Bigint.mod_pow: negative exponent, base not invertible"
+      else emod b m
+    in
+    let e = abs e in
+    (* Montgomery pays off once the exponent is more than a few words. *)
+    if !use_montgomery && is_odd m && numbits e > 16 then begin
+      match Montgomery.create m with
+      | Some ctx -> Montgomery.mod_pow ctx b e
+      | None -> mod_pow_plain b e m
+    end
+    else mod_pow_plain b e m
+  end
+
+(* ------------------------------------------------------------------ *)
+(* String conversions.  Decimal I/O works in chunks of 9 digits
+   (10^9 < 2^31 fits in one limb). *)
+
+let chunk_pow = 1_000_000_000
+let chunk_digits = 9
+
+let to_string a =
+  if a.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec chunks acc mag =
+      if Array.length mag = 0 then acc
+      else begin
+        let q, r = nat_divmod_limb mag chunk_pow in
+        chunks (r :: acc) q
+      end
+    in
+    (match chunks [] a.mag with
+     | [] -> assert false
+     | first :: rest ->
+       if a.sign < 0 then Buffer.add_char buf '-';
+       Buffer.add_string buf (string_of_int first);
+       List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents buf
+  end
+
+let to_hex a =
+  if a.sign = 0 then "0x0"
+  else begin
+    let buf = Buffer.create 32 in
+    if a.sign < 0 then Buffer.add_char buf '-';
+    Buffer.add_string buf "0x";
+    let nbits = numbits a in
+    let top_nibble = ((nbits - 1) / 4) * 4 in
+    let started = ref false in
+    let pos = ref top_nibble in
+    while !pos >= 0 do
+      let nib = ref 0 in
+      for b = 3 downto 0 do
+        nib := (!nib lsl 1) lor (if testbit a (!pos + b) then 1 else 0)
+      done;
+      if !nib <> 0 || !started || !pos = 0 then begin
+        started := true;
+        Buffer.add_char buf "0123456789abcdef".[!nib]
+      end;
+      pos := !pos - 4
+    done;
+    Buffer.contents buf
+  end
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+let parse_decimal s start =
+  let len = String.length s in
+  if start >= len then invalid_arg "Bigint.of_string: empty magnitude";
+  let acc = ref zero in
+  let chunk = ref 0 and chunk_len = ref 0 in
+  let flush () =
+    if !chunk_len > 0 then begin
+      let scale = pow (of_int 10) !chunk_len in
+      acc := add (mul !acc scale) (of_int !chunk);
+      chunk := 0;
+      chunk_len := 0
+    end
+  in
+  let saw_digit = ref false in
+  for i = start to len - 1 do
+    match s.[i] with
+    | '0' .. '9' as c ->
+      saw_digit := true;
+      chunk := (!chunk * 10) + (Char.code c - Char.code '0');
+      incr chunk_len;
+      if !chunk_len = chunk_digits then flush ()
+    | '_' -> ()
+    | c -> invalid_arg (Printf.sprintf "Bigint.of_string: bad character %C" c)
+  done;
+  flush ();
+  if not !saw_digit then invalid_arg "Bigint.of_string: no digits";
+  !acc
+
+let parse_hex s start =
+  let len = String.length s in
+  let acc = ref zero in
+  let saw_digit = ref false in
+  for i = start to len - 1 do
+    match s.[i] with
+    | '_' -> ()
+    | c ->
+      let v =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+        | _ -> invalid_arg (Printf.sprintf "Bigint.of_string: bad hex character %C" c)
+      in
+      saw_digit := true;
+      acc := add (shift_left !acc 4) (of_int v)
+  done;
+  if not !saw_digit then invalid_arg "Bigint.of_string: no digits";
+  !acc
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_string: empty string";
+  let negative, start =
+    match s.[0] with
+    | '-' -> (true, 1)
+    | '+' -> (false, 1)
+    | _ -> (false, 0)
+  in
+  let v =
+    if len - start >= 2 && s.[start] = '0' && (s.[start + 1] = 'x' || s.[start + 1] = 'X')
+    then parse_hex s (start + 2)
+    else parse_decimal s start
+  in
+  if negative then neg v else v
+
+let of_string_opt s = try Some (of_string s) with Invalid_argument _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Byte serialization (big-endian, magnitude only). *)
+
+let of_bytes_be s =
+  let acc = ref zero in
+  String.iter (fun c -> acc := add (shift_left !acc 8) (of_int (Char.code c))) s;
+  !acc
+
+let byte_length a =
+  let nb = numbits a in
+  (nb + 7) / 8
+
+let to_bytes_be a =
+  if a.sign < 0 then invalid_arg "Bigint.to_bytes_be: negative value"
+  else begin
+    let len = byte_length a in
+    String.init len (fun i ->
+        let bit = (len - 1 - i) * 8 in
+        let byte = ref 0 in
+        for b = 7 downto 0 do
+          byte := (!byte lsl 1) lor (if testbit a (bit + b) then 1 else 0)
+        done;
+        Char.chr !byte)
+  end
+
+let to_bytes_be_padded width a =
+  let s = to_bytes_be a in
+  let len = String.length s in
+  if len > width then invalid_arg "Bigint.to_bytes_be_padded: value too wide"
+  else String.make (width - len) '\000' ^ s
+
+(* ------------------------------------------------------------------ *)
+(* Randomness. *)
+
+let random_bits rand_bytes n =
+  if n < 0 then invalid_arg "Bigint.random_bits: negative bit count"
+  else if n = 0 then zero
+  else begin
+    let nbytes = (n + 7) / 8 in
+    let s = rand_bytes nbytes in
+    if String.length s <> nbytes then invalid_arg "Bigint.random_bits: bad byte source";
+    let excess = (nbytes * 8) - n in
+    let v = of_bytes_be s in
+    shift_right v excess
+  end
+
+let random_below rand_bytes bound =
+  if bound.sign <= 0 then invalid_arg "Bigint.random_below: bound must be positive"
+  else begin
+    let nbits = numbits bound in
+    let rec draw () =
+      let v = random_bits rand_bytes nbits in
+      if compare v bound < 0 then v else draw ()
+    in
+    draw ()
+  end
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( mod ) = rem
+  let ( = ) = equal
+  let ( <> ) a b = not (equal a b)
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+  let ( ~- ) = neg
+end
+
+(* Integer square root by Newton's method on the bit-length-based initial
+   guess; monotone convergence from above. *)
+let isqrt n =
+  if n.sign < 0 then invalid_arg "Bigint.isqrt: negative input"
+  else if is_zero n then zero
+  else begin
+    let initial = shift_left one ((numbits n + 1) / 2) in
+    let rec refine x =
+      let next = shift_right (add x (div n x)) 1 in
+      if compare next x < 0 then refine next else x
+    in
+    refine initial
+  end
+
+let is_square n =
+  if n.sign < 0 then false
+  else begin
+    let s = isqrt n in
+    equal (mul s s) n
+  end
+
+(* Jacobi symbol by the binary algorithm (quadratic reciprocity). *)
+let jacobi a n =
+  if n.sign <= 0 || is_even n then
+    invalid_arg "Bigint.jacobi: modulus must be odd and positive"
+  else begin
+    let rec go a n acc =
+      let a = emod a n in
+      if is_zero a then if is_one n then acc else 0
+      else begin
+        (* Pull out factors of two: (2/n) = -1 iff n = 3, 5 mod 8. *)
+        let twos = ref 0 and a' = ref a in
+        while is_even !a' do
+          a' := shift_right !a' 1;
+          incr twos
+        done;
+        let acc =
+          if !twos land 1 = 1 then begin
+            let n_mod_8 = to_int (emod n (of_int 8)) in
+            if n_mod_8 = 3 || n_mod_8 = 5 then -acc else acc
+          end
+          else acc
+        in
+        (* Reciprocity: flip sign iff both are 3 mod 4. *)
+        let acc =
+          if
+            to_int (emod !a' (of_int 4)) = 3
+            && to_int (emod n (of_int 4)) = 3
+          then -acc
+          else acc
+        in
+        go n !a' acc
+      end
+    in
+    go a n 1
+  end

@@ -1,0 +1,184 @@
+(** Arbitrary-precision signed integers.
+
+    Pure OCaml sign–magnitude implementation on 31-bit limbs (no external
+    bignum dependency is available in this environment).  All operations are
+    functional; values are immutable and structurally comparable via
+    {!compare}/{!equal}.
+
+    Conventions: [div]/[rem] truncate toward zero (like OCaml's [/] and
+    [mod]); [ediv]/[emod] are Euclidean (remainder always non-negative). *)
+
+type t
+
+exception Overflow
+(** Raised by {!to_int} when the value does not fit in an OCaml [int]. *)
+
+exception Division_by_zero_big
+(** Raised by division and modular operations on a zero divisor/modulus. *)
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+(** {1 Conversions} *)
+
+val of_int : int -> t
+val to_int : t -> int
+val to_int_opt : t -> int option
+
+val of_string : string -> t
+(** Parses an optional sign followed by decimal digits, or a ["0x"]-prefixed
+    hexadecimal literal.  Underscores are permitted as digit separators.
+    Raises [Invalid_argument] on malformed input. *)
+
+val of_string_opt : string -> t option
+val to_string : t -> string
+val to_hex : t -> string
+(** Lowercase hexadecimal magnitude with a ["-"] sign prefix if negative and
+    a ["0x"] prefix. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Predicates and comparison} *)
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val is_zero : t -> bool
+val is_one : t -> bool
+val is_even : t -> bool
+val is_odd : t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+val mul : t -> t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], [q] truncated toward zero
+    and [sign r = sign a] (or [r = 0]). *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val ediv : t -> t -> t
+val emod : t -> t -> t
+(** Euclidean division: [emod a b] is in [\[0, |b|)]. *)
+
+val pow : t -> int -> t
+(** [pow a n] for [n >= 0]; raises [Invalid_argument] on negative [n]. *)
+
+val mul_int : t -> int -> t
+val add_int : t -> int -> t
+
+(** {1 Bit operations}
+
+    Bit operations act on the magnitude for non-negative values; shifting
+    negative values keeps the sign and shifts the magnitude. *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+val testbit : t -> int -> bool
+val numbits : t -> int
+(** Position of the highest set bit plus one; [numbits zero = 0]. *)
+
+(** {1 Number theory} *)
+
+val gcd : t -> t -> t
+(** Non-negative gcd; [gcd zero zero = zero]. *)
+
+val extended_gcd : t -> t -> t * t * t
+(** [extended_gcd a b = (g, u, v)] with [u*a + v*b = g] and [g = gcd a b]. *)
+
+val mod_inverse : t -> t -> t option
+(** [mod_inverse a m] is [Some x] with [a*x = 1 (mod m)], [0 <= x < m], when
+    [gcd a m = 1]; [None] otherwise.  Requires [m > 0]. *)
+
+val mod_pow : t -> t -> t -> t
+(** [mod_pow b e m] is [b^e mod m] (Euclidean residue).  Negative exponents
+    use the modular inverse of [b] and raise [Invalid_argument] when the
+    inverse does not exist.  Requires [m > 0]. *)
+
+(** {1 Byte serialization} *)
+
+val of_bytes_be : string -> t
+(** Non-negative value from big-endian bytes; [""] maps to [zero]. *)
+
+val to_bytes_be : t -> string
+(** Minimal big-endian encoding of the magnitude ([zero] gives [""]).
+    Raises [Invalid_argument] on negative values. *)
+
+val to_bytes_be_padded : int -> t -> string
+(** Big-endian encoding left-padded with zero bytes to exactly the given
+    width.  Raises [Invalid_argument] if the value needs more bytes. *)
+
+(** {1 Randomness}
+
+    Random values are drawn through a caller-supplied byte source so the
+    library stays agnostic of the RNG (tests use deterministic sources). *)
+
+val random_bits : (int -> string) -> int -> t
+(** [random_bits rand_bytes n] is uniform in [\[0, 2^n)]. *)
+
+val random_below : (int -> string) -> t -> t
+(** [random_below rand_bytes bound] is uniform in [\[0, bound)] by rejection
+    sampling.  Requires [bound > 0]. *)
+
+(** {1 Infix operators} *)
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( mod ) : t -> t -> t
+  val ( = ) : t -> t -> bool
+  val ( <> ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+  val ( ~- ) : t -> t
+end
+
+(** {1 Tuning} *)
+
+val karatsuba_threshold : int ref
+(** Limb count above which multiplication switches to Karatsuba.  Exposed
+    for the ablation benchmark; default 32. *)
+
+val use_montgomery : bool ref
+(** Whether {!mod_pow} may take the Montgomery (CIOS) fast path for odd
+    moduli (default [true]).  Exposed for the ablation benchmark; the
+    plain square-and-multiply-with-division route is always used for even
+    moduli and tiny exponents. *)
+
+val mod_pow_plain : t -> t -> t -> t
+(** Reference modular exponentiation (no Montgomery), exported for
+    differential testing and the ablation benchmark.  Requires a
+    non-negative base already reduced mod m and a non-negative exponent. *)
+
+val isqrt : t -> t
+(** Integer square root: the largest s with s*s <= n.  Raises
+    [Invalid_argument] on negative input. *)
+
+val is_square : t -> bool
+
+val jacobi : t -> t -> int
+(** Jacobi symbol (a/n) in {-1, 0, 1} for odd positive n; for prime n this
+    is the Legendre symbol, deciding quadratic residuosity without a
+    modular exponentiation.  Raises [Invalid_argument] when n is even or
+    non-positive. *)

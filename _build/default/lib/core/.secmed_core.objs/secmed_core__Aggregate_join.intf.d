@@ -1,0 +1,1 @@
+lib/core/aggregate_join.mli: Env Outcome

@@ -1,0 +1,1 @@
+lib/core/commutative_join.mli: Env Outcome

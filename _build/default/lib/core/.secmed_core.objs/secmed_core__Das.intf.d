@@ -1,0 +1,1 @@
+lib/core/das.mli: Das_partition Elgamal Env Hybrid Outcome Predicate Prng Relation Secmed_crypto Secmed_relalg

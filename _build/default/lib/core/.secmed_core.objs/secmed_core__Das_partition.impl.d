@@ -1,0 +1,1 @@
+lib/core/das_partition.ml: Array Bigint Float Format Hashtbl List Option Printf Random_oracle Secmed_bigint Secmed_crypto Secmed_mediation Secmed_relalg Stdlib String Value

@@ -1,0 +1,1 @@
+lib/core/das_partition.mli: Format Secmed_relalg Value

@@ -1,0 +1,1 @@
+lib/core/das_translate.ml: Das_partition List Predicate Secmed_relalg Value

@@ -1,0 +1,1 @@
+lib/core/das_translate.mli: Das_partition Predicate Secmed_relalg Value

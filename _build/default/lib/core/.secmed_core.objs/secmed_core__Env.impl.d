@@ -1,0 +1,1 @@
+lib/core/env.ml: Catalog Credential Elgamal Group List Paillier Policy Prng Relation Secmed_crypto Secmed_mediation Secmed_relalg

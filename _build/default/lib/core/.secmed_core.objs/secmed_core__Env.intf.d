@@ -1,0 +1,1 @@
+lib/core/env.mli: Catalog Credential Elgamal Group Paillier Policy Prng Relation Secmed_crypto Secmed_mediation Secmed_relalg

@@ -1,0 +1,1 @@
+lib/core/ground_truth.ml: Format Join_key List Relation Request Secmed_mediation Secmed_relalg

@@ -1,0 +1,1 @@
+lib/core/ground_truth.mli: Format Relation Request Secmed_relalg

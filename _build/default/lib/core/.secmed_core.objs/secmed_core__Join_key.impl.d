@@ -1,0 +1,1 @@
+lib/core/join_key.ml: Array Hashtbl List Relation Schema Secmed_relalg String Tuple Value

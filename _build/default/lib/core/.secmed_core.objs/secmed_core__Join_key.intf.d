@@ -1,0 +1,1 @@
+lib/core/join_key.mli: Relation Schema Secmed_relalg Tuple Value

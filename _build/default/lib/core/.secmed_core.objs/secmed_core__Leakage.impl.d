@@ -1,0 +1,1 @@
+lib/core/leakage.ml: Array Buffer Counters Format Ground_truth List Option Outcome Printf Secmed_crypto Secmed_relalg Stdlib String

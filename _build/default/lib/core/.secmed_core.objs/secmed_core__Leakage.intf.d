@@ -1,0 +1,1 @@
+lib/core/leakage.mli: Format Ground_truth Outcome

@@ -1,0 +1,1 @@
+lib/core/mobile_code.ml: Algebra Catalog Counters Env Hybrid Outcome Parser Printf Relation Request Secmed_crypto Secmed_mediation Secmed_relalg Secmed_sql String Transcript Tuple Wire

@@ -1,0 +1,1 @@
+lib/core/mobile_code.mli: Env Outcome

@@ -1,0 +1,1 @@
+lib/core/multi_join.ml: Ast Buffer Catalog Env List Option Outcome Parser Policy Predicate Printf Protocol Relation Schema Secmed_mediation Secmed_relalg Secmed_sql Stdlib String Transcript

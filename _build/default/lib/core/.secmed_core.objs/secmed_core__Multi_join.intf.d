@@ -1,0 +1,1 @@
+lib/core/multi_join.mli: Env Outcome Protocol Relation Secmed_relalg

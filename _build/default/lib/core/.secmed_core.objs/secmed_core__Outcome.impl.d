@@ -1,0 +1,1 @@
+lib/core/outcome.ml: Counters Format List Option Relation Secmed_crypto Secmed_mediation Secmed_relalg Stdlib Transcript Unix

@@ -1,0 +1,1 @@
+lib/core/outcome.mli: Counters Format Relation Secmed_crypto Secmed_mediation Secmed_relalg Transcript

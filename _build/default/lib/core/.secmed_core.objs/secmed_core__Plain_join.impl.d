@@ -1,0 +1,1 @@
+lib/core/plain_join.ml: Catalog Counters List Outcome Printf Relation Request Secmed_crypto Secmed_mediation Secmed_relalg String Transcript Tuple

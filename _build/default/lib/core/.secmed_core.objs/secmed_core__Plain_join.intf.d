@@ -1,0 +1,1 @@
+lib/core/plain_join.mli: Env Outcome

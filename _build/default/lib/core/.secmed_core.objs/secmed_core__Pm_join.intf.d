@@ -1,0 +1,1 @@
+lib/core/pm_join.mli: Env Outcome Secmed_bigint Secmed_relalg

@@ -1,0 +1,1 @@
+lib/core/pm_poly.ml: Array Bigint Counters List Paillier Prng Secmed_bigint Secmed_crypto

@@ -1,0 +1,1 @@
+lib/core/pm_poly.mli: Bigint Paillier Prng Secmed_bigint Secmed_crypto

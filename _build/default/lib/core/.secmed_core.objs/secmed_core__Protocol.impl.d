@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Commutative_join Das Das_partition Mobile_code Plain_join Pm_join Printf

@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Das Das_partition Env Outcome Pm_join

@@ -1,0 +1,1 @@
+lib/core/request.ml: Aggregate Catalog Credential Env Join_key List Parser Policy Relation Secmed_crypto Secmed_mediation Secmed_relalg Secmed_sql String Transcript

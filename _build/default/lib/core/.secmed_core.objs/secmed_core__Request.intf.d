@@ -1,0 +1,1 @@
+lib/core/request.mli: Catalog Credential Elgamal Env Join_key Relation Secmed_crypto Secmed_mediation Secmed_relalg Transcript Tuple

@@ -1,0 +1,1 @@
+lib/core/select_query.mli: Das_partition Env Outcome

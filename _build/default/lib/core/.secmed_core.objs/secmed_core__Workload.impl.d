@@ -1,0 +1,1 @@
+lib/core/workload.ml: Array Credential Env Float Hashtbl List Option Printf Prng Relation Schema Secmed_crypto Secmed_mediation Secmed_relalg Stdlib Tuple Value

@@ -1,0 +1,188 @@
+open Secmed_bigint
+open Secmed_crypto
+open Secmed_relalg
+open Secmed_mediation
+
+let group_bytes group = (group.Group.bits + 7) / 8
+
+(* Serialization of a tuple set Tup_i(a) for hybrid encryption. *)
+let encode_tuple_set tuples =
+  let w = Wire.writer () in
+  Wire.write_list w (fun t -> Wire.write_string w (Tuple.encode t)) tuples;
+  Wire.contents w
+
+let decode_tuple_set blob =
+  let r = Wire.reader blob in
+  let tuples = Wire.read_list r (fun () -> Tuple.decode (Wire.read_string r)) in
+  Wire.expect_end r;
+  tuples
+
+(* One source's step 1-3: key generation, hashing, encryption, and the
+   shuffled message set M_i. *)
+let build_messages prng group pk request which =
+  let key = Commutative.keygen prng group in
+  let messages =
+    List.map
+      (fun (a, tuples) ->
+        let hashed = Random_oracle.hash group (Join_key.encode a) in
+        (Commutative.apply key hashed, Hybrid.encrypt prng pk (encode_tuple_set tuples)))
+      (Request.groups request which)
+  in
+  let shuffled = Array.of_list messages in
+  Prng.shuffle prng shuffled;
+  (key, Array.to_list shuffled)
+
+let message_set_size group messages =
+  List.fold_left (fun acc (_, ct) -> acc + group_bytes group + Hybrid.size ct) 0 messages
+
+let run ?(use_ids = false) env client ~query =
+  let b = Outcome.Builder.create ~scheme:"commutative" in
+  let tr = Outcome.Builder.transcript b in
+  let group = env.Env.group in
+  let (result, exact, received), counters =
+    Counters.with_fresh (fun () ->
+        let request =
+          Outcome.Builder.timed b "request" (fun () -> Request.run env client ~query tr)
+        in
+        let exact = Request.exact_result env request in
+        let pk = request.Request.client_pk in
+        let source_of which =
+          match which with
+          | `Left -> request.Request.decomposition.Catalog.left.Catalog.source
+          | `Right -> request.Request.decomposition.Catalog.right.Catalog.source
+        in
+
+        (* Steps 1-3: each source builds and sends its message set M_i. *)
+        let side which =
+          let sid = source_of which in
+          let prng = Env.prng_for env (Printf.sprintf "comm-source-%d" sid) in
+          let key, messages =
+            Outcome.Builder.timed b "source-encrypt" (fun () ->
+                build_messages prng group pk request which)
+          in
+          Transcript.record tr ~sender:(Source sid) ~receiver:Mediator
+            ~label:"M_i" ~size:(message_set_size group messages);
+          (sid, key, messages)
+        in
+        let s1, key1, m1 = side `Left in
+        let s2, key2, m2 = side `Right in
+        Outcome.Builder.mediator_sees b "cardinality-domactive-R1" (List.length m1);
+        Outcome.Builder.mediator_sees b "cardinality-domactive-R2" (List.length m2);
+
+        (* Step 4: the mediator exchanges the message sets (footnote 1:
+           optionally substituting fixed-length IDs for the ciphertexts). *)
+        let outbound messages =
+          if use_ids then List.mapi (fun i (h, _) -> (h, `Id i)) messages
+          else List.map (fun (h, ct) -> (h, `Ct ct)) messages
+        in
+        let wire_size entries =
+          List.fold_left
+            (fun acc (_, payload) ->
+              acc + group_bytes group
+              + (match payload with `Id _ -> 8 | `Ct ct -> Hybrid.size ct))
+            0 entries
+        in
+        let to_s2 = outbound m1 and to_s1 = outbound m2 in
+        Transcript.record tr ~sender:Mediator ~receiver:(Source s2) ~label:"M_1"
+          ~size:(wire_size to_s2);
+        Transcript.record tr ~sender:Mediator ~receiver:(Source s1) ~label:"M_2"
+          ~size:(wire_size to_s1);
+        Outcome.Builder.source_sees b s1 "cardinality-domactive-opposite" (List.length m2);
+        Outcome.Builder.source_sees b s2 "cardinality-domactive-opposite" (List.length m1);
+
+        (* Steps 5-6: each source applies its key on top of the other's. *)
+        let double_encrypt sid key entries =
+          Outcome.Builder.timed b "source-reencrypt" (fun () ->
+              let reencrypted =
+                List.map (fun (h, payload) -> (Commutative.apply key h, payload)) entries
+              in
+              Transcript.record tr ~sender:(Source sid) ~receiver:Mediator
+                ~label:"doubly-encrypted" ~size:(wire_size reencrypted);
+              reencrypted)
+        in
+        let from_s1 = double_encrypt s1 key1 to_s1 in
+        let from_s2 = double_encrypt s2 key2 to_s2 in
+
+        (* Step 7: the mediator matches identical first components. *)
+        let matches =
+          Outcome.Builder.timed b "mediator-match" (fun () ->
+              let table = Hashtbl.create 64 in
+              List.iter
+                (fun (h, payload) -> Hashtbl.replace table (Bigint.to_string h) payload)
+                from_s2;
+              (* from_s2 carries (f_e2(f_e1(h(a))), Tup_1(a)); from_s1
+                 carries (f_e1(f_e2(h(a))), Tup_2(a)). *)
+              List.filter_map
+                (fun (h, payload2) ->
+                  match Hashtbl.find_opt table (Bigint.to_string h) with
+                  | Some payload1 -> Some (payload1, payload2)
+                  | None -> None)
+                from_s1)
+        in
+        Outcome.Builder.mediator_sees b "intersection-size" (List.length matches);
+        (* With IDs the mediator resolves them back to the ciphertexts it
+           retained; without, the ciphertexts travelled with the hashes. *)
+        let resolve_payload side_table = function
+          | `Ct ct -> ct
+          | `Id id -> Hashtbl.find side_table id
+        in
+        let ids_of messages =
+          let t = Hashtbl.create 64 in
+          List.iteri (fun i (_, ct) -> Hashtbl.replace t i ct) messages;
+          t
+        in
+        let table_m1 = ids_of m1 and table_m2 = ids_of m2 in
+        let result_messages =
+          List.map
+            (fun (payload1, payload2) ->
+              (resolve_payload table_m1 payload1, resolve_payload table_m2 payload2))
+            matches
+        in
+        let result_size =
+          List.fold_left
+            (fun acc (a, c) -> acc + Hybrid.size a + Hybrid.size c)
+            0 result_messages
+        in
+        Transcript.record tr ~sender:Mediator ~receiver:Client ~label:"result-messages"
+          ~size:result_size;
+
+        (* Step 8: the client decrypts and combines the tuple sets. *)
+        let join_attrs = Request.join_attrs request in
+        let right_schema = Relation.schema request.Request.right_result in
+        let pos_right = Join_key.positions right_schema join_attrs in
+        let keep_right =
+          Array.of_list
+            (List.filter
+               (fun i -> not (Array.exists (Int.equal i) pos_right))
+               (List.init (Schema.arity right_schema) Fun.id))
+        in
+        let joined_schema =
+          Schema.append
+            (Relation.schema request.Request.left_result)
+            (Schema.make (List.map (Schema.attr_at right_schema) (Array.to_list keep_right)))
+        in
+        let decrypt_set label ct =
+          match Hybrid.decrypt client.Env.key ct with
+          | Some blob -> decode_tuple_set blob
+          | None -> failwith ("Commutative_join: authentication failure on " ^ label)
+        in
+        let received = ref 0 in
+        let result =
+          Outcome.Builder.timed b "client-postprocess" (fun () ->
+              let joined =
+                List.concat_map
+                  (fun (ct1, ct2) ->
+                    let tup1 = decrypt_set "Tup1" ct1 and tup2 = decrypt_set "Tup2" ct2 in
+                    received := !received + (List.length tup1 * List.length tup2);
+                    List.concat_map
+                      (fun t1 ->
+                        List.map (fun t2 -> Tuple.append t1 (Tuple.project keep_right t2)) tup2)
+                      tup1)
+                  result_messages
+              in
+              Request.finalize request (Relation.make joined_schema joined))
+        in
+        Outcome.Builder.client_sees b "result-messages-received" (List.length result_messages);
+        (result, exact, !received))
+  in
+  Outcome.Builder.finish b ~result ~exact ~client_received_tuples:received ~counters

@@ -1,0 +1,259 @@
+open Secmed_bigint
+open Secmed_crypto
+open Secmed_relalg
+module Mwire = Secmed_mediation.Wire
+
+type strategy =
+  | Singleton
+  | Equi_width of int
+  | Equi_depth of int
+  | Hash_buckets of int
+
+let strategy_name = function
+  | Singleton -> "singleton"
+  | Equi_width k -> Printf.sprintf "equi-width(%d)" k
+  | Equi_depth k -> Printf.sprintf "equi-depth(%d)" k
+  | Hash_buckets k -> Printf.sprintf "hash-buckets(%d)" k
+
+type partition =
+  | Interval of int * int
+  | Value_set of Value.t list
+
+type t = {
+  relation : string;
+  attr : string;
+  entries : (partition * int) list;
+}
+
+let relation t = t.relation
+let attr t = t.attr
+let entries t = t.entries
+let partition_count t = List.length t.entries
+
+let partition_descriptor = function
+  | Interval (lo, hi) -> Printf.sprintf "interval:%d:%d" lo hi
+  | Value_set vs ->
+    "values:" ^ String.concat "\001" (List.map Value.encode vs)
+
+(* Collision-free identifier from the partition's properties; on the
+   (astronomically unlikely) collision within one table, re-salt. *)
+let assign_identifiers ~relation ~attr partitions =
+  let bound = Bigint.shift_left Bigint.one 62 in
+  let identifier salt p =
+    let input =
+      Printf.sprintf "das-index|%s|%s|%d|%s" relation attr salt (partition_descriptor p)
+    in
+    let id = Bigint.to_int (Random_oracle.hash_to_range input bound) in
+    (id, salt)
+  in
+  let seen = Hashtbl.create 16 in
+  List.map
+    (fun p ->
+      let rec fresh salt =
+        let id, _ = identifier salt p in
+        if Hashtbl.mem seen id then fresh (salt + 1)
+        else begin
+          Hashtbl.add seen id ();
+          id
+        end
+      in
+      (p, fresh 0))
+    partitions
+
+let distinct_sorted values = List.sort_uniq Value.compare values
+
+let int_values values =
+  List.map
+    (function
+      | Value.Int n -> n
+      | Value.Str _ | Value.Bool _ ->
+        invalid_arg "Das_partition: equi-width needs an integer domain")
+    values
+
+(* Split a list into k contiguous chunks whose sizes differ by at most 1. *)
+let chunk_evenly k items =
+  let n = List.length items in
+  let base = n / k and extra = n mod k in
+  let rec go i remaining =
+    if i >= k || remaining = [] then []
+    else begin
+      let size = base + (if i < extra then 1 else 0) in
+      let rec take acc count rest =
+        if count = 0 then (List.rev acc, rest)
+        else begin
+          match rest with
+          | [] -> (List.rev acc, [])
+          | x :: tail -> take (x :: acc) (count - 1) tail
+        end
+      in
+      let chunk, rest = take [] size remaining in
+      if chunk = [] then go (i + 1) rest else chunk :: go (i + 1) rest
+    end
+  in
+  go 0 items
+
+let partitions_of strategy values =
+  let distinct = distinct_sorted values in
+  if distinct = [] then []
+  else begin
+    match strategy with
+    | Singleton -> List.map (fun v -> Value_set [ v ]) distinct
+    | Equi_width k ->
+      if k <= 0 then invalid_arg "Das_partition: non-positive partition count";
+      let ints = int_values distinct in
+      let lo = List.hd ints and hi = List.nth ints (List.length ints - 1) in
+      let span = hi - lo + 1 in
+      let width = Stdlib.max 1 ((span + k - 1) / k) in
+      let rec build start =
+        if start > hi then []
+        else begin
+          let stop = Stdlib.min hi (start + width - 1) in
+          Interval (start, stop) :: build (stop + 1)
+        end
+      in
+      (* Drop intervals containing no active value (identifiers are per
+         active partition, as in the paper). *)
+      List.filter
+        (fun p ->
+          match p with
+          | Interval (a, b) -> List.exists (fun v -> v >= a && v <= b) ints
+          | Value_set _ -> true)
+        (build lo)
+    | Equi_depth k ->
+      if k <= 0 then invalid_arg "Das_partition: non-positive partition count";
+      let chunks = chunk_evenly k distinct in
+      let all_ints = List.for_all (function Value.Int _ -> true | _ -> false) distinct in
+      List.map
+        (fun chunk ->
+          if all_ints then begin
+            match (List.hd chunk, List.nth chunk (List.length chunk - 1)) with
+            | Value.Int a, Value.Int b -> Interval (a, b)
+            | _ -> assert false
+          end
+          else Value_set chunk)
+        chunks
+    | Hash_buckets k ->
+      if k <= 0 then invalid_arg "Das_partition: non-positive partition count";
+      let bound = Bigint.of_int k in
+      let buckets = Array.make k [] in
+      List.iter
+        (fun v ->
+          let b = Bigint.to_int (Random_oracle.hash_to_range ("das-bucket" ^ Value.encode v) bound) in
+          buckets.(b) <- v :: buckets.(b))
+        distinct;
+      Array.to_list buckets
+      |> List.filter_map (fun vs ->
+             match vs with [] -> None | _ :: _ -> Some (Value_set (distinct_sorted vs)))
+  end
+
+let adapt strategy values =
+  match strategy with
+  | Equi_width k
+    when List.exists (function Value.Int _ -> false | Value.Str _ | Value.Bool _ -> true) values
+    ->
+    Equi_depth k
+  | Singleton | Equi_width _ | Equi_depth _ | Hash_buckets _ -> strategy
+
+let build strategy ~relation ~attr values =
+  { relation; attr; entries = assign_identifiers ~relation ~attr (partitions_of strategy values) }
+
+let value_in_partition v = function
+  | Interval (lo, hi) ->
+    (match v with Value.Int n -> n >= lo && n <= hi | Value.Str _ | Value.Bool _ -> false)
+  | Value_set vs -> List.exists (Value.equal v) vs
+
+let index_of_opt t v =
+  List.find_map (fun (p, id) -> if value_in_partition v p then Some id else None) t.entries
+
+let index_of t v =
+  match index_of_opt t v with Some id -> id | None -> raise Not_found
+
+let overlap p1 p2 =
+  match (p1, p2) with
+  | Interval (a, b), Interval (c, d) -> a <= d && c <= b
+  | Interval _, Value_set vs -> List.exists (fun v -> value_in_partition v p1) vs
+  | Value_set vs, Interval _ -> List.exists (fun v -> value_in_partition v p2) vs
+  | Value_set xs, Value_set ys ->
+    List.exists (fun x -> List.exists (Value.equal x) ys) xs
+
+let overlapping_pairs t1 t2 =
+  List.concat_map
+    (fun (p1, i1) ->
+      List.filter_map (fun (p2, i2) -> if overlap p1 p2 then Some (i1, i2) else None) t2.entries)
+    t1.entries
+
+let disclosure_bits t values =
+  let counts = Hashtbl.create 16 in
+  let total = ref 0 in
+  List.iter
+    (fun v ->
+      match index_of_opt t v with
+      | None -> ()
+      | Some id ->
+        incr total;
+        Hashtbl.replace counts id (1 + Option.value ~default:0 (Hashtbl.find_opt counts id)))
+    values;
+  if !total = 0 then 0.0
+  else begin
+    Hashtbl.fold
+      (fun _ count acc ->
+        let p = float_of_int count /. float_of_int !total in
+        acc -. (p *. (Float.log p /. Float.log 2.0)))
+      counts 0.0
+  end
+
+let to_wire t =
+  let w = Mwire.writer () in
+  Mwire.write_string w t.relation;
+  Mwire.write_string w t.attr;
+  Mwire.write_list w
+    (fun (p, id) ->
+      (match p with
+       | Interval (lo, hi) ->
+         Mwire.write_int w 0;
+         Mwire.write_int w lo;
+         Mwire.write_int w hi
+       | Value_set vs ->
+         Mwire.write_int w 1;
+         Mwire.write_list w (fun v -> Mwire.write_string w (Value.encode v)) vs);
+      Mwire.write_int w id)
+    t.entries;
+  Mwire.contents w
+
+let of_wire blob =
+  let r = Mwire.reader blob in
+  let relation = Mwire.read_string r in
+  let attr = Mwire.read_string r in
+  let entries =
+    Mwire.read_list r (fun () ->
+        let tag = Mwire.read_int r in
+        let p =
+          match tag with
+          | 0 ->
+            let lo = Mwire.read_int r in
+            let hi = Mwire.read_int r in
+            Interval (lo, hi)
+          | 1 ->
+            let vs =
+              Mwire.read_list r (fun () -> fst (Value.decode (Mwire.read_string r) 0))
+            in
+            Value_set vs
+          | _ -> invalid_arg "Das_partition.of_wire: bad partition tag"
+        in
+        let id = Mwire.read_int r in
+        (p, id))
+  in
+  Mwire.expect_end r;
+  { relation; attr; entries }
+
+let pp fmt t =
+  Format.fprintf fmt "ITable_{%s.%s}:@." t.relation t.attr;
+  List.iter
+    (fun (p, id) ->
+      let desc =
+        match p with
+        | Interval (lo, hi) -> Printf.sprintf "[%d, %d]" lo hi
+        | Value_set vs -> "{" ^ String.concat ", " (List.map Value.to_string vs) ^ "}"
+      in
+      Format.fprintf fmt "  %-30s -> %d@." desc id)
+    t.entries

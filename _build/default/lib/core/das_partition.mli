@@ -1,0 +1,69 @@
+(** Active-domain partitioning and index tables for the DAS scheme
+    (Hacıgümüş et al., paper Section 3).
+
+    A datasource divides dom_active(A_join) into partitions and assigns
+    each a unique identifier computed with a collision-free hash over the
+    partition's description; identifiers serve as the index values A^S. *)
+
+open Secmed_relalg
+
+type strategy =
+  | Singleton
+      (** one partition per distinct value — finest indexing, maximal
+          index leakage, no false positives *)
+  | Equi_width of int
+      (** k equal-width integer intervals spanning \[min, max\] (integer
+          join attributes only) *)
+  | Equi_depth of int
+      (** k partitions of (nearly) equally many distinct values; integer
+          domains use covering intervals, other types explicit value sets *)
+  | Hash_buckets of int
+      (** k buckets by hash of the value — non-order-preserving *)
+
+val strategy_name : strategy -> string
+
+type partition =
+  | Interval of int * int      (** inclusive integer range *)
+  | Value_set of Value.t list  (** sorted distinct values *)
+
+type t
+(** An index table ITable_{R.A}: the mapping partition -> index value. *)
+
+val adapt : strategy -> Value.t list -> strategy
+(** [Equi_width] falls back to [Equi_depth] (same partition count) when
+    the domain is not purely integer; other strategies pass through. *)
+
+val build : strategy -> relation:string -> attr:string -> Value.t list -> t
+(** Builds the index table for the given active domain (any order,
+    duplicates tolerated).  Raises [Invalid_argument] for [Equi_width] on
+    non-integer domains or non-positive partition counts. *)
+
+val relation : t -> string
+val attr : t -> string
+val entries : t -> (partition * int) list
+val partition_count : t -> int
+
+val index_of : t -> Value.t -> int
+(** Index value of the partition containing the value.  Raises [Not_found]
+    when no partition covers it. *)
+
+val index_of_opt : t -> Value.t -> int option
+
+val overlap : partition -> partition -> bool
+(** p1 ∩ p2 ≠ ∅ (interval/interval on ranges, otherwise on value sets). *)
+
+val overlapping_pairs : t -> t -> (int * int) list
+(** Index-value pairs (i1, i2) of overlapping partitions — exactly the
+    disjuncts of the server condition Cond_S. *)
+
+val disclosure_bits : t -> Value.t list -> float
+(** Shannon entropy (bits) of the index-value distribution induced by the
+    given column of values: how much a tuple's index value tells the
+    mediator about its join attribute.  0 for a single partition; equals
+    the full value entropy for [Singleton]. *)
+
+val to_wire : t -> string
+val of_wire : string -> t
+(** Raises [Invalid_argument] on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,136 @@
+open Secmed_relalg
+
+let index_attr name = "idx_" ^ name
+
+(* Could any value of the partition satisfy [x cmp v]? *)
+let possibly (cmp : Predicate.comparison) v partition =
+  match partition with
+  | Das_partition.Value_set xs ->
+    List.exists
+      (fun x ->
+        let c = Value.compare x v in
+        match cmp with
+        | Predicate.Eq -> c = 0
+        | Predicate.Ne -> c <> 0
+        | Predicate.Lt -> c < 0
+        | Predicate.Le -> c <= 0
+        | Predicate.Gt -> c > 0
+        | Predicate.Ge -> c >= 0)
+      xs
+  | Das_partition.Interval (lo, hi) ->
+    (match v with
+     | Value.Int n ->
+       (match cmp with
+        | Predicate.Eq -> lo <= n && n <= hi
+        | Predicate.Ne -> not (lo = n && hi = n)
+        | Predicate.Lt -> lo < n
+        | Predicate.Le -> lo <= n
+        | Predicate.Gt -> hi > n
+        | Predicate.Ge -> hi >= n)
+     | Value.Str _ | Value.Bool _ ->
+       (* Mixed-type comparison over an integer range: stay sound. *)
+       (match cmp with Predicate.Eq -> false | _ -> true))
+
+(* Could some value of the partition lie outside [vs]? *)
+let possibly_not_in vs partition =
+  match partition with
+  | Das_partition.Value_set xs ->
+    List.exists (fun x -> not (List.exists (Value.equal x) vs)) xs
+  | Das_partition.Interval (lo, hi) ->
+    if hi - lo + 1 > List.length vs then true
+    else begin
+      let rec scan n =
+        n <= hi
+        && (not (List.exists (Value.equal (Value.Int n)) vs) || scan (n + 1))
+      in
+      scan lo
+    end
+
+let possibly_in vs partition =
+  List.exists (fun v -> possibly Predicate.Eq v partition) vs
+
+(* The index-domain condition keeping exactly the partitions of [table]
+   selected by [keep]. *)
+let keep_condition attr table keep =
+  let entries = Das_partition.entries table in
+  let kept = List.filter (fun (p, _) -> keep p) entries in
+  if List.length kept = List.length entries then Predicate.True
+  else begin
+    match kept with
+    | [] -> Predicate.False
+    | _ :: _ ->
+      Predicate.In
+        (Predicate.Attr (index_attr attr), List.map (fun (_, id) -> Value.Int id) kept)
+  end
+
+let flip_comparison : Predicate.comparison -> Predicate.comparison = function
+  | Eq -> Eq
+  | Ne -> Ne
+  | Lt -> Gt
+  | Le -> Ge
+  | Gt -> Lt
+  | Ge -> Le
+
+let negate_comparison : Predicate.comparison -> Predicate.comparison = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+
+let translate ~tables predicate =
+  (* [go positive p] is a sound server condition for p (or for ¬p when
+     [positive] is false); negation is pushed inward. *)
+  let atom_cmp positive cmp attr v =
+    let cmp = if positive then cmp else negate_comparison cmp in
+    match tables attr with
+    | None -> Predicate.True
+    | Some table ->
+      (match cmp with
+       | Predicate.Ne ->
+         keep_condition attr table (fun p -> possibly_not_in [ v ] p)
+       | Predicate.Eq | Predicate.Lt | Predicate.Le | Predicate.Gt | Predicate.Ge ->
+         keep_condition attr table (possibly cmp v))
+  in
+  let rec go positive p =
+    match p with
+    | Predicate.True -> if positive then Predicate.True else Predicate.False
+    | Predicate.False -> if positive then Predicate.False else Predicate.True
+    | Predicate.Not inner -> go (not positive) inner
+    | Predicate.And (a, b) ->
+      if positive then Predicate.And (go true a, go true b)
+      else Predicate.Or (go false a, go false b)
+    | Predicate.Or (a, b) ->
+      if positive then Predicate.Or (go true a, go true b)
+      else Predicate.And (go false a, go false b)
+    | Predicate.Cmp (cmp, Predicate.Attr a, Predicate.Const v) -> atom_cmp positive cmp a v
+    | Predicate.Cmp (cmp, Predicate.Const v, Predicate.Attr a) ->
+      atom_cmp positive (flip_comparison cmp) a v
+    | Predicate.Cmp (cmp, Predicate.Const x, Predicate.Const y) ->
+      let holds =
+        let c = Value.compare x y in
+        match cmp with
+        | Predicate.Eq -> c = 0
+        | Predicate.Ne -> c <> 0
+        | Predicate.Lt -> c < 0
+        | Predicate.Le -> c <= 0
+        | Predicate.Gt -> c > 0
+        | Predicate.Ge -> c >= 0
+      in
+      if holds = positive then Predicate.True else Predicate.False
+    | Predicate.Cmp (_, Predicate.Attr _, Predicate.Attr _) ->
+      (* Attribute-to-attribute comparisons cannot be decided from
+         per-attribute indexes; keep everything. *)
+      Predicate.True
+    | Predicate.In (Predicate.Attr a, vs) ->
+      (match tables a with
+       | None -> Predicate.True
+       | Some table ->
+         if positive then keep_condition a table (possibly_in vs)
+         else keep_condition a table (possibly_not_in vs))
+    | Predicate.In (Predicate.Const v, vs) ->
+      let holds = List.exists (Value.equal v) vs in
+      if holds = positive then Predicate.True else Predicate.False
+  in
+  go true predicate

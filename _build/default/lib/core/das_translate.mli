@@ -1,0 +1,33 @@
+(** DAS condition translation: the query-splitting heart of the
+    database-as-a-service model (Hacıgümüş et al., the basis of the
+    paper's Section 3).
+
+    Given index tables for the attributes of a relation, a plaintext
+    selection condition p is mapped to a *server condition* p^S over the
+    index attributes such that every tuple satisfying p lands in a
+    partition whose index satisfies p^S (soundness: the server result is a
+    superset).  The client re-applies p after decryption.
+
+    Translation rules: atoms over one attribute keep exactly the
+    partitions that *possibly* contain a satisfying value; conjunction and
+    disjunction translate structurally; negation is pushed to the atoms
+    first (De Morgan), where it flips the comparison. *)
+
+open Secmed_relalg
+
+val index_attr : string -> string
+(** Name of the index attribute for a plaintext attribute: ["idx_a"]. *)
+
+val translate :
+  tables:(string -> Das_partition.t option) ->
+  Predicate.t ->
+  Predicate.t
+(** Server condition over the index attributes.  Attributes without an
+    index table, attribute-to-attribute comparisons and other
+    untranslatable atoms become [True] (sound: never drops a match).
+    Raises [Invalid_argument] on predicates that cannot be normalized
+    (none currently). *)
+
+val possibly : Predicate.comparison -> Value.t -> Das_partition.partition -> bool
+(** Whether some value of the partition may satisfy [cmp _ value]
+    (exposed for tests). *)

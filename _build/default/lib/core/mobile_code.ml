@@ -1,0 +1,75 @@
+open Secmed_crypto
+open Secmed_relalg
+open Secmed_sql
+open Secmed_mediation
+
+let encode_relation relation =
+  let w = Wire.writer () in
+  Wire.write_list w (fun t -> Wire.write_string w (Tuple.encode t)) (Relation.tuples relation);
+  Wire.contents w
+
+let decode_tuples blob =
+  let r = Wire.reader blob in
+  let tuples = Wire.read_list r (fun () -> Tuple.decode (Wire.read_string r)) in
+  Wire.expect_end r;
+  tuples
+
+let run env client ~query =
+  let b = Outcome.Builder.create ~scheme:"mobile-code" in
+  let tr = Outcome.Builder.transcript b in
+  let (result, exact, received), counters =
+    Counters.with_fresh (fun () ->
+        let request =
+          Outcome.Builder.timed b "request" (fun () -> Request.run env client ~query tr)
+        in
+        let exact = Request.exact_result env request in
+        let pk = request.Request.client_pk in
+        let encrypt_side which (entry : Catalog.entry) relation =
+          let prng = Env.prng_for env (Printf.sprintf "mc-source-%d" entry.Catalog.source) in
+          Outcome.Builder.timed b "source-encrypt" (fun () ->
+              let ct = Hybrid.encrypt prng pk (encode_relation relation) in
+              Transcript.record tr ~sender:(Source entry.Catalog.source) ~receiver:Mediator
+                ~label:(Printf.sprintf "encrypted-R%d" which)
+                ~size:(Hybrid.size ct);
+              ct)
+        in
+        let ct1 =
+          encrypt_side 1 request.Request.decomposition.Catalog.left request.Request.left_result
+        in
+        let ct2 =
+          encrypt_side 2 request.Request.decomposition.Catalog.right
+            request.Request.right_result
+        in
+        (* The mediator ships the partial results plus the mobile join
+           program (the rendered algebra tree). *)
+        let program = Algebra.to_string (Algebra.of_query (Parser.parse query)) in
+        Transcript.record tr ~sender:Mediator ~receiver:Client ~label:"encrypted-partials+code"
+          ~size:(Hybrid.size ct1 + Hybrid.size ct2 + String.length program);
+        Outcome.Builder.mediator_sees b "ciphertext-bytes-R1" (Hybrid.size ct1);
+        Outcome.Builder.mediator_sees b "ciphertext-bytes-R2" (Hybrid.size ct2);
+
+        (* The client executes the code: decrypt, then join locally. *)
+        let decrypt label ct =
+          match Hybrid.decrypt client.Env.key ct with
+          | Some blob -> decode_tuples blob
+          | None -> failwith ("Mobile_code: authentication failure on " ^ label)
+        in
+        let result =
+          Outcome.Builder.timed b "client-postprocess" (fun () ->
+              let left =
+                Relation.make (Relation.schema request.Request.left_result) (decrypt "R1" ct1)
+              in
+              let right =
+                Relation.make (Relation.schema request.Request.right_result) (decrypt "R2" ct2)
+              in
+              Outcome.Builder.client_sees b "tuples-received"
+                (Relation.cardinality left + Relation.cardinality right);
+              Request.finalize request (Relation.natural_join left right))
+        in
+        let received =
+          Relation.cardinality request.Request.left_result
+          + Relation.cardinality request.Request.right_result
+        in
+        (result, exact, received))
+  in
+  Outcome.Builder.finish b ~result ~exact ~client_received_tuples:received ~counters

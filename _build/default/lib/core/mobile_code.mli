@@ -1,0 +1,11 @@
+(** The prior-work baseline ([4]: "Secure mediation with mobile code").
+
+    The datasources hybrid-encrypt their complete partial results; the
+    mediator cannot combine them and instead forwards everything to the
+    client together with an executable join program (here: the rendered
+    algebra tree standing in for the mobile code).  The client decrypts
+    both partial results and computes the join locally.  Functionally
+    correct, but the client receives both full partial results — exactly
+    the disclosure the paper's three protocols improve on. *)
+
+val run : Env.t -> Env.client -> query:string -> Outcome.t

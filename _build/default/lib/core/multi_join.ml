@@ -1,0 +1,167 @@
+open Secmed_relalg
+open Secmed_sql
+open Secmed_mediation
+
+type stage = {
+  stage_query : string;
+  outcome : Outcome.t;
+}
+
+type t = {
+  result : Relation.t;
+  exact : Relation.t;
+  stages : stage list;
+  total_messages : int;
+  total_bytes : int;
+}
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+let correct t =
+  Relation.equal_contents t.result t.exact
+  && List.for_all (fun s -> Outcome.correct s.outcome) t.stages
+
+(* Render the final round's query with the residual clauses attached. *)
+let render_query ~distinct ~select ~where left right =
+  let buffer = Buffer.create 64 in
+  Buffer.add_string buffer "select ";
+  if distinct then Buffer.add_string buffer "distinct ";
+  (match select with
+   | None -> Buffer.add_string buffer "*"
+   | Some columns -> Buffer.add_string buffer (String.concat ", " columns));
+  Buffer.add_string buffer (Printf.sprintf " from %s natural join %s" left right);
+  (match where with
+   | None -> ()
+   | Some clause -> Buffer.add_string buffer (" where " ^ clause));
+  Buffer.contents buffer
+
+let check_unqualified_column col =
+  match col.Ast.qualifier with
+  | None -> col.Ast.name
+  | Some _ ->
+    unsupported
+      "qualified column %s: successive joins rename intermediate results, use bare names"
+      (Ast.column_name col)
+
+let rec render_expr = function
+  | Ast.E_bool b -> string_of_bool b
+  | Ast.E_cmp (op, a, b) ->
+    let op_string : Predicate.comparison -> string = function
+      | Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+    in
+    Printf.sprintf "%s %s %s" (render_operand a) (op_string op) (render_operand b)
+  | Ast.E_and (a, b) -> Printf.sprintf "(%s and %s)" (render_expr a) (render_expr b)
+  | Ast.E_or (a, b) -> Printf.sprintf "(%s or %s)" (render_expr a) (render_expr b)
+  | Ast.E_not a -> Printf.sprintf "not %s" (render_expr a)
+  | Ast.E_in (x, ls) ->
+    Printf.sprintf "%s in (%s)" (render_operand x)
+      (String.concat ", " (List.map render_literal ls))
+
+and render_operand = function
+  | Ast.Col col -> check_unqualified_column col
+  | Ast.Lit l -> render_literal l
+
+and render_literal = function
+  | Ast.L_int n -> string_of_int n
+  | Ast.L_str s -> "'" ^ String.concat "''" (String.split_on_char '\'' s) ^ "'"
+  | Ast.L_bool b -> string_of_bool b
+
+(* The virtual datasource holding the client's intermediate result. *)
+let intermediate_entry env name relation =
+  let schema = Schema.unqualify (Relation.schema relation) in
+  (* Unqualifying must not collide. *)
+  let _ = Schema.make (Schema.attrs schema) in
+  let source_id =
+    1 + List.fold_left (fun acc s -> Stdlib.max acc s.Env.source_id) 0 env.Env.sources
+  in
+  let entry =
+    { Catalog.relation = name; source = source_id; schema; source_relation = name }
+  in
+  let source =
+    {
+      Env.source_id;
+      relations = [ (name, Relation.make schema (Relation.tuples relation)) ];
+      policy = Policy.open_policy;
+      advertised = [];
+    }
+  in
+  (entry, source)
+
+let run ?(scheme = Protocol.Commutative { use_ids = false }) env client ~query =
+  let ast = Parser.parse query in
+  let tables =
+    ast.Ast.from.Ast.table
+    :: List.map
+         (fun (kind, table) ->
+           match kind with
+           | Ast.J_natural -> table.Ast.table
+           | Ast.J_on _ ->
+             unsupported "successive joins support NATURAL JOIN chains only")
+         ast.Ast.joins
+  in
+  (match tables with
+   | [] | [ _ ] -> unsupported "query has no JOIN"
+   | _ :: _ -> ());
+  (* Validate the residual clauses eagerly so failures precede any round. *)
+  let select =
+    Option.map
+      (List.map (function
+        | Ast.S_column c -> check_unqualified_column c
+        | Ast.S_aggregate _ ->
+          unsupported "aggregates are not supported in successive joins"))
+      ast.Ast.select
+  in
+  if ast.Ast.group_by <> [] then unsupported "GROUP BY is not supported in successive joins";
+  let where = Option.map render_expr ast.Ast.where in
+  let rec rounds stage_index current_name current_intermediate remaining acc =
+    match remaining with
+    | [] -> List.rev acc
+    | next_table :: rest ->
+      let is_last = rest = [] in
+      let stage_env =
+        match current_intermediate with
+        | None -> env
+        | Some relation ->
+          let entry, source = intermediate_entry env current_name relation in
+          let next_entry =
+            try Catalog.locate env.Env.catalog next_table
+            with Not_found -> unsupported "unknown relation %s" next_table
+          in
+          {
+            env with
+            Env.catalog = Catalog.make [ entry; next_entry ];
+            sources = source :: env.Env.sources;
+          }
+      in
+      let stage_query =
+        if is_last then
+          render_query ~distinct:ast.Ast.distinct ~select ~where current_name next_table
+        else render_query ~distinct:false ~select:None ~where:None current_name next_table
+      in
+      let outcome = Protocol.run scheme stage_env client ~query:stage_query in
+      let stage = { stage_query; outcome } in
+      let next_name = Printf.sprintf "I%d" (stage_index + 1) in
+      rounds (stage_index + 1) next_name (Some outcome.Outcome.result) rest (stage :: acc)
+  in
+  let stages = rounds 0 (List.hd tables) None (List.tl tables) [] in
+  let last = List.nth stages (List.length stages - 1) in
+  let result = last.outcome.Outcome.result in
+  (* The chained reference: each round's [exact] is computed from the
+     previous round's actual output, so the final round's reference is the
+     trusted answer for the whole chain provided every round was exact. *)
+  let exact = last.outcome.Outcome.exact in
+  {
+    result;
+    exact;
+    stages;
+    total_messages =
+      List.fold_left
+        (fun acc s -> acc + Transcript.message_count s.outcome.Outcome.transcript)
+        0 stages;
+    total_bytes =
+      List.fold_left
+        (fun acc s -> acc + Transcript.total_bytes s.outcome.Outcome.transcript)
+        0 stages;
+  }

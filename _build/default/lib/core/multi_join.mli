@@ -1,0 +1,45 @@
+(** Successive joins over more than two datasources (paper Section 8:
+    "in a mediator hierarchy one mediator can act as a datasource for
+    other mediators.  Therefore, the case in which several join queries
+    are executed successively has to be considered").
+
+    A query joining n relations is executed as a left-deep chain of n-1
+    two-party delivery rounds.  After each round the client holds the
+    decrypted intermediate result and plays the role of a datasource for
+    the next round (the hierarchical layer, with the client standing in
+    for the intermediate mediator — see DESIGN.md); the other datasource
+    of each round is the real source of the next relation, with its
+    access-control policy enforced as usual.
+
+    Restrictions: the chain must consist of NATURAL JOINs; any WHERE /
+    projection / DISTINCT clauses must use unqualified attribute names
+    (they are applied after the final round); intermediate results must
+    have unique bare attribute names. *)
+
+open Secmed_relalg
+
+type stage = {
+  stage_query : string;     (** the two-relation query of this round *)
+  outcome : Outcome.t;
+}
+
+type t = {
+  result : Relation.t;      (** final global result at the client *)
+  exact : Relation.t;       (** trusted-mediator reference for the chain *)
+  stages : stage list;      (** in execution order *)
+  total_messages : int;
+  total_bytes : int;
+}
+
+val correct : t -> bool
+
+exception Unsupported of string
+
+val run :
+  ?scheme:Protocol.scheme ->
+  Env.t ->
+  Env.client ->
+  query:string ->
+  t
+(** Default scheme: the commutative protocol (the paper's recommendation).
+    A query with a single join degenerates to one ordinary round. *)

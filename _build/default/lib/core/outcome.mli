@@ -1,0 +1,55 @@
+(** Result of one end-to-end protocol run: the global result the client
+    obtained, plus everything the evaluation harness needs — transcript,
+    per-party derived observations (for Table 1), primitive counts (for
+    Table 2) and per-phase timings. *)
+
+open Secmed_crypto
+open Secmed_relalg
+open Secmed_mediation
+
+type t = {
+  scheme : string;
+  result : Relation.t;             (** global result as obtained by the client *)
+  exact : Relation.t;              (** trusted-mediator reference result *)
+  transcript : Transcript.t;
+  mediator_observed : (string * int) list;
+      (** quantities the mediator could derive from what it handled *)
+  client_observed : (string * int) list;
+  sources_observed : (int * (string * int) list) list;
+  client_received_tuples : int;
+      (** source tuples the client could decrypt (DAS: the superset) *)
+  counters : (Counters.primitive * int) list;
+  timings : (string * float) list; (** phase -> seconds, in execution order *)
+}
+
+val correct : t -> bool
+(** Whether the protocol's result equals the reference result. *)
+
+val superset_factor : t -> float
+(** client_received_tuples / source tuples in the exact join (>= 1 for a
+    correct protocol with a non-empty result; 1 = minimal disclosure). *)
+
+val observed : (string * int) list -> string -> int option
+val timing_total : t -> float
+val pp_summary : Format.formatter -> t -> unit
+
+(** Mutable builder used by the protocol implementations. *)
+module Builder : sig
+  type builder
+
+  val create : scheme:string -> builder
+  val transcript : builder -> Transcript.t
+  val mediator_sees : builder -> string -> int -> unit
+  val client_sees : builder -> string -> int -> unit
+  val source_sees : builder -> int -> string -> int -> unit
+  val timed : builder -> string -> (unit -> 'a) -> 'a
+  (** Accumulates wall-clock time under the phase name (summing repeats). *)
+
+  val finish :
+    builder ->
+    result:Relation.t ->
+    exact:Relation.t ->
+    client_received_tuples:int ->
+    counters:(Counters.primitive * int) list ->
+    t
+end

@@ -1,0 +1,6 @@
+(** Non-private reference pipeline: the sources ship plaintext partial
+    results and the (trusted) mediator joins them — Figure 1's basic
+    mediated system.  Used as the correctness oracle and the no-crypto
+    baseline in benchmarks. *)
+
+val run : Env.t -> Env.client -> query:string -> Outcome.t

@@ -1,0 +1,265 @@
+open Secmed_bigint
+open Secmed_crypto
+open Secmed_relalg
+open Secmed_mediation
+
+type variant =
+  | Direct_payload
+  | Session_keys
+
+let variant_name = function
+  | Direct_payload -> "direct-payload"
+  | Session_keys -> "session-keys"
+
+(* Join values are injected into Z_n through a deterministic 128-bit
+   encoding (the paper uses the values directly; hashing makes the
+   encoding type-uniform and width-bounded — see DESIGN.md).  Both the
+   polynomial roots and the evaluation points use this encoding, and the
+   16 bytes double as the "a_k" prefix of the packed plaintext the client
+   matches on. *)
+let root_bytes key = String.sub (Sha256.digest ("pm-root" ^ Join_key.encode key)) 0 16
+
+let root_of_key key = Bigint.of_bytes_be (root_bytes key)
+
+let root_of_value v = root_of_key (Join_key.of_values [ v ])
+
+let encode_tuple_set tuples =
+  let w = Wire.writer () in
+  Wire.write_list w (fun t -> Wire.write_string w (Tuple.encode t)) tuples;
+  Wire.contents w
+
+let decode_tuple_set blob =
+  let r = Wire.reader blob in
+  let tuples = Wire.read_list r (fun () -> Tuple.decode (Wire.read_string r)) in
+  Wire.expect_end r;
+  tuples
+
+let ciphertext_bytes pk = (Bigint.numbits pk.Paillier.n_squared + 7) / 8
+
+let be64 v = String.init 8 (fun i -> Char.chr ((v lsr ((7 - i) * 8)) land 0xff))
+
+let read_be64 s off =
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code s.[off + i]
+  done;
+  !v
+
+(* What one source's pass produces: the e-values plus (session-key
+   variant) an ID table of DEM-encrypted tuple sets. *)
+type side_output = {
+  e_values : Paillier.ciphertext list;
+  id_table : (int * string) list;
+  id_table_bytes : int;
+}
+
+(* Steps 5/6 of Listing 4: for each own value a, homomorphically evaluate
+   the opposite polynomial at a, mask with fresh randomness and add the
+   packed (a ‖ payload). *)
+let evaluate_side ~variant ~prng ~pk ~opp_coeffs ~request ~which ~next_id =
+  let id_entries = ref [] in
+  let e_values =
+    List.map
+      (fun (a, tuples) ->
+        let payload =
+          match variant with
+          | Direct_payload -> encode_tuple_set tuples
+          | Session_keys ->
+            let key = Hybrid.random_session_key prng in
+            let id = !next_id in
+            next_id := id + 1;
+            id_entries :=
+              (id, Hybrid.dem_encrypt prng ~key (encode_tuple_set tuples)) :: !id_entries;
+            key ^ be64 id
+        in
+        let packed = root_bytes a ^ payload in
+        let message =
+          try Paillier.encode_bytes pk packed
+          with Invalid_argument _ ->
+            invalid_arg
+              (Printf.sprintf
+                 "Pm_join: Tup_i(%s) needs %d plaintext bytes but the Paillier key holds %d; \
+                  use the Session_keys variant or a larger key"
+                 (Join_key.to_string a) (String.length packed)
+                 (Paillier.max_plaintext_bytes pk))
+        in
+        let evaluated = Pm_poly.eval_encrypted pk opp_coeffs (root_of_key a) in
+        Pm_poly.mask_and_add prng pk evaluated ~payload:message)
+      (Request.groups request which)
+  in
+  let id_table = List.rev !id_entries in
+  let id_table_bytes =
+    List.fold_left (fun acc (_, blob) -> acc + 8 + String.length blob) 0 id_table
+  in
+  { e_values; id_table; id_table_bytes }
+
+(* The client's view of one decrypted e-value. *)
+type decrypted_entry = {
+  root : string;       (* 16 bytes *)
+  entry_payload : string;
+}
+
+let decrypt_entries sk e_values =
+  let pk = Paillier.public sk in
+  List.filter_map
+    (fun c ->
+      match Paillier.decode_bytes pk (Paillier.decrypt sk c) with
+      | Some packed when String.length packed >= 16 ->
+        Some
+          {
+            root = String.sub packed 0 16;
+            entry_payload = String.sub packed 16 (String.length packed - 16);
+          }
+      | Some _ | None -> None)
+    e_values
+
+let recover_tuples ~variant ~id_lookup entry =
+  match variant with
+  | Direct_payload -> (try Some (decode_tuple_set entry.entry_payload) with Invalid_argument _ -> None)
+  | Session_keys ->
+    if String.length entry.entry_payload <> 24 then None
+    else begin
+      let key = String.sub entry.entry_payload 0 16 in
+      let id = read_be64 entry.entry_payload 16 in
+      match id_lookup id with
+      | None -> None
+      | Some blob ->
+        (match Hybrid.dem_decrypt ~key blob with
+         | Some set -> (try Some (decode_tuple_set set) with Invalid_argument _ -> None)
+         | None -> None)
+    end
+
+let run ?(variant = Session_keys) env client ~query =
+  let b = Outcome.Builder.create ~scheme:("pm-" ^ variant_name variant) in
+  let tr = Outcome.Builder.transcript b in
+  let (result, exact, received), counters =
+    Counters.with_fresh (fun () ->
+        let request =
+          Outcome.Builder.timed b "request" (fun () -> Request.run env client ~query tr)
+        in
+        let exact = Request.exact_result env request in
+        let pk = Paillier.public client.Env.paillier_key in
+        let n_bytes = (Bigint.numbits pk.Paillier.n + 7) / 8 in
+        let ct_bytes = ciphertext_bytes pk in
+        let s1 = request.Request.decomposition.Catalog.left.Catalog.source in
+        let s2 = request.Request.decomposition.Catalog.right.Catalog.source in
+
+        (* Step 1: the client's homomorphic public key is distributed with
+           its credentials (we account for it explicitly). *)
+        Transcript.record tr ~sender:Client ~receiver:Mediator ~label:"homomorphic-pk"
+          ~size:n_bytes;
+        Transcript.record tr ~sender:Mediator ~receiver:(Source s1) ~label:"homomorphic-pk"
+          ~size:n_bytes;
+        Transcript.record tr ~sender:Mediator ~receiver:(Source s2) ~label:"homomorphic-pk"
+          ~size:n_bytes;
+
+        (* Steps 2/3: each source builds its polynomial from its active
+           domain and sends the encrypted coefficients to the mediator. *)
+        let prng1 = Env.prng_for env (Printf.sprintf "pm-source-%d" s1) in
+        let prng2 = Env.prng_for env (Printf.sprintf "pm-source-%d" s2) in
+        let build_poly which prng sid =
+          Outcome.Builder.timed b "source-polynomial" (fun () ->
+              let roots = List.map root_of_key (Request.join_attr_values request which) in
+              let poly = Pm_poly.from_roots ~modulus:pk.Paillier.n roots in
+              let coeffs = Pm_poly.encrypt prng pk poly in
+              Transcript.record tr ~sender:(Source sid) ~receiver:Mediator
+                ~label:"encrypted-coefficients"
+                ~size:(ct_bytes * List.length coeffs);
+              coeffs)
+        in
+        let coeffs1 = build_poly `Left prng1 s1 in
+        let coeffs2 = build_poly `Right prng2 s2 in
+        (* The coefficient count reveals the polynomial degree, i.e. the
+           size of the active domain, to the mediator (and to the opposite
+           source after forwarding). *)
+        Outcome.Builder.mediator_sees b "cardinality-domactive-R1"
+          (List.length coeffs1 - 1);
+        Outcome.Builder.mediator_sees b "cardinality-domactive-R2"
+          (List.length coeffs2 - 1);
+
+        (* Step 4: the mediator forwards the encrypted coefficients. *)
+        Transcript.record tr ~sender:Mediator ~receiver:(Source s2)
+          ~label:"encrypted-coefficients-P1" ~size:(ct_bytes * List.length coeffs1);
+        Transcript.record tr ~sender:Mediator ~receiver:(Source s1)
+          ~label:"encrypted-coefficients-P2" ~size:(ct_bytes * List.length coeffs2);
+        Outcome.Builder.source_sees b s1 "degree-opposite-polynomial"
+          (List.length coeffs2 - 1);
+        Outcome.Builder.source_sees b s2 "degree-opposite-polynomial"
+          (List.length coeffs1 - 1);
+
+        (* Steps 5/6: each source evaluates the opposite polynomial at its
+           own values and returns the masked e-values. *)
+        let next_id = ref 0 in
+        let eval_side which prng sid opp_coeffs =
+          Outcome.Builder.timed b "source-evaluate" (fun () ->
+              let output =
+                evaluate_side ~variant ~prng ~pk ~opp_coeffs ~request ~which ~next_id
+              in
+              Transcript.record tr ~sender:(Source sid) ~receiver:Mediator ~label:"e-values"
+                ~size:((ct_bytes * List.length output.e_values) + output.id_table_bytes);
+              output)
+        in
+        let out1 = eval_side `Left prng1 s1 coeffs2 in
+        let out2 = eval_side `Right prng2 s2 coeffs1 in
+
+        (* Step 7: the mediator sends the n+m encrypted values (and, in the
+           session-key variant, the ID tables) to the client. *)
+        let total_e = List.length out1.e_values + List.length out2.e_values in
+        Transcript.record tr ~sender:Mediator ~receiver:Client ~label:"e-values"
+          ~size:((ct_bytes * total_e) + out1.id_table_bytes + out2.id_table_bytes);
+        Outcome.Builder.client_sees b "ciphertexts-received" total_e;
+
+        (* Step 8: the client decrypts everything and keeps the matches. *)
+        let received = ref 0 in
+        let result =
+          Outcome.Builder.timed b "client-postprocess" (fun () ->
+              let entries1 = decrypt_entries client.Env.paillier_key out1.e_values in
+              let entries2 = decrypt_entries client.Env.paillier_key out2.e_values in
+              Outcome.Builder.client_sees b "well-formed-decryptions"
+                (List.length entries1 + List.length entries2);
+              let id_lookup table id = List.assoc_opt id table in
+              let by_root =
+                List.fold_left
+                  (fun acc e -> (e.root, e) :: acc)
+                  [] entries2
+              in
+              let join_attrs = Request.join_attrs request in
+              let right_schema = Relation.schema request.Request.right_result in
+              let pos_right = Join_key.positions right_schema join_attrs in
+              let keep_right =
+                Array.of_list
+                  (List.filter
+                     (fun i -> not (Array.exists (Int.equal i) pos_right))
+                     (List.init (Schema.arity right_schema) Fun.id))
+              in
+              let joined_schema =
+                Schema.append
+                  (Relation.schema request.Request.left_result)
+                  (Schema.make
+                     (List.map (Schema.attr_at right_schema) (Array.to_list keep_right)))
+              in
+              let joined =
+                List.concat_map
+                  (fun e1 ->
+                    match List.assoc_opt e1.root by_root with
+                    | None -> []
+                    | Some e2 ->
+                      let tup1 = recover_tuples ~variant ~id_lookup:(id_lookup out1.id_table) e1 in
+                      let tup2 = recover_tuples ~variant ~id_lookup:(id_lookup out2.id_table) e2 in
+                      (match (tup1, tup2) with
+                       | Some tup1, Some tup2 ->
+                         received := !received + (List.length tup1 * List.length tup2);
+                         List.concat_map
+                           (fun t1 ->
+                             List.map
+                               (fun t2 -> Tuple.append t1 (Tuple.project keep_right t2))
+                               tup2)
+                           tup1
+                       | None, _ | _, None -> []))
+                  entries1
+              in
+              Request.finalize request (Relation.make joined_schema joined))
+        in
+        (result, exact, !received))
+  in
+  Outcome.Builder.finish b ~result ~exact ~client_received_tuples:received ~counters

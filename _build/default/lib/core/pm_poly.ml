@@ -1,0 +1,59 @@
+open Secmed_bigint
+open Secmed_crypto
+
+type t = { modulus : Bigint.t; coeffs : Bigint.t array }
+(* coeffs.(k) is c_k; invariant: length >= 1, all in [0, modulus). *)
+
+let of_coefficients ~modulus coeffs =
+  if coeffs = [] then invalid_arg "Pm_poly.of_coefficients: empty";
+  { modulus; coeffs = Array.of_list (List.map (fun c -> Bigint.emod c modulus) coeffs) }
+
+let from_roots ~modulus roots =
+  (* Multiply (a - x) factors incrementally: if P has coefficients c, then
+     (a - x) * P has coefficients a*c_k - c_{k-1}. *)
+  let multiply_by_factor coeffs a =
+    let d = Array.length coeffs in
+    Array.init (d + 1) (fun k ->
+        let scaled = if k < d then Bigint.mul a coeffs.(k) else Bigint.zero in
+        let shifted = if k > 0 then coeffs.(k - 1) else Bigint.zero in
+        Bigint.emod (Bigint.sub scaled shifted) modulus)
+  in
+  let coeffs = List.fold_left multiply_by_factor [| Bigint.one |] roots in
+  { modulus; coeffs }
+
+let coefficients p = Array.to_list p.coeffs
+let degree p = Array.length p.coeffs - 1
+
+let eval p x =
+  let x = Bigint.emod x p.modulus in
+  Array.fold_right
+    (fun c acc -> Bigint.emod (Bigint.add (Bigint.mul acc x) c) p.modulus)
+    p.coeffs Bigint.zero
+
+let encrypt prng pk p = List.map (Paillier.encrypt prng pk) (coefficients p)
+
+let eval_encrypted pk encrypted_coeffs x =
+  match List.rev encrypted_coeffs with
+  | [] -> invalid_arg "Pm_poly.eval_encrypted: empty coefficient list"
+  | highest :: rest ->
+    List.fold_left
+      (fun acc c -> Paillier.add pk (Paillier.scalar_mul pk x acc) c)
+      highest rest
+
+let eval_encrypted_naive prng pk encrypted_coeffs x =
+  let zero = Paillier.encrypt prng pk Bigint.zero in
+  let acc, _ =
+    List.fold_left
+      (fun (acc, x_pow) c ->
+        let term = Paillier.scalar_mul pk x_pow c in
+        (Paillier.add pk acc term, Bigint.emod (Bigint.mul x_pow x) pk.Paillier.n))
+      (zero, Bigint.one) encrypted_coeffs
+  in
+  acc
+
+let mask_and_add prng pk evaluated ~payload =
+  Counters.bump Counters.Random_number;
+  let r =
+    Bigint.succ (Bigint.random_below (Prng.byte_source prng) (Bigint.pred pk.Paillier.n))
+  in
+  Paillier.add pk (Paillier.scalar_mul pk r evaluated) (Paillier.encrypt prng pk payload)

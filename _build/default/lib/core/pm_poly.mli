@@ -1,0 +1,47 @@
+(** Polynomials over Z_n for the private-matching protocol (Freedman,
+    Nissim, Pinkas; paper Section 5).
+
+    A datasource builds P(x) = (a_1 - x)(a_2 - x)...(a_d - x) whose roots
+    are its input values, and the opposite side evaluates the encryption of
+    P at its own values using only the encrypted coefficients. *)
+
+open Secmed_bigint
+open Secmed_crypto
+
+type t
+(** Coefficients c_0..c_d, least-significant first, all reduced mod n. *)
+
+val of_coefficients : modulus:Bigint.t -> Bigint.t list -> t
+(** Raises [Invalid_argument] on an empty list. *)
+
+val from_roots : modulus:Bigint.t -> Bigint.t list -> t
+(** P(x) = Π (a_i - x) mod n; for no roots, the constant polynomial 1. *)
+
+val coefficients : t -> Bigint.t list
+val degree : t -> int
+
+val eval : t -> Bigint.t -> Bigint.t
+(** Horner evaluation mod n (plaintext reference). *)
+
+val encrypt : Prng.t -> Paillier.public_key -> t -> Paillier.ciphertext list
+(** E(c_0)..E(c_d): what the source transmits. *)
+
+val eval_encrypted :
+  Paillier.public_key -> Paillier.ciphertext list -> Bigint.t -> Paillier.ciphertext
+(** Homomorphic Horner: E(P(a)) from the encrypted coefficients and a
+    plaintext point, using only ⊞ and ⊠.  Raises [Invalid_argument] on an
+    empty coefficient list. *)
+
+val eval_encrypted_naive :
+  Prng.t -> Paillier.public_key -> Paillier.ciphertext list -> Bigint.t -> Paillier.ciphertext
+(** Reference term-by-term evaluation Σ E(c_k)^(a^k) (the pre-Horner
+    method; kept for the ablation benchmark). *)
+
+val mask_and_add :
+  Prng.t ->
+  Paillier.public_key ->
+  Paillier.ciphertext ->
+  payload:Bigint.t ->
+  Paillier.ciphertext
+(** E(r·P(a) + payload) for a fresh uniform r — Equation (1) of the paper
+    with the payload in place of a0l. *)

@@ -1,0 +1,44 @@
+type scheme =
+  | Das of Das_partition.strategy * Das.server_eval
+  | Commutative of { use_ids : bool }
+  | Private_matching of Pm_join.variant
+  | Mobile_code
+  | Plain
+
+let default_das = Das (Das_partition.Equi_depth 4, Das.Pair_index)
+
+let all_schemes =
+  [ default_das; Commutative { use_ids = false }; Private_matching Pm_join.Session_keys;
+    Mobile_code; Plain ]
+
+let paper_schemes =
+  [ default_das; Commutative { use_ids = false }; Private_matching Pm_join.Session_keys ]
+
+let scheme_name = function
+  | Das (strategy, eval) ->
+    let eval_tag = match eval with Das.Pair_index -> "" | Das.Nested_loop -> "/nested-loop" in
+    Printf.sprintf "das[%s%s]" (Das_partition.strategy_name strategy) eval_tag
+  | Commutative { use_ids } -> if use_ids then "commutative[ids]" else "commutative"
+  | Private_matching v -> "pm[" ^ Pm_join.variant_name v ^ "]"
+  | Mobile_code -> "mobile-code"
+  | Plain -> "plain"
+
+let scheme_of_name = function
+  | "das" -> Some default_das
+  | "das-singleton" -> Some (Das (Das_partition.Singleton, Das.Pair_index))
+  | "das-nested-loop" -> Some (Das (Das_partition.Equi_depth 4, Das.Nested_loop))
+  | "commutative" -> Some (Commutative { use_ids = false })
+  | "commutative-ids" -> Some (Commutative { use_ids = true })
+  | "pm" -> Some (Private_matching Pm_join.Session_keys)
+  | "pm-direct" -> Some (Private_matching Pm_join.Direct_payload)
+  | "mobile-code" -> Some Mobile_code
+  | "plain" -> Some Plain
+  | _ -> None
+
+let run scheme env client ~query =
+  match scheme with
+  | Das (strategy, server_eval) -> Das.run ~strategy ~server_eval env client ~query
+  | Commutative { use_ids } -> Commutative_join.run ~use_ids env client ~query
+  | Private_matching variant -> Pm_join.run ~variant env client ~query
+  | Mobile_code -> Mobile_code.run env client ~query
+  | Plain -> Plain_join.run env client ~query

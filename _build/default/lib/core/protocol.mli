@@ -1,0 +1,24 @@
+(** Uniform entry point over the three delivery protocols and the two
+    baselines. *)
+
+type scheme =
+  | Das of Das_partition.strategy * Das.server_eval
+  | Commutative of { use_ids : bool }
+  | Private_matching of Pm_join.variant
+  | Mobile_code
+  | Plain
+
+val all_schemes : scheme list
+(** One representative configuration of each protocol/baseline. *)
+
+val paper_schemes : scheme list
+(** The paper's three protocols (DAS, commutative, PM) in default
+    configurations. *)
+
+val scheme_name : scheme -> string
+val scheme_of_name : string -> scheme option
+(** Accepts the names produced by {!scheme_name} plus the variants
+    ["pm-direct"], ["commutative-ids"], ["das-singleton"],
+    ["das-nested-loop"]. *)
+
+val run : scheme -> Env.t -> Env.client -> query:string -> Outcome.t

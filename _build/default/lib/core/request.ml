@@ -1,0 +1,139 @@
+open Secmed_relalg
+open Secmed_sql
+open Secmed_mediation
+
+exception Access_denied of int
+exception Bad_credential of int
+
+type t = {
+  decomposition : Catalog.decomposition;
+  client_pk : Secmed_crypto.Elgamal.public_key;
+  left_result : Relation.t;
+  right_result : Relation.t;
+  credentials_left : Credential.t list;
+  credentials_right : Credential.t list;
+}
+
+let credential_size credentials =
+  List.fold_left (fun acc c -> acc + Credential.size c) 0 credentials
+
+(* The mediator forwards the credential subset relevant to a source: those
+   carrying at least one property key the source advertises (all of them
+   when the source advertises nothing). *)
+let select_credentials (source : Env.source) credentials =
+  match source.Env.advertised with
+  | [] -> credentials
+  | keys ->
+    List.filter
+      (fun c ->
+        List.exists
+          (fun p -> List.exists (String.equal p.Credential.key) keys)
+          (Credential.properties c))
+      credentials
+
+let authorize env transcript source_id entry credentials =
+  let source = Env.source_by_id env source_id in
+  (* Step 4: S_i checks the credentials. *)
+  List.iter
+    (fun c ->
+      if not (Credential.Authority.verify env.Env.ca c) then
+        raise (Bad_credential source_id))
+    credentials;
+  if credentials = [] then raise (Access_denied source_id);
+  let relation =
+    match List.assoc_opt entry.Catalog.source_relation source.Env.relations with
+    | Some r -> r
+    | None -> raise (Access_denied source_id)
+  in
+  let properties = List.concat_map Credential.properties credentials in
+  match Policy.apply source.Env.policy properties relation with
+  | None -> raise (Access_denied source_id)
+  | Some granted ->
+    ignore transcript;
+    Relation.rename entry.Catalog.relation granted
+
+let run env (client : Env.client) ~query transcript =
+  (* Step 1: client -> mediator: the query and the credential set CR. *)
+  Transcript.record transcript ~sender:Client ~receiver:Mediator ~label:"global-query"
+    ~size:(String.length query + credential_size client.Env.credentials);
+  (* Step 2: the mediator decomposes q and localizes the sources. *)
+  let ast = Parser.parse query in
+  let decomposition = Catalog.decompose env.Env.catalog ast in
+  let left_entry = decomposition.Catalog.left
+  and right_entry = decomposition.Catalog.right in
+  let send_partial entry partial_query =
+    let source = Env.source_by_id env entry.Catalog.source in
+    let credentials = select_credentials source client.Env.credentials in
+    let attrs_bytes =
+      List.fold_left
+        (fun acc a -> acc + String.length a)
+        0 decomposition.Catalog.join_attrs
+    in
+    Transcript.record transcript ~sender:Mediator ~receiver:(Source entry.Catalog.source)
+      ~label:"partial-query"
+      ~size:(String.length partial_query + credential_size credentials + attrs_bytes);
+    credentials
+  in
+  (* Step 3: mediator -> S_i : <q_i, CR_i, A_i>. *)
+  let credentials_left = send_partial left_entry decomposition.Catalog.partial_query_left in
+  let credentials_right =
+    send_partial right_entry decomposition.Catalog.partial_query_right
+  in
+  (* Step 4 at each source. *)
+  let left_result = authorize env transcript left_entry.Catalog.source left_entry credentials_left in
+  let right_result =
+    authorize env transcript right_entry.Catalog.source right_entry credentials_right
+  in
+  let client_pk =
+    match credentials_left with
+    | c :: _ -> Credential.public_key c
+    | [] -> raise (Access_denied left_entry.Catalog.source)
+  in
+  {
+    decomposition;
+    client_pk;
+    left_result;
+    right_result;
+    credentials_left;
+    credentials_right;
+  }
+
+let finalize t joined =
+  let with_where =
+    match t.decomposition.Catalog.residual_where with
+    | None -> joined
+    | Some predicate -> Relation.select predicate joined
+  in
+  let with_aggregation =
+    match t.decomposition.Catalog.aggregation with
+    | None -> with_where
+    | Some (specs, keys) -> Aggregate.group_by with_where ~keys ~specs
+  in
+  let with_projection =
+    match t.decomposition.Catalog.projection with
+    | None -> with_aggregation
+    | Some columns -> Relation.project columns with_aggregation
+  in
+  if t.decomposition.Catalog.distinct then Relation.distinct with_projection
+  else with_projection
+
+let exact_result _env t =
+  finalize t (Relation.natural_join t.left_result t.right_result)
+
+let side t = function
+  | `Left -> t.left_result
+  | `Right -> t.right_result
+
+let join_attrs t = t.decomposition.Catalog.join_attrs
+
+let join_attr_values t which =
+  Join_key.distinct_keys (side t which) (join_attrs t)
+
+let groups t which = Join_key.group_by (side t which) (join_attrs t)
+
+let tup t which a =
+  let relation = side t which in
+  let positions = Join_key.positions (Relation.schema relation) (join_attrs t) in
+  List.filter
+    (fun tuple -> Join_key.equal (Join_key.of_tuple positions tuple) a)
+    (Relation.tuples relation)

@@ -1,0 +1,150 @@
+open Secmed_crypto
+open Secmed_relalg
+open Secmed_mediation
+
+type value_kind = Ints | Strings
+
+type spec = {
+  rows_left : int;
+  rows_right : int;
+  distinct_left : int;
+  distinct_right : int;
+  overlap : int;
+  extra_attrs : int;
+  value_kind : value_kind;
+  skew : float;
+  seed : int;
+}
+
+let default =
+  {
+    rows_left = 32;
+    rows_right = 32;
+    distinct_left = 16;
+    distinct_right = 16;
+    overlap = 8;
+    extra_attrs = 2;
+    value_kind = Ints;
+    skew = 0.0;
+    seed = 7;
+  }
+
+let validate spec =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  if spec.distinct_left <= 0 || spec.distinct_right <= 0 then
+    fail "Workload: distinct counts must be positive";
+  if spec.overlap < 0 || spec.overlap > Stdlib.min spec.distinct_left spec.distinct_right
+  then fail "Workload: overlap must be within both distinct counts";
+  if spec.rows_left < spec.distinct_left || spec.rows_right < spec.distinct_right then
+    fail "Workload: need at least as many rows as distinct values";
+  if spec.extra_attrs < 0 then fail "Workload: negative attribute count";
+  if spec.skew < 0.0 then fail "Workload: negative skew"
+
+(* Distinct universe values: overlap shared ones first, then the
+   side-exclusive remainders. *)
+let universe prng spec =
+  let total = spec.distinct_left + spec.distinct_right - spec.overlap in
+  let values =
+    match spec.value_kind with
+    | Ints ->
+      let seen = Hashtbl.create (2 * total) in
+      let rec draw () =
+        let v = Prng.uniform_int prng (Stdlib.max 1 (20 * total)) in
+        if Hashtbl.mem seen v then draw ()
+        else begin
+          Hashtbl.add seen v ();
+          Value.Int v
+        end
+      in
+      Array.init total (fun _ -> draw ())
+    | Strings ->
+      Array.init total (fun i ->
+          Value.Str (Printf.sprintf "key-%04d-%s" i (Secmed_crypto.Bytes_util.to_hex (Prng.bytes prng 3))))
+  in
+  let shared = Array.sub values 0 spec.overlap in
+  let left_only = Array.sub values spec.overlap (spec.distinct_left - spec.overlap) in
+  let right_only =
+    Array.sub values spec.distinct_left (spec.distinct_right - spec.overlap)
+  in
+  (Array.append shared left_only, Array.append shared right_only)
+
+(* Zipf sampler over ranks 1..n: P(k) proportional to k^-s (inverse-CDF via
+   linear scan of the cumulative weights; n is small). *)
+let zipf_pick prng skew actives =
+  if skew <= 0.0 then Prng.pick prng actives
+  else begin
+    let n = Array.length actives in
+    let weights = Array.init n (fun k -> Float.pow (float_of_int (k + 1)) (-.skew)) in
+    let total = Array.fold_left ( +. ) 0.0 weights in
+    let u = float_of_int (Prng.uniform_int prng 1_000_000) /. 1_000_000.0 *. total in
+    let rec scan k acc =
+      if k >= n - 1 then actives.(n - 1)
+      else begin
+        let acc = acc +. weights.(k) in
+        if u < acc then actives.(k) else scan (k + 1) acc
+      end
+    in
+    scan 0 0.0
+  end
+
+let build_relation prng ~name ~prefix ~actives ~rows ~extra_attrs ~skew =
+  let attrs =
+    Schema.attr "a_join" (Value.ty_of actives.(0))
+    :: List.init extra_attrs (fun i ->
+           Schema.attr (Printf.sprintf "%s%d" prefix i) Value.Tint)
+  in
+  let schema = Schema.make attrs in
+  let row join_value =
+    Tuple.of_list
+      (join_value :: List.init extra_attrs (fun _ -> Value.Int (Prng.uniform_int prng 1000)))
+  in
+  let covered = Array.to_list (Array.map row actives) in
+  let filler =
+    List.init (rows - Array.length actives) (fun _ -> row (zipf_pick prng skew actives))
+  in
+  let tuples = Array.of_list (covered @ filler) in
+  Prng.shuffle prng tuples;
+  ignore name;
+  Relation.make schema (Array.to_list tuples)
+
+let generate spec =
+  validate spec;
+  let prng = Prng.create ~seed:(Printf.sprintf "workload-%d" spec.seed) in
+  let left_actives, right_actives = universe prng spec in
+  let left =
+    build_relation (Prng.split prng "left") ~name:"R1" ~prefix:"l" ~actives:left_actives
+      ~rows:spec.rows_left ~extra_attrs:spec.extra_attrs ~skew:spec.skew
+  in
+  let right =
+    build_relation (Prng.split prng "right") ~name:"R2" ~prefix:"r" ~actives:right_actives
+      ~rows:spec.rows_right ~extra_attrs:spec.extra_attrs ~skew:spec.skew
+  in
+  (left, right)
+
+let scenario ?params spec =
+  let left, right = generate spec in
+  let env = Env.two_source ?params ~seed:spec.seed ~left:("R1", left) ~right:("R2", right) () in
+  let client =
+    Env.make_client env ~identity:"alice"
+      ~properties:[ [ Credential.property "role" "analyst" ] ]
+  in
+  (env, client, "select * from R1 natural join R2")
+
+let expected_join_size left right ~join_attr =
+  let count relation =
+    let idx = Schema.find (Relation.schema relation) join_attr in
+    let counts = Hashtbl.create 32 in
+    List.iter
+      (fun t ->
+        let key = Value.encode (Tuple.get t idx) in
+        Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+      (Relation.tuples relation);
+    counts
+  in
+  let left_counts = count left and right_counts = count right in
+  Hashtbl.fold
+    (fun key n acc ->
+      match Hashtbl.find_opt right_counts key with
+      | Some m -> acc + (n * m)
+      | None -> acc)
+    left_counts 0

@@ -1,0 +1,44 @@
+(** Synthetic workload generation (deterministic from a seed).
+
+    Produces the two-source join workloads of the evaluation: relations
+    R1(a_join, l_0, ..) and R2(a_join, r_0, ..) with controlled active
+    domain sizes, overlap and rows per value. *)
+
+open Secmed_relalg
+
+type value_kind = Ints | Strings
+
+type spec = {
+  rows_left : int;
+  rows_right : int;
+  distinct_left : int;   (** |dom_active(R1.a_join)| *)
+  distinct_right : int;
+  overlap : int;         (** |dom_active(R1) ∩ dom_active(R2)| *)
+  extra_attrs : int;     (** non-join attributes per relation *)
+  value_kind : value_kind;
+  skew : float;
+      (** Zipf exponent for the join-value frequency distribution of the
+          filler rows; 0.0 = uniform (the default), ~1.0 = heavily skewed
+          toward a few hot keys *)
+  seed : int;
+}
+
+val default : spec
+(** 32/32 rows, 16/16 distinct, overlap 8, 2 extra attributes, ints. *)
+
+val validate : spec -> unit
+(** Raises [Invalid_argument] on inconsistent parameters (e.g. overlap
+    larger than a side's distinct count, or fewer rows than distinct
+    values). *)
+
+val generate : spec -> Relation.t * Relation.t
+(** Every active value appears in at least one row; remaining rows draw
+    join values uniformly from the active set. *)
+
+val scenario :
+  ?params:Env.params -> spec -> Env.t * Env.client * string
+(** Environment + client (single all-access credential) + the canonical
+    query ["select * from R1 natural join R2"] over the generated data. *)
+
+val expected_join_size : Relation.t -> Relation.t -> join_attr:string -> int
+(** Reference count of joined pairs (for sanity checks in benches). *)

@@ -1,0 +1,1 @@
+lib/crypto/commutative.ml: Bigint Counters Group Secmed_bigint

@@ -1,0 +1,1 @@
+lib/crypto/commutative.mli: Bigint Group Prng Secmed_bigint

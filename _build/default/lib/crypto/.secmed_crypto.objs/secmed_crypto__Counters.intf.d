@@ -1,0 +1,1 @@
+lib/crypto/counters.mli:

@@ -1,0 +1,1 @@
+lib/crypto/elgamal.ml: Bigint Bytes_util Group Secmed_bigint Sha256 String

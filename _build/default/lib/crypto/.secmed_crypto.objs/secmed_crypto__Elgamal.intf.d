@@ -1,0 +1,1 @@
+lib/crypto/elgamal.mli: Bigint Group Prng Secmed_bigint

@@ -1,0 +1,1 @@
+lib/crypto/group.ml: Bigint Hashtbl Primes Printf Prng Secmed_bigint

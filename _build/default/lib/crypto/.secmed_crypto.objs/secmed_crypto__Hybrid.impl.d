@@ -1,0 +1,1 @@
+lib/crypto/hybrid.ml: Aes Bigint Bytes_util Counters Elgamal Group Hmac Prng Secmed_bigint Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/hybrid.mli: Elgamal Prng

@@ -1,0 +1,1 @@
+lib/crypto/paillier.ml: Bigint Char Counters Primes Prng Secmed_bigint String

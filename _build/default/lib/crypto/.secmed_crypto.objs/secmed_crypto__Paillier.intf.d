@@ -1,0 +1,1 @@
+lib/crypto/paillier.mli: Bigint Prng Secmed_bigint

@@ -1,0 +1,1 @@
+lib/crypto/primes.ml: Array Bigint List Prng Secmed_bigint

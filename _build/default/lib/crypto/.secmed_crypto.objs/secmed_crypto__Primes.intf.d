@@ -1,0 +1,1 @@
+lib/crypto/primes.mli: Bigint Prng Secmed_bigint

@@ -1,0 +1,1 @@
+lib/crypto/prng.ml: Array Buffer Bytes_util Char Printf Sha256 Stdlib String

@@ -1,0 +1,1 @@
+lib/crypto/random_oracle.ml: Bigint Buffer Bytes_util Counters Group Secmed_bigint Sha256 String

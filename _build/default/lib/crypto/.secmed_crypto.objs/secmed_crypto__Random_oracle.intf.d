@@ -1,0 +1,1 @@
+lib/crypto/random_oracle.mli: Bigint Group Secmed_bigint

@@ -1,0 +1,168 @@
+(* AES-128.  GF(2^8) arithmetic modulo x^8+x^4+x^3+x+1 (0x11b); the S-box
+   is computed from field inverses and the FIPS affine transform. *)
+
+let xtime b =
+  let b2 = b lsl 1 in
+  if b land 0x80 <> 0 then (b2 lxor 0x1b) land 0xff else b2
+
+let gf_mul a b =
+  let acc = ref 0 and a = ref a and b = ref b in
+  while !b <> 0 do
+    if !b land 1 = 1 then acc := !acc lxor !a;
+    a := xtime !a;
+    b := !b lsr 1
+  done;
+  !acc
+
+(* Discrete log tables over the generator 3. *)
+let alog = Array.make 256 0
+let log_ = Array.make 256 0
+
+let () =
+  let v = ref 1 in
+  for i = 0 to 254 do
+    alog.(i) <- !v;
+    log_.(!v) <- i;
+    v := gf_mul !v 3
+  done;
+  alog.(255) <- 1
+
+let gf_inv b = if b = 0 then 0 else alog.((255 - log_.(b)) mod 255)
+
+let rotl8 b n = ((b lsl n) lor (b lsr (8 - n))) land 0xff
+
+let sbox =
+  Array.init 256 (fun b ->
+      let s = gf_inv b in
+      s lxor rotl8 s 1 lxor rotl8 s 2 lxor rotl8 s 3 lxor rotl8 s 4 lxor 0x63)
+
+let inv_sbox =
+  let t = Array.make 256 0 in
+  Array.iteri (fun i s -> t.(s) <- i) sbox;
+  t
+
+let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 |]
+
+type key = int array array (* 11 round keys, 16 bytes each *)
+
+let expand_key key_bytes =
+  if String.length key_bytes <> 16 then invalid_arg "Aes.expand_key: need 16 bytes";
+  (* Words w.(0..43); round key r uses words 4r..4r+3. *)
+  let w = Array.make 44 [| 0; 0; 0; 0 |] in
+  for i = 0 to 3 do
+    w.(i) <- Array.init 4 (fun j -> Char.code key_bytes.[(4 * i) + j])
+  done;
+  for i = 4 to 43 do
+    let prev = w.(i - 1) in
+    let temp =
+      if i mod 4 = 0 then begin
+        let rot = [| prev.(1); prev.(2); prev.(3); prev.(0) |] in
+        let sub = Array.map (fun b -> sbox.(b)) rot in
+        [| sub.(0) lxor rcon.((i / 4) - 1); sub.(1); sub.(2); sub.(3) |]
+      end
+      else prev
+    in
+    w.(i) <- Array.init 4 (fun j -> w.(i - 4).(j) lxor temp.(j))
+  done;
+  Array.init 11 (fun r -> Array.init 16 (fun b -> w.((4 * r) + (b / 4)).(b mod 4)))
+
+(* The state is kept as 16 bytes in column order: state.(4*c + r). *)
+
+let add_round_key state rk =
+  for i = 0 to 15 do
+    state.(i) <- state.(i) lxor rk.(i)
+  done
+
+let sub_bytes box state =
+  for i = 0 to 15 do
+    state.(i) <- box.(state.(i))
+  done
+
+let shift_rows state =
+  let copy = Array.copy state in
+  for c = 0 to 3 do
+    for r = 0 to 3 do
+      state.((4 * c) + r) <- copy.((4 * ((c + r) mod 4)) + r)
+    done
+  done
+
+let inv_shift_rows state =
+  let copy = Array.copy state in
+  for c = 0 to 3 do
+    for r = 0 to 3 do
+      state.((4 * ((c + r) mod 4)) + r) <- copy.((4 * c) + r)
+    done
+  done
+
+let mix_column state c mat =
+  let base = 4 * c in
+  let col = Array.init 4 (fun r -> state.(base + r)) in
+  for r = 0 to 3 do
+    let v = ref 0 in
+    for i = 0 to 3 do
+      v := !v lxor gf_mul mat.((4 * r) + i) col.(i)
+    done;
+    state.(base + r) <- !v
+  done
+
+let mix_matrix = [| 2; 3; 1; 1; 1; 2; 3; 1; 1; 1; 2; 3; 3; 1; 1; 2 |]
+let inv_mix_matrix = [| 14; 11; 13; 9; 9; 14; 11; 13; 13; 9; 14; 11; 11; 13; 9; 14 |]
+
+let mix_columns state mat =
+  for c = 0 to 3 do
+    mix_column state c mat
+  done
+
+let state_of_block block =
+  Array.init 16 (fun i -> Char.code block.[i])
+
+let block_of_state state =
+  String.init 16 (fun i -> Char.chr state.(i))
+
+let encrypt_block rks block =
+  if String.length block <> 16 then invalid_arg "Aes.encrypt_block: need 16 bytes";
+  let state = state_of_block block in
+  add_round_key state rks.(0);
+  for round = 1 to 9 do
+    sub_bytes sbox state;
+    shift_rows state;
+    mix_columns state mix_matrix;
+    add_round_key state rks.(round)
+  done;
+  sub_bytes sbox state;
+  shift_rows state;
+  add_round_key state rks.(10);
+  block_of_state state
+
+let decrypt_block rks block =
+  if String.length block <> 16 then invalid_arg "Aes.decrypt_block: need 16 bytes";
+  let state = state_of_block block in
+  add_round_key state rks.(10);
+  inv_shift_rows state;
+  sub_bytes inv_sbox state;
+  for round = 9 downto 1 do
+    add_round_key state rks.(round);
+    mix_columns state inv_mix_matrix;
+    inv_shift_rows state;
+    sub_bytes inv_sbox state
+  done;
+  add_round_key state rks.(0);
+  block_of_state state
+
+let ctr_transform ~key ~nonce msg =
+  if String.length nonce <> 12 then invalid_arg "Aes.ctr_transform: need 12 nonce bytes";
+  let rks = expand_key key in
+  let len = String.length msg in
+  let out = Bytes.create len in
+  let nblocks = (len + 15) / 16 in
+  for b = 0 to nblocks - 1 do
+    let counter_block = nonce ^ Bytes_util.be32 b in
+    let keystream = encrypt_block rks counter_block in
+    let off = 16 * b in
+    let n = Stdlib.min 16 (len - off) in
+    for i = 0 to n - 1 do
+      Bytes.set out (off + i)
+        (Char.chr (Char.code msg.[off + i] lxor Char.code keystream.[i]))
+    done
+  done;
+  Bytes.to_string out

@@ -1,0 +1,63 @@
+let hex_digits = "0123456789abcdef"
+
+let to_hex s =
+  String.init
+    (2 * String.length s)
+    (fun i ->
+      let byte = Char.code s.[i / 2] in
+      let nibble = if i mod 2 = 0 then byte lsr 4 else byte land 0xf in
+      hex_digits.[nibble])
+
+let nibble_of_char c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg (Printf.sprintf "Bytes_util.of_hex: bad character %C" c)
+
+let of_hex s =
+  let len = String.length s in
+  if len mod 2 <> 0 then invalid_arg "Bytes_util.of_hex: odd length";
+  String.init (len / 2) (fun i ->
+      Char.chr ((nibble_of_char s.[2 * i] lsl 4) lor nibble_of_char s.[(2 * i) + 1]))
+
+let xor a b =
+  if String.length a <> String.length b then invalid_arg "Bytes_util.xor: length mismatch";
+  String.init (String.length a) (fun i -> Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+let constant_time_equal a b =
+  if String.length a <> String.length b then false
+  else begin
+    let diff = ref 0 in
+    for i = 0 to String.length a - 1 do
+      diff := !diff lor (Char.code a.[i] lxor Char.code b.[i])
+    done;
+    !diff = 0
+  end
+
+let be32 v =
+  String.init 4 (fun i -> Char.chr ((v lsr ((3 - i) * 8)) land 0xff))
+
+let le32 v =
+  String.init 4 (fun i -> Char.chr ((v lsr (i * 8)) land 0xff))
+
+let le64 v =
+  String.init 8 (fun i -> Char.chr ((v lsr (i * 8)) land 0xff))
+
+let read_be32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let chunks size s =
+  if size <= 0 then invalid_arg "Bytes_util.chunks: non-positive size";
+  let len = String.length s in
+  let rec go off acc =
+    if off >= len then List.rev acc
+    else begin
+      let n = Stdlib.min size (len - off) in
+      go (off + n) (String.sub s off n :: acc)
+    end
+  in
+  go 0 []

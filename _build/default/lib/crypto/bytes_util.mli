@@ -1,0 +1,23 @@
+(** Small byte-string helpers shared by the crypto modules. *)
+
+val to_hex : string -> string
+val of_hex : string -> string
+(** Raises [Invalid_argument] on odd length or non-hex characters. *)
+
+val xor : string -> string -> string
+(** Pointwise xor; raises [Invalid_argument] on length mismatch. *)
+
+val constant_time_equal : string -> string -> bool
+(** Length-then-accumulated-difference comparison (no early exit on content). *)
+
+val be32 : int -> string
+(** 4-byte big-endian encoding of the low 32 bits. *)
+
+val le32 : int -> string
+val le64 : int -> string
+
+val read_be32 : string -> int -> int
+(** Big-endian 32-bit read at the given offset. *)
+
+val chunks : int -> string -> string list
+(** Split into pieces of the given size (last may be shorter). *)

@@ -1,0 +1,24 @@
+open Secmed_bigint
+
+type key = { group : Group.t; e : Bigint.t; d : Bigint.t }
+
+let keygen prng group =
+  let e = Group.random_exponent prng group in
+  let d =
+    match Bigint.mod_inverse e group.Group.q with
+    | Some d -> d
+    | None -> assert false (* q prime and 1 <= e < q *)
+  in
+  { group; e; d }
+
+let key_exponent key = key.e
+
+let apply key x =
+  Counters.bump Counters.Commutative_encrypt;
+  Bigint.mod_pow x key.e key.group.Group.p
+
+let unapply key y =
+  Counters.bump Counters.Commutative_decrypt;
+  Bigint.mod_pow y key.d key.group.Group.p
+
+let group key = key.group

@@ -1,0 +1,26 @@
+(** Commutative encryption over QR_p (Pohlig–Hellman / SRA exponentiation),
+    as used by Agrawal et al. and Section 4 of the paper.
+
+    f_e(x) = x^e mod p on the subgroup QR_p of a safe prime p = 2q + 1.
+    The four defining properties hold: commutativity (powers commute),
+    bijectivity and polynomial-time invertibility (e is invertible mod q),
+    and indistinguishability under DDH. *)
+
+open Secmed_bigint
+
+type key
+
+val keygen : Prng.t -> Group.t -> key
+(** Uniform exponent in [\[1, q)] (every such exponent is invertible since
+    q is prime). *)
+
+val key_exponent : key -> Bigint.t
+(** Exposed for white-box tests. *)
+
+val apply : key -> Bigint.t -> Bigint.t
+(** f_e.  The argument must be an element of QR_p. *)
+
+val unapply : key -> Bigint.t -> Bigint.t
+(** f_e^{-1}; [unapply k (apply k x) = x]. *)
+
+val group : key -> Group.t

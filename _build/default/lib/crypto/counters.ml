@@ -1,0 +1,69 @@
+type primitive =
+  | Hash
+  | Ideal_hash
+  | Hybrid_encrypt
+  | Hybrid_decrypt
+  | Commutative_encrypt
+  | Commutative_decrypt
+  | Homomorphic_encrypt
+  | Homomorphic_decrypt
+  | Homomorphic_add
+  | Homomorphic_scalar
+  | Random_number
+
+let all =
+  [ Hash; Ideal_hash; Hybrid_encrypt; Hybrid_decrypt; Commutative_encrypt;
+    Commutative_decrypt; Homomorphic_encrypt; Homomorphic_decrypt;
+    Homomorphic_add; Homomorphic_scalar; Random_number ]
+
+let name = function
+  | Hash -> "hash"
+  | Ideal_hash -> "ideal-hash"
+  | Hybrid_encrypt -> "hybrid-encrypt"
+  | Hybrid_decrypt -> "hybrid-decrypt"
+  | Commutative_encrypt -> "commutative-encrypt"
+  | Commutative_decrypt -> "commutative-decrypt"
+  | Homomorphic_encrypt -> "homomorphic-encrypt"
+  | Homomorphic_decrypt -> "homomorphic-decrypt"
+  | Homomorphic_add -> "homomorphic-add"
+  | Homomorphic_scalar -> "homomorphic-scalar"
+  | Random_number -> "random-number"
+
+let index = function
+  | Hash -> 0
+  | Ideal_hash -> 1
+  | Hybrid_encrypt -> 2
+  | Hybrid_decrypt -> 3
+  | Commutative_encrypt -> 4
+  | Commutative_decrypt -> 5
+  | Homomorphic_encrypt -> 6
+  | Homomorphic_decrypt -> 7
+  | Homomorphic_add -> 8
+  | Homomorphic_scalar -> 9
+  | Random_number -> 10
+
+let table = Array.make (List.length all) 0
+
+let bump_by p n = table.(index p) <- table.(index p) + n
+let bump p = bump_by p 1
+
+let reset () = Array.fill table 0 (Array.length table) 0
+
+let count p = table.(index p)
+
+let snapshot () = List.map (fun p -> (p, count p)) all
+
+let used () = List.filter (fun p -> count p > 0) all
+
+let with_fresh f =
+  let saved = Array.copy table in
+  reset ();
+  let restore () = Array.blit saved 0 table 0 (Array.length table) in
+  match f () with
+  | result ->
+    let counts = snapshot () in
+    restore ();
+    (result, counts)
+  | exception e ->
+    restore ();
+    raise e

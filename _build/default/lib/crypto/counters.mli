@@ -1,0 +1,37 @@
+(** Instrumentation of cryptographic primitive invocations.
+
+    Every primitive the protocols use reports here, so that Table 2 of the
+    paper ("applied cryptographic primitives") can be regenerated from
+    actual executions rather than asserted. *)
+
+type primitive =
+  | Hash                  (** collision-free hash (SHA-256 in index tables) *)
+  | Ideal_hash            (** random-oracle hash into the commutative domain *)
+  | Hybrid_encrypt        (** the paper's [encrypt] *)
+  | Hybrid_decrypt        (** the paper's [decrypt] *)
+  | Commutative_encrypt   (** one application of f_e *)
+  | Commutative_decrypt
+  | Homomorphic_encrypt   (** Paillier encryption *)
+  | Homomorphic_decrypt
+  | Homomorphic_add       (** ciphertext-ciphertext addition *)
+  | Homomorphic_scalar    (** ciphertext-constant multiplication *)
+  | Random_number         (** fresh masking randomness (the PM r values) *)
+
+val all : primitive list
+val name : primitive -> string
+
+val bump : primitive -> unit
+val bump_by : primitive -> int -> unit
+val reset : unit -> unit
+
+val count : primitive -> int
+
+val snapshot : unit -> (primitive * int) list
+(** Counts for every primitive, in {!all} order (zeros included). *)
+
+val used : unit -> primitive list
+(** Primitives with a non-zero count since the last {!reset}. *)
+
+val with_fresh : (unit -> 'a) -> 'a * (primitive * int) list
+(** Runs the thunk with counters reset, returning its result and the counts
+    it accumulated; restores the previous counts afterwards. *)

@@ -1,0 +1,51 @@
+open Secmed_bigint
+
+type public_key = { group : Group.t; y : Bigint.t }
+type private_key = { public : public_key; x : Bigint.t }
+
+let keygen prng group =
+  let x = Group.random_exponent prng group in
+  let y = Group.element_of_exponent group x in
+  { public = { group; y }; x }
+
+let public key = key.public
+
+type ciphertext = { c1 : Bigint.t; c2 : Bigint.t }
+
+let encrypt prng pk m =
+  let group = pk.group in
+  let r = Group.random_exponent prng group in
+  let c1 = Group.element_of_exponent group r in
+  let c2 = Bigint.emod (Bigint.mul m (Bigint.mod_pow pk.y r group.p)) group.p in
+  { c1; c2 }
+
+let decrypt sk { c1; c2 } =
+  let group = sk.public.group in
+  (* m = c2 * c1^{-x} = c2 * c1^{q - x mod q} in the prime-order subgroup. *)
+  let shared = Bigint.mod_pow c1 sk.x group.p in
+  match Bigint.mod_inverse shared group.p with
+  | Some inv -> Bigint.emod (Bigint.mul c2 inv) group.p
+  | None -> invalid_arg "Elgamal.decrypt: degenerate ciphertext"
+
+let secret_of_element group m =
+  Sha256.digest ("secmed-kem" ^ Bigint.to_bytes_be group.Group.p ^ Bigint.to_bytes_be m)
+
+let encapsulate prng pk =
+  let group = pk.group in
+  (* A random QR_p element: g^t for uniform t. *)
+  let t = Group.random_exponent prng group in
+  let m = Group.element_of_exponent group t in
+  (encrypt prng pk m, secret_of_element group m)
+
+let decapsulate sk ct =
+  let m = decrypt sk ct in
+  secret_of_element sk.public.group m
+
+let fingerprint pk =
+  let raw =
+    Sha256.digest
+      (Bigint.to_bytes_be pk.group.Group.p
+      ^ "|" ^ Bigint.to_bytes_be pk.group.Group.g
+      ^ "|" ^ Bigint.to_bytes_be pk.y)
+  in
+  Bytes_util.to_hex (String.sub raw 0 8)

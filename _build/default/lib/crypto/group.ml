@@ -1,0 +1,36 @@
+open Secmed_bigint
+
+type t = { p : Bigint.t; q : Bigint.t; g : Bigint.t; bits : int }
+
+let generate prng ~bits =
+  let p = Primes.gen_safe_prime prng ~bits in
+  let q = Bigint.shift_right (Bigint.pred p) 1 in
+  (* Squaring a random element lands in QR_p; QR_p has prime order q, so
+     any non-identity element generates it. *)
+  let rec find_generator () =
+    let h = Bigint.add Bigint.two (Bigint.random_below (Prng.byte_source prng) (Bigint.sub p (Bigint.of_int 3))) in
+    let g = Bigint.mod_pow h Bigint.two p in
+    if Bigint.is_one g then find_generator () else g
+  in
+  { p; q; g = find_generator (); bits }
+
+let cache : (int, t) Hashtbl.t = Hashtbl.create 7
+
+let default ~bits =
+  match Hashtbl.find_opt cache bits with
+  | Some group -> group
+  | None ->
+    let prng = Prng.create ~seed:(Printf.sprintf "secmed-group-%d" bits) in
+    let group = generate prng ~bits in
+    Hashtbl.add cache bits group;
+    group
+
+let element_of_exponent group x = Bigint.mod_pow group.g x group.p
+
+let is_element group x =
+  Bigint.sign x > 0
+  && Bigint.compare x group.p < 0
+  && Bigint.is_one (Bigint.mod_pow x group.q group.p)
+
+let random_exponent prng group =
+  Bigint.succ (Bigint.random_below (Prng.byte_source prng) (Bigint.pred group.q))

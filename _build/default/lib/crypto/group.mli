@@ -1,0 +1,33 @@
+(** Schnorr-style groups: the subgroup QR_p of quadratic residues of a safe
+    prime p = 2q + 1.
+
+    This is the "adequate domain" the paper takes from Agrawal et al. for
+    commutative encryption, and the group underlying the ElGamal KEM of the
+    hybrid scheme.  Groups are generated deterministically from a fixed
+    seed and cached per bit size, so repeated runs (and the whole test
+    suite) agree on parameters without re-running safe-prime search. *)
+
+open Secmed_bigint
+
+type t = private {
+  p : Bigint.t;       (** safe prime, p = 2q + 1 *)
+  q : Bigint.t;       (** Sophie Germain prime, the order of QR_p *)
+  g : Bigint.t;       (** generator of QR_p *)
+  bits : int;
+}
+
+val generate : Prng.t -> bits:int -> t
+(** Fresh group from the given randomness (no cache). *)
+
+val default : bits:int -> t
+(** Deterministic cached group for this bit size.  Sizes up to 512 bits are
+    generated on first use (sub-second for <= 256 bits). *)
+
+val element_of_exponent : t -> Bigint.t -> Bigint.t
+(** [g^x mod p]. *)
+
+val is_element : t -> Bigint.t -> bool
+(** Membership test for QR_p: [x^q = 1 (mod p)] and [0 < x < p]. *)
+
+val random_exponent : Prng.t -> t -> Bigint.t
+(** Uniform in [\[1, q)]. *)

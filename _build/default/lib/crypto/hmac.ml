@@ -1,0 +1,15 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  key ^ String.make (block_size - String.length key) '\000'
+
+let sha256 ~key msg =
+  let key = normalize_key key in
+  let ipad = String.map (fun c -> Char.chr (Char.code c lxor 0x36)) key in
+  let opad = String.map (fun c -> Char.chr (Char.code c lxor 0x5c)) key in
+  Sha256.digest (opad ^ Sha256.digest (ipad ^ msg))
+
+let sha256_hex ~key msg = Bytes_util.to_hex (sha256 ~key msg)
+
+let verify ~key msg ~tag = Bytes_util.constant_time_equal (sha256 ~key msg) tag

@@ -1,0 +1,9 @@
+(** HMAC-SHA256 (RFC 2104). *)
+
+val sha256 : key:string -> string -> string
+(** 32-byte raw MAC. *)
+
+val sha256_hex : key:string -> string -> string
+
+val verify : key:string -> string -> tag:string -> bool
+(** Constant-time tag comparison. *)

@@ -1,0 +1,109 @@
+open Secmed_bigint
+
+type public_key = { n : Bigint.t; n_squared : Bigint.t; bits : int }
+
+type private_key = {
+  pk : public_key;
+  lambda : Bigint.t; (* lcm(p-1, q-1) *)
+  mu : Bigint.t; (* (L(g^lambda mod n^2))^{-1} mod n *)
+}
+
+let public_of_n n =
+  { n; n_squared = Bigint.mul n n; bits = Bigint.numbits n }
+
+let l_function n u = Bigint.div (Bigint.pred u) n
+
+let keygen prng ~bits =
+  if bits < 16 then invalid_arg "Paillier.keygen: modulus too small";
+  let half = bits / 2 in
+  let rec go () =
+    let p = Primes.gen_prime prng ~bits:half in
+    let q = Primes.gen_prime prng ~bits:half in
+    if Bigint.equal p q then go ()
+    else begin
+      let n = Bigint.mul p q in
+      let p1 = Bigint.pred p and q1 = Bigint.pred q in
+      let lambda = Bigint.div (Bigint.mul p1 q1) (Bigint.gcd p1 q1) in
+      let pk = public_of_n n in
+      (* g = n+1: g^lambda mod n^2 = 1 + lambda*n (binomial). *)
+      let g_lambda =
+        Bigint.emod (Bigint.succ (Bigint.mul lambda n)) pk.n_squared
+      in
+      match Bigint.mod_inverse (l_function n g_lambda) n with
+      | Some mu -> { pk; lambda; mu }
+      | None -> go ()
+    end
+  in
+  go ()
+
+let public sk = sk.pk
+
+type ciphertext = Bigint.t
+
+let random_unit prng pk =
+  (* r uniform in [1, n) with gcd(r, n) = 1; non-units occur with
+     negligible probability but are rejected anyway. *)
+  let rec go () =
+    let r = Bigint.succ (Bigint.random_below (Prng.byte_source prng) (Bigint.pred pk.n)) in
+    if Bigint.is_one (Bigint.gcd r pk.n) then r else go ()
+  in
+  go ()
+
+let encrypt prng pk m =
+  Counters.bump Counters.Homomorphic_encrypt;
+  if Bigint.sign m < 0 || Bigint.compare m pk.n >= 0 then
+    invalid_arg "Paillier.encrypt: plaintext out of range";
+  let r = random_unit prng pk in
+  let g_m = Bigint.emod (Bigint.succ (Bigint.mul m pk.n)) pk.n_squared in
+  Bigint.emod (Bigint.mul g_m (Bigint.mod_pow r pk.n pk.n_squared)) pk.n_squared
+
+let decrypt sk c =
+  Counters.bump Counters.Homomorphic_decrypt;
+  let pk = sk.pk in
+  let u = Bigint.mod_pow c sk.lambda pk.n_squared in
+  Bigint.emod (Bigint.mul (l_function pk.n u) sk.mu) pk.n
+
+let add pk a b =
+  Counters.bump Counters.Homomorphic_add;
+  Bigint.emod (Bigint.mul a b) pk.n_squared
+
+let scalar_mul pk k c =
+  Counters.bump Counters.Homomorphic_scalar;
+  Bigint.mod_pow c (Bigint.emod k pk.n) pk.n_squared
+
+let rerandomize prng pk c =
+  let r = random_unit prng pk in
+  Bigint.emod (Bigint.mul c (Bigint.mod_pow r pk.n pk.n_squared)) pk.n_squared
+
+let ciphertext_to_bigint c = c
+
+let ciphertext_of_bigint pk v =
+  if Bigint.sign v < 0 || Bigint.compare v pk.n_squared >= 0 then
+    invalid_arg "Paillier.ciphertext_of_bigint: out of range"
+  else v
+
+(* Byte-string packing: 0x01 marker, 2-byte big-endian length, payload.
+   The marker byte keeps valid encodings statistically distinguishable
+   from the uniform residues produced by non-matching PM entries. *)
+
+let max_plaintext_bytes pk = ((pk.bits - 1) / 8) - 3
+
+let encode_bytes pk s =
+  let len = String.length s in
+  if len > max_plaintext_bytes pk then invalid_arg "Paillier.encode_bytes: too long";
+  if len > 0xffff then invalid_arg "Paillier.encode_bytes: length field overflow";
+  let packed =
+    "\001" ^ String.init 2 (fun i -> Char.chr ((len lsr ((1 - i) * 8)) land 0xff)) ^ s
+  in
+  Bigint.of_bytes_be packed
+
+let decode_bytes pk m =
+  if Bigint.sign m < 0 || Bigint.compare m pk.n >= 0 then None
+  else begin
+    let raw = Bigint.to_bytes_be m in
+    if String.length raw < 3 || raw.[0] <> '\001' then None
+    else begin
+      let len = (Char.code raw.[1] lsl 8) lor Char.code raw.[2] in
+      if String.length raw <> 3 + len then None else Some (String.sub raw 3 len)
+    end
+  end

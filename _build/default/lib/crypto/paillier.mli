@@ -1,0 +1,54 @@
+(** The Paillier cryptosystem (EUROCRYPT '99), the additively homomorphic
+    scheme the paper cites for the private-matching protocol.
+
+    Plaintext space Z_n, ciphertext space Z_{n^2}^*.  With the standard
+    choice g = n + 1, encryption is E(m; r) = (1 + m·n) · r^n mod n^2.
+    Homomorphic properties: E(a)·E(b) = E(a+b) and E(a)^k = E(k·a). *)
+
+open Secmed_bigint
+
+type public_key = private {
+  n : Bigint.t;
+  n_squared : Bigint.t;
+  bits : int; (** bit size of n *)
+}
+
+type private_key
+
+val keygen : Prng.t -> bits:int -> private_key
+(** [bits] is the size of the modulus n = p·q (two [bits/2]-bit primes). *)
+
+val public : private_key -> public_key
+val public_of_n : Bigint.t -> public_key
+(** Rebuild a public key from a transmitted modulus. *)
+
+type ciphertext = private Bigint.t
+
+val encrypt : Prng.t -> public_key -> Bigint.t -> ciphertext
+(** Plaintext must lie in [\[0, n)]. *)
+
+val decrypt : private_key -> ciphertext -> Bigint.t
+
+val add : public_key -> ciphertext -> ciphertext -> ciphertext
+(** E(a) ⊞ E(b) = E(a + b mod n). *)
+
+val scalar_mul : public_key -> Bigint.t -> ciphertext -> ciphertext
+(** k ⊠ E(a) = E(k·a mod n). *)
+
+val rerandomize : Prng.t -> public_key -> ciphertext -> ciphertext
+(** Multiplies by a fresh encryption of zero. *)
+
+val ciphertext_to_bigint : ciphertext -> Bigint.t
+val ciphertext_of_bigint : public_key -> Bigint.t -> ciphertext
+(** Raises [Invalid_argument] when outside [\[0, n^2)]. *)
+
+val max_plaintext_bytes : public_key -> int
+(** Largest byte-string length that can be packed into one plaintext. *)
+
+val encode_bytes : public_key -> string -> Bigint.t
+(** Length-prefixed injection of a byte string into Z_n; raises
+    [Invalid_argument] when it does not fit. *)
+
+val decode_bytes : public_key -> Bigint.t -> string option
+(** Inverse of {!encode_bytes}; [None] when the plaintext is not a valid
+    encoding (e.g. it is the random value of a non-matching PM entry). *)

@@ -1,0 +1,119 @@
+open Secmed_bigint
+
+(* Eratosthenes sieve for the trial-division stage. *)
+let small_primes =
+  let limit = 2000 in
+  let composite = Array.make (limit + 1) false in
+  let primes = ref [] in
+  for n = 2 to limit do
+    if not composite.(n) then begin
+      primes := n :: !primes;
+      let m = ref (n * n) in
+      while !m <= limit do
+        composite.(!m) <- true;
+        m := !m + n
+      done
+    end
+  done;
+  Array.of_list (List.rev !primes)
+
+let divisible_by_small n =
+  let found = ref None in
+  (try
+     Array.iter
+       (fun p ->
+         let bp = Bigint.of_int p in
+         if Bigint.is_zero (Bigint.emod n bp) then begin
+           found := Some p;
+           raise Exit
+         end)
+       small_primes
+   with Exit -> ());
+  !found
+
+let miller_rabin prng ~rounds n =
+  (* n odd, > small primes. Write n-1 = d * 2^s. *)
+  let n_minus_1 = Bigint.pred n in
+  let s = ref 0 and d = ref n_minus_1 in
+  while Bigint.is_even !d do
+    d := Bigint.shift_right !d 1;
+    incr s
+  done;
+  let source = Prng.byte_source prng in
+  let n_minus_3 = Bigint.sub n (Bigint.of_int 3) in
+  let witness_passes () =
+    let a = Bigint.add Bigint.two (Bigint.random_below source n_minus_3) in
+    let x = ref (Bigint.mod_pow a !d n) in
+    if Bigint.is_one !x || Bigint.equal !x n_minus_1 then true
+    else begin
+      let ok = ref false and r = ref 1 in
+      while (not !ok) && !r < !s do
+        x := Bigint.emod (Bigint.mul !x !x) n;
+        if Bigint.equal !x n_minus_1 then ok := true;
+        incr r
+      done;
+      !ok
+    end
+  in
+  let rec go remaining = remaining = 0 || (witness_passes () && go (remaining - 1)) in
+  go rounds
+
+let is_probable_prime ?(rounds = 24) prng n =
+  if Bigint.compare n Bigint.two < 0 then false
+  else begin
+    match Bigint.to_int_opt n with
+    | Some small when small <= small_primes.(Array.length small_primes - 1) ->
+      Array.exists (fun p -> p = small) small_primes
+    | Some _ | None ->
+      (match divisible_by_small n with
+       | Some _ -> false
+       | None -> miller_rabin prng ~rounds n)
+  end
+
+(* Uniform [bits]-bit odd value with the top two bits set (so products of
+   two such values have exactly 2*[bits] bits). *)
+let random_odd_candidate prng ~bits =
+  let low = Bigint.random_bits (Prng.byte_source prng) (bits - 2) in
+  let top = Bigint.shift_left (Bigint.of_int 3) (bits - 2) in
+  let v = Bigint.add low top in
+  if Bigint.is_even v then Bigint.succ v else v
+
+let gen_prime prng ~bits =
+  if bits < 8 then invalid_arg "Primes.gen_prime: need at least 8 bits";
+  let rec go () =
+    let candidate = random_odd_candidate prng ~bits in
+    (* Step by 2 a bounded number of times before redrawing; cheaper than
+       a fresh random draw per test. *)
+    let rec scan candidate attempts =
+      if attempts = 0 then go ()
+      else if Bigint.numbits candidate <> bits then go ()
+      else if divisible_by_small candidate <> None then
+        scan (Bigint.add candidate Bigint.two) (attempts - 1)
+      else if miller_rabin prng ~rounds:24 candidate then candidate
+      else scan (Bigint.add candidate Bigint.two) (attempts - 1)
+    in
+    scan candidate 400
+  in
+  go ()
+
+let gen_safe_prime prng ~bits =
+  if bits < 8 then invalid_arg "Primes.gen_safe_prime: need at least 8 bits";
+  let rec go () =
+    let q = random_odd_candidate prng ~bits:(bits - 1) in
+    (* q must be 3 mod 4 is not required; ensure q odd (it is). *)
+    let rec scan q attempts =
+      if attempts = 0 then go ()
+      else begin
+        let p = Bigint.succ (Bigint.shift_left q 1) in
+        let next () = scan (Bigint.add q Bigint.two) (attempts - 1) in
+        if Bigint.numbits p <> bits then go ()
+        else if divisible_by_small q <> None || divisible_by_small p <> None then next ()
+        else if
+          miller_rabin prng ~rounds:24 q && miller_rabin prng ~rounds:24 p
+        then p
+        else next ()
+      end
+    in
+    scan q 4000
+  in
+  go ()

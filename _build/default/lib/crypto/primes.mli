@@ -1,0 +1,19 @@
+(** Primality testing and prime generation. *)
+
+open Secmed_bigint
+
+val is_probable_prime : ?rounds:int -> Prng.t -> Bigint.t -> bool
+(** Trial division by small primes followed by Miller–Rabin with random
+    bases (default 24 rounds; error probability below 4^-rounds). *)
+
+val gen_prime : Prng.t -> bits:int -> Bigint.t
+(** Random probable prime with exactly [bits] bits (top two bits set so
+    products of two such primes have the expected width).  Requires
+    [bits >= 8]. *)
+
+val gen_safe_prime : Prng.t -> bits:int -> Bigint.t
+(** Random probable safe prime p = 2q + 1 with [bits] bits, q prime.
+    Candidates are sieved jointly on q and p before Miller–Rabin. *)
+
+val small_primes : int array
+(** Primes below 2000, used by the sieving stage (exposed for tests). *)

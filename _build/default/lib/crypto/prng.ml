@@ -1,0 +1,119 @@
+(* ChaCha20 (RFC 8439) block function driven as a deterministic DRBG.
+   The 256-bit key is SHA-256 of the seed; the nonce is fixed; the block
+   counter advances as output is consumed. *)
+
+let m32 = 0xFFFFFFFF
+
+type t = {
+  key_words : int array; (* 8 words *)
+  mutable counter : int;
+  mutable pool : string; (* unconsumed bytes of the last block *)
+  mutable pool_off : int;
+  seed : string;
+}
+
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land m32
+
+let quarter st a b c d =
+  st.(a) <- (st.(a) + st.(b)) land m32;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 16;
+  st.(c) <- (st.(c) + st.(d)) land m32;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 12;
+  st.(a) <- (st.(a) + st.(b)) land m32;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 8;
+  st.(c) <- (st.(c) + st.(d)) land m32;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 7
+
+let read_le32 s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let block key_words counter =
+  let init =
+    Array.append
+      [| 0x61707865; 0x3320646e; 0x79622d32; 0x6b206574 |]
+      (Array.append key_words [| counter land m32; (counter lsr 32) land m32; 0; 0 |])
+  in
+  let st = Array.copy init in
+  for _round = 1 to 10 do
+    quarter st 0 4 8 12;
+    quarter st 1 5 9 13;
+    quarter st 2 6 10 14;
+    quarter st 3 7 11 15;
+    quarter st 0 5 10 15;
+    quarter st 1 6 11 12;
+    quarter st 2 7 8 13;
+    quarter st 3 4 9 14
+  done;
+  let out = Buffer.create 64 in
+  for i = 0 to 15 do
+    Buffer.add_string out (Bytes_util.le32 ((st.(i) + init.(i)) land m32))
+  done;
+  Buffer.contents out
+
+let key_words_of_seed seed =
+  let key = Sha256.digest seed in
+  Array.init 8 (fun i -> read_le32 key (4 * i))
+
+let create ~seed =
+  { key_words = key_words_of_seed seed; counter = 0; pool = ""; pool_off = 0; seed }
+
+let of_int_seed n = create ~seed:(Printf.sprintf "secmed-prng-%d" n)
+
+let split g label = create ~seed:(g.seed ^ "/" ^ label)
+
+let bytes g n =
+  if n < 0 then invalid_arg "Prng.bytes: negative count";
+  let out = Buffer.create n in
+  let remaining = ref n in
+  while !remaining > 0 do
+    if g.pool_off >= String.length g.pool then begin
+      g.pool <- block g.key_words g.counter;
+      g.counter <- g.counter + 1;
+      g.pool_off <- 0
+    end;
+    let available = String.length g.pool - g.pool_off in
+    let take = Stdlib.min available !remaining in
+    Buffer.add_substring out g.pool g.pool_off take;
+    g.pool_off <- g.pool_off + take;
+    remaining := !remaining - take
+  done;
+  Buffer.contents out
+
+let byte_source g n = bytes g n
+
+let uniform_int g bound =
+  if bound <= 0 then invalid_arg "Prng.uniform_int: bound must be positive";
+  (* Rejection sampling over 62-bit draws to avoid modulo bias. *)
+  let draw () =
+    let s = bytes g 8 in
+    let v = ref 0 in
+    String.iter (fun c -> v := ((!v lsl 8) lor Char.code c) land max_int) s;
+    !v
+  in
+  let limit = max_int - (max_int mod bound) in
+  let rec go () =
+    let v = draw () in
+    if v < limit then v mod bound else go ()
+  in
+  go ()
+
+let bool g = Char.code (bytes g 1).[0] land 1 = 1
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = uniform_int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(uniform_int g (Array.length a))
+
+let raw_block ~key ~counter =
+  if String.length key <> 32 then invalid_arg "Prng.raw_block: need a 32-byte key";
+  block (Array.init 8 (fun i -> read_le32 key (4 * i))) counter

@@ -1,0 +1,40 @@
+(** Deterministic ChaCha20-based pseudo-random generator.
+
+    Every random choice in the library flows through a [Prng.t] so that
+    protocol runs, tests and benchmarks are exactly reproducible from a
+    seed.  The generator runs ChaCha20 in counter mode over a key derived
+    from the seed; [split] derives statistically independent child streams
+    (distinct labels give unrelated keys). *)
+
+type t
+
+val create : seed:string -> t
+val of_int_seed : int -> t
+
+val split : t -> string -> t
+(** [split g label] is an independent generator derived from [g]'s seed and
+    [label]; the parent is not advanced. *)
+
+val bytes : t -> int -> string
+(** The next [n] bytes of the stream. *)
+
+val byte_source : t -> int -> string
+(** Same as {!bytes} with the generator captured; shaped for
+    [Bigint.random_below]. *)
+
+val uniform_int : t -> int -> int
+(** Uniform in [\[0, bound)]; requires [bound > 0]. *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+(**/**)
+
+val raw_block : key:string -> counter:int -> string
+(** The underlying ChaCha20 block function (32-byte key, zero nonce),
+    exposed for test vectors only. *)

@@ -1,0 +1,25 @@
+open Secmed_bigint
+
+let expand label input nbytes =
+  let out = Buffer.create nbytes in
+  let counter = ref 0 in
+  while Buffer.length out < nbytes do
+    Buffer.add_string out (Sha256.digest (label ^ Bytes_util.be32 !counter ^ input));
+    incr counter
+  done;
+  String.sub (Buffer.contents out) 0 nbytes
+
+let hash group input =
+  Counters.bump Counters.Ideal_hash;
+  let p = group.Group.p in
+  let nbytes = ((Bigint.numbits p + 64) + 7) / 8 in
+  let u = Bigint.emod (Bigint.of_bytes_be (expand "secmed-ro" input nbytes)) p in
+  (* Avoid the degenerate elements 0 / 1 / p-1 before squaring. *)
+  let u = if Bigint.compare u Bigint.two < 0 then Bigint.two else u in
+  Bigint.mod_pow u Bigint.two p
+
+let hash_to_range input bound =
+  Counters.bump Counters.Hash;
+  if Bigint.sign bound <= 0 then invalid_arg "Random_oracle.hash_to_range: bound must be positive";
+  let nbytes = ((Bigint.numbits bound + 64) + 7) / 8 in
+  Bigint.emod (Bigint.of_bytes_be (expand "secmed-h" input nbytes)) bound

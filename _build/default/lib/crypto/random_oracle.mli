@@ -1,0 +1,16 @@
+(** The paper's "ideal hash function h" mapping join-attribute values into
+    the commutative-encryption domain QR_p.
+
+    Instantiated as expand-then-square: SHA-256 in counter mode expands the
+    input to [numbits p + 64] bits, the result is reduced mod p and squared.
+    Squaring lands in QR_p; the 64 surplus bits make the pre-squaring value
+    statistically close to uniform mod p. *)
+
+open Secmed_bigint
+
+val hash : Group.t -> string -> Bigint.t
+(** Deterministic; both datasources call this with the same group. *)
+
+val hash_to_range : string -> Bigint.t -> Bigint.t
+(** Domain-separated hash of a byte string into [\[0, bound)]; the
+    collision-free (non-oracle) hash used for DAS partition identifiers. *)

@@ -1,0 +1,57 @@
+open Secmed_bigint
+
+type public_key = { group : Group.t; y : Bigint.t }
+type private_key = { public : public_key; x : Bigint.t }
+
+type signature = { r : Bigint.t; s : Bigint.t }
+
+let keygen prng group =
+  let x = Group.random_exponent prng group in
+  { public = { group; y = Group.element_of_exponent group x }; x }
+
+let public key = key.public
+
+let challenge group r msg =
+  let raw =
+    Sha256.digest
+      ("secmed-schnorr" ^ Bigint.to_bytes_be group.Group.p ^ Bigint.to_bytes_be r ^ msg)
+  in
+  Bigint.emod (Bigint.of_bytes_be raw) group.Group.q
+
+let sign prng sk msg =
+  let group = sk.public.group in
+  let k = Group.random_exponent prng group in
+  let r = Group.element_of_exponent group k in
+  let e = challenge group r msg in
+  (* s = k + e*x mod q; verify: g^s = r * y^e. *)
+  let s = Bigint.emod (Bigint.add k (Bigint.mul e sk.x)) group.Group.q in
+  { r; s }
+
+let verify pk msg { r; s } =
+  let group = pk.group in
+  Group.is_element group r
+  && Bigint.sign s >= 0
+  && Bigint.compare s group.Group.q < 0
+  &&
+  let e = challenge group r msg in
+  let lhs = Group.element_of_exponent group s in
+  let rhs = Bigint.emod (Bigint.mul r (Bigint.mod_pow pk.y e group.Group.p)) group.Group.p in
+  Bigint.equal lhs rhs
+
+let signature_to_wire { r; s } =
+  let pack v =
+    let bytes = Bigint.to_bytes_be v in
+    Bytes_util.be32 (String.length bytes) ^ bytes
+  in
+  pack r ^ pack s
+
+let signature_of_wire blob =
+  let fail () = invalid_arg "Schnorr.signature_of_wire: malformed signature" in
+  if String.length blob < 4 then fail ();
+  let rlen = Bytes_util.read_be32 blob 0 in
+  if String.length blob < 4 + rlen + 4 then fail ();
+  let r = Bigint.of_bytes_be (String.sub blob 4 rlen) in
+  let slen = Bytes_util.read_be32 blob (4 + rlen) in
+  if String.length blob <> 8 + rlen + slen then fail ();
+  let s = Bigint.of_bytes_be (String.sub blob (8 + rlen) slen) in
+  { r; s }

@@ -1,0 +1,20 @@
+(** Schnorr signatures over QR_p, used by the simulated certification
+    authority to sign credentials.  (Fiat–Shamir transform of the Schnorr
+    identification protocol; hash is SHA-256.) *)
+
+open Secmed_bigint
+
+type public_key = { group : Group.t; y : Bigint.t }
+type private_key
+
+type signature = { r : Bigint.t; s : Bigint.t }
+
+val keygen : Prng.t -> Group.t -> private_key
+val public : private_key -> public_key
+
+val sign : Prng.t -> private_key -> string -> signature
+val verify : public_key -> string -> signature -> bool
+
+val signature_to_wire : signature -> string
+val signature_of_wire : string -> signature
+(** Raises [Invalid_argument] on malformed input. *)

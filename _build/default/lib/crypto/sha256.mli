@@ -1,0 +1,19 @@
+(** SHA-256 (FIPS 180-4), pure OCaml.
+
+    Verified against the NIST short-message test vectors in the test suite.
+    Both a one-shot and an incremental interface are provided. *)
+
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> string -> unit
+val finalize : ctx -> string
+(** 32-byte raw digest.  The context must not be reused afterwards. *)
+
+val digest : string -> string
+(** One-shot 32-byte raw digest. *)
+
+val hex_digest : string -> string
+
+val digest_size : int
+(** 32. *)

@@ -1,0 +1,1 @@
+lib/mediation/catalog.ml: Aggregate Algebra Ast Hashtbl List Option Predicate Printf Schema Secmed_relalg Secmed_sql String Value

@@ -1,0 +1,1 @@
+lib/mediation/catalog.mli: Aggregate Ast Predicate Schema Secmed_relalg Secmed_sql

@@ -1,0 +1,1 @@
+lib/mediation/credential.ml: Elgamal Format Group List Schnorr Secmed_crypto String Wire

@@ -1,0 +1,1 @@
+lib/mediation/credential.mli: Elgamal Format Group Prng Schnorr Secmed_crypto

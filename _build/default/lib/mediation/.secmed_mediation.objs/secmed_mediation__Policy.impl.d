@@ -1,0 +1,1 @@
+lib/mediation/policy.ml: Credential List Predicate Relation Secmed_relalg String

@@ -1,0 +1,1 @@
+lib/mediation/policy.mli: Credential Predicate Relation Secmed_relalg

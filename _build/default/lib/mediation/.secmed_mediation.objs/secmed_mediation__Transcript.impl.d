@@ -1,0 +1,1 @@
+lib/mediation/transcript.ml: Array Buffer Bytes Hashtbl List Printf Stdlib String

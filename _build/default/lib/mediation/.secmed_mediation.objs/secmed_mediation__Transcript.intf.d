@@ -1,0 +1,1 @@
+lib/mediation/transcript.mli:

@@ -1,0 +1,1 @@
+lib/mediation/wire.ml: Bigint Buffer Bytes_util Char List Secmed_bigint Secmed_crypto String

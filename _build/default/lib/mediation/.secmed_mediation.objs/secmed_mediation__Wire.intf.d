@@ -1,0 +1,1 @@
+lib/mediation/wire.mli: Secmed_bigint

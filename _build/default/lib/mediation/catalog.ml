@@ -1,0 +1,155 @@
+open Secmed_relalg
+open Secmed_sql
+
+type entry = {
+  relation : string;
+  source : int;
+  schema : Schema.t;
+  source_relation : string;
+}
+
+type t = entry list
+
+let make entries =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      if Hashtbl.mem seen e.relation then
+        invalid_arg (Printf.sprintf "Catalog.make: duplicate relation %s" e.relation);
+      Hashtbl.add seen e.relation ())
+    entries;
+  entries
+
+let entries t = t
+
+let locate t name = List.find (fun e -> String.equal e.relation name) t
+
+let mem t name = List.exists (fun e -> String.equal e.relation name) t
+
+type decomposition = {
+  left : entry;
+  right : entry;
+  join_attrs : string list;
+  partial_query_left : string;
+  partial_query_right : string;
+  residual_where : Predicate.t option;
+  projection : string list option;
+  aggregation : (Aggregate.spec list * string list) option;
+  distinct : bool;
+}
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+let bare_name column = column.Ast.name
+
+let resolve_ref t (r : Ast.table_ref) =
+  match r.alias with
+  | Some alias when not (String.equal alias r.table) ->
+    unsupported "table aliases are not supported in the mediated setting (%s AS %s)" r.table alias
+  | Some _ | None ->
+    (try locate t r.table
+     with Not_found -> unsupported "unknown relation %s" r.table)
+
+let decompose t (q : Ast.query) =
+  let left = resolve_ref t q.from in
+  let right, kind =
+    match q.joins with
+    | [ (kind, table) ] -> (resolve_ref t table, kind)
+    | [] -> unsupported "query has no JOIN; the protocols mediate exactly one join"
+    | _ :: _ :: _ -> unsupported "query has more than one JOIN"
+  in
+  if left.source = right.source then
+    unsupported "both relations are managed by the same datasource %d" left.source;
+  let common = Schema.common_names left.schema right.schema in
+  let join_attrs =
+    match kind with
+    | Ast.J_natural ->
+      (match common with
+       | [] -> unsupported "relations %s and %s share no attribute" left.relation right.relation
+       | _ :: _ -> common)
+    | Ast.J_on (a, b) ->
+      let check_side col entry =
+        (match col.Ast.qualifier with
+         | Some qualifier when not (String.equal qualifier entry.relation) ->
+           unsupported "join attribute %s does not belong to %s" (Ast.column_name col)
+             entry.relation
+         | Some _ | None -> ());
+        if not (Schema.mem entry.schema (bare_name col)) then
+          unsupported "relation %s has no attribute %s" entry.relation (bare_name col)
+      in
+      check_side a left;
+      check_side b right;
+      if not (String.equal (bare_name a) (bare_name b)) then
+        unsupported "join attributes %s and %s differ; the global schema embedding maps them to one name"
+          (bare_name a) (bare_name b);
+      (match common with
+       | [ c ] when String.equal c (bare_name a) -> ()
+       | _ ->
+         unsupported "relations %s and %s must share exactly the join attribute %s"
+           left.relation right.relation (bare_name a));
+      [ bare_name a ]
+  in
+  List.iter
+    (fun join_attr ->
+      let ty_of entry =
+        (Schema.attr_at entry.schema (Schema.find entry.schema join_attr)).Schema.ty
+      in
+      if not (Value.ty_equal (ty_of left) (ty_of right)) then
+        unsupported "join attribute %s has different types in %s and %s" join_attr
+          left.relation right.relation)
+    join_attrs;
+  {
+    left;
+    right;
+    join_attrs;
+    partial_query_left = Printf.sprintf "select * from %s" left.source_relation;
+    partial_query_right = Printf.sprintf "select * from %s" right.source_relation;
+    residual_where = Option.map Algebra.predicate_of_expr q.where;
+    projection =
+      Option.map
+        (List.map (function
+          | Ast.S_column c -> Ast.column_name c
+          | Ast.S_aggregate a ->
+            (Aggregate.spec ?alias:a.Ast.agg_alias a.Ast.agg_func
+               (Option.map Ast.column_name a.Ast.agg_column))
+              .Aggregate.alias))
+        q.select;
+    aggregation =
+      (if Ast.has_aggregates q || q.group_by <> [] then begin
+         let keys = List.map Ast.column_name q.group_by in
+         let items = Option.value ~default:[] q.select in
+         List.iter
+           (function
+             | Ast.S_column c ->
+               let name = Ast.column_name c in
+               if not (List.exists (String.equal name) keys) then
+                 unsupported "column %s is neither aggregated nor grouped" name
+             | Ast.S_aggregate _ -> ())
+           items;
+         let specs =
+           List.filter_map
+             (function
+               | Ast.S_aggregate a ->
+                 Some
+                   (Aggregate.spec ?alias:a.Ast.agg_alias a.Ast.agg_func
+                      (Option.map Ast.column_name a.Ast.agg_column))
+               | Ast.S_column _ -> None)
+             items
+         in
+         Some (specs, keys)
+       end
+       else None);
+    distinct = q.distinct;
+  }
+
+let global_schema _t d =
+  let left = Schema.qualify d.left.relation d.left.schema in
+  let right = Schema.qualify d.right.relation d.right.schema in
+  let right_attrs =
+    List.filter
+      (fun a -> not (List.exists (String.equal a.Schema.name) d.join_attrs))
+      (Schema.attrs right)
+  in
+  Schema.make (Schema.attrs left @ right_attrs)

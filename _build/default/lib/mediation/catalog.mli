@@ -1,0 +1,63 @@
+(** The mediator's global schema: the embedding of heterogeneous source
+    schemas into one homogeneous view (paper Section 2, citing [2]).
+
+    The catalog knows, for every global relation name, which datasource
+    manages it and under what schema; this is what lets the mediator
+    localize datasources and identify the join attributes A1 and A2. *)
+
+open Secmed_relalg
+open Secmed_sql
+
+type entry = {
+  relation : string;      (** global relation name *)
+  source : int;           (** datasource id (1-based) *)
+  schema : Schema.t;
+  source_relation : string;  (** the name the source itself uses *)
+}
+
+type t
+
+val make : entry list -> t
+(** Raises [Invalid_argument] on duplicate global relation names. *)
+
+val entries : t -> entry list
+val locate : t -> string -> entry
+(** Raises [Not_found] for unknown relation names. *)
+
+val mem : t -> string -> bool
+
+(** Decomposition of a global join query into two partial queries plus a
+    join specification — the request-phase step 2 of Listing 1. *)
+type decomposition = {
+  left : entry;
+  right : entry;
+  join_attrs : string list;
+      (** bare names of the join attributes.  The paper assumes a single
+          A_join; NATURAL JOIN over relations sharing several attributes
+          yields a composite key (the Section 8 extension). *)
+  partial_query_left : string;   (** "select * from R1" *)
+  partial_query_right : string;
+  residual_where : Predicate.t option;
+      (** any extra WHERE condition, applied after the join *)
+  projection : string list option;
+      (** SELECT output names if not [*] (aggregate items appear under
+          their alias) *)
+  aggregation : (Aggregate.spec list * string list) option;
+      (** aggregate specs and GROUP BY keys when the query aggregates *)
+  distinct : bool;
+}
+
+exception Unsupported of string
+(** Raised when a query is outside the paper's scope (Section 2 confines
+    queries to one JOIN of two relations on a single join attribute). *)
+
+val decompose : t -> Ast.query -> decomposition
+(** Validates and decomposes.  For a NATURAL JOIN the join attributes are
+    the common bare attributes of the two schemas (at least one); an
+    explicit [ON a = b] must name attributes of the respective relations
+    with a common bare name, which must then be the only shared one. *)
+
+val global_schema : t -> decomposition -> Schema.t
+(** Schema of the mediated join result (left schema + right schema minus
+    the duplicated join attributes), each side qualified by relation
+    name. *)

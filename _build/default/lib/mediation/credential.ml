@@ -1,0 +1,91 @@
+open Secmed_crypto
+
+type property = { key : string; value : string }
+
+let property key value = { key; value }
+let property_to_string p = p.key ^ "=" ^ p.value
+
+type t = {
+  serial : int;
+  issuer : string;
+  properties : property list;
+  public_key : Elgamal.public_key;
+  signature : Schnorr.signature;
+}
+
+let properties c = c.properties
+let public_key c = c.public_key
+
+let has_property c p = List.exists (fun q -> q.key = p.key && q.value = p.value) c.properties
+
+let pp fmt c =
+  Format.fprintf fmt "credential #%d from %s {%s} key:%s" c.serial c.issuer
+    (String.concat "; " (List.map property_to_string c.properties))
+    (Elgamal.fingerprint c.public_key)
+
+let signed_payload_of ~serial ~issuer ~props ~key =
+  let w = Wire.writer () in
+  Wire.write_int w serial;
+  Wire.write_string w issuer;
+  Wire.write_list w
+    (fun p ->
+      Wire.write_string w p.key;
+      Wire.write_string w p.value)
+    (List.sort compare props);
+  Wire.write_string w (Elgamal.fingerprint key);
+  Wire.contents w
+
+let signed_payload c =
+  signed_payload_of ~serial:c.serial ~issuer:c.issuer ~props:c.properties
+    ~key:c.public_key
+
+let size c =
+  String.length (signed_payload c)
+  + String.length (Schnorr.signature_to_wire c.signature)
+  + (2 * ((c.public_key.Elgamal.group.Group.bits + 7) / 8))
+
+type identity_certificate = {
+  identity : string;
+  key_fingerprint : string;
+  id_signature : Schnorr.signature;
+}
+
+module Authority = struct
+  type ca = { ca_name : string; signing_key : Schnorr.private_key; mutable next_serial : int }
+
+  let create ?(name = "trusted-ca") prng group =
+    { ca_name = name; signing_key = Schnorr.keygen prng group; next_serial = 1 }
+
+  let name ca = ca.ca_name
+
+  let verification_key ca = Schnorr.public ca.signing_key
+
+  let issue ca prng ~properties:props key =
+    let serial = ca.next_serial in
+    ca.next_serial <- serial + 1;
+    let payload = signed_payload_of ~serial ~issuer:ca.ca_name ~props ~key in
+    {
+      serial;
+      issuer = ca.ca_name;
+      properties = props;
+      public_key = key;
+      signature = Schnorr.sign prng ca.signing_key payload;
+    }
+
+  let identity_payload ~identity ~fingerprint = "identity:" ^ identity ^ ":" ^ fingerprint
+
+  let issue_identity ca prng ~identity key =
+    let key_fingerprint = Elgamal.fingerprint key in
+    let payload = identity_payload ~identity ~fingerprint:key_fingerprint in
+    { identity; key_fingerprint; id_signature = Schnorr.sign prng ca.signing_key payload }
+
+  let verify ca c =
+    String.equal c.issuer ca.ca_name
+    && Schnorr.verify (verification_key ca) (signed_payload c) c.signature
+
+  let verify_identity ca cert key =
+    String.equal cert.key_fingerprint (Elgamal.fingerprint key)
+    && Schnorr.verify (verification_key ca)
+         (identity_payload ~identity:cert.identity ~fingerprint:cert.key_fingerprint)
+         cert.id_signature
+end

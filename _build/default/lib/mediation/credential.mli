@@ -1,0 +1,60 @@
+(** Credentials and the certification authority (paper Section 2).
+
+    A credential links *properties* of a client (not its identity) to one
+    of the client's public encryption keys, signed by a trusted CA.  The
+    client separately holds identity certificates linking its identity to
+    each key, to be produced only in case of dispute. *)
+
+open Secmed_crypto
+
+type property = { key : string; value : string }
+
+val property : string -> string -> property
+val property_to_string : property -> string
+
+type t = private {
+  serial : int;
+  issuer : string;
+  properties : property list;
+  public_key : Elgamal.public_key;
+  signature : Schnorr.signature;
+}
+
+val properties : t -> property list
+val public_key : t -> Elgamal.public_key
+val has_property : t -> property -> bool
+val pp : Format.formatter -> t -> unit
+
+val signed_payload : t -> string
+(** The byte string the CA signature covers (serial, issuer, properties,
+    key fingerprint). *)
+
+val size : t -> int
+(** Wire size in bytes. *)
+
+type identity_certificate = private {
+  identity : string;
+  key_fingerprint : string;
+  id_signature : Schnorr.signature;
+}
+
+(** The trusted certification authority of the preparatory phase. *)
+module Authority : sig
+  type ca
+
+  val create : ?name:string -> Prng.t -> Group.t -> ca
+  val name : ca -> string
+  val verification_key : ca -> Schnorr.public_key
+
+  val issue : ca -> Prng.t -> properties:property list -> Elgamal.public_key -> t
+  (** Issues a credential over the given client key. *)
+
+  val issue_identity :
+    ca -> Prng.t -> identity:string -> Elgamal.public_key -> identity_certificate
+
+  val verify : ca -> t -> bool
+  (** Checks the CA signature (datasources run this before granting
+      access). *)
+
+  val verify_identity : ca -> identity_certificate -> Elgamal.public_key -> bool
+end

@@ -1,0 +1,35 @@
+open Secmed_relalg
+
+type grant =
+  | Full
+  | Filtered of Predicate.t
+  | Deny
+
+type rule = { requires : Credential.property list; grant : grant }
+
+type t = { rules : rule list; default : grant }
+
+let make ?(default = Deny) rules = { rules; default }
+
+let open_policy = { rules = []; default = Full }
+
+let satisfied presented rule =
+  List.for_all
+    (fun required ->
+      List.exists
+        (fun p ->
+          String.equal p.Credential.key required.Credential.key
+          && String.equal p.Credential.value required.Credential.value)
+        presented)
+    rule.requires
+
+let decide policy presented =
+  match List.find_opt (satisfied presented) policy.rules with
+  | Some rule -> rule.grant
+  | None -> policy.default
+
+let apply policy presented relation =
+  match decide policy presented with
+  | Deny -> None
+  | Full -> Some relation
+  | Filtered predicate -> Some (Relation.select predicate relation)

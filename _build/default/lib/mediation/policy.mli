@@ -1,0 +1,33 @@
+(** Datasource access control (paper Section 2): decisions are based only
+    on the properties in verified credentials.  "In case the credentials do
+    not allow full data access, the partial results might be filtered in
+    order to return only those records for which access permissions
+    exist." *)
+
+open Secmed_relalg
+
+type grant =
+  | Full
+  | Filtered of Predicate.t  (** row-level restriction *)
+  | Deny
+
+type rule = {
+  requires : Credential.property list;
+      (** all must appear among the presented credentials' properties *)
+  grant : grant;
+}
+
+type t
+
+val make : ?default:grant -> rule list -> t
+(** Rules are evaluated in order; the first whose requirement is satisfied
+    decides.  [default] (default [Deny]) applies when none matches. *)
+
+val open_policy : t
+(** Grants everything to anyone (for workloads without access control). *)
+
+val decide : t -> Credential.property list -> grant
+(** Decision for the union of properties of the presented credentials. *)
+
+val apply : t -> Credential.property list -> Relation.t -> Relation.t option
+(** The filtered partial result, or [None] when access is denied. *)

@@ -1,0 +1,59 @@
+(** Message transcripts.
+
+    Every protocol message is recorded with sender, receiver, label and
+    exact wire size, so the benchmark harness can report communication
+    volumes, interaction counts and message-flow diagrams (Figures 1/2),
+    and the leakage analysis can reason about what each party observed. *)
+
+type party =
+  | Client
+  | Mediator
+  | Source of int  (** 1-based, matching the paper's S1, S2 *)
+  | Authority
+
+val party_name : party -> string
+val party_equal : party -> party -> bool
+
+type message = {
+  seq : int;
+  sender : party;
+  receiver : party;
+  label : string;  (** e.g. "partial-query", "encrypted-coefficients" *)
+  size : int;      (** wire bytes *)
+}
+
+type t
+
+val create : unit -> t
+val record : t -> sender:party -> receiver:party -> label:string -> size:int -> unit
+val messages : t -> message list
+(** In transmission order. *)
+
+val message_count : t -> int
+val total_bytes : t -> int
+
+val bytes_on_link : t -> party -> party -> int
+(** Bytes sent from the first party to the second. *)
+
+val bytes_sent_by : t -> party -> int
+val bytes_received_by : t -> party -> int
+
+val sends_by : t -> party -> int
+(** Number of messages the party sent — the paper's "interactions". *)
+
+val rounds : t -> party -> party -> int
+(** Alternation count on the (unordered) link: the number of maximal runs
+    of consecutive same-direction messages between the two parties. *)
+
+val parties : t -> party list
+(** All parties appearing, in order of first appearance. *)
+
+val labels_seen_by : t -> party -> string list
+(** Labels of messages the party received (what it observed). *)
+
+val flow_diagram : t -> string
+(** ASCII sequence diagram of the message flow (regenerates the shape of
+    the paper's architecture figures from actual executions). *)
+
+val summary : t -> string
+(** Per-link message and byte counts. *)

@@ -1,0 +1,62 @@
+open Secmed_bigint
+open Secmed_crypto
+
+type writer = Buffer.t
+
+let writer () = Buffer.create 128
+
+let write_int buf v =
+  for i = 7 downto 0 do
+    Buffer.add_char buf (Char.chr ((v lsr (i * 8)) land 0xff))
+  done
+
+let write_string buf s =
+  Buffer.add_string buf (Bytes_util.be32 (String.length s));
+  Buffer.add_string buf s
+
+let write_bigint buf v = write_string buf (Bigint.to_bytes_be v)
+
+let write_list buf write_elem items =
+  Buffer.add_string buf (Bytes_util.be32 (List.length items));
+  List.iter write_elem items
+
+let contents = Buffer.contents
+
+type reader = { data : string; mutable pos : int }
+
+let reader data = { data; pos = 0 }
+
+let need r n =
+  if r.pos + n > String.length r.data then
+    invalid_arg "Wire.reader: truncated message"
+
+let read_int r =
+  need r 8;
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code r.data.[r.pos + i]
+  done;
+  r.pos <- r.pos + 8;
+  !v
+
+let read_string r =
+  need r 4;
+  let len = Bytes_util.read_be32 r.data r.pos in
+  r.pos <- r.pos + 4;
+  need r len;
+  let s = String.sub r.data r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+let read_bigint r = Bigint.of_bytes_be (read_string r)
+
+let read_list r read_elem =
+  need r 4;
+  let count = Bytes_util.read_be32 r.data r.pos in
+  r.pos <- r.pos + 4;
+  List.init count (fun _ -> read_elem ())
+
+let at_end r = r.pos = String.length r.data
+
+let expect_end r =
+  if not (at_end r) then invalid_arg "Wire.reader: trailing bytes"

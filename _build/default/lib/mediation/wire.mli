@@ -1,0 +1,33 @@
+(** Length-delimited binary wire format.
+
+    Everything a party transmits is serialized through this module so that
+    communication volumes in the transcripts are real byte counts, not
+    estimates. *)
+
+type writer
+
+val writer : unit -> writer
+val write_int : writer -> int -> unit
+(** 8-byte big-endian. *)
+
+val write_string : writer -> string -> unit
+(** 4-byte length prefix + bytes. *)
+
+val write_bigint : writer -> Secmed_bigint.Bigint.t -> unit
+(** Non-negative values only. *)
+
+val write_list : writer -> ('a -> unit) -> 'a list -> unit
+(** 4-byte count followed by each element written by the callback. *)
+
+val contents : writer -> string
+
+type reader
+
+val reader : string -> reader
+val read_int : reader -> int
+val read_string : reader -> string
+val read_bigint : reader -> Secmed_bigint.Bigint.t
+val read_list : reader -> (unit -> 'a) -> 'a list
+val at_end : reader -> bool
+val expect_end : reader -> unit
+(** Raises [Invalid_argument] when bytes remain. *)

@@ -1,0 +1,1 @@
+lib/relalg/aggregate.ml: Hashtbl List Printf Relation Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relalg/predicate.ml: Format List Schema String Tuple Value

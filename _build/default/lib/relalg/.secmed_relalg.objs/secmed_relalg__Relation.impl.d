@@ -1,0 +1,1 @@
+lib/relalg/relation.ml: Array Format Fun Hashtbl List Map Predicate Printf Schema Stdlib String Tuple Value

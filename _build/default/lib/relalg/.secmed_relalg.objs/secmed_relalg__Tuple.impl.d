@@ -1,0 +1,1 @@
+lib/relalg/tuple.ml: Array Buffer Format Hashtbl Schema Stdlib String Value

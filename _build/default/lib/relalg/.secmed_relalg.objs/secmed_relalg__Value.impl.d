@@ -1,0 +1,1 @@
+lib/relalg/value.ml: Char Format Hashtbl Printf Stdlib String

@@ -1,0 +1,149 @@
+type func =
+  | Count
+  | Sum
+  | Min
+  | Max
+  | Avg
+
+let func_name = function
+  | Count -> "count"
+  | Sum -> "sum"
+  | Min -> "min"
+  | Max -> "max"
+  | Avg -> "avg"
+
+type spec = {
+  func : func;
+  column : string option;
+  alias : string;
+}
+
+let spec ?alias func column =
+  (match (func, column) with
+   | Count, _ -> ()
+   | (Sum | Min | Max | Avg), None ->
+     invalid_arg (Printf.sprintf "Aggregate.spec: %s needs a column" (func_name func))
+   | (Sum | Min | Max | Avg), Some _ -> ());
+  let alias =
+    match alias with
+    | Some a -> a
+    | None ->
+      (match column with
+       | None -> func_name func
+       | Some c ->
+         (* Drop any qualifier for the default alias. *)
+         let bare =
+           match String.index_opt c '.' with
+           | None -> c
+           | Some i -> String.sub c (i + 1) (String.length c - i - 1)
+         in
+         func_name func ^ "_" ^ bare)
+  in
+  { func; column; alias }
+
+let output_type s relation =
+  match s.func with
+  | Count -> Value.Tint
+  | Sum | Min | Max | Avg ->
+    let column =
+      match s.column with
+      | Some c -> c
+      | None -> invalid_arg "Aggregate.output_type: missing column"
+    in
+    let schema = Relation.schema relation in
+    let attr = Schema.attr_at schema (Schema.find schema column) in
+    (match (s.func, attr.Schema.ty) with
+     | (Sum | Avg), Value.Tint -> Value.Tint
+     | (Sum | Avg), (Value.Tstring | Value.Tbool) ->
+       invalid_arg
+         (Printf.sprintf "Aggregate.output_type: %s needs an integer column, %s is %s"
+            (func_name s.func) column (Value.ty_name attr.Schema.ty))
+     | (Min | Max), ty -> ty
+     | Count, _ -> assert false)
+
+let ints_of values =
+  List.map
+    (function
+      | Value.Int n -> n
+      | Value.Str _ | Value.Bool _ ->
+        invalid_arg "Aggregate.evaluate: numeric aggregate over non-integer values")
+    values
+
+let evaluate func values =
+  match func with
+  | Count -> Value.Int (List.length values)
+  | Sum -> Value.Int (List.fold_left ( + ) 0 (ints_of values))
+  | Avg ->
+    (match values with
+     | [] -> invalid_arg "Aggregate.evaluate: avg of empty group"
+     | _ :: _ ->
+       let ints = ints_of values in
+       Value.Int (List.fold_left ( + ) 0 ints / List.length ints))
+  | Min | Max ->
+    (match values with
+     | [] -> invalid_arg "Aggregate.evaluate: min/max of empty group"
+     | first :: rest ->
+       let keep_smaller = func = Min in
+       List.fold_left
+         (fun best v ->
+           if not (Value.ty_equal (Value.ty_of best) (Value.ty_of v)) then
+             invalid_arg "Aggregate.evaluate: mixed types in group"
+           else if Value.compare v best < 0 = keep_smaller then v
+           else best)
+         first rest)
+
+let group_by relation ~keys ~specs =
+  let schema = Relation.schema relation in
+  let key_positions = List.map (Schema.find schema) keys in
+  let column_values spec tuple_group =
+    match spec.column with
+    | None -> List.map (fun _ -> Value.Int 1) tuple_group
+    | Some c ->
+      let position = Schema.find schema c in
+      List.map (fun t -> Tuple.get t position) tuple_group
+  in
+  let out_schema =
+    Schema.make
+      (List.map (fun i -> Schema.attr_at schema i) key_positions
+      @ List.map
+          (fun s ->
+            let ty =
+              match s.func with Count -> Value.Tint | _ -> output_type s relation
+            in
+            Schema.attr s.alias ty)
+          specs)
+  in
+  (* Group tuples by their key projection, preserving first-seen order,
+     then sort output canonically. *)
+  let groups = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun tuple ->
+      let key = List.map (Tuple.get tuple) key_positions in
+      let encoded = Tuple.encode (Tuple.of_list key) in
+      match Hashtbl.find_opt groups encoded with
+      | Some (k, tuples) -> Hashtbl.replace groups encoded (k, tuple :: tuples)
+      | None ->
+        Hashtbl.add groups encoded (key, [ tuple ]);
+        order := encoded :: !order)
+    (Relation.tuples relation);
+  let rows =
+    if keys = [] && Hashtbl.length groups = 0 then begin
+      (* Global aggregate of an empty relation: COUNT is 0, others fail. *)
+      [ List.map
+          (fun s ->
+            match s.func with
+            | Count -> Value.Int 0
+            | Sum | Min | Max | Avg ->
+              invalid_arg "Aggregate.group_by: non-count aggregate over empty relation")
+          specs ]
+    end
+    else
+      List.rev_map
+        (fun encoded ->
+          let key, tuples = Hashtbl.find groups encoded in
+          let tuples = List.rev tuples in
+          key @ List.map (fun s -> evaluate s.func (column_values s tuples)) specs)
+        !order
+  in
+  Relation.sort (Relation.of_rows out_schema rows)

@@ -1,0 +1,39 @@
+(** Grouping and aggregation over relations.
+
+    The substrate for aggregation queries (SELECT ... GROUP BY): used by
+    the trusted reference evaluation and by the encrypted-aggregation
+    protocol's client-side assembly. *)
+
+type func =
+  | Count       (** row count — the column argument is ignored *)
+  | Sum
+  | Min
+  | Max
+  | Avg         (** integer average, truncated toward zero *)
+
+val func_name : func -> string
+
+type spec = {
+  func : func;
+  column : string option;  (** [None] only for [Count] *)
+  alias : string;          (** output attribute name *)
+}
+
+val spec : ?alias:string -> func -> string option -> spec
+(** Default alias: ["count"], ["sum_x"], etc. *)
+
+val output_type : spec -> Relation.t -> Value.ty
+(** Result type of the aggregate over the given input (checks the column
+    exists and is numeric where required; raises [Invalid_argument]). *)
+
+val evaluate : func -> Value.t list -> Value.t
+(** Aggregate of a non-empty value list.  [Count] counts; the numeric
+    functions require integers.  Raises [Invalid_argument] on empty input
+    or type mismatch. *)
+
+val group_by : Relation.t -> keys:string list -> specs:spec list -> Relation.t
+(** SELECT keys, aggs FROM r GROUP BY keys.  Output schema: the key
+    attributes (in the given order, original qualifiers kept) followed by
+    one attribute per spec.  Empty [keys] produces a single row over the
+    whole relation ([Count] of an empty relation is 0; other aggregates
+    over an empty relation raise [Invalid_argument]). *)

@@ -1,0 +1,100 @@
+let parse_rows text =
+  let len = String.length text in
+  let rows = ref [] and fields = ref [] in
+  let buf = Buffer.create 16 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let rec plain i =
+    if i >= len then ()
+    else begin
+      match text.[i] with
+      | ',' ->
+        flush_field ();
+        plain (i + 1)
+      | '\n' ->
+        flush_row ();
+        plain (i + 1)
+      | '\r' -> plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        plain (i + 1)
+    end
+  and quoted i =
+    if i >= len then invalid_arg "Csv.parse_rows: unterminated quote"
+    else begin
+      match text.[i] with
+      | '"' when i + 1 < len && text.[i + 1] = '"' ->
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        quoted (i + 1)
+    end
+  in
+  plain 0;
+  (* Final row without trailing newline. *)
+  if Buffer.length buf > 0 || !fields <> [] then flush_row ();
+  List.rev !rows
+
+let read_relation schema text =
+  match parse_rows text with
+  | [] -> invalid_arg "Csv.read_relation: empty input"
+  | header :: rows ->
+    let expected = List.map (fun a -> a.Schema.name) (Schema.attrs schema) in
+    if not (List.equal String.equal header expected) then
+      invalid_arg
+        (Printf.sprintf "Csv.read_relation: header [%s] does not match schema [%s]"
+           (String.concat "," header) (String.concat "," expected));
+    let attrs = Schema.attrs schema in
+    let parse_row row =
+      if List.length row <> List.length attrs then
+        invalid_arg
+          (Printf.sprintf "Csv.read_relation: row with %d fields, expected %d"
+             (List.length row) (List.length attrs));
+      Tuple.of_list (List.map2 (fun a field -> Value.parse a.Schema.ty field) attrs row)
+    in
+    Relation.make schema (List.map parse_row rows)
+
+let escape_field s =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if needs_quote then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let write_relation r =
+  let buf = Buffer.create 256 in
+  let write_row cells =
+    Buffer.add_string buf (String.concat "," (List.map escape_field cells));
+    Buffer.add_char buf '\n'
+  in
+  write_row (List.map (fun a -> a.Schema.name) (Schema.attrs (Relation.schema r)));
+  List.iter
+    (fun t -> write_row (List.map Value.to_string (Tuple.to_list t)))
+    (Relation.tuples r);
+  Buffer.contents buf
+
+let load_file schema path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  read_relation schema text
+
+let save_file r path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (write_relation r))

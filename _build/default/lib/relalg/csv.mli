@@ -1,0 +1,16 @@
+(** Minimal CSV import/export for examples and workload files.
+
+    Supports quoted fields with embedded commas/quotes/newlines (RFC 4180
+    style).  The first line is the header. *)
+
+val parse_rows : string -> string list list
+(** Raw rows of fields.  Raises [Invalid_argument] on unterminated quotes. *)
+
+val read_relation : Schema.t -> string -> Relation.t
+(** Parses CSV text whose header must match the schema's bare attribute
+    names (in order); values are parsed per attribute type. *)
+
+val write_relation : Relation.t -> string
+
+val load_file : Schema.t -> string -> Relation.t
+val save_file : Relation.t -> string -> unit

@@ -1,0 +1,87 @@
+type term =
+  | Attr of string
+  | Const of Value.t
+
+type comparison = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | False
+  | Cmp of comparison * term * term
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | In of term * Value.t list
+
+let eq_attr a b = Cmp (Eq, Attr a, Attr b)
+let eq_const a v = Cmp (Eq, Attr a, Const v)
+
+let conj = function
+  | [] -> True
+  | first :: rest -> List.fold_left (fun acc p -> And (acc, p)) first rest
+
+let disj = function
+  | [] -> False
+  | first :: rest -> List.fold_left (fun acc p -> Or (acc, p)) first rest
+
+let eval_term schema tuple = function
+  | Const v -> v
+  | Attr name -> Tuple.get tuple (Schema.find schema name)
+
+let eval_cmp op a b =
+  let c = Value.compare a b in
+  match op with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+let rec eval schema tuple p =
+  match p with
+  | True -> true
+  | False -> false
+  | Cmp (op, x, y) -> eval_cmp op (eval_term schema tuple x) (eval_term schema tuple y)
+  | And (a, b) -> eval schema tuple a && eval schema tuple b
+  | Or (a, b) -> eval schema tuple a || eval schema tuple b
+  | Not a -> not (eval schema tuple a)
+  | In (x, vs) ->
+    let v = eval_term schema tuple x in
+    List.exists (Value.equal v) vs
+
+let attrs_used p =
+  let rec go acc = function
+    | True | False -> acc
+    | Cmp (_, x, y) -> term acc x |> fun acc -> term acc y
+    | And (a, b) | Or (a, b) -> go (go acc a) b
+    | Not a -> go acc a
+    | In (x, _) -> term acc x
+  and term acc = function Attr a -> a :: acc | Const _ -> acc in
+  List.sort_uniq String.compare (go [] p)
+
+let rec size = function
+  | True | False -> 0
+  | Cmp _ | In _ -> 1
+  | And (a, b) | Or (a, b) -> size a + size b
+  | Not a -> size a
+
+let cmp_symbol = function
+  | Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let rec pp fmt = function
+  | True -> Format.pp_print_string fmt "true"
+  | False -> Format.pp_print_string fmt "false"
+  | Cmp (op, x, y) -> Format.fprintf fmt "%a %s %a" pp_term x (cmp_symbol op) pp_term y
+  | And (a, b) -> Format.fprintf fmt "(%a ∧ %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf fmt "(%a ∨ %a)" pp a pp b
+  | Not a -> Format.fprintf fmt "¬%a" pp a
+  | In (x, vs) ->
+    Format.fprintf fmt "%a IN {%s}" pp_term x
+      (String.concat ", " (List.map Value.to_string vs))
+
+and pp_term fmt = function
+  | Attr a -> Format.pp_print_string fmt a
+  | Const v -> Value.pp fmt v
+
+let to_string p = Format.asprintf "%a" pp p

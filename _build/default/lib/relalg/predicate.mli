@@ -1,0 +1,41 @@
+(** Selection predicates over tuples: the condition language for σ.
+
+    Expressive enough for the paper's conditions: the DAS server condition
+    Cond_S is a disjunction of conjunctions of index equalities, the client
+    condition Cond_C an attribute equality. *)
+
+type term =
+  | Attr of string  (** attribute reference, optionally qualified *)
+  | Const of Value.t
+
+type comparison = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | False
+  | Cmp of comparison * term * term
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | In of term * Value.t list
+
+val eq_attr : string -> string -> t
+val eq_const : string -> Value.t -> t
+
+val conj : t list -> t
+(** n-ary conjunction ([True] for the empty list). *)
+
+val disj : t list -> t
+(** n-ary disjunction ([False] for the empty list). *)
+
+val eval : Schema.t -> Tuple.t -> t -> bool
+(** Raises [Not_found] on unknown attributes and [Invalid_argument] on
+    ambiguous names. *)
+
+val attrs_used : t -> string list
+val size : t -> int
+(** Number of atomic comparisons (a proxy for condition complexity; the
+    DAS Cond_S grows with the number of overlapping partition pairs). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

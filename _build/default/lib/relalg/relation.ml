@@ -1,0 +1,217 @@
+type t = { schema : Schema.t; tuples : Tuple.t list }
+
+let make schema tuples =
+  List.iter
+    (fun tuple ->
+      if not (Tuple.matches_schema schema tuple) then
+        invalid_arg
+          (Format.asprintf "Relation.make: tuple %a does not match schema %a"
+             Tuple.pp tuple Schema.pp schema))
+    tuples;
+  { schema; tuples }
+
+let of_rows schema rows = make schema (List.map Tuple.of_list rows)
+let empty schema = { schema; tuples = [] }
+let schema r = r.schema
+let tuples r = r.tuples
+let cardinality r = List.length r.tuples
+let is_empty r = r.tuples = []
+let mem r tuple = List.exists (Tuple.equal tuple) r.tuples
+
+let column r name =
+  let i = Schema.find r.schema name in
+  List.map (fun t -> Tuple.get t i) r.tuples
+
+let active_domain r name =
+  List.sort_uniq Value.compare (column r name)
+
+let select predicate r =
+  { r with tuples = List.filter (fun t -> Predicate.eval r.schema t predicate) r.tuples }
+
+let project names r =
+  let sub, positions = Schema.project r.schema names in
+  { schema = sub; tuples = List.map (Tuple.project positions) r.tuples }
+
+let rename rel r = { r with schema = Schema.qualify rel r.schema }
+
+let product a b =
+  let schema = Schema.append a.schema b.schema in
+  let tuples =
+    List.concat_map (fun ta -> List.map (fun tb -> Tuple.append ta tb) b.tuples) a.tuples
+  in
+  { schema; tuples }
+
+let require_equal_layout op a b =
+  if not (Schema.equal_layout a.schema b.schema) then
+    invalid_arg
+      (Format.asprintf "Relation.%s: schema mismatch %a vs %a" op Schema.pp a.schema
+         Schema.pp b.schema)
+
+let union a b =
+  require_equal_layout "union" a b;
+  { a with tuples = a.tuples @ b.tuples }
+
+module Tuple_map = Map.Make (struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+end)
+
+let multiset tuples =
+  List.fold_left
+    (fun acc t ->
+      Tuple_map.update t (function None -> Some 1 | Some n -> Some (n + 1)) acc)
+    Tuple_map.empty tuples
+
+let diff a b =
+  require_equal_layout "diff" a b;
+  let counts = ref (multiset b.tuples) in
+  let keep t =
+    match Tuple_map.find_opt t !counts with
+    | Some n when n > 0 ->
+      counts := Tuple_map.add t (n - 1) !counts;
+      false
+    | Some _ | None -> true
+  in
+  { a with tuples = List.filter keep a.tuples }
+
+let intersect a b =
+  require_equal_layout "intersect" a b;
+  let counts = ref (multiset b.tuples) in
+  let keep t =
+    match Tuple_map.find_opt t !counts with
+    | Some n when n > 0 ->
+      counts := Tuple_map.add t (n - 1) !counts;
+      true
+    | Some _ | None -> false
+  in
+  { a with tuples = List.filter keep a.tuples }
+
+let distinct r = { r with tuples = List.sort_uniq Tuple.compare r.tuples }
+
+(* Natural join: hash partition the right side on the common attributes,
+   probe with the left side; right copies of common attributes drop out. *)
+let natural_join a b =
+  let common = Schema.common_names a.schema b.schema in
+  if common = [] then product a b
+  else begin
+    let key_positions schema =
+      Array.of_list (List.map (Schema.find schema) common)
+    in
+    let ka = key_positions a.schema and kb = key_positions b.schema in
+    let kept_b =
+      (* Positions in b that are not join attributes. *)
+      let is_common i =
+        let bare = (Schema.attr_at b.schema i).Schema.name in
+        List.exists (String.equal bare) common
+      in
+      List.filter (fun i -> not (is_common i)) (List.init (Schema.arity b.schema) Fun.id)
+    in
+    let schema =
+      Schema.append a.schema
+        (Schema.make (List.map (Schema.attr_at b.schema) kept_b))
+    in
+    let table = Hashtbl.create (List.length b.tuples) in
+    List.iter
+      (fun tb ->
+        let key = Tuple.project kb tb in
+        Hashtbl.add table (Tuple.encode key) tb)
+      b.tuples;
+    let kept_b = Array.of_list kept_b in
+    let tuples =
+      List.concat_map
+        (fun ta ->
+          let key = Tuple.encode (Tuple.project ka ta) in
+          List.rev_map
+            (fun tb -> Tuple.append ta (Tuple.project kept_b tb))
+            (Hashtbl.find_all table key))
+        a.tuples
+    in
+    { schema; tuples }
+  end
+
+let equi_join ~left ~right a b =
+  let la = Schema.find a.schema left and rb = Schema.find b.schema right in
+  let schema = Schema.append a.schema b.schema in
+  let table = Hashtbl.create (List.length b.tuples) in
+  List.iter
+    (fun tb -> Hashtbl.add table (Value.encode (Tuple.get tb rb)) tb)
+    b.tuples;
+  let tuples =
+    List.concat_map
+      (fun ta ->
+        let key = Value.encode (Tuple.get ta la) in
+        List.rev_map (fun tb -> Tuple.append ta tb) (Hashtbl.find_all table key))
+      a.tuples
+  in
+  { schema; tuples }
+
+let nested_loop_join a b =
+  let common = Schema.common_names a.schema b.schema in
+  if common = [] then product a b
+  else begin
+    (* Work positionally: comparing and concatenating raw tuples avoids
+       building the (name-clashing) intermediate cross-product schema. *)
+    let pa = List.map (Schema.find a.schema) common in
+    let pb = List.map (Schema.find b.schema) common in
+    let keep_b =
+      Array.of_list
+        (List.filter (fun i -> not (List.mem i pb)) (List.init (Schema.arity b.schema) Fun.id))
+    in
+    let schema =
+      Schema.append a.schema
+        (Schema.make (List.map (Schema.attr_at b.schema) (Array.to_list keep_b)))
+    in
+    let matches ta tb =
+      List.for_all2 (fun i j -> Value.equal (Tuple.get ta i) (Tuple.get tb j)) pa pb
+    in
+    let tuples =
+      List.concat_map
+        (fun ta ->
+          List.filter_map
+            (fun tb ->
+              if matches ta tb then Some (Tuple.append ta (Tuple.project keep_b tb)) else None)
+            b.tuples)
+        a.tuples
+    in
+    { schema; tuples }
+  end
+
+let sort r = { r with tuples = List.sort Tuple.compare r.tuples }
+
+let equal_contents a b =
+  Schema.equal_layout a.schema b.schema
+  && List.equal Tuple.equal (List.sort Tuple.compare a.tuples)
+       (List.sort Tuple.compare b.tuples)
+
+let pp fmt r =
+  let headers = Array.of_list (Schema.names r.schema) in
+  let rows =
+    List.map (fun t -> Array.of_list (List.map Value.to_string (Tuple.to_list t))) r.tuples
+  in
+  let ncols = Array.length headers in
+  let widths =
+    Array.init ncols (fun c ->
+        List.fold_left
+          (fun acc row -> Stdlib.max acc (String.length row.(c)))
+          (String.length headers.(c))
+          rows)
+  in
+  let line ch =
+    Format.fprintf fmt "+%s+@."
+      (String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) ch) widths)))
+  in
+  let row cells =
+    Format.fprintf fmt "|%s|@."
+      (String.concat "|"
+         (Array.to_list
+            (Array.mapi (fun c cell -> Printf.sprintf " %-*s " widths.(c) cell) cells)))
+  in
+  line '-';
+  row headers;
+  line '-';
+  List.iter row rows;
+  line '-';
+  Format.fprintf fmt "(%d tuple%s)" (cardinality r) (if cardinality r = 1 then "" else "s")
+
+let to_string r = Format.asprintf "%a" pp r

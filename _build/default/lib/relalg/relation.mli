@@ -1,0 +1,61 @@
+(** Relations (bags of tuples over a schema) and the relational operators
+    the mediator pipeline uses. *)
+
+type t
+
+val make : Schema.t -> Tuple.t list -> t
+(** Raises [Invalid_argument] when a tuple does not match the schema. *)
+
+val of_rows : Schema.t -> Value.t list list -> t
+val empty : Schema.t -> t
+val schema : t -> Schema.t
+val tuples : t -> Tuple.t list
+val cardinality : t -> int
+val is_empty : t -> bool
+val mem : t -> Tuple.t -> bool
+
+val column : t -> string -> Value.t list
+(** Values of the named attribute, in tuple order (with duplicates). *)
+
+val active_domain : t -> string -> Value.t list
+(** Sorted distinct values of the named attribute: dom_active(A). *)
+
+(** {1 Operators} *)
+
+val select : Predicate.t -> t -> t
+val project : string list -> t -> t
+val rename : string -> t -> t
+(** Re-qualifies every attribute with the given relation name. *)
+
+val product : t -> t -> t
+val union : t -> t -> t
+(** Bag union; schemas must have equal layout. *)
+
+val diff : t -> t -> t
+(** Bag difference. *)
+
+val intersect : t -> t -> t
+val distinct : t -> t
+
+val natural_join : t -> t -> t
+(** Hash join on all common bare attribute names; degenerates to a cross
+    product when there are none.  Common attributes appear once, with the
+    left qualifier. *)
+
+val equi_join : left:string -> right:string -> t -> t -> t
+(** Join on one attribute pair, keeping both columns. *)
+
+val nested_loop_join : t -> t -> t
+(** Reference natural-join implementation (σ over ×) used to cross-check
+    the hash join in tests and the DAS ablation. *)
+
+val sort : t -> t
+(** Canonical tuple order (for display and set comparison). *)
+
+val equal_contents : t -> t -> bool
+(** Same bag of tuples modulo order, requiring equal schema layout. *)
+
+val pp : Format.formatter -> t -> unit
+(** ASCII table. *)
+
+val to_string : t -> string

@@ -1,0 +1,82 @@
+type attr = { rel : string option; name : string; ty : Value.ty }
+
+type t = attr array
+
+let attr ?rel name ty = { rel; name; ty }
+
+let display_name a =
+  match a.rel with None -> a.name | Some r -> r ^ "." ^ a.name
+
+let make attrs =
+  let arr = Array.of_list attrs in
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun a ->
+      let key = display_name a in
+      if Hashtbl.mem seen key then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate attribute %s" key);
+      Hashtbl.add seen key ())
+    arr;
+  arr
+
+let of_list pairs = make (List.map (fun (name, ty) -> attr name ty) pairs)
+
+let attrs t = Array.to_list t
+let arity = Array.length
+let attr_at t i = t.(i)
+let names t = Array.to_list (Array.map display_name t)
+
+let split_qualified s =
+  match String.index_opt s '.' with
+  | None -> (None, s)
+  | Some i -> (Some (String.sub s 0 i), String.sub s (i + 1) (String.length s - i - 1))
+
+let find_opt t name =
+  let qual, bare = split_qualified name in
+  let matches a =
+    String.equal a.name bare
+    && (match qual with None -> true | Some q -> a.rel = Some q)
+  in
+  let hits = ref [] in
+  Array.iteri (fun i a -> if matches a then hits := i :: !hits) t;
+  match !hits with
+  | [ i ] -> Some i
+  | [] -> None
+  | _ :: _ :: _ ->
+    invalid_arg (Printf.sprintf "Schema.find: ambiguous attribute %s" name)
+
+let find t name =
+  match find_opt t name with Some i -> i | None -> raise Not_found
+
+let mem t name = match find_opt t name with Some _ -> true | None -> false
+
+let qualify rel t = Array.map (fun a -> { a with rel = Some rel }) t
+
+let unqualify t = Array.map (fun a -> { a with rel = None }) t
+
+let append a b = make (Array.to_list a @ Array.to_list b)
+
+let project t names =
+  let positions = Array.of_list (List.map (find t) names) in
+  let sub = make (List.map (fun i -> t.(i)) (Array.to_list positions)) in
+  (sub, positions)
+
+let common_names a b =
+  let names_of t =
+    List.sort_uniq String.compare (Array.to_list (Array.map (fun x -> x.name) t))
+  in
+  List.filter (fun n -> List.exists (fun m -> String.equal n m) (names_of b)) (names_of a)
+
+let equal_layout a b =
+  arity a = arity b
+  && Array.for_all2
+       (fun x y -> String.equal x.name y.name && Value.ty_equal x.ty y.ty)
+       a b
+
+let pp fmt t =
+  Format.fprintf fmt "(%s)"
+    (String.concat ", "
+       (Array.to_list
+          (Array.map (fun a -> display_name a ^ ":" ^ Value.ty_name a.ty) t)))
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,55 @@
+(** Relation schemas: ordered lists of (optionally qualified) typed
+    attributes. *)
+
+type attr = {
+  rel : string option; (** qualifier, e.g. [Some "R1"] in [R1.Ajoin] *)
+  name : string;
+  ty : Value.ty;
+}
+
+type t
+
+val attr : ?rel:string -> string -> Value.ty -> attr
+
+val make : attr list -> t
+(** Raises [Invalid_argument] when two attributes share the same qualified
+    display name. *)
+
+val of_list : (string * Value.ty) list -> t
+val attrs : t -> attr list
+val arity : t -> int
+val attr_at : t -> int -> attr
+
+val display_name : attr -> string
+(** ["R.a"] or ["a"]. *)
+
+val names : t -> string list
+
+val find : t -> string -> int
+(** Index of an attribute.  A bare name matches any qualifier if the match
+    is unique; a qualified name ["R.a"] matches exactly.  Raises
+    [Not_found] if absent and [Invalid_argument] if ambiguous. *)
+
+val find_opt : t -> string -> int option
+val mem : t -> string -> bool
+
+val qualify : string -> t -> t
+(** Sets the qualifier of every attribute. *)
+
+val unqualify : t -> t
+
+val append : t -> t -> t
+(** Schema of a cross product; raises [Invalid_argument] on display-name
+    clash. *)
+
+val project : t -> string list -> t * int array
+(** Sub-schema for the named attributes and their source positions. *)
+
+val common_names : t -> t -> string list
+(** Bare attribute names present in both (the natural-join attributes). *)
+
+val equal_layout : t -> t -> bool
+(** Same bare names and types in the same order (qualifiers ignored). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,86 @@
+type ty = Tint | Tstring | Tbool
+
+type t =
+  | Int of int
+  | Str of string
+  | Bool of bool
+
+let ty_of = function Int _ -> Tint | Str _ -> Tstring | Bool _ -> Tbool
+
+let ty_name = function Tint -> "int" | Tstring -> "string" | Tbool -> "bool"
+
+let ty_equal (a : ty) (b : ty) = a = b
+
+let type_rank = function Int _ -> 0 | Str _ -> 1 | Bool _ -> 2
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Stdlib.compare x y
+  | Str x, Str y -> Stdlib.compare x y
+  | Bool x, Bool y -> Stdlib.compare x y
+  | (Int _ | Str _ | Bool _), _ -> Stdlib.compare (type_rank a) (type_rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Int x -> Hashtbl.hash (0, x)
+  | Str s -> Hashtbl.hash (1, s)
+  | Bool b -> Hashtbl.hash (2, b)
+
+let to_string = function
+  | Int x -> string_of_int x
+  | Str s -> s
+  | Bool b -> string_of_bool b
+
+let pp fmt v =
+  match v with
+  | Str s -> Format.fprintf fmt "%S" s
+  | Int _ | Bool _ -> Format.pp_print_string fmt (to_string v)
+
+let parse ty s =
+  match ty with
+  | Tint ->
+    (match int_of_string_opt (String.trim s) with
+     | Some v -> Int v
+     | None -> invalid_arg (Printf.sprintf "Value.parse: bad int %S" s))
+  | Tbool ->
+    (match String.lowercase_ascii (String.trim s) with
+     | "true" | "1" | "yes" -> Bool true
+     | "false" | "0" | "no" -> Bool false
+     | _ -> invalid_arg (Printf.sprintf "Value.parse: bad bool %S" s))
+  | Tstring -> Str s
+
+(* Wire encoding: tag byte, then a fixed or length-prefixed body. *)
+
+let be64 v = String.init 8 (fun i -> Char.chr ((v lsr ((7 - i) * 8)) land 0xff))
+
+let read_be64 s off =
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code s.[off + i]
+  done;
+  !v
+
+let encode = function
+  | Int x -> "i" ^ be64 x
+  | Str s -> "s" ^ be64 (String.length s) ^ s
+  | Bool b -> if b then "bT" else "bF"
+
+let decode s off =
+  if off >= String.length s then invalid_arg "Value.decode: truncated input";
+  match s.[off] with
+  | 'i' ->
+    if off + 9 > String.length s then invalid_arg "Value.decode: truncated int";
+    (Int (read_be64 s (off + 1)), off + 9)
+  | 's' ->
+    if off + 9 > String.length s then invalid_arg "Value.decode: truncated string header";
+    let len = read_be64 s (off + 1) in
+    if off + 9 + len > String.length s then invalid_arg "Value.decode: truncated string";
+    (Str (String.sub s (off + 9) len), off + 9 + len)
+  | 'b' ->
+    if off + 2 > String.length s then invalid_arg "Value.decode: truncated bool";
+    (match s.[off + 1] with
+     | 'T' -> (Bool true, off + 2)
+     | 'F' -> (Bool false, off + 2)
+     | _ -> invalid_arg "Value.decode: bad bool")
+  | c -> invalid_arg (Printf.sprintf "Value.decode: bad tag %C" c)

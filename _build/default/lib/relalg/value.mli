@@ -1,0 +1,32 @@
+(** Typed attribute values. *)
+
+type ty = Tint | Tstring | Tbool
+
+type t =
+  | Int of int
+  | Str of string
+  | Bool of bool
+
+val ty_of : t -> ty
+val ty_name : ty -> string
+val ty_equal : ty -> ty -> bool
+
+val compare : t -> t -> int
+(** Total order; values of different types order by type tag. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val parse : ty -> string -> t
+(** Raises [Invalid_argument] on unparsable input (e.g. CSV import). *)
+
+val encode : t -> string
+(** Self-delimiting tagged byte encoding (used when tuples are serialized
+    for encryption). *)
+
+val decode : string -> int -> t * int
+(** [decode s off] reads one value at [off], returning it and the next
+    offset.  Raises [Invalid_argument] on malformed input. *)

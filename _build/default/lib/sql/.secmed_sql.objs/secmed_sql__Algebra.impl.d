@@ -1,0 +1,1 @@
+lib/sql/algebra.ml: Aggregate Ast Format List Option Predicate Printf Relation Secmed_relalg String

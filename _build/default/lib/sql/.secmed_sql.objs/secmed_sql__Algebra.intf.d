@@ -1,0 +1,1 @@
+lib/sql/algebra.mli: Aggregate Ast Format Predicate Relation Secmed_relalg

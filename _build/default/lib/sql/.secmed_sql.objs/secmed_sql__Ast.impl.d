@@ -1,0 +1,1 @@
+lib/sql/ast.ml: Aggregate Format List Predicate Printf Secmed_relalg String Value

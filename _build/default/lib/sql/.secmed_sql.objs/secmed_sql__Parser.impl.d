@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Aggregate Array Ast Lexer List Predicate Printf Secmed_relalg Token

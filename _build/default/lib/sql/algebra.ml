@@ -1,0 +1,163 @@
+open Secmed_relalg
+
+type t =
+  | Scan of string
+  | Rename of string * t
+  | Select of Predicate.t * t
+  | Project of string list * t
+  | Distinct of t
+  | Natural_join of t * t
+  | Equi_join of (string * string) * t * t
+  | Product of t * t
+  | Group_by of string list * Aggregate.spec list * t
+
+let term_of_operand = function
+  | Ast.Col c -> Predicate.Attr (Ast.column_name c)
+  | Ast.Lit l -> Predicate.Const (Ast.value_of_literal l)
+
+let rec predicate_of_expr = function
+  | Ast.E_bool true -> Predicate.True
+  | Ast.E_bool false -> Predicate.False
+  | Ast.E_cmp (op, a, b) -> Predicate.Cmp (op, term_of_operand a, term_of_operand b)
+  | Ast.E_and (a, b) -> Predicate.And (predicate_of_expr a, predicate_of_expr b)
+  | Ast.E_or (a, b) -> Predicate.Or (predicate_of_expr a, predicate_of_expr b)
+  | Ast.E_not a -> Predicate.Not (predicate_of_expr a)
+  | Ast.E_in (x, ls) ->
+    Predicate.In (term_of_operand x, List.map Ast.value_of_literal ls)
+
+let scan_of_ref (r : Ast.table_ref) =
+  let name = match r.alias with Some a -> a | None -> r.table in
+  Rename (name, Scan r.table)
+
+let spec_of_item = function
+  | Ast.S_aggregate { Ast.agg_func; agg_column; agg_alias } ->
+    Some (Aggregate.spec ?alias:agg_alias agg_func (Option.map Ast.column_name agg_column))
+  | Ast.S_column _ -> None
+
+let of_query (q : Ast.query) =
+  let base = scan_of_ref q.from in
+  let joined =
+    List.fold_left
+      (fun acc (kind, table) ->
+        let right = scan_of_ref table in
+        match kind with
+        | Ast.J_natural -> Natural_join (acc, right)
+        | Ast.J_on (a, b) -> Equi_join ((Ast.column_name a, Ast.column_name b), acc, right))
+      base q.joins
+  in
+  let filtered =
+    match q.where with
+    | None -> joined
+    | Some w -> Select (predicate_of_expr w, joined)
+  in
+  let projected =
+    if Ast.has_aggregates q || q.group_by <> [] then begin
+      let keys = List.map Ast.column_name q.group_by in
+      let items = Option.value ~default:[] q.select in
+      (* Plain select columns must be grouping keys (standard SQL rule). *)
+      List.iter
+        (function
+          | Ast.S_column c ->
+            let name = Ast.column_name c in
+            if not (List.exists (String.equal name) keys) then
+              invalid_arg
+                (Printf.sprintf "Algebra.of_query: column %s is neither aggregated nor grouped"
+                   name)
+          | Ast.S_aggregate _ -> ())
+        items;
+      let specs = List.filter_map spec_of_item items in
+      let output_names =
+        List.map
+          (function
+            | Ast.S_column c -> Ast.column_name c
+            | Ast.S_aggregate a ->
+              (Aggregate.spec ?alias:a.Ast.agg_alias a.Ast.agg_func
+                 (Option.map Ast.column_name a.Ast.agg_column))
+                .Aggregate.alias)
+          items
+      in
+      Project (output_names, Group_by (keys, specs, filtered))
+    end
+    else begin
+      match q.select with
+      | None -> filtered
+      | Some items ->
+        let names =
+          List.map
+            (function
+              | Ast.S_column c -> Ast.column_name c
+              | Ast.S_aggregate _ -> assert false)
+            items
+        in
+        Project (names, filtered)
+    end
+  in
+  if q.distinct then Distinct projected else projected
+
+let rec eval env = function
+  | Scan name -> env name
+  | Rename (rel, inner) -> Relation.rename rel (eval env inner)
+  | Select (p, inner) -> Relation.select p (eval env inner)
+  | Project (cols, inner) -> Relation.project cols (eval env inner)
+  | Distinct inner -> Relation.distinct (eval env inner)
+  | Natural_join (a, b) -> Relation.natural_join (eval env a) (eval env b)
+  | Equi_join ((la, rb), a, b) -> Relation.equi_join ~left:la ~right:rb (eval env a) (eval env b)
+  | Product (a, b) -> Relation.product (eval env a) (eval env b)
+  | Group_by (keys, specs, inner) -> Aggregate.group_by (eval env inner) ~keys ~specs
+
+let rec leaves = function
+  | Scan name -> [ name ]
+  | Rename (_, inner) | Select (_, inner) | Project (_, inner) | Distinct inner
+  | Group_by (_, _, inner) ->
+    leaves inner
+  | Natural_join (a, b) | Equi_join (_, a, b) | Product (a, b) -> leaves a @ leaves b
+
+let rec join_attributes = function
+  | Scan _ -> []
+  | Rename (_, inner) | Select (_, inner) | Project (_, inner) | Distinct inner
+  | Group_by (_, _, inner) ->
+    join_attributes inner
+  | Natural_join (a, b) | Product (a, b) -> join_attributes a @ join_attributes b
+  | Equi_join (pair, a, b) -> (pair :: join_attributes a) @ join_attributes b
+
+let rec pp_node fmt indent node =
+  let pad = String.make indent ' ' in
+  match node with
+  | Scan name -> Format.fprintf fmt "%sScan %s@." pad name
+  | Rename (rel, inner) ->
+    Format.fprintf fmt "%sRename %s@." pad rel;
+    pp_node fmt (indent + 2) inner
+  | Select (p, inner) ->
+    Format.fprintf fmt "%sSelect %s@." pad (Predicate.to_string p);
+    pp_node fmt (indent + 2) inner
+  | Project (cols, inner) ->
+    Format.fprintf fmt "%sProject [%s]@." pad (String.concat "; " cols);
+    pp_node fmt (indent + 2) inner
+  | Distinct inner ->
+    Format.fprintf fmt "%sDistinct@." pad;
+    pp_node fmt (indent + 2) inner
+  | Natural_join (a, b) ->
+    Format.fprintf fmt "%sNaturalJoin@." pad;
+    pp_node fmt (indent + 2) a;
+    pp_node fmt (indent + 2) b
+  | Equi_join ((la, rb), a, b) ->
+    Format.fprintf fmt "%sEquiJoin %s = %s@." pad la rb;
+    pp_node fmt (indent + 2) a;
+    pp_node fmt (indent + 2) b
+  | Product (a, b) ->
+    Format.fprintf fmt "%sProduct@." pad;
+    pp_node fmt (indent + 2) a;
+    pp_node fmt (indent + 2) b
+  | Group_by (keys, specs, inner) ->
+    Format.fprintf fmt "%sGroupBy [%s] aggregates [%s]@." pad (String.concat "; " keys)
+      (String.concat "; "
+         (List.map
+            (fun s ->
+              Printf.sprintf "%s(%s)" (Aggregate.func_name s.Aggregate.func)
+                (Option.value ~default:"*" s.Aggregate.column))
+            specs));
+    pp_node fmt (indent + 2) inner
+
+let pp fmt node = pp_node fmt 0 node
+
+let to_string node = Format.asprintf "%a" pp node

@@ -1,0 +1,42 @@
+(** Relational algebra trees — the back half of "SQL2Algebra" ([4]): the
+    mediator transforms the client's SQL into a tree with operators in the
+    inner nodes and partial queries (scans) at the leaves. *)
+
+open Secmed_relalg
+
+type t =
+  | Scan of string                          (** base relation (a partial query) *)
+  | Rename of string * t                    (** qualify attributes *)
+  | Select of Predicate.t * t
+  | Project of string list * t
+  | Distinct of t
+  | Natural_join of t * t
+  | Equi_join of (string * string) * t * t  (** left attr, right attr *)
+  | Product of t * t
+  | Group_by of string list * Aggregate.spec list * t
+      (** grouping keys, aggregate specs *)
+
+val of_query : Ast.query -> t
+(** Compiles parsed SQL.  Each table reference becomes [Rename (alias,
+    Scan table)], joins nest left-deep, WHERE becomes [Select], an explicit
+    column list becomes [Project]. *)
+
+val predicate_of_expr : Ast.expr -> Predicate.t
+
+val eval : (string -> Relation.t) -> t -> Relation.t
+(** Evaluates against an environment mapping base-relation names to
+    relations (raises whatever the environment raises on unknown names). *)
+
+val leaves : t -> string list
+(** Base relation names, left to right. *)
+
+val join_attributes : t -> (string * string) list
+(** For each join node, the (left, right) attribute pair joined on;
+    natural joins are reported via their common bare names at compile
+    time is not possible here, so they appear as [(a, a)] pairs resolved
+    during {!eval} — this accessor reports only explicit equi-joins. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented tree rendering (the paper's "algebra tree"). *)
+
+val to_string : t -> string

@@ -1,0 +1,120 @@
+open Secmed_relalg
+
+type column = { qualifier : string option; name : string }
+
+type literal =
+  | L_int of int
+  | L_str of string
+  | L_bool of bool
+
+type operand =
+  | Col of column
+  | Lit of literal
+
+type expr =
+  | E_cmp of Predicate.comparison * operand * operand
+  | E_and of expr * expr
+  | E_or of expr * expr
+  | E_not of expr
+  | E_in of operand * literal list
+  | E_bool of bool
+
+type agg_item = {
+  agg_func : Aggregate.func;
+  agg_column : column option;
+  agg_alias : string option;
+}
+
+type select_item =
+  | S_column of column
+  | S_aggregate of agg_item
+
+type table_ref = { table : string; alias : string option }
+
+type join_kind =
+  | J_natural
+  | J_on of column * column
+
+type query = {
+  distinct : bool;
+  select : select_item list option;
+  from : table_ref;
+  joins : (join_kind * table_ref) list;
+  where : expr option;
+  group_by : column list;
+}
+
+let has_aggregates q =
+  match q.select with
+  | None -> false
+  | Some items ->
+    List.exists (function S_aggregate _ -> true | S_column _ -> false) items
+
+let column_name c =
+  match c.qualifier with None -> c.name | Some q -> q ^ "." ^ c.name
+
+let value_of_literal = function
+  | L_int n -> Value.Int n
+  | L_str s -> Value.Str s
+  | L_bool b -> Value.Bool b
+
+let literal_to_string = function
+  | L_int n -> string_of_int n
+  | L_str s -> "'" ^ s ^ "'"
+  | L_bool b -> string_of_bool b
+
+let operand_to_string = function
+  | Col c -> column_name c
+  | Lit l -> literal_to_string l
+
+let cmp_to_string : Predicate.comparison -> string = function
+  | Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let rec expr_to_string = function
+  | E_cmp (op, a, b) ->
+    Printf.sprintf "%s %s %s" (operand_to_string a) (cmp_to_string op) (operand_to_string b)
+  | E_and (a, b) -> Printf.sprintf "(%s AND %s)" (expr_to_string a) (expr_to_string b)
+  | E_or (a, b) -> Printf.sprintf "(%s OR %s)" (expr_to_string a) (expr_to_string b)
+  | E_not a -> Printf.sprintf "NOT %s" (expr_to_string a)
+  | E_in (x, ls) ->
+    Printf.sprintf "%s IN (%s)" (operand_to_string x)
+      (String.concat ", " (List.map literal_to_string ls))
+  | E_bool b -> string_of_bool b
+
+let table_ref_to_string t =
+  match t.alias with None -> t.table | Some a -> t.table ^ " AS " ^ a
+
+let select_item_to_string = function
+  | S_column c -> column_name c
+  | S_aggregate { agg_func; agg_column; agg_alias } ->
+    Printf.sprintf "%s(%s)%s"
+      (String.uppercase_ascii (Aggregate.func_name agg_func))
+      (match agg_column with None -> "*" | Some c -> column_name c)
+      (match agg_alias with None -> "" | Some a -> " AS " ^ a)
+
+let pp_query fmt q =
+  let select =
+    match q.select with
+    | None -> "*"
+    | Some items -> String.concat ", " (List.map select_item_to_string items)
+  in
+  Format.fprintf fmt "SELECT %s%s FROM %s"
+    (if q.distinct then "DISTINCT " else "")
+    select (table_ref_to_string q.from);
+  List.iter
+    (fun (kind, table) ->
+      match kind with
+      | J_natural -> Format.fprintf fmt " NATURAL JOIN %s" (table_ref_to_string table)
+      | J_on (a, b) ->
+        Format.fprintf fmt " JOIN %s ON %s = %s" (table_ref_to_string table)
+          (column_name a) (column_name b))
+    q.joins;
+  (match q.where with
+   | None -> ()
+   | Some w -> Format.fprintf fmt " WHERE %s" (expr_to_string w));
+  match q.group_by with
+  | [] -> ()
+  | keys ->
+    Format.fprintf fmt " GROUP BY %s" (String.concat ", " (List.map column_name keys))
+
+let query_to_string q = Format.asprintf "%a" pp_query q

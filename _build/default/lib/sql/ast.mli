@@ -1,0 +1,54 @@
+(** Abstract syntax of the SQL subset (the front half of "SQL2Algebra"). *)
+
+type column = { qualifier : string option; name : string }
+
+type literal =
+  | L_int of int
+  | L_str of string
+  | L_bool of bool
+
+type operand =
+  | Col of column
+  | Lit of literal
+
+type expr =
+  | E_cmp of Secmed_relalg.Predicate.comparison * operand * operand
+  | E_and of expr * expr
+  | E_or of expr * expr
+  | E_not of expr
+  | E_in of operand * literal list
+  | E_bool of bool
+
+type agg_item = {
+  agg_func : Secmed_relalg.Aggregate.func;
+  agg_column : column option;  (** [None] only for a COUNT over all rows *)
+  agg_alias : string option;
+}
+
+type select_item =
+  | S_column of column
+  | S_aggregate of agg_item
+
+type table_ref = { table : string; alias : string option }
+
+type join_kind =
+  | J_natural
+  | J_on of column * column
+
+type query = {
+  distinct : bool;
+  select : select_item list option; (** [None] for [SELECT *] *)
+  from : table_ref;
+  joins : (join_kind * table_ref) list;
+  where : expr option;
+  group_by : column list;
+}
+
+val has_aggregates : query -> bool
+
+val column_name : column -> string
+(** ["q.name"] or ["name"]. *)
+
+val value_of_literal : literal -> Secmed_relalg.Value.t
+val pp_query : Format.formatter -> query -> unit
+val query_to_string : query -> string

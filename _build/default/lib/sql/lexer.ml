@@ -1,0 +1,97 @@
+exception Error of string * int
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let len = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let rec go i =
+    if i >= len then emit Token.Eof
+    else begin
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '*' ->
+        emit Token.Star;
+        go (i + 1)
+      | ',' ->
+        emit Token.Comma;
+        go (i + 1)
+      | '.' ->
+        emit Token.Dot;
+        go (i + 1)
+      | '(' ->
+        emit Token.Lparen;
+        go (i + 1)
+      | ')' ->
+        emit Token.Rparen;
+        go (i + 1)
+      | '=' ->
+        emit (Token.Op "=");
+        go (i + 1)
+      | '<' ->
+        if i + 1 < len && input.[i + 1] = '=' then begin
+          emit (Token.Op "<=");
+          go (i + 2)
+        end
+        else if i + 1 < len && input.[i + 1] = '>' then begin
+          emit (Token.Op "<>");
+          go (i + 2)
+        end
+        else begin
+          emit (Token.Op "<");
+          go (i + 1)
+        end
+      | '>' ->
+        if i + 1 < len && input.[i + 1] = '=' then begin
+          emit (Token.Op ">=");
+          go (i + 2)
+        end
+        else begin
+          emit (Token.Op ">");
+          go (i + 1)
+        end
+      | '!' when i + 1 < len && input.[i + 1] = '=' ->
+        emit (Token.Op "<>");
+        go (i + 2)
+      | '\'' -> string_lit (i + 1) (Buffer.create 8)
+      | c when is_digit c || (c = '-' && i + 1 < len && is_digit input.[i + 1]) ->
+        let j = ref (i + 1) in
+        while !j < len && is_digit input.[!j] do
+          incr j
+        done;
+        (match int_of_string_opt (String.sub input i (!j - i)) with
+         | Some n -> emit (Token.Int_lit n)
+         | None -> raise (Error ("integer literal out of range", i)));
+        go !j
+      | c when is_ident_start c ->
+        let j = ref (i + 1) in
+        while !j < len && is_ident_char input.[!j] do
+          incr j
+        done;
+        let word = String.sub input i (!j - i) in
+        let upper = String.uppercase_ascii word in
+        if List.mem upper Token.keywords then emit (Token.Keyword upper)
+        else emit (Token.Ident word);
+        go !j
+      | c -> raise (Error (Printf.sprintf "unexpected character %C" c, i))
+    end
+  and string_lit i buf =
+    if i >= len then raise (Error ("unterminated string literal", i))
+    else begin
+      match input.[i] with
+      | '\'' when i + 1 < len && input.[i + 1] = '\'' ->
+        Buffer.add_char buf '\'';
+        string_lit (i + 2) buf
+      | '\'' ->
+        emit (Token.Str_lit (Buffer.contents buf));
+        go (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        string_lit (i + 1) buf
+    end
+  in
+  go 0;
+  List.rev !tokens

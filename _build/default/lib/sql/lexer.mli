@@ -1,0 +1,9 @@
+(** Hand-written lexer for the SQL subset. *)
+
+exception Error of string * int
+(** Message and byte position. *)
+
+val tokenize : string -> Token.t list
+(** Ends with {!Token.Eof}.  Identifiers are case-preserved; keywords are
+    recognized case-insensitively.  String literals use single quotes with
+    [''] as the escape. *)

@@ -1,0 +1,218 @@
+open Secmed_relalg
+
+exception Error of string
+
+type state = { tokens : Token.t array; mutable pos : int }
+
+let peek st = st.tokens.(st.pos)
+
+let advance st = st.pos <- st.pos + 1
+
+let fail st expected =
+  raise (Error (Printf.sprintf "expected %s but found %s" expected (Token.to_string (peek st))))
+
+let expect st token =
+  if Token.equal (peek st) token then advance st
+  else fail st (Token.to_string token)
+
+let keyword st k = Token.equal (peek st) (Token.Keyword k)
+
+let eat_keyword st k = if keyword st k then (advance st; true) else false
+
+let ident st =
+  match peek st with
+  | Token.Ident name ->
+    advance st;
+    name
+  | _ -> fail st "an identifier"
+
+let column st =
+  let first = ident st in
+  match peek st with
+  | Token.Dot ->
+    advance st;
+    let name = ident st in
+    { Ast.qualifier = Some first; name }
+  | _ -> { Ast.qualifier = None; name = first }
+
+let literal st =
+  match peek st with
+  | Token.Int_lit n ->
+    advance st;
+    Ast.L_int n
+  | Token.Str_lit s ->
+    advance st;
+    Ast.L_str s
+  | Token.Keyword "TRUE" ->
+    advance st;
+    Ast.L_bool true
+  | Token.Keyword "FALSE" ->
+    advance st;
+    Ast.L_bool false
+  | _ -> fail st "a literal"
+
+let operand st =
+  match peek st with
+  | Token.Ident _ -> Ast.Col (column st)
+  | _ -> Ast.Lit (literal st)
+
+let comparison_of_op : string -> Predicate.comparison = function
+  | "=" -> Eq
+  | "<>" -> Ne
+  | "<" -> Lt
+  | "<=" -> Le
+  | ">" -> Gt
+  | ">=" -> Ge
+  | op -> raise (Error (Printf.sprintf "unknown comparison operator %s" op))
+
+(* Precedence: OR < AND < NOT < atom. *)
+let rec expr st =
+  let left = conjunction st in
+  if eat_keyword st "OR" then Ast.E_or (left, expr st) else left
+
+and conjunction st =
+  let left = negation st in
+  if eat_keyword st "AND" then Ast.E_and (left, conjunction st) else left
+
+and negation st =
+  if eat_keyword st "NOT" then Ast.E_not (negation st) else atom st
+
+and atom st =
+  match peek st with
+  | Token.Lparen ->
+    advance st;
+    let inner = expr st in
+    expect st Token.Rparen;
+    inner
+  | Token.Keyword "TRUE" ->
+    advance st;
+    Ast.E_bool true
+  | Token.Keyword "FALSE" ->
+    advance st;
+    Ast.E_bool false
+  | _ ->
+    let left = operand st in
+    (match peek st with
+     | Token.Op op ->
+       advance st;
+       Ast.E_cmp (comparison_of_op op, left, operand st)
+     | Token.Keyword "IN" ->
+       advance st;
+       expect st Token.Lparen;
+       let rec items acc =
+         let acc = literal st :: acc in
+         match peek st with
+         | Token.Comma ->
+           advance st;
+           items acc
+         | _ -> List.rev acc
+       in
+       let ls = items [] in
+       expect st Token.Rparen;
+       Ast.E_in (left, ls)
+     | _ -> fail st "a comparison operator or IN")
+
+let table_ref st =
+  let table = ident st in
+  if eat_keyword st "AS" then { Ast.table; alias = Some (ident st) }
+  else begin
+    match peek st with
+    | Token.Ident _ -> { Ast.table; alias = Some (ident st) }
+    | _ -> { Ast.table; alias = None }
+  end
+
+let aggregate_func st =
+  match peek st with
+  | Token.Keyword "COUNT" -> Some Aggregate.Count
+  | Token.Keyword "SUM" -> Some Aggregate.Sum
+  | Token.Keyword "MIN" -> Some Aggregate.Min
+  | Token.Keyword "MAX" -> Some Aggregate.Max
+  | Token.Keyword "AVG" -> Some Aggregate.Avg
+  | _ -> None
+
+let select_item st =
+  match aggregate_func st with
+  | Some agg_func ->
+    advance st;
+    expect st Token.Lparen;
+    let agg_column =
+      match peek st with
+      | Token.Star ->
+        advance st;
+        if agg_func <> Aggregate.Count then
+          raise (Error "only COUNT may take * as its argument");
+        None
+      | _ -> Some (column st)
+    in
+    expect st Token.Rparen;
+    let agg_alias = if eat_keyword st "AS" then Some (ident st) else None in
+    Ast.S_aggregate { Ast.agg_func; agg_column; agg_alias }
+  | None -> Ast.S_column (column st)
+
+let select_list st =
+  match peek st with
+  | Token.Star ->
+    advance st;
+    None
+  | _ ->
+    let rec items acc =
+      let acc = select_item st :: acc in
+      match peek st with
+      | Token.Comma ->
+        advance st;
+        items acc
+      | _ -> List.rev acc
+    in
+    Some (items [])
+
+let joins st =
+  let rec go acc =
+    if eat_keyword st "NATURAL" then begin
+      expect st (Token.Keyword "JOIN");
+      let table = table_ref st in
+      go ((Ast.J_natural, table) :: acc)
+    end
+    else if eat_keyword st "JOIN" then begin
+      let table = table_ref st in
+      let kind =
+        if eat_keyword st "ON" then begin
+          let a = column st in
+          expect st (Token.Op "=");
+          let b = column st in
+          Ast.J_on (a, b)
+        end
+        else Ast.J_natural
+      in
+      go ((kind, table) :: acc)
+    end
+    else List.rev acc
+  in
+  go []
+
+let group_by_clause st =
+  if eat_keyword st "GROUP" then begin
+    expect st (Token.Keyword "BY");
+    let rec keys acc =
+      let acc = column st :: acc in
+      match peek st with
+      | Token.Comma ->
+        advance st;
+        keys acc
+      | _ -> List.rev acc
+    in
+    keys []
+  end
+  else []
+
+let parse input =
+  let st = { tokens = Array.of_list (Lexer.tokenize input); pos = 0 } in
+  expect st (Token.Keyword "SELECT");
+  let distinct = eat_keyword st "DISTINCT" in
+  let select = select_list st in
+  expect st (Token.Keyword "FROM");
+  let from = table_ref st in
+  let joins = joins st in
+  let where = if eat_keyword st "WHERE" then Some (expr st) else None in
+  let group_by = group_by_clause st in
+  expect st Token.Eof;
+  { Ast.distinct; select; from; joins; where; group_by }

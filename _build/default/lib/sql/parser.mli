@@ -1,0 +1,20 @@
+(** Recursive-descent parser for the SQL subset.
+
+    Grammar (keywords case-insensitive):
+    {v
+    query   ::= SELECT [DISTINCT] (ʼ*ʼ | item {, item}) FROM tref
+                { [NATURAL] JOIN tref [ON column = column] } [WHERE expr]
+                [GROUP BY column {, column}]
+    item    ::= column | func ( ʼ*ʼ | column ) [AS ident]
+    func    ::= COUNT | SUM | MIN | MAX | AVG
+    tref    ::= ident [AS ident | ident]
+    column  ::= ident [. ident]
+    expr    ::= disjunction of conjunctions of (NOT) atoms
+    atom    ::= operand cmp operand | operand IN ( literal {, literal} )
+              | TRUE | FALSE | ( expr )
+    v} *)
+
+exception Error of string
+
+val parse : string -> Ast.query
+(** Raises {!Error} (with a human-readable message) or {!Lexer.Error}. *)

@@ -1,0 +1,32 @@
+type t =
+  | Ident of string
+  | Int_lit of int
+  | Str_lit of string
+  | Keyword of string
+  | Star
+  | Comma
+  | Dot
+  | Lparen
+  | Rparen
+  | Op of string
+  | Eof
+
+let keywords =
+  [ "SELECT"; "FROM"; "WHERE"; "JOIN"; "NATURAL"; "ON"; "AND"; "OR"; "NOT";
+    "AS"; "IN"; "TRUE"; "FALSE"; "DISTINCT"; "GROUP"; "BY"; "COUNT"; "SUM";
+    "MIN"; "MAX"; "AVG" ]
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int_lit n -> Printf.sprintf "integer %d" n
+  | Str_lit s -> Printf.sprintf "string %S" s
+  | Keyword k -> k
+  | Star -> "*"
+  | Comma -> ","
+  | Dot -> "."
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Op o -> o
+  | Eof -> "end of input"

@@ -1,0 +1,18 @@
+(** Lexical tokens of the SQL subset. *)
+
+type t =
+  | Ident of string
+  | Int_lit of int
+  | Str_lit of string
+  | Keyword of string  (** upper-cased: SELECT, FROM, WHERE, JOIN, ... *)
+  | Star
+  | Comma
+  | Dot
+  | Lparen
+  | Rparen
+  | Op of string  (** =, <>, <, <=, >, >= *)
+  | Eof
+
+val keywords : string list
+val equal : t -> t -> bool
+val to_string : t -> string

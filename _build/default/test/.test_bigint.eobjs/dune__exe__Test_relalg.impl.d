@@ -1,0 +1,1 @@
+test/test_relalg.ml: Aggregate Alcotest Array Csv List Predicate Printf QCheck2 QCheck_alcotest Relation Schema Secmed_crypto Secmed_relalg String Tuple Value

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Algebra Ast Format Lexer List Parser Relation Schema Secmed_relalg Secmed_sql String Token Tuple Value

@@ -1,0 +1,402 @@
+(* Unit and property tests for the arbitrary-precision integer substrate. *)
+
+open Secmed_bigint
+
+let b = Bigint.of_string
+let i = Bigint.of_int
+
+let check_big msg expected actual =
+  Alcotest.check Alcotest.string msg expected (Bigint.to_string actual)
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests. *)
+
+let test_of_int_roundtrip () =
+  List.iter
+    (fun n -> Alcotest.(check int) (string_of_int n) n (Bigint.to_int (i n)))
+    [ 0; 1; -1; 42; -42; max_int; min_int; max_int - 1; min_int + 1; 1 lsl 40 ]
+
+let test_of_string_decimal () =
+  check_big "plain" "123456789" (b "123456789");
+  check_big "negative" "-987" (b "-987");
+  check_big "plus sign" "55" (b "+55");
+  check_big "underscores" "1000000" (b "1_000_000");
+  check_big "leading zeros" "7" (b "0007");
+  check_big "zero" "0" (b "-0")
+
+let test_of_string_hex () =
+  check_big "hex" "255" (b "0xff");
+  check_big "hex upper" "48879" (b "0XBEEF");
+  check_big "hex negative" "-16" (b "-0x10");
+  Alcotest.(check string) "hex render" "0xdeadbeef" (Bigint.to_hex (b "0xdeadbeef"))
+
+let test_of_string_errors () =
+  List.iter
+    (fun s ->
+      match Bigint.of_string_opt s with
+      | None -> ()
+      | Some v -> Alcotest.failf "%S should not parse (got %s)" s (Bigint.to_string v))
+    [ ""; "-"; "abc"; "12x"; "0x"; "--5"; " 42"; "4 2" ]
+
+let test_known_product () =
+  check_big "big product"
+    "121932631137021795226185032733744855963362292333223746380111126352690"
+    (Bigint.mul
+       (b "123456789012345678901234567890")
+       (b "987654321098765432109876543210987654321"))
+
+let test_known_quotient () =
+  let q, r = Bigint.divmod (b "10000000000000000000000000000000000000001") (b "333333333333333") in
+  check_big "quotient" "30000000000000030000000000" q;
+  check_big "remainder" "10000000001" r
+
+let test_factorial () =
+  let rec fact acc n = if n = 0 then acc else fact (Bigint.mul_int acc n) (n - 1) in
+  check_big "50!"
+    "30414093201713378043612608166064768844377641568960512000000000000"
+    (fact Bigint.one 50)
+
+let test_pow () =
+  check_big "2^200" "1606938044258990275541962092341162602522202993782792835301376"
+    (Bigint.pow Bigint.two 200);
+  check_big "x^0" "1" (Bigint.pow (b "123456") 0);
+  check_big "(-3)^3" "-27" (Bigint.pow (i (-3)) 3);
+  Alcotest.check_raises "negative exponent" (Invalid_argument "Bigint.pow: negative exponent")
+    (fun () -> ignore (Bigint.pow Bigint.two (-1)))
+
+let test_truncated_division_signs () =
+  let cases =
+    [ (7, 2, 3, 1); (-7, 2, -3, -1); (7, -2, -3, 1); (-7, -2, 3, -1); (6, 3, 2, 0) ]
+  in
+  List.iter
+    (fun (x, y, q, r) ->
+      let q', r' = Bigint.divmod (i x) (i y) in
+      Alcotest.(check int) (Printf.sprintf "%d/%d q" x y) q (Bigint.to_int q');
+      Alcotest.(check int) (Printf.sprintf "%d mod %d" x y) r (Bigint.to_int r'))
+    cases
+
+let test_euclidean_division () =
+  Alcotest.(check int) "emod pos" 1 (Bigint.to_int (Bigint.emod (i (-7)) (i 2)));
+  Alcotest.(check int) "emod neg divisor" 1 (Bigint.to_int (Bigint.emod (i (-7)) (i (-2))));
+  Alcotest.(check int) "ediv" (-4) (Bigint.to_int (Bigint.ediv (i (-7)) (i 2)))
+
+let test_division_by_zero () =
+  Alcotest.check_raises "div zero" Bigint.Division_by_zero_big (fun () ->
+      ignore (Bigint.div Bigint.one Bigint.zero));
+  Alcotest.check_raises "emod zero" Bigint.Division_by_zero_big (fun () ->
+      ignore (Bigint.emod Bigint.one Bigint.zero))
+
+let test_shifts () =
+  check_big "shl" "1024" (Bigint.shift_left Bigint.one 10);
+  check_big "shr" "1" (Bigint.shift_right (b "1024") 10);
+  check_big "shr to zero" "0" (Bigint.shift_right (b "1023") 10);
+  check_big "shl big" (Bigint.to_string (Bigint.pow Bigint.two 100))
+    (Bigint.shift_left Bigint.one 100);
+  check_big "neg shl" "-8" (Bigint.shift_left (i (-1)) 3)
+
+let test_numbits_testbit () =
+  Alcotest.(check int) "numbits 0" 0 (Bigint.numbits Bigint.zero);
+  Alcotest.(check int) "numbits 1" 1 (Bigint.numbits Bigint.one);
+  Alcotest.(check int) "numbits 255" 8 (Bigint.numbits (i 255));
+  Alcotest.(check int) "numbits 256" 9 (Bigint.numbits (i 256));
+  Alcotest.(check int) "numbits 2^100" 101 (Bigint.numbits (Bigint.pow Bigint.two 100));
+  Alcotest.(check bool) "bit0 of 5" true (Bigint.testbit (i 5) 0);
+  Alcotest.(check bool) "bit1 of 5" false (Bigint.testbit (i 5) 1);
+  Alcotest.(check bool) "bit2 of 5" true (Bigint.testbit (i 5) 2);
+  Alcotest.(check bool) "bit99 of 2^100" false (Bigint.testbit (Bigint.pow Bigint.two 100) 99);
+  Alcotest.(check bool) "bit100 of 2^100" true (Bigint.testbit (Bigint.pow Bigint.two 100) 100)
+
+let test_gcd () =
+  Alcotest.(check int) "gcd" 6 (Bigint.to_int (Bigint.gcd (i 48) (i 18)));
+  Alcotest.(check int) "gcd neg" 6 (Bigint.to_int (Bigint.gcd (i (-48)) (i 18)));
+  Alcotest.(check int) "gcd zero" 5 (Bigint.to_int (Bigint.gcd Bigint.zero (i 5)));
+  Alcotest.(check int) "gcd both zero" 0 (Bigint.to_int (Bigint.gcd Bigint.zero Bigint.zero))
+
+let test_extended_gcd () =
+  let g, u, v = Bigint.extended_gcd (i 240) (i 46) in
+  Alcotest.(check int) "g" 2 (Bigint.to_int g);
+  Alcotest.(check bool) "bezout" true
+    (Bigint.equal g (Bigint.add (Bigint.mul u (i 240)) (Bigint.mul v (i 46))))
+
+let test_mod_inverse () =
+  (match Bigint.mod_inverse (i 3) (i 11) with
+   | Some inv -> Alcotest.(check int) "3^-1 mod 11" 4 (Bigint.to_int inv)
+   | None -> Alcotest.fail "inverse exists");
+  (match Bigint.mod_inverse (i 4) (i 8) with
+   | None -> ()
+   | Some _ -> Alcotest.fail "no inverse for gcd > 1");
+  match Bigint.mod_inverse (i (-3)) (i 11) with
+  | Some inv ->
+    Alcotest.(check int) "negative base" 1
+      (Bigint.to_int (Bigint.emod (Bigint.mul inv (i (-3))) (i 11)))
+  | None -> Alcotest.fail "inverse of negative exists"
+
+let test_mod_pow () =
+  (* Fermat's little theorem for a large prime. *)
+  let p = b "1000000007" in
+  Alcotest.(check bool) "fermat" true
+    (Bigint.is_one (Bigint.mod_pow (i 2) (Bigint.pred p) p));
+  Alcotest.(check int) "zero exponent" 1 (Bigint.to_int (Bigint.mod_pow (i 5) Bigint.zero (i 7)));
+  Alcotest.(check int) "mod one" 0 (Bigint.to_int (Bigint.mod_pow (i 5) (i 3) Bigint.one));
+  (* Negative exponent = inverse power. *)
+  let x = Bigint.mod_pow (i 3) (i (-1)) (i 11) in
+  Alcotest.(check int) "negative exponent" 4 (Bigint.to_int x)
+
+let test_bytes_roundtrip () =
+  let v = b "123456789123456789123456789" in
+  Alcotest.(check bool) "roundtrip" true (Bigint.equal v (Bigint.of_bytes_be (Bigint.to_bytes_be v)));
+  Alcotest.(check string) "empty for zero" "" (Bigint.to_bytes_be Bigint.zero);
+  Alcotest.(check string) "single byte" "\x2a" (Bigint.to_bytes_be (i 42));
+  Alcotest.(check string) "padded" "\x00\x00\x2a" (Bigint.to_bytes_be_padded 3 (i 42));
+  Alcotest.check_raises "too wide" (Invalid_argument "Bigint.to_bytes_be_padded: value too wide")
+    (fun () -> ignore (Bigint.to_bytes_be_padded 1 (i 300)))
+
+let test_comparisons () =
+  let values = List.map b [ "-100"; "-1"; "0"; "1"; "99"; "100"; "10000000000000000000" ] in
+  let sorted = List.sort Bigint.compare (List.rev values) in
+  Alcotest.(check (list string)) "sorted order"
+    (List.map Bigint.to_string values)
+    (List.map Bigint.to_string sorted);
+  Alcotest.(check bool) "min" true (Bigint.equal (i (-5)) (Bigint.min (i (-5)) (i 3)));
+  Alcotest.(check bool) "max" true (Bigint.equal (i 3) (Bigint.max (i (-5)) (i 3)))
+
+let test_to_int_overflow () =
+  let too_big = Bigint.pow Bigint.two 80 in
+  Alcotest.check_raises "overflow" Bigint.Overflow (fun () -> ignore (Bigint.to_int too_big));
+  Alcotest.(check bool) "opt none" true (Bigint.to_int_opt too_big = None);
+  Alcotest.(check bool) "min_int fits" true (Bigint.to_int_opt (i min_int) = Some min_int);
+  Alcotest.(check bool) "min_int-1 overflows" true
+    (Bigint.to_int_opt (Bigint.pred (i min_int)) = None)
+
+let test_montgomery_edges () =
+  (* Small moduli, degenerate bases/exponents, both code paths. *)
+  let cases =
+    [ (0, 100, 3); (1, 100, 3); (2, 100, 3); (5, 0, 7); (5, 1, 7); (7, 64, 3);
+      (10, 33, 1); (123456, 65537, 1000003) ]
+  in
+  List.iter
+    (fun (base, e, m) ->
+      let expected =
+        Bigint.mod_pow_plain (Bigint.emod (i base) (i m)) (i e) (i m)
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "%d^%d mod %d" base e m)
+        (Bigint.to_string expected)
+        (Bigint.to_string (Bigint.mod_pow (i base) (i e) (i m))))
+    cases;
+  (* A modulus of exactly one limb boundary (2^31 +/- around). *)
+  let m = Bigint.succ (Bigint.shift_left Bigint.one 31) in
+  let r = Bigint.mod_pow (i 3) (i 1000) m in
+  Alcotest.(check string) "limb boundary" (Bigint.to_string (Bigint.mod_pow_plain (i 3) (i 1000) m))
+    (Bigint.to_string r)
+
+let test_infix () =
+  let open Bigint.Infix in
+  Alcotest.(check bool) "arith" true (i 2 + i 3 * i 4 = i 14);
+  Alcotest.(check bool) "compare" true (i 5 > i 4 && i 4 >= i 4 && i 3 < i 4 && i 3 <> i 4);
+  Alcotest.(check bool) "unary minus" true (-i 5 = i (-5));
+  Alcotest.(check bool) "mod" true (i 7 mod i 3 = i 1)
+
+(* ------------------------------------------------------------------ *)
+(* Property tests. *)
+
+let prng = Secmed_crypto.Prng.of_int_seed 99
+
+let arbitrary_bigint =
+  (* Random magnitude up to ~600 bits with random sign; biased toward
+     interesting small values. *)
+  let gen =
+    QCheck2.Gen.(
+      let* shape = int_range 0 10 in
+      if shape = 0 then map Bigint.of_int (int_range (-1000) 1000)
+      else begin
+        let* bits = int_range 1 600 in
+        let* negative = bool in
+        return
+          (let v = Bigint.random_bits (Secmed_crypto.Prng.byte_source prng) bits in
+           if negative then Bigint.neg v else v)
+      end)
+  in
+  QCheck2.Gen.map (fun v -> v) gen
+
+let prop name ?(count = 300) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+let pair2 = QCheck2.Gen.pair arbitrary_bigint arbitrary_bigint
+let triple3 = QCheck2.Gen.triple arbitrary_bigint arbitrary_bigint arbitrary_bigint
+
+let props =
+  [
+    prop "string roundtrip" arbitrary_bigint (fun a ->
+        Bigint.equal a (Bigint.of_string (Bigint.to_string a)));
+    prop "hex roundtrip" arbitrary_bigint (fun a ->
+        Bigint.equal a (Bigint.of_string (Bigint.to_hex a)));
+    prop "add commutative" pair2 (fun (a, bb) ->
+        Bigint.equal (Bigint.add a bb) (Bigint.add bb a));
+    prop "add associative" triple3 (fun (a, bb, c) ->
+        Bigint.equal (Bigint.add a (Bigint.add bb c)) (Bigint.add (Bigint.add a bb) c));
+    prop "add neg is sub" pair2 (fun (a, bb) ->
+        Bigint.equal (Bigint.sub a bb) (Bigint.add a (Bigint.neg bb)));
+    prop "mul commutative" pair2 (fun (a, bb) ->
+        Bigint.equal (Bigint.mul a bb) (Bigint.mul bb a));
+    prop "mul associative" ~count:120 triple3 (fun (a, bb, c) ->
+        Bigint.equal (Bigint.mul a (Bigint.mul bb c)) (Bigint.mul (Bigint.mul a bb) c));
+    prop "distributivity" ~count:120 triple3 (fun (a, bb, c) ->
+        Bigint.equal
+          (Bigint.mul a (Bigint.add bb c))
+          (Bigint.add (Bigint.mul a bb) (Bigint.mul a c)));
+    prop "divmod identity" pair2 (fun (a, bb) ->
+        QCheck2.assume (not (Bigint.is_zero bb));
+        let q, r = Bigint.divmod a bb in
+        Bigint.equal a (Bigint.add (Bigint.mul q bb) r)
+        && Bigint.compare (Bigint.abs r) (Bigint.abs bb) < 0
+        && (Bigint.is_zero r || Bigint.sign r = Bigint.sign a));
+    prop "euclidean remainder range" pair2 (fun (a, bb) ->
+        QCheck2.assume (not (Bigint.is_zero bb));
+        let r = Bigint.emod a bb in
+        Bigint.sign r >= 0 && Bigint.compare r (Bigint.abs bb) < 0);
+    prop "gcd divides" pair2 (fun (a, bb) ->
+        QCheck2.assume (not (Bigint.is_zero a) || not (Bigint.is_zero bb));
+        let g = Bigint.gcd a bb in
+        Bigint.is_zero (Bigint.emod a g) && Bigint.is_zero (Bigint.emod bb g));
+    prop "egcd bezout" pair2 (fun (a, bb) ->
+        let g, u, v = Bigint.extended_gcd a bb in
+        Bigint.equal g (Bigint.add (Bigint.mul u a) (Bigint.mul v bb)));
+    prop "mod_inverse correct" pair2 (fun (a, m) ->
+        let m = Bigint.succ (Bigint.abs m) in
+        match Bigint.mod_inverse a m with
+        | Some inv ->
+          Bigint.is_one m || Bigint.is_one (Bigint.emod (Bigint.mul inv a) m)
+        | None -> not (Bigint.is_one (Bigint.gcd a m)));
+    prop "mod_pow additive in exponent" ~count:60
+      (QCheck2.Gen.triple arbitrary_bigint
+         (QCheck2.Gen.int_range 0 40)
+         (QCheck2.Gen.int_range 0 40))
+      (fun (base, e1, e2) ->
+        let m = Bigint.of_string "1000000000000000003" in
+        Bigint.equal
+          (Bigint.mod_pow base (Bigint.of_int (e1 + e2)) m)
+          (Bigint.emod
+             (Bigint.mul (Bigint.mod_pow base (i e1) m) (Bigint.mod_pow base (i e2) m))
+             m));
+    prop "mod_pow matches pow" ~count:60
+      (QCheck2.Gen.pair (QCheck2.Gen.int_range (-50) 50) (QCheck2.Gen.int_range 0 20))
+      (fun (base, e) ->
+        let m = b "97" in
+        Bigint.equal
+          (Bigint.mod_pow (i base) (i e) m)
+          (Bigint.emod (Bigint.pow (i base) e) m));
+    prop "shift_left is multiply by power of two"
+      (QCheck2.Gen.pair arbitrary_bigint (QCheck2.Gen.int_range 0 128))
+      (fun (a, k) ->
+        Bigint.equal (Bigint.shift_left a k) (Bigint.mul a (Bigint.pow Bigint.two k)));
+    prop "shift_right inverts shift_left"
+      (QCheck2.Gen.pair arbitrary_bigint (QCheck2.Gen.int_range 0 128))
+      (fun (a, k) -> Bigint.equal (Bigint.shift_right (Bigint.shift_left a k) k) a);
+    prop "bytes roundtrip" arbitrary_bigint (fun a ->
+        let a = Bigint.abs a in
+        Bigint.equal a (Bigint.of_bytes_be (Bigint.to_bytes_be a)));
+    prop "karatsuba agrees with schoolbook" ~count:60
+      (QCheck2.Gen.pair (QCheck2.Gen.int_range 600 1200) (QCheck2.Gen.int_range 600 1200))
+      (fun (bits_a, bits_b) ->
+        let source = Secmed_crypto.Prng.byte_source prng in
+        let x = Bigint.random_bits source bits_a in
+        let y = Bigint.random_bits source bits_b in
+        let saved = !Bigint.karatsuba_threshold in
+        Bigint.karatsuba_threshold := 4;
+        let fast = Bigint.mul x y in
+        Bigint.karatsuba_threshold := 1_000_000;
+        let slow = Bigint.mul x y in
+        Bigint.karatsuba_threshold := saved;
+        Bigint.equal fast slow);
+    prop "random_below in range" ~count:100
+      (QCheck2.Gen.int_range 1 1_000_000)
+      (fun bound ->
+        let v = Bigint.random_below (Secmed_crypto.Prng.byte_source prng) (i bound) in
+        Bigint.sign v >= 0 && Bigint.compare v (i bound) < 0);
+    prop "montgomery mod_pow matches plain" ~count:150
+      (QCheck2.Gen.triple (QCheck2.Gen.int_range 1 512) (QCheck2.Gen.int_range 1 256)
+         (QCheck2.Gen.int_range 1 512))
+      (fun (base_bits, exp_bits, mod_bits) ->
+        let source = Secmed_crypto.Prng.byte_source prng in
+        let base = Bigint.random_bits source base_bits in
+        let e = Bigint.random_bits source exp_bits in
+        let m =
+          let candidate = Bigint.random_bits source mod_bits in
+          let candidate = if Bigint.compare candidate Bigint.two < 0 then Bigint.of_int 3 else candidate in
+          if Bigint.is_even candidate then Bigint.succ candidate else candidate
+        in
+        Bigint.equal (Bigint.mod_pow base e m) (Bigint.mod_pow_plain (Bigint.emod base m) e m));
+    prop "montgomery handles even moduli via fallback" ~count:60
+      (QCheck2.Gen.pair (QCheck2.Gen.int_range 1 200) (QCheck2.Gen.int_range 1 100))
+      (fun (base_bits, exp_bits) ->
+        let source = Secmed_crypto.Prng.byte_source prng in
+        let base = Bigint.random_bits source base_bits in
+        let e = Bigint.random_bits source exp_bits in
+        let m = Bigint.shift_left (Bigint.succ (Bigint.random_bits source 64)) 1 in
+        Bigint.equal (Bigint.mod_pow base e m) (Bigint.mod_pow_plain (Bigint.emod base m) e m));
+    prop "isqrt bounds" arbitrary_bigint (fun a ->
+        let a = Bigint.abs a in
+        let s = Bigint.isqrt a in
+        Bigint.compare (Bigint.mul s s) a <= 0
+        && Bigint.compare (Bigint.mul (Bigint.succ s) (Bigint.succ s)) a > 0);
+    prop "is_square detects squares" arbitrary_bigint (fun a ->
+        let a = Bigint.abs a in
+        Bigint.is_square (Bigint.mul a a));
+    prop "jacobi matches Euler criterion" ~count:80
+      (QCheck2.Gen.pair (QCheck2.Gen.int_range 0 5000) (QCheck2.Gen.int_range 0 300))
+      (fun (a, p_index) ->
+        (* Odd primes: Euler's criterion a^((p-1)/2) = (a/p) mod p. *)
+        let primes = [ 3; 5; 7; 11; 13; 101; 257; 1009; 65537; 1000003 ] in
+        let p = List.nth primes (p_index mod List.length primes) in
+        let jac = Bigint.jacobi (i a) (i p) in
+        let euler =
+          Bigint.mod_pow (i a) (i ((p - 1) / 2)) (i p)
+        in
+        let euler_sym =
+          if Bigint.is_zero euler then 0
+          else if Bigint.is_one euler then 1
+          else -1
+        in
+        jac = euler_sym);
+    prop "compare antisymmetric" pair2 (fun (a, bb) ->
+        Bigint.compare a bb = -Bigint.compare bb a);
+    prop "numbits bounds value" arbitrary_bigint (fun a ->
+        let a = Bigint.abs a in
+        let nb = Bigint.numbits a in
+        if Bigint.is_zero a then nb = 0
+        else
+          Bigint.compare a (Bigint.pow Bigint.two nb) < 0
+          && Bigint.compare a (Bigint.pow Bigint.two (nb - 1)) >= 0);
+  ]
+
+let () =
+  Alcotest.run "bigint"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "of_int roundtrip" `Quick test_of_int_roundtrip;
+          Alcotest.test_case "of_string decimal" `Quick test_of_string_decimal;
+          Alcotest.test_case "of_string hex" `Quick test_of_string_hex;
+          Alcotest.test_case "of_string errors" `Quick test_of_string_errors;
+          Alcotest.test_case "known product" `Quick test_known_product;
+          Alcotest.test_case "known quotient" `Quick test_known_quotient;
+          Alcotest.test_case "factorial 50" `Quick test_factorial;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "truncated division signs" `Quick test_truncated_division_signs;
+          Alcotest.test_case "euclidean division" `Quick test_euclidean_division;
+          Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "numbits / testbit" `Quick test_numbits_testbit;
+          Alcotest.test_case "gcd" `Quick test_gcd;
+          Alcotest.test_case "extended gcd" `Quick test_extended_gcd;
+          Alcotest.test_case "mod_inverse" `Quick test_mod_inverse;
+          Alcotest.test_case "mod_pow" `Quick test_mod_pow;
+          Alcotest.test_case "bytes roundtrip" `Quick test_bytes_roundtrip;
+          Alcotest.test_case "comparisons" `Quick test_comparisons;
+          Alcotest.test_case "to_int overflow" `Quick test_to_int_overflow;
+          Alcotest.test_case "montgomery edges" `Quick test_montgomery_edges;
+          Alcotest.test_case "infix operators" `Quick test_infix;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,304 @@
+(* Tests for the mediation substrate: wire format, credentials, policies,
+   transcripts, catalog decomposition. *)
+
+open Secmed_bigint
+open Secmed_crypto
+open Secmed_relalg
+open Secmed_mediation
+
+let prng () = Prng.of_int_seed 404
+let group () = Group.default ~bits:160
+
+(* ------------------------------------------------------------------ *)
+(* Wire. *)
+
+let test_wire_roundtrip () =
+  let w = Wire.writer () in
+  Wire.write_int w 42;
+  Wire.write_int w (-42);
+  Wire.write_string w "hello";
+  Wire.write_string w "";
+  Wire.write_bigint w (Bigint.of_string "123456789012345678901234567890");
+  Wire.write_list w (fun x -> Wire.write_int w x) [ 1; 2; 3 ];
+  let r = Wire.reader (Wire.contents w) in
+  Alcotest.(check int) "int" 42 (Wire.read_int r);
+  Alcotest.(check int) "negative int" (-42) (Wire.read_int r);
+  Alcotest.(check string) "string" "hello" (Wire.read_string r);
+  Alcotest.(check string) "empty string" "" (Wire.read_string r);
+  Alcotest.(check string) "bigint" "123456789012345678901234567890"
+    (Bigint.to_string (Wire.read_bigint r));
+  Alcotest.(check (list int)) "list" [ 1; 2; 3 ] (Wire.read_list r (fun () -> Wire.read_int r));
+  Alcotest.(check bool) "at end" true (Wire.at_end r);
+  Wire.expect_end r
+
+let test_wire_truncation () =
+  let w = Wire.writer () in
+  Wire.write_string w "full message";
+  let blob = Wire.contents w in
+  let truncated = String.sub blob 0 (String.length blob - 2) in
+  Alcotest.check_raises "truncated" (Invalid_argument "Wire.reader: truncated message")
+    (fun () -> ignore (Wire.read_string (Wire.reader truncated)));
+  let r = Wire.reader (blob ^ "junk") in
+  let _ = Wire.read_string r in
+  Alcotest.check_raises "trailing" (Invalid_argument "Wire.reader: trailing bytes") (fun () ->
+      Wire.expect_end r)
+
+let prop_wire_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"wire string list roundtrip" ~count:200
+       QCheck2.Gen.(small_list (string_size (int_range 0 50)))
+       (fun strings ->
+         let w = Wire.writer () in
+         Wire.write_list w (Wire.write_string w) strings;
+         let r = Wire.reader (Wire.contents w) in
+         let out = Wire.read_list r (fun () -> Wire.read_string r) in
+         Wire.expect_end r;
+         out = strings))
+
+(* ------------------------------------------------------------------ *)
+(* Credentials. *)
+
+let make_ca_and_key () =
+  let g = group () in
+  let rng = prng () in
+  let ca = Credential.Authority.create rng g in
+  let key = Elgamal.keygen rng g in
+  (ca, key, rng)
+
+let test_credential_issue_verify () =
+  let ca, key, rng = make_ca_and_key () in
+  let cred =
+    Credential.Authority.issue ca rng
+      ~properties:[ Credential.property "role" "physician"; Credential.property "org" "clinic-a" ]
+      (Elgamal.public key)
+  in
+  Alcotest.(check bool) "verifies" true (Credential.Authority.verify ca cred);
+  Alcotest.(check bool) "has property" true
+    (Credential.has_property cred (Credential.property "role" "physician"));
+  Alcotest.(check bool) "lacks property" false
+    (Credential.has_property cred (Credential.property "role" "admin"));
+  Alcotest.(check bool) "positive size" true (Credential.size cred > 0)
+
+let test_credential_foreign_ca_rejected () =
+  let ca, key, rng = make_ca_and_key () in
+  let other_ca = Credential.Authority.create ~name:"rogue" rng (group ()) in
+  let cred =
+    Credential.Authority.issue other_ca rng
+      ~properties:[ Credential.property "role" "physician" ]
+      (Elgamal.public key)
+  in
+  Alcotest.(check bool) "foreign issuer rejected" false (Credential.Authority.verify ca cred)
+
+let test_credential_serial_increments () =
+  let ca, key, rng = make_ca_and_key () in
+  let c1 = Credential.Authority.issue ca rng ~properties:[] (Elgamal.public key) in
+  let c2 = Credential.Authority.issue ca rng ~properties:[] (Elgamal.public key) in
+  Alcotest.(check bool) "distinct serials" true (c1.Credential.serial <> c2.Credential.serial)
+
+let test_identity_certificate () =
+  let ca, key, rng = make_ca_and_key () in
+  let cert = Credential.Authority.issue_identity ca rng ~identity:"alice" (Elgamal.public key) in
+  Alcotest.(check bool) "verifies" true
+    (Credential.Authority.verify_identity ca cert (Elgamal.public key));
+  let other = Elgamal.keygen rng (group ()) in
+  Alcotest.(check bool) "wrong key" false
+    (Credential.Authority.verify_identity ca cert (Elgamal.public other))
+
+(* ------------------------------------------------------------------ *)
+(* Policy. *)
+
+let physician = Credential.property "role" "physician"
+let nurse = Credential.property "role" "nurse"
+let clinic = Credential.property "org" "clinic-a"
+
+let sample_relation =
+  Relation.of_rows
+    (Schema.of_list [ ("patient", Value.Tstring); ("sensitive", Value.Tbool) ])
+    [ [ Value.Str "p1"; Value.Bool true ]; [ Value.Str "p2"; Value.Bool false ] ]
+
+let policy =
+  Policy.make
+    [
+      { Policy.requires = [ physician; clinic ]; grant = Policy.Full };
+      { Policy.requires = [ nurse ];
+        grant = Policy.Filtered (Predicate.eq_const "sensitive" (Value.Bool false)) };
+    ]
+
+let test_policy_full () =
+  match Policy.apply policy [ physician; clinic ] sample_relation with
+  | Some r -> Alcotest.(check int) "full access" 2 (Relation.cardinality r)
+  | None -> Alcotest.fail "expected grant"
+
+let test_policy_filtered () =
+  match Policy.apply policy [ nurse ] sample_relation with
+  | Some r -> Alcotest.(check int) "filtered rows" 1 (Relation.cardinality r)
+  | None -> Alcotest.fail "expected filtered grant"
+
+let test_policy_deny () =
+  Alcotest.(check bool) "default deny" true (Policy.apply policy [] sample_relation = None);
+  Alcotest.(check bool) "physician alone insufficient" true
+    (Policy.apply policy [ physician ] sample_relation = None)
+
+let test_policy_rule_order () =
+  (* First matching rule wins. *)
+  let p =
+    Policy.make
+      [
+        { Policy.requires = [ nurse ]; grant = Policy.Deny };
+        { Policy.requires = []; grant = Policy.Full };
+      ]
+  in
+  Alcotest.(check bool) "deny first" true (Policy.apply p [ nurse ] sample_relation = None);
+  Alcotest.(check bool) "fallthrough full" true
+    (Policy.apply p [ physician ] sample_relation <> None)
+
+let test_open_policy () =
+  match Policy.apply Policy.open_policy [] sample_relation with
+  | Some r -> Alcotest.(check int) "everything" 2 (Relation.cardinality r)
+  | None -> Alcotest.fail "open policy must grant"
+
+(* ------------------------------------------------------------------ *)
+(* Transcript. *)
+
+let test_transcript_accounting () =
+  let t = Transcript.create () in
+  let open Transcript in
+  record t ~sender:Client ~receiver:Mediator ~label:"query" ~size:100;
+  record t ~sender:Mediator ~receiver:(Source 1) ~label:"partial" ~size:50;
+  record t ~sender:(Source 1) ~receiver:Mediator ~label:"result" ~size:500;
+  record t ~sender:Mediator ~receiver:Client ~label:"answer" ~size:400;
+  Alcotest.(check int) "count" 4 (message_count t);
+  Alcotest.(check int) "total" 1050 (total_bytes t);
+  Alcotest.(check int) "link" 100 (bytes_on_link t Client Mediator);
+  Alcotest.(check int) "reverse link" 400 (bytes_on_link t Mediator Client);
+  Alcotest.(check int) "sent by mediator" 450 (bytes_sent_by t Mediator);
+  Alcotest.(check int) "received by mediator" 600 (bytes_received_by t Mediator);
+  Alcotest.(check int) "sends" 2 (sends_by t Mediator);
+  Alcotest.(check int) "parties" 3 (List.length (parties t));
+  Alcotest.(check (list string)) "labels seen by client" [ "answer" ] (labels_seen_by t Client)
+
+let test_transcript_rounds () =
+  let t = Transcript.create () in
+  let open Transcript in
+  record t ~sender:Client ~receiver:Mediator ~label:"a" ~size:1;
+  record t ~sender:Client ~receiver:Mediator ~label:"b" ~size:1;
+  record t ~sender:Mediator ~receiver:Client ~label:"c" ~size:1;
+  record t ~sender:Client ~receiver:Mediator ~label:"d" ~size:1;
+  (* Runs: CC | M | C -> 3 alternations. *)
+  Alcotest.(check int) "rounds" 3 (rounds t Client Mediator);
+  Alcotest.(check int) "unrelated link" 0 (rounds t Client (Source 9))
+
+let test_transcript_diagram () =
+  let t = Transcript.create () in
+  Transcript.record t ~sender:Client ~receiver:Mediator ~label:"q" ~size:10;
+  Transcript.record t ~sender:Mediator ~receiver:(Source 1) ~label:"pq" ~size:5;
+  let diagram = Transcript.flow_diagram t in
+  Alcotest.(check bool) "mentions parties" true
+    (List.for_all
+       (fun needle ->
+         let nl = String.length needle and hl = String.length diagram in
+         let rec go i = i + nl <= hl && (String.sub diagram i nl = needle || go (i + 1)) in
+         go 0)
+       [ "Client"; "Mediator"; "Source1"; "q (10B)" ]);
+  let summary = Transcript.summary t in
+  Alcotest.(check bool) "summary totals" true
+    (let needle = "total: 2 messages, 15 bytes" in
+     let nl = String.length needle and hl = String.length summary in
+     let rec go i = i + nl <= hl && (String.sub summary i nl = needle || go (i + 1)) in
+     go 0)
+
+(* ------------------------------------------------------------------ *)
+(* Catalog. *)
+
+let schema_a = Schema.of_list [ ("k", Value.Tint); ("x", Value.Tint) ]
+let schema_b = Schema.of_list [ ("k", Value.Tint); ("y", Value.Tint) ]
+
+let catalog =
+  Catalog.make
+    [
+      { Catalog.relation = "A"; source = 1; schema = schema_a; source_relation = "A" };
+      { Catalog.relation = "B"; source = 2; schema = schema_b; source_relation = "B" };
+      { Catalog.relation = "C"; source = 1; schema = schema_b; source_relation = "C" };
+    ]
+
+let parse = Secmed_sql.Parser.parse
+
+let test_decompose_natural () =
+  let d = Catalog.decompose catalog (parse "select * from A natural join B") in
+  Alcotest.(check (list string)) "join attrs" [ "k" ] d.Catalog.join_attrs;
+  Alcotest.(check string) "partial left" "select * from A" d.Catalog.partial_query_left;
+  Alcotest.(check string) "partial right" "select * from B" d.Catalog.partial_query_right;
+  Alcotest.(check int) "left source" 1 d.Catalog.left.Catalog.source;
+  Alcotest.(check int) "right source" 2 d.Catalog.right.Catalog.source
+
+let test_decompose_on () =
+  let d = Catalog.decompose catalog (parse "select * from A join B on A.k = B.k") in
+  Alcotest.(check (list string)) "join attrs" [ "k" ] d.Catalog.join_attrs
+
+let test_decompose_residuals () =
+  let d =
+    Catalog.decompose catalog (parse "select distinct k, x from A natural join B where x > 3")
+  in
+  Alcotest.(check bool) "where captured" true (d.Catalog.residual_where <> None);
+  Alcotest.(check (option (list string))) "projection" (Some [ "k"; "x" ]) d.Catalog.projection;
+  Alcotest.(check bool) "distinct" true d.Catalog.distinct
+
+let test_decompose_unsupported () =
+  let rejects q =
+    match Catalog.decompose catalog (parse q) with
+    | exception Catalog.Unsupported _ -> ()
+    | _ -> Alcotest.failf "should reject %S" q
+  in
+  rejects "select * from A";
+  rejects "select * from A natural join B natural join C";
+  rejects "select * from A natural join C";
+  (* same source *)
+  rejects "select * from A natural join Unknown";
+  rejects "select * from A join B on A.x = B.y";
+  (* different bare names *)
+  rejects "select * from A join B on A.k = B.ghost"
+
+let test_global_schema () =
+  let d = Catalog.decompose catalog (parse "select * from A natural join B") in
+  let schema = Catalog.global_schema catalog d in
+  Alcotest.(check (list string)) "global schema" [ "A.k"; "A.x"; "B.y" ] (Schema.names schema)
+
+let () =
+  Alcotest.run "mediation"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "truncation" `Quick test_wire_truncation;
+          prop_wire_roundtrip;
+        ] );
+      ( "credential",
+        [
+          Alcotest.test_case "issue/verify" `Quick test_credential_issue_verify;
+          Alcotest.test_case "foreign CA" `Quick test_credential_foreign_ca_rejected;
+          Alcotest.test_case "serials" `Quick test_credential_serial_increments;
+          Alcotest.test_case "identity certificate" `Quick test_identity_certificate;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "full grant" `Quick test_policy_full;
+          Alcotest.test_case "filtered grant" `Quick test_policy_filtered;
+          Alcotest.test_case "deny" `Quick test_policy_deny;
+          Alcotest.test_case "rule order" `Quick test_policy_rule_order;
+          Alcotest.test_case "open policy" `Quick test_open_policy;
+        ] );
+      ( "transcript",
+        [
+          Alcotest.test_case "accounting" `Quick test_transcript_accounting;
+          Alcotest.test_case "rounds" `Quick test_transcript_rounds;
+          Alcotest.test_case "diagram/summary" `Quick test_transcript_diagram;
+        ] );
+      ( "catalog",
+        [
+          Alcotest.test_case "natural join" `Quick test_decompose_natural;
+          Alcotest.test_case "join on" `Quick test_decompose_on;
+          Alcotest.test_case "residual clauses" `Quick test_decompose_residuals;
+          Alcotest.test_case "unsupported queries" `Quick test_decompose_unsupported;
+          Alcotest.test_case "global schema" `Quick test_global_schema;
+        ] );
+    ]

@@ -1,0 +1,441 @@
+(* Tests for the relational algebra substrate. *)
+
+open Secmed_relalg
+
+let v_int n = Value.Int n
+let v_str s = Value.Str s
+
+(* ------------------------------------------------------------------ *)
+(* Values. *)
+
+let test_value_compare () =
+  Alcotest.(check bool) "int order" true (Value.compare (v_int 1) (v_int 2) < 0);
+  Alcotest.(check bool) "str order" true (Value.compare (v_str "a") (v_str "b") < 0);
+  Alcotest.(check bool) "equal" true (Value.equal (Value.Bool true) (Value.Bool true));
+  Alcotest.(check bool) "cross type stable" true
+    (Value.compare (v_int 5) (v_str "5") <> 0)
+
+let test_value_parse () =
+  Alcotest.(check bool) "int" true (Value.equal (v_int (-42)) (Value.parse Value.Tint " -42 "));
+  Alcotest.(check bool) "bool yes" true
+    (Value.equal (Value.Bool true) (Value.parse Value.Tbool "Yes"));
+  Alcotest.(check bool) "bool 0" true
+    (Value.equal (Value.Bool false) (Value.parse Value.Tbool "0"));
+  Alcotest.(check bool) "string verbatim" true
+    (Value.equal (v_str " keep me ") (Value.parse Value.Tstring " keep me "));
+  Alcotest.check_raises "bad int" (Invalid_argument "Value.parse: bad int \"zap\"") (fun () ->
+      ignore (Value.parse Value.Tint "zap"))
+
+let test_value_codec () =
+  List.iter
+    (fun v ->
+      let decoded, next = Value.decode (Value.encode v) 0 in
+      Alcotest.(check bool) (Value.to_string v) true (Value.equal v decoded);
+      Alcotest.(check int) "consumed all" (String.length (Value.encode v)) next)
+    [ v_int 0; v_int 1; v_int (-1); v_int max_int; v_int min_int; v_str ""; v_str "hello";
+      v_str (String.make 1000 'x'); Value.Bool true; Value.Bool false ]
+
+let test_value_decode_errors () =
+  List.iter
+    (fun blob ->
+      match Value.decode blob 0 with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "should reject %S" blob)
+    [ ""; "z"; "i123"; "s\x00\x00\x00\x00\x00\x00\x00\x05ab"; "bX" ]
+
+(* ------------------------------------------------------------------ *)
+(* Schemas. *)
+
+let schema_r1 =
+  Schema.make
+    [ Schema.attr ~rel:"R1" "a" Value.Tint; Schema.attr ~rel:"R1" "b" Value.Tstring ]
+
+let test_schema_find () =
+  Alcotest.(check int) "bare" 0 (Schema.find schema_r1 "a");
+  Alcotest.(check int) "qualified" 1 (Schema.find schema_r1 "R1.b");
+  Alcotest.(check bool) "missing" true (Schema.find_opt schema_r1 "zzz" = None);
+  Alcotest.(check bool) "wrong qualifier" true (Schema.find_opt schema_r1 "R2.a" = None)
+
+let test_schema_ambiguous () =
+  let s =
+    Schema.make [ Schema.attr ~rel:"R1" "a" Value.Tint; Schema.attr ~rel:"R2" "a" Value.Tint ]
+  in
+  Alcotest.check_raises "ambiguous bare name"
+    (Invalid_argument "Schema.find: ambiguous attribute a") (fun () ->
+      ignore (Schema.find s "a"));
+  Alcotest.(check int) "qualified disambiguates" 1 (Schema.find s "R2.a")
+
+let test_schema_duplicate () =
+  Alcotest.check_raises "duplicate" (Invalid_argument "Schema.make: duplicate attribute a")
+    (fun () -> ignore (Schema.of_list [ ("a", Value.Tint); ("a", Value.Tstring) ]))
+
+let test_schema_qualify_append () =
+  let s = Schema.of_list [ ("x", Value.Tint) ] in
+  let q = Schema.qualify "T" s in
+  Alcotest.(check (list string)) "qualified names" [ "T.x" ] (Schema.names q);
+  let appended = Schema.append q (Schema.qualify "U" s) in
+  Alcotest.(check (list string)) "append" [ "T.x"; "U.x" ] (Schema.names appended);
+  Alcotest.(check (list string)) "common names" [ "x" ]
+    (Schema.common_names q (Schema.qualify "U" s))
+
+let test_schema_project () =
+  let sub, positions = Schema.project schema_r1 [ "b"; "a" ] in
+  Alcotest.(check (list string)) "names" [ "R1.b"; "R1.a" ] (Schema.names sub);
+  Alcotest.(check (list int)) "positions" [ 1; 0 ] (Array.to_list positions)
+
+(* ------------------------------------------------------------------ *)
+(* Tuples. *)
+
+let test_tuple_codec () =
+  let t = Tuple.of_list [ v_int 42; v_str "x,y"; Value.Bool false ] in
+  Alcotest.(check bool) "roundtrip" true (Tuple.equal t (Tuple.decode (Tuple.encode t)));
+  Alcotest.(check bool) "empty tuple" true
+    (Tuple.equal (Tuple.of_list []) (Tuple.decode (Tuple.encode (Tuple.of_list []))));
+  Alcotest.check_raises "trailing bytes" (Invalid_argument "Tuple.decode: trailing bytes")
+    (fun () -> ignore (Tuple.decode (Tuple.encode t ^ "x")))
+
+let test_tuple_ops () =
+  let t = Tuple.of_list [ v_int 1; v_int 2; v_int 3 ] in
+  Alcotest.(check bool) "project" true
+    (Tuple.equal (Tuple.of_list [ v_int 3; v_int 1 ]) (Tuple.project [| 2; 0 |] t));
+  Alcotest.(check bool) "append" true
+    (Tuple.equal
+       (Tuple.of_list [ v_int 1; v_int 2; v_int 3; v_int 4 ])
+       (Tuple.append t (Tuple.of_list [ v_int 4 ])));
+  Alcotest.(check bool) "compare lexicographic" true
+    (Tuple.compare (Tuple.of_list [ v_int 1; v_int 9 ]) (Tuple.of_list [ v_int 2; v_int 0 ]) < 0)
+
+(* ------------------------------------------------------------------ *)
+(* Predicates. *)
+
+let people_schema =
+  Schema.of_list [ ("name", Value.Tstring); ("age", Value.Tint); ("active", Value.Tbool) ]
+
+let alice = Tuple.of_list [ v_str "alice"; v_int 30; Value.Bool true ]
+
+let test_predicate_eval () =
+  let open Predicate in
+  let check name expected p =
+    Alcotest.(check bool) name expected (eval people_schema alice p)
+  in
+  check "eq" true (eq_const "name" (v_str "alice"));
+  check "ne" false (Cmp (Ne, Attr "age", Const (v_int 30)));
+  check "lt" true (Cmp (Lt, Attr "age", Const (v_int 31)));
+  check "ge" true (Cmp (Ge, Attr "age", Const (v_int 30)));
+  check "and" true (And (eq_const "name" (v_str "alice"), Cmp (Gt, Attr "age", Const (v_int 20))));
+  check "or short" true (Or (False, eq_const "active" (Value.Bool true)));
+  check "not" false (Not True);
+  check "in" true (In (Attr "age", [ v_int 10; v_int 30 ]));
+  check "in miss" false (In (Attr "age", [ v_int 10; v_int 31 ]));
+  check "attr vs attr" true (Cmp (Eq, Attr "name", Attr "name"))
+
+let test_predicate_helpers () =
+  let open Predicate in
+  Alcotest.(check bool) "conj empty" true (eval people_schema alice (conj []));
+  Alcotest.(check bool) "disj empty" false (eval people_schema alice (disj []));
+  Alcotest.(check int) "size" 3
+    (size (And (eq_const "a" (v_int 1), Or (eq_const "b" (v_int 2), eq_const "c" (v_int 3)))));
+  Alcotest.(check (list string)) "attrs_used" [ "age"; "name" ]
+    (attrs_used (And (eq_const "name" (v_str "x"), Cmp (Lt, Attr "age", Const (v_int 1)))))
+
+let test_predicate_unknown_attr () =
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Predicate.eval people_schema alice (Predicate.eq_const "ghost" (v_int 1))))
+
+(* ------------------------------------------------------------------ *)
+(* Relations. *)
+
+let r1 =
+  Relation.of_rows
+    (Schema.of_list [ ("a", Value.Tint); ("b", Value.Tstring) ])
+    [ [ v_int 1; v_str "x" ]; [ v_int 2; v_str "y" ]; [ v_int 2; v_str "z" ]; [ v_int 3; v_str "w" ] ]
+
+let r2 =
+  Relation.of_rows
+    (Schema.of_list [ ("a", Value.Tint); ("c", Value.Tint) ])
+    [ [ v_int 2; v_int 20 ]; [ v_int 3; v_int 30 ]; [ v_int 3; v_int 31 ]; [ v_int 4; v_int 40 ] ]
+
+let test_relation_make_typecheck () =
+  Alcotest.check_raises "wrong type"
+    (Invalid_argument
+       "Relation.make: tuple ⟨x⟩ does not match schema (a:int)")
+    (fun () ->
+      ignore (Relation.of_rows (Schema.of_list [ ("a", Value.Tint) ]) [ [ v_str "x" ] ]))
+
+let test_select_project () =
+  let selected = Relation.select (Predicate.eq_const "a" (v_int 2)) r1 in
+  Alcotest.(check int) "select" 2 (Relation.cardinality selected);
+  let projected = Relation.project [ "b" ] r1 in
+  Alcotest.(check (list string)) "project schema" [ "b" ] (Schema.names (Relation.schema projected));
+  Alcotest.(check int) "project keeps bag" 4 (Relation.cardinality projected)
+
+let test_active_domain () =
+  Alcotest.(check int) "distinct" 3 (List.length (Relation.active_domain r1 "a"));
+  Alcotest.(check int) "column with dups" 4 (List.length (Relation.column r1 "a"))
+
+let test_natural_join () =
+  let joined = Relation.natural_join r1 r2 in
+  (* a=2: 2 left x 1 right = 2; a=3: 1 x 2 = 2. *)
+  Alcotest.(check int) "cardinality" 4 (Relation.cardinality joined);
+  Alcotest.(check (list string)) "schema" [ "a"; "b"; "c" ]
+    (Schema.names (Relation.schema joined))
+
+let test_nested_loop_matches_hash () =
+  let a = Relation.natural_join r1 r2 in
+  let b = Relation.nested_loop_join r1 r2 in
+  Alcotest.(check bool) "same contents" true (Relation.equal_contents a b)
+
+let test_join_no_common_is_product () =
+  let left = Relation.of_rows (Schema.of_list [ ("x", Value.Tint) ]) [ [ v_int 1 ]; [ v_int 2 ] ] in
+  let right = Relation.of_rows (Schema.of_list [ ("y", Value.Tint) ]) [ [ v_int 3 ] ] in
+  Alcotest.(check int) "product" 2 (Relation.cardinality (Relation.natural_join left right))
+
+let test_equi_join () =
+  let left = Relation.rename "L" r1 and right = Relation.rename "R" r2 in
+  let joined = Relation.equi_join ~left:"L.a" ~right:"R.a" left right in
+  Alcotest.(check int) "cardinality" 4 (Relation.cardinality joined);
+  Alcotest.(check int) "keeps both columns" 4 (Schema.arity (Relation.schema joined))
+
+let test_union_diff_intersect () =
+  let s = Schema.of_list [ ("n", Value.Tint) ] in
+  let a = Relation.of_rows s [ [ v_int 1 ]; [ v_int 1 ]; [ v_int 2 ] ] in
+  let bb = Relation.of_rows s [ [ v_int 1 ]; [ v_int 3 ] ] in
+  Alcotest.(check int) "union bag" 5 (Relation.cardinality (Relation.union a bb));
+  Alcotest.(check int) "diff bag" 2 (Relation.cardinality (Relation.diff a bb));
+  Alcotest.(check int) "intersect bag" 1 (Relation.cardinality (Relation.intersect a bb));
+  Alcotest.(check int) "distinct" 2 (Relation.cardinality (Relation.distinct a))
+
+let test_equal_contents_order_insensitive () =
+  let s = Schema.of_list [ ("n", Value.Tint) ] in
+  let a = Relation.of_rows s [ [ v_int 1 ]; [ v_int 2 ] ] in
+  let bb = Relation.of_rows s [ [ v_int 2 ]; [ v_int 1 ] ] in
+  let c = Relation.of_rows s [ [ v_int 1 ]; [ v_int 1 ] ] in
+  Alcotest.(check bool) "reordered equal" true (Relation.equal_contents a bb);
+  Alcotest.(check bool) "bag sensitive" false (Relation.equal_contents a c)
+
+let test_rename () =
+  let renamed = Relation.rename "T" r1 in
+  Alcotest.(check (list string)) "names" [ "T.a"; "T.b" ] (Schema.names (Relation.schema renamed))
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation. *)
+
+let sales =
+  Relation.of_rows
+    (Schema.of_list [ ("region", Value.Tstring); ("amount", Value.Tint) ])
+    [ [ v_str "north"; v_int 10 ]; [ v_str "north"; v_int 30 ];
+      [ v_str "south"; v_int 5 ]; [ v_str "north"; v_int 20 ];
+      [ v_str "south"; v_int 7 ] ]
+
+let test_aggregate_group_by () =
+  let result =
+    Aggregate.group_by sales ~keys:[ "region" ]
+      ~specs:
+        [ Aggregate.spec Aggregate.Count None;
+          Aggregate.spec Aggregate.Sum (Some "amount");
+          Aggregate.spec Aggregate.Min (Some "amount");
+          Aggregate.spec Aggregate.Max (Some "amount");
+          Aggregate.spec Aggregate.Avg (Some "amount") ]
+  in
+  Alcotest.(check (list string)) "schema"
+    [ "region"; "count"; "sum_amount"; "min_amount"; "max_amount"; "avg_amount" ]
+    (Schema.names (Relation.schema result));
+  let rows =
+    List.map (fun t -> List.map Value.to_string (Tuple.to_list t)) (Relation.tuples result)
+  in
+  Alcotest.(check (list (list string))) "groups"
+    [ [ "north"; "3"; "60"; "10"; "30"; "20" ]; [ "south"; "2"; "12"; "5"; "7"; "6" ] ]
+    rows
+
+let test_aggregate_global () =
+  let result =
+    Aggregate.group_by sales ~keys:[]
+      ~specs:[ Aggregate.spec Aggregate.Count None; Aggregate.spec Aggregate.Sum (Some "amount") ]
+  in
+  Alcotest.(check int) "one row" 1 (Relation.cardinality result);
+  match Relation.tuples result with
+  | [ t ] ->
+    Alcotest.(check string) "count" "5" (Value.to_string (Tuple.get t 0));
+    Alcotest.(check string) "sum" "72" (Value.to_string (Tuple.get t 1))
+  | _ -> Alcotest.fail "expected one row"
+
+let test_aggregate_empty () =
+  let empty = Relation.empty (Relation.schema sales) in
+  let counted =
+    Aggregate.group_by empty ~keys:[] ~specs:[ Aggregate.spec Aggregate.Count None ]
+  in
+  (match Relation.tuples counted with
+   | [ t ] -> Alcotest.(check string) "count 0" "0" (Value.to_string (Tuple.get t 0))
+   | _ -> Alcotest.fail "one row");
+  (match
+     Aggregate.group_by empty ~keys:[] ~specs:[ Aggregate.spec Aggregate.Sum (Some "amount") ]
+   with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "sum over empty must fail");
+  (* Grouped aggregation of an empty relation is simply empty. *)
+  let grouped =
+    Aggregate.group_by empty ~keys:[ "region" ]
+      ~specs:[ Aggregate.spec Aggregate.Sum (Some "amount") ]
+  in
+  Alcotest.(check int) "no groups" 0 (Relation.cardinality grouped)
+
+let test_aggregate_errors () =
+  (match Aggregate.spec Aggregate.Sum None with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "sum without column");
+  match
+    Aggregate.group_by sales ~keys:[] ~specs:[ Aggregate.spec Aggregate.Sum (Some "region") ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "sum over strings must fail"
+
+let test_aggregate_min_max_strings () =
+  let result =
+    Aggregate.group_by sales ~keys:[]
+      ~specs:[ Aggregate.spec Aggregate.Min (Some "region");
+               Aggregate.spec Aggregate.Max (Some "region") ]
+  in
+  match Relation.tuples result with
+  | [ t ] ->
+    Alcotest.(check string) "min" "north" (Value.to_string (Tuple.get t 0));
+    Alcotest.(check string) "max" "south" (Value.to_string (Tuple.get t 1))
+  | _ -> Alcotest.fail "one row"
+
+(* ------------------------------------------------------------------ *)
+(* Property tests: the hash join agrees with the nested-loop reference
+   on random relations. *)
+
+let random_relation rng ~attrs ~rows ~domain =
+  let schema =
+    Schema.of_list (List.init attrs (fun i -> (Printf.sprintf "c%d" i, Value.Tint)))
+  in
+  let tuples =
+    List.init rows (fun _ ->
+        Tuple.of_list (List.init attrs (fun _ -> v_int (Secmed_crypto.Prng.uniform_int rng domain))))
+  in
+  Relation.make schema tuples
+
+let prop name ?(count = 100) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+let join_prop =
+  let rng = Secmed_crypto.Prng.of_int_seed 31 in
+  prop "hash join = nested loop join"
+    QCheck2.Gen.(triple (int_range 0 20) (int_range 0 20) (int_range 1 6))
+    (fun (rows_a, rows_b, domain) ->
+      (* Shared attribute c0 (the join key) + private attributes. *)
+      let a =
+        Relation.rename "A"
+          (random_relation rng ~attrs:2 ~rows:rows_a ~domain)
+      in
+      let a = Relation.make
+          (Schema.make [ Schema.attr "k" Value.Tint; Schema.attr ~rel:"A" "x" Value.Tint ])
+          (Relation.tuples a)
+      in
+      let b =
+        Relation.make
+          (Schema.make [ Schema.attr "k" Value.Tint; Schema.attr ~rel:"B" "y" Value.Tint ])
+          (Relation.tuples (random_relation rng ~attrs:2 ~rows:rows_b ~domain))
+      in
+      Relation.equal_contents (Relation.natural_join a b) (Relation.nested_loop_join a b))
+
+let select_split_prop =
+  let rng = Secmed_crypto.Prng.of_int_seed 77 in
+  prop "select splits into complement parts"
+    QCheck2.Gen.(pair (int_range 0 30) (int_range 1 5))
+    (fun (rows, domain) ->
+      let r = random_relation rng ~attrs:1 ~rows ~domain in
+      let p = Predicate.Cmp (Predicate.Lt, Predicate.Attr "c0", Predicate.Const (v_int (domain / 2))) in
+      let yes = Relation.select p r and no = Relation.select (Predicate.Not p) r in
+      Relation.cardinality yes + Relation.cardinality no = Relation.cardinality r)
+
+(* ------------------------------------------------------------------ *)
+(* CSV. *)
+
+let test_csv_roundtrip () =
+  let schema = Schema.of_list [ ("id", Value.Tint); ("note", Value.Tstring) ] in
+  let r =
+    Relation.of_rows schema
+      [ [ v_int 1; v_str "plain" ];
+        [ v_int 2; v_str "with,comma" ];
+        [ v_int 3; v_str "with \"quote\"" ];
+        [ v_int 4; v_str "multi\nline" ] ]
+  in
+  let text = Csv.write_relation r in
+  Alcotest.(check bool) "roundtrip" true
+    (Relation.equal_contents r (Csv.read_relation schema text))
+
+let test_csv_parse_rows () =
+  Alcotest.(check (list (list string))) "basic"
+    [ [ "a"; "b" ]; [ "1"; "2" ] ]
+    (Csv.parse_rows "a,b\n1,2\n");
+  Alcotest.(check (list (list string))) "quoted"
+    [ [ "x,y"; "z\"q" ] ]
+    (Csv.parse_rows "\"x,y\",\"z\"\"q\"\n");
+  Alcotest.(check (list (list string))) "no trailing newline"
+    [ [ "a" ] ] (Csv.parse_rows "a")
+
+let test_csv_header_mismatch () =
+  let schema = Schema.of_list [ ("id", Value.Tint) ] in
+  match Csv.read_relation schema "wrong\n1\n" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "header mismatch must be rejected"
+
+let () =
+  Alcotest.run "relalg"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "compare" `Quick test_value_compare;
+          Alcotest.test_case "parse" `Quick test_value_parse;
+          Alcotest.test_case "codec" `Quick test_value_codec;
+          Alcotest.test_case "decode errors" `Quick test_value_decode_errors;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "find" `Quick test_schema_find;
+          Alcotest.test_case "ambiguous" `Quick test_schema_ambiguous;
+          Alcotest.test_case "duplicate" `Quick test_schema_duplicate;
+          Alcotest.test_case "qualify/append" `Quick test_schema_qualify_append;
+          Alcotest.test_case "project" `Quick test_schema_project;
+        ] );
+      ( "tuple",
+        [
+          Alcotest.test_case "codec" `Quick test_tuple_codec;
+          Alcotest.test_case "ops" `Quick test_tuple_ops;
+        ] );
+      ( "predicate",
+        [
+          Alcotest.test_case "eval" `Quick test_predicate_eval;
+          Alcotest.test_case "helpers" `Quick test_predicate_helpers;
+          Alcotest.test_case "unknown attribute" `Quick test_predicate_unknown_attr;
+        ] );
+      ( "relation",
+        [
+          Alcotest.test_case "typecheck" `Quick test_relation_make_typecheck;
+          Alcotest.test_case "select/project" `Quick test_select_project;
+          Alcotest.test_case "active domain" `Quick test_active_domain;
+          Alcotest.test_case "natural join" `Quick test_natural_join;
+          Alcotest.test_case "nested loop = hash" `Quick test_nested_loop_matches_hash;
+          Alcotest.test_case "join without common attrs" `Quick test_join_no_common_is_product;
+          Alcotest.test_case "equi join" `Quick test_equi_join;
+          Alcotest.test_case "union/diff/intersect" `Quick test_union_diff_intersect;
+          Alcotest.test_case "equal_contents" `Quick test_equal_contents_order_insensitive;
+          Alcotest.test_case "rename" `Quick test_rename;
+        ] );
+      ( "aggregate",
+        [
+          Alcotest.test_case "group by" `Quick test_aggregate_group_by;
+          Alcotest.test_case "global" `Quick test_aggregate_global;
+          Alcotest.test_case "empty input" `Quick test_aggregate_empty;
+          Alcotest.test_case "errors" `Quick test_aggregate_errors;
+          Alcotest.test_case "min/max strings" `Quick test_aggregate_min_max_strings;
+        ] );
+      ("properties", [ join_prop; select_split_prop ]);
+      ( "csv",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "parse rows" `Quick test_csv_parse_rows;
+          Alcotest.test_case "header mismatch" `Quick test_csv_header_mismatch;
+        ] );
+    ]

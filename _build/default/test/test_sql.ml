@@ -1,0 +1,237 @@
+(* Tests for the SQL2Algebra substrate: lexer, parser, algebra trees. *)
+
+open Secmed_relalg
+open Secmed_sql
+
+(* ------------------------------------------------------------------ *)
+(* Lexer. *)
+
+let token = Alcotest.testable (fun fmt t -> Format.pp_print_string fmt (Token.to_string t)) Token.equal
+
+let test_lexer_basics () =
+  Alcotest.(check (list token)) "select star"
+    [ Token.Keyword "SELECT"; Token.Star; Token.Keyword "FROM"; Token.Ident "R1"; Token.Eof ]
+    (Lexer.tokenize "select * from R1");
+  Alcotest.(check (list token)) "mixed case keywords"
+    [ Token.Keyword "SELECT"; Token.Ident "x"; Token.Eof ]
+    (Lexer.tokenize "SeLeCt x")
+
+let test_lexer_operators () =
+  Alcotest.(check (list token)) "operators"
+    [ Token.Op "="; Token.Op "<>"; Token.Op "<"; Token.Op "<="; Token.Op ">"; Token.Op ">=";
+      Token.Op "<>"; Token.Eof ]
+    (Lexer.tokenize "= <> < <= > >= !=")
+
+let test_lexer_literals () =
+  Alcotest.(check (list token)) "numbers and strings"
+    [ Token.Int_lit 42; Token.Int_lit (-7); Token.Str_lit "it's"; Token.Eof ]
+    (Lexer.tokenize "42 -7 'it''s'")
+
+let test_lexer_qualified () =
+  Alcotest.(check (list token)) "dots"
+    [ Token.Ident "R1"; Token.Dot; Token.Ident "a"; Token.Eof ]
+    (Lexer.tokenize "R1.a")
+
+let test_lexer_errors () =
+  (match Lexer.tokenize "a @ b" with
+   | exception Lexer.Error (_, 2) -> ()
+   | exception Lexer.Error (_, pos) -> Alcotest.failf "wrong position %d" pos
+   | _ -> Alcotest.fail "must reject @");
+  match Lexer.tokenize "'unterminated" with
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "must reject unterminated string"
+
+(* ------------------------------------------------------------------ *)
+(* Parser. *)
+
+let parse = Parser.parse
+
+let test_parse_star_join () =
+  let q = parse "select * from R1 natural join R2" in
+  Alcotest.(check bool) "star" true (q.Ast.select = None);
+  Alcotest.(check string) "from" "R1" q.Ast.from.Ast.table;
+  (match q.Ast.joins with
+   | [ (Ast.J_natural, t) ] -> Alcotest.(check string) "join table" "R2" t.Ast.table
+   | _ -> Alcotest.fail "expected one natural join");
+  Alcotest.(check bool) "no where" true (q.Ast.where = None)
+
+let test_parse_join_on () =
+  let q = parse "SELECT * FROM R1 JOIN R2 ON R1.a = R2.a" in
+  match q.Ast.joins with
+  | [ (Ast.J_on (a, b), _) ] ->
+    Alcotest.(check string) "left" "R1.a" (Ast.column_name a);
+    Alcotest.(check string) "right" "R2.a" (Ast.column_name b)
+  | _ -> Alcotest.fail "expected ON join"
+
+let test_parse_columns_where () =
+  let q =
+    parse
+      "select distinct R1.a, b from R1 natural join R2 where R1.a > 5 and b = 'x' or not (c = 1)"
+  in
+  ignore q;
+  let q2 = parse "select a from T1 natural join T2 where x = 1 and (y = 2 or z = 3)" in
+  Alcotest.(check bool) "distinct flag" true (parse "select distinct a from T natural join U").Ast.distinct;
+  (match q2.Ast.select with
+   | Some [ Ast.S_column c ] -> Alcotest.(check string) "column" "a" (Ast.column_name c)
+   | _ -> Alcotest.fail "one column");
+  match q2.Ast.where with
+  | Some (Ast.E_and (_, Ast.E_or _)) -> ()
+  | _ -> Alcotest.fail "precedence: AND over OR with parens"
+
+let test_parse_in_list () =
+  let q = parse "select * from A natural join B where x in (1, 2, 3)" in
+  match q.Ast.where with
+  | Some (Ast.E_in (Ast.Col c, [ Ast.L_int 1; Ast.L_int 2; Ast.L_int 3 ])) ->
+    Alcotest.(check string) "column" "x" (Ast.column_name c)
+  | _ -> Alcotest.fail "IN list"
+
+let test_parse_errors () =
+  List.iter
+    (fun q ->
+      match parse q with
+      | exception Parser.Error _ -> ()
+      | exception Lexer.Error _ -> ()
+      | _ -> Alcotest.failf "should reject %S" q)
+    [ ""; "select"; "select * from"; "select * from R1 join"; "select from R1";
+      "select * from R1 where"; "select * from R1 where x =";
+      (* "extra" would parse as an implicit alias; a second trailing word
+         cannot. *)
+      "select * from R1 alias extra" ]
+
+let test_parse_roundtrip_pp () =
+  let q = parse "select a, R2.b from R1 natural join R2 where a = 1" in
+  let rendered = Ast.query_to_string q in
+  (* Re-parsing the rendering yields the same AST. *)
+  Alcotest.(check string) "pp stable" rendered (Ast.query_to_string (parse rendered))
+
+(* ------------------------------------------------------------------ *)
+(* Algebra compilation and evaluation. *)
+
+let db =
+  let r1 =
+    Relation.of_rows
+      (Schema.of_list [ ("a", Value.Tint); ("b", Value.Tstring) ])
+      [ [ Value.Int 1; Value.Str "x" ]; [ Value.Int 2; Value.Str "y" ]; [ Value.Int 3; Value.Str "z" ] ]
+  in
+  let r2 =
+    Relation.of_rows
+      (Schema.of_list [ ("a", Value.Tint); ("c", Value.Tint) ])
+      [ [ Value.Int 2; Value.Int 20 ]; [ Value.Int 3; Value.Int 30 ]; [ Value.Int 3; Value.Int 31 ] ]
+  in
+  function
+  | "R1" -> r1
+  | "R2" -> r2
+  | name -> failwith ("unknown relation " ^ name)
+
+let eval_sql q = Algebra.eval db (Algebra.of_query (parse q))
+
+let test_eval_join () =
+  let result = eval_sql "select * from R1 natural join R2" in
+  Alcotest.(check int) "join size" 3 (Relation.cardinality result);
+  Alcotest.(check (list string)) "schema" [ "R1.a"; "R1.b"; "R2.c" ]
+    (Schema.names (Relation.schema result))
+
+let test_eval_where () =
+  let result = eval_sql "select * from R1 natural join R2 where c > 25" in
+  Alcotest.(check int) "filtered" 2 (Relation.cardinality result)
+
+let test_eval_projection () =
+  let result = eval_sql "select b from R1 natural join R2" in
+  Alcotest.(check (list string)) "projected schema" [ "R1.b" ]
+    (Schema.names (Relation.schema result));
+  Alcotest.(check int) "bag size" 3 (Relation.cardinality result);
+  let d = eval_sql "select distinct b from R1 natural join R2" in
+  Alcotest.(check int) "distinct" 2 (Relation.cardinality d)
+
+let test_eval_join_on () =
+  let result = eval_sql "select * from R1 join R2 on R1.a = R2.a" in
+  Alcotest.(check int) "equi join keeps both sides" 3 (Relation.cardinality result);
+  Alcotest.(check int) "arity" 4 (Schema.arity (Relation.schema result))
+
+let test_eval_plain_scan () =
+  let result = eval_sql "select * from R1" in
+  Alcotest.(check int) "scan" 3 (Relation.cardinality result)
+
+let test_leaves_and_joins () =
+  let tree = Algebra.of_query (parse "select * from R1 join R2 on R1.a = R2.a where c = 1") in
+  Alcotest.(check (list string)) "leaves" [ "R1"; "R2" ] (Algebra.leaves tree);
+  Alcotest.(check (list (pair string string))) "join attrs" [ ("R1.a", "R2.a") ]
+    (Algebra.join_attributes tree)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_parse_aggregates () =
+  let q = parse "select a, count(*), sum(c) as total from R1 natural join R2 group by a" in
+  Alcotest.(check bool) "has aggregates" true (Ast.has_aggregates q);
+  (match q.Ast.select with
+   | Some [ Ast.S_column _; Ast.S_aggregate c; Ast.S_aggregate s ] ->
+     Alcotest.(check bool) "count star" true (c.Ast.agg_column = None);
+     Alcotest.(check (option string)) "alias" (Some "total") s.Ast.agg_alias
+   | _ -> Alcotest.fail "expected three select items");
+  Alcotest.(check int) "group by" 1 (List.length q.Ast.group_by);
+  (* SUM over star is rejected. *)
+  match parse "select sum(*) from R1 natural join R2" with
+  | exception Parser.Error _ -> ()
+  | _ -> Alcotest.fail "SUM(*) must be rejected"
+
+let test_eval_aggregates () =
+  let result = eval_sql "select a, sum(c) as total from R1 natural join R2 group by a" in
+  (* The key keeps its qualifier from the joined schema. *)
+  Alcotest.(check (list string)) "schema" [ "R1.a"; "total" ]
+    (Schema.names (Relation.schema result));
+  let rows =
+    List.map (fun t -> List.map Value.to_string (Tuple.to_list t)) (Relation.tuples result)
+  in
+  Alcotest.(check (list (list string))) "groups" [ [ "2"; "20" ]; [ "3"; "61" ] ] rows;
+  let scalar = eval_sql "select count(*) from R1 natural join R2" in
+  (match Relation.tuples scalar with
+   | [ t ] -> Alcotest.(check string) "count" "3" (Value.to_string (Tuple.get t 0))
+   | _ -> Alcotest.fail "one row");
+  (* Plain column outside GROUP BY is rejected at compile time. *)
+  match Algebra.of_query (parse "select b, sum(c) from R1 natural join R2 group by a") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ungrouped column must be rejected"
+
+let test_algebra_pp () =
+  let tree = Algebra.of_query (parse "select a from R1 natural join R2 where a = 1") in
+  let rendered = Algebra.to_string tree in
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (contains rendered needle))
+    [ "Project"; "Select"; "NaturalJoin"; "Scan R1"; "Scan R2" ]
+
+let () =
+  Alcotest.run "sql"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basics" `Quick test_lexer_basics;
+          Alcotest.test_case "operators" `Quick test_lexer_operators;
+          Alcotest.test_case "literals" `Quick test_lexer_literals;
+          Alcotest.test_case "qualified names" `Quick test_lexer_qualified;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "star + natural join" `Quick test_parse_star_join;
+          Alcotest.test_case "join on" `Quick test_parse_join_on;
+          Alcotest.test_case "columns/where/distinct" `Quick test_parse_columns_where;
+          Alcotest.test_case "in list" `Quick test_parse_in_list;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "pp roundtrip" `Quick test_parse_roundtrip_pp;
+        ] );
+      ( "algebra",
+        [
+          Alcotest.test_case "natural join" `Quick test_eval_join;
+          Alcotest.test_case "where" `Quick test_eval_where;
+          Alcotest.test_case "projection/distinct" `Quick test_eval_projection;
+          Alcotest.test_case "join on" `Quick test_eval_join_on;
+          Alcotest.test_case "plain scan" `Quick test_eval_plain_scan;
+          Alcotest.test_case "leaves/join attrs" `Quick test_leaves_and_joins;
+          Alcotest.test_case "parse aggregates" `Quick test_parse_aggregates;
+          Alcotest.test_case "eval aggregates" `Quick test_eval_aggregates;
+          Alcotest.test_case "pretty printing" `Quick test_algebra_pp;
+        ] );
+    ]
