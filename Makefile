@@ -1,0 +1,22 @@
+# Convenience entry points; everything below is plain dune.
+
+.PHONY: all check test bench bench-json clean
+
+all:
+	dune build
+
+check:
+	dune build && dune runtest
+
+test: check
+
+# Full benchmark/reproduction suite (slow).
+bench:
+	dune exec bench/main.exe -- all
+
+# Machine-readable mod-exp + perf trajectory (BENCH_modexp.json).
+bench-json:
+	dune exec bench/main.exe -- json
+
+clean:
+	dune clean

@@ -143,36 +143,116 @@ let karatsuba () =
   print_endline "threshold=1000000 disables Karatsuba (pure schoolbook)."
 
 (* ------------------------------------------------------------------ *)
-(* A5 — Montgomery (CIOS) vs plain modular exponentiation, and its
-   effect on a full PM protocol run. *)
+(* A5 — modular exponentiation: plain division vs per-call Montgomery
+   setup (the pre-context behaviour) vs cached context vs fixed-base
+   window tables, plus the end-to-end effect on a full PM run. *)
+
+(* One measurement row: median seconds per exponentiation for each of
+   the four configurations at the given modulus width.  Shared with the
+   JSON trajectory emitter so the table and the file never diverge. *)
+type modexp_sample = {
+  ms_bits : int;
+  ms_exp_bits : int;
+  t_plain : float;
+  t_per_call : float;
+  t_cached : float;
+  t_fixed_base : float;
+}
+
+let measure_modexp ?(rounds = 7) ?exp_bits bits =
+  let exp_bits = Option.value ~default:bits exp_bits in
+  let prng = Prng.of_int_seed (5 + bits + exp_bits) in
+  let src = Prng.byte_source prng in
+  let m = Bigint.random_bits src bits in
+  let m = if Bigint.is_even m then Bigint.succ m else m in
+  let b = Bigint.emod (Bigint.random_bits src bits) m in
+  (* Insist on a full-width exponent so every configuration runs its
+     Montgomery path (mod_pow falls back to plain below 17 bits). *)
+  let rec gen_exp () =
+    let e = Bigint.random_bits src exp_bits in
+    if Bigint.numbits e = exp_bits then e else gen_exp ()
+  in
+  let e = gen_exp () in
+  let ctx = Bigint.Ctx.create m in
+  let fb = Bigint.Fixed_base.create ~base:b ~modulus:m ~bits:exp_bits in
+  let plain () =
+    Bigint.use_montgomery := false;
+    let r = Bigint.mod_pow b e m in
+    Bigint.use_montgomery := true;
+    r
+  in
+  (* Per-call rebuilds the Montgomery context on every exponentiation:
+     exactly what every call paid before the transparent cache. *)
+  let per_call () = Bigint.Ctx.mod_pow (Bigint.Ctx.create m) b e in
+  let cached () = Bigint.Ctx.mod_pow ctx b e in
+  let fixed () = Bigint.Fixed_base.pow fb e in
+  (* Batch repetitions so each sample is well above timer resolution,
+     interleave the configurations across rounds (cancels clock and GC
+     drift), and keep the best round per configuration. *)
+  let reps = Stdlib.max 1 (32768 / (bits + exp_bits)) in
+  let sample f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let best = Array.make 4 infinity in
+  let thunks = [| plain; per_call; cached; fixed |] in
+  for _ = 1 to rounds do
+    Array.iteri (fun i f -> best.(i) <- Float.min best.(i) (sample f)) thunks
+  done;
+  {
+    ms_bits = bits;
+    ms_exp_bits = exp_bits;
+    t_plain = best.(0);
+    t_per_call = best.(1);
+    t_cached = best.(2);
+    t_fixed_base = best.(3);
+  }
+
+(* The two exponent regimes worth reporting: full-width exponents (the
+   protocols' common case, where the context setup amortizes to <0.1% of
+   the call) and short RSA-style exponents (e around 2^16) over large
+   moduli, where per-call context setup is a measurable fraction and the
+   cache's win shows up directly. *)
+let modexp_workloads =
+  List.map (fun bits -> (bits, None)) [ 256; 512; 1024 ]
+  @ List.map (fun bits -> (bits, Some 17)) [ 1024; 2048 ]
 
 let montgomery () =
-  Bench_util.heading "A5 — modular exponentiation: Montgomery (CIOS) vs plain division";
-  let prng = Prng.of_int_seed 5 in
-  let src = Prng.byte_source prng in
+  Bench_util.heading
+    "A5 — modular exponentiation: plain vs per-call Montgomery vs cached context vs \
+     fixed-base windows";
+  let samples =
+    List.map (fun (bits, exp_bits) -> measure_modexp ?exp_bits bits) modexp_workloads
+  in
+  let fmt t = Printf.sprintf "%.3f" (t *. 1000.0) in
   let rows =
     List.map
-      (fun bits ->
-        let m = Bigint.random_bits src bits in
-        let m = if Bigint.is_even m then Bigint.succ m else m in
-        let b = Bigint.emod (Bigint.random_bits src bits) m in
-        let e = Bigint.random_bits src bits in
-        let with_flag flag f =
-          Bigint.use_montgomery := flag;
-          let result = Bench_util.time_median ~runs:5 f in
-          Bigint.use_montgomery := true;
-          result
-        in
-        let t_mont = with_flag true (fun () -> Bigint.mod_pow b e m) in
-        let t_plain = with_flag false (fun () -> Bigint.mod_pow b e m) in
-        [ string_of_int bits; Bench_util.fmt_ms t_mont; Bench_util.fmt_ms t_plain;
-          Printf.sprintf "%.2fx" (t_plain /. Float.max 1e-9 t_mont) ])
-      [ 256; 512; 1024 ]
+      (fun s ->
+        [ string_of_int s.ms_bits;
+          string_of_int s.ms_exp_bits;
+          fmt s.t_plain;
+          fmt s.t_per_call;
+          fmt s.t_cached;
+          fmt s.t_fixed_base;
+          Printf.sprintf "%.2fx" (s.t_per_call /. Float.max 1e-9 s.t_cached);
+          Printf.sprintf "%.2fx" (s.t_per_call /. Float.max 1e-9 s.t_fixed_base) ])
+      samples
   in
   Bench_util.print_table
-    ~headers:[ "modulus bits"; "montgomery (ms)"; "plain (ms)"; "speedup" ]
+    ~headers:
+      [ "modulus bits"; "exp bits"; "plain (ms)"; "per-call (ms)"; "cached ctx (ms)";
+        "fixed-base (ms)"; "cached/per-call"; "fixed/per-call" ]
     rows;
-  (* End-to-end effect on the exponentiation-heavy PM protocol. *)
+  print_endline
+    "Full-width exponents amortize the context setup below the measurement noise;";
+  print_endline
+    "the short-exponent rows (e ~ 2^16 over 1024/2048-bit moduli) isolate the setup";
+  print_endline "cost the cached context avoids on every call.";
+  (* End-to-end effect on the exponentiation-heavy PM protocol, and the
+     transparent cache's efficacy over that run. *)
   let spec = Experiments.spec_for_domain 8 in
   let env, client, query = Workload.scenario ~params:Experiments.bench_params spec in
   let run_pm flag =
@@ -186,7 +266,93 @@ let montgomery () =
   in
   let t_on = run_pm true and t_off = run_pm false in
   Printf.printf "\nfull PM run at |domactive|=8: %.1f ms with Montgomery, %.1f ms without (%.2fx)\n"
-    (t_on *. 1000.0) (t_off *. 1000.0) (t_off /. Float.max 1e-9 t_on)
+    (t_on *. 1000.0) (t_off *. 1000.0) (t_off /. Float.max 1e-9 t_on);
+  (* The protocols thread explicit contexts through their own hot loops,
+     so the transparent cache only sees the remaining generic mod_pow
+     callers (group membership, ElGamal decryption, credentials); run
+     every scheme once to exercise them all. *)
+  Bigint.ctx_cache_reset ();
+  List.iter
+    (fun scheme -> ignore (Protocol.run scheme env client ~query))
+    Protocol.all_schemes;
+  let hits, misses = Bigint.ctx_cache_stats () in
+  Printf.printf
+    "transparent context cache over one run of every scheme: %d hits / %d misses \
+     (%.1f%% hit rate)\n"
+    hits misses
+    (100.0 *. float_of_int hits /. Float.max 1.0 (float_of_int (hits + misses)))
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable perf trajectory: BENCH_modexp.json records ops/sec
+   for each exponentiation configuration plus the end-to-end P2 sweep,
+   so future optimization PRs can diff against this one numerically. *)
+
+let modexp_json ?(path = "BENCH_modexp.json") ~sizes () =
+  let buf = Buffer.create 4096 in
+  let ops_per_sec t = 1.0 /. Float.max 1e-9 t in
+  Buffer.add_string buf "{\n";
+  (* Microbenchmark: the four configurations per modulus width. *)
+  let workloads = modexp_workloads @ [ (2048, None) ] in
+  let samples =
+    List.map (fun (bits, exp_bits) -> measure_modexp ?exp_bits bits) workloads
+  in
+  Buffer.add_string buf "  \"modexp_ops_per_sec\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"modulus_bits\": %d, \"exponent_bits\": %d, \"plain\": %.2f, \
+            \"per_call_montgomery\": %.2f, \"cached_context\": %.2f, \
+            \"fixed_base\": %.2f }%s\n"
+           s.ms_bits s.ms_exp_bits (ops_per_sec s.t_plain) (ops_per_sec s.t_per_call)
+           (ops_per_sec s.t_cached) (ops_per_sec s.t_fixed_base)
+           (if i = List.length samples - 1 then "" else ",")))
+    samples;
+  Buffer.add_string buf "  ],\n";
+  (* End-to-end: the P2 perf sweep, wall clock per protocol per size. *)
+  let schemes = Protocol.all_schemes in
+  Buffer.add_string buf "  \"perf_sweep_seconds\": [\n";
+  List.iteri
+    (fun i size ->
+      let env, client, query =
+        Workload.scenario ~params:Experiments.bench_params
+          (Experiments.spec_for_domain size)
+      in
+      let fields =
+        List.map
+          (fun scheme ->
+            let t =
+              Bench_util.time_median ~runs:3 (fun () ->
+                  Protocol.run scheme env client ~query)
+            in
+            Printf.sprintf "\"%s\": %.4f" (Protocol.scheme_name scheme) t)
+          schemes
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "    { \"domactive\": %d, %s }%s\n" size
+           (String.concat ", " fields)
+           (if i = List.length sizes - 1 then "" else ",")))
+    sizes;
+  Buffer.add_string buf "  ],\n";
+  (* Cache efficacy over one PM run at the reference size. *)
+  let env, client, query =
+    Workload.scenario ~params:Experiments.bench_params (Experiments.spec_for_domain 8)
+  in
+  Bigint.ctx_cache_reset ();
+  List.iter
+    (fun scheme -> ignore (Protocol.run scheme env client ~query))
+    Protocol.all_schemes;
+  let hits, misses = Bigint.ctx_cache_stats () in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"ctx_cache\": { \"workload\": \"all-schemes domactive=8\", \"hits\": %d, \
+        \"misses\": %d }\n"
+       hits misses);
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s (%d bytes)\n" path (Buffer.length buf)
 
 (* ------------------------------------------------------------------ *)
 (* A6 — lean set-operation protocols vs full join + projection. *)

@@ -64,6 +64,8 @@ let experiments : (string * string * (unit -> unit) Term.t) list =
      Term.(const (fun () () -> Ablations.das_settings ()) $ const ()));
     ("micro", "Bechamel microbenchmarks of the crypto primitives",
      Term.(const (fun () () -> Ablations.micro ()) $ const ()));
+    ("json", "Write BENCH_modexp.json: machine-readable mod-exp + perf trajectory",
+     Term.(const (fun sizes () -> Ablations.modexp_json ~sizes ()) $ sizes_arg));
   ]
 
 let run_all () =

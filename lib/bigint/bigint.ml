@@ -462,6 +462,7 @@ module Montgomery = struct
     m_prime : int; (* -m^{-1} mod B *)
     modulus : t;
     r_mod_m : t; (* B^n mod m: the Montgomery representation of 1 *)
+    r2_mod_m : int array; (* B^2n mod m: converts into the domain by mont_mul *)
   }
 
   (* Inverse of an odd limb modulo B = 2^31 by Newton iteration. *)
@@ -480,7 +481,10 @@ module Montgomery = struct
       let n = Array.length m in
       let m_prime = (base - limb_inverse m.(0)) land mask in
       let r_mod_m = emod { sign = 1; mag = nat_shift_left [| 1 |] (n * limb_bits) } modulus in
-      Some { m; n; m_prime; modulus; r_mod_m }
+      let r2_mod_m =
+        (emod { sign = 1; mag = nat_shift_left [| 1 |] (2 * n * limb_bits) } modulus).mag
+      in
+      Some { m; n; m_prime; modulus; r_mod_m; r2_mod_m }
     end
 
   (* t <- (a * b + (..) * m) / B^n, result < 2m then conditionally
@@ -518,17 +522,18 @@ module Montgomery = struct
     if nat_cmp result ctx.m >= 0 then nat_sub result ctx.m else result
 
   let to_mont ctx x =
-    (* x * B^n mod m *)
-    (emod { sign = 1; mag = nat_shift_left x.mag (ctx.n * limb_bits) } ctx.modulus).mag
+    (* x * B^n mod m = mont_mul x (B^2n mod m): one CIOS pass instead of
+       the shift-and-divide the seed paid per conversion. *)
+    mont_mul ctx x.mag ctx.r2_mod_m
 
   let from_mont ctx x = make 1 (mont_mul ctx x [| 1 |])
 
-  (* Left-to-right 4-bit fixed-window exponentiation in the domain. *)
-  let mod_pow ctx b e =
-    if is_zero e then emod one ctx.modulus
+  (* Left-to-right 4-bit fixed-window exponentiation entirely in the
+     Montgomery domain: takes and returns Montgomery representatives, so
+     callers chaining many operations avoid per-step conversions. *)
+  let pow_mont ctx b_mont e =
+    if is_zero e then ctx.r_mod_m.mag
     else begin
-      let b = emod b ctx.modulus in
-      let b_mont = to_mont ctx b in
       let one_mont = ctx.r_mod_m.mag in
       (* Precompute b^0..b^15 in Montgomery form. *)
       let window = 4 in
@@ -551,11 +556,156 @@ module Montgomery = struct
         done;
         if !digit <> 0 then acc := mont_mul ctx !acc table.(!digit)
       done;
-      from_mont ctx !acc
+      !acc
     end
+
+  let mod_pow ctx b e =
+    if is_zero e then emod one ctx.modulus
+    else from_mont ctx (pow_mont ctx (to_mont ctx (emod b ctx.modulus)) e)
 end
 
 let use_montgomery = ref true
+
+(* ------------------------------------------------------------------ *)
+(* Reusable per-modulus contexts.  A [Ctx.ctx] carries the Montgomery
+   state (inverse limb, R mod m) for one modulus so that the setup cost
+   is paid once per modulus instead of once per exponentiation.  Even
+   moduli (for which no Montgomery inverse exists) degrade to a plain
+   context whose operations fall back to division-based arithmetic. *)
+
+module Ctx = struct
+  type kind =
+    | Mont of Montgomery.ctx
+    | Plain (* even modulus, or modulus = 1: no Montgomery inverse *)
+
+  type ctx = { modulus : t; kind : kind }
+
+  (* Montgomery-domain representative: a trimmed limb array < m.  For a
+     [Plain] context the "domain" is the ordinary residue ring, so the
+     representative is just the reduced magnitude. *)
+  type mont = int array
+
+  let create modulus =
+    if modulus.sign <= 0 then
+      invalid_arg "Bigint.Ctx.create: modulus must be positive"
+    else begin
+      match Montgomery.create modulus with
+      | Some mc -> { modulus; kind = Mont mc }
+      | None -> { modulus; kind = Plain }
+    end
+
+  let modulus c = c.modulus
+
+  let uses_montgomery c =
+    !use_montgomery && (match c.kind with Mont _ -> true | Plain -> false)
+
+  let mod_mul c a b = emod (mul a b) c.modulus
+
+  let to_mont c x =
+    let x = emod x c.modulus in
+    match c.kind with
+    | Mont mc -> Montgomery.to_mont mc x
+    | Plain -> x.mag
+
+  let of_mont c r =
+    match c.kind with
+    | Mont mc -> Montgomery.from_mont mc r
+    | Plain -> make 1 r
+
+  let mont_one c =
+    match c.kind with
+    | Mont mc -> mc.Montgomery.r_mod_m.mag
+    | Plain -> (emod one c.modulus).mag
+
+  (* Representatives are canonical (reduced below m and trimmed), so
+     structural equality of the limb arrays decides value equality. *)
+  let mont_equal (a : mont) (b : mont) = a = b
+
+  let mont_mul c a b =
+    match c.kind with
+    | Mont mc -> Montgomery.mont_mul mc a b
+    | Plain -> (emod (mul (make 1 a) (make 1 b)) c.modulus).mag
+
+  let mont_pow c b e =
+    if e.sign < 0 then invalid_arg "Bigint.Ctx.mont_pow: negative exponent"
+    else begin
+      match c.kind with
+      | Mont mc -> Montgomery.pow_mont mc b e
+      | Plain ->
+        if is_one c.modulus then [||]
+        else (mod_pow_plain (make 1 b) e c.modulus).mag
+    end
+
+  let mod_pow c b e =
+    let m = c.modulus in
+    if is_one m then zero
+    else begin
+      let b =
+        if e.sign < 0 then
+          match mod_inverse b m with
+          | Some inv -> inv
+          | None ->
+            invalid_arg "Bigint.Ctx.mod_pow: negative exponent, base not invertible"
+        else emod b m
+      in
+      let e = abs e in
+      match c.kind with
+      | Mont mc when !use_montgomery && numbits e > 16 -> Montgomery.mod_pow mc b e
+      | Mont _ | Plain -> mod_pow_plain b e m
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Transparent bounded context cache.  The protocol workloads reuse a
+   handful of moduli (n^2, p, q, prime candidates) across thousands of
+   exponentiations; caching the contexts drops Montgomery setup from
+   O(#modexps) to O(#moduli) without any caller-visible API change. *)
+
+let ctx_cache_slots = 8
+
+type ctx_slot = { slot_ctx : Ctx.ctx; mutable stamp : int }
+
+let ctx_cache : ctx_slot option array = Array.make ctx_cache_slots None
+let ctx_cache_tick = ref 0
+let ctx_cache_hits = ref 0
+let ctx_cache_misses = ref 0
+
+let ctx_cache_stats () = (!ctx_cache_hits, !ctx_cache_misses)
+
+let ctx_cache_reset () =
+  Array.fill ctx_cache 0 ctx_cache_slots None;
+  ctx_cache_tick := 0;
+  ctx_cache_hits := 0;
+  ctx_cache_misses := 0
+
+let ctx_of_modulus m =
+  incr ctx_cache_tick;
+  let found = ref None in
+  for i = 0 to ctx_cache_slots - 1 do
+    match ctx_cache.(i) with
+    | Some slot when !found = None && equal (Ctx.modulus slot.slot_ctx) m ->
+      slot.stamp <- !ctx_cache_tick;
+      found := Some slot.slot_ctx
+    | _ -> ()
+  done;
+  match !found with
+  | Some c ->
+    incr ctx_cache_hits;
+    c
+  | None ->
+    incr ctx_cache_misses;
+    let c = Ctx.create m in
+    (* Evict the least-recently-used slot (empty slots have stamp 0). *)
+    let victim = ref 0 and victim_stamp = ref max_int in
+    for i = 0 to ctx_cache_slots - 1 do
+      let stamp = match ctx_cache.(i) with None -> 0 | Some slot -> slot.stamp in
+      if stamp < !victim_stamp then begin
+        victim := i;
+        victim_stamp := stamp
+      end
+    done;
+    ctx_cache.(!victim) <- Some { slot_ctx = c; stamp = !ctx_cache_tick };
+    c
 
 let mod_pow b e m =
   if m.sign <= 0 then invalid_arg "Bigint.mod_pow: modulus must be positive"
@@ -569,14 +719,120 @@ let mod_pow b e m =
       else emod b m
     in
     let e = abs e in
-    (* Montgomery pays off once the exponent is more than a few words. *)
-    if !use_montgomery && is_odd m && numbits e > 16 then begin
-      match Montgomery.create m with
-      | Some ctx -> Montgomery.mod_pow ctx b e
-      | None -> mod_pow_plain b e m
-    end
+    (* Montgomery pays off once the exponent is more than a few words;
+       only odd moduli enter the cache, so every cached context carries
+       usable Montgomery state. *)
+    if !use_montgomery && is_odd m && numbits e > 16 then
+      Ctx.mod_pow (ctx_of_modulus m) b e
     else mod_pow_plain b e m
   end
+
+(* ------------------------------------------------------------------ *)
+(* Fixed-base windowed exponentiation.  For a base that is raised to
+   many different exponents under one modulus (group generators, public
+   keys), precompute base^(d * 16^i) for every 4-bit window position i
+   and digit d in Montgomery form: an exponentiation then costs one
+   multiplication per non-zero window and no squarings at all. *)
+
+module Fixed_base = struct
+  let window = 4
+
+  type fb = {
+    fb_ctx : Ctx.ctx;
+    fb_base : t;
+    covered_bits : int; (* exponents of up to this many bits use the table *)
+    table : mont_table;
+  }
+
+  and mont_table = Ctx.mont array array
+  (* table.(i).(d-1) = base^(d * 16^i) in the Montgomery domain. *)
+
+  let create ~base ~modulus ~bits =
+    if bits <= 0 then invalid_arg "Bigint.Fixed_base.create: bits must be positive";
+    let fb_ctx = Ctx.create modulus in
+    let windows = (bits + window - 1) / window in
+    let digits = (1 lsl window) - 1 in
+    let cur = ref (Ctx.to_mont fb_ctx base) in
+    let table =
+      Array.init windows (fun _ ->
+          let row = Array.make digits !cur in
+          for d = 1 to digits - 1 do
+            row.(d) <- Ctx.mont_mul fb_ctx row.(d - 1) !cur
+          done;
+          (* base^(16^(i+1)) = base^(15 * 16^i) * base^(16^i). *)
+          cur := Ctx.mont_mul fb_ctx row.(digits - 1) !cur;
+          row)
+    in
+    { fb_ctx; fb_base = base; covered_bits = windows * window; table }
+
+  let base fb = fb.fb_base
+  let modulus fb = Ctx.modulus fb.fb_ctx
+
+  let pow fb e =
+    let m = Ctx.modulus fb.fb_ctx in
+    if is_one m then zero
+    else if e.sign < 0 || numbits e > fb.covered_bits || not (Ctx.uses_montgomery fb.fb_ctx)
+    then
+      (* Out-of-range exponents and the [use_montgomery := false]
+         ablation take the general (context) route. *)
+      Ctx.mod_pow fb.fb_ctx fb.fb_base e
+    else if is_zero e then emod one m
+    else begin
+      let acc = ref (Ctx.mont_one fb.fb_ctx) in
+      let nbits = numbits e in
+      let windows = (nbits + window - 1) / window in
+      for i = 0 to windows - 1 do
+        let digit = ref 0 in
+        for bit = window - 1 downto 0 do
+          let position = (i * window) + bit in
+          digit :=
+            (!digit lsl 1) lor (if position < nbits && testbit e position then 1 else 0)
+        done;
+        if !digit <> 0 then acc := Ctx.mont_mul fb.fb_ctx !acc fb.table.(i).(!digit - 1)
+      done;
+      Ctx.of_mont fb.fb_ctx !acc
+    end
+
+  (* Bounded cache of tables keyed on (base, modulus), LRU eviction as
+     for the context cache.  A cached table is reused when it covers at
+     least the requested exponent width. *)
+
+  let cache_slots = 8
+
+  type fb_slot = { slot_fb : fb; mutable fb_stamp : int }
+
+  let cache : fb_slot option array = Array.make cache_slots None
+  let cache_tick = ref 0
+
+  let cached ~base ~modulus ~bits =
+    incr cache_tick;
+    let found = ref None in
+    for i = 0 to cache_slots - 1 do
+      match cache.(i) with
+      | Some slot
+        when !found = None
+             && equal slot.slot_fb.fb_base base
+             && equal (Ctx.modulus slot.slot_fb.fb_ctx) modulus
+             && slot.slot_fb.covered_bits >= bits ->
+        slot.fb_stamp <- !cache_tick;
+        found := Some slot.slot_fb
+      | _ -> ()
+    done;
+    match !found with
+    | Some fb -> fb
+    | None ->
+      let fb = create ~base ~modulus ~bits in
+      let victim = ref 0 and victim_stamp = ref max_int in
+      for i = 0 to cache_slots - 1 do
+        let stamp = match cache.(i) with None -> 0 | Some slot -> slot.fb_stamp in
+        if stamp < !victim_stamp then begin
+          victim := i;
+          victim_stamp := stamp
+        end
+      done;
+      cache.(!victim) <- Some { slot_fb = fb; fb_stamp = !cache_tick };
+      fb
+end
 
 (* ------------------------------------------------------------------ *)
 (* String conversions.  Decimal I/O works in chunks of 9 digits

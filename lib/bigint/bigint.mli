@@ -110,7 +110,101 @@ val mod_inverse : t -> t -> t option
 val mod_pow : t -> t -> t -> t
 (** [mod_pow b e m] is [b^e mod m] (Euclidean residue).  Negative exponents
     use the modular inverse of [b] and raise [Invalid_argument] when the
-    inverse does not exist.  Requires [m > 0]. *)
+    inverse does not exist.  Requires [m > 0].
+
+    Odd moduli with non-trivial exponents take a Montgomery (CIOS) fast
+    path whose per-modulus setup is memoized in a small transparent cache
+    (see {!ctx_cache_stats}); repeated exponentiations under the same
+    modulus — the shape of every protocol in this system — pay the setup
+    once.  The {!use_montgomery} knob bypasses the fast path entirely. *)
+
+(** {1 Modular-ring contexts}
+
+    A {!Ctx.ctx} packages the per-modulus Montgomery state so hot loops
+    can pay the setup (limb inverse + R mod m) once and additionally
+    chain operations in the Montgomery domain without converting in and
+    out at every step.  Even moduli (no Montgomery inverse exists) give
+    a degraded context whose operations fall back to division-based
+    arithmetic but satisfy the same equations. *)
+
+module Ctx : sig
+  type ctx
+  (** Reusable context for one fixed modulus. *)
+
+  type mont
+  (** A residue in Montgomery representation (plain representation for
+      even-modulus contexts).  Only meaningful with the context that
+      produced it. *)
+
+  val create : t -> ctx
+  (** Requires a positive modulus; raises [Invalid_argument] otherwise. *)
+
+  val modulus : ctx -> t
+
+  val uses_montgomery : ctx -> bool
+  (** Whether operations on this context run in the Montgomery domain:
+      true iff the modulus is odd (and > 1) and {!use_montgomery} is on. *)
+
+  val mod_pow : ctx -> t -> t -> t
+  (** As {!Bigint.mod_pow} with the cached context; same conventions for
+      negative exponents. *)
+
+  val mod_mul : ctx -> t -> t -> t
+  (** [a * b mod m] in the ordinary domain. *)
+
+  val to_mont : ctx -> t -> mont
+  (** Reduces mod m and converts into the Montgomery domain. *)
+
+  val of_mont : ctx -> mont -> t
+
+  val mont_one : ctx -> mont
+  (** The representative of 1. *)
+
+  val mont_equal : mont -> mont -> bool
+  (** Value equality of two representatives of the same context. *)
+
+  val mont_mul : ctx -> mont -> mont -> mont
+
+  val mont_pow : ctx -> mont -> t -> mont
+  (** In-domain windowed exponentiation; the exponent is an ordinary
+      non-negative integer (raises [Invalid_argument] when negative). *)
+end
+
+val ctx_cache_stats : unit -> int * int
+(** (hits, misses) of the transparent context cache inside {!mod_pow}
+    since the last {!ctx_cache_reset}. *)
+
+val ctx_cache_reset : unit -> unit
+(** Empties the transparent context cache and zeroes its counters. *)
+
+(** {1 Fixed-base exponentiation}
+
+    For a base raised to many exponents under one modulus (group
+    generators, long-lived public keys), a precomputed table of
+    [base^(d * 16^i)] in Montgomery form turns each exponentiation into
+    at most one multiplication per 4-bit window — no squarings. *)
+
+module Fixed_base : sig
+  type fb
+
+  val create : base:t -> modulus:t -> bits:int -> fb
+  (** Precomputes the window table covering exponents of up to [bits]
+      bits (rounded up to a whole number of 4-bit windows).  Requires
+      [bits > 0] and [modulus > 0]. *)
+
+  val cached : base:t -> modulus:t -> bits:int -> fb
+  (** Bounded memoized variant of {!create} keyed on (base, modulus);
+      a cached table is reused when it covers at least [bits]. *)
+
+  val pow : fb -> t -> t
+  (** [pow fb e = base^e mod modulus].  Exponents that are negative or
+      wider than the table, and runs with {!use_montgomery} off, fall
+      back to the general context route (still correct, not
+      table-accelerated). *)
+
+  val base : fb -> t
+  val modulus : fb -> t
+end
 
 (** {1 Byte serialization} *)
 

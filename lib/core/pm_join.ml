@@ -217,12 +217,20 @@ let run ?(variant = Session_keys) env client ~query =
               let entries2 = decrypt_entries client.Env.paillier_key out2.e_values in
               Outcome.Builder.client_sees b "well-formed-decryptions"
                 (List.length entries1 + List.length entries2);
-              let id_lookup table id = List.assoc_opt id table in
-              let by_root =
-                List.fold_left
-                  (fun acc e -> (e.root, e) :: acc)
-                  [] entries2
+              (* Hash the ID tables and the right-side entries once, so
+                 the postprocess is O(n + m) rather than O(n * m) list
+                 scans (mirrors the mediator's match in
+                 commutative_join.ml). *)
+              let id_lookup table =
+                let h = Hashtbl.create (List.length table) in
+                List.iter
+                  (fun (id, blob) ->
+                    if not (Hashtbl.mem h id) then Hashtbl.add h id blob)
+                  table;
+                Hashtbl.find_opt h
               in
+              let by_root = Hashtbl.create (List.length entries2) in
+              List.iter (fun e -> Hashtbl.replace by_root e.root e) entries2;
               let join_attrs = Request.join_attrs request in
               let right_schema = Relation.schema request.Request.right_result in
               let pos_right = Join_key.positions right_schema join_attrs in
@@ -241,7 +249,7 @@ let run ?(variant = Session_keys) env client ~query =
               let joined =
                 List.concat_map
                   (fun e1 ->
-                    match List.assoc_opt e1.root by_root with
+                    match Hashtbl.find_opt by_root e1.root with
                     | None -> []
                     | Some e2 ->
                       let tup1 = recover_tuples ~variant ~id_lookup:(id_lookup out1.id_table) e1 in

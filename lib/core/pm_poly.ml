@@ -36,9 +36,30 @@ let eval_encrypted pk encrypted_coeffs x =
   match List.rev encrypted_coeffs with
   | [] -> invalid_arg "Pm_poly.eval_encrypted: empty coefficient list"
   | highest :: rest ->
-    List.fold_left
-      (fun acc c -> Paillier.add pk (Paillier.scalar_mul pk x acc) c)
-      highest rest
+    let ctx = pk.Paillier.n2_ctx in
+    if Bigint.Ctx.uses_montgomery ctx then begin
+      (* Horner entirely in the Montgomery domain of n^2: one conversion
+         in per coefficient and one conversion out at the end, instead
+         of a domain round-trip per scalar_mul/add.  The counter bumps
+         mirror the homomorphic operations the generic route performs,
+         keeping Table 2 reproductions identical. *)
+      let x = Bigint.emod x pk.Paillier.n in
+      let acc =
+        ref (Bigint.Ctx.to_mont ctx (Paillier.ciphertext_to_bigint highest))
+      in
+      List.iter
+        (fun c ->
+          Counters.bump Counters.Homomorphic_scalar;
+          Counters.bump Counters.Homomorphic_add;
+          let c_m = Bigint.Ctx.to_mont ctx (Paillier.ciphertext_to_bigint c) in
+          acc := Bigint.Ctx.mont_mul ctx (Bigint.Ctx.mont_pow ctx !acc x) c_m)
+        rest;
+      Paillier.ciphertext_of_bigint pk (Bigint.Ctx.of_mont ctx !acc)
+    end
+    else
+      List.fold_left
+        (fun acc c -> Paillier.add pk (Paillier.scalar_mul pk x acc) c)
+        highest rest
 
 let eval_encrypted_naive prng pk encrypted_coeffs x =
   let zero = Paillier.encrypt prng pk Bigint.zero in
@@ -56,4 +77,15 @@ let mask_and_add prng pk evaluated ~payload =
   let r =
     Bigint.succ (Bigint.random_below (Prng.byte_source prng) (Bigint.pred pk.Paillier.n))
   in
-  Paillier.add pk (Paillier.scalar_mul pk r evaluated) (Paillier.encrypt prng pk payload)
+  let payload_ct = Paillier.encrypt prng pk payload in
+  let ctx = pk.Paillier.n2_ctx in
+  if Bigint.Ctx.uses_montgomery ctx then begin
+    (* E(eval)^r * E(payload) in one in-domain pass. *)
+    Counters.bump Counters.Homomorphic_scalar;
+    Counters.bump Counters.Homomorphic_add;
+    let eval_m = Bigint.Ctx.to_mont ctx (Paillier.ciphertext_to_bigint evaluated) in
+    let payload_m = Bigint.Ctx.to_mont ctx (Paillier.ciphertext_to_bigint payload_ct) in
+    let masked = Bigint.Ctx.mont_mul ctx (Bigint.Ctx.mont_pow ctx eval_m r) payload_m in
+    Paillier.ciphertext_of_bigint pk (Bigint.Ctx.of_mont ctx masked)
+  end
+  else Paillier.add pk (Paillier.scalar_mul pk r evaluated) payload_ct

@@ -1,6 +1,6 @@
 open Secmed_bigint
 
-type key = { group : Group.t; e : Bigint.t; d : Bigint.t }
+type key = { group : Group.t; e : Bigint.t; d : Bigint.t; p_ctx : Bigint.Ctx.ctx }
 
 let keygen prng group =
   let e = Group.random_exponent prng group in
@@ -9,16 +9,16 @@ let keygen prng group =
     | Some d -> d
     | None -> assert false (* q prime and 1 <= e < q *)
   in
-  { group; e; d }
+  { group; e; d; p_ctx = Bigint.Ctx.create group.Group.p }
 
 let key_exponent key = key.e
 
 let apply key x =
   Counters.bump Counters.Commutative_encrypt;
-  Bigint.mod_pow x key.e key.group.Group.p
+  Bigint.Ctx.mod_pow key.p_ctx x key.e
 
 let unapply key y =
   Counters.bump Counters.Commutative_decrypt;
-  Bigint.mod_pow y key.d key.group.Group.p
+  Bigint.Ctx.mod_pow key.p_ctx y key.d
 
 let group key = key.group

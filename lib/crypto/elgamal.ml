@@ -16,7 +16,12 @@ let encrypt prng pk m =
   let group = pk.group in
   let r = Group.random_exponent prng group in
   let c1 = Group.element_of_exponent group r in
-  let c2 = Bigint.emod (Bigint.mul m (Bigint.mod_pow pk.y r group.p)) group.p in
+  (* y is fixed for the lifetime of the key: fixed-base windowing pays
+     the table once per key and makes every encryption cheap. *)
+  let y_fb =
+    Bigint.Fixed_base.cached ~base:pk.y ~modulus:group.p ~bits:(Group.exponent_bits group)
+  in
+  let c2 = Bigint.emod (Bigint.mul m (Bigint.Fixed_base.pow y_fb r)) group.p in
   { c1; c2 }
 
 let decrypt sk { c1; c2 } =

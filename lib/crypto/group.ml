@@ -25,7 +25,16 @@ let default ~bits =
     Hashtbl.add cache bits group;
     group
 
-let element_of_exponent group x = Bigint.mod_pow group.g x group.p
+let exponent_bits group = Bigint.numbits group.q
+
+(* The generator is raised to a fresh exponent on every key setup,
+   encryption and signature; the memoized fixed-base table makes each of
+   those one multiplication per 4-bit exponent window. *)
+let element_of_exponent group x =
+  let fb =
+    Bigint.Fixed_base.cached ~base:group.g ~modulus:group.p ~bits:(exponent_bits group)
+  in
+  Bigint.Fixed_base.pow fb x
 
 let is_element group x =
   Bigint.sign x > 0

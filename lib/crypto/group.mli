@@ -24,7 +24,11 @@ val default : bits:int -> t
     generated on first use (sub-second for <= 256 bits). *)
 
 val element_of_exponent : t -> Bigint.t -> Bigint.t
-(** [g^x mod p]. *)
+(** [g^x mod p], via a memoized fixed-base window table for [g]. *)
+
+val exponent_bits : t -> int
+(** Bit width of the exponent space, [numbits q]; the window tables for
+    fixed bases in this group cover exactly this many bits. *)
 
 val is_element : t -> Bigint.t -> bool
 (** Membership test for QR_p: [x^q = 1 (mod p)] and [0 < x < p]. *)

@@ -1,6 +1,11 @@
 open Secmed_bigint
 
-type public_key = { n : Bigint.t; n_squared : Bigint.t; bits : int }
+type public_key = {
+  n : Bigint.t;
+  n_squared : Bigint.t;
+  bits : int;
+  n2_ctx : Bigint.Ctx.ctx; (* reusable Montgomery context for n^2 *)
+}
 
 type private_key = {
   pk : public_key;
@@ -9,7 +14,8 @@ type private_key = {
 }
 
 let public_of_n n =
-  { n; n_squared = Bigint.mul n n; bits = Bigint.numbits n }
+  let n_squared = Bigint.mul n n in
+  { n; n_squared; bits = Bigint.numbits n; n2_ctx = Bigint.Ctx.create n_squared }
 
 let l_function n u = Bigint.div (Bigint.pred u) n
 
@@ -55,25 +61,25 @@ let encrypt prng pk m =
     invalid_arg "Paillier.encrypt: plaintext out of range";
   let r = random_unit prng pk in
   let g_m = Bigint.emod (Bigint.succ (Bigint.mul m pk.n)) pk.n_squared in
-  Bigint.emod (Bigint.mul g_m (Bigint.mod_pow r pk.n pk.n_squared)) pk.n_squared
+  Bigint.Ctx.mod_mul pk.n2_ctx g_m (Bigint.Ctx.mod_pow pk.n2_ctx r pk.n)
 
 let decrypt sk c =
   Counters.bump Counters.Homomorphic_decrypt;
   let pk = sk.pk in
-  let u = Bigint.mod_pow c sk.lambda pk.n_squared in
+  let u = Bigint.Ctx.mod_pow pk.n2_ctx c sk.lambda in
   Bigint.emod (Bigint.mul (l_function pk.n u) sk.mu) pk.n
 
 let add pk a b =
   Counters.bump Counters.Homomorphic_add;
-  Bigint.emod (Bigint.mul a b) pk.n_squared
+  Bigint.Ctx.mod_mul pk.n2_ctx a b
 
 let scalar_mul pk k c =
   Counters.bump Counters.Homomorphic_scalar;
-  Bigint.mod_pow c (Bigint.emod k pk.n) pk.n_squared
+  Bigint.Ctx.mod_pow pk.n2_ctx c (Bigint.emod k pk.n)
 
 let rerandomize prng pk c =
   let r = random_unit prng pk in
-  Bigint.emod (Bigint.mul c (Bigint.mod_pow r pk.n pk.n_squared)) pk.n_squared
+  Bigint.Ctx.mod_mul pk.n2_ctx c (Bigint.Ctx.mod_pow pk.n2_ctx r pk.n)
 
 let ciphertext_to_bigint c = c
 

@@ -11,6 +11,9 @@ type public_key = private {
   n : Bigint.t;
   n_squared : Bigint.t;
   bits : int; (** bit size of n *)
+  n2_ctx : Bigint.Ctx.ctx;
+  (** Montgomery context for n^2, built once at key (re)construction;
+      every homomorphic operation under this key reuses it. *)
 }
 
 type private_key

@@ -41,15 +41,20 @@ let miller_rabin prng ~rounds n =
   done;
   let source = Prng.byte_source prng in
   let n_minus_3 = Bigint.sub n (Bigint.of_int 3) in
+  (* One Montgomery context covers every witness exponentiation and
+     squaring for this candidate; the whole round stays in-domain. *)
+  let ctx = Bigint.Ctx.create n in
+  let one_m = Bigint.Ctx.mont_one ctx in
+  let n_minus_1_m = Bigint.Ctx.to_mont ctx n_minus_1 in
   let witness_passes () =
     let a = Bigint.add Bigint.two (Bigint.random_below source n_minus_3) in
-    let x = ref (Bigint.mod_pow a !d n) in
-    if Bigint.is_one !x || Bigint.equal !x n_minus_1 then true
+    let x = ref (Bigint.Ctx.mont_pow ctx (Bigint.Ctx.to_mont ctx a) !d) in
+    if Bigint.Ctx.mont_equal !x one_m || Bigint.Ctx.mont_equal !x n_minus_1_m then true
     else begin
       let ok = ref false and r = ref 1 in
       while (not !ok) && !r < !s do
-        x := Bigint.emod (Bigint.mul !x !x) n;
-        if Bigint.equal !x n_minus_1 then ok := true;
+        x := Bigint.Ctx.mont_mul ctx !x !x;
+        if Bigint.Ctx.mont_equal !x n_minus_1_m then ok := true;
         incr r
       done;
       !ok

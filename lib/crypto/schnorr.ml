@@ -35,7 +35,11 @@ let verify pk msg { r; s } =
   &&
   let e = challenge group r msg in
   let lhs = Group.element_of_exponent group s in
-  let rhs = Bigint.emod (Bigint.mul r (Bigint.mod_pow pk.y e group.Group.p)) group.Group.p in
+  let y_fb =
+    Bigint.Fixed_base.cached ~base:pk.y ~modulus:group.Group.p
+      ~bits:(Group.exponent_bits group)
+  in
+  let rhs = Bigint.emod (Bigint.mul r (Bigint.Fixed_base.pow y_fb e)) group.Group.p in
   Bigint.equal lhs rhs
 
 let signature_to_wire { r; s } =

@@ -190,6 +190,70 @@ let test_montgomery_edges () =
   Alcotest.(check string) "limb boundary" (Bigint.to_string (Bigint.mod_pow_plain (i 3) (i 1000) m))
     (Bigint.to_string r)
 
+let test_ctx_edges () =
+  (* Explicit contexts: degenerate moduli, exponent zero, base >= m,
+     even moduli (no Montgomery inverse — Plain fallback kind). *)
+  Alcotest.check_raises "zero modulus" (Invalid_argument "Bigint.Ctx.create: modulus must be positive")
+    (fun () -> ignore (Bigint.Ctx.create Bigint.zero));
+  Alcotest.check_raises "negative modulus" (Invalid_argument "Bigint.Ctx.create: modulus must be positive")
+    (fun () -> ignore (Bigint.Ctx.create (i (-7))));
+  let one_ctx = Bigint.Ctx.create Bigint.one in
+  Alcotest.(check int) "mod one" 0 (Bigint.to_int (Bigint.Ctx.mod_pow one_ctx (i 5) (i 3)));
+  let odd = Bigint.Ctx.create (i 1000003) in
+  Alcotest.(check int) "exp zero" 1 (Bigint.to_int (Bigint.Ctx.mod_pow odd (i 5) Bigint.zero));
+  Alcotest.(check int) "base >= m" (Bigint.to_int (Bigint.mod_pow_plain (Bigint.emod (i 2000007) (i 1000003)) (i 12) (i 1000003)))
+    (Bigint.to_int (Bigint.Ctx.mod_pow odd (i 2000007) (i 12)));
+  Alcotest.(check int) "negative exponent" 4
+    (Bigint.to_int (Bigint.Ctx.mod_pow (Bigint.Ctx.create (i 11)) (i 3) (i (-1))));
+  let even = Bigint.Ctx.create (i 1000000) in
+  Alcotest.(check bool) "even modulus never montgomery" false (Bigint.Ctx.uses_montgomery even);
+  Alcotest.(check int) "even modulus pow" (Bigint.to_int (Bigint.mod_pow_plain (i 7) (i 65) (i 1000000)))
+    (Bigint.to_int (Bigint.Ctx.mod_pow even (i 7) (i 65)));
+  Alcotest.(check int) "mod_mul" ((123 * 4567) mod 1000003)
+    (Bigint.to_int (Bigint.Ctx.mod_mul odd (i 123) (i 4567)))
+
+let test_fixed_base_edges () =
+  let m = b "0xffffffff00000001" in  (* odd 64-bit *)
+  let g = i 7 in
+  let fb = Bigint.Fixed_base.create ~base:g ~modulus:m ~bits:64 in
+  Alcotest.(check int) "exp zero" 1 (Bigint.to_int (Bigint.Fixed_base.pow fb Bigint.zero));
+  let e = b "0x123456789abcdef" in
+  check_big "in-range exponent"
+    (Bigint.to_string (Bigint.mod_pow_plain g e m))
+    (Bigint.Fixed_base.pow fb e);
+  (* Exponent wider than the table: falls back to the generic context path. *)
+  let wide = Bigint.shift_left Bigint.one 80 in
+  check_big "oversized exponent falls back"
+    (Bigint.to_string (Bigint.mod_pow_plain g wide m))
+    (Bigint.Fixed_base.pow fb wide);
+  check_big "negative exponent falls back"
+    (Bigint.to_string (Bigint.mod_pow g (i (-1)) m))
+    (Bigint.Fixed_base.pow fb (i (-1)));
+  (* The knob disables the table entirely but the answer is unchanged. *)
+  Bigint.use_montgomery := false;
+  check_big "knob off" (Bigint.to_string (Bigint.mod_pow_plain g e m)) (Bigint.Fixed_base.pow fb e);
+  Bigint.use_montgomery := true
+
+let test_ctx_cache () =
+  (* A cache hit must return exactly what the cold miss computed, and
+     filling all slots must evict cleanly. *)
+  Bigint.ctx_cache_reset ();
+  let m = b "0xc000000000000000000000000000000d" in
+  let base = b "0x123456789" and e = b "0x87654321fedcba" in
+  let cold = Bigint.mod_pow base e m in
+  let _, misses0 = Bigint.ctx_cache_stats () in
+  let warm = Bigint.mod_pow base e m in
+  let hits1, misses1 = Bigint.ctx_cache_stats () in
+  Alcotest.(check bool) "hit equals miss" true (Bigint.equal cold warm);
+  Alcotest.(check bool) "second call hit" true (hits1 >= 1 && misses1 = misses0);
+  (* Force eviction: more distinct odd moduli than slots, then revisit. *)
+  for k = 0 to 9 do
+    let mk = Bigint.add m (i (2 * k)) in
+    ignore (Bigint.mod_pow base e mk)
+  done;
+  let again = Bigint.mod_pow base e m in
+  Alcotest.(check bool) "post-eviction recompute agrees" true (Bigint.equal cold again)
+
 let test_infix () =
   let open Bigint.Infix in
   Alcotest.(check bool) "arith" true (i 2 + i 3 * i 4 = i 14);
@@ -335,6 +399,86 @@ let props =
         let e = Bigint.random_bits source exp_bits in
         let m = Bigint.shift_left (Bigint.succ (Bigint.random_bits source 64)) 1 in
         Bigint.equal (Bigint.mod_pow base e m) (Bigint.mod_pow_plain (Bigint.emod base m) e m));
+    prop "Ctx.mod_pow matches plain" ~count:150
+      (QCheck2.Gen.triple (QCheck2.Gen.int_range 1 512) (QCheck2.Gen.int_range 1 256)
+         (QCheck2.Gen.int_range 1 512))
+      (fun (base_bits, exp_bits, mod_bits) ->
+        (* Both kinds: odd moduli take the Montgomery kind, even ones the
+           Plain fallback — the answers must be indistinguishable. *)
+        let source = Secmed_crypto.Prng.byte_source prng in
+        let base = Bigint.random_bits source base_bits in
+        let e = Bigint.random_bits source exp_bits in
+        let m = Bigint.succ (Bigint.random_bits source mod_bits) in
+        let ctx = Bigint.Ctx.create m in
+        Bigint.equal (Bigint.Ctx.mod_pow ctx base e)
+          (Bigint.mod_pow_plain (Bigint.emod base m) e m));
+    prop "Ctx montgomery-domain roundtrip and mul" ~count:100
+      (QCheck2.Gen.triple (QCheck2.Gen.int_range 1 400) (QCheck2.Gen.int_range 1 400)
+         (QCheck2.Gen.int_range 2 400))
+      (fun (a_bits, b_bits, mod_bits) ->
+        let source = Secmed_crypto.Prng.byte_source prng in
+        let m =
+          let c = Bigint.random_bits source mod_bits in
+          let c = if Bigint.compare c (i 3) < 0 then i 3 else c in
+          if Bigint.is_even c then Bigint.succ c else c
+        in
+        let ctx = Bigint.Ctx.create m in
+        let a = Bigint.emod (Bigint.random_bits source a_bits) m in
+        let bb = Bigint.emod (Bigint.random_bits source b_bits) m in
+        let a_m = Bigint.Ctx.to_mont ctx a in
+        let b_m = Bigint.Ctx.to_mont ctx bb in
+        Bigint.equal (Bigint.Ctx.of_mont ctx a_m) a
+        && Bigint.equal
+             (Bigint.Ctx.of_mont ctx (Bigint.Ctx.mont_mul ctx a_m b_m))
+             (Bigint.emod (Bigint.mul a bb) m)
+        && Bigint.Ctx.mont_equal (Bigint.Ctx.to_mont ctx Bigint.one) (Bigint.Ctx.mont_one ctx));
+    prop "Ctx.mont_pow matches plain" ~count:100
+      (QCheck2.Gen.triple (QCheck2.Gen.int_range 1 400) (QCheck2.Gen.int_range 1 128)
+         (QCheck2.Gen.int_range 2 400))
+      (fun (base_bits, exp_bits, mod_bits) ->
+        let source = Secmed_crypto.Prng.byte_source prng in
+        let m =
+          let c = Bigint.random_bits source mod_bits in
+          let c = if Bigint.compare c (i 3) < 0 then i 3 else c in
+          if Bigint.is_even c then Bigint.succ c else c
+        in
+        let ctx = Bigint.Ctx.create m in
+        let base = Bigint.emod (Bigint.random_bits source base_bits) m in
+        let e = Bigint.random_bits source exp_bits in
+        Bigint.equal
+          (Bigint.Ctx.of_mont ctx (Bigint.Ctx.mont_pow ctx (Bigint.Ctx.to_mont ctx base) e))
+          (Bigint.mod_pow_plain base e m));
+    prop "Fixed_base.pow matches plain" ~count:100
+      (QCheck2.Gen.triple (QCheck2.Gen.int_range 1 300) (QCheck2.Gen.int_range 1 300)
+         (QCheck2.Gen.int_range 8 300))
+      (fun (base_bits, exp_bits, mod_bits) ->
+        let source = Secmed_crypto.Prng.byte_source prng in
+        let m =
+          let c = Bigint.random_bits source mod_bits in
+          let c = if Bigint.compare c (i 3) < 0 then i 3 else c in
+          if Bigint.is_even c then Bigint.succ c else c
+        in
+        let base = Bigint.random_bits source base_bits in
+        let e = Bigint.random_bits source exp_bits in
+        let fb = Bigint.Fixed_base.create ~base ~modulus:m ~bits:300 in
+        Bigint.equal (Bigint.Fixed_base.pow fb e)
+          (Bigint.mod_pow_plain (Bigint.emod base m) e m));
+    prop "transparent cache: hit equals cold result" ~count:60
+      (QCheck2.Gen.triple (QCheck2.Gen.int_range 1 256) (QCheck2.Gen.int_range 17 128)
+         (QCheck2.Gen.int_range 64 256))
+      (fun (base_bits, exp_bits, mod_bits) ->
+        let source = Secmed_crypto.Prng.byte_source prng in
+        let base = Bigint.random_bits source base_bits in
+        let e = Bigint.random_bits source exp_bits in
+        let m =
+          let c = Bigint.random_bits source mod_bits in
+          let c = if Bigint.compare c (i 3) < 0 then i 3 else c in
+          if Bigint.is_even c then Bigint.succ c else c
+        in
+        Bigint.ctx_cache_reset ();
+        let cold = Bigint.mod_pow base e m in
+        let warm = Bigint.mod_pow base e m in
+        Bigint.equal cold warm && Bigint.equal cold (Bigint.mod_pow_plain (Bigint.emod base m) e m));
     prop "isqrt bounds" arbitrary_bigint (fun a ->
         let a = Bigint.abs a in
         let s = Bigint.isqrt a in
@@ -396,6 +540,9 @@ let () =
           Alcotest.test_case "comparisons" `Quick test_comparisons;
           Alcotest.test_case "to_int overflow" `Quick test_to_int_overflow;
           Alcotest.test_case "montgomery edges" `Quick test_montgomery_edges;
+          Alcotest.test_case "explicit context edges" `Quick test_ctx_edges;
+          Alcotest.test_case "fixed-base edges" `Quick test_fixed_base_edges;
+          Alcotest.test_case "context cache" `Quick test_ctx_cache;
           Alcotest.test_case "infix operators" `Quick test_infix;
         ] );
       ("properties", props);
