@@ -1,6 +1,6 @@
 # Convenience entry points; everything below is plain dune.
 
-.PHONY: all check test bench bench-json clean
+.PHONY: all check test check-fault bench bench-json clean
 
 all:
 	dune build
@@ -9,6 +9,11 @@ check:
 	dune build && dune runtest
 
 test: check
+
+# Fault-injection / differential conformance suite on its own (all its
+# randomized tests run under a fixed seed baked into the test file).
+check-fault:
+	dune exec test/test_fault.exe
 
 # Full benchmark/reproduction suite (slow).
 bench:

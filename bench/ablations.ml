@@ -33,7 +33,7 @@ let pm_payload () =
           }
         in
         let env, client, query = Workload.scenario ~params spec in
-        let run variant = Protocol.run (Protocol.Private_matching variant) env client ~query in
+        let run variant = Protocol.run_exn (Protocol.Private_matching variant) env client ~query in
         let session = run Pm_join.Session_keys in
         let direct =
           try
@@ -71,7 +71,7 @@ let das_server_eval ~sizes () =
         let spec = Experiments.spec_for_domain size in
         let env, client, query = Workload.scenario ~params:Experiments.bench_params spec in
         let mediator_time eval =
-          let o = Protocol.run (Protocol.Das (Das_partition.Equi_depth 4, eval)) env client ~query in
+          let o = Protocol.run_exn (Protocol.Das (Das_partition.Equi_depth 4, eval)) env client ~query in
           Option.value ~default:0.0 (List.assoc_opt "mediator-server-query" o.Outcome.timings)
         in
         [
@@ -259,7 +259,7 @@ let montgomery () =
     Bigint.use_montgomery := flag;
     let t =
       Bench_util.time_median ~runs:3 (fun () ->
-          Protocol.run (Protocol.Private_matching Pm_join.Session_keys) env client ~query)
+          Protocol.run_exn (Protocol.Private_matching Pm_join.Session_keys) env client ~query)
     in
     Bigint.use_montgomery := true;
     t
@@ -273,7 +273,7 @@ let montgomery () =
      every scheme once to exercise them all. *)
   Bigint.ctx_cache_reset ();
   List.iter
-    (fun scheme -> ignore (Protocol.run scheme env client ~query))
+    (fun scheme -> ignore (Protocol.run_exn scheme env client ~query))
     Protocol.all_schemes;
   let hits, misses = Bigint.ctx_cache_stats () in
   Printf.printf
@@ -323,7 +323,7 @@ let modexp_json ?(path = "BENCH_modexp.json") ~sizes () =
           (fun scheme ->
             let t =
               Bench_util.time_median ~runs:3 (fun () ->
-                  Protocol.run scheme env client ~query)
+                  Protocol.run_exn scheme env client ~query)
             in
             Printf.sprintf "\"%s\": %.4f" (Protocol.scheme_name scheme) t)
           schemes
@@ -340,7 +340,7 @@ let modexp_json ?(path = "BENCH_modexp.json") ~sizes () =
   in
   Bigint.ctx_cache_reset ();
   List.iter
-    (fun scheme -> ignore (Protocol.run scheme env client ~query))
+    (fun scheme -> ignore (Protocol.run_exn scheme env client ~query))
     Protocol.all_schemes;
   let hits, misses = Bigint.ctx_cache_stats () in
   Buffer.add_string buf
@@ -369,7 +369,7 @@ let setops () =
   let client = Env.make_client env ~identity:"bench" ~properties:[ [] ] in
   let semi = Set_ops.run ~on:[ "a_join" ] env client Set_ops.Semi_join ~left:"L" ~right:"R" in
   let join =
-    Protocol.run (Protocol.Commutative { use_ids = false }) env client
+    Protocol.run_exn (Protocol.Commutative { use_ids = false }) env client
       ~query:"select * from L natural join R"
   in
   let bytes o = Secmed_mediation.Transcript.total_bytes o.Outcome.transcript in

@@ -37,7 +37,7 @@ let spec_for_domain ?(rows_per_value = 2) size =
 
 let run_reference_outcomes () =
   let env, client, query = scenario () in
-  List.map (fun s -> Protocol.run s env client ~query) Protocol.paper_schemes
+  List.map (fun s -> Protocol.run_exn s env client ~query) Protocol.paper_schemes
 
 (* ------------------------------------------------------------------ *)
 (* T1 — Table 1: extra information disclosed to client and mediator. *)
@@ -96,7 +96,7 @@ let figure1 () =
   Bench_util.heading
     "Figure 1 — basic mediated system (message flow of an actual plain-pipeline run)";
   let env, client, query = scenario ~spec:{ reference_spec with rows_left = 16; rows_right = 16 } () in
-  let o = Protocol.run Protocol.Plain env client ~query in
+  let o = Protocol.run_exn Protocol.Plain env client ~query in
   print_endline (Transcript.flow_diagram o.Outcome.transcript);
   print_endline (Transcript.summary o.Outcome.transcript)
 
@@ -118,7 +118,7 @@ let figure2 () =
     ~size:credential_bytes;
   print_endline "Preparatory phase (certification authority):";
   print_endline (Transcript.flow_diagram preparatory);
-  let o = Protocol.run (Protocol.Das (Das_partition.Equi_depth 2, Das.Pair_index)) env client ~query in
+  let o = Protocol.run_exn (Protocol.Das (Das_partition.Equi_depth 2, Das.Pair_index)) env client ~query in
   print_endline "Request + delivery phases (DAS, client setting):";
   print_endline (Transcript.flow_diagram o.Outcome.transcript);
   print_endline (Transcript.summary o.Outcome.transcript)
@@ -133,7 +133,7 @@ let rounds () =
   let rows =
     List.map
       (fun scheme ->
-        let o = Protocol.run scheme env client ~query in
+        let o = Protocol.run_exn scheme env client ~query in
         let t = o.Outcome.transcript in
         [
           Protocol.scheme_name scheme;
@@ -166,7 +166,7 @@ let perf ~sizes () =
         :: List.map
              (fun scheme ->
                let t = Bench_util.time_median ~runs:3 (fun () ->
-                   Protocol.run scheme env client ~query)
+                   Protocol.run_exn scheme env client ~query)
                in
                Bench_util.fmt_ms t)
              schemes)
@@ -179,7 +179,7 @@ let perf ~sizes () =
   let largest = List.nth sizes (List.length sizes - 1) in
   let env, client, query = scenario ~spec:(spec_for_domain largest) () in
   let time scheme =
-    Bench_util.time_median ~runs:3 (fun () -> Protocol.run scheme env client ~query)
+    Bench_util.time_median ~runs:3 (fun () -> Protocol.run_exn scheme env client ~query)
   in
   let t_comm = time (Protocol.Commutative { use_ids = false }) in
   let t_pm = time (Protocol.Private_matching Pm_join.Session_keys) in
@@ -192,7 +192,7 @@ let perf ~sizes () =
   Bench_util.subheading (Printf.sprintf "phase breakdown at |domactive| = %d (ms)" largest);
   List.iter
     (fun scheme ->
-      let o = Protocol.run scheme env client ~query in
+      let o = Protocol.run_exn scheme env client ~query in
       Printf.printf "%-22s " (Protocol.scheme_name scheme);
       List.iter
         (fun (phase, seconds) -> Printf.printf "%s=%.1f  " phase (seconds *. 1000.0))
@@ -213,7 +213,7 @@ let comm ~sizes () =
         string_of_int size
         :: List.map
              (fun scheme ->
-               let o = Protocol.run scheme env client ~query in
+               let o = Protocol.run_exn scheme env client ~query in
                Bench_util.fmt_bytes (Transcript.total_bytes o.Outcome.transcript))
              schemes)
       sizes
@@ -227,7 +227,7 @@ let comm ~sizes () =
   Bench_util.subheading (Printf.sprintf "per-link bytes at |domactive| = %d" largest);
   List.iter
     (fun scheme ->
-      let o = Protocol.run scheme env client ~query in
+      let o = Protocol.run_exn scheme env client ~query in
       Printf.printf "%s:\n%s\n" (Protocol.scheme_name scheme)
         (Transcript.summary o.Outcome.transcript))
     Protocol.paper_schemes
@@ -241,7 +241,7 @@ let postproc () =
   let rows =
     List.map
       (fun scheme ->
-        let o = Protocol.run scheme env client ~query in
+        let o = Protocol.run_exn scheme env client ~query in
         let exact = Relation.cardinality o.Outcome.exact in
         let postprocess =
           Option.value ~default:0.0 (List.assoc_opt "client-postprocess" o.Outcome.timings)
@@ -278,7 +278,7 @@ let security_sweep () =
         let env, client, query = Workload.scenario ~params spec in
         let time scheme =
           Bench_util.fmt_ms
-            (Bench_util.time_median ~runs:3 (fun () -> Protocol.run scheme env client ~query))
+            (Bench_util.time_median ~runs:3 (fun () -> Protocol.run_exn scheme env client ~query))
         in
         [
           string_of_int group_bits;
@@ -296,7 +296,7 @@ let security_sweep () =
         let env, client, query = Workload.scenario ~params spec in
         let t =
           Bench_util.time_median ~runs:3 (fun () ->
-              Protocol.run (Protocol.Private_matching Pm_join.Session_keys) env client ~query)
+              Protocol.run_exn (Protocol.Private_matching Pm_join.Session_keys) env client ~query)
         in
         [ string_of_int paillier_bits; Bench_util.fmt_ms t ])
       [ 384; 512; 768; 1024 ]
@@ -322,7 +322,7 @@ let skew_sweep () =
         let g = Ground_truth.compute left right ~join_attr:"a_join" in
         let time scheme =
           Bench_util.fmt_ms
-            (Bench_util.time_median ~runs:3 (fun () -> Protocol.run scheme env client ~query))
+            (Bench_util.time_median ~runs:3 (fun () -> Protocol.run_exn scheme env client ~query))
         in
         [
           Printf.sprintf "%.1f" skew;
@@ -474,12 +474,12 @@ let aggregation () =
   let rows =
     [
       run_case "join(commutative) + aggregate" (fun () ->
-          Protocol.run (Protocol.Commutative { use_ids = false }) env client
+          Protocol.run_exn (Protocol.Commutative { use_ids = false }) env client
             ~query:grouped_query);
       run_case "aggregate protocol (grouped)" (fun () ->
           Aggregate_join.run env client ~query:grouped_query);
       run_case "join(commutative) + aggregate [scalar]" (fun () ->
-          Protocol.run (Protocol.Commutative { use_ids = false }) env client
+          Protocol.run_exn (Protocol.Commutative { use_ids = false }) env client
             ~query:scalar_query);
       run_case "aggregate protocol (scalar)" (fun () ->
           Aggregate_join.run env client ~query:scalar_query);
@@ -569,7 +569,7 @@ let das_tradeoff () =
           if k >= spec.Workload.distinct_left then Das_partition.Singleton
           else Das_partition.Equi_depth k
         in
-        let o = Protocol.run (Protocol.Das (strategy, Das.Pair_index)) env client ~query in
+        let o = Protocol.run_exn (Protocol.Das (strategy, Das.Pair_index)) env client ~query in
         let table =
           Das_partition.build strategy ~relation:"R1" ~attr:"a_join"
             (Relation.active_domain left "a_join")

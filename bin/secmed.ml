@@ -28,6 +28,31 @@ let verbose_arg =
   let doc = "Also print the message transcript and leakage analysis." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let fault_conv =
+  let parse s =
+    match Fault.of_spec s with Ok plan -> Ok plan | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun fmt _ -> Format.pp_print_string fmt "<fault-plan>")
+
+let fault_arg =
+  let doc =
+    "Fault-injection plan: semicolon-separated clauses of \
+     ACTION:FROM->TO[:LABEL][:times=N] with actions drop, truncate, corrupt, duplicate, \
+     delay and parties client, mediator, sourceN or *; plus byzantine:SID:MODE (modes \
+     malformed-ciphertexts, wrong-partition-ids, stale-commutative-key, \
+     garbage-paillier), seed=N and retries=N.  Example: \
+     $(b,drop:mediator->client:RC:times=1;retries=2)."
+  in
+  Arg.(value & opt (some fault_conv) None & info [ "fault" ] ~docv:"SPEC" ~doc)
+
+let print_fault_events fault =
+  match fault with
+  | Some plan when Fault.events plan <> [] ->
+    print_newline ();
+    print_endline "Injected faults:";
+    List.iter (fun e -> Format.printf "  %a@." Fault.pp_event e) (Fault.events plan)
+  | _ -> ()
+
 let report outcome ~verbose ~ground_truth =
   print_endline "Result:";
   print_endline (Relation.to_string outcome.Outcome.result);
@@ -67,7 +92,7 @@ let run_cmd =
   let strings =
     Arg.(value & flag & info [ "strings" ] ~doc:"Use string-typed join values.")
   in
-  let action scheme rows distinct overlap seed strings verbose =
+  let action scheme rows distinct overlap seed strings fault verbose =
     let spec =
       {
         Workload.default with
@@ -83,13 +108,20 @@ let run_cmd =
     Workload.validate spec;
     let env, client, query = Workload.scenario spec in
     Printf.printf "scheme: %s\nquery:  %s\n\n" (Protocol.scheme_name scheme) query;
-    let outcome = Protocol.run scheme env client ~query in
-    let left, right = Workload.generate spec in
-    report outcome ~verbose
-      ~ground_truth:(Some (Ground_truth.compute left right ~join_attr:"a_join"))
+    match Protocol.run ?fault scheme env client ~query with
+    | Protocol.Ok outcome ->
+      let left, right = Workload.generate spec in
+      report outcome ~verbose
+        ~ground_truth:(Some (Ground_truth.compute left right ~join_attr:"a_join"));
+      print_fault_events fault
+    | Protocol.Fault f ->
+      Format.printf "FAULT: %a@." Protocol.pp_failure f;
+      print_fault_events fault;
+      exit 3
   in
   let term =
-    Term.(const action $ scheme_arg $ rows $ distinct $ overlap $ seed $ strings $ verbose_arg)
+    Term.(const action $ scheme_arg $ rows $ distinct $ overlap $ seed $ strings $ fault_arg
+          $ verbose_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one protocol over a synthetic workload") term
 
@@ -152,7 +184,7 @@ let query_cmd =
     let client = Env.make_client env ~identity:"cli" ~properties:[ [] ] in
     let query = Option.value ~default:"select * from L natural join R" sql in
     Printf.printf "scheme: %s\nquery:  %s\n\n" (Protocol.scheme_name scheme) query;
-    let outcome = Protocol.run scheme env client ~query in
+    let outcome = Protocol.run_exn scheme env client ~query in
     let join_attr =
       match Schema.common_names (Relation.schema left) (Relation.schema right) with
       | [ a ] -> Some a

@@ -76,7 +76,7 @@ let run_as identity role =
   let client =
     Env.make_client env ~identity ~properties:[ [ Credential.property "role" role ] ]
   in
-  match Protocol.run (Protocol.Commutative { use_ids = false }) env client ~query with
+  match Protocol.run_exn (Protocol.Commutative { use_ids = false }) env client ~query with
   | outcome ->
     print_endline (Relation.to_string outcome.Outcome.result);
     Printf.printf "(correct: %b — matches a trusted mediator's answer for these credentials)\n\n"

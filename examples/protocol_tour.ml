@@ -33,7 +33,7 @@ let () =
     List.map
       (fun scheme ->
         let t0 = Unix.gettimeofday () in
-        let o = Protocol.run scheme env client ~query in
+        let o = Protocol.run_exn scheme env client ~query in
         let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
         Printf.printf "%-22s %8b %9d %9d %6d %10d %9.1f\n" (Protocol.scheme_name scheme)
           (Outcome.correct o)

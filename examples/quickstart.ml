@@ -40,7 +40,7 @@ let () =
   (* 3. Issue a join query; the mediator combines encrypted partial
         results without ever seeing a plaintext row. *)
   let query = "select * from Employees natural join Budgets" in
-  let outcome = Protocol.run (Protocol.Commutative { use_ids = false }) env client ~query in
+  let outcome = Protocol.run_exn (Protocol.Commutative { use_ids = false }) env client ~query in
 
   print_endline "Global result (decrypted at the client):";
   print_endline (Relation.to_string outcome.Outcome.result);

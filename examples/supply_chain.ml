@@ -43,7 +43,7 @@ let () =
   in
   let query = "select * from Orders natural join Shipments" in
   let outcome =
-    Protocol.run (Protocol.Private_matching Pm_join.Session_keys) env client ~query
+    Protocol.run_exn (Protocol.Private_matching Pm_join.Session_keys) env client ~query
   in
 
   print_endline "Joined orders/shipments (client-side view):";

@@ -35,14 +35,27 @@ let build_messages prng group pk request which =
 let message_set_size group messages =
   List.fold_left (fun acc (_, ct) -> acc + group_bytes group + Hybrid.size ct) 0 messages
 
-let run ?(use_ids = false) env client ~query =
+let messages_payload messages =
+  String.concat ""
+    (List.map (fun (h, ct) -> Bigint.to_string h ^ Hybrid.to_wire ct) messages)
+
+let entries_payload entries =
+  String.concat ""
+    (List.map
+       (fun (h, payload) ->
+         Bigint.to_string h
+         ^ (match payload with `Id i -> string_of_int i | `Ct ct -> Hybrid.to_wire ct))
+       entries)
+
+let run ?fault ?(use_ids = false) env client ~query =
   let b = Outcome.Builder.create ~scheme:"commutative" in
   let tr = Outcome.Builder.transcript b in
+  Fault.attach fault tr;
   let group = env.Env.group in
   let (result, exact, received), counters =
     Counters.with_fresh (fun () ->
         let request =
-          Outcome.Builder.timed b "request" (fun () -> Request.run env client ~query tr)
+          Outcome.Builder.timed b "request" (fun () -> Request.run ?fault env client ~query tr)
         in
         let exact = Request.exact_result env request in
         let pk = request.Request.client_pk in
@@ -60,12 +73,42 @@ let run ?(use_ids = false) env client ~query =
             Outcome.Builder.timed b "source-encrypt" (fun () ->
                 build_messages prng group pk request which)
           in
+          (* A byzantine source ships ciphertexts that parse but fail
+             authentication when the client opens them (DESIGN.md §8). *)
+          let messages =
+            match Fault.byzantine_mode fault sid with
+            | Some Fault.Malformed_ciphertexts ->
+              List.map
+                (fun (h, ct) -> (h, Hybrid.of_wire (Fault.flip_tail (Hybrid.to_wire ct))))
+                messages
+            | _ -> messages
+          in
           Transcript.record tr ~sender:(Source sid) ~receiver:Mediator
             ~label:"M_i" ~size:(message_set_size group messages);
+          Fault.guard fault tr ~phase:"mediator-exchange" ~sender:(Source sid)
+            ~receiver:Mediator ~label:"M_i" (fun () -> messages_payload messages);
           (sid, key, messages)
         in
         let s1, key1, m1 = side `Left in
         let s2, key2, m2 = side `Right in
+        (* Conformance audit (only under a fault plan, so honest runs stay
+           byte-identical): a public canary h0 travels both directions;
+           the mediator later checks f_e1(f_e2(h0)) = f_e2(f_e1(h0)),
+           which catches a source whose second pass used a stale key. *)
+        let canary_h0 =
+          if Fault.auditing fault then
+            Some (Random_oracle.hash group "commutative-canary")
+          else None
+        in
+        let send_canary sid key =
+          match canary_h0 with
+          | None -> None
+          | Some h0 ->
+            Transcript.record tr ~sender:(Source sid) ~receiver:Mediator ~label:"canary"
+              ~size:(group_bytes group);
+            Some (Commutative.apply key h0)
+        in
+        let canary1 = send_canary s1 key1 and canary2 = send_canary s2 key2 in
         Outcome.Builder.mediator_sees b "cardinality-domactive-R1" (List.length m1);
         Outcome.Builder.mediator_sees b "cardinality-domactive-R2" (List.length m2);
 
@@ -85,23 +128,46 @@ let run ?(use_ids = false) env client ~query =
         let to_s2 = outbound m1 and to_s1 = outbound m2 in
         Transcript.record tr ~sender:Mediator ~receiver:(Source s2) ~label:"M_1"
           ~size:(wire_size to_s2);
+        Fault.guard fault tr ~phase:"source-reencrypt" ~sender:Mediator ~receiver:(Source s2)
+          ~label:"M_1" (fun () -> entries_payload to_s2);
         Transcript.record tr ~sender:Mediator ~receiver:(Source s1) ~label:"M_2"
           ~size:(wire_size to_s1);
+        Fault.guard fault tr ~phase:"source-reencrypt" ~sender:Mediator ~receiver:(Source s1)
+          ~label:"M_2" (fun () -> entries_payload to_s1);
         Outcome.Builder.source_sees b s1 "cardinality-domactive-opposite" (List.length m2);
         Outcome.Builder.source_sees b s2 "cardinality-domactive-opposite" (List.length m1);
 
-        (* Steps 5-6: each source applies its key on top of the other's. *)
-        let double_encrypt sid key entries =
+        (* Steps 5-6: each source applies its key on top of the other's.
+           A byzantine source may use a stale (different) key for the
+           second pass, which would silently empty the intersection —
+           the canary audit catches it. *)
+        let double_encrypt sid key entries other_canary =
           Outcome.Builder.timed b "source-reencrypt" (fun () ->
+              let key =
+                match Fault.byzantine_mode fault sid with
+                | Some Fault.Stale_commutative_key ->
+                  Commutative.keygen
+                    (Env.prng_for env (Printf.sprintf "stale-comm-key-%d" sid))
+                    group
+                | _ -> key
+              in
               let reencrypted =
                 List.map (fun (h, payload) -> (Commutative.apply key h, payload)) entries
               in
               Transcript.record tr ~sender:(Source sid) ~receiver:Mediator
                 ~label:"doubly-encrypted" ~size:(wire_size reencrypted);
-              reencrypted)
+              Fault.guard fault tr ~phase:"mediator-match" ~sender:(Source sid)
+                ~receiver:Mediator ~label:"doubly-encrypted"
+                (fun () -> entries_payload reencrypted);
+              (reencrypted, Option.map (Commutative.apply key) other_canary))
         in
-        let from_s1 = double_encrypt s1 key1 to_s1 in
-        let from_s2 = double_encrypt s2 key2 to_s2 in
+        let from_s1, double_canary1 = double_encrypt s1 key1 to_s1 canary2 in
+        let from_s2, double_canary2 = double_encrypt s2 key2 to_s2 canary1 in
+        (match (double_canary1, double_canary2) with
+        | Some a, Some b when Bigint.to_string a <> Bigint.to_string b ->
+          Fault.fail ~phase:"mediator-match" ~party:Mediator
+            "commutative canary mismatch: a source re-encrypted under a stale key"
+        | _ -> ());
 
         (* Step 7: the mediator matches identical first components. *)
         let matches =
@@ -145,6 +211,13 @@ let run ?(use_ids = false) env client ~query =
         in
         Transcript.record tr ~sender:Mediator ~receiver:Client ~label:"result-messages"
           ~size:result_size;
+        Fault.guard fault tr ~phase:"client-postprocess" ~sender:Mediator ~receiver:Client
+          ~label:"result-messages"
+          (fun () ->
+            String.concat ""
+              (List.concat_map
+                 (fun (a, c) -> [ Hybrid.to_wire a; Hybrid.to_wire c ])
+                 result_messages));
 
         (* Step 8: the client decrypts and combines the tuple sets. *)
         let join_attrs = Request.join_attrs request in
@@ -164,7 +237,9 @@ let run ?(use_ids = false) env client ~query =
         let decrypt_set label ct =
           match Hybrid.decrypt client.Env.key ct with
           | Some blob -> decode_tuple_set blob
-          | None -> failwith ("Commutative_join: authentication failure on " ^ label)
+          | None ->
+            Fault.fail ~phase:"client-postprocess" ~party:Client
+              ("authentication failure on " ^ label)
         in
         let received = ref 0 in
         let result =

@@ -10,6 +10,7 @@
     global result, encrypted. *)
 
 val run :
+  ?fault:Secmed_mediation.Fault.plan ->
   ?use_ids:bool ->
   Env.t ->
   Env.client ->
@@ -18,4 +19,12 @@ val run :
 (** [use_ids] enables the paper's footnote-1 optimization: the mediator
     keeps the encrypted tuple sets and forwards only fixed-length IDs with
     the hash values, so sources never see each other's ciphertexts and the
-    exchange shrinks.  Default [false] (the literal Listing 3). *)
+    exchange shrinks.  Default [false] (the literal Listing 3).
+
+    With a fault plan the run may raise
+    [Secmed_mediation.Fault.Fault_detected]: channel faults are caught by
+    the integrity envelope, byzantine ciphertexts at the client's
+    authenticated decryption, and a stale re-encryption key by the canary
+    audit the mediator runs when a plan is installed (a public canary
+    value is double-encrypted along both paths and the results compared —
+    commutativity makes honest paths agree). *)

@@ -140,10 +140,11 @@ let server_join eval per_attr_pairs left right =
         | _ -> assert false)
       (Relation.tuples rc)
 
-let decrypt_or_fail sk label ct =
+let decrypt_or_fail ~phase ~party sk label ct =
   match Hybrid.decrypt sk ct with
   | Some plain -> plain
-  | None -> failwith (Printf.sprintf "Das: authentication failure decrypting %s" label)
+  | None ->
+    Fault.fail ~phase ~party (Printf.sprintf "authentication failure decrypting %s" label)
 
 (* Wire bundle of one source's encrypted index tables. *)
 let tables_to_wire tables =
@@ -175,7 +176,48 @@ let source_keypair env sid =
 let partition_count_sum tables =
   List.fold_left (fun acc t -> acc + Das_partition.partition_count t) 0 tables
 
-let run ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_index)
+(* Byzantine source behaviours (syntactically detectable — see DESIGN.md
+   §8): wrong partition ids are pushed outside the valid index range so
+   the mediator's bounds check catches them; malformed ciphertexts keep
+   their framing but fail authentication at the client. *)
+let apply_byzantine mode er =
+  match mode with
+  | Some Fault.Wrong_partition_ids ->
+    { er with rows = List.map (fun (ct, idx) -> (ct, Array.map (fun i -> -1 - i) idx)) er.rows }
+  | Some Fault.Malformed_ciphertexts ->
+    {
+      er with
+      rows =
+        List.map
+          (fun (ct, idx) -> (Hybrid.of_wire (Fault.flip_tail (Hybrid.to_wire ct)), idx))
+          er.rows;
+    }
+  | _ -> er
+
+(* The mediator rejects index vectors outside the table range before
+   evaluating q_S — an honest source never produces them. *)
+let validate_indexes which er =
+  List.iter
+    (fun (_, idx) ->
+      Array.iter
+        (fun i ->
+          if i < 0 then
+            Fault.fail ~phase:"mediator-server-query" ~party:Mediator
+              (Printf.sprintf "R%dS row carries out-of-range partition index %d" which i))
+        idx)
+    er.rows
+
+let er_payload er = String.concat "" (List.map (fun (ct, _) -> Hybrid.to_wire ct) er.rows)
+
+let pairs_payload pairs =
+  String.concat ";"
+    (List.map
+       (fun attr_pairs ->
+         String.concat ","
+           (List.map (fun (i1, i2) -> Printf.sprintf "%d:%d" i1 i2) attr_pairs))
+       pairs)
+
+let run ?fault ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_index)
     ?(setting = Client_setting) env client ~query =
   let scheme =
     match setting with
@@ -184,10 +226,11 @@ let run ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_index)
   in
   let b = Outcome.Builder.create ~scheme in
   let tr = Outcome.Builder.transcript b in
+  Fault.attach fault tr;
   let (result, exact, received), counters =
     Counters.with_fresh (fun () ->
         let request =
-          Outcome.Builder.timed b "request" (fun () -> Request.run env client ~query tr)
+          Outcome.Builder.timed b "request" (fun () -> Request.run ?fault env client ~query tr)
         in
         let exact = Request.exact_result env request in
         let join_attrs = Request.join_attrs request in
@@ -211,14 +254,20 @@ let run ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_index)
               in
               let encrypted = encrypt_relation prng pk tables ~join_attrs relation in
               ignore which;
+              let encrypted =
+                apply_byzantine (Fault.byzantine_mode fault entry.Catalog.source) encrypted
+              in
               (prng, tables, encrypted))
         in
         (* One upload per source: the encrypted rows plus this setting's
            form of the index tables (so sources still "send data once"). *)
-        let record_upload sid which ~rows_size ~tables_payload =
+        let record_upload sid which ~rows_size ~tables_payload ~rows =
           Transcript.record tr ~sender:(Source sid) ~receiver:Mediator
             ~label:(Printf.sprintf "R%dS+ITables" which)
-            ~size:(rows_size + tables_payload)
+            ~size:(rows_size + tables_payload);
+          Fault.guard fault tr ~phase:"source-upload" ~sender:(Source sid) ~receiver:Mediator
+            ~label:(Printf.sprintf "R%dS+ITables" which)
+            (fun () -> er_payload rows)
         in
         let s1 = request.Request.decomposition.Catalog.left.Catalog.source in
         let s2 = request.Request.decomposition.Catalog.right.Catalog.source in
@@ -242,19 +291,29 @@ let run ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_index)
             (* Tables encrypted for the client; client translates. *)
             let enc_it1 = Hybrid.encrypt prng1 pk (tables_to_wire tables1) in
             let enc_it2 = Hybrid.encrypt prng2 pk (tables_to_wire tables2) in
-            record_upload s1 1 ~rows_size:r1s.wire_size ~tables_payload:(Hybrid.size enc_it1);
-            record_upload s2 2 ~rows_size:r2s.wire_size ~tables_payload:(Hybrid.size enc_it2);
+            record_upload s1 1 ~rows_size:r1s.wire_size ~tables_payload:(Hybrid.size enc_it1)
+              ~rows:r1s;
+            record_upload s2 2 ~rows_size:r2s.wire_size ~tables_payload:(Hybrid.size enc_it2)
+              ~rows:r2s;
             Transcript.record tr ~sender:Mediator ~receiver:Client ~label:"enc(ITables_R1)"
               ~size:(Hybrid.size enc_it1);
+            Fault.guard fault tr ~phase:"client-translate" ~sender:Mediator ~receiver:Client
+              ~label:"enc(ITables_R1)" (fun () -> Hybrid.to_wire enc_it1);
             Transcript.record tr ~sender:Mediator ~receiver:Client ~label:"enc(ITables_R2)"
               ~size:(Hybrid.size enc_it2);
+            Fault.guard fault tr ~phase:"client-translate" ~sender:Mediator ~receiver:Client
+              ~label:"enc(ITables_R2)" (fun () -> Hybrid.to_wire enc_it2);
             let pairs =
               Outcome.Builder.timed b "client-translate" (fun () ->
                   let it1 =
-                    tables_of_wire (decrypt_or_fail client.Env.key "ITables_R1" enc_it1)
+                    tables_of_wire
+                      (decrypt_or_fail ~phase:"client-translate" ~party:Client client.Env.key
+                         "ITables_R1" enc_it1)
                   in
                   let it2 =
-                    tables_of_wire (decrypt_or_fail client.Env.key "ITables_R2" enc_it2)
+                    tables_of_wire
+                      (decrypt_or_fail ~phase:"client-translate" ~party:Client client.Env.key
+                         "ITables_R2" enc_it2)
                   in
                   Outcome.Builder.client_sees b "partitions-R1" (partition_count_sum it1);
                   Outcome.Builder.client_sees b "partitions-R2" (partition_count_sum it2);
@@ -263,6 +322,8 @@ let run ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_index)
             let total = List.fold_left (fun acc p -> acc + List.length p) 0 pairs in
             Transcript.record tr ~sender:Client ~receiver:Mediator ~label:"server-query-qS"
               ~size:(16 * total);
+            Fault.guard fault tr ~phase:"mediator-server-query" ~sender:Client
+              ~receiver:Mediator ~label:"server-query-qS" (fun () -> pairs_payload pairs);
             pairs
           | Source_setting ->
             (* S2's tables travel, encrypted under S1's source key, to S1,
@@ -271,28 +332,40 @@ let run ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_index)
             let enc_it2 =
               Hybrid.encrypt prng2 (Elgamal.public s1_keys) (tables_to_wire tables2)
             in
-            record_upload s1 1 ~rows_size:r1s.wire_size ~tables_payload:0;
-            record_upload s2 2 ~rows_size:r2s.wire_size ~tables_payload:(Hybrid.size enc_it2);
+            record_upload s1 1 ~rows_size:r1s.wire_size ~tables_payload:0 ~rows:r1s;
+            record_upload s2 2 ~rows_size:r2s.wire_size ~tables_payload:(Hybrid.size enc_it2)
+              ~rows:r2s;
             Transcript.record tr ~sender:Mediator ~receiver:(Source s1)
               ~label:"enc_S1(ITables_R2)" ~size:(Hybrid.size enc_it2);
+            Fault.guard fault tr ~phase:"source-translate" ~sender:Mediator
+              ~receiver:(Source s1) ~label:"enc_S1(ITables_R2)"
+              (fun () -> Hybrid.to_wire enc_it2);
             let pairs =
               Outcome.Builder.timed b "source-translate" (fun () ->
-                  let it2 = tables_of_wire (decrypt_or_fail s1_keys "ITables_R2" enc_it2) in
+                  let it2 =
+                    tables_of_wire
+                      (decrypt_or_fail ~phase:"source-translate" ~party:(Source s1) s1_keys
+                         "ITables_R2" enc_it2)
+                  in
                   Outcome.Builder.source_sees b s1 "partitions-R2" (partition_count_sum it2);
                   server_query_pairs ~left_tables:tables1 ~right_tables:it2)
             in
             let total = List.fold_left (fun acc p -> acc + List.length p) 0 pairs in
             Transcript.record tr ~sender:(Source s1) ~receiver:Mediator
               ~label:"server-query-qS" ~size:(16 * total);
+            Fault.guard fault tr ~phase:"mediator-server-query" ~sender:(Source s1)
+              ~receiver:Mediator ~label:"server-query-qS" (fun () -> pairs_payload pairs);
             pairs
           | Mediator_setting ->
             (* Tables in plaintext at the mediator — cheapest, but the
                mediator can now approximate every tuple's join value
                (the paper's Section 6 warning). *)
             record_upload s1 1 ~rows_size:r1s.wire_size
-              ~tables_payload:(String.length (tables_to_wire tables1));
+              ~tables_payload:(String.length (tables_to_wire tables1))
+              ~rows:r1s;
             record_upload s2 2 ~rows_size:r2s.wire_size
-              ~tables_payload:(String.length (tables_to_wire tables2));
+              ~tables_payload:(String.length (tables_to_wire tables2))
+              ~rows:r2s;
             Outcome.Builder.mediator_sees b "partitions-R1" (partition_count_sum tables1);
             Outcome.Builder.mediator_sees b "partitions-R2" (partition_count_sum tables2);
             (* Measured value approximation: entropy of the index values
@@ -320,6 +393,8 @@ let run ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_index)
            and returns R_C. *)
         let rc =
           Outcome.Builder.timed b "mediator-server-query" (fun () ->
+              validate_indexes 1 r1s;
+              validate_indexes 2 r2s;
               server_join server_eval per_attr_pairs r1s r2s)
         in
         Outcome.Builder.mediator_sees b "condition-size-qS" total_pairs;
@@ -328,6 +403,11 @@ let run ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_index)
           List.fold_left (fun acc (x, y) -> acc + Hybrid.size x + Hybrid.size y) 0 rc
         in
         Transcript.record tr ~sender:Mediator ~receiver:Client ~label:"RC" ~size:rc_size;
+        Fault.guard fault tr ~phase:"client-postprocess" ~sender:Mediator ~receiver:Client
+          ~label:"RC"
+          (fun () ->
+            String.concat ""
+              (List.concat_map (fun (x, y) -> [ Hybrid.to_wire x; Hybrid.to_wire y ]) rc));
         Outcome.Builder.client_sees b "candidate-pairs-received" (List.length rc);
 
         (* Step 7: the client decrypts R_C and applies q_C. *)
@@ -351,8 +431,16 @@ let run ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_index)
               let joined =
                 List.filter_map
                   (fun (ct1, ct2) ->
-                    let t1 = Tuple.decode (decrypt_or_fail client.Env.key "etuple1" ct1) in
-                    let t2 = Tuple.decode (decrypt_or_fail client.Env.key "etuple2" ct2) in
+                    let t1 =
+                      Tuple.decode
+                        (decrypt_or_fail ~phase:"client-postprocess" ~party:Client
+                           client.Env.key "etuple1" ct1)
+                    in
+                    let t2 =
+                      Tuple.decode
+                        (decrypt_or_fail ~phase:"client-postprocess" ~party:Client
+                           client.Env.key "etuple2" ct2)
+                    in
                     (* q_C : R1.A_join = R2.A_join on the plaintexts. *)
                     if
                       Join_key.equal

@@ -43,6 +43,7 @@ type setting =
 val setting_name : setting -> string
 
 val run :
+  ?fault:Secmed_mediation.Fault.plan ->
   ?strategy:Das_partition.strategy ->
   ?server_eval:server_eval ->
   ?setting:setting ->
@@ -51,7 +52,12 @@ val run :
   query:string ->
   Outcome.t
 (** End-to-end request + DAS delivery.  Default strategy: [Equi_depth 4]
-    (applied to each join attribute); default setting: [Client_setting]. *)
+    (applied to each join attribute); default setting: [Client_setting].
+    With a fault plan installed the run may raise
+    [Secmed_mediation.Fault.Fault_detected]: channel faults are caught by
+    the integrity envelope at the receiver, byzantine partition indexes by
+    the mediator's bounds check, and byzantine ciphertexts by the client's
+    authenticated decryption. *)
 
 (** {1 Exposed internals (unit-tested / reused by benches)} *)
 

@@ -14,13 +14,14 @@ let decode_tuples blob =
   Wire.expect_end r;
   tuples
 
-let run env client ~query =
+let run ?fault env client ~query =
   let b = Outcome.Builder.create ~scheme:"mobile-code" in
   let tr = Outcome.Builder.transcript b in
+  Fault.attach fault tr;
   let (result, exact, received), counters =
     Counters.with_fresh (fun () ->
         let request =
-          Outcome.Builder.timed b "request" (fun () -> Request.run env client ~query tr)
+          Outcome.Builder.timed b "request" (fun () -> Request.run ?fault env client ~query tr)
         in
         let exact = Request.exact_result env request in
         let pk = request.Request.client_pk in
@@ -28,9 +29,19 @@ let run env client ~query =
           let prng = Env.prng_for env (Printf.sprintf "mc-source-%d" entry.Catalog.source) in
           Outcome.Builder.timed b "source-encrypt" (fun () ->
               let ct = Hybrid.encrypt prng pk (encode_relation relation) in
+              let ct =
+                match Fault.byzantine_mode fault entry.Catalog.source with
+                | Some Fault.Malformed_ciphertexts ->
+                  Hybrid.of_wire (Fault.flip_tail (Hybrid.to_wire ct))
+                | _ -> ct
+              in
               Transcript.record tr ~sender:(Source entry.Catalog.source) ~receiver:Mediator
                 ~label:(Printf.sprintf "encrypted-R%d" which)
                 ~size:(Hybrid.size ct);
+              Fault.guard fault tr ~phase:"mediator-forward"
+                ~sender:(Source entry.Catalog.source) ~receiver:Mediator
+                ~label:(Printf.sprintf "encrypted-R%d" which)
+                (fun () -> Hybrid.to_wire ct);
               ct)
         in
         let ct1 =
@@ -45,6 +56,9 @@ let run env client ~query =
         let program = Algebra.to_string (Algebra.of_query (Parser.parse query)) in
         Transcript.record tr ~sender:Mediator ~receiver:Client ~label:"encrypted-partials+code"
           ~size:(Hybrid.size ct1 + Hybrid.size ct2 + String.length program);
+        Fault.guard fault tr ~phase:"client-postprocess" ~sender:Mediator ~receiver:Client
+          ~label:"encrypted-partials+code"
+          (fun () -> Hybrid.to_wire ct1 ^ Hybrid.to_wire ct2 ^ program);
         Outcome.Builder.mediator_sees b "ciphertext-bytes-R1" (Hybrid.size ct1);
         Outcome.Builder.mediator_sees b "ciphertext-bytes-R2" (Hybrid.size ct2);
 
@@ -52,7 +66,9 @@ let run env client ~query =
         let decrypt label ct =
           match Hybrid.decrypt client.Env.key ct with
           | Some blob -> decode_tuples blob
-          | None -> failwith ("Mobile_code: authentication failure on " ^ label)
+          | None ->
+            Fault.fail ~phase:"client-postprocess" ~party:Client
+              ("authentication failure on " ^ label)
         in
         let result =
           Outcome.Builder.timed b "client-postprocess" (fun () ->

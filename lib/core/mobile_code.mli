@@ -8,4 +8,8 @@
     correct, but the client receives both full partial results — exactly
     the disclosure the paper's three protocols improve on. *)
 
-val run : Env.t -> Env.client -> query:string -> Outcome.t
+val run :
+  ?fault:Secmed_mediation.Fault.plan -> Env.t -> Env.client -> query:string -> Outcome.t
+(** With a fault plan the run may raise
+    [Secmed_mediation.Fault.Fault_detected] (integrity envelope on the
+    forwarded ciphertexts; authenticated decryption at the client). *)

@@ -140,7 +140,7 @@ let run ?(scheme = Protocol.Commutative { use_ids = false }) env client ~query =
           render_query ~distinct:ast.Ast.distinct ~select ~where current_name next_table
         else render_query ~distinct:false ~select:None ~where:None current_name next_table
       in
-      let outcome = Protocol.run scheme stage_env client ~query:stage_query in
+      let outcome = Protocol.run_exn scheme stage_env client ~query:stage_query in
       let stage = { stage_query; outcome } in
       let next_name = Printf.sprintf "I%d" (stage_index + 1) in
       rounds (stage_index + 1) next_name (Some outcome.Outcome.result) rest (stage :: acc)

@@ -5,19 +5,25 @@ open Secmed_mediation
 let relation_size relation =
   List.fold_left (fun acc t -> acc + String.length (Tuple.encode t)) 0 (Relation.tuples relation)
 
-let run env client ~query =
+let run ?fault env client ~query =
   let b = Outcome.Builder.create ~scheme:"plain" in
   let tr = Outcome.Builder.transcript b in
+  Fault.attach fault tr;
   let (result, exact, received), counters =
     Counters.with_fresh (fun () ->
         let request =
-          Outcome.Builder.timed b "request" (fun () -> Request.run env client ~query tr)
+          Outcome.Builder.timed b "request" (fun () -> Request.run ?fault env client ~query tr)
         in
         let exact = Request.exact_result env request in
         let send which (entry : Catalog.entry) relation =
           Transcript.record tr ~sender:(Source entry.Catalog.source) ~receiver:Mediator
             ~label:(Printf.sprintf "plaintext-R%d" which)
-            ~size:(relation_size relation)
+            ~size:(relation_size relation);
+          Fault.guard fault tr ~phase:"mediator-join"
+            ~sender:(Source entry.Catalog.source) ~receiver:Mediator
+            ~label:(Printf.sprintf "plaintext-R%d" which)
+            (fun () ->
+              String.concat "" (List.map Tuple.encode (Relation.tuples relation)))
         in
         send 1 request.Request.decomposition.Catalog.left request.Request.left_result;
         send 2 request.Request.decomposition.Catalog.right request.Request.right_result;
@@ -33,6 +39,9 @@ let run env client ~query =
         in
         Transcript.record tr ~sender:Mediator ~receiver:Client ~label:"global-result"
           ~size:(relation_size result);
+        Fault.guard fault tr ~phase:"client-receive" ~sender:Mediator ~receiver:Client
+          ~label:"global-result"
+          (fun () -> String.concat "" (List.map Tuple.encode (Relation.tuples result)));
         Outcome.Builder.client_sees b "tuples-received" (Relation.cardinality result);
         (result, exact, Relation.cardinality result))
   in

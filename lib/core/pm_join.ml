@@ -115,7 +115,9 @@ let decrypt_entries sk e_values =
 
 let recover_tuples ~variant ~id_lookup entry =
   match variant with
-  | Direct_payload -> (try Some (decode_tuple_set entry.entry_payload) with Invalid_argument _ -> None)
+  | Direct_payload -> (
+    try Some (decode_tuple_set entry.entry_payload)
+    with Invalid_argument _ | Wire.Malformed _ -> None)
   | Session_keys ->
     if String.length entry.entry_payload <> 24 then None
     else begin
@@ -125,17 +127,36 @@ let recover_tuples ~variant ~id_lookup entry =
       | None -> None
       | Some blob ->
         (match Hybrid.dem_decrypt ~key blob with
-         | Some set -> (try Some (decode_tuple_set set) with Invalid_argument _ -> None)
+         | Some set -> (
+           try Some (decode_tuple_set set)
+           with Invalid_argument _ | Wire.Malformed _ -> None)
          | None -> None)
     end
 
-let run ?(variant = Session_keys) env client ~query =
+let cts_payload cts =
+  String.concat ","
+    (List.map (fun c -> Bigint.to_string (Paillier.ciphertext_to_bigint c)) cts)
+
+(* Receiver-side range/group check: a valid Paillier ciphertext is a unit
+   of Z_{n^2}, so 0 never appears honestly; the private-type constructor
+   already excludes values >= n^2.  Run unconditionally — it is the
+   defence against a source shipping garbage coefficients. *)
+let validate_ciphertexts ~phase ~party label cts =
+  List.iter
+    (fun c ->
+      if Bigint.is_zero (Paillier.ciphertext_to_bigint c) then
+        Fault.fail ~phase ~party
+          (Printf.sprintf "%s carries an out-of-group Paillier value (0 not a unit)" label))
+    cts
+
+let run ?fault ?(variant = Session_keys) env client ~query =
   let b = Outcome.Builder.create ~scheme:("pm-" ^ variant_name variant) in
   let tr = Outcome.Builder.transcript b in
+  Fault.attach fault tr;
   let (result, exact, received), counters =
     Counters.with_fresh (fun () ->
         let request =
-          Outcome.Builder.timed b "request" (fun () -> Request.run env client ~query tr)
+          Outcome.Builder.timed b "request" (fun () -> Request.run ?fault env client ~query tr)
         in
         let exact = Request.exact_result env request in
         let pk = Paillier.public client.Env.paillier_key in
@@ -148,10 +169,16 @@ let run ?(variant = Session_keys) env client ~query =
            its credentials (we account for it explicitly). *)
         Transcript.record tr ~sender:Client ~receiver:Mediator ~label:"homomorphic-pk"
           ~size:n_bytes;
+        Fault.guard fault tr ~phase:"request" ~sender:Client ~receiver:Mediator
+          ~label:"homomorphic-pk" (fun () -> Bigint.to_string pk.Paillier.n);
         Transcript.record tr ~sender:Mediator ~receiver:(Source s1) ~label:"homomorphic-pk"
           ~size:n_bytes;
+        Fault.guard fault tr ~phase:"request" ~sender:Mediator ~receiver:(Source s1)
+          ~label:"homomorphic-pk" (fun () -> Bigint.to_string pk.Paillier.n);
         Transcript.record tr ~sender:Mediator ~receiver:(Source s2) ~label:"homomorphic-pk"
           ~size:n_bytes;
+        Fault.guard fault tr ~phase:"request" ~sender:Mediator ~receiver:(Source s2)
+          ~label:"homomorphic-pk" (fun () -> Bigint.to_string pk.Paillier.n);
 
         (* Steps 2/3: each source builds its polynomial from its active
            domain and sends the encrypted coefficients to the mediator. *)
@@ -162,9 +189,20 @@ let run ?(variant = Session_keys) env client ~query =
               let roots = List.map root_of_key (Request.join_attr_values request which) in
               let poly = Pm_poly.from_roots ~modulus:pk.Paillier.n roots in
               let coeffs = Pm_poly.encrypt prng pk poly in
+              (* A byzantine source ships values outside the ciphertext
+                 group; the opposite source's range check catches them. *)
+              let coeffs =
+                match Fault.byzantine_mode fault sid with
+                | Some Fault.Garbage_paillier ->
+                  List.map (fun _ -> Paillier.ciphertext_of_bigint pk Bigint.zero) coeffs
+                | _ -> coeffs
+              in
               Transcript.record tr ~sender:(Source sid) ~receiver:Mediator
                 ~label:"encrypted-coefficients"
                 ~size:(ct_bytes * List.length coeffs);
+              Fault.guard fault tr ~phase:"mediator-forward" ~sender:(Source sid)
+                ~receiver:Mediator ~label:"encrypted-coefficients"
+                (fun () -> cts_payload coeffs);
               coeffs)
         in
         let coeffs1 = build_poly `Left prng1 s1 in
@@ -180,8 +218,12 @@ let run ?(variant = Session_keys) env client ~query =
         (* Step 4: the mediator forwards the encrypted coefficients. *)
         Transcript.record tr ~sender:Mediator ~receiver:(Source s2)
           ~label:"encrypted-coefficients-P1" ~size:(ct_bytes * List.length coeffs1);
+        Fault.guard fault tr ~phase:"source-evaluate" ~sender:Mediator ~receiver:(Source s2)
+          ~label:"encrypted-coefficients-P1" (fun () -> cts_payload coeffs1);
         Transcript.record tr ~sender:Mediator ~receiver:(Source s1)
           ~label:"encrypted-coefficients-P2" ~size:(ct_bytes * List.length coeffs2);
+        Fault.guard fault tr ~phase:"source-evaluate" ~sender:Mediator ~receiver:(Source s1)
+          ~label:"encrypted-coefficients-P2" (fun () -> cts_payload coeffs2);
         Outcome.Builder.source_sees b s1 "degree-opposite-polynomial"
           (List.length coeffs2 - 1);
         Outcome.Builder.source_sees b s2 "degree-opposite-polynomial"
@@ -192,11 +234,31 @@ let run ?(variant = Session_keys) env client ~query =
         let next_id = ref 0 in
         let eval_side which prng sid opp_coeffs =
           Outcome.Builder.timed b "source-evaluate" (fun () ->
+              validate_ciphertexts ~phase:"source-evaluate" ~party:(Source sid)
+                "opposite polynomial" opp_coeffs;
               let output =
                 evaluate_side ~variant ~prng ~pk ~opp_coeffs ~request ~which ~next_id
               in
+              (* A byzantine source damages the DEM blobs of its ID table
+                 (session-key variant); the client's authenticated DEM
+                 decryption fails on every matched entry. *)
+              let output =
+                match Fault.byzantine_mode fault sid with
+                | Some Fault.Malformed_ciphertexts ->
+                  {
+                    output with
+                    id_table =
+                      List.map (fun (id, blob) -> (id, Fault.flip_tail blob)) output.id_table;
+                  }
+                | _ -> output
+              in
               Transcript.record tr ~sender:(Source sid) ~receiver:Mediator ~label:"e-values"
                 ~size:((ct_bytes * List.length output.e_values) + output.id_table_bytes);
+              Fault.guard fault tr ~phase:"mediator-forward" ~sender:(Source sid)
+                ~receiver:Mediator ~label:"e-values"
+                (fun () ->
+                  cts_payload output.e_values
+                  ^ String.concat "" (List.map snd output.id_table));
               output)
         in
         let out1 = eval_side `Left prng1 s1 coeffs2 in
@@ -207,12 +269,19 @@ let run ?(variant = Session_keys) env client ~query =
         let total_e = List.length out1.e_values + List.length out2.e_values in
         Transcript.record tr ~sender:Mediator ~receiver:Client ~label:"e-values"
           ~size:((ct_bytes * total_e) + out1.id_table_bytes + out2.id_table_bytes);
+        Fault.guard fault tr ~phase:"client-postprocess" ~sender:Mediator ~receiver:Client
+          ~label:"e-values"
+          (fun () -> cts_payload out1.e_values ^ cts_payload out2.e_values);
         Outcome.Builder.client_sees b "ciphertexts-received" total_e;
 
         (* Step 8: the client decrypts everything and keeps the matches. *)
         let received = ref 0 in
         let result =
           Outcome.Builder.timed b "client-postprocess" (fun () ->
+              validate_ciphertexts ~phase:"client-postprocess" ~party:Client "e-values"
+                out1.e_values;
+              validate_ciphertexts ~phase:"client-postprocess" ~party:Client "e-values"
+                out2.e_values;
               let entries1 = decrypt_entries client.Env.paillier_key out1.e_values in
               let entries2 = decrypt_entries client.Env.paillier_key out2.e_values in
               Outcome.Builder.client_sees b "well-formed-decryptions"
@@ -263,7 +332,15 @@ let run ?(variant = Session_keys) env client ~query =
                                (fun t2 -> Tuple.append t1 (Tuple.project keep_right t2))
                                tup2)
                            tup1
-                       | None, _ | _, None -> []))
+                       | None, _ | _, None ->
+                         (* A root match certifies both sides carried this
+                            join value, so honest payloads always recover
+                            (16-byte root collisions are negligible): an
+                            unrecoverable payload is a damaged ID table,
+                            not a non-match — fail closed rather than
+                            silently under-report. *)
+                         Fault.fail ~phase:"client-postprocess" ~party:Client
+                           "matched entry with unrecoverable payload"))
                   entries1
               in
               Request.finalize request (Relation.make joined_schema joined))

@@ -21,6 +21,7 @@ type variant =
 val variant_name : variant -> string
 
 val run :
+  ?fault:Secmed_mediation.Fault.plan ->
   ?variant:variant ->
   Env.t ->
   Env.client ->
@@ -28,7 +29,15 @@ val run :
   Outcome.t
 (** Default variant: [Session_keys] (never hits capacity limits).  With
     [Direct_payload], raises [Invalid_argument] when some Tup_i(a) does
-    not fit the Paillier plaintext space. *)
+    not fit the Paillier plaintext space.
+
+    With a fault plan the run may raise
+    [Secmed_mediation.Fault.Fault_detected]: channel faults are caught by
+    the integrity envelope, garbage Paillier values by the receivers'
+    group-membership check, and damaged ID-table blobs (byzantine
+    [Malformed_ciphertexts], session-key variant) at the client, which
+    fails closed on any root-matched entry whose payload does not
+    recover. *)
 
 val root_of_value : Secmed_relalg.Value.t -> Secmed_bigint.Bigint.t
 (** Deterministic 128-bit encoding of a join value into the plaintext ring

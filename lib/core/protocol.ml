@@ -35,10 +35,60 @@ let scheme_of_name = function
   | "plain" -> Some Plain
   | _ -> None
 
-let run scheme env client ~query =
+open Secmed_mediation
+
+type failure = {
+  phase : string;
+  party : Transcript.party;
+  reason : string;
+  attempts : int;
+}
+
+type run_result =
+  | Ok of Outcome.t
+  | Fault of failure
+
+exception Faulted of failure
+
+let dispatch ?fault scheme env client ~query =
   match scheme with
-  | Das (strategy, server_eval) -> Das.run ~strategy ~server_eval env client ~query
-  | Commutative { use_ids } -> Commutative_join.run ~use_ids env client ~query
-  | Private_matching variant -> Pm_join.run ~variant env client ~query
-  | Mobile_code -> Mobile_code.run env client ~query
-  | Plain -> Plain_join.run env client ~query
+  | Das (strategy, server_eval) -> Das.run ?fault ~strategy ~server_eval env client ~query
+  | Commutative { use_ids } -> Commutative_join.run ?fault ~use_ids env client ~query
+  | Private_matching variant -> Pm_join.run ?fault ~variant env client ~query
+  | Mobile_code -> Mobile_code.run ?fault env client ~query
+  | Plain -> Plain_join.run ?fault env client ~query
+
+(* The mediator's recovery policy: a transient channel fault is worth a
+   bounded number of fresh requests (the rule counters on the plan are
+   consumed across attempts, so a [times]-bounded fault clears); a
+   byzantine source is not — a fresh request reaches the same liar. *)
+let run ?fault scheme env client ~query =
+  let budget = 1 + Fault.max_retries fault in
+  let rec attempt n =
+    Fault.start_attempt fault ~attempt:n;
+    match dispatch ?fault scheme env client ~query with
+    | outcome -> Ok outcome
+    | exception Fault.Fault_detected f ->
+      if n < budget && Fault.retryable fault then attempt (n + 1)
+      else Fault { phase = f.Fault.phase; party = f.Fault.party; reason = f.Fault.reason;
+                   attempts = n }
+    | exception Wire.Malformed msg ->
+      (* Belt and braces: a malformed wire blob that escaped a driver's
+         own handling still fails closed instead of crashing. *)
+      if n < budget && Fault.retryable fault then attempt (n + 1)
+      else
+        Fault
+          { phase = "wire-decode"; party = Transcript.Mediator; reason = msg; attempts = n }
+  in
+  attempt 1
+
+let run_exn ?fault scheme env client ~query =
+  match run ?fault scheme env client ~query with
+  | Ok outcome -> outcome
+  | Fault f -> raise (Faulted f)
+
+let pp_failure fmt f =
+  Format.fprintf fmt "fault at %s (%s) after %d attempt%s: %s" f.phase
+    (Transcript.party_name f.party) f.attempts
+    (if f.attempts = 1 then "" else "s")
+    f.reason

@@ -8,6 +8,10 @@ type scheme =
   | Mobile_code
   | Plain
 
+val default_das : scheme
+(** [Das (Equi_depth 4, Pair_index)] — the configuration used throughout
+    the paper's figures. *)
+
 val all_schemes : scheme list
 (** One representative configuration of each protocol/baseline. *)
 
@@ -21,4 +25,37 @@ val scheme_of_name : string -> scheme option
     ["pm-direct"], ["commutative-ids"], ["das-singleton"],
     ["das-nested-loop"]. *)
 
-val run : scheme -> Env.t -> Env.client -> query:string -> Outcome.t
+(** Typed outcome of a protocol execution under a fault model: which
+    phase, at which party, detected the fault, and after how many
+    end-to-end attempts the mediator gave up. *)
+type failure = {
+  phase : string;
+  party : Secmed_mediation.Transcript.party;
+  reason : string;
+  attempts : int;
+}
+
+type run_result =
+  | Ok of Outcome.t
+  | Fault of failure
+
+exception Faulted of failure
+
+val run :
+  ?fault:Secmed_mediation.Fault.plan ->
+  scheme -> Env.t -> Env.client -> query:string -> run_result
+(** Runs the protocol end to end.  Detected faults surface as [Fault]
+    rather than exceptions.  Transient channel faults trigger a bounded
+    retry with a fresh request (the plan's [max_retries]; rule counters
+    persist across attempts, so a [times]-bounded fault is consumed and
+    the retry succeeds); byzantine plans are not retried — a fresh
+    request reaches the same misbehaving source.  Without a plan this
+    never returns [Fault] on honest inputs. *)
+
+val run_exn :
+  ?fault:Secmed_mediation.Fault.plan ->
+  scheme -> Env.t -> Env.client -> query:string -> Outcome.t
+(** Like {!run} but raises {!Faulted} — for call sites that treat a
+    fault as fatal (benches, examples, the legacy CLI paths). *)
+
+val pp_failure : Format.formatter -> failure -> unit

@@ -52,10 +52,12 @@ let authorize env transcript source_id entry credentials =
     ignore transcript;
     Relation.rename entry.Catalog.relation granted
 
-let run env (client : Env.client) ~query transcript =
+let run ?fault env (client : Env.client) ~query transcript =
   (* Step 1: client -> mediator: the query and the credential set CR. *)
   Transcript.record transcript ~sender:Client ~receiver:Mediator ~label:"global-query"
     ~size:(String.length query + credential_size client.Env.credentials);
+  Fault.guard fault transcript ~phase:"request" ~sender:Client ~receiver:Mediator
+    ~label:"global-query" (fun () -> query);
   (* Step 2: the mediator decomposes q and localizes the sources. *)
   let ast = Parser.parse query in
   let decomposition = Catalog.decompose env.Env.catalog ast in
@@ -72,6 +74,9 @@ let run env (client : Env.client) ~query transcript =
     Transcript.record transcript ~sender:Mediator ~receiver:(Source entry.Catalog.source)
       ~label:"partial-query"
       ~size:(String.length partial_query + credential_size credentials + attrs_bytes);
+    Fault.guard fault transcript ~phase:"request" ~sender:Mediator
+      ~receiver:(Source entry.Catalog.source) ~label:"partial-query"
+      (fun () -> partial_query);
     credentials
   in
   (* Step 3: mediator -> S_i : <q_i, CR_i, A_i>. *)

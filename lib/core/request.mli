@@ -32,11 +32,12 @@ type t = {
   credentials_right : Credential.t list;  (** CR_2 *)
 }
 
-val run : Env.t -> Env.client -> query:string -> Transcript.t -> t
+val run : ?fault:Fault.plan -> Env.t -> Env.client -> query:string -> Transcript.t -> t
 (** Parses and decomposes [query], performs steps 1–4 recording every
     message, and returns the sources' granted partial results.  Raises
-    {!Access_denied}, {!Bad_credential}, [Parser.Error], [Lexer.Error] or
-    [Catalog.Unsupported]. *)
+    {!Access_denied}, {!Bad_credential}, [Parser.Error], [Lexer.Error],
+    [Catalog.Unsupported], or {!Fault.Fault_detected} when an installed
+    fault plan hits the request-phase messages. *)
 
 val exact_result : Env.t -> t -> Relation.t
 (** The reference global result: natural join of the partial results with

@@ -1,0 +1,327 @@
+open Secmed_crypto
+
+type action =
+  | Drop
+  | Truncate of int
+  | Corrupt of int
+  | Duplicate
+  | Delay of float
+
+let action_name = function
+  | Drop -> "drop"
+  | Truncate n -> Printf.sprintf "truncate(%d)" n
+  | Corrupt n -> Printf.sprintf "corrupt(%d)" n
+  | Duplicate -> "duplicate"
+  | Delay s -> Printf.sprintf "delay(%.3fs)" s
+
+type byzantine_mode =
+  | Malformed_ciphertexts
+  | Wrong_partition_ids
+  | Stale_commutative_key
+  | Garbage_paillier
+
+let mode_name = function
+  | Malformed_ciphertexts -> "malformed-ciphertexts"
+  | Wrong_partition_ids -> "wrong-partition-ids"
+  | Stale_commutative_key -> "stale-commutative-key"
+  | Garbage_paillier -> "garbage-paillier"
+
+let mode_of_name = function
+  | "malformed-ciphertexts" -> Some Malformed_ciphertexts
+  | "wrong-partition-ids" -> Some Wrong_partition_ids
+  | "stale-commutative-key" -> Some Stale_commutative_key
+  | "garbage-paillier" -> Some Garbage_paillier
+  | _ -> None
+
+type rule = {
+  rule_sender : Transcript.party option;
+  rule_receiver : Transcript.party option;
+  rule_label : string option;
+  rule_action : action;
+  mutable remaining : int;
+}
+
+let rule ?sender ?receiver ?label ?(times = max_int) action =
+  {
+    rule_sender = sender;
+    rule_receiver = receiver;
+    rule_label = label;
+    rule_action = action;
+    remaining = times;
+  }
+
+type event = {
+  event_sender : Transcript.party;
+  event_receiver : Transcript.party;
+  event_label : string;
+  event_action : action;
+  detail : string;
+}
+
+type failure = { phase : string; party : Transcript.party; reason : string }
+
+exception Fault_detected of failure
+
+let fail ~phase ~party reason = raise (Fault_detected { phase; party; reason })
+
+type plan = {
+  prng : Prng.t;
+  rules : rule list;
+  byzantine : (int * byzantine_mode) list;
+  retry_budget : int;
+  mutable rev_events : event list;
+  mutable attempt : int;
+  mutable pending_note : string option;
+  mutable last_failure : failure option;
+  mutable simulated_delay : float;
+}
+
+let plan ?(seed = 0) ?(max_retries = 2) ?(byzantine = []) rules =
+  {
+    prng = Prng.create ~seed:(Printf.sprintf "fault-plan-%d" seed);
+    rules;
+    byzantine;
+    retry_budget = max_retries;
+    rev_events = [];
+    attempt = 1;
+    pending_note = None;
+    last_failure = None;
+    simulated_delay = 0.0;
+  }
+
+let events p = List.rev p.rev_events
+
+let simulated_delay p = p.simulated_delay
+
+let attempts p = p.attempt
+
+let byzantine_mode plan source =
+  match plan with None -> None | Some p -> List.assoc_opt source p.byzantine
+
+let auditing = function None -> false | Some _ -> true
+
+let max_retries = function None -> 0 | Some p -> p.retry_budget
+
+(* Retrying cannot clear a byzantine datasource, only transient channel
+   faults. *)
+let retryable = function
+  | None -> false
+  | Some p -> p.byzantine = []
+
+let start_attempt plan ~attempt =
+  match plan with
+  | None -> ()
+  | Some p ->
+    p.attempt <- attempt;
+    if attempt > 1 then
+      let why =
+        match p.last_failure with
+        | None -> "transient fault"
+        | Some f -> Printf.sprintf "%s at %s: %s" f.phase (Transcript.party_name f.party) f.reason
+      in
+      p.pending_note <-
+        Some (Printf.sprintf "retry: attempt %d with a fresh request after %s" attempt why)
+
+let attach plan transcript =
+  match plan with
+  | None -> ()
+  | Some p ->
+    (match p.pending_note with
+     | None -> ()
+     | Some text ->
+       Transcript.note transcript text;
+       p.pending_note <- None)
+
+(* ------------------------------------------------------------------ *)
+(* Channel tampering.
+
+   Payload-carrying messages travel in an integrity envelope: the sender
+   appends a 16-byte SHA-256 tag over (label, payload), so a receiver
+   detects truncation and byte corruption at the frame boundary instead of
+   crashing deep inside a parser.  Byzantine *content* (validly framed but
+   semantically malformed) is the receiver-side validators' job. *)
+
+let tag_bytes = 16
+
+let tag ~label payload =
+  String.sub (Sha256.digest ("secmed-frame\x00" ^ label ^ "\x00" ^ payload)) 0 tag_bytes
+
+let frame ~label payload = payload ^ tag ~label payload
+
+let unframe ~label framed =
+  let n = String.length framed in
+  if n < tag_bytes then Error "frame truncated below the integrity tag"
+  else begin
+    let payload = String.sub framed 0 (n - tag_bytes) in
+    if Bytes_util.constant_time_equal (String.sub framed (n - tag_bytes) tag_bytes)
+         (tag ~label payload)
+    then Ok payload
+    else Error "integrity tag mismatch"
+  end
+
+let rule_matches ~sender ~receiver ~label r =
+  r.remaining > 0
+  && (match r.rule_sender with None -> true | Some p -> Transcript.party_equal p sender)
+  && (match r.rule_receiver with None -> true | Some p -> Transcript.party_equal p receiver)
+  && (match r.rule_label with None -> true | Some l -> String.equal l label)
+
+let record_event p transcript ~sender ~receiver ~label ~action detail =
+  p.rev_events <-
+    { event_sender = sender; event_receiver = receiver; event_label = label;
+      event_action = action; detail }
+    :: p.rev_events;
+  Transcript.note transcript
+    (Printf.sprintf "fault: %s on %s (%s -> %s): %s" (action_name action) label
+       (Transcript.party_name sender) (Transcript.party_name receiver) detail)
+
+let deliver p transcript ~phase ~sender ~receiver ~label payload =
+  match List.find_opt (rule_matches ~sender ~receiver ~label) p.rules with
+  | None -> payload
+  | Some r ->
+    r.remaining <- r.remaining - 1;
+    let event = record_event p transcript ~sender ~receiver ~label ~action:r.rule_action in
+    let detect framed =
+      match unframe ~label framed with
+      | Ok payload -> payload
+      | Error reason ->
+        fail ~phase ~party:receiver (Printf.sprintf "%s rejected: %s" label reason)
+    in
+    match r.rule_action with
+    | Drop ->
+      event "message lost in transit";
+      fail ~phase ~party:receiver (Printf.sprintf "%s never arrived (timeout)" label)
+    | Delay seconds ->
+      p.simulated_delay <- p.simulated_delay +. seconds;
+      event (Printf.sprintf "delivery delayed by %.3fs" seconds);
+      payload
+    | Duplicate ->
+      (* The copy really travels — account for it — but the receiver
+         discards the replay (sequence numbers), so content is unchanged. *)
+      Transcript.record transcript ~sender ~receiver ~label:(label ^ "(dup)")
+        ~size:(String.length payload);
+      event "duplicate delivered; receiver discarded the replayed copy";
+      payload
+    | Truncate n ->
+      let framed = frame ~label payload in
+      let keep = Stdlib.max 0 (String.length framed - Stdlib.max 1 n) in
+      event (Printf.sprintf "truncated to %d of %d bytes" keep (String.length framed));
+      detect (String.sub framed 0 keep)
+    | Corrupt n ->
+      let framed = Bytes.of_string (frame ~label payload) in
+      for _ = 1 to Stdlib.max 1 n do
+        let i = Prng.uniform_int p.prng (Bytes.length framed) in
+        let bit = 1 lsl Prng.uniform_int p.prng 8 in
+        Bytes.set framed i (Char.chr (Char.code (Bytes.get framed i) lxor bit))
+      done;
+      event (Printf.sprintf "%d byte(s) corrupted" (Stdlib.max 1 n));
+      detect (Bytes.to_string framed)
+
+(* Byzantine helper: damage a ciphertext without breaking its framing —
+   flipping the last byte (MAC / tag material in every ciphertext format
+   used here) guarantees an authentication failure at the decryptor while
+   the blob still parses structurally. *)
+let flip_tail s =
+  let n = String.length s in
+  if n = 0 then s
+  else String.init n (fun i -> if i = n - 1 then Char.chr (Char.code s.[i] lxor 1) else s.[i])
+
+(* The honest path never forces the payload thunk, so fault support is
+   free when no plan is installed. *)
+let guard plan transcript ~phase ~sender ~receiver ~label payload =
+  match plan with
+  | None -> ()
+  | Some p -> ignore (deliver p transcript ~phase ~sender ~receiver ~label (payload ()))
+
+(* ------------------------------------------------------------------ *)
+(* Textual fault specs (the CLI's --fault flag). *)
+
+let party_of_name name =
+  match String.lowercase_ascii name with
+  | "*" | "any" -> Ok None
+  | "client" -> Ok (Some Transcript.Client)
+  | "mediator" -> Ok (Some Transcript.Mediator)
+  | "ca" | "authority" -> Ok (Some Transcript.Authority)
+  | s ->
+    let digits =
+      if String.length s > 6 && String.sub s 0 6 = "source" then
+        Some (String.sub s 6 (String.length s - 6))
+      else if String.length s > 1 && s.[0] = 's' then Some (String.sub s 1 (String.length s - 1))
+      else None
+    in
+    (match Option.bind digits int_of_string_opt with
+     | Some i -> Ok (Some (Transcript.Source i))
+     | None -> Error (Printf.sprintf "unknown party %S" name))
+
+let clause_error clause detail = Error (Printf.sprintf "clause %S: %s" clause detail)
+
+(* ACTION:FROM->TO[:LABEL][:times=N] *)
+let parse_rule_clause clause = function
+  | action_name :: link :: rest ->
+    let action =
+      match String.lowercase_ascii action_name with
+      | "drop" -> Ok Drop
+      | "duplicate" -> Ok Duplicate
+      | "truncate" -> Ok (Truncate 4)
+      | "corrupt" -> Ok (Corrupt 1)
+      | "delay" -> Ok (Delay 0.05)
+      | other -> clause_error clause (Printf.sprintf "unknown action %S" other)
+    in
+    let options, plain = List.partition (fun f -> String.contains f '=') rest in
+    let label = match plain with [] | "*" :: _ -> None | l :: _ -> Some l in
+    let times =
+      List.fold_left
+        (fun acc field ->
+          match String.split_on_char '=' field with
+          | [ "times"; n ] -> Option.value ~default:acc (int_of_string_opt n)
+          | _ -> acc)
+        max_int options
+    in
+    (match String.index_opt link '>' with
+     | Some i when i > 0 && link.[i - 1] = '-' ->
+       let from_part = String.sub link 0 (i - 1) in
+       let to_part = String.sub link (i + 1) (String.length link - i - 1) in
+       (match (action, party_of_name from_part, party_of_name to_part) with
+        | Ok action, Ok sender, Ok receiver ->
+          Ok (rule ?sender ?receiver ?label ~times action)
+        | (Error _ as e), _, _ -> e
+        | _, Error e, _ | _, _, Error e -> clause_error clause e)
+     | _ -> clause_error clause "expected FROM->TO link")
+  | _ -> clause_error clause "expected ACTION:FROM->TO[:LABEL[:times=N]]"
+
+let of_spec spec =
+  let clauses =
+    List.filter (fun s -> s <> "") (List.map String.trim (String.split_on_char ';' spec))
+  in
+  let rec go seed retries byzantine rules = function
+    | [] -> Ok (plan ~seed ~max_retries:retries ~byzantine (List.rev rules))
+    | clause :: tail ->
+      let fields = String.split_on_char ':' clause in
+      (match fields with
+       | [ kv ] when String.contains kv '=' ->
+         (match String.split_on_char '=' kv with
+          | [ "seed"; n ] ->
+            (match int_of_string_opt n with
+             | Some seed -> go seed retries byzantine rules tail
+             | None -> clause_error clause "seed needs an integer")
+          | [ "retries"; n ] ->
+            (match int_of_string_opt n with
+             | Some retries -> go seed retries byzantine rules tail
+             | None -> clause_error clause "retries needs an integer")
+          | _ -> clause_error clause "unknown setting")
+       | "byzantine" :: source :: mode :: _ ->
+         (match (int_of_string_opt source, mode_of_name mode) with
+          | Some sid, Some mode -> go seed retries ((sid, mode) :: byzantine) rules tail
+          | None, _ -> clause_error clause "byzantine needs a source id"
+          | _, None -> clause_error clause (Printf.sprintf "unknown byzantine mode %S" mode))
+       | fields ->
+         (match parse_rule_clause clause fields with
+          | Ok r -> go seed retries byzantine (r :: rules) tail
+          | Error _ as e -> e))
+  in
+  go 0 2 [] [] clauses
+
+let pp_event fmt e =
+  Format.fprintf fmt "%s on %s (%s -> %s): %s" (action_name e.event_action) e.event_label
+    (Transcript.party_name e.event_sender)
+    (Transcript.party_name e.event_receiver)
+    e.detail

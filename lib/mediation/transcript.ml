@@ -20,14 +20,24 @@ type message = {
   size : int;
 }
 
-type t = { mutable rev_messages : message list; mutable next_seq : int }
+type note = { at_seq : int; text : string }
 
-let create () = { rev_messages = []; next_seq = 0 }
+type t = {
+  mutable rev_messages : message list;
+  mutable rev_notes : note list;
+  mutable next_seq : int;
+}
+
+let create () = { rev_messages = []; rev_notes = []; next_seq = 0 }
 
 let record t ~sender ~receiver ~label ~size =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   t.rev_messages <- { seq; sender; receiver; label; size } :: t.rev_messages
+
+let note t text = t.rev_notes <- { at_seq = t.next_seq; text } :: t.rev_notes
+
+let notes t = List.rev t.rev_notes
 
 let messages t = List.rev t.rev_messages
 
@@ -161,4 +171,7 @@ let summary t =
     (List.rev !order);
   Buffer.add_string buf
     (Printf.sprintf "total: %d messages, %d bytes\n" (message_count t) (total_bytes t));
+  List.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "note (seq %d): %s\n" n.at_seq n.text))
+    (notes t);
   Buffer.contents buf

@@ -22,10 +22,22 @@ type message = {
   size : int;      (** wire bytes *)
 }
 
+(** Out-of-band annotation attached to the transcript at a message
+    position — injected faults, retries, and other events the
+    communication accounting must stay truthful about. *)
+type note = {
+  at_seq : int;  (** sequence number the note precedes *)
+  text : string;
+}
+
 type t
 
 val create : unit -> t
 val record : t -> sender:party -> receiver:party -> label:string -> size:int -> unit
+val note : t -> string -> unit
+val notes : t -> note list
+(** In insertion order; also appended to {!summary}. *)
+
 val messages : t -> message list
 (** In transmission order. *)
 

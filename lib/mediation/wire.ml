@@ -1,6 +1,10 @@
 open Secmed_bigint
 open Secmed_crypto
 
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun msg -> raise (Malformed msg)) fmt
+
 type writer = Buffer.t
 
 let writer () = Buffer.create 128
@@ -26,9 +30,12 @@ type reader = { data : string; mutable pos : int }
 
 let reader data = { data; pos = 0 }
 
+let remaining r = String.length r.data - r.pos
+
 let need r n =
+  if n < 0 then malformed "negative field length %d at offset %d" n r.pos;
   if r.pos + n > String.length r.data then
-    invalid_arg "Wire.reader: truncated message"
+    malformed "truncated message: need %d bytes at offset %d, %d remain" n r.pos (remaining r)
 
 let read_int r =
   need r 8;
@@ -54,9 +61,14 @@ let read_list r read_elem =
   need r 4;
   let count = Bytes_util.read_be32 r.data r.pos in
   r.pos <- r.pos + 4;
+  (* A corrupted count must not drive the allocation: every element
+     consumes at least one byte of the remaining input, so the count is
+     bounded by it. *)
+  if count > remaining r then
+    malformed "list count %d exceeds the %d remaining bytes" count (remaining r);
   List.init count (fun _ -> read_elem ())
 
 let at_end r = r.pos = String.length r.data
 
 let expect_end r =
-  if not (at_end r) then invalid_arg "Wire.reader: trailing bytes"
+  if not (at_end r) then malformed "%d trailing bytes at offset %d" (remaining r) r.pos

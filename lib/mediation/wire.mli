@@ -2,7 +2,15 @@
 
     Everything a party transmits is serialized through this module so that
     communication volumes in the transcripts are real byte counts, not
-    estimates. *)
+    estimates.
+
+    Readers are hardened against adversarial input: every [read_*] either
+    returns a value or raises {!Malformed} — never [Invalid_argument], an
+    out-of-bounds access, or an attempt to allocate a structure larger than
+    the message that claims to contain it. *)
+
+exception Malformed of string
+(** The only failure readers are allowed to surface. *)
 
 type writer
 
@@ -24,10 +32,17 @@ val contents : writer -> string
 type reader
 
 val reader : string -> reader
+val remaining : reader -> int
+(** Bytes left to read. *)
+
 val read_int : reader -> int
 val read_string : reader -> string
 val read_bigint : reader -> Secmed_bigint.Bigint.t
+
 val read_list : reader -> (unit -> 'a) -> 'a list
+(** The declared count is capped by the remaining bytes before any element
+    is read, so a corrupted count prefix cannot drive a huge allocation. *)
+
 val at_end : reader -> bool
 val expect_end : reader -> unit
-(** Raises [Invalid_argument] when bytes remain. *)
+(** Raises {!Malformed} when bytes remain. *)

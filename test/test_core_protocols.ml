@@ -243,7 +243,7 @@ let test_root_of_value_deterministic () =
 
 let run_scheme ?spec scheme =
   let env, client, query = scenario ?spec () in
-  Protocol.run scheme env client ~query
+  Protocol.run_exn scheme env client ~query
 
 let check_correct name outcome =
   if not (Outcome.correct outcome) then
@@ -287,8 +287,8 @@ let test_pm_variants_agree () =
   let params = { Env.group_bits = 160; paillier_bits = 768 } in
   let spec = { small_spec with rows_left = 6; rows_right = 6; extra_attrs = 0 } in
   let env, client, query = Workload.scenario ~params spec in
-  let direct = Protocol.run (Protocol.Private_matching Pm_join.Direct_payload) env client ~query in
-  let session = Protocol.run (Protocol.Private_matching Pm_join.Session_keys) env client ~query in
+  let direct = Protocol.run_exn (Protocol.Private_matching Pm_join.Direct_payload) env client ~query in
+  let session = Protocol.run_exn (Protocol.Private_matching Pm_join.Session_keys) env client ~query in
   check_correct "pm-direct" direct;
   check_correct "pm-session" session;
   Alcotest.(check bool) "same result" true
@@ -378,7 +378,7 @@ let test_multi_attribute_join () =
   Alcotest.(check int) "expected pairs" 3 g.Ground_truth.exact_join_pairs;
   List.iter
     (fun scheme ->
-      let o = Protocol.run scheme env client ~query in
+      let o = Protocol.run_exn scheme env client ~query in
       check_correct ("multi-attr " ^ Protocol.scheme_name scheme) o;
       Alcotest.(check int)
         ("multi-attr size " ^ Protocol.scheme_name scheme)
@@ -393,7 +393,7 @@ let test_multi_attribute_leakage () =
   let client = Env.make_client env ~identity:"m2" ~properties:[ [] ] in
   let query = "select * from Readings natural join Shifts" in
   let g = Ground_truth.compute_keys left right ~join_attrs:[ "day"; "site" ] in
-  let o = Protocol.run (Protocol.Commutative { use_ids = false }) env client ~query in
+  let o = Protocol.run_exn (Protocol.Commutative { use_ids = false }) env client ~query in
   let claims = Leakage.verify o ~ground_truth:g in
   if not (Leakage.all_hold claims) then
     Alcotest.failf "multi-attribute leakage claims violated:\n%s"
@@ -453,13 +453,13 @@ let test_das_translator_settings () =
 
 let test_superset_behaviour () =
   let env, client, query = scenario () in
-  let das = Protocol.run (Protocol.Das (Das_partition.Equi_depth 2, Das.Pair_index)) env client ~query in
-  let commutative = Protocol.run (Protocol.Commutative { use_ids = false }) env client ~query in
+  let das = Protocol.run_exn (Protocol.Das (Das_partition.Equi_depth 2, Das.Pair_index)) env client ~query in
+  let commutative = Protocol.run_exn (Protocol.Commutative { use_ids = false }) env client ~query in
   Alcotest.(check bool) "das superset factor >= 1" true (Outcome.superset_factor das >= 1.0);
   Alcotest.(check (float 0.0001)) "commutative exact" 1.0 (Outcome.superset_factor commutative);
   (* Finer DAS partitions shrink the superset. *)
   let das_fine =
-    Protocol.run (Protocol.Das (Das_partition.Singleton, Das.Pair_index)) env client ~query
+    Protocol.run_exn (Protocol.Das (Das_partition.Singleton, Das.Pair_index)) env client ~query
   in
   Alcotest.(check bool) "singleton minimizes superset" true
     (das_fine.Outcome.client_received_tuples <= das.Outcome.client_received_tuples)
@@ -471,7 +471,7 @@ let test_residual_query_clauses () =
   let query = "select distinct a_join from R1 natural join R2 where a_join >= 0" in
   List.iter
     (fun scheme ->
-      let o = Protocol.run scheme env client ~query in
+      let o = Protocol.run_exn scheme env client ~query in
       check_correct (Protocol.scheme_name scheme) o;
       Alcotest.(check (list string)) "projected schema" [ "R1.a_join" ]
         (Schema.names (Relation.schema o.Outcome.result)))
@@ -655,7 +655,7 @@ let test_setop_right_source_ships_no_tuples () =
   let client = Env.make_client env ~identity:"t" ~properties:[ [] ] in
   let semi = Set_ops.run ~on:[ "part" ] env client Set_ops.Semi_join ~left:"Stock" ~right:"Order" in
   let join =
-    Protocol.run (Protocol.Commutative { use_ids = false }) env client
+    Protocol.run_exn (Protocol.Commutative { use_ids = false }) env client
       ~query:"select * from Stock natural join Order"
   in
   let sent o = Transcript.bytes_sent_by o.Outcome.transcript (Transcript.Source 2) in
@@ -1012,7 +1012,7 @@ let test_aggregate_via_join_protocols () =
   let env = agg_env () in
   let client = Env.make_client env ~identity:"agg2" ~properties:[ [] ] in
   let query = "select cust, sum(amount) as spent from Customers natural join Orders group by cust" in
-  let via_join = Protocol.run (Protocol.Commutative { use_ids = false }) env client ~query in
+  let via_join = Protocol.run_exn (Protocol.Commutative { use_ids = false }) env client ~query in
   let via_agg = Aggregate_join.run env client ~query in
   check_correct "via join" via_join;
   check_correct "via aggregate protocol" via_agg;
@@ -1048,7 +1048,7 @@ let prop_random_workloads =
          in
          let env, client, query = Workload.scenario ~params:fast spec in
          let scheme = List.nth Protocol.all_schemes scheme_index in
-         let o = Protocol.run scheme env client ~query in
+         let o = Protocol.run_exn scheme env client ~query in
          Outcome.correct o))
 
 let prop_setops_algebra =
@@ -1091,7 +1091,7 @@ let test_leakage_claims_hold () =
   let g = Ground_truth.compute left right ~join_attr:"a_join" in
   List.iter
     (fun scheme ->
-      let o = Protocol.run scheme env client ~query in
+      let o = Protocol.run_exn scheme env client ~query in
       let claims = Leakage.verify o ~ground_truth:g in
       Alcotest.(check bool)
         (Protocol.scheme_name scheme ^ " has claims")
@@ -1103,7 +1103,7 @@ let test_leakage_claims_hold () =
 
 let test_table_rendering () =
   let env, client, query = scenario () in
-  let outcomes = List.map (fun s -> Protocol.run s env client ~query) Protocol.paper_schemes in
+  let outcomes = List.map (fun s -> Protocol.run_exn s env client ~query) Protocol.paper_schemes in
   let t1 = Leakage.table1 outcomes and t2 = Leakage.table2 outcomes in
   Alcotest.(check bool) "table1 non-trivial" true (String.length t1 > 100);
   Alcotest.(check bool) "table2 non-trivial" true (String.length t2 > 100);
@@ -1118,7 +1118,7 @@ let test_table_rendering () =
 let test_counters_match_paper_table2 () =
   let env, client, query = scenario () in
   let counts scheme primitive =
-    let o = Protocol.run scheme env client ~query in
+    let o = Protocol.run_exn scheme env client ~query in
     Option.value ~default:0 (List.assoc_opt primitive o.Outcome.counters)
   in
   (* DAS uses the collision-free hash, no commutative or homomorphic ops. *)
@@ -1146,11 +1146,11 @@ let test_transcript_interactions () =
   let env, client, query = scenario () in
   (* Commutative: each source sends twice (M_i, then the re-encrypted
      set) — "they have to interact twice with the mediator". *)
-  let o = Protocol.run (Protocol.Commutative { use_ids = false }) env client ~query in
+  let o = Protocol.run_exn (Protocol.Commutative { use_ids = false }) env client ~query in
   Alcotest.(check int) "source-1 sends twice" 2
     (Transcript.sends_by o.Outcome.transcript (Transcript.Source 1));
   (* DAS: the client interacts twice (global query, then q_S). *)
-  let o = Protocol.run (Protocol.Das (Das_partition.Equi_depth 3, Das.Pair_index)) env client ~query in
+  let o = Protocol.run_exn (Protocol.Das (Das_partition.Equi_depth 3, Das.Pair_index)) env client ~query in
   Alcotest.(check int) "das client sends twice" 2
     (Transcript.sends_by o.Outcome.transcript Transcript.Client);
   (* DAS sources send only once — "the most convenient one". *)
@@ -1203,7 +1203,7 @@ let test_access_full () =
   in
   List.iter
     (fun scheme ->
-      let o = Protocol.run scheme env client ~query:query_rb in
+      let o = Protocol.run_exn scheme env client ~query:query_rb in
       check_correct (Protocol.scheme_name scheme) o;
       Alcotest.(check int) "all rows" 3 (Relation.cardinality o.Outcome.result))
     Protocol.paper_schemes
@@ -1215,7 +1215,7 @@ let test_access_filtered () =
   in
   List.iter
     (fun scheme ->
-      let o = Protocol.run scheme env client ~query:query_rb in
+      let o = Protocol.run_exn scheme env client ~query:query_rb in
       check_correct (Protocol.scheme_name scheme) o;
       (* Row with public=false is filtered before the join. *)
       Alcotest.(check int) "filtered rows" 2 (Relation.cardinality o.Outcome.result))
@@ -1226,7 +1226,7 @@ let test_access_denied () =
   let client =
     Env.make_client env ~identity:"rando" ~properties:[ [ Credential.property "role" "visitor" ] ]
   in
-  match Protocol.run (Protocol.Commutative { use_ids = false }) env client ~query:query_rb with
+  match Protocol.run_exn (Protocol.Commutative { use_ids = false }) env client ~query:query_rb with
   | exception Request.Access_denied 1 -> ()
   | exception Request.Access_denied i -> Alcotest.failf "denied by unexpected source %d" i
   | _ -> Alcotest.fail "visitor must be denied"
@@ -1239,7 +1239,7 @@ let test_bad_credential_rejected () =
     Env.make_client rogue_env ~identity:"doc"
       ~properties:[ [ Credential.property "role" "physician" ] ]
   in
-  match Protocol.run (Protocol.Commutative { use_ids = false }) env client ~query:query_rb with
+  match Protocol.run_exn (Protocol.Commutative { use_ids = false }) env client ~query:query_rb with
   | exception Request.Bad_credential _ -> ()
   | _ -> Alcotest.fail "foreign credential must be rejected"
 
@@ -1251,7 +1251,7 @@ let test_credential_subset_selection () =
         [ [ Credential.property "role" "physician" ];
           [ Credential.property "hobby" "chess" ] ]
   in
-  let o = Protocol.run Protocol.Plain env client ~query:query_rb in
+  let o = Protocol.run_exn Protocol.Plain env client ~query:query_rb in
   check_correct "subset selection still authorizes" o
 
 (* ------------------------------------------------------------------ *)
@@ -1299,7 +1299,7 @@ let test_protocol_names () =
 
 let test_outcome_accessors () =
   let env, client, query = scenario () in
-  let o = Protocol.run (Protocol.Commutative { use_ids = false }) env client ~query in
+  let o = Protocol.run_exn (Protocol.Commutative { use_ids = false }) env client ~query in
   Alcotest.(check bool) "timings recorded" true (List.length o.Outcome.timings >= 3);
   Alcotest.(check bool) "total positive" true (Outcome.timing_total o > 0.0);
   Alcotest.(check bool) "summary renders" true
