@@ -1,6 +1,6 @@
 # Convenience entry points; everything below is plain dune.
 
-.PHONY: all check test check-fault bench bench-json clean
+.PHONY: all check test check-fault check-obs bench bench-json clean
 
 all:
 	dune build
@@ -14,6 +14,16 @@ test: check
 # randomized tests run under a fixed seed baked into the test file).
 check-fault:
 	dune exec test/test_fault.exe
+
+# Telemetry suite: the obs unit/differential tests, a traced run whose
+# output must parse, and BENCH_protocols.json regeneration + schema
+# validation (small domain so it stays CI-fast).
+check-obs:
+	dune exec test/test_obs.exe
+	dune exec bin/secmed.exe -- run --scheme pm --rows 16 --distinct 8 --overlap 4 \
+	    --trace _build/trace_ci.json
+	dune exec bench/main.exe -- json-protocols --sizes 4
+	dune exec bin/secmed.exe -- check-bench BENCH_protocols.json
 
 # Full benchmark/reproduction suite (slow).
 bench:

@@ -42,13 +42,14 @@ let fmt_bytes b =
   else if b >= 1024 then Printf.sprintf "%.1f KiB" (float_of_int b /. 1024.0)
   else Printf.sprintf "%d B" b
 
-(* Direct timing: median over [runs] repetitions. *)
+(* Direct timing: median over [runs] repetitions, on the monotonic clock
+   (wall-clock steps from NTP would silently skew gettimeofday samples). *)
 let time_median ?(runs = 3) f =
   let samples =
     List.init runs (fun _ ->
-        let t0 = Unix.gettimeofday () in
+        let t0 = Secmed_obs.Clock.now_ns () in
         ignore (f ());
-        Unix.gettimeofday () -. t0)
+        Secmed_obs.Clock.ns_to_s (Secmed_obs.Clock.elapsed_ns ~since:t0))
   in
   match List.sort compare samples with
   | [] -> 0.0

@@ -64,8 +64,13 @@ let experiments : (string * string * (unit -> unit) Term.t) list =
      Term.(const (fun () () -> Ablations.das_settings ()) $ const ()));
     ("micro", "Bechamel microbenchmarks of the crypto primitives",
      Term.(const (fun () () -> Ablations.micro ()) $ const ()));
-    ("json", "Write BENCH_modexp.json: machine-readable mod-exp + perf trajectory",
-     Term.(const (fun sizes () -> Ablations.modexp_json ~sizes ()) $ sizes_arg));
+    ("json", "Write BENCH_modexp.json and BENCH_protocols.json (full machine-readable record)",
+     Term.(const (fun sizes () ->
+               Ablations.modexp_json ~sizes ();
+               Protocols_json.write ~sizes ())
+           $ sizes_arg));
+    ("json-protocols", "Write only BENCH_protocols.json: per-scheme/phase/party costs",
+     Term.(const (fun sizes () -> Protocols_json.write ~sizes ()) $ sizes_arg));
   ]
 
 let run_all () =

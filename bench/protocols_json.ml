@@ -1,0 +1,103 @@
+(* BENCH_protocols.json: machine-readable end-to-end protocol costs —
+   per scheme and domain size, wall clock split by phase, and bytes /
+   sends / rounds / crypto-primitive counts split by party.  The schema
+   is validated by `secmed check-bench` (and by make check-obs in CI),
+   so downstream tooling can rely on the keys staying put. *)
+
+open Secmed_crypto
+open Secmed_mediation
+open Secmed_core
+module Json = Secmed_obs.Json
+
+let counts_json counts =
+  Json.Obj
+    (List.filter_map
+       (fun (p, n) -> if n = 0 then None else Some (Counters.name p, Json.Int n))
+       counts)
+
+(* The per-party view: communication from the transcript, crypto ops per
+   phase from the scoped attribution. *)
+let parties_json outcome =
+  let tr = outcome.Outcome.transcript in
+  Json.Obj
+    (List.map
+       (fun party ->
+         let name = Transcript.party_name party in
+         let phases =
+           List.filter_map
+             (fun ((p, phase), counts) ->
+               if String.equal p name then Some (phase, counts_json counts) else None)
+             outcome.Outcome.attributed
+         in
+         ( name,
+           Json.Obj
+             [
+               ("bytes_sent", Json.Int (Transcript.bytes_sent_by tr party));
+               ("bytes_received", Json.Int (Transcript.bytes_received_by tr party));
+               ("messages_sent", Json.Int (Transcript.sends_by tr party));
+               ("ops_by_phase", Json.Obj phases);
+             ] ))
+       (Transcript.parties tr))
+
+let rounds_json outcome =
+  let tr = outcome.Outcome.transcript in
+  Json.Obj
+    (List.filter_map
+       (fun party ->
+         if Transcript.party_equal party Transcript.Mediator then None
+         else
+           Some
+             ( Transcript.party_name party,
+               Json.Int (Transcript.rounds tr party Transcript.Mediator) ))
+       (Transcript.parties tr))
+
+let entry ~size scheme env client ~query =
+  let t0 = Secmed_obs.Clock.now_ns () in
+  let outcome = Protocol.run_exn scheme env client ~query in
+  let seconds = Secmed_obs.Clock.ns_to_s (Secmed_obs.Clock.elapsed_ns ~since:t0) in
+  let tr = outcome.Outcome.transcript in
+  Json.Obj
+    [
+      ("scheme", Json.Str (Protocol.scheme_name scheme));
+      ("domain_size", Json.Int size);
+      ("correct", Json.Bool (Outcome.correct outcome));
+      ("seconds", Json.Float seconds);
+      ( "phases",
+        Json.Obj (List.map (fun (phase, s) -> (phase, Json.Float s)) outcome.Outcome.timings)
+      );
+      ("parties", parties_json outcome);
+      ("messages", Json.Int (Transcript.message_count tr));
+      ("bytes", Json.Int (Transcript.total_bytes tr));
+      ("rounds", rounds_json outcome);
+      ("counters", counts_json outcome.Outcome.counters);
+    ]
+
+let write ?(path = "BENCH_protocols.json") ~sizes () =
+  let entries =
+    List.concat_map
+      (fun size ->
+        let env, client, query =
+          Workload.scenario ~params:Experiments.bench_params
+            (Experiments.spec_for_domain size)
+        in
+        List.map (fun scheme -> entry ~size scheme env client ~query) Protocol.all_schemes)
+      sizes
+  in
+  let json =
+    Json.Obj
+      [
+        ( "params",
+          Json.Obj
+            [
+              ("group_bits", Json.Int Experiments.bench_params.Env.group_bits);
+              ("paillier_bits", Json.Int Experiments.bench_params.Env.paillier_bits);
+            ] );
+        ("sizes", Json.List (List.map (fun s -> Json.Int s) sizes));
+        ("schemes", Json.List entries);
+      ]
+  in
+  let contents = Json.to_string_pretty json ^ "\n" in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "wrote %s (%d bytes)\n" path (String.length contents)

@@ -77,6 +77,27 @@ let report outcome ~verbose ~ground_truth =
     print_endline (Transcript.flow_diagram outcome.Outcome.transcript)
   end
 
+module Obs = Secmed_obs
+
+let trace_arg =
+  let doc =
+    "Write a machine-readable trace of the run to $(docv): Chrome \
+     trace-event JSON (load in chrome://tracing or Perfetto), or a compact \
+     JSONL stream when $(docv) ends in .jsonl."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let write_trace path trace =
+  let contents =
+    match Obs.Export.format_of_path path with
+    | `Chrome -> Obs.Export.chrome_json trace
+    | `Jsonl -> Obs.Export.jsonl trace
+  in
+  Obs.Export.write_file path contents;
+  Printf.printf "\ntrace: %s (%d spans, %d events)\n" path
+    (List.length (Obs.Trace.spans trace))
+    (List.length (Obs.Trace.events trace))
+
 (* ------------------------------------------------------------------ *)
 (* secmed run *)
 
@@ -92,7 +113,7 @@ let run_cmd =
   let strings =
     Arg.(value & flag & info [ "strings" ] ~doc:"Use string-typed join values.")
   in
-  let action scheme rows distinct overlap seed strings fault verbose =
+  let action scheme rows distinct overlap seed strings fault trace_file verbose =
     let spec =
       {
         Workload.default with
@@ -108,20 +129,25 @@ let run_cmd =
     Workload.validate spec;
     let env, client, query = Workload.scenario spec in
     Printf.printf "scheme: %s\nquery:  %s\n\n" (Protocol.scheme_name scheme) query;
-    match Protocol.run ?fault scheme env client ~query with
+    let run_result, trace =
+      Obs.Trace.collect (fun () -> Protocol.run ?fault scheme env client ~query)
+    in
+    match run_result with
     | Protocol.Ok outcome ->
       let left, right = Workload.generate spec in
       report outcome ~verbose
         ~ground_truth:(Some (Ground_truth.compute left right ~join_attr:"a_join"));
-      print_fault_events fault
+      print_fault_events fault;
+      Option.iter (fun path -> write_trace path trace) trace_file
     | Protocol.Fault f ->
       Format.printf "FAULT: %a@." Protocol.pp_failure f;
       print_fault_events fault;
+      Option.iter (fun path -> write_trace path trace) trace_file;
       exit 3
   in
   let term =
     Term.(const action $ scheme_arg $ rows $ distinct $ overlap $ seed $ strings $ fault_arg
-          $ verbose_arg)
+          $ trace_arg $ verbose_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one protocol over a synthetic workload") term
 
@@ -347,6 +373,86 @@ let select_cmd =
     Term.(const action $ partitions $ rows $ sql $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
+(* secmed report *)
+
+let report_cmd =
+  let rows = Arg.(value & opt int 32 & info [ "rows" ] ~docv:"N" ~doc:"Rows per relation.") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.") in
+  let all =
+    Arg.(value & flag & info [ "all" ] ~doc:"Report every scheme, not just the selected one.")
+  in
+  let action scheme rows seed all =
+    let spec = { Workload.default with rows_left = rows; rows_right = rows; seed } in
+    Workload.validate spec;
+    let env, client, query = Workload.scenario spec in
+    let schemes = if all then Protocol.all_schemes else [ scheme ] in
+    List.iter
+      (fun scheme ->
+        let outcome, trace =
+          Obs.Trace.collect (fun () -> Protocol.run_exn scheme env client ~query)
+        in
+        Printf.printf "%s  (%d messages, %d bytes)\n"
+          (Protocol.scheme_name scheme)
+          (Transcript.message_count outcome.Outcome.transcript)
+          (Transcript.total_bytes outcome.Outcome.transcript);
+        print_string (Obs.Report.of_trace trace);
+        print_newline ())
+      schemes
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Render the per-party / per-phase cost matrix (time and crypto operations) \
+             of a traced protocol run")
+    Term.(const action $ scheme_arg $ rows $ seed $ all)
+
+(* ------------------------------------------------------------------ *)
+(* secmed check-bench *)
+
+let check_bench_cmd =
+  let file =
+    Arg.(value & pos 0 string "BENCH_protocols.json"
+         & info [] ~docv:"FILE" ~doc:"Benchmark JSON to validate.")
+  in
+  let action file =
+    let contents =
+      let ic = open_in file in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+          really_input_string ic (in_channel_length ic))
+    in
+    let fail : 'a. string -> 'a =
+     fun msg ->
+      Printf.eprintf "%s: %s\n" file msg;
+      exit 1
+    in
+    match Obs.Json.parse contents with
+    | Error e -> fail ("invalid JSON: " ^ e)
+    | Ok json ->
+      let str = function Some (Obs.Json.Str s) -> Some s | _ -> None in
+      (match Obs.Json.member "schemes" json with
+       | Some (Obs.Json.List entries) when entries <> [] ->
+         List.iter
+           (fun entry ->
+             let name =
+               match str (Obs.Json.member "scheme" entry) with
+               | Some s -> s
+               | None -> fail "entry without a \"scheme\" name"
+             in
+             List.iter
+               (fun key ->
+                 if Obs.Json.member key entry = None then
+                   fail (Printf.sprintf "scheme %S: missing key %S" name key))
+               [ "domain_size"; "seconds"; "phases"; "parties"; "messages";
+                 "bytes"; "rounds"; "counters" ])
+           entries;
+         Printf.printf "%s: ok (%d scheme runs)\n" file (List.length entries)
+       | Some _ | None -> fail "missing or empty \"schemes\" array")
+  in
+  Cmd.v
+    (Cmd.info "check-bench"
+       ~doc:"Validate that a BENCH_protocols.json file parses and carries the expected keys")
+    Term.(const action $ file)
+
+(* ------------------------------------------------------------------ *)
 (* secmed schemes *)
 
 let schemes_cmd =
@@ -375,4 +481,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; query_cmd; setop_cmd; chain_cmd; select_cmd; schemes_cmd ]))
+          [ run_cmd; query_cmd; setop_cmd; chain_cmd; select_cmd; report_cmd;
+            check_bench_cmd; schemes_cmd ]))

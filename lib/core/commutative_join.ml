@@ -55,7 +55,7 @@ let run ?fault ?(use_ids = false) env client ~query =
   let (result, exact, received), counters =
     Counters.with_fresh (fun () ->
         let request =
-          Outcome.Builder.timed b "request" (fun () -> Request.run ?fault env client ~query tr)
+          Outcome.Builder.timed b ~party:"Mediator" "request" (fun () -> Request.run ?fault env client ~query tr)
         in
         let exact = Request.exact_result env request in
         let pk = request.Request.client_pk in
@@ -70,7 +70,8 @@ let run ?fault ?(use_ids = false) env client ~query =
           let sid = source_of which in
           let prng = Env.prng_for env (Printf.sprintf "comm-source-%d" sid) in
           let key, messages =
-            Outcome.Builder.timed b "source-encrypt" (fun () ->
+            Outcome.Builder.timed b ~party:(Transcript.party_name (Source sid))
+              "source-encrypt" (fun () ->
                 build_messages prng group pk request which)
           in
           (* A byzantine source ships ciphertexts that parse but fail
@@ -142,7 +143,8 @@ let run ?fault ?(use_ids = false) env client ~query =
            second pass, which would silently empty the intersection —
            the canary audit catches it. *)
         let double_encrypt sid key entries other_canary =
-          Outcome.Builder.timed b "source-reencrypt" (fun () ->
+          Outcome.Builder.timed b ~party:(Transcript.party_name (Source sid))
+            "source-reencrypt" (fun () ->
               let key =
                 match Fault.byzantine_mode fault sid with
                 | Some Fault.Stale_commutative_key ->
@@ -171,7 +173,7 @@ let run ?fault ?(use_ids = false) env client ~query =
 
         (* Step 7: the mediator matches identical first components. *)
         let matches =
-          Outcome.Builder.timed b "mediator-match" (fun () ->
+          Outcome.Builder.timed b ~party:"Mediator" "mediator-match" (fun () ->
               let table = Hashtbl.create 64 in
               List.iter
                 (fun (h, payload) -> Hashtbl.replace table (Bigint.to_string h) payload)
@@ -243,7 +245,7 @@ let run ?fault ?(use_ids = false) env client ~query =
         in
         let received = ref 0 in
         let result =
-          Outcome.Builder.timed b "client-postprocess" (fun () ->
+          Outcome.Builder.timed b ~party:"Client" "client-postprocess" (fun () ->
               let joined =
                 List.concat_map
                   (fun (ct1, ct2) ->
@@ -258,6 +260,7 @@ let run ?fault ?(use_ids = false) env client ~query =
               Request.finalize request (Relation.make joined_schema joined))
         in
         Outcome.Builder.client_sees b "result-messages-received" (List.length result_messages);
+        Outcome.Builder.attribute b (Counters.attribution ());
         (result, exact, !received))
   in
   Outcome.Builder.finish b ~result ~exact ~client_received_tuples:received ~counters

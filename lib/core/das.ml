@@ -230,7 +230,7 @@ let run ?fault ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_ind
   let (result, exact, received), counters =
     Counters.with_fresh (fun () ->
         let request =
-          Outcome.Builder.timed b "request" (fun () -> Request.run ?fault env client ~query tr)
+          Outcome.Builder.timed b ~party:"Mediator" "request" (fun () -> Request.run ?fault env client ~query tr)
         in
         let exact = Request.exact_result env request in
         let join_attrs = Request.join_attrs request in
@@ -242,7 +242,9 @@ let run ?fault ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_ind
            translator placement. *)
         let source_side which (entry : Catalog.entry) relation =
           let prng = Env.prng_for env (Printf.sprintf "das-source-%d" entry.Catalog.source) in
-          Outcome.Builder.timed b "source-encrypt" (fun () ->
+          Outcome.Builder.timed b
+            ~party:(Transcript.party_name (Source entry.Catalog.source)) "source-encrypt"
+            (fun () ->
               let tables =
                 List.map
                   (fun attr ->
@@ -289,8 +291,14 @@ let run ?fault ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_ind
           match setting with
           | Client_setting ->
             (* Tables encrypted for the client; client translates. *)
-            let enc_it1 = Hybrid.encrypt prng1 pk (tables_to_wire tables1) in
-            let enc_it2 = Hybrid.encrypt prng2 pk (tables_to_wire tables2) in
+            let enc_it1 =
+              Outcome.Builder.timed b ~party:(Transcript.party_name (Source s1))
+                "source-encrypt" (fun () -> Hybrid.encrypt prng1 pk (tables_to_wire tables1))
+            in
+            let enc_it2 =
+              Outcome.Builder.timed b ~party:(Transcript.party_name (Source s2))
+                "source-encrypt" (fun () -> Hybrid.encrypt prng2 pk (tables_to_wire tables2))
+            in
             record_upload s1 1 ~rows_size:r1s.wire_size ~tables_payload:(Hybrid.size enc_it1)
               ~rows:r1s;
             record_upload s2 2 ~rows_size:r2s.wire_size ~tables_payload:(Hybrid.size enc_it2)
@@ -304,7 +312,7 @@ let run ?fault ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_ind
             Fault.guard fault tr ~phase:"client-translate" ~sender:Mediator ~receiver:Client
               ~label:"enc(ITables_R2)" (fun () -> Hybrid.to_wire enc_it2);
             let pairs =
-              Outcome.Builder.timed b "client-translate" (fun () ->
+              Outcome.Builder.timed b ~party:"Client" "client-translate" (fun () ->
                   let it1 =
                     tables_of_wire
                       (decrypt_or_fail ~phase:"client-translate" ~party:Client client.Env.key
@@ -330,7 +338,9 @@ let run ?fault ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_ind
                which translates — learning S2's partition structure. *)
             let s1_keys = source_keypair env s1 in
             let enc_it2 =
-              Hybrid.encrypt prng2 (Elgamal.public s1_keys) (tables_to_wire tables2)
+              Outcome.Builder.timed b ~party:(Transcript.party_name (Source s2))
+                "source-encrypt" (fun () ->
+                  Hybrid.encrypt prng2 (Elgamal.public s1_keys) (tables_to_wire tables2))
             in
             record_upload s1 1 ~rows_size:r1s.wire_size ~tables_payload:0 ~rows:r1s;
             record_upload s2 2 ~rows_size:r2s.wire_size ~tables_payload:(Hybrid.size enc_it2)
@@ -341,7 +351,7 @@ let run ?fault ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_ind
               ~receiver:(Source s1) ~label:"enc_S1(ITables_R2)"
               (fun () -> Hybrid.to_wire enc_it2);
             let pairs =
-              Outcome.Builder.timed b "source-translate" (fun () ->
+              Outcome.Builder.timed b ~party:(Transcript.party_name (Source s1)) "source-translate" (fun () ->
                   let it2 =
                     tables_of_wire
                       (decrypt_or_fail ~phase:"source-translate" ~party:(Source s1) s1_keys
@@ -384,7 +394,7 @@ let run ?fault ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_ind
               (centibits tables1 request.Request.left_result);
             Outcome.Builder.mediator_sees b "approx-value-centibits-R2"
               (centibits tables2 request.Request.right_result);
-            Outcome.Builder.timed b "mediator-translate" (fun () ->
+            Outcome.Builder.timed b ~party:"Mediator" "mediator-translate" (fun () ->
                 server_query_pairs ~left_tables:tables1 ~right_tables:tables2)
         in
         let total_pairs = List.fold_left (fun acc p -> acc + List.length p) 0 per_attr_pairs in
@@ -392,7 +402,7 @@ let run ?fault ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_ind
         (* Step 6: the mediator evaluates q_S over the encrypted relations
            and returns R_C. *)
         let rc =
-          Outcome.Builder.timed b "mediator-server-query" (fun () ->
+          Outcome.Builder.timed b ~party:"Mediator" "mediator-server-query" (fun () ->
               validate_indexes 1 r1s;
               validate_indexes 2 r2s;
               server_join server_eval per_attr_pairs r1s r2s)
@@ -412,7 +422,7 @@ let run ?fault ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_ind
 
         (* Step 7: the client decrypts R_C and applies q_C. *)
         let result =
-          Outcome.Builder.timed b "client-postprocess" (fun () ->
+          Outcome.Builder.timed b ~party:"Client" "client-postprocess" (fun () ->
               let left_schema = Relation.schema request.Request.left_result in
               let right_schema = Relation.schema request.Request.right_result in
               let pos_left = Join_key.positions left_schema join_attrs in
@@ -452,6 +462,7 @@ let run ?fault ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_ind
               in
               Request.finalize request (Relation.make joined_schema joined))
         in
+        Outcome.Builder.attribute b (Counters.attribution ());
         (result, exact, List.length rc))
   in
   Outcome.Builder.finish b ~result ~exact ~client_received_tuples:received ~counters

@@ -21,13 +21,15 @@ let run ?fault env client ~query =
   let (result, exact, received), counters =
     Counters.with_fresh (fun () ->
         let request =
-          Outcome.Builder.timed b "request" (fun () -> Request.run ?fault env client ~query tr)
+          Outcome.Builder.timed b ~party:"Mediator" "request" (fun () -> Request.run ?fault env client ~query tr)
         in
         let exact = Request.exact_result env request in
         let pk = request.Request.client_pk in
         let encrypt_side which (entry : Catalog.entry) relation =
           let prng = Env.prng_for env (Printf.sprintf "mc-source-%d" entry.Catalog.source) in
-          Outcome.Builder.timed b "source-encrypt" (fun () ->
+          Outcome.Builder.timed b
+            ~party:(Transcript.party_name (Source entry.Catalog.source)) "source-encrypt"
+            (fun () ->
               let ct = Hybrid.encrypt prng pk (encode_relation relation) in
               let ct =
                 match Fault.byzantine_mode fault entry.Catalog.source with
@@ -71,7 +73,7 @@ let run ?fault env client ~query =
               ("authentication failure on " ^ label)
         in
         let result =
-          Outcome.Builder.timed b "client-postprocess" (fun () ->
+          Outcome.Builder.timed b ~party:"Client" "client-postprocess" (fun () ->
               let left =
                 Relation.make (Relation.schema request.Request.left_result) (decrypt "R1" ct1)
               in
@@ -86,6 +88,7 @@ let run ?fault env client ~query =
           Relation.cardinality request.Request.left_result
           + Relation.cardinality request.Request.right_result
         in
+        Outcome.Builder.attribute b (Counters.attribution ());
         (result, exact, received))
   in
   Outcome.Builder.finish b ~result ~exact ~client_received_tuples:received ~counters

@@ -12,6 +12,7 @@ type t = {
   sources_observed : (int * (string * int) list) list;
   client_received_tuples : int;
   counters : (Counters.primitive * int) list;
+  attributed : ((string * string) * (Counters.primitive * int) list) list;
   timings : (string * float) list;
 }
 
@@ -44,6 +45,7 @@ module Builder = struct
     mutable client : (string * int) list;
     mutable sources : (int * (string * int) list) list;
     mutable timings : (string * float) list; (* reversed *)
+    mutable attributed_ : ((string * string) * (Counters.primitive * int) list) list;
   }
 
   let create ~scheme =
@@ -54,7 +56,10 @@ module Builder = struct
       client = [];
       sources = [];
       timings = [];
+      attributed_ = [];
     }
+
+  let attribute b attributed = b.attributed_ <- attributed
 
   let transcript b = b.transcript_
 
@@ -65,22 +70,33 @@ module Builder = struct
     let current = Option.value ~default:[] (List.assoc_opt id b.sources) in
     b.sources <- (id, current @ [ (key, value) ]) :: List.remove_assoc id b.sources
 
-  let timed b phase f =
-    let start = Unix.gettimeofday () in
+  let timed b ?party phase f =
+    let start = Secmed_obs.Clock.now_ns () in
     let finish () =
-      let elapsed = Unix.gettimeofday () -. start in
+      let elapsed = Secmed_obs.Clock.ns_to_s (Secmed_obs.Clock.elapsed_ns ~since:start) in
       match List.assoc_opt phase b.timings with
       | Some prior ->
         b.timings <- (phase, prior +. elapsed) :: List.remove_assoc phase b.timings
       | None -> b.timings <- (phase, elapsed) :: b.timings
     in
-    match f () with
-    | result ->
-      finish ();
-      result
-    | exception e ->
-      finish ();
-      raise e
+    let attrs =
+      match party with
+      | None -> []
+      | Some p -> [ ("party", Secmed_obs.Json.Str p) ]
+    in
+    let run () =
+      match party with
+      | None -> f ()
+      | Some p -> Counters.scoped ~party:p ~phase f
+    in
+    Secmed_obs.Trace.with_span ~kind:Secmed_obs.Trace.Phase ~attrs phase (fun () ->
+        match run () with
+        | result ->
+          finish ();
+          result
+        | exception e ->
+          finish ();
+          raise e)
 
   let finish b ~result ~exact ~client_received_tuples ~counters =
     {
@@ -93,6 +109,7 @@ module Builder = struct
       sources_observed = List.sort compare b.sources;
       client_received_tuples;
       counters;
+      attributed = b.attributed_;
       timings = List.rev b.timings;
     }
 end

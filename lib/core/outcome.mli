@@ -19,6 +19,10 @@ type t = {
   client_received_tuples : int;
       (** source tuples the client could decrypt (DAS: the superset) *)
   counters : (Counters.primitive * int) list;
+  attributed : ((string * string) * (Counters.primitive * int) list) list;
+      (** primitive counts split by (party, phase) — the scoped-attribution
+          view of [counters]; entries sum to it when every phase was run
+          under a party label (see {!Counters.scoped}) *)
   timings : (string * float) list; (** phase -> seconds, in execution order *)
 }
 
@@ -42,8 +46,18 @@ module Builder : sig
   val mediator_sees : builder -> string -> int -> unit
   val client_sees : builder -> string -> int -> unit
   val source_sees : builder -> int -> string -> int -> unit
-  val timed : builder -> string -> (unit -> 'a) -> 'a
-  (** Accumulates wall-clock time under the phase name (summing repeats). *)
+  val timed : builder -> ?party:string -> string -> (unit -> 'a) -> 'a
+  (** Accumulates monotonic wall-clock time under the phase name (summing
+      repeats).  Opens a [Phase] trace span for the duration; with [?party]
+      the span carries a [party] attribute and the thunk runs inside
+      {!Counters.scoped}, so crypto-primitive counts land on that
+      (party, phase) pair. *)
+
+  val attribute :
+    builder -> ((string * string) * (Counters.primitive * int) list) list -> unit
+  (** Store the per-(party, phase) attribution — normally
+      [Counters.attribution ()] captured inside the [Counters.with_fresh]
+      thunk, before the counter state is restored. *)
 
   val finish :
     builder ->

@@ -12,7 +12,7 @@ let run ?fault env client ~query =
   let (result, exact, received), counters =
     Counters.with_fresh (fun () ->
         let request =
-          Outcome.Builder.timed b "request" (fun () -> Request.run ?fault env client ~query tr)
+          Outcome.Builder.timed b ~party:"Mediator" "request" (fun () -> Request.run ?fault env client ~query tr)
         in
         let exact = Request.exact_result env request in
         let send which (entry : Catalog.entry) relation =
@@ -32,7 +32,7 @@ let run ?fault env client ~query =
           (Relation.cardinality request.Request.left_result
           + Relation.cardinality request.Request.right_result);
         let result =
-          Outcome.Builder.timed b "mediator-join" (fun () ->
+          Outcome.Builder.timed b ~party:"Mediator" "mediator-join" (fun () ->
               Request.finalize request
                 (Relation.natural_join request.Request.left_result
                    request.Request.right_result))
@@ -43,6 +43,7 @@ let run ?fault env client ~query =
           ~label:"global-result"
           (fun () -> String.concat "" (List.map Tuple.encode (Relation.tuples result)));
         Outcome.Builder.client_sees b "tuples-received" (Relation.cardinality result);
+        Outcome.Builder.attribute b (Counters.attribution ());
         (result, exact, Relation.cardinality result))
   in
   Outcome.Builder.finish b ~result ~exact ~client_received_tuples:received ~counters

@@ -156,7 +156,7 @@ let run ?fault ?(variant = Session_keys) env client ~query =
   let (result, exact, received), counters =
     Counters.with_fresh (fun () ->
         let request =
-          Outcome.Builder.timed b "request" (fun () -> Request.run ?fault env client ~query tr)
+          Outcome.Builder.timed b ~party:"Mediator" "request" (fun () -> Request.run ?fault env client ~query tr)
         in
         let exact = Request.exact_result env request in
         let pk = Paillier.public client.Env.paillier_key in
@@ -185,7 +185,7 @@ let run ?fault ?(variant = Session_keys) env client ~query =
         let prng1 = Env.prng_for env (Printf.sprintf "pm-source-%d" s1) in
         let prng2 = Env.prng_for env (Printf.sprintf "pm-source-%d" s2) in
         let build_poly which prng sid =
-          Outcome.Builder.timed b "source-polynomial" (fun () ->
+          Outcome.Builder.timed b ~party:(Transcript.party_name (Source sid)) "source-polynomial" (fun () ->
               let roots = List.map root_of_key (Request.join_attr_values request which) in
               let poly = Pm_poly.from_roots ~modulus:pk.Paillier.n roots in
               let coeffs = Pm_poly.encrypt prng pk poly in
@@ -233,7 +233,7 @@ let run ?fault ?(variant = Session_keys) env client ~query =
            own values and returns the masked e-values. *)
         let next_id = ref 0 in
         let eval_side which prng sid opp_coeffs =
-          Outcome.Builder.timed b "source-evaluate" (fun () ->
+          Outcome.Builder.timed b ~party:(Transcript.party_name (Source sid)) "source-evaluate" (fun () ->
               validate_ciphertexts ~phase:"source-evaluate" ~party:(Source sid)
                 "opposite polynomial" opp_coeffs;
               let output =
@@ -277,7 +277,7 @@ let run ?fault ?(variant = Session_keys) env client ~query =
         (* Step 8: the client decrypts everything and keeps the matches. *)
         let received = ref 0 in
         let result =
-          Outcome.Builder.timed b "client-postprocess" (fun () ->
+          Outcome.Builder.timed b ~party:"Client" "client-postprocess" (fun () ->
               validate_ciphertexts ~phase:"client-postprocess" ~party:Client "e-values"
                 out1.e_values;
               validate_ciphertexts ~phase:"client-postprocess" ~party:Client "e-values"
@@ -345,6 +345,7 @@ let run ?fault ?(variant = Session_keys) env client ~query =
               in
               Request.finalize request (Relation.make joined_schema joined))
         in
+        Outcome.Builder.attribute b (Counters.attribution ());
         (result, exact, !received))
   in
   Outcome.Builder.finish b ~result ~exact ~client_received_tuples:received ~counters

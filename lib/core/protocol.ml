@@ -63,13 +63,33 @@ let dispatch ?fault scheme env client ~query =
    consumed across attempts, so a [times]-bounded fault clears); a
    byzantine source is not — a fresh request reaches the same liar. *)
 let run ?fault scheme env client ~query =
+  let module Obs = Secmed_obs in
   let budget = 1 + Fault.max_retries fault in
   let rec attempt n =
     Fault.start_attempt fault ~attempt:n;
-    match dispatch ?fault scheme env client ~query with
+    let traced_dispatch () =
+      Obs.Trace.with_span ~kind:Obs.Trace.Protocol
+        ~attrs:
+          [
+            ("scheme", Obs.Json.Str (scheme_name scheme));
+            ("attempt", Obs.Json.Int n);
+          ]
+        (scheme_name scheme)
+        (fun () -> dispatch ?fault scheme env client ~query)
+    in
+    match traced_dispatch () with
     | outcome -> Ok outcome
     | exception Fault.Fault_detected f ->
-      if n < budget && Fault.retryable fault then attempt (n + 1)
+      if n < budget && Fault.retryable fault then begin
+        Obs.Trace.event "retry"
+          ~attrs:
+            [
+              ("phase", Obs.Json.Str f.Fault.phase);
+              ("reason", Obs.Json.Str f.Fault.reason);
+              ("attempt", Obs.Json.Int n);
+            ];
+        attempt (n + 1)
+      end
       else Fault { phase = f.Fault.phase; party = f.Fault.party; reason = f.Fault.reason;
                    attempts = n }
     | exception Wire.Malformed msg ->

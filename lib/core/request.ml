@@ -123,7 +123,10 @@ let finalize t joined =
   else with_projection
 
 let exact_result _env t =
-  finalize t (Relation.natural_join t.left_result t.right_result)
+  (* The reference join is harness work, not protocol work: it gets its
+     own operation span so traced runs can separate it from the scheme. *)
+  Secmed_obs.Trace.with_span "ground-truth" (fun () ->
+      finalize t (Relation.natural_join t.left_result t.right_result))
 
 let side t = function
   | `Left -> t.left_result

@@ -42,23 +42,106 @@ let index = function
   | Homomorphic_scalar -> 9
   | Random_number -> 10
 
-let table = Array.make (List.length all) 0
+let width = List.length all
 
-let bump_by p n = table.(index p) <- table.(index p) + n
+let table = Array.make width 0
+
+(* Scoped attribution: a stack of open frames (innermost first), each a
+   private count array, plus a table folding closed frames by
+   (party, phase).  Every bump lands in exactly one place — the
+   innermost open frame, or the [unattributed] key when none is open —
+   so per-scope counts always sum to the global table. *)
+let unattributed = ("unattributed", "")
+
+type attr_state = {
+  mutable frames : int array list;
+  order : (string * string) list ref;
+  totals : (string * string, int array) Hashtbl.t;
+}
+
+let attr = { frames = []; order = ref []; totals = Hashtbl.create 8 }
+
+let totals_for key =
+  match Hashtbl.find_opt attr.totals key with
+  | Some a -> a
+  | None ->
+    let a = Array.make width 0 in
+    Hashtbl.add attr.totals key a;
+    attr.order := !(attr.order) @ [ key ];
+    a
+
+let bump_by p n =
+  table.(index p) <- table.(index p) + n;
+  (match attr.frames with
+   | frame :: _ -> frame.(index p) <- frame.(index p) + n
+   | [] -> (totals_for unattributed).(index p) <- (totals_for unattributed).(index p) + n)
+
 let bump p = bump_by p 1
 
-let reset () = Array.fill table 0 (Array.length table) 0
+let counts_of array = List.map (fun p -> (p, array.(index p))) all
+
+let scoped ~party ~phase f =
+  let frame = Array.make width 0 in
+  attr.frames <- frame :: attr.frames;
+  let close () =
+    (* Pop through frames an escaping exception left open. *)
+    let rec pop = function
+      | [] -> []
+      | x :: rest -> if x == frame then rest else pop rest
+    in
+    attr.frames <- pop attr.frames;
+    let sum = totals_for (party, phase) in
+    Array.iteri (fun i n -> sum.(i) <- sum.(i) + n) frame;
+    List.iter
+      (fun p ->
+        let n = frame.(index p) in
+        if n > 0 then Secmed_obs.Trace.add_attr ("ops." ^ name p) (Secmed_obs.Json.Int n))
+      all
+  in
+  match f () with
+  | result ->
+    close ();
+    result
+  | exception e ->
+    close ();
+    raise e
+
+let attribution () =
+  List.filter_map
+    (fun key ->
+      match Hashtbl.find_opt attr.totals key with
+      | Some a when Array.exists (fun n -> n <> 0) a -> Some (key, counts_of a)
+      | _ -> None)
+    !(attr.order)
+
+let reset_attribution () =
+  attr.frames <- [];
+  attr.order := [];
+  Hashtbl.reset attr.totals
+
+let reset () =
+  Array.fill table 0 (Array.length table) 0;
+  reset_attribution ()
 
 let count p = table.(index p)
 
-let snapshot () = List.map (fun p -> (p, count p)) all
+let snapshot () = counts_of table
 
 let used () = List.filter (fun p -> count p > 0) all
 
 let with_fresh f =
   let saved = Array.copy table in
+  let saved_frames = attr.frames in
+  let saved_order = !(attr.order) in
+  let saved_totals = Hashtbl.copy attr.totals in
   reset ();
-  let restore () = Array.blit saved 0 table 0 (Array.length table) in
+  let restore () =
+    Array.blit saved 0 table 0 (Array.length table);
+    attr.frames <- saved_frames;
+    attr.order := saved_order;
+    Hashtbl.reset attr.totals;
+    Hashtbl.iter (Hashtbl.add attr.totals) saved_totals
+  in
   match f () with
   | result ->
     let counts = snapshot () in

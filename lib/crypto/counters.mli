@@ -34,4 +34,27 @@ val used : unit -> primitive list
 
 val with_fresh : (unit -> 'a) -> 'a * (primitive * int) list
 (** Runs the thunk with counters reset, returning its result and the counts
-    it accumulated; restores the previous counts afterwards. *)
+    it accumulated; restores the previous counts afterwards.
+
+    Not reentrant: a nested [with_fresh] isolates its own counts and then
+    restores the outer partial counts, so nothing the inner thunk counted
+    is visible to the outer accounting.  The scoped-attribution API
+    ({!scoped}) is the supported way to nest accounting regions — it
+    splits one [with_fresh] total by (party, phase) instead of stacking
+    resets. *)
+
+val scoped : party:string -> phase:string -> (unit -> 'a) -> 'a
+(** Runs the thunk in an attribution scope.  Every {!bump} lands in the
+    innermost open scope (bumps outside any scope fall into the
+    [("unattributed", "")] bucket), so per-scope counts always sum to the
+    global {!snapshot}.  Scopes nest: an inner scope's counts are *not*
+    double-counted into the outer one.  On exit the scope's non-zero
+    counts are folded into the running (party, phase) attribution and —
+    when a trace collector is installed — attached to the innermost open
+    span as [ops.<primitive>] attributes. *)
+
+val attribution : unit -> ((string * string) * (primitive * int) list) list
+(** Per-(party, phase) counts accumulated by closed {!scoped} regions
+    since the last {!reset}, in first-appearance order; keys with all-zero
+    counts are omitted.  The sum over all entries equals {!snapshot}
+    (restricted to primitives bumped at least once). *)

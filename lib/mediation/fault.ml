@@ -172,7 +172,17 @@ let record_event p transcript ~sender ~receiver ~label ~action detail =
     :: p.rev_events;
   Transcript.note transcript
     (Printf.sprintf "fault: %s on %s (%s -> %s): %s" (action_name action) label
-       (Transcript.party_name sender) (Transcript.party_name receiver) detail)
+       (Transcript.party_name sender) (Transcript.party_name receiver) detail);
+  if Secmed_obs.Trace.enabled () then
+    Secmed_obs.Trace.event "fault"
+      ~attrs:
+        [
+          ("action", Secmed_obs.Json.Str (action_name action));
+          ("label", Secmed_obs.Json.Str label);
+          ("from", Secmed_obs.Json.Str (Transcript.party_name sender));
+          ("to", Secmed_obs.Json.Str (Transcript.party_name receiver));
+          ("detail", Secmed_obs.Json.Str detail);
+        ]
 
 let deliver p transcript ~phase ~sender ~receiver ~label payload =
   match List.find_opt (rule_matches ~sender ~receiver ~label) p.rules with

@@ -26,24 +26,44 @@ type t = {
   mutable rev_messages : message list;
   mutable rev_notes : note list;
   mutable next_seq : int;
+  (* Running totals, maintained by [record] so the hot accessors don't
+     re-walk the message list on every call. *)
+  mutable n_bytes : int;
 }
 
-let create () = { rev_messages = []; rev_notes = []; next_seq = 0 }
+let create () = { rev_messages = []; rev_notes = []; next_seq = 0; n_bytes = 0 }
 
 let record t ~sender ~receiver ~label ~size =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
-  t.rev_messages <- { seq; sender; receiver; label; size } :: t.rev_messages
+  t.rev_messages <- { seq; sender; receiver; label; size } :: t.rev_messages;
+  t.n_bytes <- t.n_bytes + size;
+  if Secmed_obs.Trace.enabled () then
+    Secmed_obs.Trace.event "message"
+      ~attrs:
+        [
+          ("from", Secmed_obs.Json.Str (party_name sender));
+          ("to", Secmed_obs.Json.Str (party_name receiver));
+          ("label", Secmed_obs.Json.Str label);
+          ("bytes", Secmed_obs.Json.Int size);
+        ];
+  if Secmed_obs.Metrics.recording () then begin
+    Secmed_obs.Metrics.(incr (counter "transcript.messages"));
+    Secmed_obs.Metrics.(observe (histogram "transcript.message_bytes") (float_of_int size))
+  end
 
-let note t text = t.rev_notes <- { at_seq = t.next_seq; text } :: t.rev_notes
+let note t text =
+  t.rev_notes <- { at_seq = t.next_seq; text } :: t.rev_notes;
+  if Secmed_obs.Trace.enabled () then
+    Secmed_obs.Trace.event "note" ~attrs:[ ("text", Secmed_obs.Json.Str text) ]
 
 let notes t = List.rev t.rev_notes
 
 let messages t = List.rev t.rev_messages
 
-let message_count t = List.length t.rev_messages
+let message_count t = t.next_seq
 
-let total_bytes t = List.fold_left (fun acc m -> acc + m.size) 0 t.rev_messages
+let total_bytes t = t.n_bytes
 
 let bytes_on_link t sender receiver =
   List.fold_left

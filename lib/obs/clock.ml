@@ -1,0 +1,10 @@
+external now_ns : unit -> int64 = "secmed_obs_monotonic_ns"
+
+let now () = Int64.to_float (now_ns ()) /. 1e9
+
+let elapsed_ns ~since =
+  let d = Int64.sub (now_ns ()) since in
+  if Int64.compare d 0L < 0 then 0L else d
+
+let ns_to_ms ns = Int64.to_float ns /. 1e6
+let ns_to_s ns = Int64.to_float ns /. 1e9

@@ -1,0 +1,17 @@
+(** Monotonic time source for all telemetry and benchmarking.
+
+    Reads [CLOCK_MONOTONIC], so intervals are immune to NTP steps and
+    other wall-clock adjustments.  Absolute values are meaningless across
+    processes; only differences matter. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since an arbitrary, fixed origin. *)
+
+val now : unit -> float
+(** Seconds since the same origin (nanosecond resolution). *)
+
+val elapsed_ns : since:int64 -> int64
+(** [now_ns () - since], clamped to be non-negative. *)
+
+val ns_to_ms : int64 -> float
+val ns_to_s : int64 -> float

@@ -1,0 +1,20 @@
+/* Monotonic clock binding.
+ *
+ * The telemetry layer (and every phase timing / bench median derived from
+ * it) must not observe NTP steps or other wall-clock adjustments, so it
+ * reads CLOCK_MONOTONIC directly instead of going through gettimeofday. */
+
+#define _POSIX_C_SOURCE 199309L
+
+#include <time.h>
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+
+CAMLprim value secmed_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL + (int64_t)ts.tv_nsec);
+}

@@ -1,0 +1,129 @@
+let party_of_span s =
+  match Trace.find_attr s "party" with
+  | Some (Json.Str p) -> p
+  | _ -> "run"
+
+(* Stable party -> Chrome thread-id assignment, in order of first
+   appearance; "run" (un-attributed spans, the roots) is tid 0. *)
+let tid_table trace =
+  let order = ref [ "run" ] in
+  List.iter
+    (fun s ->
+      let p = party_of_span s in
+      if not (List.mem p !order) then order := !order @ [ p ])
+    (Trace.spans trace);
+  let table = Hashtbl.create 8 in
+  List.iteri (fun i p -> Hashtbl.add table p i) !order;
+  (table, !order)
+
+let us ns = Int64.to_float ns /. 1e3
+
+let args_of attrs = match attrs with [] -> [] | attrs -> [ ("args", Json.Obj attrs) ]
+
+let chrome_json trace =
+  let tids, order = tid_table trace in
+  let tid_of p = Option.value ~default:0 (Hashtbl.find_opt tids p) in
+  let metadata =
+    List.map
+      (fun p ->
+        Json.Obj
+          [
+            ("name", Json.Str "thread_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.Int 1);
+            ("tid", Json.Int (tid_of p));
+            ("args", Json.Obj [ ("name", Json.Str p) ]);
+          ])
+      order
+  in
+  let span_events =
+    List.map
+      (fun s ->
+        Json.Obj
+          ([
+             ("name", Json.Str s.Trace.name);
+             ("cat", Json.Str (Trace.kind_name s.Trace.kind));
+             ("ph", Json.Str "X");
+             ("pid", Json.Int 1);
+             ("tid", Json.Int (tid_of (party_of_span s)));
+             ("ts", Json.Float (us s.Trace.start_ns));
+             ("dur", Json.Float (us (Trace.duration_ns s)));
+           ]
+          @ args_of (("span_id", Json.Int s.Trace.id) :: Trace.attrs s)))
+      (Trace.spans trace)
+  in
+  let span_by_id =
+    let t = Hashtbl.create 64 in
+    List.iter (fun s -> Hashtbl.replace t s.Trace.id s) (Trace.spans trace);
+    t
+  in
+  let instant_events =
+    List.map
+      (fun e ->
+        let tid =
+          match e.Trace.ev_span with
+          | Some id ->
+            (match Hashtbl.find_opt span_by_id id with
+             | Some s -> tid_of (party_of_span s)
+             | None -> 0)
+          | None -> 0
+        in
+        Json.Obj
+          ([
+             ("name", Json.Str e.Trace.ev_name);
+             ("cat", Json.Str "event");
+             ("ph", Json.Str "i");
+             ("s", Json.Str "t");
+             ("pid", Json.Int 1);
+             ("tid", Json.Int tid);
+             ("ts", Json.Float (us e.Trace.ev_ns));
+           ]
+          @ args_of e.Trace.ev_attrs))
+      (Trace.events trace)
+  in
+  Json.to_string_pretty (Json.List (metadata @ span_events @ instant_events))
+
+let jsonl trace =
+  let buf = Buffer.create 4096 in
+  let line v =
+    Buffer.add_string buf (Json.to_string v);
+    Buffer.add_char buf '\n'
+  in
+  line (Json.Obj [ ("type", Json.Str "clock"); ("unit", Json.Str "ns"); ("monotonic", Json.Bool true) ]);
+  List.iter
+    (fun s ->
+      line
+        (Json.Obj
+           [
+             ("type", Json.Str "span");
+             ("id", Json.Int s.Trace.id);
+             ( "parent",
+               match s.Trace.parent with Some p -> Json.Int p | None -> Json.Null );
+             ("name", Json.Str s.Trace.name);
+             ("kind", Json.Str (Trace.kind_name s.Trace.kind));
+             ("start_ns", Json.Int (Int64.to_int s.Trace.start_ns));
+             ("dur_ns", Json.Int (Int64.to_int (Trace.duration_ns s)));
+             ("attrs", Json.Obj (Trace.attrs s));
+           ]))
+    (Trace.spans trace);
+  List.iter
+    (fun e ->
+      line
+        (Json.Obj
+           [
+             ("type", Json.Str "event");
+             ("name", Json.Str e.Trace.ev_name);
+             ( "span",
+               match e.Trace.ev_span with Some p -> Json.Int p | None -> Json.Null );
+             ("at_ns", Json.Int (Int64.to_int e.Trace.ev_ns));
+             ("attrs", Json.Obj e.Trace.ev_attrs);
+           ]))
+    (Trace.events trace);
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents)
+
+let format_of_path path =
+  if Filename.check_suffix path ".jsonl" then `Jsonl else `Chrome

@@ -1,0 +1,17 @@
+(** Machine-readable trace export.
+
+    Two formats: Chrome trace-event JSON (loadable in [chrome://tracing]
+    / Perfetto: spans as complete "X" events on one track per party,
+    instant events as "i" marks) and a compact JSONL stream (one JSON
+    object per line: a [clock] header, then every span and event), meant
+    for downstream tooling. *)
+
+val chrome_json : Trace.t -> string
+(** The whole file is a JSON array, parseable with {!Json.parse}. *)
+
+val jsonl : Trace.t -> string
+
+val write_file : string -> string -> unit
+
+val format_of_path : string -> [ `Chrome | `Jsonl ]
+(** [.jsonl] selects the JSONL stream; anything else the Chrome format. *)

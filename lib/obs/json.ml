@@ -1,0 +1,267 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let float_literal f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec write buf ~indent ~level v =
+  let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
+  let sep () = if indent then Buffer.add_char buf '\n' in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    (* nan and +/-inf are not representable in JSON *)
+    if Float.is_finite f then Buffer.add_string buf (float_literal f)
+    else Buffer.add_string buf "null"
+  | Str s -> Buffer.add_string buf (escape s)
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+    Buffer.add_char buf '[';
+    sep ();
+    List.iteri
+      (fun i item ->
+        if i > 0 then begin
+          Buffer.add_char buf ',';
+          sep ()
+        end;
+        pad (level + 1);
+        write buf ~indent ~level:(level + 1) item)
+      items;
+    sep ();
+    pad level;
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    sep ();
+    List.iteri
+      (fun i (name, item) ->
+        if i > 0 then begin
+          Buffer.add_char buf ',';
+          sep ()
+        end;
+        pad (level + 1);
+        Buffer.add_string buf (escape name);
+        Buffer.add_string buf (if indent then ": " else ":");
+        write buf ~indent ~level:(level + 1) item)
+      fields;
+    sep ();
+    pad level;
+    Buffer.add_char buf '}'
+
+let render ~indent v =
+  let buf = Buffer.create 1024 in
+  write buf ~indent ~level:0 v;
+  Buffer.contents buf
+
+let to_string v = render ~indent:false v
+let to_string_pretty v = render ~indent:true v
+
+(* ------------------------------------------------------------------ *)
+(* Parsing. *)
+
+exception Parse_error of int * string
+
+let parse input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let error msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match input.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | Some d -> error (Printf.sprintf "expected %C, found %C" c d)
+    | None -> error (Printf.sprintf "expected %C, found end of input" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub input !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else error (Printf.sprintf "invalid literal (expected %s)" word)
+  in
+  let utf8_of_code buf code =
+    (* No surrogate-pair recombination: lone escapes map directly. *)
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string";
+      let c = input.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' ->
+        (if !pos >= n then error "unterminated escape";
+         let e = input.[!pos] in
+         advance ();
+         match e with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'b' -> Buffer.add_char buf '\b'
+         | 'f' -> Buffer.add_char buf '\012'
+         | 'u' ->
+           if !pos + 4 > n then error "truncated \\u escape";
+           let hex = String.sub input !pos 4 in
+           pos := !pos + 4;
+           (match int_of_string_opt ("0x" ^ hex) with
+            | Some code -> utf8_of_code buf code
+            | None -> error (Printf.sprintf "invalid \\u escape %S" hex))
+         | e -> error (Printf.sprintf "invalid escape \\%C" e));
+        go ()
+      | c when Char.code c < 0x20 -> error "unescaped control character in string"
+      | c ->
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_number_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while !pos < n && is_number_char input.[!pos] do
+      advance ()
+    done;
+    let text = String.sub input start (!pos - start) in
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None ->
+      (match float_of_string_opt text with
+       | Some f -> Float f
+       | None -> error (Printf.sprintf "invalid number %S" text))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec items acc =
+          let item = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (item :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (item :: acc)
+          | _ -> error "expected ',' or ']' in array"
+        in
+        List (items [])
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let name = parse_string () in
+          skip_ws ();
+          expect ':';
+          (name, parse_value ())
+        in
+        let rec fields acc =
+          let f = field () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields (f :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev (f :: acc)
+          | _ -> error "expected ',' or '}' in object"
+        in
+        Obj (fields [])
+      end
+    | Some c -> if is_number_start c then parse_number () else error (Printf.sprintf "unexpected %C" c)
+  and is_number_start = function '0' .. '9' | '-' -> true | _ -> false in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then error "trailing bytes after JSON value";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (at, msg) -> Error (Printf.sprintf "at byte %d: %s" at msg)
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let to_list = function List items -> Some items | _ -> None
+let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None

@@ -1,0 +1,37 @@
+(** Minimal JSON values: enough to emit the trace/bench artifacts with
+    correct escaping and to parse them back for validation, without
+    pulling a JSON dependency into the dependency-free obs layer. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace).  Non-finite floats
+    render as [null] — JSON has no representation for them. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering, for artifacts meant to be read. *)
+
+val escape : string -> string
+(** The quoted, escaped form of a string literal. *)
+
+val parse : string -> (t, string) result
+(** Strict recursive-descent parser for the subset this module emits
+    (full JSON minus surrogate-pair [\uXXXX] handling: lone escapes map
+    to UTF-8 directly).  Errors carry a byte offset. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on other constructors. *)
+
+val to_list : t -> t list option
+val to_int : t -> int option
+val to_float : t -> float option
+(** [Int] coerces to float. *)
+
+val to_str : t -> string option

@@ -1,0 +1,52 @@
+(** Process-wide metrics registry: counters, gauges, and log-scale
+    histograms with quantile estimates.
+
+    Handles are interned by name, so any layer can say
+    [Metrics.counter "transcript.messages"] and get the same cell.
+    Recording is gated by {!set_recording} (default off) with the same
+    null-guard discipline as the tracer: a disabled registry costs one
+    boolean load per call site. *)
+
+val recording : unit -> bool
+val set_recording : bool -> unit
+
+type counter
+
+val counter : string -> counter
+(** Interned by name; repeated calls return the same counter. *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+type gauge
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+type histogram
+(** Log-scale buckets (4 per octave, covering ~1e-9 .. 1e12 with an
+    underflow bucket for zero/negative observations), so a quantile
+    estimate is within one bucket — a factor of [2^(1/4)] — of exact. *)
+
+val histogram : string -> histogram
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val quantile : histogram -> float -> float
+(** [quantile h q] for [q] in [0,1]: the geometric midpoint of the bucket
+    holding the q-th observation; [0.0] on an empty histogram. *)
+
+val percentiles : histogram -> float * float * float
+(** (p50, p90, p99). *)
+
+val reset : unit -> unit
+(** Zero every registered metric (handles stay valid). *)
+
+val snapshot : unit -> Json.t
+(** All registered metrics as one JSON object: counters and gauges by
+    value, histograms as count/sum/min/max/p50/p90/p99. *)
+
+val render : unit -> string
+(** Human-readable listing of every non-empty metric, sorted by name. *)

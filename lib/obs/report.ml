@@ -1,0 +1,98 @@
+let table header rows =
+  let all = header :: rows in
+  let columns = List.fold_left (fun n r -> max n (List.length r)) 0 all in
+  let widths = Array.make columns 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let buf = Buffer.create 256 in
+  let render_row r =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        if i = 0 then Buffer.add_string buf (Printf.sprintf "%-*s" widths.(i) cell)
+        else Buffer.add_string buf (Printf.sprintf "%*s" widths.(i) cell))
+      r;
+    (* Trim the padding a short trailing cell leaves behind. *)
+    while Buffer.length buf > 0 && Buffer.nth buf (Buffer.length buf - 1) = ' ' do
+      Buffer.truncate buf (Buffer.length buf - 1)
+    done;
+    Buffer.add_char buf '\n'
+  in
+  render_row header;
+  render_row
+    (List.mapi (fun i _ -> String.make widths.(i) '-') (List.init columns (fun i -> i)));
+  List.iter render_row rows;
+  Buffer.contents buf
+
+type row = {
+  party : string;
+  phase : string;
+  mutable ns : int64;
+  mutable calls : int;
+  ops : (string, int) Hashtbl.t;
+}
+
+let ops_prefix = "ops."
+
+let of_trace trace =
+  let rows = ref [] (* reverse first-appearance order *) in
+  let find party phase =
+    match List.find_opt (fun r -> r.party = party && r.phase = phase) !rows with
+    | Some r -> r
+    | None ->
+      let r = { party; phase; ns = 0L; calls = 0; ops = Hashtbl.create 8 } in
+      rows := r :: !rows;
+      r
+  in
+  let op_order = ref [] in
+  List.iter
+    (fun s ->
+      if s.Trace.kind = Trace.Phase then begin
+        let party =
+          match Trace.find_attr s "party" with Some (Json.Str p) -> p | _ -> "-"
+        in
+        let r = find party s.Trace.name in
+        r.ns <- Int64.add r.ns (Trace.duration_ns s);
+        r.calls <- r.calls + 1;
+        List.iter
+          (fun (k, v) ->
+            match v with
+            | Json.Int n when String.length k > 4 && String.sub k 0 4 = ops_prefix ->
+              let op = String.sub k 4 (String.length k - 4) in
+              if not (List.mem op !op_order) then op_order := !op_order @ [ op ];
+              Hashtbl.replace r.ops op (n + Option.value ~default:0 (Hashtbl.find_opt r.ops op))
+            | _ -> ())
+          (Trace.attrs s)
+      end)
+    (Trace.spans trace);
+  let rows_in_order = List.rev !rows in
+  let ops = !op_order in
+  if rows_in_order = [] then "(no phase spans in trace)\n"
+  else begin
+    let header = [ "party"; "phase"; "ms" ] @ ops in
+    let ms ns = Printf.sprintf "%.3f" (Int64.to_float ns /. 1e6) in
+    let op_cell r op =
+      match Hashtbl.find_opt r.ops op with
+      | Some n when n > 0 -> string_of_int n
+      | _ -> "."
+    in
+    let body =
+      List.map
+        (fun r -> [ r.party; r.phase; ms r.ns ] @ List.map (op_cell r) ops)
+        rows_in_order
+    in
+    let total_ns =
+      List.fold_left (fun acc r -> Int64.add acc r.ns) 0L rows_in_order
+    in
+    let total_op op =
+      List.fold_left
+        (fun acc r -> acc + Option.value ~default:0 (Hashtbl.find_opt r.ops op))
+        0 rows_in_order
+    in
+    let totals =
+      [ "total"; ""; ms total_ns ]
+      @ List.map (fun op -> let n = total_op op in if n > 0 then string_of_int n else ".") ops
+    in
+    table header (body @ [ totals ])
+  end

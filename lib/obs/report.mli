@@ -1,0 +1,12 @@
+(** Human-readable cost reports derived from a collected trace.
+
+    {!of_trace} folds all [Phase] spans by (party, phase) — summing
+    durations across protocol retries — and renders an aligned matrix
+    with one column per crypto primitive that appears in the spans'
+    [ops.*] attributes, plus a totals row. *)
+
+val table : string list -> string list list -> string
+(** [table header rows] renders an aligned fixed-width table.  The first
+    column is left-aligned, the rest right-aligned. *)
+
+val of_trace : Trace.t -> string

@@ -1,0 +1,132 @@
+type kind =
+  | Protocol
+  | Phase
+  | Operation
+
+let kind_name = function
+  | Protocol -> "protocol"
+  | Phase -> "phase"
+  | Operation -> "operation"
+
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  kind : kind;
+  start_ns : int64;
+  mutable stop_ns : int64;
+  mutable rev_attrs : (string * Json.t) list;
+}
+
+type event = {
+  ev_name : string;
+  ev_span : int option;
+  ev_ns : int64;
+  ev_attrs : (string * Json.t) list;
+}
+
+type t = {
+  epoch_ns : int64;
+  mutable rev_spans : span list;
+  mutable rev_events : event list;
+  mutable stack : span list; (* innermost first *)
+  mutable next_id : int;
+}
+
+let create () =
+  { epoch_ns = Clock.now_ns (); rev_spans = []; rev_events = []; stack = []; next_id = 0 }
+
+let sink : t option ref = ref None
+
+let install t = sink := Some t
+let uninstall () = sink := None
+let enabled () = Option.is_some !sink
+
+let collect f =
+  let previous = !sink in
+  let t = create () in
+  sink := Some t;
+  let restore () = sink := previous in
+  match f () with
+  | result ->
+    restore ();
+    (result, t)
+  | exception e ->
+    restore ();
+    raise e
+
+let rel t = Int64.sub (Clock.now_ns ()) t.epoch_ns
+
+let with_span ?(kind = Operation) ?(attrs = []) name f =
+  match !sink with
+  | None -> f ()
+  | Some t ->
+    let parent = match t.stack with [] -> None | s :: _ -> Some s.id in
+    let now = rel t in
+    let s =
+      { id = t.next_id; parent; name; kind; start_ns = now; stop_ns = now;
+        rev_attrs = List.rev attrs }
+    in
+    t.next_id <- t.next_id + 1;
+    t.rev_spans <- s :: t.rev_spans;
+    t.stack <- s :: t.stack;
+    let close () =
+      s.stop_ns <- rel t;
+      (* Pop through any spans an escaping exception left open. *)
+      let rec pop = function
+        | [] -> []
+        | x :: rest -> if x == s then rest else pop rest
+      in
+      t.stack <- pop t.stack;
+      if Metrics.recording () then
+        Metrics.observe
+          (Metrics.histogram ("span." ^ name ^ ".seconds"))
+          (Int64.to_float (Int64.sub s.stop_ns s.start_ns) /. 1e9)
+    in
+    (match f () with
+     | result ->
+       close ();
+       result
+     | exception e ->
+       close ();
+       raise e)
+
+let add_attr name value =
+  match !sink with
+  | None -> ()
+  | Some t ->
+    (match t.stack with
+     | [] -> ()
+     | s :: _ -> s.rev_attrs <- (name, value) :: s.rev_attrs)
+
+let event ?(attrs = []) name =
+  match !sink with
+  | None -> ()
+  | Some t ->
+    let ev_span = match t.stack with [] -> None | s :: _ -> Some s.id in
+    t.rev_events <- { ev_name = name; ev_span; ev_ns = rel t; ev_attrs = attrs } :: t.rev_events
+
+let spans t = List.rev t.rev_spans
+let events t = List.rev t.rev_events
+
+let duration_ns s =
+  let d = Int64.sub s.stop_ns s.start_ns in
+  if Int64.compare d 0L < 0 then 0L else d
+
+let attrs s = List.rev s.rev_attrs
+let find_attr s name = List.assoc_opt name (attrs s)
+
+let roots t = List.filter (fun s -> s.parent = None) (spans t)
+
+let children t s = List.filter (fun c -> c.parent = Some s.id) (spans t)
+
+let coverage t s =
+  let total = Int64.to_float (duration_ns s) in
+  if total <= 0.0 then 1.0
+  else
+    let covered =
+      List.fold_left
+        (fun acc c -> acc +. Int64.to_float (duration_ns c))
+        0.0 (children t s)
+    in
+    Float.min 1.0 (covered /. total)

@@ -1,0 +1,84 @@
+(** Span-based tracing.
+
+    A trace is a tree of timed spans — protocol → phase → party-labelled
+    work → operation — plus instant events (messages, injected faults,
+    retries) anchored to the span that was open when they fired.  All
+    timestamps come from the monotonic {!Clock}.
+
+    The tracer is null-guarded like [Fault]: with no collector installed
+    ({!enabled} [= false]), {!with_span} is a direct call of the thunk
+    and {!event}/{!add_attr} are single-branch no-ops, so instrumented
+    code pays nothing in ordinary runs.  Installation is process-global
+    and not thread-safe — matching the rest of the stack. *)
+
+type kind =
+  | Protocol   (** one root per protocol attempt *)
+  | Phase      (** a driver phase, usually party-attributed *)
+  | Operation  (** finer-grained work inside a phase *)
+
+val kind_name : kind -> string
+
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  kind : kind;
+  start_ns : int64;             (** relative to the collector's epoch *)
+  mutable stop_ns : int64;      (** equals [start_ns] while still open *)
+  mutable rev_attrs : (string * Json.t) list;
+}
+
+type event = {
+  ev_name : string;
+  ev_span : int option;  (** innermost span open when the event fired *)
+  ev_ns : int64;
+  ev_attrs : (string * Json.t) list;
+}
+
+type t
+(** A collector: accumulates the spans and events of one or more runs. *)
+
+val create : unit -> t
+
+val install : t -> unit
+(** Make the collector the process-global trace sink (replacing any
+    previous one). *)
+
+val uninstall : unit -> unit
+val enabled : unit -> bool
+
+val collect : (unit -> 'a) -> 'a * t
+(** Run the thunk under a fresh collector, restoring the previously
+    installed sink (if any) afterwards — even on exceptions. *)
+
+val with_span : ?kind:kind -> ?attrs:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** Opens a child of the innermost open span (or a root), runs the thunk
+    and closes the span — also on exceptions.  When {!Metrics.recording}
+    is on, the span's duration is observed into the
+    ["span.<name>.seconds"] histogram as it closes. *)
+
+val add_attr : string -> Json.t -> unit
+(** Attach an attribute to the innermost open span (no-op without one). *)
+
+val event : ?attrs:(string * Json.t) list -> string -> unit
+(** Record an instant event anchored to the innermost open span. *)
+
+val spans : t -> span list
+(** In opening order.  Only closed spans have a meaningful duration. *)
+
+val events : t -> event list
+(** In firing order. *)
+
+val duration_ns : span -> int64
+
+val attrs : span -> (string * Json.t) list
+(** In attachment order. *)
+
+val find_attr : span -> string -> Json.t option
+
+val roots : t -> span list
+val children : t -> span -> span list
+
+val coverage : t -> span -> float
+(** Fraction of the span's duration covered by its direct children
+    (1.0 for a zero-duration span): the "no untraced gaps" check. *)

@@ -209,6 +209,95 @@ let test_transcript_diagram () =
      let rec go i = i + nl <= hl && (String.sub summary i nl = needle || go (i + 1)) in
      go 0)
 
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let index_of haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    if i + nl > hl then None
+    else if String.sub haystack i nl = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let test_transcript_rounds_alternation () =
+  let t = Transcript.create () in
+  let open Transcript in
+  (* Interleave traffic on an unrelated link: it must not break up runs
+     on the link under measurement. *)
+  record t ~sender:(Source 1) ~receiver:Mediator ~label:"s1a" ~size:1;
+  record t ~sender:Client ~receiver:Mediator ~label:"a" ~size:1;
+  record t ~sender:(Source 2) ~receiver:Mediator ~label:"s2a" ~size:1;
+  record t ~sender:Client ~receiver:Mediator ~label:"b" ~size:1;
+  record t ~sender:Mediator ~receiver:Client ~label:"c" ~size:1;
+  record t ~sender:Mediator ~receiver:(Source 1) ~label:"s1b" ~size:1;
+  record t ~sender:Mediator ~receiver:Client ~label:"d" ~size:1;
+  (* Client link runs: CC | MM -> 2 alternations, interleavings ignored. *)
+  Alcotest.(check int) "runs collapse" 2 (rounds t Client Mediator);
+  (* The link is unordered: both orientations report the same count. *)
+  Alcotest.(check int) "symmetric" (rounds t Client Mediator) (rounds t Mediator Client);
+  Alcotest.(check int) "source1 link" 2 (rounds t (Source 1) Mediator);
+  (* Single message = single run. *)
+  Alcotest.(check int) "source2 link" 1 (rounds t (Source 2) Mediator)
+
+let test_flow_diagram_elision () =
+  let t = Transcript.create () in
+  let long = "very-long-message-label-that-cannot-fit" in
+  Transcript.record t ~sender:Transcript.Client ~receiver:Transcript.Mediator ~label:long
+    ~size:123456;
+  Transcript.record t ~sender:Transcript.Mediator ~receiver:Transcript.Client ~label:"ok"
+    ~size:1;
+  let diagram = Transcript.flow_diagram t in
+  let full = Printf.sprintf "%s (%dB)" long 123456 in
+  Alcotest.(check bool) "full annotation elided" false (contains diagram full);
+  Alcotest.(check bool) "elision marker present" true (contains diagram "..");
+  Alcotest.(check bool) "short annotation intact" true (contains diagram "ok (1B)");
+  (* The elided annotation must stay between the party lifelines: every
+     diagram row is bounded by the column grid width. *)
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "row within grid" true (String.length line <= 2 * 24))
+    (String.split_on_char '\n' diagram)
+
+let test_summary_link_ordering () =
+  let t = Transcript.create () in
+  let open Transcript in
+  (* First appearance order deliberately differs from any alphabetical or
+     party-numeric order. *)
+  record t ~sender:(Source 2) ~receiver:Mediator ~label:"x" ~size:7;
+  record t ~sender:Client ~receiver:Mediator ~label:"y" ~size:3;
+  record t ~sender:(Source 2) ~receiver:Mediator ~label:"z" ~size:9;
+  record t ~sender:Mediator ~receiver:Client ~label:"w" ~size:4;
+  let s = summary t in
+  let pos needle =
+    match index_of s needle with
+    | Some i -> i
+    | None -> Alcotest.failf "summary missing %S:\n%s" needle s
+  in
+  let s2m = pos "Source2    -> Mediator" in
+  let c2m = pos "Client     -> Mediator" in
+  let m2c = pos "Mediator   -> Client" in
+  Alcotest.(check bool) "first-appearance order" true (s2m < c2m && c2m < m2c);
+  (* Repeated link aggregates rather than re-listing. *)
+  Alcotest.(check bool) "source2 link aggregated" true
+    (contains s "Source2    -> Mediator   :   2 messages,       16 bytes");
+  Alcotest.(check bool) "totals last" true (pos "total: 4 messages, 23 bytes" > m2c)
+
+let test_transcript_empty () =
+  let t = Transcript.create () in
+  Alcotest.(check int) "count" 0 (Transcript.message_count t);
+  Alcotest.(check int) "bytes" 0 (Transcript.total_bytes t);
+  Alcotest.(check int) "parties" 0 (List.length (Transcript.parties t));
+  Alcotest.(check int) "rounds" 0 (Transcript.rounds t Transcript.Client Transcript.Mediator);
+  Alcotest.(check int) "sends" 0 (Transcript.sends_by t Transcript.Mediator);
+  Alcotest.(check bool) "summary totals" true
+    (contains (Transcript.summary t) "total: 0 messages, 0 bytes");
+  (* No parties: the diagram degenerates to the two (empty) header rows. *)
+  Alcotest.(check string) "diagram" "\n\n" (Transcript.flow_diagram t)
+
 (* ------------------------------------------------------------------ *)
 (* Catalog. *)
 
@@ -294,6 +383,10 @@ let () =
           Alcotest.test_case "accounting" `Quick test_transcript_accounting;
           Alcotest.test_case "rounds" `Quick test_transcript_rounds;
           Alcotest.test_case "diagram/summary" `Quick test_transcript_diagram;
+          Alcotest.test_case "rounds alternation" `Quick test_transcript_rounds_alternation;
+          Alcotest.test_case "diagram elision" `Quick test_flow_diagram_elision;
+          Alcotest.test_case "summary link ordering" `Quick test_summary_link_ordering;
+          Alcotest.test_case "empty transcript" `Quick test_transcript_empty;
         ] );
       ( "catalog",
         [

@@ -1,0 +1,515 @@
+(* Tests of the telemetry subsystem: monotonic clock, hand-rolled JSON,
+   span tracer, metrics registry, exporters — and the differential
+   guarantees the rest of the stack relies on: per-(party, phase) crypto
+   attribution sums to the global counters for every scheme, and the
+   trace of a PM run covers (almost) all of its measured wall time. *)
+
+open Secmed_crypto
+open Secmed_mediation
+open Secmed_core
+open Secmed_obs
+
+let fast = { Env.group_bits = 160; paillier_bits = 384 }
+
+let small_spec =
+  {
+    Workload.default with
+    rows_left = 12;
+    rows_right = 12;
+    distinct_left = 6;
+    distinct_right = 6;
+    overlap = 3;
+    extra_attrs = 1;
+  }
+
+let scenario () = Workload.scenario ~params:fast small_spec
+
+(* ------------------------------------------------------------------ *)
+(* Clock. *)
+
+let test_clock_monotonic () =
+  let previous = ref (Clock.now_ns ()) in
+  for _ = 1 to 1000 do
+    let now = Clock.now_ns () in
+    if Int64.compare now !previous < 0 then Alcotest.fail "clock went backwards";
+    previous := now
+  done
+
+let test_clock_elapsed () =
+  let t0 = Clock.now_ns () in
+  ignore (Sys.opaque_identity (List.init 1000 Fun.id));
+  let e = Clock.elapsed_ns ~since:t0 in
+  Alcotest.(check bool) "non-negative" true (Int64.compare e 0L >= 0);
+  Alcotest.(check (float 1e-9)) "ns_to_s" 0.5 (Clock.ns_to_s 500_000_000L);
+  Alcotest.(check (float 1e-9)) "ns_to_ms" 1.5 (Clock.ns_to_ms 1_500_000L)
+
+(* ------------------------------------------------------------------ *)
+(* Json. *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("bools", Json.List [ Json.Bool true; Json.Bool false ]);
+        ("int", Json.Int (-42));
+        ("float", Json.Float 1.5);
+        ("str", Json.Str "quote \" backslash \\ newline \n tab \t unicode \x01");
+        ("nested", Json.Obj [ ("empty_list", Json.List []); ("empty_obj", Json.Obj []) ]);
+      ]
+  in
+  (match Json.parse (Json.to_string v) with
+   | Ok parsed -> Alcotest.(check bool) "compact roundtrip" true (parsed = v)
+   | Error e -> Alcotest.failf "compact: %s" e);
+  match Json.parse (Json.to_string_pretty v) with
+  | Ok parsed -> Alcotest.(check bool) "pretty roundtrip" true (parsed = v)
+  | Error e -> Alcotest.failf "pretty: %s" e
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "[1] trailing"; "{'a':1}" ]
+
+let test_json_accessors () =
+  match Json.parse {|{"a": [1, 2.5, "x"], "b": {"c": 7}}|} with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok v ->
+    (match Json.member "a" v with
+     | Some (Json.List [ x; y; z ]) ->
+       Alcotest.(check (option int)) "int" (Some 1) (Json.to_int x);
+       Alcotest.(check (option (float 1e-9))) "float" (Some 2.5) (Json.to_float y);
+       Alcotest.(check (option string)) "str" (Some "x") (Json.to_str z)
+     | _ -> Alcotest.fail "member a");
+    (match Json.member "b" v with
+     | Some b -> Alcotest.(check (option int)) "nested" (Some 7)
+                   (Option.bind (Json.member "c" b) Json.to_int)
+     | None -> Alcotest.fail "member b")
+
+(* ------------------------------------------------------------------ *)
+(* Metrics. *)
+
+let test_metrics_counter_gauge () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.counter" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  Alcotest.(check int) "counter" 5 (Metrics.counter_value c);
+  let g = Metrics.gauge "test.gauge" in
+  Metrics.set_gauge g 2.25;
+  Alcotest.(check (float 1e-9)) "gauge" 2.25 (Metrics.gauge_value g);
+  Alcotest.(check bool) "interned" true (c == Metrics.counter "test.counter");
+  (try
+     ignore (Metrics.histogram "test.counter");
+     Alcotest.fail "kind clash accepted"
+   with Invalid_argument _ -> ());
+  Metrics.reset ();
+  Alcotest.(check int) "reset" 0 (Metrics.counter_value c)
+
+let test_metrics_histogram () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.hist" in
+  for i = 1 to 1000 do
+    Metrics.observe h (float_of_int i /. 1000.0)
+  done;
+  Alcotest.(check int) "count" 1000 (Metrics.histogram_count h);
+  let p50, p90, p99 = Metrics.percentiles h in
+  let within q lo hi = q >= lo && q <= hi in
+  Alcotest.(check bool) "p50 in [0.35,0.7]" true (within p50 0.35 0.7);
+  Alcotest.(check bool) "p90 in [0.7,1.0]" true (within p90 0.7 1.0);
+  Alcotest.(check bool) "p99 in [0.8,1.0]" true (within p99 0.8 1.0);
+  Alcotest.(check bool) "ordered" true (p50 <= p90 && p90 <= p99);
+  (* Zero and negative observations land in the underflow bucket and
+     never make a quantile negative-infinite. *)
+  Metrics.observe h 0.0;
+  Metrics.observe h (-1.0);
+  let p50, _, _ = Metrics.percentiles h in
+  Alcotest.(check bool) "underflow safe" true (Float.is_finite p50)
+
+let test_metrics_singleton_quantile () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.single" in
+  Metrics.observe h 3.0;
+  let p50, p90, p99 = Metrics.percentiles h in
+  List.iter
+    (fun q -> Alcotest.(check (float 1e-9)) "clamped to the one sample" 3.0 q)
+    [ p50; p90; p99 ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace. *)
+
+let test_trace_disabled_is_passthrough () =
+  Trace.uninstall ();
+  Alcotest.(check bool) "disabled" false (Trace.enabled ());
+  Alcotest.(check int) "value passes" 41 (Trace.with_span "noop" (fun () -> 41));
+  Trace.add_attr "ignored" Json.Null;
+  Trace.event "ignored"
+
+let test_trace_nesting () =
+  let (), t =
+    Trace.collect (fun () ->
+        Trace.with_span ~kind:Trace.Protocol "root" (fun () ->
+            Trace.with_span ~kind:Trace.Phase "child" (fun () ->
+                Trace.add_attr "k" (Json.Int 1);
+                Trace.event "hello" ~attrs:[ ("n", Json.Int 2) ]);
+            Trace.with_span "second" (fun () -> ())))
+  in
+  match Trace.spans t with
+  | [ root; child; second ] ->
+    Alcotest.(check (option int)) "root is a root" None root.Trace.parent;
+    Alcotest.(check (option int)) "child of root" (Some root.Trace.id) child.Trace.parent;
+    Alcotest.(check (option int)) "second too" (Some root.Trace.id) second.Trace.parent;
+    Alcotest.(check bool) "attr" true (Trace.find_attr child "k" = Some (Json.Int 1));
+    (match Trace.events t with
+     | [ e ] ->
+       Alcotest.(check string) "event name" "hello" e.Trace.ev_name;
+       Alcotest.(check (option int)) "anchored" (Some child.Trace.id) e.Trace.ev_span
+     | events -> Alcotest.failf "expected 1 event, got %d" (List.length events));
+    Alcotest.(check (list int)) "roots" [ root.Trace.id ]
+      (List.map (fun s -> s.Trace.id) (Trace.roots t));
+    Alcotest.(check (list int)) "children" [ child.Trace.id; second.Trace.id ]
+      (List.map (fun s -> s.Trace.id) (Trace.children t root))
+  | spans -> Alcotest.failf "expected 3 spans, got %d" (List.length spans)
+
+exception Boom
+
+let test_trace_exception_safety () =
+  let result =
+    Trace.collect (fun () ->
+        try Trace.with_span "outer" (fun () ->
+              Trace.with_span "inner" (fun () -> raise Boom))
+        with Boom -> ())
+  in
+  let (), t = result in
+  Alcotest.(check int) "both spans closed" 2 (List.length (Trace.spans t));
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (s.Trace.name ^ " has a stop time") true
+        (Int64.compare s.Trace.stop_ns s.Trace.start_ns >= 0))
+    (Trace.spans t);
+  (* The stack recovered: a new span after the exception is a root. *)
+  Alcotest.(check bool) "not enabled outside collect" false (Trace.enabled ())
+
+let test_trace_collect_restores () =
+  let outer = Trace.create () in
+  Trace.install outer;
+  let (), _inner = Trace.collect (fun () -> Trace.with_span "in" (fun () -> ())) in
+  Alcotest.(check bool) "outer sink back" true (Trace.enabled ());
+  Trace.with_span "after" (fun () -> ());
+  Trace.uninstall ();
+  Alcotest.(check int) "outer got only its own span" 1 (List.length (Trace.spans outer))
+
+(* ------------------------------------------------------------------ *)
+(* Exporters. *)
+
+let sample_trace () =
+  let (), t =
+    Trace.collect (fun () ->
+        Trace.with_span ~kind:Trace.Protocol "proto" (fun () ->
+            Trace.with_span ~kind:Trace.Phase
+              ~attrs:[ ("party", Json.Str "Client") ] "phase-a" (fun () ->
+                Trace.event "message" ~attrs:[ ("bytes", Json.Int 7) ])))
+  in
+  t
+
+let test_export_chrome_parses () =
+  let t = sample_trace () in
+  match Json.parse (Export.chrome_json t) with
+  | Error e -> Alcotest.failf "chrome trace does not parse: %s" e
+  | Ok (Json.List entries) ->
+    let phs =
+      List.filter_map (fun e -> Option.bind (Json.member "ph" e) Json.to_str) entries
+    in
+    Alcotest.(check bool) "has complete events" true (List.mem "X" phs);
+    Alcotest.(check bool) "has metadata events" true (List.mem "M" phs);
+    Alcotest.(check bool) "has instant events" true (List.mem "i" phs);
+    List.iter
+      (fun e ->
+        if Option.bind (Json.member "ph" e) Json.to_str = Some "X" then begin
+          Alcotest.(check bool) "ts present" true (Json.member "ts" e <> None);
+          Alcotest.(check bool) "dur present" true (Json.member "dur" e <> None)
+        end)
+      entries
+  | Ok _ -> Alcotest.fail "chrome trace is not a JSON array"
+
+let test_export_jsonl_parses () =
+  let t = sample_trace () in
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' (Export.jsonl t))
+  in
+  Alcotest.(check int) "header + 2 spans + 1 event" 4 (List.length lines);
+  let types =
+    List.map
+      (fun line ->
+        match Json.parse line with
+        | Error e -> Alcotest.failf "line does not parse: %s (%s)" line e
+        | Ok v ->
+          (match Option.bind (Json.member "type" v) Json.to_str with
+           | Some ty -> ty
+           | None -> Alcotest.failf "line without type: %s" line))
+      lines
+  in
+  Alcotest.(check (list string)) "line types" [ "clock"; "span"; "span"; "event" ] types
+
+let test_export_format_of_path () =
+  Alcotest.(check bool) "jsonl" true (Export.format_of_path "t.jsonl" = `Jsonl);
+  Alcotest.(check bool) "chrome" true (Export.format_of_path "t.json" = `Chrome)
+
+(* ------------------------------------------------------------------ *)
+(* Counters: scoped attribution. *)
+
+let test_counters_scoped_nesting () =
+  let (), _counts =
+    Counters.with_fresh (fun () ->
+        Counters.bump Counters.Hash;
+        Counters.scoped ~party:"A" ~phase:"p" (fun () ->
+            Counters.bump Counters.Hash;
+            Counters.bump Counters.Hash;
+            Counters.scoped ~party:"B" ~phase:"q" (fun () ->
+                Counters.bump Counters.Random_number));
+        let attr = Counters.attribution () in
+        let find key = List.assoc_opt key attr in
+        let count key p =
+          match find key with Some counts -> List.assoc p counts | None -> -1
+        in
+        Alcotest.(check int) "outside any scope" 1 (count ("unattributed", "") Counters.Hash);
+        Alcotest.(check int) "A/p hashes" 2 (count ("A", "p") Counters.Hash);
+        Alcotest.(check int) "A/p did not absorb B/q" 0 (count ("A", "p") Counters.Random_number);
+        Alcotest.(check int) "B/q randoms" 1 (count ("B", "q") Counters.Random_number);
+        (* The invariant: attribution sums to the global snapshot. *)
+        List.iter
+          (fun (p, total) ->
+            let attributed =
+              List.fold_left
+                (fun acc (_, counts) -> acc + List.assoc p counts)
+                0 attr
+            in
+            Alcotest.(check int) ("sum " ^ Counters.name p) total attributed)
+          (Counters.snapshot ()))
+  in
+  ()
+
+let test_counters_scoped_exception () =
+  let (), _ =
+    Counters.with_fresh (fun () ->
+        (try
+           Counters.scoped ~party:"A" ~phase:"p" (fun () ->
+               Counters.bump Counters.Hash;
+               raise Boom)
+         with Boom -> ());
+        Counters.bump Counters.Ideal_hash;
+        let attr = Counters.attribution () in
+        Alcotest.(check int) "scope closed on exception" 1
+          (List.assoc Counters.Hash (List.assoc ("A", "p") attr));
+        Alcotest.(check int) "later bumps fall outside" 1
+          (List.assoc Counters.Ideal_hash (List.assoc ("unattributed", "") attr)))
+  in
+  ()
+
+(* The documented non-reentrancy of with_fresh: an inner with_fresh's
+   counts vanish from the outer accounting (its restore puts back the
+   outer partial counts).  This pins the behaviour the mli documents and
+   steers nesting use-cases toward Counters.scoped. *)
+let test_with_fresh_not_reentrant () =
+  let (), outer_counts =
+    Counters.with_fresh (fun () ->
+        Counters.bump Counters.Hash;
+        let (), inner_counts =
+          Counters.with_fresh (fun () -> Counters.bump Counters.Hash)
+        in
+        Alcotest.(check int) "inner sees only its own" 1
+          (List.assoc Counters.Hash inner_counts))
+  in
+  Alcotest.(check int) "outer lost the inner bump" 1
+    (List.assoc Counters.Hash outer_counts)
+
+(* ------------------------------------------------------------------ *)
+(* Differential: for every scheme, the per-(party, phase) attribution in
+   the outcome sums to the global counter snapshot of the run. *)
+
+let test_attribution_sums_per_scheme () =
+  let env, client, query = scenario () in
+  List.iter
+    (fun scheme ->
+      let outcome = Protocol.run_exn scheme env client ~query in
+      List.iter
+        (fun (p, total) ->
+          let attributed =
+            List.fold_left
+              (fun acc ((_, _), counts) -> acc + List.assoc p counts)
+              0 outcome.Outcome.attributed
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "%s: %s" (Protocol.scheme_name scheme) (Counters.name p))
+            total attributed)
+        outcome.Outcome.counters;
+      (* Every phase with attributed crypto work is party-labelled: the
+         drivers never let counts fall into the unattributed bucket. *)
+      List.iter
+        (fun ((party, phase), _) ->
+          if String.equal party "unattributed" then
+            Alcotest.failf "%s: unattributed crypto ops in phase %S"
+              (Protocol.scheme_name scheme) phase)
+        outcome.Outcome.attributed)
+    Protocol.all_schemes
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end tracing: a traced PM run produces a protocol root span
+   whose children cover at least 95% of its duration, with crypto ops
+   attached to party-labelled phase spans. *)
+
+let test_pm_trace_coverage () =
+  let env, client, query = scenario () in
+  let outcome, t =
+    Trace.collect (fun () ->
+        Protocol.run_exn (Protocol.Private_matching Pm_join.Session_keys) env client ~query)
+  in
+  Alcotest.(check bool) "run correct" true (Outcome.correct outcome);
+  match Trace.roots t with
+  | [ root ] ->
+    Alcotest.(check bool) "root is the protocol span" true
+      (root.Trace.kind = Trace.Protocol);
+    let coverage = Trace.coverage t root in
+    if coverage < 0.95 then
+      Alcotest.failf "span coverage %.1f%% below 95%%" (coverage *. 100.0);
+    (* Crypto ops surfaced as span attributes on party-labelled phases. *)
+    let has_ops =
+      List.exists
+        (fun s ->
+          s.Trace.kind = Trace.Phase
+          && Trace.find_attr s "party" <> None
+          && List.exists
+               (fun (k, _) -> String.length k > 4 && String.sub k 0 4 = "ops.")
+               (Trace.attrs s))
+        (Trace.spans t)
+    in
+    Alcotest.(check bool) "ops.* attributes present" true has_ops;
+    (* The transcript's messages surfaced as instant events. *)
+    let n_messages = Transcript.message_count outcome.Outcome.transcript in
+    let n_events =
+      List.length
+        (List.filter (fun e -> e.Trace.ev_name = "message") (Trace.events t))
+    in
+    Alcotest.(check int) "one event per message" n_messages n_events
+  | roots -> Alcotest.failf "expected 1 root span, got %d" (List.length roots)
+
+(* A faulted run emits fault events into the trace. *)
+let test_fault_events_in_trace () =
+  let env, client, query = scenario () in
+  let plan =
+    match Fault.of_spec "drop:mediator->client:*:times=1;retries=0" with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let result, t =
+    Trace.collect (fun () ->
+        Protocol.run (Protocol.Private_matching Pm_join.Session_keys) ~fault:plan env client
+          ~query)
+  in
+  (match result with
+   | Protocol.Fault _ -> ()
+   | Protocol.Ok _ -> Alcotest.fail "expected the drop to fault the run");
+  Alcotest.(check bool) "fault event present" true
+    (List.exists (fun e -> e.Trace.ev_name = "fault") (Trace.events t))
+
+(* ------------------------------------------------------------------ *)
+(* Transcript running totals: the incremental counters match a from-
+   scratch recomputation over the message list. *)
+
+let test_transcript_running_totals () =
+  let tr = Transcript.create () in
+  Alcotest.(check int) "empty count" 0 (Transcript.message_count tr);
+  Alcotest.(check int) "empty bytes" 0 (Transcript.total_bytes tr);
+  let prng = Prng.of_int_seed 11 in
+  let parties = [| Transcript.Client; Transcript.Mediator; Transcript.Source 1 |] in
+  for i = 0 to 99 do
+    let sender = parties.(Prng.uniform_int prng 3) in
+    let receiver = parties.(Prng.uniform_int prng 3) in
+    Transcript.record tr ~sender ~receiver ~label:(Printf.sprintf "m%d" i)
+      ~size:(Prng.uniform_int prng 5000)
+  done;
+  let messages = Transcript.messages tr in
+  Alcotest.(check int) "count matches list" (List.length messages)
+    (Transcript.message_count tr);
+  Alcotest.(check int) "bytes match fold"
+    (List.fold_left (fun acc m -> acc + m.Transcript.size) 0 messages)
+    (Transcript.total_bytes tr)
+
+(* ------------------------------------------------------------------ *)
+(* Report. *)
+
+let test_report_of_trace () =
+  let env, client, query = scenario () in
+  let _outcome, t =
+    Trace.collect (fun () ->
+        Protocol.run_exn (Protocol.Private_matching Pm_join.Session_keys) env client ~query)
+  in
+  let rendered = Report.of_trace t in
+  List.iter
+    (fun needle ->
+      if
+        not
+          (List.exists
+             (fun line ->
+               String.length line >= String.length needle
+               &&
+               let rec scan i =
+                 i + String.length needle <= String.length line
+                 && (String.sub line i (String.length needle) = needle || scan (i + 1))
+               in
+               scan 0)
+             (String.split_on_char '\n' rendered))
+      then Alcotest.failf "report lacks %S:\n%s" needle rendered)
+    [ "party"; "Client"; "Source1"; "client-postprocess"; "total" ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "monotonic" `Quick test_clock_monotonic;
+          Alcotest.test_case "elapsed" `Quick test_clock_elapsed;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter and gauge" `Quick test_metrics_counter_gauge;
+          Alcotest.test_case "histogram percentiles" `Quick test_metrics_histogram;
+          Alcotest.test_case "singleton quantile" `Quick test_metrics_singleton_quantile;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled passthrough" `Quick test_trace_disabled_is_passthrough;
+          Alcotest.test_case "nesting" `Quick test_trace_nesting;
+          Alcotest.test_case "exception safety" `Quick test_trace_exception_safety;
+          Alcotest.test_case "collect restores" `Quick test_trace_collect_restores;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome parses" `Quick test_export_chrome_parses;
+          Alcotest.test_case "jsonl parses" `Quick test_export_jsonl_parses;
+          Alcotest.test_case "format of path" `Quick test_export_format_of_path;
+        ] );
+      ( "attribution",
+        [
+          Alcotest.test_case "scoped nesting" `Quick test_counters_scoped_nesting;
+          Alcotest.test_case "scoped exception" `Quick test_counters_scoped_exception;
+          Alcotest.test_case "with_fresh not reentrant" `Quick test_with_fresh_not_reentrant;
+          Alcotest.test_case "sums per scheme" `Slow test_attribution_sums_per_scheme;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "pm trace coverage" `Slow test_pm_trace_coverage;
+          Alcotest.test_case "fault events" `Slow test_fault_events_in_trace;
+          Alcotest.test_case "transcript totals" `Quick test_transcript_running_totals;
+          Alcotest.test_case "report" `Slow test_report_of_trace;
+        ] );
+    ]
