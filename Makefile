@@ -1,6 +1,6 @@
 # Convenience entry points; everything below is plain dune.
 
-.PHONY: all check test check-fault check-obs bench bench-json clean
+.PHONY: all check test check-fault check-obs check-resilience bench bench-json clean
 
 all:
 	dune build
@@ -24,6 +24,18 @@ check-obs:
 	    --trace _build/trace_ci.json
 	dune exec bench/main.exe -- json-protocols --sizes 4
 	dune exec bin/secmed.exe -- check-bench BENCH_protocols.json
+
+# Resilience suite: deterministic session-layer tests (manual clocks,
+# seeded jitter — never sleeps), a CLI run that must degrade gracefully
+# (exit 4 = degraded-but-served), and BENCH_resilience.json
+# regeneration + schema validation.
+check-resilience:
+	dune exec test/test_resilience.exe
+	dune exec bin/secmed.exe -- run --scheme pm --rows 16 --distinct 8 --overlap 4 \
+	    --fault "byzantine:1:garbage-paillier" --fallback auto --deadline 30; \
+	    test $$? -eq 4
+	dune exec bench/main.exe -- json-resilience
+	dune exec bin/secmed.exe -- check-bench BENCH_resilience.json
 
 # Full benchmark/reproduction suite (slow).
 bench:

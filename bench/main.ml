@@ -71,6 +71,10 @@ let experiments : (string * string * (unit -> unit) Term.t) list =
            $ sizes_arg));
     ("json-protocols", "Write only BENCH_protocols.json: per-scheme/phase/party costs",
      Term.(const (fun sizes () -> Protocols_json.write ~sizes ()) $ sizes_arg));
+    ("json-resilience",
+     "Write BENCH_resilience.json: session recovery latency and degradation rates under \
+      seeded fault plans",
+     Term.(const (fun () () -> Resilience_json.write ()) $ const ()));
   ]
 
 let run_all () =

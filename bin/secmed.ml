@@ -45,6 +45,95 @@ let fault_arg =
   in
   Arg.(value & opt (some fault_conv) None & info [ "fault" ] ~docv:"SPEC" ~doc)
 
+(* Exit codes of `secmed run` (documented in README "Resilience"):
+   0 = served exactly as requested, 3 = fault (query not served),
+   4 = served, but by a degradation fallback. *)
+let exit_fault = 3
+let exit_degraded = 4
+
+module R = Secmed_mediation.Resilience
+
+let deadline_arg =
+  let doc =
+    "Per-query wall-clock budget in seconds.  Elapsed time and injected link \
+     delays (--fault delay rules) consume it; when spent, the run fails with \
+     a typed deadline failure instead of hanging."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let fallback_conv =
+  let parse = function
+    | "none" -> Ok `None
+    | "auto" -> Ok `Auto
+    | spec ->
+      let rec go acc = function
+        | [] -> Ok (`Chain (List.rev acc))
+        | name :: rest -> (
+          match Protocol.scheme_of_name (String.trim name) with
+          | Some scheme -> go (scheme :: acc) rest
+          | None -> Error (`Msg (Printf.sprintf "unknown fallback scheme %S" name)))
+      in
+      go [] (String.split_on_char ',' spec)
+  in
+  let print fmt = function
+    | `None -> Format.pp_print_string fmt "none"
+    | `Auto -> Format.pp_print_string fmt "auto"
+    | `Chain schemes ->
+      Format.pp_print_string fmt
+        (String.concat "," (List.map Protocol.scheme_name schemes))
+  in
+  Arg.conv (parse, print)
+
+let fallback_arg =
+  let doc =
+    "Graceful-degradation chain tried when the scheme exhausts its \
+     retry/deadline budget: $(b,auto) (the default chain, pm -> commutative -> \
+     das), $(b,none), or a comma-separated list of scheme names.  A degraded \
+     but served run exits with code 4."
+  in
+  Arg.(value & opt fallback_conv `None & info [ "fallback" ] ~docv:"CHAIN" ~doc)
+
+let breaker_conv =
+  let parse spec =
+    let apply cfg field =
+      match String.split_on_char '=' field with
+      | [ "window"; v ] ->
+        Option.map (fun n -> { cfg with R.window = n }) (int_of_string_opt v)
+      | [ "threshold"; v ] ->
+        Option.map (fun r -> { cfg with R.failure_threshold = r }) (float_of_string_opt v)
+      | [ "min"; v ] ->
+        Option.map (fun n -> { cfg with R.min_samples = n }) (int_of_string_opt v)
+      | [ "cooldown"; v ] ->
+        Option.map (fun s -> { cfg with R.cooldown = s }) (float_of_string_opt v)
+      | [ "probes"; v ] ->
+        Option.map (fun n -> { cfg with R.half_open_probes = n }) (int_of_string_opt v)
+      | _ -> None
+    in
+    let rec go cfg = function
+      | [] -> Ok cfg
+      | field :: rest -> (
+        match apply cfg (String.trim field) with
+        | Some cfg -> go cfg rest
+        | None -> Error (`Msg (Printf.sprintf "bad breaker field %S" field)))
+    in
+    go R.default_breaker (String.split_on_char ',' spec)
+  in
+  let print fmt (cfg : R.breaker_config) =
+    Format.fprintf fmt "window=%d,threshold=%g,min=%d,cooldown=%g,probes=%d" cfg.R.window
+      cfg.R.failure_threshold cfg.R.min_samples cfg.R.cooldown cfg.R.half_open_probes
+  in
+  Arg.conv (parse, print)
+
+let breaker_arg =
+  let doc =
+    "Per-datasource circuit-breaker tuning as comma-separated fields \
+     $(b,window=N,threshold=R,min=N,cooldown=S,probes=N) (defaults: 16, 0.5, \
+     4, 1.0, 1).  A party whose failure rate over the sliding window reaches \
+     the threshold is short-circuited until the cooldown admits a half-open \
+     probe."
+  in
+  Arg.(value & opt breaker_conv R.default_breaker & info [ "breaker" ] ~docv:"SPEC" ~doc)
+
 let print_fault_events fault =
   match fault with
   | Some plan when Fault.events plan <> [] ->
@@ -113,7 +202,8 @@ let run_cmd =
   let strings =
     Arg.(value & flag & info [ "strings" ] ~doc:"Use string-typed join values.")
   in
-  let action scheme rows distinct overlap seed strings fault trace_file verbose =
+  let action scheme rows distinct overlap seed strings fault deadline fallback breaker
+      trace_file verbose =
     let spec =
       {
         Workload.default with
@@ -129,25 +219,42 @@ let run_cmd =
     Workload.validate spec;
     let env, client, query = Workload.scenario spec in
     Printf.printf "scheme: %s\nquery:  %s\n\n" (Protocol.scheme_name scheme) query;
-    let run_result, trace =
-      Obs.Trace.collect (fun () -> Protocol.run ?fault scheme env client ~query)
+    let policy =
+      { R.default_policy with R.deadline_budget = deadline; breaker_config = breaker }
     in
-    match run_result with
-    | Protocol.Ok outcome ->
+    let session = R.session ~policy () in
+    let chain =
+      match fallback with
+      | `None -> []
+      | `Auto -> Protocol.degradation_chain scheme
+      | `Chain schemes -> schemes
+    in
+    let session_result, trace =
+      Obs.Trace.collect (fun () ->
+          Protocol.run_session ?fault ~session ~chain scheme env client ~query)
+    in
+    match session_result with
+    | Protocol.Served outcome ->
       let left, right = Workload.generate spec in
       report outcome ~verbose
         ~ground_truth:(Some (Ground_truth.compute left right ~join_attr:"a_join"));
       print_fault_events fault;
-      Option.iter (fun path -> write_trace path trace) trace_file
-    | Protocol.Fault f ->
-      Format.printf "FAULT: %a@." Protocol.pp_failure f;
+      Option.iter (fun path -> write_trace path trace) trace_file;
+      (match outcome.Outcome.degraded_from with
+       | None -> ()
+       | Some from_scheme ->
+         Printf.printf "\nDEGRADED: served by %s instead of %s\n" outcome.Outcome.scheme
+           from_scheme;
+         exit exit_degraded)
+    | Protocol.Unserved tried ->
+      Format.printf "FAULT: query not served@.%a" Protocol.pp_session_failures tried;
       print_fault_events fault;
       Option.iter (fun path -> write_trace path trace) trace_file;
-      exit 3
+      exit exit_fault
   in
   let term =
     Term.(const action $ scheme_arg $ rows $ distinct $ overlap $ seed $ strings $ fault_arg
-          $ trace_arg $ verbose_arg)
+          $ deadline_arg $ fallback_arg $ breaker_arg $ trace_arg $ verbose_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one protocol over a synthetic workload") term
 
@@ -428,28 +535,43 @@ let check_bench_cmd =
     | Error e -> fail ("invalid JSON: " ^ e)
     | Ok json ->
       let str = function Some (Obs.Json.Str s) -> Some s | _ -> None in
-      (match Obs.Json.member "schemes" json with
-       | Some (Obs.Json.List entries) when entries <> [] ->
-         List.iter
-           (fun entry ->
-             let name =
-               match str (Obs.Json.member "scheme" entry) with
-               | Some s -> s
-               | None -> fail "entry without a \"scheme\" name"
-             in
-             List.iter
-               (fun key ->
-                 if Obs.Json.member key entry = None then
-                   fail (Printf.sprintf "scheme %S: missing key %S" name key))
-               [ "domain_size"; "seconds"; "phases"; "parties"; "messages";
-                 "bytes"; "rounds"; "counters" ])
-           entries;
-         Printf.printf "%s: ok (%d scheme runs)\n" file (List.length entries)
-       | Some _ | None -> fail "missing or empty \"schemes\" array")
+      let check_entries ~what ~name_key ~required entries =
+        List.iter
+          (fun entry ->
+            let name =
+              match str (Obs.Json.member name_key entry) with
+              | Some s -> s
+              | None -> fail (Printf.sprintf "entry without a %S name" name_key)
+            in
+            List.iter
+              (fun key ->
+                if Obs.Json.member key entry = None then
+                  fail (Printf.sprintf "%s %S: missing key %S" what name key))
+              required)
+          entries;
+        Printf.printf "%s: ok (%d %s entries)\n" file (List.length entries) what
+      in
+      (* Two validated shapes: BENCH_protocols.json carries a "schemes"
+         array, BENCH_resilience.json a "scenarios" array. *)
+      (match (Obs.Json.member "schemes" json, Obs.Json.member "scenarios" json) with
+       | Some (Obs.Json.List entries), _ when entries <> [] ->
+         check_entries ~what:"scheme" ~name_key:"scheme"
+           ~required:
+             [ "domain_size"; "seconds"; "phases"; "parties"; "messages";
+               "bytes"; "rounds"; "counters" ]
+           entries
+       | _, Some (Obs.Json.List entries) when entries <> [] ->
+         check_entries ~what:"scenario" ~name_key:"scenario"
+           ~required:
+             [ "scheme"; "outcome"; "attempts"; "seconds"; "degraded_from";
+               "breaker_transitions" ]
+           entries
+       | _ -> fail "missing or empty \"schemes\" / \"scenarios\" array")
   in
   Cmd.v
     (Cmd.info "check-bench"
-       ~doc:"Validate that a BENCH_protocols.json file parses and carries the expected keys")
+       ~doc:"Validate that a BENCH_protocols.json or BENCH_resilience.json file parses \
+             and carries the expected keys")
     Term.(const action $ file)
 
 (* ------------------------------------------------------------------ *)

@@ -14,9 +14,16 @@ type t = {
   counters : (Counters.primitive * int) list;
   attributed : ((string * string) * (Counters.primitive * int) list) list;
   timings : (string * float) list;
+  degraded_from : string option;
 }
 
 let correct t = Relation.equal_contents t.result t.exact
+
+let mark_degraded t ~from_scheme ~reason =
+  Transcript.note t.transcript
+    (Printf.sprintf "degraded: served by %s after %s gave up (%s)" t.scheme from_scheme
+       reason);
+  { t with degraded_from = Some from_scheme }
 
 let superset_factor t =
   (* Tuples of the two sources that appear in the exact join, counted once
@@ -29,8 +36,12 @@ let observed list key = List.assoc_opt key list
 let timing_total t = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 t.timings
 
 let pp_summary fmt t =
-  Format.fprintf fmt "[%s] result=%d tuples (exact %d, %s), received=%d, %d messages / %d bytes, %.1f ms@."
-    t.scheme (Relation.cardinality t.result) (Relation.cardinality t.exact)
+  Format.fprintf fmt "[%s%s] result=%d tuples (exact %d, %s), received=%d, %d messages / %d bytes, %.1f ms@."
+    t.scheme
+    (match t.degraded_from with
+     | None -> ""
+     | Some from_scheme -> Printf.sprintf ", degraded from %s" from_scheme)
+    (Relation.cardinality t.result) (Relation.cardinality t.exact)
     (if correct t then "correct" else "WRONG")
     t.client_received_tuples
     (Transcript.message_count t.transcript)
@@ -111,5 +122,6 @@ module Builder = struct
       counters;
       attributed = b.attributed_;
       timings = List.rev b.timings;
+      degraded_from = None;
     }
 end

@@ -24,10 +24,20 @@ type t = {
           view of [counters]; entries sum to it when every phase was run
           under a party label (see {!Counters.scoped}) *)
   timings : (string * float) list; (** phase -> seconds, in execution order *)
+  degraded_from : string option;
+      (** [Some s] when the resilience session served the query with this
+          scheme only after scheme [s] exhausted its retry/deadline budget
+          (see {!Protocol.run_session}); the trade is recorded as a
+          transcript note too *)
 }
 
 val correct : t -> bool
 (** Whether the protocol's result equals the reference result. *)
+
+val mark_degraded : t -> from_scheme:string -> reason:string -> t
+(** Annotate the outcome as served via a degradation fallback: sets
+    {!field-degraded_from} and appends a transcript note naming the scheme
+    that gave up and why. *)
 
 val superset_factor : t -> float
 (** client_received_tuples / source tuples in the exact join (>= 1 for a

@@ -21,9 +21,12 @@ val paper_schemes : scheme list
 
 val scheme_name : scheme -> string
 val scheme_of_name : string -> scheme option
-(** Accepts the names produced by {!scheme_name} plus the variants
-    ["pm-direct"], ["commutative-ids"], ["das-singleton"],
-    ["das-nested-loop"]. *)
+(** Accepts the short CLI aliases (["das"], ["das-singleton"],
+    ["das-nested-loop"], ["commutative"], ["commutative-ids"], ["pm"],
+    ["pm-direct"], ["mobile-code"], ["plain"]) and the canonical
+    {!scheme_name} spelling of each of those configurations, so
+    [scheme_of_name (scheme_name s) = Some s] for every nameable scheme.
+    Anything else is [None]. *)
 
 (** Typed outcome of a protocol execution under a fault model: which
     phase, at which party, detected the fault, and after how many
@@ -58,4 +61,43 @@ val run_exn :
 (** Like {!run} but raises {!Faulted} — for call sites that treat a
     fault as fatal (benches, examples, the legacy CLI paths). *)
 
+(** {2 Resilient sessions}
+
+    {!run_session} wraps the retry loop of {!run} in the
+    {!Secmed_mediation.Resilience} layer: a per-query deadline, seeded
+    exponential backoff between attempts, per-party circuit breakers
+    that persist across queries of the same session, and a graceful
+    degradation chain — when a scheme exhausts its retry/deadline
+    budget, the next scheme in the chain is tried and a served outcome
+    is annotated with [degraded_from] (DESIGN.md §10). *)
+
+type session_result =
+  | Served of Outcome.t
+      (** the query was answered; [Outcome.degraded_from] tells whether a
+          fallback scheme served it *)
+  | Unserved of (string * failure) list
+      (** every chain entry failed: scheme name and terminal failure, in
+          the order tried *)
+
+val degradation_chain : scheme -> scheme list
+(** The default fallback order: [pm → commutative → das → fail]; DAS and
+    the baselines have no cheaper fallback.  Every step preserves result
+    exactness — degradation trades disclosure and cost, not correctness
+    (see the table in DESIGN.md §10). *)
+
+val run_session :
+  ?fault:Secmed_mediation.Fault.plan ->
+  ?session:Secmed_mediation.Resilience.session ->
+  ?chain:scheme list ->
+  scheme -> Env.t -> Env.client -> query:string -> session_result
+(** Serve one query under the session's resilience policy.  [chain]
+    defaults to {!degradation_chain}; pass [[]] to disable fallback.
+    Reusing the same [session] across calls carries breaker state over,
+    so a datasource that keeps failing is eventually short-circuited
+    ([phase = "breaker"]) without being contacted.  A spent deadline
+    ([phase = "deadline"]) aborts the remaining chain.  While the call
+    runs, the fault plan's delay handler is pointed at the query
+    deadline, so injected [Delay] faults consume budget. *)
+
 val pp_failure : Format.formatter -> failure -> unit
+val pp_session_failures : Format.formatter -> (string * failure) list -> unit

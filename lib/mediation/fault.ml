@@ -74,6 +74,7 @@ type plan = {
   mutable pending_note : string option;
   mutable last_failure : failure option;
   mutable simulated_delay : float;
+  mutable on_delay : (float -> unit) option;
 }
 
 let plan ?(seed = 0) ?(max_retries = 2) ?(byzantine = []) rules =
@@ -87,11 +88,14 @@ let plan ?(seed = 0) ?(max_retries = 2) ?(byzantine = []) rules =
     pending_note = None;
     last_failure = None;
     simulated_delay = 0.0;
+    on_delay = None;
   }
 
 let events p = List.rev p.rev_events
 
 let simulated_delay p = p.simulated_delay
+
+let set_delay_handler p handler = p.on_delay <- handler
 
 let attempts p = p.attempt
 
@@ -203,6 +207,10 @@ let deliver p transcript ~phase ~sender ~receiver ~label payload =
     | Delay seconds ->
       p.simulated_delay <- p.simulated_delay +. seconds;
       event (Printf.sprintf "delivery delayed by %.3fs" seconds);
+      (* The session layer charges simulated delays against its deadline
+         here, so a delayed link can trip Resilience.Deadline_exceeded at
+         the point of delivery instead of being free. *)
+      (match p.on_delay with None -> () | Some f -> f seconds);
       payload
     | Duplicate ->
       (* The copy really travels — account for it — but the receiver

@@ -89,6 +89,13 @@ val events : plan -> event list
 val simulated_delay : plan -> float
 val attempts : plan -> int
 
+val set_delay_handler : plan -> (float -> unit) option -> unit
+(** Install (or clear, with [None]) a callback invoked with the delay in
+    seconds each time a [Delay] rule fires, after the event is logged.
+    The resilience session layer uses it to charge simulated link delays
+    against the query deadline ({!Resilience.charge}), which may raise
+    {!Resilience.Deadline_exceeded} out of the delivery point. *)
+
 val byzantine_mode : plan option -> int -> byzantine_mode option
 (** How the given datasource misbehaves, if at all. *)
 

@@ -1286,16 +1286,42 @@ let test_workload_deterministic () =
   let a3, _ = Workload.generate { small_spec with seed = small_spec.Workload.seed + 1 } in
   Alcotest.(check bool) "different seed differs" true (not (Relation.equal_contents a1 a3))
 
+let alias_spellings =
+  [ "das"; "das-singleton"; "das-nested-loop"; "commutative"; "commutative-ids"; "pm";
+    "pm-direct"; "mobile-code"; "plain" ]
+
 let test_protocol_names () =
+  (* Canonical names round-trip: parsing what scheme_name prints gives the
+     same scheme back, for every representative configuration. *)
   List.iter
-    (fun name ->
+    (fun scheme ->
+      let name = Protocol.scheme_name scheme in
       match Protocol.scheme_of_name name with
+      | Some parsed ->
+        Alcotest.(check string)
+          (name ^ " round-trips") name (Protocol.scheme_name parsed)
+      | None -> Alcotest.failf "canonical name %s not parsed back" name)
+    Protocol.all_schemes;
+  (* Alias spellings parse, and parsing is idempotent through the
+     canonical name. *)
+  List.iter
+    (fun alias ->
+      match Protocol.scheme_of_name alias with
+      | None -> Alcotest.failf "unknown alias %s" alias
       | Some scheme ->
-        Alcotest.(check bool) name true (String.length (Protocol.scheme_name scheme) > 0)
-      | None -> Alcotest.failf "unknown scheme %s" name)
-    [ "das"; "das-singleton"; "das-nested-loop"; "commutative"; "commutative-ids"; "pm";
-      "pm-direct"; "mobile-code"; "plain" ];
-  Alcotest.(check bool) "unknown rejected" true (Protocol.scheme_of_name "quantum" = None)
+        let canonical = Protocol.scheme_name scheme in
+        Alcotest.(check bool)
+          (alias ^ " -> " ^ canonical ^ " round-trips")
+          true
+          (Protocol.scheme_of_name canonical = Some scheme))
+    alias_spellings;
+  List.iter
+    (fun bogus ->
+      Alcotest.(check bool)
+        ("unknown rejected: " ^ bogus)
+        true
+        (Protocol.scheme_of_name bogus = None))
+    [ "quantum"; "pm["; "das[equi-depth(5)]"; "commutative[IDS]"; ""; "PLAIN" ]
 
 let test_outcome_accessors () =
   let env, client, query = scenario () in
