@@ -1,6 +1,6 @@
 # Convenience entry points; everything below is plain dune.
 
-.PHONY: all check test check-fault check-obs check-resilience bench bench-json clean
+.PHONY: all check test check-fault check-obs check-resilience check-net bench bench-json clean
 
 all:
 	dune build
@@ -36,6 +36,15 @@ check-resilience:
 	    test $$? -eq 4
 	dune exec bench/main.exe -- json-resilience
 	dune exec bin/secmed.exe -- check-bench BENCH_resilience.json
+
+# Networked-transport suite: frame codec and mux units, the forked
+# loopback cluster differential (distributed run bit-identical to the
+# in-process one), live chaos-proxy conformance, and BENCH_net.json
+# regeneration + schema validation.
+check-net:
+	dune exec test/test_net.exe -- test -e
+	dune exec bench/main.exe -- json-net
+	dune exec bin/secmed.exe -- check-bench BENCH_net.json
 
 # Full benchmark/reproduction suite (slow).
 bench:

@@ -75,6 +75,10 @@ let experiments : (string * string * (unit -> unit) Term.t) list =
      "Write BENCH_resilience.json: session recovery latency and degradation rates under \
       seeded fault plans",
      Term.(const (fun () () -> Resilience_json.write ()) $ const ()));
+    ("json-net",
+     "Write BENCH_net.json: in-process vs loopback-TCP cost per scheme, with socket-level \
+      byte accounting",
+     Term.(const (fun () () -> Net_json.write ()) $ const ()));
   ]
 
 let run_all () =

@@ -1,0 +1,90 @@
+(* BENCH_net.json: the cost of distributing the mediation — per scheme,
+   one in-process run against the same query served by a real forked
+   mediator/datasource cluster on 127.0.0.1 (DESIGN.md §11).  Each entry
+   records both wall clocks, the canonical transcript totals, the
+   client's raw socket byte counters (framing overhead rides on top of
+   the payloads), and whether the distributed result was bit-identical
+   to the in-process one.  The schema is validated by
+   `secmed check-bench` (and by make check-net in CI). *)
+
+open Secmed_mediation
+open Secmed_core
+open Secmed_net
+module Json = Secmed_obs.Json
+
+let small_spec =
+  {
+    Workload.default with
+    rows_left = 12;
+    rows_right = 12;
+    distinct_left = 6;
+    distinct_right = 6;
+    overlap = 3;
+    extra_attrs = 1;
+    seed = 2007;
+  }
+
+let schemes = [ "plain"; "das"; "commutative"; "pm"; "mobile-code" ]
+
+let timed f =
+  let t0 = Secmed_obs.Clock.now_ns () in
+  let r = f () in
+  (r, Secmed_obs.Clock.ns_to_s (Secmed_obs.Clock.elapsed_ns ~since:t0))
+
+let entry c name =
+  let scheme = Option.get (Protocol.scheme_of_name name) in
+  let reference, seconds_inproc =
+    timed (fun () ->
+        Protocol.run_exn scheme (Loopback.env c) (Loopback.client_of c)
+          ~query:(Loopback.canonical_query c))
+  in
+  let response, seconds_net = timed (fun () -> Loopback.query c ~scheme:name ()) in
+  let outcome =
+    match response.Peer.result with
+    | Protocol.Served o -> o
+    | Protocol.Unserved _ -> failwith (name ^ ": unserved over loopback")
+  in
+  let tr = outcome.Outcome.transcript in
+  let sock_in, sock_out = response.Peer.socket_bytes in
+  let matches =
+    String.equal
+      (Secmed_relalg.Relation.to_string reference.Outcome.result)
+      (Secmed_relalg.Relation.to_string outcome.Outcome.result)
+    && Transcript.total_bytes reference.Outcome.transcript = Transcript.total_bytes tr
+    && Transcript.message_count reference.Outcome.transcript = Transcript.message_count tr
+  in
+  Json.Obj
+    [
+      ("scheme", Json.Str name);
+      ("seconds_inproc", Json.Float seconds_inproc);
+      ("seconds_net", Json.Float seconds_net);
+      ("messages", Json.Int (Transcript.message_count tr));
+      ("bytes", Json.Int (Transcript.total_bytes tr));
+      ("socket_bytes_in", Json.Int sock_in);
+      ("socket_bytes_out", Json.Int sock_out);
+      ("epochs", Json.Int response.Peer.epochs);
+      ("match", Json.Bool matches);
+    ]
+
+let write ?(path = "BENCH_net.json") () =
+  let entries =
+    Loopback.with_cluster ~params:Experiments.bench_params ~spec:small_spec @@ fun c ->
+    List.map (entry c) schemes
+  in
+  let json =
+    Json.Obj
+      [
+        ( "params",
+          Json.Obj
+            [
+              ("group_bits", Json.Int Experiments.bench_params.Env.group_bits);
+              ("paillier_bits", Json.Int Experiments.bench_params.Env.paillier_bits);
+            ] );
+        ("net", Json.List entries);
+      ]
+  in
+  let contents = Json.to_string_pretty json ^ "\n" in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "wrote %s (%d bytes)\n" path (String.length contents)

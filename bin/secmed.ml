@@ -28,11 +28,13 @@ let verbose_arg =
   let doc = "Also print the message transcript and leakage analysis." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+(* The raw spec string rides along with the parsed plan: a --connect
+   client forwards the text so every replica re-parses the same plan. *)
 let fault_conv =
   let parse s =
-    match Fault.of_spec s with Ok plan -> Ok plan | Error e -> Error (`Msg e)
+    match Fault.of_spec s with Ok plan -> Ok (s, plan) | Error e -> Error (`Msg e)
   in
-  Arg.conv (parse, fun fmt _ -> Format.pp_print_string fmt "<fault-plan>")
+  Arg.conv (parse, fun fmt (s, _) -> Format.pp_print_string fmt s)
 
 let fault_arg =
   let doc =
@@ -167,6 +169,7 @@ let report outcome ~verbose ~ground_truth =
   end
 
 module Obs = Secmed_obs
+module Net = Secmed_net
 
 let trace_arg =
   let doc =
@@ -190,7 +193,10 @@ let write_trace path trace =
 (* ------------------------------------------------------------------ *)
 (* secmed run *)
 
-let run_cmd =
+(* Workload flags shared by every process of a deployment: all replicas
+   must rebuild the identical scenario, so `run`, `serve` and `source`
+   accept the same knobs. *)
+let spec_term =
   let rows = Arg.(value & opt int 32 & info [ "rows" ] ~docv:"N" ~doc:"Rows per relation.") in
   let distinct =
     Arg.(value & opt int 16 & info [ "distinct" ] ~docv:"N" ~doc:"Distinct join values per side.")
@@ -202,61 +208,245 @@ let run_cmd =
   let strings =
     Arg.(value & flag & info [ "strings" ] ~doc:"Use string-typed join values.")
   in
-  let action scheme rows distinct overlap seed strings fault deadline fallback breaker
-      trace_file verbose =
-    let spec =
-      {
-        Workload.default with
-        rows_left = rows;
-        rows_right = rows;
-        distinct_left = distinct;
-        distinct_right = distinct;
-        overlap;
-        seed;
-        value_kind = (if strings then Workload.Strings else Workload.Ints);
-      }
+  let make rows distinct overlap seed strings =
+    {
+      Workload.default with
+      rows_left = rows;
+      rows_right = rows;
+      distinct_left = distinct;
+      distinct_right = distinct;
+      overlap;
+      seed;
+      value_kind = (if strings then Workload.Strings else Workload.Ints);
+    }
+  in
+  Term.(const make $ rows $ distinct $ overlap $ seed $ strings)
+
+let io_timeout_arg =
+  let doc =
+    "Per-socket-operation timeout in seconds for networked runs (a stalled      read or write fails as a typed transport fault after this long)."
+  in
+  Arg.(value & opt float 10. & info [ "io-timeout" ] ~docv:"SECONDS" ~doc)
+
+let parse_host_port what target =
+  match String.rindex_opt target ':' with
+  | None -> failwith (Printf.sprintf "%s expects HOST:PORT, got %S" what target)
+  | Some i ->
+    let host = String.sub target 0 i in
+    let port = String.sub target (i + 1) (String.length target - i - 1) in
+    (match int_of_string_opt port with
+    | Some p when p > 0 && p < 65536 ->
+      ((if String.equal host "" then "127.0.0.1" else host), p)
+    | _ -> failwith (Printf.sprintf "%s: bad port in %S" what target))
+
+let run_remote ~target ~spec ~scheme ~fault ~deadline ~fallback ~io_timeout ~trace_file
+    ~verbose =
+  let host, port = parse_host_port "--connect" target in
+  let fallback =
+    match fallback with
+    | `None -> false
+    | `Auto -> true
+    | `Chain _ ->
+      failwith "--connect supports --fallback auto or none (the chain is the mediator's)"
+  in
+  Workload.validate spec;
+  let env, client, query = Workload.scenario spec in
+  let scenario = Net.Scenario.digest spec in
+  Printf.printf "scheme: %s\nquery:  %s\nvia:    %s:%d (scenario %s)\n\n"
+    (Protocol.scheme_name scheme) query host port (String.sub scenario 0 12);
+  let response, trace =
+    Obs.Trace.collect (fun () ->
+        Net.Peer.run ~host ~port ~scenario ~scheme:(Protocol.scheme_name scheme) ~query
+          ?fault_spec:fault ~deadline:(Option.value deadline ~default:0.) ~fallback
+          ~io_timeout env client)
+  in
+  let bytes_in, bytes_out = response.Net.Peer.socket_bytes in
+  match response.Net.Peer.result with
+  | Protocol.Served outcome ->
+    let left, right = Workload.generate spec in
+    report outcome ~verbose
+      ~ground_truth:(Some (Ground_truth.compute left right ~join_attr:"a_join"));
+    Printf.printf "\nwire: %d attempt(s); client socket %d bytes in / %d bytes out\n"
+      response.Net.Peer.epochs bytes_in bytes_out;
+    if response.Net.Peer.link_stats <> [] then begin
+      print_endline "mediator links:";
+      List.iter
+        (fun (party, out_bytes, in_bytes) ->
+          Printf.printf "  %-10s %7d bytes to it / %7d bytes from it\n"
+            (Transcript.party_name party) out_bytes in_bytes)
+        response.Net.Peer.link_stats
+    end;
+    Option.iter (fun path -> write_trace path trace) trace_file;
+    (match outcome.Outcome.degraded_from with
+    | None -> ()
+    | Some from_scheme ->
+      Printf.printf "\nDEGRADED: served by %s instead of %s\n" outcome.Outcome.scheme
+        from_scheme;
+      exit exit_degraded)
+  | Protocol.Unserved tried ->
+    Format.printf "FAULT: query not served@.%a" Protocol.pp_session_failures tried;
+    Option.iter (fun path -> write_trace path trace) trace_file;
+    exit exit_fault
+
+let run_cmd =
+  let connect =
+    let doc =
+      "Run as a remote client against a `secmed serve' mediator at $(docv)        instead of in-process.  The workload flags must match the ones the        mediator and its datasources were started with (enforced by a        scenario-digest handshake)."
     in
+    Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let action scheme spec connect fault deadline fallback breaker io_timeout trace_file
+      verbose =
+    match connect with
+    | Some target ->
+      (try
+         run_remote ~target ~spec ~scheme ~fault:(Option.map fst fault) ~deadline ~fallback
+           ~io_timeout ~trace_file ~verbose
+       with Net.Io.Transport_error msg ->
+         Printf.eprintf "transport error: %s\n" msg;
+         exit exit_fault)
+    | None ->
+      let fault = Option.map snd fault in
+      Workload.validate spec;
+      let env, client, query = Workload.scenario spec in
+      Printf.printf "scheme: %s\nquery:  %s\n\n" (Protocol.scheme_name scheme) query;
+      let policy =
+        { R.default_policy with R.deadline_budget = deadline; breaker_config = breaker }
+      in
+      let session = R.session ~policy () in
+      let chain =
+        match fallback with
+        | `None -> []
+        | `Auto -> Protocol.degradation_chain scheme
+        | `Chain schemes -> schemes
+      in
+      let session_result, trace =
+        Obs.Trace.collect (fun () ->
+            Protocol.run_session ?fault ~session ~chain scheme env client ~query)
+      in
+      (match session_result with
+      | Protocol.Served outcome ->
+        let left, right = Workload.generate spec in
+        report outcome ~verbose
+          ~ground_truth:(Some (Ground_truth.compute left right ~join_attr:"a_join"));
+        print_fault_events fault;
+        Option.iter (fun path -> write_trace path trace) trace_file;
+        (match outcome.Outcome.degraded_from with
+        | None -> ()
+        | Some from_scheme ->
+          Printf.printf "\nDEGRADED: served by %s instead of %s\n" outcome.Outcome.scheme
+            from_scheme;
+          exit exit_degraded)
+      | Protocol.Unserved tried ->
+        Format.printf "FAULT: query not served@.%a" Protocol.pp_session_failures tried;
+        print_fault_events fault;
+        Option.iter (fun path -> write_trace path trace) trace_file;
+        exit exit_fault)
+  in
+  let term =
+    Term.(const action $ scheme_arg $ spec_term $ connect $ fault_arg $ deadline_arg
+          $ fallback_arg $ breaker_arg $ io_timeout_arg $ trace_arg $ verbose_arg)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run one protocol over a synthetic workload, in-process or against a \
+             remote mediator (--connect)")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* secmed serve / secmed source *)
+
+let bind_arg =
+  Arg.(value & opt string "127.0.0.1"
+       & info [ "bind" ] ~docv:"HOST" ~doc:"Address to listen on.")
+
+let serve_cmd =
+  let port =
+    Arg.(value & opt int 7000 & info [ "port" ] ~docv:"PORT" ~doc:"TCP port to listen on.")
+  in
+  let source =
+    let doc =
+      "Datasource daemon address as $(b,ID=HOST:PORT); repeat once per source.  The \
+       two-relation workload needs sources 1 and 2."
+    in
+    Arg.(value & opt_all string [] & info [ "source" ] ~docv:"ID=HOST:PORT" ~doc)
+  in
+  let max_sessions =
+    Arg.(value & opt int 8
+         & info [ "max-sessions" ] ~docv:"N"
+             ~doc:"Concurrent client sessions admitted before answering Busy.")
+  in
+  let action bind port sources max_sessions io_timeout deadline breaker spec =
+    let parse_source spec_str =
+      match String.index_opt spec_str '=' with
+      | None -> failwith (Printf.sprintf "--source expects ID=HOST:PORT, got %S" spec_str)
+      | Some i ->
+        let id =
+          match int_of_string_opt (String.sub spec_str 0 i) with
+          | Some id when id > 0 -> id
+          | _ -> failwith (Printf.sprintf "--source: bad id in %S" spec_str)
+        in
+        let host, port =
+          parse_host_port "--source"
+            (String.sub spec_str (i + 1) (String.length spec_str - i - 1))
+        in
+        (id, host, port)
+    in
+    let sources = List.map parse_source sources in
+    List.iter
+      (fun id ->
+        if not (List.exists (fun (sid, _, _) -> sid = id) sources) then
+          failwith (Printf.sprintf "missing --source %d=HOST:PORT" id))
+      [ 1; 2 ];
     Workload.validate spec;
-    let env, client, query = Workload.scenario spec in
-    Printf.printf "scheme: %s\nquery:  %s\n\n" (Protocol.scheme_name scheme) query;
+    let env, client, _query = Workload.scenario spec in
+    let scenario = Net.Scenario.digest spec in
     let policy =
       { R.default_policy with R.deadline_budget = deadline; breaker_config = breaker }
     in
-    let session = R.session ~policy () in
-    let chain =
-      match fallback with
-      | `None -> []
-      | `Auto -> Protocol.degradation_chain scheme
-      | `Chain schemes -> schemes
-    in
-    let session_result, trace =
-      Obs.Trace.collect (fun () ->
-          Protocol.run_session ?fault ~session ~chain scheme env client ~query)
-    in
-    match session_result with
-    | Protocol.Served outcome ->
-      let left, right = Workload.generate spec in
-      report outcome ~verbose
-        ~ground_truth:(Some (Ground_truth.compute left right ~join_attr:"a_join"));
-      print_fault_events fault;
-      Option.iter (fun path -> write_trace path trace) trace_file;
-      (match outcome.Outcome.degraded_from with
-       | None -> ()
-       | Some from_scheme ->
-         Printf.printf "\nDEGRADED: served by %s instead of %s\n" outcome.Outcome.scheme
-           from_scheme;
-         exit exit_degraded)
-    | Protocol.Unserved tried ->
-      Format.printf "FAULT: query not served@.%a" Protocol.pp_session_failures tried;
-      print_fault_events fault;
-      Option.iter (fun path -> write_trace path trace) trace_file;
-      exit exit_fault
+    let listen_fd, bound = Net.Io.listen ~host:bind ~port () in
+    Printf.printf "mediator listening on %s:%d (scenario %s)\n%!" bind bound
+      (String.sub scenario 0 12);
+    List.iter
+      (fun (id, host, port) -> Printf.printf "  source %d at %s:%d\n%!" id host port)
+      sources;
+    Net.Server.serve
+      (Net.Server.create ~env ~client ~scenario ~sources ~listen_fd ~policy ~max_sessions
+         ~io_timeout ())
   in
   let term =
-    Term.(const action $ scheme_arg $ rows $ distinct $ overlap $ seed $ strings $ fault_arg
-          $ deadline_arg $ fallback_arg $ breaker_arg $ trace_arg $ verbose_arg)
+    Term.(const action $ bind_arg $ port $ source $ max_sessions $ io_timeout_arg
+          $ deadline_arg $ breaker_arg $ spec_term)
   in
-  Cmd.v (Cmd.info "run" ~doc:"Run one protocol over a synthetic workload") term
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the mediator as a network server over `secmed source' daemons")
+    term
+
+let source_cmd =
+  let id =
+    Arg.(required & opt (some int) None
+         & info [ "id" ] ~docv:"N" ~doc:"Datasource id (1 or 2 in the synthetic workload).")
+  in
+  let port =
+    Arg.(value & opt int 0
+         & info [ "port" ] ~docv:"PORT"
+             ~doc:"TCP port to listen on (0 picks an ephemeral port).")
+  in
+  let action bind id port io_timeout spec =
+    if id < 1 || id > 2 then failwith "the synthetic workload has sources 1 and 2";
+    Workload.validate spec;
+    let env, client, _query = Workload.scenario spec in
+    let scenario = Net.Scenario.digest spec in
+    let listen_fd, bound = Net.Io.listen ~host:bind ~port () in
+    Printf.printf "source %d listening on %s:%d (scenario %s)\n%!" id bind bound
+      (String.sub scenario 0 12);
+    Net.Peer.source ~id ~env ~client ~scenario ~listen_fd ~io_timeout ()
+  in
+  let term = Term.(const action $ bind_arg $ id $ port $ io_timeout_arg $ spec_term) in
+  Cmd.v
+    (Cmd.info "source" ~doc:"Run one datasource as a daemon for a `secmed serve' mediator")
+    term
 
 (* ------------------------------------------------------------------ *)
 (* secmed query *)
@@ -551,27 +741,38 @@ let check_bench_cmd =
           entries;
         Printf.printf "%s: ok (%d %s entries)\n" file (List.length entries) what
       in
-      (* Two validated shapes: BENCH_protocols.json carries a "schemes"
-         array, BENCH_resilience.json a "scenarios" array. *)
-      (match (Obs.Json.member "schemes" json, Obs.Json.member "scenarios" json) with
-       | Some (Obs.Json.List entries), _ when entries <> [] ->
+      (* Three validated shapes: BENCH_protocols.json carries a "schemes"
+         array, BENCH_resilience.json a "scenarios" array, BENCH_net.json
+         a "net" array. *)
+      (match
+         ( Obs.Json.member "schemes" json,
+           Obs.Json.member "scenarios" json,
+           Obs.Json.member "net" json )
+       with
+       | Some (Obs.Json.List entries), _, _ when entries <> [] ->
          check_entries ~what:"scheme" ~name_key:"scheme"
            ~required:
              [ "domain_size"; "seconds"; "phases"; "parties"; "messages";
                "bytes"; "rounds"; "counters" ]
            entries
-       | _, Some (Obs.Json.List entries) when entries <> [] ->
+       | _, Some (Obs.Json.List entries), _ when entries <> [] ->
          check_entries ~what:"scenario" ~name_key:"scenario"
            ~required:
              [ "scheme"; "outcome"; "attempts"; "seconds"; "degraded_from";
                "breaker_transitions" ]
            entries
-       | _ -> fail "missing or empty \"schemes\" / \"scenarios\" array")
+       | _, _, Some (Obs.Json.List entries) when entries <> [] ->
+         check_entries ~what:"net" ~name_key:"scheme"
+           ~required:
+             [ "seconds_inproc"; "seconds_net"; "messages"; "bytes";
+               "socket_bytes_in"; "socket_bytes_out"; "epochs"; "match" ]
+           entries
+       | _ -> fail "missing or empty \"schemes\" / \"scenarios\" / \"net\" array")
   in
   Cmd.v
     (Cmd.info "check-bench"
-       ~doc:"Validate that a BENCH_protocols.json or BENCH_resilience.json file parses \
-             and carries the expected keys")
+       ~doc:"Validate that a BENCH_protocols.json, BENCH_resilience.json or \
+             BENCH_net.json file parses and carries the expected keys")
     Term.(const action $ file)
 
 (* ------------------------------------------------------------------ *)
@@ -603,5 +804,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; query_cmd; setop_cmd; chain_cmd; select_cmd; report_cmd;
-            check_bench_cmd; schemes_cmd ]))
+          [ run_cmd; serve_cmd; source_cmd; query_cmd; setop_cmd; chain_cmd; select_cmd;
+            report_cmd; check_bench_cmd; schemes_cmd ]))

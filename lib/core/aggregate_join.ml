@@ -124,7 +124,7 @@ let run ?(strategy = Bundles) env client ~query =
   let (result, exact, received), counters =
     Counters.with_fresh (fun () ->
         let request =
-          Outcome.Builder.timed b "request" (fun () -> Request.run env client ~query tr)
+          Outcome.Builder.timed b "request" (fun () -> Request.run (Link.make tr) env client ~query)
         in
         let d = request.Request.decomposition in
         let specs, group_keys =

@@ -35,27 +35,41 @@ let build_messages prng group pk request which =
 let message_set_size group messages =
   List.fold_left (fun acc (_, ct) -> acc + group_bytes group + Hybrid.size ct) 0 messages
 
-let messages_payload messages =
-  String.concat ""
-    (List.map (fun (h, ct) -> Bigint.to_string h ^ Hybrid.to_wire ct) messages)
+(* Canonical payloads: hashed keys at the group's fixed byte width and
+   IDs as 8-byte integers, so each message's wire form is exactly the
+   size the transcript declares. *)
+let messages_payload group messages =
+  let gb = group_bytes group in
+  let w = Wire.writer () in
+  List.iter
+    (fun (h, ct) ->
+      Wire.write_raw w (Bigint.to_bytes_be_padded gb h);
+      Wire.write_raw w (Hybrid.to_wire ct))
+    messages;
+  Wire.contents w
 
-let entries_payload entries =
-  String.concat ""
-    (List.map
-       (fun (h, payload) ->
-         Bigint.to_string h
-         ^ (match payload with `Id i -> string_of_int i | `Ct ct -> Hybrid.to_wire ct))
-       entries)
+let entries_payload group entries =
+  let gb = group_bytes group in
+  let w = Wire.writer () in
+  List.iter
+    (fun (h, payload) ->
+      Wire.write_raw w (Bigint.to_bytes_be_padded gb h);
+      match payload with
+      | `Id i -> Wire.write_int w i
+      | `Ct ct -> Wire.write_raw w (Hybrid.to_wire ct))
+    entries;
+  Wire.contents w
 
-let run ?fault ?(use_ids = false) env client ~query =
+let run ?fault ?endpoint ?(use_ids = false) env client ~query =
   let b = Outcome.Builder.create ~scheme:"commutative" in
   let tr = Outcome.Builder.transcript b in
   Fault.attach fault tr;
+  let link = Link.make ?endpoint ?fault tr in
   let group = env.Env.group in
   let (result, exact, received), counters =
     Counters.with_fresh (fun () ->
         let request =
-          Outcome.Builder.timed b ~party:"Mediator" "request" (fun () -> Request.run ?fault env client ~query tr)
+          Outcome.Builder.timed b ~party:"Mediator" "request" (fun () -> Request.run link env client ~query)
         in
         let exact = Request.exact_result env request in
         let pk = request.Request.client_pk in
@@ -84,10 +98,9 @@ let run ?fault ?(use_ids = false) env client ~query =
                 messages
             | _ -> messages
           in
-          Transcript.record tr ~sender:(Source sid) ~receiver:Mediator
-            ~label:"M_i" ~size:(message_set_size group messages);
-          Fault.guard fault tr ~phase:"mediator-exchange" ~sender:(Source sid)
-            ~receiver:Mediator ~label:"M_i" (fun () -> messages_payload messages);
+          Link.deliver link ~phase:"mediator-exchange" ~sender:(Source sid)
+            ~receiver:Mediator ~label:"M_i" ~size:(message_set_size group messages)
+            (fun () -> messages_payload group messages);
           (sid, key, messages)
         in
         let s1, key1, m1 = side `Left in
@@ -105,9 +118,11 @@ let run ?fault ?(use_ids = false) env client ~query =
           match canary_h0 with
           | None -> None
           | Some h0 ->
-            Transcript.record tr ~sender:(Source sid) ~receiver:Mediator ~label:"canary"
-              ~size:(group_bytes group);
-            Some (Commutative.apply key h0)
+            let ch = Commutative.apply key h0 in
+            Link.deliver link ~phase:"mediator-match" ~sender:(Source sid)
+              ~receiver:Mediator ~label:"canary" ~guard:false ~size:(group_bytes group)
+              (fun () -> Bigint.to_bytes_be_padded (group_bytes group) ch);
+            Some ch
         in
         let canary1 = send_canary s1 key1 and canary2 = send_canary s2 key2 in
         Outcome.Builder.mediator_sees b "cardinality-domactive-R1" (List.length m1);
@@ -127,14 +142,10 @@ let run ?fault ?(use_ids = false) env client ~query =
             0 entries
         in
         let to_s2 = outbound m1 and to_s1 = outbound m2 in
-        Transcript.record tr ~sender:Mediator ~receiver:(Source s2) ~label:"M_1"
-          ~size:(wire_size to_s2);
-        Fault.guard fault tr ~phase:"source-reencrypt" ~sender:Mediator ~receiver:(Source s2)
-          ~label:"M_1" (fun () -> entries_payload to_s2);
-        Transcript.record tr ~sender:Mediator ~receiver:(Source s1) ~label:"M_2"
-          ~size:(wire_size to_s1);
-        Fault.guard fault tr ~phase:"source-reencrypt" ~sender:Mediator ~receiver:(Source s1)
-          ~label:"M_2" (fun () -> entries_payload to_s1);
+        Link.deliver link ~phase:"source-reencrypt" ~sender:Mediator ~receiver:(Source s2)
+          ~label:"M_1" ~size:(wire_size to_s2) (fun () -> entries_payload group to_s2);
+        Link.deliver link ~phase:"source-reencrypt" ~sender:Mediator ~receiver:(Source s1)
+          ~label:"M_2" ~size:(wire_size to_s1) (fun () -> entries_payload group to_s1);
         Outcome.Builder.source_sees b s1 "cardinality-domactive-opposite" (List.length m2);
         Outcome.Builder.source_sees b s2 "cardinality-domactive-opposite" (List.length m1);
 
@@ -156,11 +167,9 @@ let run ?fault ?(use_ids = false) env client ~query =
               let reencrypted =
                 List.map (fun (h, payload) -> (Commutative.apply key h, payload)) entries
               in
-              Transcript.record tr ~sender:(Source sid) ~receiver:Mediator
-                ~label:"doubly-encrypted" ~size:(wire_size reencrypted);
-              Fault.guard fault tr ~phase:"mediator-match" ~sender:(Source sid)
-                ~receiver:Mediator ~label:"doubly-encrypted"
-                (fun () -> entries_payload reencrypted);
+              Link.deliver link ~phase:"mediator-match" ~sender:(Source sid)
+                ~receiver:Mediator ~label:"doubly-encrypted" ~size:(wire_size reencrypted)
+                (fun () -> entries_payload group reencrypted);
               (reencrypted, Option.map (Commutative.apply key) other_canary))
         in
         let from_s1, double_canary1 = double_encrypt s1 key1 to_s1 canary2 in
@@ -211,10 +220,8 @@ let run ?fault ?(use_ids = false) env client ~query =
             (fun acc (a, c) -> acc + Hybrid.size a + Hybrid.size c)
             0 result_messages
         in
-        Transcript.record tr ~sender:Mediator ~receiver:Client ~label:"result-messages"
-          ~size:result_size;
-        Fault.guard fault tr ~phase:"client-postprocess" ~sender:Mediator ~receiver:Client
-          ~label:"result-messages"
+        Link.deliver link ~phase:"client-postprocess" ~sender:Mediator ~receiver:Client
+          ~label:"result-messages" ~size:result_size
           (fun () ->
             String.concat ""
               (List.concat_map

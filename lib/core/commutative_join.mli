@@ -11,6 +11,7 @@
 
 val run :
   ?fault:Secmed_mediation.Fault.plan ->
+  ?endpoint:Secmed_mediation.Link.endpoint ->
   ?use_ids:bool ->
   Env.t ->
   Env.client ->

@@ -207,17 +207,34 @@ let validate_indexes which er =
         idx)
     er.rows
 
-let er_payload er = String.concat "" (List.map (fun (ct, _) -> Hybrid.to_wire ct) er.rows)
+(* Canonical wire form of an encrypted relation: each row's hybrid
+   ciphertext followed by its 8-byte big-endian partition indexes —
+   exactly [er.wire_size] bytes, so socket-level byte counts match the
+   transcript entry in distributed runs. *)
+let er_payload er =
+  let w = Wire.writer () in
+  List.iter
+    (fun (ct, idx) ->
+      Wire.write_raw w (Hybrid.to_wire ct);
+      Array.iter (fun i -> Wire.write_int w i) idx)
+    er.rows;
+  Wire.contents w
 
+(* Canonical q_S encoding: 16 bytes per overlapping pair (two 8-byte
+   big-endian indexes), matching the 16*|pairs| transcript size. *)
 let pairs_payload pairs =
-  String.concat ";"
-    (List.map
-       (fun attr_pairs ->
-         String.concat ","
-           (List.map (fun (i1, i2) -> Printf.sprintf "%d:%d" i1 i2) attr_pairs))
-       pairs)
+  let w = Wire.writer () in
+  List.iter
+    (fun attr_pairs ->
+      List.iter
+        (fun (i1, i2) ->
+          Wire.write_int w i1;
+          Wire.write_int w i2)
+        attr_pairs)
+    pairs;
+  Wire.contents w
 
-let run ?fault ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_index)
+let run ?fault ?endpoint ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_index)
     ?(setting = Client_setting) env client ~query =
   let scheme =
     match setting with
@@ -227,10 +244,11 @@ let run ?fault ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_ind
   let b = Outcome.Builder.create ~scheme in
   let tr = Outcome.Builder.transcript b in
   Fault.attach fault tr;
+  let link = Link.make ?endpoint ?fault tr in
   let (result, exact, received), counters =
     Counters.with_fresh (fun () ->
         let request =
-          Outcome.Builder.timed b ~party:"Mediator" "request" (fun () -> Request.run ?fault env client ~query tr)
+          Outcome.Builder.timed b ~party:"Mediator" "request" (fun () -> Request.run link env client ~query)
         in
         let exact = Request.exact_result env request in
         let join_attrs = Request.join_attrs request in
@@ -263,13 +281,12 @@ let run ?fault ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_ind
         in
         (* One upload per source: the encrypted rows plus this setting's
            form of the index tables (so sources still "send data once"). *)
-        let record_upload sid which ~rows_size ~tables_payload ~rows =
-          Transcript.record tr ~sender:(Source sid) ~receiver:Mediator
+        let record_upload sid which ~rows_size ?(tables_payload = 0)
+            ?(tables_wire = fun () -> "") ~rows () =
+          Link.deliver link ~phase:"source-upload" ~sender:(Source sid) ~receiver:Mediator
             ~label:(Printf.sprintf "R%dS+ITables" which)
-            ~size:(rows_size + tables_payload);
-          Fault.guard fault tr ~phase:"source-upload" ~sender:(Source sid) ~receiver:Mediator
-            ~label:(Printf.sprintf "R%dS+ITables" which)
-            (fun () -> er_payload rows)
+            ~size:(rows_size + tables_payload)
+            (fun () -> er_payload rows ^ tables_wire ())
         in
         let s1 = request.Request.decomposition.Catalog.left.Catalog.source in
         let s2 = request.Request.decomposition.Catalog.right.Catalog.source in
@@ -300,17 +317,15 @@ let run ?fault ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_ind
                 "source-encrypt" (fun () -> Hybrid.encrypt prng2 pk (tables_to_wire tables2))
             in
             record_upload s1 1 ~rows_size:r1s.wire_size ~tables_payload:(Hybrid.size enc_it1)
-              ~rows:r1s;
+              ~tables_wire:(fun () -> Hybrid.to_wire enc_it1) ~rows:r1s ();
             record_upload s2 2 ~rows_size:r2s.wire_size ~tables_payload:(Hybrid.size enc_it2)
-              ~rows:r2s;
-            Transcript.record tr ~sender:Mediator ~receiver:Client ~label:"enc(ITables_R1)"
-              ~size:(Hybrid.size enc_it1);
-            Fault.guard fault tr ~phase:"client-translate" ~sender:Mediator ~receiver:Client
-              ~label:"enc(ITables_R1)" (fun () -> Hybrid.to_wire enc_it1);
-            Transcript.record tr ~sender:Mediator ~receiver:Client ~label:"enc(ITables_R2)"
-              ~size:(Hybrid.size enc_it2);
-            Fault.guard fault tr ~phase:"client-translate" ~sender:Mediator ~receiver:Client
-              ~label:"enc(ITables_R2)" (fun () -> Hybrid.to_wire enc_it2);
+              ~tables_wire:(fun () -> Hybrid.to_wire enc_it2) ~rows:r2s ();
+            Link.deliver link ~phase:"client-translate" ~sender:Mediator ~receiver:Client
+              ~label:"enc(ITables_R1)" ~size:(Hybrid.size enc_it1)
+              (fun () -> Hybrid.to_wire enc_it1);
+            Link.deliver link ~phase:"client-translate" ~sender:Mediator ~receiver:Client
+              ~label:"enc(ITables_R2)" ~size:(Hybrid.size enc_it2)
+              (fun () -> Hybrid.to_wire enc_it2);
             let pairs =
               Outcome.Builder.timed b ~party:"Client" "client-translate" (fun () ->
                   let it1 =
@@ -328,10 +343,9 @@ let run ?fault ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_ind
                   server_query_pairs ~left_tables:it1 ~right_tables:it2)
             in
             let total = List.fold_left (fun acc p -> acc + List.length p) 0 pairs in
-            Transcript.record tr ~sender:Client ~receiver:Mediator ~label:"server-query-qS"
-              ~size:(16 * total);
-            Fault.guard fault tr ~phase:"mediator-server-query" ~sender:Client
-              ~receiver:Mediator ~label:"server-query-qS" (fun () -> pairs_payload pairs);
+            Link.deliver link ~phase:"mediator-server-query" ~sender:Client
+              ~receiver:Mediator ~label:"server-query-qS" ~size:(16 * total)
+              (fun () -> pairs_payload pairs);
             pairs
           | Source_setting ->
             (* S2's tables travel, encrypted under S1's source key, to S1,
@@ -342,13 +356,11 @@ let run ?fault ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_ind
                 "source-encrypt" (fun () ->
                   Hybrid.encrypt prng2 (Elgamal.public s1_keys) (tables_to_wire tables2))
             in
-            record_upload s1 1 ~rows_size:r1s.wire_size ~tables_payload:0 ~rows:r1s;
+            record_upload s1 1 ~rows_size:r1s.wire_size ~rows:r1s ();
             record_upload s2 2 ~rows_size:r2s.wire_size ~tables_payload:(Hybrid.size enc_it2)
-              ~rows:r2s;
-            Transcript.record tr ~sender:Mediator ~receiver:(Source s1)
-              ~label:"enc_S1(ITables_R2)" ~size:(Hybrid.size enc_it2);
-            Fault.guard fault tr ~phase:"source-translate" ~sender:Mediator
-              ~receiver:(Source s1) ~label:"enc_S1(ITables_R2)"
+              ~tables_wire:(fun () -> Hybrid.to_wire enc_it2) ~rows:r2s ();
+            Link.deliver link ~phase:"source-translate" ~sender:Mediator
+              ~receiver:(Source s1) ~label:"enc_S1(ITables_R2)" ~size:(Hybrid.size enc_it2)
               (fun () -> Hybrid.to_wire enc_it2);
             let pairs =
               Outcome.Builder.timed b ~party:(Transcript.party_name (Source s1)) "source-translate" (fun () ->
@@ -361,10 +373,9 @@ let run ?fault ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_ind
                   server_query_pairs ~left_tables:tables1 ~right_tables:it2)
             in
             let total = List.fold_left (fun acc p -> acc + List.length p) 0 pairs in
-            Transcript.record tr ~sender:(Source s1) ~receiver:Mediator
-              ~label:"server-query-qS" ~size:(16 * total);
-            Fault.guard fault tr ~phase:"mediator-server-query" ~sender:(Source s1)
-              ~receiver:Mediator ~label:"server-query-qS" (fun () -> pairs_payload pairs);
+            Link.deliver link ~phase:"mediator-server-query" ~sender:(Source s1)
+              ~receiver:Mediator ~label:"server-query-qS" ~size:(16 * total)
+              (fun () -> pairs_payload pairs);
             pairs
           | Mediator_setting ->
             (* Tables in plaintext at the mediator — cheapest, but the
@@ -372,10 +383,10 @@ let run ?fault ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_ind
                (the paper's Section 6 warning). *)
             record_upload s1 1 ~rows_size:r1s.wire_size
               ~tables_payload:(String.length (tables_to_wire tables1))
-              ~rows:r1s;
+              ~tables_wire:(fun () -> tables_to_wire tables1) ~rows:r1s ();
             record_upload s2 2 ~rows_size:r2s.wire_size
               ~tables_payload:(String.length (tables_to_wire tables2))
-              ~rows:r2s;
+              ~tables_wire:(fun () -> tables_to_wire tables2) ~rows:r2s ();
             Outcome.Builder.mediator_sees b "partitions-R1" (partition_count_sum tables1);
             Outcome.Builder.mediator_sees b "partitions-R2" (partition_count_sum tables2);
             (* Measured value approximation: entropy of the index values
@@ -412,9 +423,8 @@ let run ?fault ?(strategy = Das_partition.Equi_depth 4) ?(server_eval = Pair_ind
         let rc_size =
           List.fold_left (fun acc (x, y) -> acc + Hybrid.size x + Hybrid.size y) 0 rc
         in
-        Transcript.record tr ~sender:Mediator ~receiver:Client ~label:"RC" ~size:rc_size;
-        Fault.guard fault tr ~phase:"client-postprocess" ~sender:Mediator ~receiver:Client
-          ~label:"RC"
+        Link.deliver link ~phase:"client-postprocess" ~sender:Mediator ~receiver:Client
+          ~label:"RC" ~size:rc_size
           (fun () ->
             String.concat ""
               (List.concat_map (fun (x, y) -> [ Hybrid.to_wire x; Hybrid.to_wire y ]) rc));

@@ -14,14 +14,15 @@ let decode_tuples blob =
   Wire.expect_end r;
   tuples
 
-let run ?fault env client ~query =
+let run ?fault ?endpoint env client ~query =
   let b = Outcome.Builder.create ~scheme:"mobile-code" in
   let tr = Outcome.Builder.transcript b in
   Fault.attach fault tr;
+  let link = Link.make ?endpoint ?fault tr in
   let (result, exact, received), counters =
     Counters.with_fresh (fun () ->
         let request =
-          Outcome.Builder.timed b ~party:"Mediator" "request" (fun () -> Request.run ?fault env client ~query tr)
+          Outcome.Builder.timed b ~party:"Mediator" "request" (fun () -> Request.run link env client ~query)
         in
         let exact = Request.exact_result env request in
         let pk = request.Request.client_pk in
@@ -37,12 +38,10 @@ let run ?fault env client ~query =
                   Hybrid.of_wire (Fault.flip_tail (Hybrid.to_wire ct))
                 | _ -> ct
               in
-              Transcript.record tr ~sender:(Source entry.Catalog.source) ~receiver:Mediator
-                ~label:(Printf.sprintf "encrypted-R%d" which)
-                ~size:(Hybrid.size ct);
-              Fault.guard fault tr ~phase:"mediator-forward"
+              Link.deliver link ~phase:"mediator-forward"
                 ~sender:(Source entry.Catalog.source) ~receiver:Mediator
                 ~label:(Printf.sprintf "encrypted-R%d" which)
+                ~size:(Hybrid.size ct)
                 (fun () -> Hybrid.to_wire ct);
               ct)
         in
@@ -56,10 +55,9 @@ let run ?fault env client ~query =
         (* The mediator ships the partial results plus the mobile join
            program (the rendered algebra tree). *)
         let program = Algebra.to_string (Algebra.of_query (Parser.parse query)) in
-        Transcript.record tr ~sender:Mediator ~receiver:Client ~label:"encrypted-partials+code"
-          ~size:(Hybrid.size ct1 + Hybrid.size ct2 + String.length program);
-        Fault.guard fault tr ~phase:"client-postprocess" ~sender:Mediator ~receiver:Client
+        Link.deliver link ~phase:"client-postprocess" ~sender:Mediator ~receiver:Client
           ~label:"encrypted-partials+code"
+          ~size:(Hybrid.size ct1 + Hybrid.size ct2 + String.length program)
           (fun () -> Hybrid.to_wire ct1 ^ Hybrid.to_wire ct2 ^ program);
         Outcome.Builder.mediator_sees b "ciphertext-bytes-R1" (Hybrid.size ct1);
         Outcome.Builder.mediator_sees b "ciphertext-bytes-R2" (Hybrid.size ct2);

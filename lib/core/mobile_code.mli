@@ -9,7 +9,12 @@
     the disclosure the paper's three protocols improve on. *)
 
 val run :
-  ?fault:Secmed_mediation.Fault.plan -> Env.t -> Env.client -> query:string -> Outcome.t
+  ?fault:Secmed_mediation.Fault.plan ->
+  ?endpoint:Secmed_mediation.Link.endpoint ->
+  Env.t ->
+  Env.client ->
+  query:string ->
+  Outcome.t
 (** With a fault plan the run may raise
     [Secmed_mediation.Fault.Fault_detected] (integrity envelope on the
     forwarded ciphertexts; authenticated decryption at the client). *)

@@ -5,23 +5,22 @@ open Secmed_mediation
 let relation_size relation =
   List.fold_left (fun acc t -> acc + String.length (Tuple.encode t)) 0 (Relation.tuples relation)
 
-let run ?fault env client ~query =
+let run ?fault ?endpoint env client ~query =
   let b = Outcome.Builder.create ~scheme:"plain" in
   let tr = Outcome.Builder.transcript b in
   Fault.attach fault tr;
+  let link = Link.make ?endpoint ?fault tr in
   let (result, exact, received), counters =
     Counters.with_fresh (fun () ->
         let request =
-          Outcome.Builder.timed b ~party:"Mediator" "request" (fun () -> Request.run ?fault env client ~query tr)
+          Outcome.Builder.timed b ~party:"Mediator" "request" (fun () -> Request.run link env client ~query)
         in
         let exact = Request.exact_result env request in
         let send which (entry : Catalog.entry) relation =
-          Transcript.record tr ~sender:(Source entry.Catalog.source) ~receiver:Mediator
-            ~label:(Printf.sprintf "plaintext-R%d" which)
-            ~size:(relation_size relation);
-          Fault.guard fault tr ~phase:"mediator-join"
+          Link.deliver link ~phase:"mediator-join"
             ~sender:(Source entry.Catalog.source) ~receiver:Mediator
             ~label:(Printf.sprintf "plaintext-R%d" which)
+            ~size:(relation_size relation)
             (fun () ->
               String.concat "" (List.map Tuple.encode (Relation.tuples relation)))
         in
@@ -37,10 +36,9 @@ let run ?fault env client ~query =
                 (Relation.natural_join request.Request.left_result
                    request.Request.right_result))
         in
-        Transcript.record tr ~sender:Mediator ~receiver:Client ~label:"global-result"
-          ~size:(relation_size result);
-        Fault.guard fault tr ~phase:"client-receive" ~sender:Mediator ~receiver:Client
+        Link.deliver link ~phase:"client-receive" ~sender:Mediator ~receiver:Client
           ~label:"global-result"
+          ~size:(relation_size result)
           (fun () -> String.concat "" (List.map Tuple.encode (Relation.tuples result)));
         Outcome.Builder.client_sees b "tuples-received" (Relation.cardinality result);
         Outcome.Builder.attribute b (Counters.attribution ());

@@ -4,7 +4,12 @@
     baseline in benchmarks. *)
 
 val run :
-  ?fault:Secmed_mediation.Fault.plan -> Env.t -> Env.client -> query:string -> Outcome.t
+  ?fault:Secmed_mediation.Fault.plan ->
+  ?endpoint:Secmed_mediation.Link.endpoint ->
+  Env.t ->
+  Env.client ->
+  query:string ->
+  Outcome.t
 (** With a fault plan the run may raise
     [Secmed_mediation.Fault.Fault_detected] on the plaintext links (the
     integrity envelope still applies — the reference pipeline fails closed

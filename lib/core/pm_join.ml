@@ -133,9 +133,17 @@ let recover_tuples ~variant ~id_lookup entry =
          | None -> None)
     end
 
-let cts_payload cts =
-  String.concat ","
-    (List.map (fun c -> Bigint.to_string (Paillier.ciphertext_to_bigint c)) cts)
+(* Canonical payloads: every Paillier ciphertext at the fixed modulus
+   width, ID-table entries as 8-byte id + DEM blob — so each message's
+   wire form is exactly the size the transcript declares. *)
+let cts_payload ct_bytes cts =
+  String.concat ""
+    (List.map
+       (fun c -> Bigint.to_bytes_be_padded ct_bytes (Paillier.ciphertext_to_bigint c))
+       cts)
+
+let id_table_payload table =
+  String.concat "" (List.map (fun (id, blob) -> be64 id ^ blob) table)
 
 (* Receiver-side range/group check: a valid Paillier ciphertext is a unit
    of Z_{n^2}, so 0 never appears honestly; the private-type constructor
@@ -149,14 +157,15 @@ let validate_ciphertexts ~phase ~party label cts =
           (Printf.sprintf "%s carries an out-of-group Paillier value (0 not a unit)" label))
     cts
 
-let run ?fault ?(variant = Session_keys) env client ~query =
+let run ?fault ?endpoint ?(variant = Session_keys) env client ~query =
   let b = Outcome.Builder.create ~scheme:("pm-" ^ variant_name variant) in
   let tr = Outcome.Builder.transcript b in
   Fault.attach fault tr;
+  let link = Link.make ?endpoint ?fault tr in
   let (result, exact, received), counters =
     Counters.with_fresh (fun () ->
         let request =
-          Outcome.Builder.timed b ~party:"Mediator" "request" (fun () -> Request.run ?fault env client ~query tr)
+          Outcome.Builder.timed b ~party:"Mediator" "request" (fun () -> Request.run link env client ~query)
         in
         let exact = Request.exact_result env request in
         let pk = Paillier.public client.Env.paillier_key in
@@ -167,18 +176,13 @@ let run ?fault ?(variant = Session_keys) env client ~query =
 
         (* Step 1: the client's homomorphic public key is distributed with
            its credentials (we account for it explicitly). *)
-        Transcript.record tr ~sender:Client ~receiver:Mediator ~label:"homomorphic-pk"
-          ~size:n_bytes;
-        Fault.guard fault tr ~phase:"request" ~sender:Client ~receiver:Mediator
-          ~label:"homomorphic-pk" (fun () -> Bigint.to_string pk.Paillier.n);
-        Transcript.record tr ~sender:Mediator ~receiver:(Source s1) ~label:"homomorphic-pk"
-          ~size:n_bytes;
-        Fault.guard fault tr ~phase:"request" ~sender:Mediator ~receiver:(Source s1)
-          ~label:"homomorphic-pk" (fun () -> Bigint.to_string pk.Paillier.n);
-        Transcript.record tr ~sender:Mediator ~receiver:(Source s2) ~label:"homomorphic-pk"
-          ~size:n_bytes;
-        Fault.guard fault tr ~phase:"request" ~sender:Mediator ~receiver:(Source s2)
-          ~label:"homomorphic-pk" (fun () -> Bigint.to_string pk.Paillier.n);
+        let pk_payload () = Bigint.to_bytes_be_padded n_bytes pk.Paillier.n in
+        Link.deliver link ~phase:"request" ~sender:Client ~receiver:Mediator
+          ~label:"homomorphic-pk" ~size:n_bytes pk_payload;
+        Link.deliver link ~phase:"request" ~sender:Mediator ~receiver:(Source s1)
+          ~label:"homomorphic-pk" ~size:n_bytes pk_payload;
+        Link.deliver link ~phase:"request" ~sender:Mediator ~receiver:(Source s2)
+          ~label:"homomorphic-pk" ~size:n_bytes pk_payload;
 
         (* Steps 2/3: each source builds its polynomial from its active
            domain and sends the encrypted coefficients to the mediator. *)
@@ -197,12 +201,10 @@ let run ?fault ?(variant = Session_keys) env client ~query =
                   List.map (fun _ -> Paillier.ciphertext_of_bigint pk Bigint.zero) coeffs
                 | _ -> coeffs
               in
-              Transcript.record tr ~sender:(Source sid) ~receiver:Mediator
-                ~label:"encrypted-coefficients"
-                ~size:(ct_bytes * List.length coeffs);
-              Fault.guard fault tr ~phase:"mediator-forward" ~sender:(Source sid)
+              Link.deliver link ~phase:"mediator-forward" ~sender:(Source sid)
                 ~receiver:Mediator ~label:"encrypted-coefficients"
-                (fun () -> cts_payload coeffs);
+                ~size:(ct_bytes * List.length coeffs)
+                (fun () -> cts_payload ct_bytes coeffs);
               coeffs)
         in
         let coeffs1 = build_poly `Left prng1 s1 in
@@ -216,14 +218,12 @@ let run ?fault ?(variant = Session_keys) env client ~query =
           (List.length coeffs2 - 1);
 
         (* Step 4: the mediator forwards the encrypted coefficients. *)
-        Transcript.record tr ~sender:Mediator ~receiver:(Source s2)
-          ~label:"encrypted-coefficients-P1" ~size:(ct_bytes * List.length coeffs1);
-        Fault.guard fault tr ~phase:"source-evaluate" ~sender:Mediator ~receiver:(Source s2)
-          ~label:"encrypted-coefficients-P1" (fun () -> cts_payload coeffs1);
-        Transcript.record tr ~sender:Mediator ~receiver:(Source s1)
-          ~label:"encrypted-coefficients-P2" ~size:(ct_bytes * List.length coeffs2);
-        Fault.guard fault tr ~phase:"source-evaluate" ~sender:Mediator ~receiver:(Source s1)
-          ~label:"encrypted-coefficients-P2" (fun () -> cts_payload coeffs2);
+        Link.deliver link ~phase:"source-evaluate" ~sender:Mediator ~receiver:(Source s2)
+          ~label:"encrypted-coefficients-P1" ~size:(ct_bytes * List.length coeffs1)
+          (fun () -> cts_payload ct_bytes coeffs1);
+        Link.deliver link ~phase:"source-evaluate" ~sender:Mediator ~receiver:(Source s1)
+          ~label:"encrypted-coefficients-P2" ~size:(ct_bytes * List.length coeffs2)
+          (fun () -> cts_payload ct_bytes coeffs2);
         Outcome.Builder.source_sees b s1 "degree-opposite-polynomial"
           (List.length coeffs2 - 1);
         Outcome.Builder.source_sees b s2 "degree-opposite-polynomial"
@@ -252,13 +252,11 @@ let run ?fault ?(variant = Session_keys) env client ~query =
                   }
                 | _ -> output
               in
-              Transcript.record tr ~sender:(Source sid) ~receiver:Mediator ~label:"e-values"
-                ~size:((ct_bytes * List.length output.e_values) + output.id_table_bytes);
-              Fault.guard fault tr ~phase:"mediator-forward" ~sender:(Source sid)
+              Link.deliver link ~phase:"mediator-forward" ~sender:(Source sid)
                 ~receiver:Mediator ~label:"e-values"
+                ~size:((ct_bytes * List.length output.e_values) + output.id_table_bytes)
                 (fun () ->
-                  cts_payload output.e_values
-                  ^ String.concat "" (List.map snd output.id_table));
+                  cts_payload ct_bytes output.e_values ^ id_table_payload output.id_table);
               output)
         in
         let out1 = eval_side `Left prng1 s1 coeffs2 in
@@ -267,11 +265,14 @@ let run ?fault ?(variant = Session_keys) env client ~query =
         (* Step 7: the mediator sends the n+m encrypted values (and, in the
            session-key variant, the ID tables) to the client. *)
         let total_e = List.length out1.e_values + List.length out2.e_values in
-        Transcript.record tr ~sender:Mediator ~receiver:Client ~label:"e-values"
-          ~size:((ct_bytes * total_e) + out1.id_table_bytes + out2.id_table_bytes);
-        Fault.guard fault tr ~phase:"client-postprocess" ~sender:Mediator ~receiver:Client
+        Link.deliver link ~phase:"client-postprocess" ~sender:Mediator ~receiver:Client
           ~label:"e-values"
-          (fun () -> cts_payload out1.e_values ^ cts_payload out2.e_values);
+          ~size:((ct_bytes * total_e) + out1.id_table_bytes + out2.id_table_bytes)
+          (fun () ->
+            cts_payload ct_bytes out1.e_values
+            ^ cts_payload ct_bytes out2.e_values
+            ^ id_table_payload out1.id_table
+            ^ id_table_payload out2.id_table);
         Outcome.Builder.client_sees b "ciphertexts-received" total_e;
 
         (* Step 8: the client decrypts everything and keeps the matches. *)

@@ -22,6 +22,7 @@ val variant_name : variant -> string
 
 val run :
   ?fault:Secmed_mediation.Fault.plan ->
+  ?endpoint:Secmed_mediation.Link.endpoint ->
   ?variant:variant ->
   Env.t ->
   Env.client ->

@@ -61,13 +61,27 @@ type run_result =
 
 exception Faulted of failure
 
-let dispatch ?fault scheme env client ~query =
+let dispatch ?fault ?endpoint scheme env client ~query =
   match scheme with
-  | Das (strategy, server_eval) -> Das.run ?fault ~strategy ~server_eval env client ~query
-  | Commutative { use_ids } -> Commutative_join.run ?fault ~use_ids env client ~query
-  | Private_matching variant -> Pm_join.run ?fault ~variant env client ~query
-  | Mobile_code -> Mobile_code.run ?fault env client ~query
-  | Plain -> Plain_join.run ?fault env client ~query
+  | Das (strategy, server_eval) ->
+    Das.run ?fault ?endpoint ~strategy ~server_eval env client ~query
+  | Commutative { use_ids } -> Commutative_join.run ?fault ?endpoint ~use_ids env client ~query
+  | Private_matching variant -> Pm_join.run ?fault ?endpoint ~variant env client ~query
+  | Mobile_code -> Mobile_code.run ?fault ?endpoint env client ~query
+  | Plain -> Plain_join.run ?fault ?endpoint env client ~query
+
+(* Distributed coordination hooks (Secmed_net): the mediator announces
+   each attempt to the replicas and collects their end-of-attempt
+   reports, possibly overriding a locally-Ok result when a peer
+   faulted.  In-process runs have no coordinator. *)
+type coordinator = {
+  begin_attempt : scheme:string -> attempt:int -> unit;
+  end_attempt :
+    scheme:string ->
+    attempt:int ->
+    (Outcome.t, Fault.failure) result ->
+    (Outcome.t, Fault.failure) result;
+}
 
 module R = Resilience
 
@@ -75,9 +89,12 @@ module R = Resilience
    it: a typed result, never an exception.  [Wire.Malformed] escaping a
    driver's own handling is belt and braces — it fails closed here and
    goes down the same (traced) retry path as a detected fault. *)
-let one_attempt ?fault scheme env client ~query n =
+let one_attempt ?fault ?endpoint ?coordinator scheme env client ~query n =
   let module Obs = Secmed_obs in
   Fault.start_attempt fault ~attempt:n;
+  (match coordinator with
+   | None -> ()
+   | Some c -> c.begin_attempt ~scheme:(scheme_name scheme) ~attempt:n);
   let traced_dispatch () =
     Obs.Trace.with_span ~kind:Obs.Trace.Protocol
       ~attrs:
@@ -86,13 +103,21 @@ let one_attempt ?fault scheme env client ~query n =
           ("attempt", Obs.Json.Int n);
         ]
       (scheme_name scheme)
-      (fun () -> dispatch ?fault scheme env client ~query)
+      (fun () -> dispatch ?fault ?endpoint scheme env client ~query)
   in
-  match traced_dispatch () with
-  | outcome -> Stdlib.Ok outcome
-  | exception Fault.Fault_detected f -> Stdlib.Error f
-  | exception Wire.Malformed msg ->
-    Stdlib.Error { Fault.phase = "wire-decode"; party = Transcript.Mediator; reason = msg }
+  let local =
+    match traced_dispatch () with
+    | outcome -> Stdlib.Ok outcome
+    | exception Fault.Fault_detected f -> Stdlib.Error f
+    | exception Wire.Malformed msg ->
+      Stdlib.Error { Fault.phase = "wire-decode"; party = Transcript.Mediator; reason = msg }
+  in
+  match coordinator with
+  | None -> local
+  | Some c -> c.end_attempt ~scheme:(scheme_name scheme) ~attempt:n local
+
+let attempt ?fault ?endpoint scheme env client ~query ~attempt =
+  one_attempt ?fault ?endpoint scheme env client ~query attempt
 
 let failure_of_verdict : Outcome.t R.verdict -> failure = function
   | R.Served _ -> invalid_arg "failure_of_verdict: served"
@@ -117,25 +142,25 @@ let failure_of_verdict : Outcome.t R.verdict -> failure = function
       attempts;
     }
 
-let execute_scheme ?fault ?session ~deadline scheme env client ~query =
+let execute_scheme ?fault ?endpoint ?coordinator ?session ~deadline scheme env client ~query =
   R.execute ?session ~deadline ~label:(scheme_name scheme)
     ~retryable:(Fault.retryable fault)
     ~budget:(1 + Fault.max_retries fault)
     ~parties_of:(fun outcome -> Transcript.parties outcome.Outcome.transcript)
-    (one_attempt ?fault scheme env client ~query)
+    (one_attempt ?fault ?endpoint ?coordinator scheme env client ~query)
 
 (* The mediator's recovery policy: a transient channel fault is worth a
    bounded number of fresh requests (the rule counters on the plan are
    consumed across attempts, so a [times]-bounded fault clears); a
    byzantine source is not — a fresh request reaches the same liar. *)
-let run ?fault scheme env client ~query =
+let run ?fault ?endpoint scheme env client ~query =
   let deadline = R.unlimited R.monotonic in
-  match execute_scheme ?fault ~deadline scheme env client ~query with
+  match execute_scheme ?fault ?endpoint ~deadline scheme env client ~query with
   | R.Served { value; _ } -> Ok value
   | verdict -> Fault (failure_of_verdict verdict)
 
-let run_exn ?fault scheme env client ~query =
-  match run ?fault scheme env client ~query with
+let run_exn ?fault ?endpoint scheme env client ~query =
+  match run ?fault ?endpoint scheme env client ~query with
   | Ok outcome -> outcome
   | Fault f -> raise (Faulted f)
 
@@ -153,20 +178,24 @@ let degradation_chain = function
 
 let degradations = lazy (Secmed_obs.Metrics.counter "resilience.degradations")
 
-let run_session ?fault ?session ?chain scheme env client ~query =
+let run_session ?fault ?endpoint ?coordinator ?on_deadline ?session ?chain scheme env client
+    ~query =
   let module Obs = Secmed_obs in
   let session = match session with Some s -> s | None -> R.session () in
   let deadline = R.new_deadline session in
+  (match on_deadline with None -> () | Some f -> f deadline);
   let chain = match chain with Some c -> c | None -> degradation_chain scheme in
-  (* Simulated link delays consume the query budget; the handler is
-     per-plan state, so restore it however the chain ends. *)
-  (match fault with
-   | None -> ()
-   | Some plan ->
-     Fault.set_delay_handler plan
-       (Some (fun seconds -> R.charge deadline ~phase:"link-delay" seconds)));
-  let finally () =
-    match fault with None -> () | Some plan -> Fault.set_delay_handler plan None
+  (* Simulated link delays consume the query budget.  The handler is
+     per-plan state: [with_delay_handler] scopes it to this query and
+     restores the previous handler however the chain ends, so a crashed
+     run cannot charge later queries' delays to a dead deadline. *)
+  let with_handler body =
+    match fault with
+    | None -> body ()
+    | Some plan ->
+      Fault.with_delay_handler plan
+        (Some (fun seconds -> R.charge deadline ~phase:"link-delay" seconds))
+        body
   in
   let serve_degraded outcome last_failure =
     let from_scheme = scheme_name scheme in
@@ -183,7 +212,10 @@ let run_session ?fault ?session ?chain scheme env client ~query =
   let rec serve rev_tried = function
     | [] -> Unserved (List.rev rev_tried)
     | candidate :: rest -> (
-      match execute_scheme ?fault ~session ~deadline candidate env client ~query with
+      match
+        execute_scheme ?fault ?endpoint ?coordinator ~session ~deadline candidate env client
+          ~query
+      with
       | R.Served { value = outcome; _ } -> (
         match rev_tried with
         | [] -> Served outcome
@@ -194,7 +226,7 @@ let run_session ?fault ?session ?chain scheme env client ~query =
         (* A spent deadline also covers every scheme further down. *)
         if R.expired deadline then Unserved (List.rev rev_tried) else serve rev_tried rest)
   in
-  Fun.protect ~finally (fun () -> serve [] (scheme :: chain))
+  with_handler (fun () -> serve [] (scheme :: chain))
 
 let pp_failure fmt f =
   Format.fprintf fmt "fault at %s (%s) after %d attempt%s: %s" f.phase

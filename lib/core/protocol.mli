@@ -44,8 +44,43 @@ type run_result =
 
 exception Faulted of failure
 
+(** {2 Distributed coordination}
+
+    In a distributed run ([Secmed_net]) every process executes the same
+    deterministic replica of the protocol; the mediator process drives
+    the retry/degradation policy and keeps the replicas in lockstep
+    through a [coordinator]: [begin_attempt] announces the (scheme,
+    attempt) pair before the replica executes, [end_attempt] exchanges
+    end-of-attempt reports and may override a locally-successful result
+    when a peer faulted (the typed failure travels back).  In-process
+    runs pass no coordinator and the hooks cost nothing. *)
+type coordinator = {
+  begin_attempt : scheme:string -> attempt:int -> unit;
+  end_attempt :
+    scheme:string ->
+    attempt:int ->
+    (Outcome.t, Secmed_mediation.Fault.failure) result ->
+    (Outcome.t, Secmed_mediation.Fault.failure) result;
+}
+
+val attempt :
+  ?fault:Secmed_mediation.Fault.plan ->
+  ?endpoint:Secmed_mediation.Link.endpoint ->
+  scheme ->
+  Env.t ->
+  Env.client ->
+  query:string ->
+  attempt:int ->
+  (Outcome.t, Secmed_mediation.Fault.failure) result
+(** One end-to-end attempt, exactly as the resilience engine runs it:
+    [Fault.start_attempt] bookkeeping, a protocol-rooted trace span, and
+    typed failures instead of exceptions ([Wire.Malformed] fails
+    closed).  This is what a non-mediator replica executes when the
+    mediator's coordinator announces an attempt. *)
+
 val run :
   ?fault:Secmed_mediation.Fault.plan ->
+  ?endpoint:Secmed_mediation.Link.endpoint ->
   scheme -> Env.t -> Env.client -> query:string -> run_result
 (** Runs the protocol end to end.  Detected faults surface as [Fault]
     rather than exceptions.  Transient channel faults trigger a bounded
@@ -57,6 +92,7 @@ val run :
 
 val run_exn :
   ?fault:Secmed_mediation.Fault.plan ->
+  ?endpoint:Secmed_mediation.Link.endpoint ->
   scheme -> Env.t -> Env.client -> query:string -> Outcome.t
 (** Like {!run} but raises {!Faulted} — for call sites that treat a
     fault as fatal (benches, examples, the legacy CLI paths). *)
@@ -87,6 +123,9 @@ val degradation_chain : scheme -> scheme list
 
 val run_session :
   ?fault:Secmed_mediation.Fault.plan ->
+  ?endpoint:Secmed_mediation.Link.endpoint ->
+  ?coordinator:coordinator ->
+  ?on_deadline:(Secmed_mediation.Resilience.deadline -> unit) ->
   ?session:Secmed_mediation.Resilience.session ->
   ?chain:scheme list ->
   scheme -> Env.t -> Env.client -> query:string -> session_result
@@ -96,8 +135,13 @@ val run_session :
     so a datasource that keeps failing is eventually short-circuited
     ([phase = "breaker"]) without being contacted.  A spent deadline
     ([phase = "deadline"]) aborts the remaining chain.  While the call
-    runs, the fault plan's delay handler is pointed at the query
-    deadline, so injected [Delay] faults consume budget. *)
+    runs, the fault plan's delay handler is scoped to the query deadline
+    via [Fault.with_delay_handler] (the previous handler is restored on
+    every exit path), so injected [Delay] faults consume budget without
+    leaking into later queries.  [on_deadline] hands the freshly-created
+    deadline to the caller — the network layer points its per-socket-I/O
+    deadline checks at it, so {e real} blocking time trips the budget
+    mid-attempt exactly like a simulated delay. *)
 
 val pp_failure : Format.formatter -> failure -> unit
 val pp_session_failures : Format.formatter -> (string * failure) list -> unit

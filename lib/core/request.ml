@@ -52,12 +52,15 @@ let authorize env transcript source_id entry credentials =
     ignore transcript;
     Relation.rename entry.Catalog.relation granted
 
-let run ?fault env (client : Env.client) ~query transcript =
-  (* Step 1: client -> mediator: the query and the credential set CR. *)
-  Transcript.record transcript ~sender:Client ~receiver:Mediator ~label:"global-query"
-    ~size:(String.length query + credential_size client.Env.credentials);
-  Fault.guard fault transcript ~phase:"request" ~sender:Client ~receiver:Mediator
-    ~label:"global-query" (fun () -> query);
+let run link env (client : Env.client) ~query =
+  let transcript = Link.transcript link in
+  (* Step 1: client -> mediator: the query and the credential set CR.
+     The declared size includes the credential bytes; the wire frame is
+     zero-padded up to it (the prototype never materialises credential
+     encodings). *)
+  Link.deliver link ~phase:"request" ~sender:Client ~receiver:Mediator ~label:"global-query"
+    ~size:(String.length query + credential_size client.Env.credentials)
+    (fun () -> query);
   (* Step 2: the mediator decomposes q and localizes the sources. *)
   let ast = Parser.parse query in
   let decomposition = Catalog.decompose env.Env.catalog ast in
@@ -71,11 +74,9 @@ let run ?fault env (client : Env.client) ~query transcript =
         (fun acc a -> acc + String.length a)
         0 decomposition.Catalog.join_attrs
     in
-    Transcript.record transcript ~sender:Mediator ~receiver:(Source entry.Catalog.source)
-      ~label:"partial-query"
-      ~size:(String.length partial_query + credential_size credentials + attrs_bytes);
-    Fault.guard fault transcript ~phase:"request" ~sender:Mediator
+    Link.deliver link ~phase:"request" ~sender:Mediator
       ~receiver:(Source entry.Catalog.source) ~label:"partial-query"
+      ~size:(String.length partial_query + credential_size credentials + attrs_bytes)
       (fun () -> partial_query);
     credentials
   in

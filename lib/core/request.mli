@@ -32,9 +32,10 @@ type t = {
   credentials_right : Credential.t list;  (** CR_2 *)
 }
 
-val run : ?fault:Fault.plan -> Env.t -> Env.client -> query:string -> Transcript.t -> t
-(** Parses and decomposes [query], performs steps 1–4 recording every
-    message, and returns the sources' granted partial results.  Raises
+val run : Link.t -> Env.t -> Env.client -> query:string -> t
+(** Parses and decomposes [query], performs steps 1–4 delivering every
+    message over the link (transcript + fault plan + optional transport),
+    and returns the sources' granted partial results.  Raises
     {!Access_denied}, {!Bad_credential}, [Parser.Error], [Lexer.Error],
     [Catalog.Unsupported], or {!Fault.Fault_detected} when an installed
     fault plan hits the request-phase messages. *)

@@ -53,7 +53,7 @@ let run ?on env client op ~left ~right =
            "select *" queries as for a join. *)
         let query = Printf.sprintf "select * from %s natural join %s" left right in
         let request =
-          Outcome.Builder.timed b "request" (fun () -> Request.run env client ~query tr)
+          Outcome.Builder.timed b "request" (fun () -> Request.run (Link.make tr) env client ~query)
         in
         let left_rel = request.Request.left_result in
         let right_rel = request.Request.right_result in

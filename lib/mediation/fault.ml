@@ -97,6 +97,17 @@ let simulated_delay p = p.simulated_delay
 
 let set_delay_handler p handler = p.on_delay <- handler
 
+(* A crashed run must not leave its handler installed: the next query on
+   the same plan would charge link delays to a deadline that no longer
+   exists.  Scope the handler to the callback and restore whatever was
+   there before, even on exceptions. *)
+let with_delay_handler p handler f =
+  let saved = p.on_delay in
+  p.on_delay <- handler;
+  Fun.protect ~finally:(fun () -> p.on_delay <- saved) f
+
+let delay_handler_installed p = Option.is_some p.on_delay
+
 let attempts p = p.attempt
 
 let byzantine_mode plan source =
@@ -233,6 +244,39 @@ let deliver p transcript ~phase ~sender ~receiver ~label payload =
       done;
       event (Printf.sprintf "%d byte(s) corrupted" (Stdlib.max 1 n));
       detect (Bytes.to_string framed)
+
+let inject = deliver
+
+(* ------------------------------------------------------------------ *)
+(* Chaos-proxy support: the byte-level TCP proxy (Secmed_net.Chaos)
+   replays the same plan against live streams.  It matches rules itself
+   (it sits outside any transcript) and keeps its own event log via
+   [log_external]. *)
+
+let select p ~sender ~receiver ~label =
+  match List.find_opt (rule_matches ~sender ~receiver ~label) p.rules with
+  | None -> None
+  | Some r ->
+    r.remaining <- r.remaining - 1;
+    Some r.rule_action
+
+let log_external p ~sender ~receiver ~label ~action detail =
+  p.rev_events <-
+    { event_sender = sender; event_receiver = receiver; event_label = label;
+      event_action = action; detail }
+    :: p.rev_events
+
+let corrupt_bytes p ~count s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    for _ = 1 to Stdlib.max 1 count do
+      let i = Prng.uniform_int p.prng (Bytes.length b) in
+      let bit = 1 lsl Prng.uniform_int p.prng 8 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor bit))
+    done;
+    Bytes.to_string b
+  end
 
 (* Byzantine helper: damage a ciphertext without breaking its framing —
    flipping the last byte (MAC / tag material in every ciphertext format

@@ -94,7 +94,20 @@ val set_delay_handler : plan -> (float -> unit) option -> unit
     seconds each time a [Delay] rule fires, after the event is logged.
     The resilience session layer uses it to charge simulated link delays
     against the query deadline ({!Resilience.charge}), which may raise
-    {!Resilience.Deadline_exceeded} out of the delivery point. *)
+    {!Resilience.Deadline_exceeded} out of the delivery point.
+
+    Prefer {!with_delay_handler}: a bare [set] that is never reset leaks
+    the handler into the plan's next use. *)
+
+val with_delay_handler : plan -> (float -> unit) option -> (unit -> 'a) -> 'a
+(** [with_delay_handler p h f] runs [f] with [h] installed as the delay
+    handler and restores the {e previous} handler when [f] returns or
+    raises — so a crashed query cannot charge later queries' link delays
+    to its dead deadline, and nesting composes. *)
+
+val delay_handler_installed : plan -> bool
+(** Whether a delay handler is currently installed (regression hook for
+    the scoping guarantee above). *)
 
 val byzantine_mode : plan option -> int -> byzantine_mode option
 (** How the given datasource misbehaves, if at all. *)
@@ -139,3 +152,49 @@ val guard :
     receiver; [Duplicate] records the extra copy in the transcript;
     [Delay] accrues {!simulated_delay}.  Every firing is logged to
     {!events} and noted in the transcript. *)
+
+val inject :
+  plan ->
+  Transcript.t ->
+  phase:string ->
+  sender:Transcript.party ->
+  receiver:Transcript.party ->
+  label:string ->
+  string ->
+  string
+(** The delivery engine behind {!guard}, taking the payload by value and
+    returning what the receiver accepts (used by [Link.deliver], which
+    always has the payload in hand when a transport is attached).
+    Failure semantics are identical to {!guard}. *)
+
+(** {2 Chaos-proxy hooks}
+
+    [Secmed_net.Chaos] replays a plan against live TCP streams.  It runs
+    outside any protocol replica — no transcript, no phase — so it drives
+    the rule table directly and logs what it did for post-mortem
+    comparison with the simulated path. *)
+
+val select :
+  plan ->
+  sender:Transcript.party ->
+  receiver:Transcript.party ->
+  label:string ->
+  action option
+(** Consume the first rule matching the link and label (decrementing its
+    [times] counter) and return its action; [None] when no rule fires.
+    Nothing is logged — callers record their own {!log_external} entry
+    describing what they actually did to the stream. *)
+
+val log_external :
+  plan ->
+  sender:Transcript.party ->
+  receiver:Transcript.party ->
+  label:string ->
+  action:action ->
+  string ->
+  unit
+(** Append an event to the plan's log without touching any transcript. *)
+
+val corrupt_bytes : plan -> count:int -> string -> string
+(** Flip [count] seeded random bits (at least one), drawn from the plan's
+    PRNG — the byte-level analogue of the [Corrupt] action. *)

@@ -14,6 +14,8 @@ let write_int buf v =
     Buffer.add_char buf (Char.chr ((v lsr (i * 8)) land 0xff))
   done
 
+let write_raw = Buffer.add_string
+
 let write_string buf s =
   Buffer.add_string buf (Bytes_util.be32 (String.length s));
   Buffer.add_string buf s
@@ -72,3 +74,73 @@ let at_end r = r.pos = String.length r.data
 
 let expect_end r =
   if not (at_end r) then malformed "%d trailing bytes at offset %d" (remaining r) r.pos
+
+(* ------------------------------------------------------------------ *)
+(* Stream framing *)
+
+let frame body = Bytes_util.be32 (String.length body) ^ body
+
+module Stream = struct
+  type t = {
+    mutable buf : Bytes.t;
+    mutable start : int;  (* offset of the first unconsumed byte *)
+    mutable len : int;    (* unconsumed bytes from [start] *)
+    max_frame : int;
+  }
+
+  let default_max_frame = 1 lsl 26
+
+  let create ?(max_frame = default_max_frame) () =
+    if max_frame <= 0 then invalid_arg "Wire.Stream.create: max_frame must be positive";
+    { buf = Bytes.create 4096; start = 0; len = 0; max_frame }
+
+  let buffered t = t.len
+
+  (* Make room for [extra] more bytes after the unconsumed region,
+     compacting to the front and doubling the buffer as needed. *)
+  let ensure t extra =
+    let need = t.len + extra in
+    if t.start > 0 && t.start + need > Bytes.length t.buf then begin
+      Bytes.blit t.buf t.start t.buf 0 t.len;
+      t.start <- 0
+    end;
+    if need > Bytes.length t.buf then begin
+      let cap = ref (Bytes.length t.buf) in
+      while !cap < need do
+        cap := !cap * 2
+      done;
+      let grown = Bytes.create !cap in
+      Bytes.blit t.buf t.start grown 0 t.len;
+      t.buf <- grown;
+      t.start <- 0
+    end
+
+  let feed_bytes t b ~off ~len =
+    if off < 0 || len < 0 || off > Bytes.length b - len then
+      invalid_arg "Wire.Stream.feed_bytes";
+    ensure t len;
+    Bytes.blit b off t.buf (t.start + t.len) len;
+    t.len <- t.len + len
+
+  let feed t s =
+    let len = String.length s in
+    ensure t len;
+    Bytes.blit_string s 0 t.buf (t.start + t.len) len;
+    t.len <- t.len + len
+
+  let next_frame t =
+    if t.len < 4 then None
+    else begin
+      let n = Bytes_util.read_be32 (Bytes.unsafe_to_string t.buf) t.start in
+      if n > t.max_frame then
+        malformed "stream frame of %d bytes exceeds the %d-byte cap" n t.max_frame;
+      if t.len < 4 + n then None
+      else begin
+        let body = Bytes.sub_string t.buf (t.start + 4) n in
+        t.start <- t.start + 4 + n;
+        t.len <- t.len - 4 - n;
+        if t.len = 0 then t.start <- 0;
+        Some body
+      end
+    end
+end

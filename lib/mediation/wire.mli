@@ -18,6 +18,10 @@ val writer : unit -> writer
 val write_int : writer -> int -> unit
 (** 8-byte big-endian. *)
 
+val write_raw : writer -> string -> unit
+(** Bytes as-is, no length prefix — for fixed-width canonical encodings
+    whose framing is implied by the schema. *)
+
 val write_string : writer -> string -> unit
 (** 4-byte length prefix + bytes. *)
 
@@ -46,3 +50,40 @@ val read_list : reader -> (unit -> 'a) -> 'a list
 val at_end : reader -> bool
 val expect_end : reader -> unit
 (** Raises {!Malformed} when bytes remain. *)
+
+val frame : string -> string
+(** [frame body] length-prefixes [body] with its 4-byte big-endian size,
+    producing the unit a stream transport writes; {!Stream} is the
+    matching decoder. *)
+
+(** Incremental frame decoder for stream transports.
+
+    A TCP read returns an arbitrary chunk of the byte stream — possibly
+    half a length prefix, possibly three frames and the beginning of a
+    fourth.  [Stream] buffers whatever arrives and hands back complete
+    frame bodies, whatever the chunk boundaries were: feeding a byte
+    string split at {e any} offset yields the same frames as feeding it
+    whole (tested at every 1-byte offset in [test_net.ml]). *)
+module Stream : sig
+  type t
+
+  val create : ?max_frame:int -> unit -> t
+  (** [max_frame] caps the declared size of a single frame (default
+      64 MiB) so a corrupted or hostile length prefix cannot drive an
+      unbounded allocation. *)
+
+  val feed : t -> string -> unit
+  (** Append a chunk of the byte stream to the buffer. *)
+
+  val feed_bytes : t -> Bytes.t -> off:int -> len:int -> unit
+  (** [feed] from a [Bytes.t] slice (what [Unix.read] fills) without an
+      intermediate copy of the whole buffer. *)
+
+  val next_frame : t -> string option
+  (** The next complete frame body, consuming it from the buffer, or
+      [None] if the buffered bytes do not yet hold one.  Raises
+      {!Malformed} when a length prefix exceeds the [max_frame] cap. *)
+
+  val buffered : t -> int
+  (** Bytes fed but not yet consumed by {!next_frame}. *)
+end

@@ -1,0 +1,129 @@
+open Secmed_mediation
+
+type t = {
+  listen_fd : Unix.file_descr;
+  port : int;
+  plan : Fault.plan;
+  plan_mu : Mutex.t;  (* rule counters and the event log are shared by both pumps *)
+  target : string * int;
+  mu : Mutex.t;
+  mutable conns : (Io.conn * Io.conn) list;
+  mutable stopped : bool;
+}
+
+let detail fmt = Printf.ksprintf Fun.id fmt
+
+(* Forward one decoded frame, applying at most one rule.  Returns
+   [false] when the stream was deliberately wrecked (truncation) and
+   pumping must stop. *)
+let forward t dst frame body =
+  match frame with
+  | Frame.Msg m -> (
+    let verdict =
+      Mutex.protect t.plan_mu (fun () ->
+          match
+            Fault.select t.plan ~sender:m.sender ~receiver:m.receiver ~label:m.label
+          with
+          | None -> None
+          | Some action ->
+            let log d = Fault.log_external t.plan ~sender:m.sender ~receiver:m.receiver ~label:m.label ~action d in
+            (match action with
+            | Fault.Drop -> log (detail "proxy withheld the %d-byte frame" (String.length body))
+            | Fault.Delay s -> log (detail "proxy stalled the stream %.3fs" s)
+            | Fault.Corrupt n -> log (detail "proxy flipped bits in %d payload bytes" n)
+            | Fault.Duplicate -> log "proxy replayed the frame"
+            | Fault.Truncate n ->
+              log (detail "proxy cut %d trailing bytes and severed the connection" n));
+            Some action)
+    in
+    match verdict with
+    | None ->
+      Io.send_frame dst body;
+      true
+    | Some Fault.Drop -> true
+    | Some (Fault.Delay s) ->
+      Thread.delay s;
+      Io.send_frame dst body;
+      true
+    | Some (Fault.Corrupt n) ->
+      let corrupted =
+        Mutex.protect t.plan_mu (fun () -> Fault.corrupt_bytes t.plan ~count:n m.payload)
+      in
+      Io.send_frame dst (Frame.encode (Frame.Msg { m with payload = corrupted }));
+      true
+    | Some Fault.Duplicate ->
+      Io.send_frame dst body;
+      Io.send_frame dst body;
+      true
+    | Some (Fault.Truncate n) ->
+      let whole = Wire.frame body in
+      let keep = max 0 (String.length whole - max 1 n) in
+      Io.send_raw dst (String.sub whole 0 keep);
+      false)
+  | _ ->
+    Io.send_frame dst body;
+    true
+
+let pump t src dst =
+  let rec loop () =
+    let body = Io.recv_frame src in
+    match Frame.decode body with
+    | frame -> if forward t dst frame body then loop ()
+    | exception Wire.Malformed _ ->
+      (* Not ours to interpret; pass the bytes through untouched. *)
+      Io.send_frame dst body;
+      loop ()
+  in
+  (try loop () with Io.Transport_error _ -> ());
+  Io.close src;
+  Io.close dst
+
+let start ~plan ~target_host ~target_port ?(port = 0) ?listen () =
+  let listen_fd, port =
+    match listen with Some bound -> bound | None -> Io.listen ~port ()
+  in
+  let t =
+    {
+      listen_fd;
+      port;
+      plan;
+      plan_mu = Mutex.create ();
+      target = (target_host, target_port);
+      mu = Mutex.create ();
+      conns = [];
+      stopped = false;
+    }
+  in
+  let accept_loop () =
+    let rec loop () =
+      match Io.accept listen_fd with
+      | inbound ->
+        (match Io.connect ~host:(fst t.target) ~port:(snd t.target) () with
+        | outbound ->
+          Mutex.protect t.mu (fun () -> t.conns <- (inbound, outbound) :: t.conns);
+          ignore (Thread.create (fun () -> pump t inbound outbound) () : Thread.t);
+          ignore (Thread.create (fun () -> pump t outbound inbound) () : Thread.t)
+        | exception Io.Transport_error _ -> Io.close inbound);
+        loop ()
+      | exception Io.Transport_error _ -> ()  (* listener closed: stop *)
+    in
+    loop ()
+  in
+  ignore (Thread.create accept_loop () : Thread.t);
+  t
+
+let port t = t.port
+let plan t = t.plan
+
+let stop t =
+  Mutex.protect t.mu (fun () ->
+      if not t.stopped then begin
+        t.stopped <- true;
+        (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+        List.iter
+          (fun (a, b) ->
+            Io.close a;
+            Io.close b)
+          t.conns;
+        t.conns <- []
+      end)

@@ -1,0 +1,206 @@
+open Secmed_mediation
+module Obs = Secmed_obs
+module Protocol = Secmed_core.Protocol
+
+exception Aborted of Fault.failure
+
+module Mux = struct
+  type t = {
+    conn : Io.conn;
+    mu : Mutex.t;
+    subs : (int, Frame.t Queue.t) Hashtbl.t;
+    closed : (int, unit) Hashtbl.t;
+    control : Frame.t Queue.t;
+    mutable dead : string option;
+  }
+
+  (* Routing must not depend on a consumer having subscribed yet: the
+     recv thread sees a session's [Session_start] and, microseconds
+     later, the [Msg] frames behind it — before any control-loop thread
+     has had a chance to react.  So the first frame of an unknown
+     session creates its queue and parks there.  Every [Session_start]
+     is additionally announced on the control queue (a daemon spawns a
+     handler on the first announcement per session and ignores the
+     rest) — "every", because after a severed-and-redialed connection
+     the announcement may not be the session's first frame on this mux.
+     Frames for a session that was unsubscribed (finished) are
+     dropped. *)
+  let route t frame =
+    Mutex.protect t.mu (fun () ->
+        match Frame.session_of frame with
+        | None -> Queue.push frame t.control
+        | Some sid when Hashtbl.mem t.closed sid -> ()
+        | Some sid ->
+          let q =
+            match Hashtbl.find_opt t.subs sid with
+            | Some q -> q
+            | None ->
+              let q = Queue.create () in
+              Hashtbl.replace t.subs sid q;
+              q
+          in
+          Queue.push frame q;
+          (match frame with
+          | Frame.Session_start _ -> Queue.push frame t.control
+          | _ -> ()))
+
+  let create conn =
+    let t =
+      { conn; mu = Mutex.create (); subs = Hashtbl.create 8; closed = Hashtbl.create 8;
+        control = Queue.create (); dead = None }
+    in
+    let rec recv_loop () =
+      match Frame.decode (Io.recv_frame conn) with
+      | frame ->
+        route t frame;
+        recv_loop ()
+      | exception Io.Transport_error msg -> t.dead <- Some msg
+      | exception Wire.Malformed msg -> t.dead <- Some ("malformed frame: " ^ msg)
+    in
+    ignore (Thread.create recv_loop () : Thread.t);
+    t
+
+  let conn t = t.conn
+  let alive t = Mutex.protect t.mu (fun () -> t.dead = None)
+  let send t frame = Io.send_frame t.conn (Frame.encode frame)
+
+  let subscribe t sid =
+    Mutex.protect t.mu (fun () ->
+        if not (Hashtbl.mem t.subs sid) then Hashtbl.replace t.subs sid (Queue.create ()))
+
+  let unsubscribe t sid =
+    Mutex.protect t.mu (fun () ->
+        Hashtbl.remove t.subs sid;
+        Hashtbl.replace t.closed sid ())
+
+  (* The stdlib has no timed condition wait, so waiting is a polling
+     loop at 1 ms granularity — coarse enough to stay invisible next to
+     crypto, fine enough not to matter against I/O timeouts. *)
+  let wait t ~timeout ~what q_of =
+    let deadline = if timeout > 0. then Unix.gettimeofday () +. timeout else infinity in
+    let rec loop () =
+      let item, dead =
+        Mutex.protect t.mu (fun () ->
+            let q = q_of () in
+            ((if Queue.is_empty q then None else Some (Queue.pop q)), t.dead))
+      in
+      match item with
+      | Some frame -> frame
+      | None ->
+        (match dead with
+        | Some msg -> raise (Io.Transport_error (Printf.sprintf "%s: %s" what msg))
+        | None -> ());
+        if Unix.gettimeofday () > deadline then
+          raise (Io.Transport_error (Printf.sprintf "%s: timeout" what));
+        Thread.delay 0.001;
+        loop ()
+    in
+    loop ()
+
+  let next t ~session ~timeout =
+    wait t ~timeout ~what:(Printf.sprintf "session %d" session) (fun () ->
+        match Hashtbl.find_opt t.subs session with
+        | Some q -> q
+        | None -> invalid_arg "Mux.next: session not subscribed")
+
+  let next_control t ~timeout = wait t ~timeout ~what:"control" (fun () -> t.control)
+end
+
+type route = { r_send : Frame.t -> unit; r_next : timeout:float -> Frame.t }
+
+let frames_out = lazy (Obs.Metrics.counter "net.frames.out")
+let frames_in = lazy (Obs.Metrics.counter "net.frames.in")
+let payload_out = lazy (Obs.Metrics.counter "net.payload.out")
+let payload_in = lazy (Obs.Metrics.counter "net.payload.in")
+
+let trace_frame dir ~phase ~party ~label ~size =
+  if Obs.Trace.enabled () then
+    Obs.Trace.event ("net." ^ dir)
+      ~attrs:
+        [
+          ("phase", Obs.Json.Str phase);
+          ("party", Obs.Json.Str (Transcript.party_name party));
+          ("label", Obs.Json.Str label);
+          ("bytes", Obs.Json.Int size);
+        ]
+
+let transport ~role ~session ~epoch ~io_timeout ~route_of ?(after_io = fun ~phase:_ -> ())
+    () =
+  let send ~phase ~seq ~sender ~receiver ~label ~size payload =
+    match route_of receiver with
+    | None -> ()
+    | Some r ->
+      (try
+         r.r_send
+           (Frame.Msg
+              { session; epoch = epoch (); seq; sender; receiver; label; declared = size; payload })
+       with Io.Transport_error msg ->
+         (* The link itself is down: a typed, retryable fault blamed at
+            the unreachable party, like a simulated severed link. *)
+         Fault.fail ~phase ~party:receiver (label ^ ": link down: " ^ msg));
+      Obs.Metrics.incr (Lazy.force frames_out);
+      Obs.Metrics.incr ~by:size (Lazy.force payload_out);
+      trace_frame "send" ~phase ~party:receiver ~label ~size;
+      after_io ~phase
+  in
+  let recv ~phase ~seq ~sender ~receiver ~label ~size:_ =
+    match route_of sender with
+    | None -> Fault.fail ~phase ~party:receiver (label ^ ": no route to its sender")
+    | Some r ->
+      let here = epoch () in
+      let rec go () =
+        match r.r_next ~timeout:io_timeout with
+        | Frame.Msg m when m.epoch = here && m.seq = seq ->
+          if not (Transcript.party_equal m.sender sender) || not (String.equal m.label label)
+          then
+            Fault.fail ~phase ~party:receiver
+              (Printf.sprintf "frame #%d: expected %s from %s, got %s from %s" seq label
+                 (Transcript.party_name sender) m.label (Transcript.party_name m.sender))
+          else m.payload
+        | Frame.Msg m when m.epoch < here || (m.epoch = here && m.seq < seq) ->
+          (* A replay (chaos Duplicate) or a leftover of an aborted
+             attempt: the filter is what makes retries safe. *)
+          go ()
+        | Frame.Msg m ->
+          Fault.fail ~phase ~party:receiver
+            (Printf.sprintf "%s: frame gap: awaiting #%d of epoch %d, got #%d of epoch %d"
+               label seq here m.seq m.epoch)
+        | Frame.Abort { epoch = e; failure; _ } when e >= here -> raise (Aborted failure)
+        | Frame.Abort _ | Frame.Report _ -> go ()
+        | Frame.Session_start { epoch = e; _ } when e <= here -> go ()
+        | f ->
+          Fault.fail ~phase ~party:receiver
+            (Printf.sprintf "%s: unexpected %s frame mid-attempt" label (Frame.tag_name f))
+        | exception Io.Transport_error msg ->
+          (* The wire analogue of a simulated [Drop]: the frame never
+             arrived, detected and blamed at the receiving party. *)
+          Fault.fail ~phase ~party:receiver
+            (Printf.sprintf "%s never arrived: %s" label msg)
+      in
+      let payload = go () in
+      Obs.Metrics.incr (Lazy.force frames_in);
+      Obs.Metrics.incr ~by:(String.length payload) (Lazy.force payload_in);
+      trace_frame "recv" ~phase ~party:sender ~label ~size:(String.length payload);
+      after_io ~phase;
+      payload
+  in
+  { Link.role; send; recv }
+
+let run_replica ~role ~fault ~session ~epoch ~attempt ~scheme ~query ~io_timeout ~route env
+    client =
+  match Protocol.scheme_of_name scheme with
+  | None ->
+    ( Frame.St_failed
+        { Fault.phase = "session"; party = role; reason = "unknown scheme: " ^ scheme },
+      None )
+  | Some sch -> (
+    let tr =
+      transport ~role ~session ~epoch:(fun () -> epoch) ~io_timeout
+        ~route_of:(fun _ -> Some route) ()
+    in
+    match Protocol.attempt ?fault ~endpoint:(Link.Remote tr) sch env client ~query ~attempt with
+    | Ok outcome -> (Frame.St_ok, Some outcome)
+    | Error f -> (Frame.St_failed f, None)
+    | exception Aborted _ -> (Frame.St_aborted, None)
+    | exception Io.Transport_error msg ->
+      (Frame.St_failed { Fault.phase = "transport"; party = role; reason = msg }, None))

@@ -1,0 +1,98 @@
+(** From sockets to {!Secmed_mediation.Link.transport}.
+
+    The drivers are endpoint-parametric: they call [Link.deliver] and the
+    attached transport decides what, if anything, crosses a wire.  This
+    module supplies that transport for the deterministic-replica model —
+    each process sends the frames whose sender it plays and awaits (and
+    checks) the frames whose receiver it plays, filtering by (attempt,
+    seq) so duplicated or stale frames from an abandoned attempt are
+    discarded rather than misdelivered.
+
+    {!Mux} demultiplexes one shared connection (a mediator↔datasource
+    link carries every concurrent session) into per-session frame queues
+    fed by a single receive thread. *)
+
+open Secmed_mediation
+
+exception Aborted of Fault.failure
+(** Raised out of a replica's [recv] when the mediator aborts the
+    attempt; the replica's driver unwinds and reports [St_aborted]. *)
+
+module Mux : sig
+  type t
+
+  val create : Io.conn -> t
+  (** Spawn the receive thread.  The connection must have no other
+      reader from this point on. *)
+
+  val conn : t -> Io.conn
+  val alive : t -> bool
+  (** [false] once the receive thread died (peer closed, reset,
+      malformed stream) — the cue for lazy reconnection. *)
+
+  val send : t -> Frame.t -> unit
+
+  val subscribe : t -> int -> unit
+  (** Open a queue for a session id (idempotent).  Session queues are
+      also opened implicitly by the first frame that names the session —
+      the receive thread must never race a consumer's subscription —
+      with a [Session_start] additionally announced on the control
+      queue so a daemon can spawn the session's handler. *)
+
+  val unsubscribe : t -> int -> unit
+  (** Close the session's queue; late frames for it are dropped. *)
+
+  val next : t -> session:int -> timeout:float -> Frame.t
+  (** Block (polling) until the session's queue yields a frame.  Raises
+      {!Io.Transport_error} on timeout or when the receive thread died
+      and the queue is drained. *)
+
+  val next_control : t -> timeout:float -> Frame.t
+  (** Same, for connection-level frames and session announcements. *)
+end
+
+type route = {
+  r_send : Frame.t -> unit;
+  r_next : timeout:float -> Frame.t;  (** already session-filtered *)
+}
+(** One counterpart this process exchanges frames with.  A leaf (client
+    or datasource) has exactly one route — its mediator connection; the
+    mediator has one per remote counterpart. *)
+
+val transport :
+  role:Transcript.party ->
+  session:int ->
+  epoch:(unit -> int) ->
+  io_timeout:float ->
+  route_of:(Transcript.party -> route option) ->
+  ?after_io:(phase:string -> unit) ->
+  unit ->
+  Link.transport
+(** Sends route by the message's {e receiver}, receives by its
+    {e sender} ([route_of] returning [None] means the counterpart is
+    local — nothing crosses a wire).  Receive-side failures surface as
+    typed faults blamed on this process's receiving party: a timeout
+    matches a simulated [Drop], a payload mismatch (checked by
+    [Link.deliver]) matches a simulated [Corrupt].  [after_io] runs
+    after every blocking send/recv — the mediator hooks its real-time
+    deadline check here so wall-clock stalls trip the budget
+    mid-attempt.  [epoch] is read per frame so the mediator can reuse
+    one transport across every attempt of a resilient session. *)
+
+val run_replica :
+  role:Transcript.party ->
+  fault:Fault.plan option ->
+  session:int ->
+  epoch:int ->
+  attempt:int ->
+  scheme:string ->
+  query:string ->
+  io_timeout:float ->
+  route:route ->
+  Secmed_core.Env.t ->
+  Secmed_core.Env.client ->
+  Frame.status * Secmed_core.Outcome.t option
+(** One leaf-side protocol attempt: resolve the scheme name, run the
+    driver over a [Remote] link bound to [route], and translate the
+    ending into the {!Frame.status} the replica reports.  The outcome is
+    returned on [St_ok] so the client replica can keep its result. *)

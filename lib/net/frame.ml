@@ -1,0 +1,286 @@
+open Secmed_mediation
+
+type status = St_ok | St_failed of Fault.failure | St_aborted
+
+type wire_result =
+  | W_served of {
+      w_scheme : string;
+      w_attempts : int;
+      w_degraded : (string * string) option;
+      w_link_stats : (Transcript.party * int * int) list;
+    }
+  | W_unserved of (string * Fault.failure * int) list
+
+type msg = {
+  session : int;
+  epoch : int;
+  seq : int;
+  sender : Transcript.party;
+  receiver : Transcript.party;
+  label : string;
+  declared : int;
+  payload : string;
+}
+
+type t =
+  | Hello of { role : Transcript.party; scenario : string }
+  | Hello_ok of { scenario : string }
+  | Busy of string
+  | Query of {
+      scheme : string;
+      query : string;
+      fault_spec : string;
+      deadline : float;
+      fallback : bool;
+    }
+  | Session_start of {
+      session : int;
+      epoch : int;
+      attempt : int;
+      scheme : string;
+      query : string;
+      fault_spec : string;
+    }
+  | Msg of msg
+  | Report of { session : int; epoch : int; status : status }
+  | Abort of { session : int; epoch : int; failure : Fault.failure }
+  | Session_result of { session : int; result : wire_result }
+  | Session_end of { session : int }
+
+let malformed fmt = Printf.ksprintf (fun m -> raise (Wire.Malformed m)) fmt
+
+let write_party w = function
+  | Transcript.Client -> Wire.write_int w 0
+  | Transcript.Mediator -> Wire.write_int w 1
+  | Transcript.Authority -> Wire.write_int w 2
+  | Transcript.Source i ->
+    Wire.write_int w 3;
+    Wire.write_int w i
+
+let read_party r =
+  match Wire.read_int r with
+  | 0 -> Transcript.Client
+  | 1 -> Transcript.Mediator
+  | 2 -> Transcript.Authority
+  | 3 -> Transcript.Source (Wire.read_int r)
+  | n -> malformed "unknown party tag %d" n
+
+(* Deadlines travel as milliseconds so the codec never has to round-trip
+   a float bit pattern through a 63-bit int. *)
+let write_seconds w f = Wire.write_int w (int_of_float (Float.round (f *. 1000.)))
+let read_seconds r = float_of_int (Wire.read_int r) /. 1000.
+
+let write_failure w (f : Fault.failure) =
+  Wire.write_string w f.Fault.phase;
+  write_party w f.Fault.party;
+  Wire.write_string w f.Fault.reason
+
+let read_failure r =
+  let phase = Wire.read_string r in
+  let party = read_party r in
+  let reason = Wire.read_string r in
+  { Fault.phase; party; reason }
+
+let write_status w = function
+  | St_ok -> Wire.write_int w 0
+  | St_failed f ->
+    Wire.write_int w 1;
+    write_failure w f
+  | St_aborted -> Wire.write_int w 2
+
+let read_status r =
+  match Wire.read_int r with
+  | 0 -> St_ok
+  | 1 -> St_failed (read_failure r)
+  | 2 -> St_aborted
+  | n -> malformed "unknown status tag %d" n
+
+let write_result w = function
+  | W_served { w_scheme; w_attempts; w_degraded; w_link_stats } ->
+    Wire.write_int w 0;
+    Wire.write_string w w_scheme;
+    Wire.write_int w w_attempts;
+    (match w_degraded with
+    | None -> Wire.write_int w 0
+    | Some (from_scheme, reason) ->
+      Wire.write_int w 1;
+      Wire.write_string w from_scheme;
+      Wire.write_string w reason);
+    Wire.write_list w
+      (fun (party, sent, received) ->
+        write_party w party;
+        Wire.write_int w sent;
+        Wire.write_int w received)
+      w_link_stats
+  | W_unserved tried ->
+    Wire.write_int w 1;
+    Wire.write_list w
+      (fun (scheme, failure, attempts) ->
+        Wire.write_string w scheme;
+        write_failure w failure;
+        Wire.write_int w attempts)
+      tried
+
+let read_result r =
+  match Wire.read_int r with
+  | 0 ->
+    let w_scheme = Wire.read_string r in
+    let w_attempts = Wire.read_int r in
+    let w_degraded =
+      match Wire.read_int r with
+      | 0 -> None
+      | 1 ->
+        let from_scheme = Wire.read_string r in
+        let reason = Wire.read_string r in
+        Some (from_scheme, reason)
+      | n -> malformed "unknown degraded tag %d" n
+    in
+    let w_link_stats =
+      Wire.read_list r (fun () ->
+          let party = read_party r in
+          let sent = Wire.read_int r in
+          let received = Wire.read_int r in
+          (party, sent, received))
+    in
+    W_served { w_scheme; w_attempts; w_degraded; w_link_stats }
+  | 1 ->
+    W_unserved
+      (Wire.read_list r (fun () ->
+           let scheme = Wire.read_string r in
+           let failure = read_failure r in
+           let attempts = Wire.read_int r in
+           (scheme, failure, attempts)))
+  | n -> malformed "unknown result tag %d" n
+
+let encode t =
+  let w = Wire.writer () in
+  (match t with
+  | Hello { role; scenario } ->
+    Wire.write_int w 0;
+    write_party w role;
+    Wire.write_string w scenario
+  | Hello_ok { scenario } ->
+    Wire.write_int w 1;
+    Wire.write_string w scenario
+  | Busy reason ->
+    Wire.write_int w 2;
+    Wire.write_string w reason
+  | Query { scheme; query; fault_spec; deadline; fallback } ->
+    Wire.write_int w 3;
+    Wire.write_string w scheme;
+    Wire.write_string w query;
+    Wire.write_string w fault_spec;
+    write_seconds w deadline;
+    Wire.write_int w (if fallback then 1 else 0)
+  | Session_start { session; epoch; attempt; scheme; query; fault_spec } ->
+    Wire.write_int w 4;
+    Wire.write_int w session;
+    Wire.write_int w epoch;
+    Wire.write_int w attempt;
+    Wire.write_string w scheme;
+    Wire.write_string w query;
+    Wire.write_string w fault_spec
+  | Msg { session; epoch; seq; sender; receiver; label; declared; payload } ->
+    Wire.write_int w 5;
+    Wire.write_int w session;
+    Wire.write_int w epoch;
+    Wire.write_int w seq;
+    write_party w sender;
+    write_party w receiver;
+    Wire.write_string w label;
+    Wire.write_int w declared;
+    Wire.write_string w payload
+  | Report { session; epoch; status } ->
+    Wire.write_int w 6;
+    Wire.write_int w session;
+    Wire.write_int w epoch;
+    write_status w status
+  | Abort { session; epoch; failure } ->
+    Wire.write_int w 7;
+    Wire.write_int w session;
+    Wire.write_int w epoch;
+    write_failure w failure
+  | Session_result { session; result } ->
+    Wire.write_int w 8;
+    Wire.write_int w session;
+    write_result w result
+  | Session_end { session } ->
+    Wire.write_int w 9;
+    Wire.write_int w session);
+  Wire.contents w
+
+let decode body =
+  let r = Wire.reader body in
+  let t =
+    match Wire.read_int r with
+    | 0 ->
+      let role = read_party r in
+      let scenario = Wire.read_string r in
+      Hello { role; scenario }
+    | 1 -> Hello_ok { scenario = Wire.read_string r }
+    | 2 -> Busy (Wire.read_string r)
+    | 3 ->
+      let scheme = Wire.read_string r in
+      let query = Wire.read_string r in
+      let fault_spec = Wire.read_string r in
+      let deadline = read_seconds r in
+      let fallback = Wire.read_int r <> 0 in
+      Query { scheme; query; fault_spec; deadline; fallback }
+    | 4 ->
+      let session = Wire.read_int r in
+      let epoch = Wire.read_int r in
+      let attempt = Wire.read_int r in
+      let scheme = Wire.read_string r in
+      let query = Wire.read_string r in
+      let fault_spec = Wire.read_string r in
+      Session_start { session; epoch; attempt; scheme; query; fault_spec }
+    | 5 ->
+      let session = Wire.read_int r in
+      let epoch = Wire.read_int r in
+      let seq = Wire.read_int r in
+      let sender = read_party r in
+      let receiver = read_party r in
+      let label = Wire.read_string r in
+      let declared = Wire.read_int r in
+      let payload = Wire.read_string r in
+      Msg { session; epoch; seq; sender; receiver; label; declared; payload }
+    | 6 ->
+      let session = Wire.read_int r in
+      let epoch = Wire.read_int r in
+      let status = read_status r in
+      Report { session; epoch; status }
+    | 7 ->
+      let session = Wire.read_int r in
+      let epoch = Wire.read_int r in
+      let failure = read_failure r in
+      Abort { session; epoch; failure }
+    | 8 ->
+      let session = Wire.read_int r in
+      let result = read_result r in
+      Session_result { session; result }
+    | 9 -> Session_end { session = Wire.read_int r }
+    | n -> malformed "unknown frame tag %d" n
+  in
+  Wire.expect_end r;
+  t
+
+let tag_name = function
+  | Hello _ -> "hello"
+  | Hello_ok _ -> "hello-ok"
+  | Busy _ -> "busy"
+  | Query _ -> "query"
+  | Session_start _ -> "session-start"
+  | Msg _ -> "msg"
+  | Report _ -> "report"
+  | Abort _ -> "abort"
+  | Session_result _ -> "session-result"
+  | Session_end _ -> "session-end"
+
+let session_of = function
+  | Hello _ | Hello_ok _ | Busy _ | Query _ -> None
+  | Session_start { session; _ }
+  | Msg { session; _ }
+  | Report { session; _ }
+  | Abort { session; _ }
+  | Session_result { session; _ }
+  | Session_end { session } -> Some session

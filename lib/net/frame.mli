@@ -1,0 +1,89 @@
+(** The session-layer frame vocabulary of the distributed transport.
+
+    One TCP connection carries a sequence of these, each encoded with
+    {!Wire} and delimited by the {!Wire.frame} length prefix (decoded by
+    [Io]).  The conversation shape (DESIGN.md §11):
+
+    - connection setup: [Hello] / [Hello_ok] (or [Busy]);
+    - the client poses a [Query]; the mediator opens one session per
+      attempt-chain and broadcasts [Session_start] per attempt;
+    - protocol messages travel as [Msg], tagged with (session, attempt,
+      seq) so stale frames from an abandoned attempt are skippable;
+    - each replica ends an attempt with a [Report]; the mediator may cut
+      one short with [Abort];
+    - the mediator closes with [Session_result] and [Session_end]. *)
+
+open Secmed_mediation
+
+type status =
+  | St_ok                        (** replica finished the attempt cleanly *)
+  | St_failed of Fault.failure   (** replica detected a typed fault *)
+  | St_aborted                   (** replica stopped on the mediator's [Abort] *)
+
+(** What the mediator tells the remote client at the end of a query.
+    [w_link_stats] are the mediator's own per-counterpart payload byte
+    counters [(party, bytes_to, bytes_from)] — the ground truth the
+    differential test compares against transcript totals. *)
+type wire_result =
+  | W_served of {
+      w_scheme : string;          (** canonical name of the scheme that served *)
+      w_attempts : int;
+      w_degraded : (string * string) option;  (** (original scheme, reason) *)
+      w_link_stats : (Transcript.party * int * int) list;
+    }
+  | W_unserved of (string * Fault.failure * int) list
+      (** per tried scheme: name, final failure, attempts *)
+
+(** A protocol message in flight.  [epoch] is the session-global attempt
+    counter (monotonic across a degradation chain, unlike the per-scheme
+    attempt number, so stale frames are always distinguishable); [seq]
+    the link's delivery index within the epoch; [declared] the
+    transcript size the payload is padded to.  A named record (not
+    inline) so the chaos proxy and the endpoint filters can bind and
+    rewrite one wholesale. *)
+type msg = {
+  session : int;
+  epoch : int;
+  seq : int;
+  sender : Transcript.party;
+  receiver : Transcript.party;
+  label : string;
+  declared : int;
+  payload : string;
+}
+
+type t =
+  | Hello of { role : Transcript.party; scenario : string }
+  | Hello_ok of { scenario : string }
+  | Busy of string
+  | Query of {
+      scheme : string;
+      query : string;
+      fault_spec : string;  (** [""] = none; parsed by each replica *)
+      deadline : float;     (** seconds; [0.] = the server's default policy *)
+      fallback : bool;      (** enable the scheme degradation chain *)
+    }
+  | Session_start of {
+      session : int;
+      epoch : int;
+      attempt : int;  (** the per-scheme attempt number the fault layer sees *)
+      scheme : string;
+      query : string;
+      fault_spec : string;
+    }
+  | Msg of msg
+  | Report of { session : int; epoch : int; status : status }
+  | Abort of { session : int; epoch : int; failure : Fault.failure }
+  | Session_result of { session : int; result : wire_result }
+  | Session_end of { session : int }
+
+val encode : t -> string
+val decode : string -> t
+(** Raises {!Wire.Malformed} on anything {!encode} would not produce. *)
+
+val tag_name : t -> string
+(** Constructor name, for traces and error messages. *)
+
+val session_of : t -> int option
+(** The session id a frame belongs to; [None] for connection-level
+    frames ([Hello], [Hello_ok], [Busy], [Query]). *)

@@ -1,0 +1,133 @@
+open Secmed_mediation
+
+exception Transport_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Transport_error msg)) fmt
+
+type conn = {
+  fd : Unix.file_descr;
+  peer : string;
+  stream : Wire.Stream.t;
+  rbuf : Bytes.t;
+  send_mu : Mutex.t;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable closed : bool;
+}
+
+let set_fd_timeout fd seconds =
+  (* 0. disables the timeout (the setsockopt convention). *)
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO seconds;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO seconds
+
+let of_fd ?(timeout = 0.) ~peer fd =
+  if timeout > 0. then set_fd_timeout fd timeout;
+  {
+    fd;
+    peer;
+    stream = Wire.Stream.create ();
+    rbuf = Bytes.create 65536;
+    send_mu = Mutex.create ();
+    bytes_in = 0;
+    bytes_out = 0;
+    closed = false;
+  }
+
+let string_of_sockaddr = function
+  | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+  | Unix.ADDR_UNIX p -> p
+
+let connect ?timeout ~host ~port () =
+  let addr =
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found | Invalid_argument _ -> (
+      try Unix.inet_addr_of_string host
+      with Failure _ -> fail "connect: unknown host %s" host)
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_INET (addr, port));
+     Unix.setsockopt fd Unix.TCP_NODELAY true
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     fail "connect %s:%d: %s" host port (Unix.error_message e));
+  of_fd ?timeout ~peer:(Printf.sprintf "%s:%d" host port) fd
+
+let listen ?(backlog = 16) ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.listen fd backlog
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     fail "listen %s:%d: %s" host port (Unix.error_message e));
+  let bound =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | Unix.ADDR_UNIX _ -> port
+  in
+  (fd, bound)
+
+let accept ?timeout fd =
+  match Unix.accept fd with
+  | client_fd, addr ->
+    (try Unix.setsockopt client_fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+    of_fd ?timeout ~peer:(string_of_sockaddr addr) client_fd
+  | exception Unix.Unix_error (e, _, _) -> fail "accept: %s" (Unix.error_message e)
+
+let set_timeout t seconds = set_fd_timeout t.fd seconds
+let peer t = t.peer
+let bytes_in t = t.bytes_in
+let bytes_out t = t.bytes_out
+
+(* A full write in the face of short writes, EINTR, and timeouts.  The
+   caller holds [send_mu], so the frame lands contiguously even when
+   several session threads share the connection. *)
+let write_all t s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write t.fd b !off (len - !off) with
+    | 0 -> fail "send to %s: connection closed" t.peer
+    | n ->
+      off := !off + n;
+      t.bytes_out <- t.bytes_out + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      fail "send to %s: timeout" t.peer
+    | exception Unix.Unix_error (e, _, _) ->
+      fail "send to %s: %s" t.peer (Unix.error_message e)
+  done
+
+let locked mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let send_frame t body = locked t.send_mu (fun () -> write_all t (Wire.frame body))
+let send_raw t s = locked t.send_mu (fun () -> write_all t s)
+
+let recv_frame t =
+  let rec next () =
+    match Wire.Stream.next_frame t.stream with
+    | Some body -> body
+    | None -> (
+      match Unix.read t.fd t.rbuf 0 (Bytes.length t.rbuf) with
+      | 0 -> fail "recv from %s: connection closed" t.peer
+      | n ->
+        t.bytes_in <- t.bytes_in + n;
+        Wire.Stream.feed_bytes t.stream t.rbuf ~off:0 ~len:n;
+        next ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> next ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        fail "recv from %s: timeout" t.peer
+      | exception Unix.Unix_error (e, _, _) ->
+        fail "recv from %s: %s" t.peer (Unix.error_message e))
+    | exception Wire.Malformed msg -> fail "recv from %s: %s" t.peer msg
+  in
+  next ()
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,100 @@
+open Secmed_mediation
+open Secmed_core
+
+type cluster = {
+  c_env : Env.t;
+  c_client : Env.client;
+  c_query : string;
+  c_scenario : string;
+  c_port : int;
+  c_io_timeout : float;
+  c_proxies : (int * Chaos.t) list;
+}
+
+let env c = c.c_env
+let client_of c = c.c_client
+let canonical_query c = c.c_query
+let scenario c = c.c_scenario
+let port c = c.c_port
+
+let chaos_events c sid =
+  match List.assoc_opt sid c.c_proxies with
+  | Some proxy -> Fault.events (Chaos.plan proxy)
+  | None -> []
+
+(* Children must never escape into the caller's control flow (test
+   runners, at_exit hooks): whatever happens, they exit here. *)
+let fork_proc f =
+  match Unix.fork () with
+  | 0 ->
+    (try f () with _ -> ());
+    Unix._exit 0
+  | pid -> pid
+
+let with_cluster ?params ?policy ?(chaos = []) ?(max_sessions = 8) ?(io_timeout = 10.) ~spec f =
+  let c_env, c_client, c_query = Workload.scenario ?params spec in
+  let c_scenario = Scenario.digest ?params spec in
+  (* Reserve every port before any process starts: a pre-bound listener
+     queues connections until its owner calls accept, so there is no
+     startup race to sleep around. *)
+  let source_fds = List.map (fun sid -> (sid, Io.listen ~port:0 ())) [ 1; 2 ] in
+  let med_fd, med_port = Io.listen ~port:0 () in
+  let proxy_fds = List.map (fun (sid, plan) -> (sid, plan, Io.listen ~port:0 ())) chaos in
+  let addr_for sid port =
+    match List.find_opt (fun (psid, _, _) -> psid = sid) proxy_fds with
+    | Some (_, _, (_, pport)) -> ("127.0.0.1", pport)
+    | None -> ("127.0.0.1", port)
+  in
+  let pids =
+    List.map
+      (fun (sid, (fd, _)) ->
+        fork_proc (fun () ->
+            Peer.source ~id:sid ~env:c_env ~client:c_client ~scenario:c_scenario ~listen_fd:fd
+              ~io_timeout ()))
+      source_fds
+    @ [
+        fork_proc (fun () ->
+            let sources =
+              List.map
+                (fun (sid, (_, sport)) ->
+                  let host, port = addr_for sid sport in
+                  (sid, host, port))
+                source_fds
+            in
+            Server.serve
+              (Server.create ~env:c_env ~client:c_client ~scenario:c_scenario ~sources
+                 ~listen_fd:med_fd ?policy ~max_sessions ~io_timeout ()));
+      ]
+  in
+  (* The children own the listeners now; the proxies, which live as
+     threads in this process, start only after the forks so no thread
+     state is cloned into a child. *)
+  List.iter (fun (_, (fd, _)) -> try Unix.close fd with Unix.Unix_error _ -> ()) source_fds;
+  (try Unix.close med_fd with Unix.Unix_error _ -> ());
+  let c_proxies =
+    List.map
+      (fun (sid, plan, (pfd, pport)) ->
+        let _, sport = List.assoc sid source_fds in
+        ( sid,
+          Chaos.start ~plan ~target_host:"127.0.0.1" ~target_port:sport
+            ~listen:(pfd, pport) () ))
+      proxy_fds
+  in
+  let cluster =
+    { c_env; c_client; c_query; c_scenario; c_port = med_port; c_io_timeout = io_timeout; c_proxies }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun (_, p) -> Chaos.stop p) c_proxies;
+      List.iter
+        (fun pid ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        pids)
+    (fun () -> f cluster)
+
+let query c ?fault_spec ?deadline ?fallback ?io_timeout ~scheme () =
+  Peer.run ~host:"127.0.0.1" ~port:c.c_port ~scenario:c.c_scenario ~scheme ~query:c.c_query
+    ?fault_spec ?deadline ?fallback
+    ~io_timeout:(Option.value io_timeout ~default:c.c_io_timeout)
+    c.c_env c.c_client

@@ -1,0 +1,52 @@
+(** A complete distributed deployment on 127.0.0.1, for tests and
+    benches inside [dune runtest].
+
+    {!with_cluster} forks one process per datasource daemon and one for
+    the mediator server, all on pre-bound ephemeral ports (no races, no
+    fixed port collisions); the calling process then plays the remote
+    client via {!query}.  The environment is built {e before} forking,
+    so every process replays the identical scenario by construction —
+    the same guarantee the digest handshake enforces for independently
+    started daemons.
+
+    Chaos plans, when given, interpose a {!Chaos} proxy on the named
+    source's mediator link; the proxy threads run in the parent so the
+    plan's event log stays readable by the test. *)
+
+open Secmed_mediation
+open Secmed_core
+
+type cluster
+
+val env : cluster -> Env.t
+val client_of : cluster -> Env.client
+val canonical_query : cluster -> string
+val scenario : cluster -> string
+val port : cluster -> int
+
+val chaos_events : cluster -> int -> Fault.event list
+(** What the proxy on this source's link actually did to the stream. *)
+
+val with_cluster :
+  ?params:Env.params ->
+  ?policy:Resilience.policy ->
+  ?chaos:(int * Fault.plan) list ->
+  ?max_sessions:int ->
+  ?io_timeout:float ->
+  spec:Workload.spec ->
+  (cluster -> 'a) ->
+  'a
+(** Children are killed (and proxies stopped) however the callback
+    ends. *)
+
+val query :
+  cluster ->
+  ?fault_spec:string ->
+  ?deadline:float ->
+  ?fallback:bool ->
+  ?io_timeout:float ->
+  scheme:string ->
+  unit ->
+  Peer.response
+(** One remote query from the parent process (a fresh client connection
+    per call). *)

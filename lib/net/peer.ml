@@ -1,0 +1,209 @@
+open Secmed_mediation
+open Secmed_core
+module Mux = Endpoint.Mux
+
+(* ------------------------------------------------------------------ *)
+(* Datasource daemon *)
+
+let parse_fault fault_spec =
+  if String.equal fault_spec "" then None
+  else
+    match Fault.of_spec fault_spec with
+    | Ok p -> Some p
+    | Error _ -> None (* the mediator validated it; fail open rather than diverge *)
+
+let source_session ~role ~env ~client ~io_timeout mux session =
+  let route =
+    {
+      Endpoint.r_send = (fun f -> Mux.send mux f);
+      r_next = (fun ~timeout -> Mux.next mux ~session ~timeout);
+    }
+  in
+  let fault = ref None in
+  let parsed = ref false in
+  let rec loop () =
+    match Mux.next mux ~session ~timeout:120. with
+    | Frame.Session_start { epoch; attempt; scheme; query; fault_spec; _ } ->
+      if not !parsed then begin
+        (* One plan for the whole session: rule [times] counters burn
+           down across attempts, mirroring the mediator's single plan. *)
+        fault := parse_fault fault_spec;
+        parsed := true
+      end;
+      let status, _ =
+        Endpoint.run_replica ~role ~fault:!fault ~session ~epoch ~attempt ~scheme ~query
+          ~io_timeout ~route env client
+      in
+      (try Mux.send mux (Frame.Report { session; epoch; status })
+       with Io.Transport_error _ -> ());
+      loop ()
+    | Frame.Session_end _ -> Mux.unsubscribe mux session
+    | Frame.Msg _ | Frame.Abort _ | Frame.Report _ ->
+      (* Leftovers of an attempt that ended on this side first. *)
+      loop ()
+    | _ -> loop ()
+    | exception Io.Transport_error _ -> Mux.unsubscribe mux session
+  in
+  loop ()
+
+let source ~id ~env ~client ~scenario ~listen_fd ?(io_timeout = 10.) () =
+  let role = Transcript.Source id in
+  let serve_conn conn =
+    match Frame.decode (Io.recv_frame conn) with
+    | Frame.Hello { role = Transcript.Mediator; scenario = s } when String.equal s scenario ->
+      Io.send_frame conn (Frame.encode (Frame.Hello_ok { scenario }));
+      (* Sessions wait with their own timeouts; the shared socket must
+         tolerate idle stretches between queries. *)
+      Io.set_timeout conn 0.;
+      let mux = Mux.create conn in
+      (* Every Session_start is announced on the control queue, and a
+         resilient session announces each attempt: exactly one handler
+         thread per session must result. *)
+      let live_mu = Mutex.create () in
+      let live = Hashtbl.create 8 in
+      let rec control () =
+        match Mux.next_control mux ~timeout:0. with
+        | Frame.Session_start { session; _ } ->
+          (* The mux already parked this frame (and anything racing in
+             behind it) on the session's own queue; this copy is just
+             the announcement. *)
+          let fresh =
+            Mutex.protect live_mu (fun () ->
+                if Hashtbl.mem live session then false
+                else begin
+                  Hashtbl.replace live session ();
+                  true
+                end)
+          in
+          if fresh then
+            ignore
+              (Thread.create
+                 (fun () ->
+                   Fun.protect
+                     ~finally:(fun () ->
+                       Mutex.protect live_mu (fun () -> Hashtbl.remove live session))
+                     (fun () -> source_session ~role ~env ~client ~io_timeout mux session))
+                 ()
+                : Thread.t);
+          control ()
+        | _ -> control ()
+        | exception Io.Transport_error _ -> Io.close conn
+      in
+      control ()
+    | Frame.Hello _ ->
+      Io.send_frame conn
+        (Frame.encode (Frame.Busy "scenario digest mismatch (wrong workload or parameters)"));
+      Io.close conn
+    | _ -> Io.close conn
+    | exception (Io.Transport_error _ | Wire.Malformed _) -> Io.close conn
+  in
+  (* A daemon waits for its mediator indefinitely; [io_timeout] guards
+     per-operation I/O once a connection exists, not the accept. *)
+  let rec accept_loop () =
+    match Io.accept listen_fd with
+    | conn ->
+      serve_conn conn;
+      accept_loop ()
+    | exception Io.Transport_error _ -> ()
+  in
+  accept_loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Remote client *)
+
+type response = {
+  result : Protocol.session_result;
+  epochs : int;
+  link_stats : (Transcript.party * int * int) list;
+  socket_bytes : int * int;
+}
+
+let failure_of_wire attempts (f : Fault.failure) =
+  { Protocol.phase = f.Fault.phase; party = f.Fault.party; reason = f.Fault.reason; attempts }
+
+let run ~host ~port ~scenario ~scheme ~query ?(fault_spec = "") ?(deadline = 0.)
+    ?(fallback = true) ?(io_timeout = 10.) env client =
+  let conn = Io.connect ~timeout:io_timeout ~host ~port () in
+  Fun.protect ~finally:(fun () -> Io.close conn) @@ fun () ->
+  Io.send_frame conn (Frame.encode (Frame.Hello { role = Transcript.Client; scenario }));
+  (match Frame.decode (Io.recv_frame conn) with
+  | Frame.Hello_ok { scenario = s } when String.equal s scenario -> ()
+  | Frame.Hello_ok _ -> raise (Io.Transport_error "scenario digest mismatch with the mediator")
+  | Frame.Busy reason -> raise (Io.Transport_error ("mediator refused: " ^ reason))
+  | f -> raise (Io.Transport_error ("unexpected " ^ Frame.tag_name f ^ " in handshake")));
+  Io.send_frame conn (Frame.encode (Frame.Query { scheme; query; fault_spec; deadline; fallback }));
+  let route =
+    {
+      Endpoint.r_send = (fun f -> Io.send_frame conn (Frame.encode f));
+      r_next =
+        (fun ~timeout ->
+          Io.set_timeout conn timeout;
+          Frame.decode (Io.recv_frame conn));
+    }
+  in
+  let fault = ref None in
+  let parsed = ref false in
+  let outcomes = Hashtbl.create 4 in
+  let last_epoch = ref 0 in
+  let finish result =
+    let socket_bytes = (Io.bytes_in conn, Io.bytes_out conn) in
+    match result with
+    | Frame.W_served { w_scheme; w_attempts; w_degraded; w_link_stats } ->
+      let outcome =
+        match Hashtbl.find_opt outcomes w_scheme with
+        | Some o -> o
+        | None ->
+          raise
+            (Io.Transport_error
+               (Printf.sprintf "mediator served %s but this replica holds no outcome for it"
+                  w_scheme))
+      in
+      let outcome =
+        match w_degraded with
+        | None -> outcome
+        | Some (from_scheme, reason) -> Outcome.mark_degraded outcome ~from_scheme ~reason
+      in
+      {
+        result = Protocol.Served outcome;
+        epochs = w_attempts;
+        link_stats = w_link_stats;
+        socket_bytes;
+      }
+    | Frame.W_unserved tried ->
+      {
+        result =
+          Protocol.Unserved
+            (List.map (fun (s, f, attempts) -> (s, failure_of_wire attempts f)) tried);
+        epochs = !last_epoch;
+        link_stats = [];
+        socket_bytes;
+      }
+  in
+  (* Between attempts the mediator may be backing off, running another
+     session, or re-dialing a source: wait generously, not forever. *)
+  let idle_timeout = Float.max 60. (io_timeout *. 6.) in
+  let rec serve_loop () =
+    Io.set_timeout conn idle_timeout;
+    match Frame.decode (Io.recv_frame conn) with
+    | Frame.Session_start { session; epoch; attempt; scheme = sname; query = q; fault_spec = fs }
+      ->
+      last_epoch := epoch;
+      if not !parsed then begin
+        fault := parse_fault fs;
+        parsed := true
+      end;
+      let status, outcome =
+        Endpoint.run_replica ~role:Transcript.Client ~fault:!fault ~session ~epoch ~attempt
+          ~scheme:sname ~query:q ~io_timeout ~route env client
+      in
+      (match outcome with
+      | Some o -> Hashtbl.replace outcomes o.Outcome.scheme o
+      | None -> ());
+      Io.send_frame conn (Frame.encode (Frame.Report { session; epoch; status }));
+      serve_loop ()
+    | Frame.Session_result { result; _ } -> finish result
+    | Frame.Busy reason -> raise (Io.Transport_error ("mediator refused: " ^ reason))
+    | Frame.Msg _ | Frame.Abort _ | Frame.Report _ | Frame.Session_end _ -> serve_loop ()
+    | f -> raise (Io.Transport_error ("unexpected " ^ Frame.tag_name f))
+  in
+  serve_loop ()

@@ -1,0 +1,55 @@
+(** The leaf processes: datasource daemons and the remote client.
+
+    Both are replicas in the deterministic-execution model — they build
+    the same environment from the same seed as the mediator, run the
+    same drivers, and the transport only carries the messages each party
+    actually plays a side of (plus the session-control frames). *)
+
+open Secmed_mediation
+open Secmed_core
+
+val source :
+  id:int ->
+  env:Env.t ->
+  client:Env.client ->
+  scenario:string ->
+  listen_fd:Unix.file_descr ->
+  ?io_timeout:float ->
+  unit ->
+  unit
+(** Run datasource [id] as a daemon: accept one mediator connection at a
+    time, multiplex concurrent sessions over it (a thread per session),
+    and per [Session_start] run this source's replica of the attempt and
+    report how it ended.  The session's fault spec is parsed once, so a
+    [times]-bounded rule burns down across attempts exactly as it does
+    in-process.  Returns when the listening socket is closed. *)
+
+(** What a remote query yields on the client side.  [result] is
+    reconstructed from the client replica's own outcomes plus the
+    mediator's [Session_result] verdict; [link_stats] are the mediator's
+    per-counterpart payload byte counters [(party, sent, received)];
+    [socket_bytes] the raw (framing-included) bytes this client moved. *)
+type response = {
+  result : Protocol.session_result;
+  epochs : int;  (** attempts broadcast across the whole session *)
+  link_stats : (Transcript.party * int * int) list;
+  socket_bytes : int * int;  (** (received, sent) on the client socket *)
+}
+
+val run :
+  host:string ->
+  port:int ->
+  scenario:string ->
+  scheme:string ->
+  query:string ->
+  ?fault_spec:string ->
+  ?deadline:float ->
+  ?fallback:bool ->
+  ?io_timeout:float ->
+  Env.t ->
+  Env.client ->
+  response
+(** Connect to a mediator, pose one query, and play the client replica
+    for every attempt the mediator announces.  Raises
+    {!Io.Transport_error} when the mediator is unreachable, refuses the
+    connection ([Busy]), or the scenario digests disagree. *)

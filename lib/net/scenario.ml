@@ -1,0 +1,13 @@
+open Secmed_core
+
+let digest ?(params = Env.default_params) (spec : Workload.spec) =
+  let value_kind =
+    match spec.Workload.value_kind with Workload.Ints -> "ints" | Workload.Strings -> "strings"
+  in
+  let canonical =
+    Printf.sprintf "secmed-scenario-v1|%d|%d|%d|%d|%d|%d|%s|%h|%d|%d|%d" spec.Workload.rows_left
+      spec.Workload.rows_right spec.Workload.distinct_left spec.Workload.distinct_right
+      spec.Workload.overlap spec.Workload.extra_attrs value_kind spec.Workload.skew
+      spec.Workload.seed params.Env.group_bits params.Env.paillier_bits
+  in
+  Secmed_crypto.Sha256.hex_digest canonical

@@ -1,0 +1,12 @@
+(** Scenario fingerprinting for the replicated-execution handshake.
+
+    Every process in a distributed deployment must derive the identical
+    environment — same workload spec, same crypto parameters, same seed —
+    or the replicas diverge and every payload check fails with a
+    confusing mismatch.  The [Hello] exchange therefore carries this
+    digest, turning a misconfigured daemon into an immediate, explicit
+    connection error. *)
+
+val digest : ?params:Secmed_core.Env.params -> Secmed_core.Workload.spec -> string
+(** SHA-256 (hex) over a versioned canonical rendering of the spec and
+    parameters. *)

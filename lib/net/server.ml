@@ -1,0 +1,489 @@
+open Secmed_mediation
+open Secmed_core
+module R = Resilience
+module Mux = Endpoint.Mux
+
+type source_link = {
+  sl_id : int;
+  sl_host : string;
+  sl_port : int;
+  mutable sl_mux : Mux.t option;
+  sl_mu : Mutex.t;
+}
+
+type t = {
+  env : Env.t;
+  client : Env.client;
+  scenario : string;
+  sources : source_link list;
+  listen_fd : Unix.file_descr;
+  policy : R.policy;
+  rsession : R.session;
+  max_sessions : int;
+  io_timeout : float;
+  exec_mu : Mutex.t;  (* counters and traces are process-global: one driver at a time *)
+  admission_mu : Mutex.t;
+  mutable active : int;
+  mutable next_session : int;
+  mutable stopped : bool;
+}
+
+let create ~env ~client ~scenario ~sources ~listen_fd ?(policy = R.default_policy)
+    ?(max_sessions = 8) ?(io_timeout = 10.) () =
+  {
+    env;
+    client;
+    scenario;
+    sources =
+      List.map
+        (fun (sl_id, sl_host, sl_port) ->
+          { sl_id; sl_host; sl_port; sl_mux = None; sl_mu = Mutex.create () })
+        sources;
+    listen_fd;
+    policy;
+    rsession = R.session ~policy ();
+    max_sessions;
+    io_timeout;
+    exec_mu = Mutex.create ();
+    admission_mu = Mutex.create ();
+    active = 0;
+    next_session = 1;
+    stopped = false;
+  }
+
+(* The persistent datasource connection, dialed on first use and
+   redialed when a previous incarnation died (e.g. severed by the chaos
+   proxy) — the transport-level half of "a connection failure is a
+   typed, retryable fault". *)
+let ensure_mux t sl =
+  Mutex.protect sl.sl_mu (fun () ->
+      match sl.sl_mux with
+      | Some m when Mux.alive m -> Ok m
+      | previous -> (
+        (match previous with
+        | Some m -> Io.close (Mux.conn m)
+        | None -> ());
+        sl.sl_mux <- None;
+        match Io.connect ~timeout:t.io_timeout ~host:sl.sl_host ~port:sl.sl_port () with
+        | exception Io.Transport_error msg -> Error msg
+        | conn -> (
+          try
+            Io.send_frame conn
+              (Frame.encode (Frame.Hello { role = Transcript.Mediator; scenario = t.scenario }));
+            match Frame.decode (Io.recv_frame conn) with
+            | Frame.Hello_ok { scenario } when String.equal scenario t.scenario ->
+              (* The mux receive thread must outlive idle periods. *)
+              Io.set_timeout conn 0.;
+              let m = Mux.create conn in
+              sl.sl_mux <- Some m;
+              Ok m
+            | Frame.Hello_ok _ ->
+              Io.close conn;
+              Error "scenario digest mismatch (daemon built a different workload)"
+            | f ->
+              Io.close conn;
+              Error ("unexpected " ^ Frame.tag_name f ^ " in handshake")
+          with
+          | Io.Transport_error msg | Wire.Malformed msg ->
+            Io.close conn;
+            Error msg)))
+
+let wire_failure (f : Protocol.failure) =
+  { Fault.phase = f.Protocol.phase; party = f.Protocol.party; reason = f.Protocol.reason }
+
+(* ------------------------------------------------------------------ *)
+(* One client query *)
+
+type peer_routes = {
+  client_route : Endpoint.route;
+  client_report : Frame.status option ref;
+  source_routes : (int * Endpoint.route * Frame.status option ref) list;
+  stats : (Transcript.party * int ref * int ref) list;
+}
+
+(* A replica's Report can arrive while the mediator's driver is still
+   blocked on a Msg from that very party — the replica gave up first
+   (its own receive timed out, or it detected corruption on delivery).
+   The driver's receive loop must not swallow the root cause: every
+   current-epoch Report is stashed where the commit barrier can find
+   it, and a St_failed fails the blocked receive fast — the frame it
+   was waiting for will never come. *)
+let stashing ~epoch ~party cell (route : Endpoint.route) =
+  {
+    route with
+    Endpoint.r_next =
+      (fun ~timeout ->
+        match route.Endpoint.r_next ~timeout with
+        | Frame.Report { epoch = e; status; _ } as f when e = !epoch ->
+          cell := Some status;
+          (match status with
+          | Frame.St_failed _ ->
+            raise (Io.Transport_error (Transcript.party_name party ^ " reported a failure"))
+          | Frame.St_ok | Frame.St_aborted ->
+            (* Returned (not swallowed) so a blocked caller re-examines
+               the stash at once instead of waiting out its timeout. *)
+            f)
+        | f -> f);
+  }
+
+let counted (_, out_c, in_c) (route : Endpoint.route) =
+  {
+    Endpoint.r_send =
+      (fun f ->
+        (match f with
+        | Frame.Msg m -> out_c := !out_c + String.length m.Frame.payload
+        | _ -> ());
+        route.Endpoint.r_send f);
+    r_next =
+      (fun ~timeout ->
+        let f = route.Endpoint.r_next ~timeout in
+        (match f with
+        | Frame.Msg m -> in_c := !in_c + String.length m.Frame.payload
+        | _ -> ());
+        f);
+  }
+
+let make_routes t conn sid ~epoch =
+  let stat party = (party, ref 0, ref 0) in
+  let client_stat = stat Transcript.Client in
+  let client_report = ref None in
+  let client_route =
+    stashing ~epoch ~party:Transcript.Client client_report
+      (counted client_stat
+         {
+           Endpoint.r_send = (fun f -> Io.send_frame conn (Frame.encode f));
+           r_next =
+             (fun ~timeout ->
+               Io.set_timeout conn timeout;
+               Frame.decode (Io.recv_frame conn));
+         })
+  in
+  (* A source route resolves its mux on every call: when the previous
+     incarnation died (peer crashed, chaos proxy severed the stream),
+     the next send or receive redials through {!ensure_mux} — so a
+     connection failure costs one attempt, not the whole query. *)
+  let with_stats =
+    List.map
+      (fun sl ->
+        let s = stat (Transcript.Source sl.sl_id) in
+        let cell = ref None in
+        let mux () =
+          match ensure_mux t sl with
+          | Ok m ->
+            Mux.subscribe m sid;
+            m
+          | Error msg ->
+            raise (Io.Transport_error (Printf.sprintf "source %d: %s" sl.sl_id msg))
+        in
+        ( s,
+          ( sl.sl_id,
+            stashing ~epoch ~party:(Transcript.Source sl.sl_id) cell
+              (counted s
+                 {
+                   Endpoint.r_send = (fun f -> Mux.send (mux ()) f);
+                   r_next = (fun ~timeout -> Mux.next (mux ()) ~session:sid ~timeout);
+                 }),
+            cell ) ))
+      t.sources
+  in
+  {
+    client_route;
+    client_report;
+    source_routes = List.map snd with_stats;
+    stats = client_stat :: List.map fst with_stats;
+  }
+
+(* The commit barrier around each attempt: announce it, and afterwards
+   collect every replica's report so no stale frames leak into the next
+   attempt.  A replica's own typed fault is the root cause and outranks
+   whatever downstream stall the mediator observed locally. *)
+let coordinator t ~sid ~query ~fault_spec ~routes ~epoch ~failures =
+  let cells = routes.client_report :: List.map (fun (_, _, c) -> c) routes.source_routes in
+  let broadcast frame =
+    (try routes.client_route.Endpoint.r_send frame with Io.Transport_error _ -> ());
+    List.iter
+      (fun (_, r, _) -> try r.Endpoint.r_send frame with Io.Transport_error _ -> ())
+      routes.source_routes
+  in
+  let begin_attempt ~scheme ~attempt =
+    incr epoch;
+    List.iter (fun c -> c := None) cells;
+    broadcast
+      (Frame.Session_start { session = sid; epoch = !epoch; attempt; scheme; query; fault_spec })
+  in
+  (* The {!stashing} wrapper intercepts every current-epoch Report, so
+     the stash cell — not the frame stream — is where a report lands,
+     whether it arrived mid-attempt (swallowed by the driver's blocked
+     receive) or during this barrier.  The loop just drains leftover
+     frames until the cell fills or the window closes. *)
+  let await name party (route : Endpoint.route) cell =
+    let rec go () =
+      match !cell with
+      | Some status -> status
+      | None -> (
+        match route.Endpoint.r_next ~timeout:t.io_timeout with
+        | _ -> go ()
+        | exception Io.Transport_error msg -> (
+          match !cell with
+          | Some status -> status
+          | None ->
+            Frame.St_failed
+              { Fault.phase = "transport"; party; reason = Printf.sprintf "%s: %s" name msg }))
+    in
+    go ()
+  in
+  let end_attempt ~scheme ~attempt:_ local =
+    (match local with
+    | Error f -> broadcast (Frame.Abort { session = sid; epoch = !epoch; failure = f })
+    | Ok _ -> ());
+    (* Sources before the client: in the star topology the client is
+       downstream of every mediator stall, so when a source frame was
+       lost the client's "mediator went quiet" timeout is a symptom —
+       the source's own failure is the root cause and must win the
+       blame, exactly as it does in the simulated (in-process) run. *)
+    let statuses =
+      List.map
+        (fun (id, r, c) -> await (Printf.sprintf "source %d" id) (Transcript.Source id) r c)
+        routes.source_routes
+      @ [ await "client" Transcript.Client routes.client_route routes.client_report ]
+    in
+    let peer_failure =
+      List.find_map (function Frame.St_failed f -> Some f | _ -> None) statuses
+    in
+    let verdict =
+      match (local, peer_failure) with
+      | _, Some pf -> Error pf
+      | Error f, None -> Error f
+      | Ok outcome, None -> Ok outcome
+    in
+    (match verdict with
+    | Error f -> failures := (scheme, f) :: !failures
+    | Ok _ -> ());
+    verdict
+  in
+  { Protocol.begin_attempt; end_attempt }
+
+let run_query t conn sid ~scheme ~query ~fault_spec ~deadline ~fallback =
+  let reply result =
+    try Io.send_frame conn (Frame.encode (Frame.Session_result { session = sid; result }))
+    with Io.Transport_error _ -> ()
+  in
+  let refuse failure = reply (Frame.W_unserved [ (scheme, failure, 0) ]) in
+  match Protocol.scheme_of_name scheme with
+  | None ->
+    refuse
+      { Fault.phase = "session"; party = Transcript.Mediator; reason = "unknown scheme: " ^ scheme }
+  | Some sch -> (
+    let fault =
+      if String.equal fault_spec "" then Ok None
+      else Result.map Option.some (Fault.of_spec fault_spec)
+    in
+    match fault with
+    | Error e ->
+      refuse
+        { Fault.phase = "session"; party = Transcript.Mediator; reason = "bad fault spec: " ^ e }
+    | Ok fault -> (
+      let rec dial acc = function
+        | [] -> Ok (List.rev acc)
+        | sl :: rest -> (
+          match ensure_mux t sl with
+          | Ok m -> dial ((sl.sl_id, m) :: acc) rest
+          | Error msg -> Error (sl.sl_id, msg))
+      in
+      match dial [] t.sources with
+      | Error (source_id, msg) ->
+        refuse
+          { Fault.phase = "transport"; party = Transcript.Source source_id; reason = msg }
+      | Ok smuxes ->
+        List.iter (fun (_, m) -> Mux.subscribe m sid) smuxes;
+        Fun.protect ~finally:(fun () ->
+            (* Whatever mux each source link holds *now* — possibly a
+               redialed incarnation — gets the end-of-session notice. *)
+            List.iter
+              (fun sl ->
+                Mutex.protect sl.sl_mu (fun () ->
+                    match sl.sl_mux with
+                    | Some m ->
+                      (try Mux.send m (Frame.Session_end { session = sid })
+                       with Io.Transport_error _ -> ());
+                      Mux.unsubscribe m sid
+                    | None -> ()))
+              t.sources)
+        @@ fun () ->
+        let epoch = ref 0 in
+        let routes = make_routes t conn sid ~epoch in
+        let failures = ref [] in
+        let coordinator = coordinator t ~sid ~query ~fault_spec ~routes ~epoch ~failures in
+        let route_of = function
+          | Transcript.Client -> Some routes.client_route
+          | Transcript.Source i ->
+            List.find_map
+              (fun (id, r, _) -> if id = i then Some r else None)
+              routes.source_routes
+          | Transcript.Mediator | Transcript.Authority -> None
+        in
+        let deadline_ref = ref None in
+        let after_io ~phase =
+          match !deadline_ref with Some d -> R.check d ~phase | None -> ()
+        in
+        (* The mediator waits twice as long as the leaves: when a frame
+           is lost, its true receiver must time out (and report the
+           root-cause failure) while the mediator is still listening —
+           the stash then fails the mediator's receive fast, so the
+           margin is latency-free except when a peer is truly silent. *)
+        let transport =
+          Endpoint.transport ~role:Transcript.Mediator ~session:sid
+            ~epoch:(fun () -> !epoch)
+            ~io_timeout:(t.io_timeout *. 2.) ~route_of ~after_io ()
+        in
+        (* A per-query deadline narrows the budget but must not discard
+           the long-lived breaker state, which only the shared session
+           holds; queries content with the server policy share it. *)
+        let rsession =
+          if deadline > 0. then
+            R.session ~policy:{ t.policy with R.deadline_budget = Some deadline } ()
+          else t.rsession
+        in
+        let verdict =
+          Mutex.protect t.exec_mu (fun () ->
+              Protocol.run_session ?fault ~endpoint:(Link.Remote transport) ~coordinator
+                ~on_deadline:(fun d -> deadline_ref := Some d)
+                ~session:rsession
+                ?chain:(if fallback then None else Some [])
+                sch t.env t.client ~query)
+        in
+        (match verdict with
+        | Protocol.Served outcome ->
+          let w_degraded =
+            match outcome.Outcome.degraded_from with
+            | None -> None
+            | Some from_scheme ->
+              let reason =
+                match
+                  List.find_opt
+                    (fun (s, _) -> not (String.equal s outcome.Outcome.scheme))
+                    !failures
+                with
+                | Some (_, (f : Fault.failure)) -> f.Fault.reason
+                | None -> "scheme exhausted its budget"
+              in
+              Some (from_scheme, reason)
+          in
+          reply
+            (Frame.W_served
+               {
+                 w_scheme = outcome.Outcome.scheme;
+                 w_attempts = !epoch;
+                 w_degraded;
+                 w_link_stats =
+                   List.map (fun (p, out_c, in_c) -> (p, !out_c, !in_c)) routes.stats;
+               })
+        | Protocol.Unserved tried ->
+          (* A deadline can trip mid-attempt, leaving replicas blocked on
+             a frame that will never come: release them before the
+             result, so the client's replica unwinds ahead of reading it. *)
+          let last_failure =
+            match List.rev tried with
+            | (_, f) :: _ -> wire_failure f
+            | [] ->
+              {
+                Fault.phase = "session";
+                party = Transcript.Mediator;
+                reason = "no scheme attempted";
+              }
+          in
+          (try
+             routes.client_route.Endpoint.r_send
+               (Frame.Abort { session = sid; epoch = !epoch; failure = last_failure })
+           with Io.Transport_error _ -> ());
+          List.iter
+            (fun (_, r, _) ->
+              try
+                r.Endpoint.r_send
+                  (Frame.Abort { session = sid; epoch = !epoch; failure = last_failure })
+              with Io.Transport_error _ -> ())
+            routes.source_routes;
+          (* The client replica's Report to the final abort, if any. *)
+          reply
+            (Frame.W_unserved
+               (List.map
+                  (fun (s, (f : Protocol.failure)) -> (s, wire_failure f, f.Protocol.attempts))
+                  tried)))))
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop *)
+
+let handle t conn =
+  match Frame.decode (Io.recv_frame conn) with
+  | Frame.Hello { role = Transcript.Client; scenario } ->
+    if not (String.equal scenario t.scenario) then
+      Io.send_frame conn
+        (Frame.encode (Frame.Busy "scenario digest mismatch (wrong workload or parameters)"))
+    else begin
+      Io.send_frame conn (Frame.encode (Frame.Hello_ok { scenario = t.scenario }));
+      match Frame.decode (Io.recv_frame conn) with
+      | Frame.Query { scheme; query; fault_spec; deadline; fallback } ->
+        let sid =
+          Mutex.protect t.admission_mu (fun () ->
+              let sid = t.next_session in
+              t.next_session <- sid + 1;
+              sid)
+        in
+        run_query t conn sid ~scheme ~query ~fault_spec ~deadline ~fallback
+      | _ -> ()
+    end
+  | Frame.Hello _ ->
+    Io.send_frame conn (Frame.encode (Frame.Busy "only clients may connect to this port"))
+  | _ -> ()
+
+let session_thread t conn =
+  Fun.protect
+    ~finally:(fun () ->
+      Io.close conn;
+      Mutex.protect t.admission_mu (fun () -> t.active <- t.active - 1))
+    (fun () -> try handle t conn with Io.Transport_error _ | Wire.Malformed _ -> ())
+
+let serve t =
+  let rec loop () =
+    match Io.accept ~timeout:t.io_timeout t.listen_fd with
+    | exception Io.Transport_error _ -> if not t.stopped then loop ()
+    | conn ->
+      let admitted =
+        Mutex.protect t.admission_mu (fun () ->
+            if t.active < t.max_sessions then begin
+              t.active <- t.active + 1;
+              true
+            end
+            else false)
+      in
+      if admitted then ignore (Thread.create (session_thread t) conn : Thread.t)
+      else begin
+        ignore
+          (Thread.create
+             (fun () ->
+               (try
+                  Io.send_frame conn
+                    (Frame.encode
+                       (Frame.Busy
+                          (Printf.sprintf "at capacity (%d concurrent sessions)" t.max_sessions)))
+                with Io.Transport_error _ -> ());
+               Io.close conn)
+             ()
+            : Thread.t)
+      end;
+      loop ()
+  in
+  loop ()
+
+let stop t =
+  t.stopped <- true;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  List.iter
+    (fun sl ->
+      Mutex.protect sl.sl_mu (fun () ->
+          match sl.sl_mux with
+          | Some m ->
+            Io.close (Mux.conn m);
+            sl.sl_mux <- None
+          | None -> ()))
+    t.sources

@@ -1,0 +1,53 @@
+(** The mediator as a network server.
+
+    One process owns the hub of the star topology: it accepts client
+    connections (thread-per-session, bounded by [max_sessions] — excess
+    connections are refused with a [Busy] frame), keeps one persistent,
+    multiplexed connection per datasource daemon (dialed lazily,
+    redialed when found dead), and drives each query through
+    {!Secmed_core.Protocol.run_session} with
+
+    - a [Remote] link endpoint, so the mediator's protocol messages
+      cross real sockets;
+    - a session coordinator that broadcasts [Session_start] per attempt,
+      aborts the replicas when the local attempt fails, and folds their
+      end-of-attempt reports into the attempt verdict (a replica's typed
+      fault outranks the mediator's own downstream transport stall);
+    - a real-time deadline hook: every blocking send/recv re-checks the
+      query budget, so a stalled wire trips [Timed_out] exactly like a
+      simulated delay;
+    - one shared {!Secmed_mediation.Resilience.session}, so breaker
+      state persists across queries (a per-query deadline in the [Query]
+      frame gets a fresh session scoped to that budget).
+
+    Driver execution is serialized by a global lock: the crypto counters
+    and trace collector are process-global, and the protocol layer is
+    what this subsystem distributes, not intra-mediator parallelism. *)
+
+open Secmed_mediation
+open Secmed_core
+
+type t
+
+val create :
+  env:Env.t ->
+  client:Env.client ->
+  scenario:string ->
+  sources:(int * string * int) list ->
+  listen_fd:Unix.file_descr ->
+  ?policy:Resilience.policy ->
+  ?max_sessions:int ->
+  ?io_timeout:float ->
+  unit ->
+  t
+(** [sources] maps each datasource id to the [(host, port)] its daemon
+    listens on; [scenario] is the {!Scenario.digest} every peer must
+    present.  [io_timeout] (default 10s) bounds each blocking frame
+    exchange; [max_sessions] (default 8) the concurrent client
+    sessions. *)
+
+val serve : t -> unit
+(** Accept loop; returns when the listening socket is closed. *)
+
+val stop : t -> unit
+(** Close the listener (and the datasource connections). *)

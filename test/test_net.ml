@@ -1,0 +1,525 @@
+(* Networked-transport suite (DESIGN.md §11): the incremental frame
+   decoder, the typed session codec, the connection mux, and — the heart
+   of it — differential tests that run real forked mediator/datasource
+   processes on 127.0.0.1 and check the distributed execution is
+   bit-identical to the in-process one, byte-accounted three independent
+   ways.  Chaos tests interpose a byte-level fault proxy on a live link
+   and check each damage mode surfaces as the same typed outcome as its
+   simulated counterpart. *)
+
+open Secmed_relalg
+open Secmed_mediation
+open Secmed_core
+open Secmed_net
+module R = Resilience
+module Obs = Secmed_obs
+
+let fast = { Env.group_bits = 160; paillier_bits = 384 }
+
+let small_spec =
+  {
+    Workload.default with
+    rows_left = 10;
+    rows_right = 10;
+    distinct_left = 5;
+    distinct_right = 5;
+    overlap = 3;
+    extra_attrs = 1;
+  }
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let schemes = [ "das"; "commutative"; "pm"; "plain"; "mobile-code" ]
+
+(* ------------------------------------------------------------------ *)
+(* Wire.Stream: chunk boundaries must be invisible. *)
+
+let sample_frames =
+  [ ""; "a"; String.init 300 (fun i -> Char.chr (i mod 256)); "end-of-sample" ]
+
+let drain stream =
+  let rec go acc =
+    match Wire.Stream.next_frame stream with
+    | Some body -> go (body :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let test_stream_split_at_every_offset () =
+  let whole = String.concat "" (List.map Wire.frame sample_frames) in
+  for cut = 0 to String.length whole do
+    let s = Wire.Stream.create () in
+    Wire.Stream.feed s (String.sub whole 0 cut);
+    Wire.Stream.feed s (String.sub whole cut (String.length whole - cut));
+    Alcotest.(check (list string))
+      (Printf.sprintf "split at offset %d" cut)
+      sample_frames (drain s)
+  done
+
+let test_stream_byte_by_byte () =
+  let whole = String.concat "" (List.map Wire.frame sample_frames) in
+  let s = Wire.Stream.create () in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      Wire.Stream.feed s (String.make 1 c);
+      got := !got @ drain s)
+    whole;
+  Alcotest.(check (list string)) "one byte at a time" sample_frames !got;
+  Alcotest.(check int) "buffer drained" 0 (Wire.Stream.buffered s)
+
+let test_stream_incomplete_frame_waits () =
+  let body = String.make 40 'x' in
+  let framed = Wire.frame body in
+  let s = Wire.Stream.create () in
+  Wire.Stream.feed s (String.sub framed 0 (String.length framed - 1));
+  Alcotest.(check bool) "incomplete yields nothing" true (Wire.Stream.next_frame s = None);
+  Wire.Stream.feed s (String.sub framed (String.length framed - 1) 1);
+  Alcotest.(check bool) "last byte completes it" true (Wire.Stream.next_frame s = Some body)
+
+let test_stream_oversized_frame_rejected () =
+  let s = Wire.Stream.create ~max_frame:16 () in
+  Wire.Stream.feed s (Wire.frame (String.make 64 'x'));
+  match Wire.Stream.next_frame s with
+  | exception Wire.Malformed _ -> ()
+  | _ -> Alcotest.fail "a frame above max_frame must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Frame codec. *)
+
+let sample_failure =
+  { Fault.phase = "source-evaluate"; party = Transcript.Source 2; reason = "it broke" }
+
+let roundtrip_frames =
+  [
+    Frame.Hello { role = Transcript.Client; scenario = "abcd1234" };
+    Frame.Hello { role = Transcript.Source 7; scenario = "" };
+    Frame.Hello_ok { scenario = "abcd1234" };
+    Frame.Busy "at capacity";
+    Frame.Query
+      { scheme = "pm"; query = "select * from L natural join R";
+        fault_spec = "drop:mediator->source1;retries=2"; deadline = 1.25; fallback = true };
+    Frame.Session_start
+      { session = 3; epoch = 5; attempt = 2; scheme = "das"; query = "q"; fault_spec = "" };
+    Frame.Msg
+      { session = 3; epoch = 5; seq = 12; sender = Transcript.Mediator;
+        receiver = Transcript.Source 1; label = "rewritten-query";
+        declared = 5; payload = "\x00\xffabc" };
+    Frame.Report { session = 3; epoch = 5; status = Frame.St_ok };
+    Frame.Report { session = 3; epoch = 5; status = Frame.St_failed sample_failure };
+    Frame.Report { session = 3; epoch = 5; status = Frame.St_aborted };
+    Frame.Abort { session = 3; epoch = 5; failure = sample_failure };
+    Frame.Session_result
+      { session = 3;
+        result =
+          Frame.W_served
+            { w_scheme = "pm"; w_attempts = 2; w_degraded = Some ("das", "budget spent");
+              w_link_stats =
+                [ (Transcript.Client, 10, 20); (Transcript.Source 1, 30, 40) ] } };
+    Frame.Session_result
+      { session = 4; result = Frame.W_unserved [ ("pm", sample_failure, 3) ] };
+    Frame.Session_end { session = 9 };
+  ]
+
+let test_frame_roundtrip () =
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Frame.tag_name f ^ " roundtrips") true
+        (Frame.decode (Frame.encode f) = f))
+    roundtrip_frames
+
+let test_frame_rejects_garbage () =
+  match Frame.decode "\x2a\x00garbage" with
+  | exception Wire.Malformed _ -> ()
+  | _ -> Alcotest.fail "garbage must not decode"
+
+(* The millisecond encoding must not mangle deadlines. *)
+let test_frame_deadline_precision () =
+  match Frame.decode (Frame.encode (Frame.Query
+      { scheme = "das"; query = "q"; fault_spec = ""; deadline = 0.75; fallback = false }))
+  with
+  | Frame.Query { deadline; _ } -> Alcotest.(check (float 1e-9)) "0.75s survives" 0.75 deadline
+  | _ -> Alcotest.fail "not a Query"
+
+(* ------------------------------------------------------------------ *)
+(* Mux: frames that race in behind a Session_start must not be lost. *)
+
+let socket_pair () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (Io.of_fd ~peer:"a" a, Io.of_fd ~peer:"b" b)
+
+let msg ~seq label =
+  Frame.Msg
+    { session = 1; epoch = 1; seq; sender = Transcript.Mediator;
+      receiver = Transcript.Source 1; label; declared = 2; payload = "xy" }
+
+let test_mux_parks_frames_before_subscription () =
+  let a, b = socket_pair () in
+  Fun.protect ~finally:(fun () -> Io.close a; Io.close b) @@ fun () ->
+  let send f = Io.send_frame a (Frame.encode f) in
+  (* Burst: announcement plus the frames right behind it, all on the
+     wire before the consumer even creates its handler. *)
+  send (Frame.Session_start
+          { session = 1; epoch = 1; attempt = 1; scheme = "das"; query = "q"; fault_spec = "" });
+  send (msg ~seq:0 "first");
+  send (msg ~seq:1 "second");
+  let mux = Endpoint.Mux.create b in
+  (match Endpoint.Mux.next_control mux ~timeout:5. with
+  | Frame.Session_start { session; _ } -> Alcotest.(check int) "announced" 1 session
+  | f -> Alcotest.fail ("expected announcement, got " ^ Frame.tag_name f));
+  (match Endpoint.Mux.next mux ~session:1 ~timeout:5. with
+  | Frame.Session_start _ -> ()
+  | f -> Alcotest.fail ("expected parked Session_start, got " ^ Frame.tag_name f));
+  (match Endpoint.Mux.next mux ~session:1 ~timeout:5. with
+  | Frame.Msg { label = "first"; _ } -> ()
+  | f -> Alcotest.fail ("expected first msg, got " ^ Frame.tag_name f));
+  match Endpoint.Mux.next mux ~session:1 ~timeout:5. with
+  | Frame.Msg { label = "second"; _ } -> ()
+  | f -> Alcotest.fail ("expected second msg, got " ^ Frame.tag_name f)
+
+let test_mux_drops_frames_of_closed_sessions () =
+  let a, b = socket_pair () in
+  Fun.protect ~finally:(fun () -> Io.close a; Io.close b) @@ fun () ->
+  let mux = Endpoint.Mux.create b in
+  Endpoint.Mux.subscribe mux 1;
+  Endpoint.Mux.unsubscribe mux 1;
+  Io.send_frame a (Frame.encode (msg ~seq:0 "stale"));
+  Io.send_frame a (Frame.encode (Frame.Busy "marker"));
+  (* The control frame arrives, proving the stale Msg was dropped rather
+     than misrouted onto the control queue ahead of it. *)
+  match Endpoint.Mux.next_control mux ~timeout:5. with
+  | Frame.Busy "marker" -> ()
+  | f -> Alcotest.fail ("expected the marker, got " ^ Frame.tag_name f)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario digests. *)
+
+let test_scenario_digest_deterministic () =
+  Alcotest.(check string)
+    "same spec, same digest"
+    (Scenario.digest ~params:fast small_spec)
+    (Scenario.digest ~params:fast small_spec);
+  Alcotest.(check bool)
+    "seed changes it" true
+    (Scenario.digest ~params:fast small_spec
+    <> Scenario.digest ~params:fast { small_spec with Workload.seed = small_spec.Workload.seed + 1 });
+  Alcotest.(check bool)
+    "crypto params change it" true
+    (Scenario.digest ~params:fast small_spec <> Scenario.digest small_spec)
+
+(* ------------------------------------------------------------------ *)
+(* Loopback differential: forked processes vs in-process, bit for bit. *)
+
+let messages_of tr =
+  List.map
+    (fun (m : Transcript.message) -> (m.seq, m.sender, m.receiver, m.label, m.size))
+    (Transcript.messages tr)
+
+let test_loopback_differential () =
+  Loopback.with_cluster ~params:fast ~spec:small_spec @@ fun c ->
+  List.iter
+    (fun name ->
+      let scheme = Option.get (Protocol.scheme_of_name name) in
+      let reference =
+        Protocol.run_exn scheme (Loopback.env c) (Loopback.client_of c)
+          ~query:(Loopback.canonical_query c)
+      in
+      let response = Loopback.query c ~scheme:name () in
+      let outcome =
+        match response.Peer.result with
+        | Protocol.Served o -> o
+        | Protocol.Unserved tried ->
+          Alcotest.failf "%s unserved: %a" name Protocol.pp_session_failures tried
+      in
+      Alcotest.(check int) (name ^ ": one attempt") 1 response.Peer.epochs;
+      Alcotest.(check string)
+        (name ^ ": bit-identical result")
+        (Relation.to_string reference.Outcome.result)
+        (Relation.to_string outcome.Outcome.result);
+      Alcotest.(check bool)
+        (name ^ ": identical transcript messages") true
+        (messages_of reference.Outcome.transcript = messages_of outcome.Outcome.transcript);
+      Alcotest.(check int)
+        (name ^ ": same message count")
+        (Transcript.message_count reference.Outcome.transcript)
+        (Transcript.message_count outcome.Outcome.transcript);
+      Alcotest.(check int)
+        (name ^ ": same byte total")
+        (Transcript.total_bytes reference.Outcome.transcript)
+        (Transcript.total_bytes outcome.Outcome.transcript);
+      Alcotest.(check bool)
+        (name ^ ": identical primitive counters") true
+        (reference.Outcome.counters = outcome.Outcome.counters);
+      (* Byte accounting, way two: what the mediator process actually
+         pushed through each socket route must equal the transcript's
+         per-link totals (frames carry exactly the canonical payloads —
+         no inflation, no elision). *)
+      let tr = outcome.Outcome.transcript in
+      List.iter
+        (fun (party, out_bytes, in_bytes) ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s: mediator->%s socket payload" name
+               (Transcript.party_name party))
+            (Transcript.bytes_on_link tr Transcript.Mediator party)
+            out_bytes;
+          Alcotest.(check int)
+            (Printf.sprintf "%s: %s->mediator socket payload" name
+               (Transcript.party_name party))
+            (Transcript.bytes_on_link tr party Transcript.Mediator)
+            in_bytes)
+        response.Peer.link_stats;
+      (* Way three: the client's raw socket byte counters bound its
+         transcript share from above (framing and session-control
+         overhead ride on top of the payloads). *)
+      let cl_in = Transcript.bytes_on_link tr Transcript.Mediator Transcript.Client in
+      let cl_out = Transcript.bytes_on_link tr Transcript.Client Transcript.Mediator in
+      let sock_in, sock_out = response.Peer.socket_bytes in
+      Alcotest.(check bool) (name ^ ": socket in >= payload in") true (sock_in >= cl_in);
+      Alcotest.(check bool) (name ^ ": socket out >= payload out") true (sock_out >= cl_out))
+    schemes
+
+(* ------------------------------------------------------------------ *)
+(* Chaos conformance: live stream damage = simulated damage, typed. *)
+
+let chaos_rule ?times action =
+  Fault.plan [ Fault.rule ~sender:Transcript.Mediator ~receiver:(Transcript.Source 1) ?times action ]
+
+let served_exn name = function
+  | Protocol.Served o -> o
+  | Protocol.Unserved tried ->
+    Alcotest.failf "%s unserved: %a" name Protocol.pp_session_failures tried
+
+let test_chaos_corrupt_retried_then_served () =
+  let plan = chaos_rule ~times:1 (Fault.Corrupt 2) in
+  Loopback.with_cluster ~params:fast ~spec:small_spec ~chaos:[ (1, plan) ] @@ fun c ->
+  let reference =
+    Protocol.run_exn
+      (Option.get (Protocol.scheme_of_name "commutative"))
+      (Loopback.env c) (Loopback.client_of c) ~query:(Loopback.canonical_query c)
+  in
+  let response =
+    Loopback.query c ~scheme:"commutative" ~fault_spec:"retries=2" ~fallback:false ()
+  in
+  let outcome = served_exn "commutative" response.Peer.result in
+  Alcotest.(check int) "one retry" 2 response.Peer.epochs;
+  Alcotest.(check string)
+    "retried run still bit-identical"
+    (Relation.to_string reference.Outcome.result)
+    (Relation.to_string outcome.Outcome.result);
+  match Loopback.chaos_events c 1 with
+  | [ { Fault.event_action = Fault.Corrupt _; _ } ] -> ()
+  | [ e ] -> Alcotest.failf "expected corrupt, got %s" (Fault.action_name e.Fault.event_action)
+  | es -> Alcotest.failf "expected exactly one proxy event, got %d" (List.length es)
+
+let test_chaos_drop_is_typed_timeout_fault () =
+  let plan = chaos_rule ~times:1 Fault.Drop in
+  Loopback.with_cluster ~params:fast ~spec:small_spec ~chaos:[ (1, plan) ] ~io_timeout:1.5
+  @@ fun c ->
+  let response =
+    Loopback.query c ~scheme:"commutative" ~fault_spec:"retries=0" ~fallback:false ()
+  in
+  match response.Peer.result with
+  | Protocol.Served _ -> Alcotest.fail "a dropped frame with no retries must not serve"
+  | Protocol.Unserved [ (scheme, f) ] ->
+    Alcotest.(check string) "scheme" "commutative" scheme;
+    (* Same typed blame as the simulated Drop: the receiving party, at
+       the phase awaiting the frame. *)
+    let simulated =
+      match
+        Protocol.run_session
+          ?fault:(Result.to_option (Fault.of_spec "drop:mediator->source1:times=1;retries=0"))
+          ~chain:[]
+          (Option.get (Protocol.scheme_of_name "commutative"))
+          (Loopback.env c) (Loopback.client_of c) ~query:(Loopback.canonical_query c)
+      with
+      | Protocol.Unserved [ (_, sf) ] -> sf
+      | _ -> Alcotest.fail "simulated drop must be unserved too"
+    in
+    if not (Transcript.party_equal f.Protocol.party simulated.Protocol.party) then
+      Alcotest.failf "blame differs: wire %s at %s (%s), simulated %s at %s (%s)"
+        (Transcript.party_name f.Protocol.party)
+        f.Protocol.phase f.Protocol.reason
+        (Transcript.party_name simulated.Protocol.party)
+        simulated.Protocol.phase simulated.Protocol.reason;
+    Alcotest.(check string) "same blamed phase" simulated.Protocol.phase f.Protocol.phase;
+    Alcotest.(check bool) "reason names the missing frame" true
+      (contains f.Protocol.reason "never arrived")
+  | Protocol.Unserved tried ->
+    Alcotest.failf "expected one failure: %a" Protocol.pp_session_failures tried
+
+let test_chaos_duplicate_is_filtered () =
+  let plan = chaos_rule ~times:1 Fault.Duplicate in
+  Loopback.with_cluster ~params:fast ~spec:small_spec ~chaos:[ (1, plan) ] @@ fun c ->
+  let response = Loopback.query c ~scheme:"das" () in
+  let _ = served_exn "das" response.Peer.result in
+  Alcotest.(check int) "duplicate absorbed without retry" 1 response.Peer.epochs;
+  match Loopback.chaos_events c 1 with
+  | [ e ] ->
+    Alcotest.(check string) "the proxy duplicated" "duplicate"
+      (Fault.action_name e.Fault.event_action)
+  | es -> Alcotest.failf "expected exactly one proxy event, got %d" (List.length es)
+
+let test_chaos_delay_trips_real_deadline () =
+  let plan = chaos_rule ~times:1 (Fault.Delay 0.8) in
+  Loopback.with_cluster ~params:fast ~spec:small_spec ~chaos:[ (1, plan) ] @@ fun c ->
+  let response =
+    Loopback.query c ~scheme:"commutative" ~deadline:0.35 ~fallback:false ()
+  in
+  match response.Peer.result with
+  | Protocol.Served _ -> Alcotest.fail "a 0.8s stall must blow a 0.35s deadline"
+  | Protocol.Unserved tried ->
+    let _, f = List.hd (List.rev tried) in
+    (* The same typed ending a simulated delay produces in-process. *)
+    let simulated =
+      let sim_plan = chaos_rule ~times:1 (Fault.Delay 0.8) in
+      match
+        Protocol.run_session ~fault:sim_plan ~chain:[]
+          ~session:(R.session ~policy:{ R.default_policy with R.deadline_budget = Some 0.35 } ())
+          (Option.get (Protocol.scheme_of_name "commutative"))
+          (Loopback.env c) (Loopback.client_of c) ~query:(Loopback.canonical_query c)
+      with
+      | Protocol.Unserved tried -> snd (List.hd (List.rev tried))
+      | Protocol.Served _ -> Alcotest.fail "simulated delay must be unserved too"
+    in
+    Alcotest.(check string) "deadline phase both ways" simulated.Protocol.phase f.Protocol.phase;
+    Alcotest.(check string) "it is the deadline" "deadline" f.Protocol.phase
+
+let test_chaos_truncate_severs_then_redials () =
+  let plan = chaos_rule ~times:1 (Fault.Truncate 6) in
+  Loopback.with_cluster ~params:fast ~spec:small_spec ~chaos:[ (1, plan) ] ~io_timeout:1.5
+  @@ fun c ->
+  let response =
+    Loopback.query c ~scheme:"commutative" ~fault_spec:"retries=2" ~fallback:false ()
+  in
+  let _ = served_exn "commutative" response.Peer.result in
+  Alcotest.(check int) "served on the redialed connection" 2 response.Peer.epochs;
+  match Loopback.chaos_events c 1 with
+  | [ { Fault.event_action = Fault.Truncate _; _ } ] -> ()
+  | [ e ] -> Alcotest.failf "expected truncate, got %s" (Fault.action_name e.Fault.event_action)
+  | es -> Alcotest.failf "expected exactly one proxy event, got %d" (List.length es)
+
+(* ------------------------------------------------------------------ *)
+(* Admission and handshake. *)
+
+let test_server_at_capacity_refuses () =
+  Loopback.with_cluster ~params:fast ~spec:small_spec ~max_sessions:0 @@ fun c ->
+  match Loopback.query c ~scheme:"plain" () with
+  | _ -> Alcotest.fail "a zero-capacity mediator must refuse"
+  | exception Io.Transport_error msg ->
+    Alcotest.(check bool) "refusal names capacity" true (contains msg "at capacity")
+
+let test_scenario_digest_mismatch_refused () =
+  Loopback.with_cluster ~params:fast ~spec:small_spec @@ fun c ->
+  match
+    Peer.run ~host:"127.0.0.1" ~port:(Loopback.port c) ~scenario:"0000deadbeef"
+      ~scheme:"plain" ~query:(Loopback.canonical_query c) (Loopback.env c)
+      (Loopback.client_of c)
+  with
+  | _ -> Alcotest.fail "a divergent scenario digest must be refused"
+  | exception Io.Transport_error msg ->
+    Alcotest.(check bool) "refusal names the digest" true (contains msg "digest mismatch")
+
+let test_net_metrics_counted () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.set_recording true;
+  Fun.protect ~finally:(fun () -> Obs.Metrics.set_recording false) @@ fun () ->
+  Loopback.with_cluster ~params:fast ~spec:small_spec @@ fun c ->
+  let response = Loopback.query c ~scheme:"plain" () in
+  let _ = served_exn "plain" response.Peer.result in
+  Alcotest.(check bool) "frames out counted" true
+    (Obs.Metrics.counter_value (Obs.Metrics.counter "net.frames.out") > 0);
+  Alcotest.(check bool) "frames in counted" true
+    (Obs.Metrics.counter_value (Obs.Metrics.counter "net.frames.in") > 0);
+  Alcotest.(check bool) "payload bytes counted" true
+    (Obs.Metrics.counter_value (Obs.Metrics.counter "net.payload.in") > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Regression: run_session must scope the plan's delay handler. *)
+
+let test_delay_handler_scoped_to_session () =
+  let env, client, query = Workload.scenario ~params:fast small_spec in
+  let plan = chaos_rule ~times:1 (Fault.Delay 0.01) in
+  Alcotest.(check bool) "no handler before" false (Fault.delay_handler_installed plan);
+  let result =
+    Protocol.run_session ~fault:plan ~chain:[]
+      ~session:(R.session ~policy:{ R.default_policy with R.deadline_budget = Some 30. } ())
+      (Option.get (Protocol.scheme_of_name "plain"))
+      env client ~query
+  in
+  (match result with
+  | Protocol.Served _ -> ()
+  | Protocol.Unserved tried ->
+    Alcotest.failf "plain with a tiny delay must serve: %a" Protocol.pp_session_failures tried);
+  Alcotest.(check bool) "no handler leaked after" false (Fault.delay_handler_installed plan);
+  (* And a caller's own handler is restored, not clobbered. *)
+  let outer_ran = ref false in
+  Fault.with_delay_handler plan (Some (fun _ -> outer_ran := true)) (fun () ->
+      (match
+         Protocol.run_session ~fault:plan ~chain:[]
+           (Option.get (Protocol.scheme_of_name "plain"))
+           env client ~query
+       with
+      | Protocol.Served _ -> ()
+      | Protocol.Unserved _ -> Alcotest.fail "plain must serve");
+      Alcotest.(check bool) "outer handler restored inside scope" true
+        (Fault.delay_handler_installed plan));
+  Alcotest.(check bool) "outer handler unwound" false (Fault.delay_handler_installed plan)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "wire-stream",
+        [
+          Alcotest.test_case "split at every offset" `Quick test_stream_split_at_every_offset;
+          Alcotest.test_case "byte by byte" `Quick test_stream_byte_by_byte;
+          Alcotest.test_case "incomplete frame waits" `Quick test_stream_incomplete_frame_waits;
+          Alcotest.test_case "oversized frame rejected" `Quick
+            test_stream_oversized_frame_rejected;
+        ] );
+      ( "frame-codec",
+        [
+          Alcotest.test_case "roundtrip all frames" `Quick test_frame_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick test_frame_rejects_garbage;
+          Alcotest.test_case "deadline precision" `Quick test_frame_deadline_precision;
+        ] );
+      ( "mux",
+        [
+          Alcotest.test_case "parks pre-subscription frames" `Quick
+            test_mux_parks_frames_before_subscription;
+          Alcotest.test_case "drops closed-session frames" `Quick
+            test_mux_drops_frames_of_closed_sessions;
+        ] );
+      ( "scenario",
+        [ Alcotest.test_case "digest deterministic" `Quick test_scenario_digest_deterministic ] );
+      ( "loopback",
+        [
+          Alcotest.test_case "differential: all schemes bit-identical" `Slow
+            test_loopback_differential;
+          Alcotest.test_case "at capacity refuses" `Quick test_server_at_capacity_refuses;
+          Alcotest.test_case "digest mismatch refused" `Quick
+            test_scenario_digest_mismatch_refused;
+          Alcotest.test_case "net metrics counted" `Quick test_net_metrics_counted;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "corrupt retried then served" `Slow
+            test_chaos_corrupt_retried_then_served;
+          Alcotest.test_case "drop is a typed timeout fault" `Slow
+            test_chaos_drop_is_typed_timeout_fault;
+          Alcotest.test_case "duplicate filtered" `Slow test_chaos_duplicate_is_filtered;
+          Alcotest.test_case "delay trips the real deadline" `Slow
+            test_chaos_delay_trips_real_deadline;
+          Alcotest.test_case "truncate severed then redialed" `Slow
+            test_chaos_truncate_severs_then_redials;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "delay handler scoped" `Quick test_delay_handler_scoped_to_session;
+        ] );
+    ]
