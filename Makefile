@@ -1,6 +1,6 @@
 # Convenience entry points; everything below is plain dune.
 
-.PHONY: all check test check-fault check-obs check-resilience check-net bench bench-json clean
+.PHONY: all check test check-fault check-obs check-resilience check-net check-crypto-perf bench bench-json clean
 
 all:
 	dune build
@@ -45,6 +45,18 @@ check-net:
 	dune exec test/test_net.exe -- test -e
 	dune exec bench/main.exe -- json-net
 	dune exec bin/secmed.exe -- check-bench BENCH_net.json
+
+# Crypto hot-path suite: the bigint/crypto differential tests (CRT vs
+# plain decryption, Multi_exp vs separate mod_pows, domain-local cache
+# stress) plus the batch-executor determinism suite, then a smoke run of
+# the BENCH_modexp.json emitter on tiny sizes with schema validation —
+# so the JSON writers can't rot.
+check-crypto-perf:
+	dune exec test/test_bigint.exe
+	dune exec test/test_crypto.exe
+	dune exec test/test_batch.exe
+	dune exec bench/main.exe -- json --sizes 4 --rounds 1
+	dune exec bin/secmed.exe -- check-bench BENCH_modexp.json
 
 # Full benchmark/reproduction suite (slow).
 bench:

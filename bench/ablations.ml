@@ -120,26 +120,85 @@ let horner ~degrees () =
 (* ------------------------------------------------------------------ *)
 (* A4 — Karatsuba threshold in the bigint substrate. *)
 
-let karatsuba () =
-  Bench_util.heading "A4 — bigint multiplication: Karatsuba threshold sweep (2048-bit operands)";
-  let prng = Prng.of_int_seed 2 in
-  let x = Bigint.random_bits (Prng.byte_source prng) 2048 in
-  let y = Bigint.random_bits (Prng.byte_source prng) 2048 in
+(* Calibration: at which operand width (in 31-bit limbs) does one
+   Karatsuba split start beating plain schoolbook?  For each width the
+   "split" configuration sets the threshold to exactly that width, so the
+   top level splits once and the halves run schoolbook — isolating the
+   crossover the recursive threshold should sit at. *)
+type kara_sample = { ks_limbs : int; ks_school : float; ks_split : float }
+
+let kara_limb_sizes = [ 8; 12; 16; 20; 24; 28; 32; 40; 48; 64; 96 ]
+let kara_thresholds = [ 8; 12; 16; 20; 24; 28; 32; 40; 48; 64; 1_000_000 ]
+
+let measure_karatsuba ?(rounds = 5) ?(min_time = 0.02) () =
+  let prng = Prng.of_int_seed 11 in
+  let src = Prng.byte_source prng in
+  (* Operands with a non-zero top limb, so the magnitude is exactly
+     [limbs] limbs wide. *)
+  let full_width bits =
+    let rec gen () =
+      let x = Bigint.random_bits src bits in
+      if Bigint.numbits x > bits - 31 then x else gen ()
+    in
+    gen ()
+  in
   let saved = !Bigint.karatsuba_threshold in
-  let test threshold =
-    Test.make
-      ~name:(Printf.sprintf "threshold=%d" threshold)
-      (Staged.stage (fun () ->
-           Bigint.karatsuba_threshold := threshold;
-           ignore (Bigint.mul x y)))
+  let timed threshold x y =
+    Bench_util.best_time ~rounds ~min_time (fun () ->
+        Bigint.karatsuba_threshold := threshold;
+        Bigint.mul x y)
   in
-  let grouped =
-    Test.make_grouped ~name:"karatsuba" ~fmt:"%s %s"
-      (List.map test [ 4; 8; 16; 32; 64; 1_000_000 ])
+  let sweep =
+    List.map
+      (fun limbs ->
+        let bits = limbs * 31 in
+        let x = full_width bits and y = full_width bits in
+        {
+          ks_limbs = limbs;
+          ks_school = timed 1_000_000 x y;
+          ks_split = timed limbs x y;
+        })
+      kara_limb_sizes
   in
-  let estimates = Bench_util.bechamel_estimates ~quota:0.3 grouped in
+  (* Crossover: smallest width where the split wins. *)
+  let crossover =
+    match List.find_opt (fun s -> s.ks_split < s.ks_school) sweep with
+    | Some s -> s.ks_limbs
+    | None -> saved
+  in
+  (* Full recursion: best threshold over 2048-bit operands. *)
+  let x = full_width 2048 and y = full_width 2048 in
+  let recursive =
+    List.map (fun t -> (t, timed t x y)) kara_thresholds
+  in
+  let best_threshold, _ =
+    List.fold_left
+      (fun (bt, bv) (t, v) -> if v < bv then (t, v) else (bt, bv))
+      (saved, infinity) recursive
+  in
   Bigint.karatsuba_threshold := saved;
-  Bench_util.print_bechamel_table "2048-bit multiply" estimates;
+  (sweep, crossover, recursive, best_threshold)
+
+let karatsuba () =
+  Bench_util.heading "A4 — bigint multiplication: Karatsuba threshold calibration";
+  let sweep, crossover, recursive, best_threshold = measure_karatsuba () in
+  let fmt_us t = Printf.sprintf "%.2f" (t *. 1e6) in
+  Bench_util.subheading "single split vs schoolbook, by operand width";
+  Bench_util.print_table
+    ~headers:[ "limbs"; "bits"; "schoolbook (µs)"; "one split (µs)"; "split wins" ]
+    (List.map
+       (fun s ->
+         [ string_of_int s.ks_limbs; string_of_int (s.ks_limbs * 31);
+           fmt_us s.ks_school; fmt_us s.ks_split;
+           string_of_bool (s.ks_split < s.ks_school) ])
+       sweep);
+  Printf.printf "measured crossover: %d limbs (current default threshold: %d)\n"
+    crossover !Bigint.karatsuba_threshold;
+  Bench_util.subheading "full recursion at 2048-bit operands, by threshold";
+  Bench_util.print_table
+    ~headers:[ "threshold"; "2048-bit multiply (µs)" ]
+    (List.map (fun (t, v) -> [ string_of_int t; fmt_us v ]) recursive);
+  Printf.printf "best recursive threshold at 2048 bits: %d\n" best_threshold;
   print_endline "threshold=1000000 disables Karatsuba (pure schoolbook)."
 
 (* ------------------------------------------------------------------ *)
@@ -220,6 +279,114 @@ let modexp_workloads =
   List.map (fun bits -> (bits, None)) [ 256; 512; 1024 ]
   @ List.map (fun bits -> (bits, Some 17)) [ 1024; 2048 ]
 
+(* ------------------------------------------------------------------ *)
+(* PR 6 hot-path rows: CRT Paillier decryption, simultaneous 2-base
+   exponentiation, and the domain-parallel batch-encryption executor.
+   Shared by the A5 text ablation and the BENCH_modexp.json emitter. *)
+
+type crt_sample = { crt_bits : int; t_plain_dec : float; t_crt_dec : float }
+
+let measure_crt ?(rounds = 5) ?(min_time = 0.02) bits =
+  let prng = Prng.of_int_seed (100 + bits) in
+  let sk = Paillier.keygen prng ~bits in
+  let pk = Paillier.public sk in
+  let ct = Paillier.encrypt prng pk (Bigint.of_int 0x5ec4ed) in
+  {
+    crt_bits = bits;
+    t_plain_dec =
+      Bench_util.best_time ~rounds ~min_time (fun () -> Paillier.decrypt_plain sk ct);
+    t_crt_dec = Bench_util.best_time ~rounds ~min_time (fun () -> Paillier.decrypt sk ct);
+  }
+
+type multi_exp_sample = { me_bits : int; t_separate : float; t_joint : float }
+
+let measure_multi_exp ?(rounds = 5) ?(min_time = 0.02) bits =
+  let prng = Prng.of_int_seed (200 + bits) in
+  let src = Prng.byte_source prng in
+  let m = Bigint.random_bits src bits in
+  let m = if Bigint.is_even m then Bigint.succ m else m in
+  let b1 = Bigint.emod (Bigint.random_bits src bits) m in
+  let b2 = Bigint.emod (Bigint.random_bits src bits) m in
+  let e1 = Bigint.random_bits src bits in
+  let e2 = Bigint.random_bits src bits in
+  let ctx = Bigint.Ctx.create m in
+  {
+    me_bits = bits;
+    t_separate =
+      Bench_util.best_time ~rounds ~min_time (fun () ->
+          Bigint.Ctx.mod_mul ctx (Bigint.Ctx.mod_pow ctx b1 e1)
+            (Bigint.Ctx.mod_pow ctx b2 e2));
+    t_joint =
+      Bench_util.best_time ~rounds ~min_time (fun () ->
+          Bigint.Multi_exp.pow2 ctx (b1, e1) (b2, e2));
+  }
+
+(* Source-side batch encryption: tuples/sec of per-tuple hybrid
+   encryption through the Batch executor at each domain count. *)
+type batch_sample = { bs_domains : int; bs_tuples_per_sec : float }
+
+let batch_tuples = 48
+let batch_payload_bytes = 256
+
+let measure_batch ?(rounds = 3) ~domain_counts () =
+  let group = Group.default ~bits:256 in
+  let kp = Elgamal.keygen (Prng.create ~seed:"bench-batch-key") group in
+  let pk = Elgamal.public kp in
+  let prng = Prng.create ~seed:"bench-batch" in
+  let payloads =
+    Array.init batch_tuples (fun i ->
+        String.make batch_payload_bytes (Char.chr (33 + (i mod 90))))
+  in
+  List.map
+    (fun domains ->
+      let t =
+        Bench_util.best_time ~rounds ~min_time:0.0 (fun () ->
+            Batch.map_seeded ~domains ~prng ~label:"bench"
+              (fun _ prng p -> Hybrid.encrypt prng pk p)
+              payloads)
+      in
+      { bs_domains = domains; bs_tuples_per_sec = float_of_int batch_tuples /. Float.max 1e-9 t })
+    domain_counts
+
+let hot_path_tables ?(rounds = 5) () =
+  let fmt_ms t = Printf.sprintf "%.3f" (t *. 1000.0) in
+  let crt = List.map (measure_crt ~rounds) [ 512; 1024 ] in
+  Bench_util.subheading "CRT Paillier decryption (client's n+m PM decryptions)";
+  Bench_util.print_table
+    ~headers:[ "key bits"; "decrypt_plain (ms)"; "decrypt CRT (ms)"; "speedup" ]
+    (List.map
+       (fun s ->
+         [ string_of_int s.crt_bits; fmt_ms s.t_plain_dec; fmt_ms s.t_crt_dec;
+           Printf.sprintf "%.2fx" (s.t_plain_dec /. Float.max 1e-9 s.t_crt_dec) ])
+       crt);
+  let me = List.map (measure_multi_exp ~rounds) [ 256; 512; 1024 ] in
+  Bench_util.subheading "simultaneous 2-base exponentiation (Shamir) vs two mod_pows";
+  Bench_util.print_table
+    ~headers:[ "modulus bits"; "two mod_pows (ms)"; "joint pow2 (ms)"; "speedup" ]
+    (List.map
+       (fun s ->
+         [ string_of_int s.me_bits; fmt_ms s.t_separate; fmt_ms s.t_joint;
+           Printf.sprintf "%.2fx" (s.t_separate /. Float.max 1e-9 s.t_joint) ])
+       me);
+  let batch = measure_batch ~domain_counts:[ 1; 2; 4 ] () in
+  let base =
+    match batch with s :: _ -> s.bs_tuples_per_sec | [] -> 1.0
+  in
+  Bench_util.subheading
+    (Printf.sprintf
+       "domain-parallel source encryption (%d tuples x %d B, recommended domains on this \
+        machine: %d)"
+       batch_tuples batch_payload_bytes (Batch.recommended_domains ()));
+  Bench_util.print_table
+    ~headers:[ "domains"; "tuples/sec"; "speedup vs 1" ]
+    (List.map
+       (fun s ->
+         [ string_of_int s.bs_domains;
+           Printf.sprintf "%.1f" s.bs_tuples_per_sec;
+           Printf.sprintf "%.2fx" (s.bs_tuples_per_sec /. Float.max 1e-9 base) ])
+       batch);
+  (crt, me, batch)
+
 let montgomery () =
   Bench_util.heading
     "A5 — modular exponentiation: plain vs per-call Montgomery vs cached context vs \
@@ -280,21 +447,27 @@ let montgomery () =
     "transparent context cache over one run of every scheme: %d hits / %d misses \
      (%.1f%% hit rate)\n"
     hits misses
-    (100.0 *. float_of_int hits /. Float.max 1.0 (float_of_int (hits + misses)))
+    (100.0 *. float_of_int hits /. Float.max 1.0 (float_of_int (hits + misses)));
+  (* Round two of the hot path: CRT decryption, joint 2-base
+     exponentiation, and the domain-parallel batch executor. *)
+  ignore (hot_path_tables ())
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable perf trajectory: BENCH_modexp.json records ops/sec
    for each exponentiation configuration plus the end-to-end P2 sweep,
    so future optimization PRs can diff against this one numerically. *)
 
-let modexp_json ?(path = "BENCH_modexp.json") ~sizes () =
+let modexp_json ?(path = "BENCH_modexp.json") ?(rounds = 7) ~sizes () =
   let buf = Buffer.create 4096 in
   let ops_per_sec t = 1.0 /. Float.max 1e-9 t in
+  (* A low round count is the CI smoke configuration: shrink the
+     per-sample floor too so the whole emitter stays fast. *)
+  let min_time = if rounds <= 2 then 0.002 else 0.02 in
   Buffer.add_string buf "{\n";
   (* Microbenchmark: the four configurations per modulus width. *)
   let workloads = modexp_workloads @ [ (2048, None) ] in
   let samples =
-    List.map (fun (bits, exp_bits) -> measure_modexp ?exp_bits bits) workloads
+    List.map (fun (bits, exp_bits) -> measure_modexp ~rounds ?exp_bits bits) workloads
   in
   Buffer.add_string buf "  \"modexp_ops_per_sec\": [\n";
   List.iteri
@@ -309,6 +482,74 @@ let modexp_json ?(path = "BENCH_modexp.json") ~sizes () =
            (if i = List.length samples - 1 then "" else ",")))
     samples;
   Buffer.add_string buf "  ],\n";
+  (* CRT Paillier decryption: before (decrypt_plain) / after (CRT). *)
+  let crt = List.map (measure_crt ~rounds ~min_time) [ 512; 1024 ] in
+  Buffer.add_string buf "  \"crt_paillier_ops_per_sec\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"key_bits\": %d, \"decrypt_plain\": %.2f, \"decrypt_crt\": %.2f, \
+            \"speedup\": %.2f }%s\n"
+           s.crt_bits (ops_per_sec s.t_plain_dec) (ops_per_sec s.t_crt_dec)
+           (s.t_plain_dec /. Float.max 1e-9 s.t_crt_dec)
+           (if i = List.length crt - 1 then "" else ",")))
+    crt;
+  Buffer.add_string buf "  ],\n";
+  (* Simultaneous 2-base exponentiation vs two separate mod_pows. *)
+  let me = List.map (measure_multi_exp ~rounds ~min_time) [ 256; 512; 1024 ] in
+  Buffer.add_string buf "  \"multi_exp_ops_per_sec\": [\n";
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"modulus_bits\": %d, \"two_mod_pows\": %.2f, \"joint_pow2\": %.2f, \
+            \"speedup\": %.2f }%s\n"
+           s.me_bits (ops_per_sec s.t_separate) (ops_per_sec s.t_joint)
+           (s.t_separate /. Float.max 1e-9 s.t_joint)
+           (if i = List.length me - 1 then "" else ",")))
+    me;
+  Buffer.add_string buf "  ],\n";
+  (* Domain-parallel source encryption at 1/2/4 domains.  The speedup is
+     whatever this machine's cores allow; recommended_domains records the
+     parallelism actually available when the numbers were taken. *)
+  let batch = measure_batch ~rounds:(Stdlib.max 2 (rounds / 2)) ~domain_counts:[ 1; 2; 4 ] () in
+  let batch_base =
+    match batch with s :: _ -> s.bs_tuples_per_sec | [] -> 1.0
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"batch_encrypt\": { \"tuples\": %d, \"payload_bytes\": %d, \
+        \"recommended_domains\": %d, \"rows\": [\n"
+       batch_tuples batch_payload_bytes (Batch.recommended_domains ()));
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"domains\": %d, \"tuples_per_sec\": %.2f, \"speedup_vs_1\": %.2f }%s\n"
+           s.bs_domains s.bs_tuples_per_sec
+           (s.bs_tuples_per_sec /. Float.max 1e-9 batch_base)
+           (if i = List.length batch - 1 then "" else ",")))
+    batch;
+  Buffer.add_string buf "  ] },\n";
+  (* Karatsuba calibration: crossover width and recursive threshold. *)
+  let sweep, crossover, _, best_threshold =
+    measure_karatsuba ~rounds:(Stdlib.max 2 (rounds - 2)) ~min_time ()
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"karatsuba\": { \"crossover_limbs\": %d, \"best_recursive_threshold_2048\": %d, \
+        \"default_threshold\": %d, \"sweep\": [\n"
+       crossover best_threshold !Bigint.karatsuba_threshold);
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"limbs\": %d, \"schoolbook_us\": %.3f, \"one_split_us\": %.3f }%s\n"
+           s.ks_limbs (s.ks_school *. 1e6) (s.ks_split *. 1e6)
+           (if i = List.length sweep - 1 then "" else ",")))
+    sweep;
+  Buffer.add_string buf "  ] },\n";
   (* End-to-end: the P2 perf sweep, wall clock per protocol per size. *)
   let schemes = Protocol.all_schemes in
   Buffer.add_string buf "  \"perf_sweep_seconds\": [\n";

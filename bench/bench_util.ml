@@ -55,6 +55,29 @@ let time_median ?(runs = 3) f =
   | [] -> 0.0
   | sorted -> List.nth sorted (List.length sorted / 2)
 
+(* Best-of-[rounds] seconds per call, with the repetition count calibrated
+   so each sample runs for at least [min_time] (keeps fast primitives well
+   above timer resolution without hardcoding per-benchmark rep counts). *)
+let best_time ?(rounds = 5) ?(min_time = 0.02) f =
+  let sample reps =
+    let t0 = Secmed_obs.Clock.now_ns () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    Secmed_obs.Clock.ns_to_s (Secmed_obs.Clock.elapsed_ns ~since:t0) /. float_of_int reps
+  in
+  let rec calibrate reps =
+    let t = sample reps in
+    if t *. float_of_int reps >= min_time || reps >= 1 lsl 20 then (reps, t)
+    else calibrate (reps * 4)
+  in
+  let reps, first = calibrate 1 in
+  let best = ref first in
+  for _ = 2 to rounds do
+    best := Float.min !best (sample reps)
+  done;
+  !best
+
 (* Bechamel: run a grouped test and return (name, estimated ns/run). *)
 let bechamel_estimates ?(quota = 0.5) tests =
   let open Bechamel in

@@ -16,6 +16,13 @@ let degrees_arg =
   let doc = "Polynomial degrees for the Horner ablation." in
   Arg.(value & opt (list int) [ 4; 8; 16; 32 ] & info [ "degrees" ] ~docv:"N,N,..." ~doc)
 
+let rounds_arg =
+  let doc =
+    "Measurement rounds per sample for the JSON emitters (lower it to 1-2 for a CI \
+     smoke run)."
+  in
+  Arg.(value & opt int 7 & info [ "rounds" ] ~docv:"N" ~doc)
+
 let experiments : (string * string * (unit -> unit) Term.t) list =
   [
     ("table1", "Table 1: extra information disclosed to client and mediator",
@@ -65,10 +72,10 @@ let experiments : (string * string * (unit -> unit) Term.t) list =
     ("micro", "Bechamel microbenchmarks of the crypto primitives",
      Term.(const (fun () () -> Ablations.micro ()) $ const ()));
     ("json", "Write BENCH_modexp.json and BENCH_protocols.json (full machine-readable record)",
-     Term.(const (fun sizes () ->
-               Ablations.modexp_json ~sizes ();
+     Term.(const (fun sizes rounds () ->
+               Ablations.modexp_json ~rounds ~sizes ();
                Protocols_json.write ~sizes ())
-           $ sizes_arg));
+           $ sizes_arg $ rounds_arg));
     ("json-protocols", "Write only BENCH_protocols.json: per-scheme/phase/party costs",
      Term.(const (fun sizes () -> Protocols_json.write ~sizes ()) $ sizes_arg));
     ("json-resilience",

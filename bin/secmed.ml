@@ -741,38 +741,61 @@ let check_bench_cmd =
           entries;
         Printf.printf "%s: ok (%d %s entries)\n" file (List.length entries) what
       in
-      (* Three validated shapes: BENCH_protocols.json carries a "schemes"
+      (* Four validated shapes: BENCH_protocols.json carries a "schemes"
          array, BENCH_resilience.json a "scenarios" array, BENCH_net.json
-         a "net" array. *)
+         a "net" array, BENCH_modexp.json a "modexp_ops_per_sec" array
+         plus the hot-path sections. *)
       (match
          ( Obs.Json.member "schemes" json,
            Obs.Json.member "scenarios" json,
-           Obs.Json.member "net" json )
+           Obs.Json.member "net" json,
+           Obs.Json.member "modexp_ops_per_sec" json )
        with
-       | Some (Obs.Json.List entries), _, _ when entries <> [] ->
+       | Some (Obs.Json.List entries), _, _, _ when entries <> [] ->
          check_entries ~what:"scheme" ~name_key:"scheme"
            ~required:
              [ "domain_size"; "seconds"; "phases"; "parties"; "messages";
                "bytes"; "rounds"; "counters" ]
            entries
-       | _, Some (Obs.Json.List entries), _ when entries <> [] ->
+       | _, Some (Obs.Json.List entries), _, _ when entries <> [] ->
          check_entries ~what:"scenario" ~name_key:"scenario"
            ~required:
              [ "scheme"; "outcome"; "attempts"; "seconds"; "degraded_from";
                "breaker_transitions" ]
            entries
-       | _, _, Some (Obs.Json.List entries) when entries <> [] ->
+       | _, _, Some (Obs.Json.List entries), _ when entries <> [] ->
          check_entries ~what:"net" ~name_key:"scheme"
            ~required:
              [ "seconds_inproc"; "seconds_net"; "messages"; "bytes";
                "socket_bytes_in"; "socket_bytes_out"; "epochs"; "match" ]
            entries
-       | _ -> fail "missing or empty \"schemes\" / \"scenarios\" / \"net\" array")
+       | _, _, _, Some (Obs.Json.List entries) when entries <> [] ->
+         List.iter
+           (fun entry ->
+             List.iter
+               (fun key ->
+                 if Obs.Json.member key entry = None then
+                   fail (Printf.sprintf "modexp entry: missing key %S" key))
+               [ "modulus_bits"; "exponent_bits"; "plain"; "per_call_montgomery";
+                 "cached_context"; "fixed_base" ])
+           entries;
+         List.iter
+           (fun key ->
+             if Obs.Json.member key json = None then
+               fail (Printf.sprintf "missing section %S" key))
+           [ "crt_paillier_ops_per_sec"; "multi_exp_ops_per_sec"; "batch_encrypt";
+             "karatsuba"; "perf_sweep_seconds"; "ctx_cache" ];
+         Printf.printf "%s: ok (%d modexp entries + hot-path sections)\n" file
+           (List.length entries)
+       | _ ->
+         fail
+           "missing or empty \"schemes\" / \"scenarios\" / \"net\" / \
+            \"modexp_ops_per_sec\" array")
   in
   Cmd.v
     (Cmd.info "check-bench"
-       ~doc:"Validate that a BENCH_protocols.json, BENCH_resilience.json or \
-             BENCH_net.json file parses and carries the expected keys")
+       ~doc:"Validate that a BENCH_protocols.json, BENCH_resilience.json, BENCH_net.json \
+             or BENCH_modexp.json file parses and carries the expected keys")
     Term.(const action $ file)
 
 (* ------------------------------------------------------------------ *)

@@ -16,7 +16,11 @@ let limb_bits = 31
 let base = 1 lsl limb_bits
 let mask = base - 1
 
-let karatsuba_threshold = ref 32
+(* Calibrated by the A4 ablation (bench/ablations.ml): one Karatsuba
+   split first beats schoolbook at 40-limb (~1240-bit) operands on the
+   31-bit-limb representation; see the "karatsuba" section of
+   BENCH_modexp.json for the measured sweep. *)
+let karatsuba_threshold = ref 40
 
 let zero = { sign = 0; mag = [||] }
 
@@ -665,47 +669,70 @@ let ctx_cache_slots = 8
 
 type ctx_slot = { slot_ctx : Ctx.ctx; mutable stamp : int }
 
-let ctx_cache : ctx_slot option array = Array.make ctx_cache_slots None
-let ctx_cache_tick = ref 0
-let ctx_cache_hits = ref 0
-let ctx_cache_misses = ref 0
+(* The cache is domain-local state: each domain gets its own slot array
+   and counters, so concurrent domains never race on the LRU bookkeeping
+   (the slot mutations and tick/hit/miss increments are unsynchronised).
+   Contexts built under one domain are immutable after creation and could
+   in principle be shared, but the bookkeeping around them cannot; per-
+   domain replication keeps the fast path free of locks at the cost of
+   one table rebuild per (domain, modulus) pair. *)
+type ctx_cache_state = {
+  slots : ctx_slot option array;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
 
-let ctx_cache_stats () = (!ctx_cache_hits, !ctx_cache_misses)
+let ctx_cache_key : ctx_cache_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { slots = Array.make ctx_cache_slots None; tick = 0; hits = 0; misses = 0 })
+
+let ctx_cache () = Domain.DLS.get ctx_cache_key
+
+let ctx_cache_stats () =
+  let st = ctx_cache () in
+  (st.hits, st.misses)
 
 let ctx_cache_reset () =
-  Array.fill ctx_cache 0 ctx_cache_slots None;
-  ctx_cache_tick := 0;
-  ctx_cache_hits := 0;
-  ctx_cache_misses := 0
+  let st = ctx_cache () in
+  Array.fill st.slots 0 ctx_cache_slots None;
+  st.tick <- 0;
+  st.hits <- 0;
+  st.misses <- 0
 
 let ctx_of_modulus m =
-  incr ctx_cache_tick;
+  let st = ctx_cache () in
+  st.tick <- st.tick + 1;
   let found = ref None in
   for i = 0 to ctx_cache_slots - 1 do
-    match ctx_cache.(i) with
+    match st.slots.(i) with
     | Some slot when !found = None && equal (Ctx.modulus slot.slot_ctx) m ->
-      slot.stamp <- !ctx_cache_tick;
+      slot.stamp <- st.tick;
       found := Some slot.slot_ctx
     | _ -> ()
   done;
   match !found with
   | Some c ->
-    incr ctx_cache_hits;
+    st.hits <- st.hits + 1;
     c
   | None ->
-    incr ctx_cache_misses;
+    st.misses <- st.misses + 1;
     let c = Ctx.create m in
     (* Evict the least-recently-used slot (empty slots have stamp 0). *)
     let victim = ref 0 and victim_stamp = ref max_int in
     for i = 0 to ctx_cache_slots - 1 do
-      let stamp = match ctx_cache.(i) with None -> 0 | Some slot -> slot.stamp in
+      let stamp = match st.slots.(i) with None -> 0 | Some slot -> slot.stamp in
       if stamp < !victim_stamp then begin
         victim := i;
         victim_stamp := stamp
       end
     done;
-    ctx_cache.(!victim) <- Some { slot_ctx = c; stamp = !ctx_cache_tick };
+    st.slots.(!victim) <- Some { slot_ctx = c; stamp = st.tick };
     c
+
+let cached_ctx m =
+  if m.sign <= 0 then invalid_arg "Bigint.cached_ctx: modulus must be positive"
+  else ctx_of_modulus m
 
 let mod_pow b e m =
   if m.sign <= 0 then invalid_arg "Bigint.mod_pow: modulus must be positive"
@@ -801,20 +828,29 @@ module Fixed_base = struct
 
   type fb_slot = { slot_fb : fb; mutable fb_stamp : int }
 
-  let cache : fb_slot option array = Array.make cache_slots None
-  let cache_tick = ref 0
+  (* Domain-local for the same reason as the context cache: tables are
+     immutable once built, but the LRU slots and stamps are not. *)
+  type fb_cache_state = {
+    fb_slots : fb_slot option array;
+    mutable fb_tick : int;
+  }
+
+  let cache_key : fb_cache_state Domain.DLS.key =
+    Domain.DLS.new_key (fun () ->
+        { fb_slots = Array.make cache_slots None; fb_tick = 0 })
 
   let cached ~base ~modulus ~bits =
-    incr cache_tick;
+    let st = Domain.DLS.get cache_key in
+    st.fb_tick <- st.fb_tick + 1;
     let found = ref None in
     for i = 0 to cache_slots - 1 do
-      match cache.(i) with
+      match st.fb_slots.(i) with
       | Some slot
         when !found = None
              && equal slot.slot_fb.fb_base base
              && equal (Ctx.modulus slot.slot_fb.fb_ctx) modulus
              && slot.slot_fb.covered_bits >= bits ->
-        slot.fb_stamp <- !cache_tick;
+        slot.fb_stamp <- st.fb_tick;
         found := Some slot.slot_fb
       | _ -> ()
     done;
@@ -824,14 +860,158 @@ module Fixed_base = struct
       let fb = create ~base ~modulus ~bits in
       let victim = ref 0 and victim_stamp = ref max_int in
       for i = 0 to cache_slots - 1 do
-        let stamp = match cache.(i) with None -> 0 | Some slot -> slot.fb_stamp in
+        let stamp = match st.fb_slots.(i) with None -> 0 | Some slot -> slot.fb_stamp in
         if stamp < !victim_stamp then begin
           victim := i;
           victim_stamp := stamp
         end
       done;
-      cache.(!victim) <- Some { slot_fb = fb; fb_stamp = !cache_tick };
+      st.fb_slots.(!victim) <- Some { slot_fb = fb; fb_stamp = st.fb_tick };
       fb
+end
+
+(* ------------------------------------------------------------------ *)
+(* Simultaneous multi-exponentiation (Shamir's trick).  b1^e1 * b2^e2
+   is computed with one joint 2-bit-window scan of both exponents over
+   a shared Montgomery context: the squaring chain is paid once instead
+   of twice, and each window column costs at most one multiplication by
+   a precomputed b1^i * b2^j table entry.  Against two independent
+   windowed exponentiations this saves ~40% of the modular
+   multiplications, which is exactly the shape of Paillier's g^m * r^n
+   encrypt-then-mask and ElGamal's m * y^r. *)
+
+module Multi_exp = struct
+  let window = 2
+
+  (* In-domain core: a^ea * b^eb for non-negative exponents. *)
+  let mont_pow2 (c : Ctx.ctx) (a : Ctx.mont) ea (b : Ctx.mont) eb =
+    if ea.sign < 0 || eb.sign < 0 then
+      invalid_arg "Bigint.Multi_exp: negative exponent";
+    let one_m = Ctx.mont_one c in
+    (* table.(i).(j) = a^i * b^j for i, j in 0..3. *)
+    let table = Array.make_matrix 4 4 one_m in
+    for j = 1 to 3 do
+      table.(0).(j) <- Ctx.mont_mul c table.(0).(j - 1) b
+    done;
+    for i = 1 to 3 do
+      table.(i).(0) <- Ctx.mont_mul c table.(i - 1).(0) a;
+      for j = 1 to 3 do
+        table.(i).(j) <- Ctx.mont_mul c table.(i).(j - 1) b
+      done
+    done;
+    let nbits = Stdlib.max (numbits ea) (numbits eb) in
+    if nbits = 0 then one_m
+    else begin
+      let cols = (nbits + window - 1) / window in
+      let digit e col =
+        let d = ref 0 in
+        for bit = window - 1 downto 0 do
+          let pos = (col * window) + bit in
+          d := (!d lsl 1) lor (if testbit e pos then 1 else 0)
+        done;
+        !d
+      in
+      let acc = ref one_m in
+      let started = ref false in
+      for col = cols - 1 downto 0 do
+        if !started then
+          for _ = 1 to window do
+            acc := Ctx.mont_mul c !acc !acc
+          done;
+        let da = digit ea col and db = digit eb col in
+        if da <> 0 || db <> 0 then begin
+          acc := if !started then Ctx.mont_mul c !acc table.(da).(db) else table.(da).(db);
+          started := true
+        end
+      done;
+      !acc
+    end
+
+  let pow2 c (b1, e1) (b2, e2) =
+    if is_one (Ctx.modulus c) then zero
+    else if e1.sign < 0 || e2.sign < 0 then
+      invalid_arg "Bigint.Multi_exp.pow2: negative exponent"
+    else if Ctx.uses_montgomery c then
+      Ctx.of_mont c
+        (mont_pow2 c (Ctx.to_mont c b1) e1 (Ctx.to_mont c b2) e2)
+    else
+      (* Even-modulus / ablation fallback: two plain exponentiations. *)
+      Ctx.mod_mul c (Ctx.mod_pow c b1 e1) (Ctx.mod_pow c b2 e2)
+
+  (* a * b^e with the conversions fused: one to_mont for [a] instead of
+     a full-width modular multiplication at the end. *)
+  let mul_pow c a b e =
+    if is_one (Ctx.modulus c) then zero
+    else if e.sign < 0 then Ctx.mod_mul c a (Ctx.mod_pow c b e)
+    else if Ctx.uses_montgomery c then begin
+      let b_m = Ctx.to_mont c b in
+      let p_m = Ctx.mont_pow c b_m e in
+      Ctx.of_mont c (Ctx.mont_mul c (Ctx.to_mont c a) p_m)
+    end
+    else Ctx.mod_mul c a (Ctx.mod_pow c b e)
+
+  (* a * base^e against a fixed-base table: the table multiplications
+     accumulate directly onto [a] in the Montgomery domain, so a full
+     exponentiation-then-multiply collapses into the window scan. *)
+  let mul_pow_fb (fb : Fixed_base.fb) a e =
+    let c = fb.Fixed_base.fb_ctx in
+    let m = Ctx.modulus c in
+    if is_one m then zero
+    else if
+      e.sign < 0
+      || numbits e > fb.Fixed_base.covered_bits
+      || not (Ctx.uses_montgomery c)
+    then Ctx.mod_mul c a (Fixed_base.pow fb e)
+    else begin
+      let w = Fixed_base.window in
+      let acc = ref (Ctx.to_mont c a) in
+      let nbits = numbits e in
+      let windows = (nbits + w - 1) / w in
+      for i = 0 to windows - 1 do
+        let digit = ref 0 in
+        for bit = w - 1 downto 0 do
+          let position = (i * w) + bit in
+          digit :=
+            (!digit lsl 1)
+            lor (if position < nbits && testbit e position then 1 else 0)
+        done;
+        if !digit <> 0 then
+          acc := Ctx.mont_mul c !acc fb.Fixed_base.table.(i).(!digit - 1)
+      done;
+      Ctx.of_mont c !acc
+    end
+
+  (* base^e1 * b2^e2 where [base] has a fixed-base table: b2^e2 runs the
+     shared squaring chain and the table entries for e1 (absolute powers,
+     independent of the chain) are folded in afterwards, all in-domain. *)
+  let pow2_fb (fb : Fixed_base.fb) e1 (b2, e2) =
+    let c = fb.Fixed_base.fb_ctx in
+    let m = Ctx.modulus c in
+    if is_one m then zero
+    else if
+      e1.sign < 0 || e2.sign < 0
+      || numbits e1 > fb.Fixed_base.covered_bits
+      || not (Ctx.uses_montgomery c)
+    then Ctx.mod_mul c (Fixed_base.pow fb e1) (Ctx.mod_pow c b2 e2)
+    else begin
+      let p2_m = Ctx.mont_pow c (Ctx.to_mont c b2) e2 in
+      let w = Fixed_base.window in
+      let acc = ref p2_m in
+      let nbits = numbits e1 in
+      let windows = (nbits + w - 1) / w in
+      for i = 0 to windows - 1 do
+        let digit = ref 0 in
+        for bit = w - 1 downto 0 do
+          let position = (i * w) + bit in
+          digit :=
+            (!digit lsl 1)
+            lor (if position < nbits && testbit e1 position then 1 else 0)
+        done;
+        if !digit <> 0 then
+          acc := Ctx.mont_mul c !acc fb.Fixed_base.table.(i).(!digit - 1)
+      done;
+      Ctx.of_mont c !acc
+    end
 end
 
 (* ------------------------------------------------------------------ *)

@@ -172,10 +172,19 @@ end
 
 val ctx_cache_stats : unit -> int * int
 (** (hits, misses) of the transparent context cache inside {!mod_pow}
-    since the last {!ctx_cache_reset}. *)
+    since the last {!ctx_cache_reset}.  The cache is domain-local: each
+    OCaml 5 domain sees (and resets) only its own slots and counters, so
+    concurrent domains never contend on the LRU bookkeeping. *)
 
 val ctx_cache_reset : unit -> unit
-(** Empties the transparent context cache and zeroes its counters. *)
+(** Empties the calling domain's transparent context cache and zeroes
+    its counters. *)
+
+val cached_ctx : t -> Ctx.ctx
+(** The context for [m] from the same domain-local transparent cache
+    that {!mod_pow} uses — for callers that want {!Ctx} or {!Multi_exp}
+    operations against a modulus without managing context lifetimes.
+    Requires [m > 0]. *)
 
 (** {1 Fixed-base exponentiation}
 
@@ -204,6 +213,45 @@ module Fixed_base : sig
 
   val base : fb -> t
   val modulus : fb -> t
+end
+
+(** {1 Simultaneous multi-exponentiation}
+
+    Shamir's trick: [b1^e1 * b2^e2 mod m] with one shared squaring chain
+    and a 16-entry [b1^i * b2^j] table, scanned in joint 2-bit windows.
+    Roughly [max(|e1|,|e2|)] squarings plus one multiplication per
+    non-zero window column, against ~2.5 multiplications per bit for two
+    independent exponentiations.  Paillier's [g^m * r^n] and ElGamal's
+    [m * y^r] are exactly this shape. *)
+
+module Multi_exp : sig
+  val pow2 : Ctx.ctx -> t * t -> t * t -> t
+  (** [pow2 c (b1, e1) (b2, e2) = b1^e1 * b2^e2 mod m].  Requires
+      non-negative exponents (raises [Invalid_argument] otherwise).
+      Even-modulus contexts and the [use_montgomery := false] ablation
+      fall back to two plain exponentiations — same result, no sharing. *)
+
+  val mont_pow2 : Ctx.ctx -> Ctx.mont -> t -> Ctx.mont -> t -> Ctx.mont
+  (** In-domain core of {!pow2}: [mont_pow2 c a ea b eb = a^ea * b^eb]
+      with all values in the context's Montgomery representation, for
+      callers that chain further in-domain operations. *)
+
+  val mul_pow : Ctx.ctx -> t -> t -> t -> t
+  (** [mul_pow c a b e = a * b^e mod m] with the domain conversions
+      fused (one conversion of [a] instead of a full-width final
+      modular multiplication).  Negative [e] takes the general
+      inverse-based route of {!Ctx.mod_pow}. *)
+
+  val mul_pow_fb : Fixed_base.fb -> t -> t -> t
+  (** [mul_pow_fb fb a e = a * base^e mod m] where [base]/[m] come from
+      the fixed-base table: the window multiplications accumulate
+      directly onto [a] in the Montgomery domain.  Exponents outside the
+      table's coverage fall back to [Fixed_base.pow] then multiply. *)
+
+  val pow2_fb : Fixed_base.fb -> t -> t * t -> t
+  (** [pow2_fb fb e1 (b2, e2) = base^e1 * b2^e2 mod m]: the variable
+      base runs the squaring chain, the fixed-base windows for [e1] are
+      folded in afterwards without leaving the Montgomery domain. *)
 end
 
 (** {1 Byte serialization} *)
@@ -252,7 +300,9 @@ end
 
 val karatsuba_threshold : int ref
 (** Limb count above which multiplication switches to Karatsuba.  Exposed
-    for the ablation benchmark; default 32. *)
+    for the ablation benchmark; default 40, the measured schoolbook/
+    Karatsuba crossover from the A4 calibration sweep (recorded in the
+    "karatsuba" section of BENCH_modexp.json). *)
 
 val use_montgomery : bool ref
 (** Whether {!mod_pow} may take the Montgomery (CIOS) fast path for odd

@@ -21,14 +21,17 @@ let decode_tuple_set blob =
    shuffled message set M_i. *)
 let build_messages prng group pk request which =
   let key = Commutative.keygen prng group in
-  let messages =
-    List.map
-      (fun (a, tuples) ->
+  (* Per-group hash + f_e + hybrid encryption on independent split
+     streams: the Batch executor fans the loop across domains with
+     bit-identical messages at any domain count.  The shuffle below
+     draws from the parent stream, after the splits, as before. *)
+  let shuffled =
+    Batch.map_seeded ~prng ~label:"comm-msg"
+      (fun _ prng (a, tuples) ->
         let hashed = Random_oracle.hash group (Join_key.encode a) in
         (Commutative.apply key hashed, Hybrid.encrypt prng pk (encode_tuple_set tuples)))
-      (Request.groups request which)
+      (Array.of_list (Request.groups request which))
   in
-  let shuffled = Array.of_list messages in
   Prng.shuffle prng shuffled;
   (key, Array.to_list shuffled)
 

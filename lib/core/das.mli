@@ -69,8 +69,11 @@ type encrypted_relation = {
 }
 
 val encrypt_relation :
-  Prng.t -> Elgamal.public_key -> Das_partition.t list -> join_attrs:string list ->
-  Relation.t -> encrypted_relation
+  ?domains:int -> Prng.t -> Elgamal.public_key -> Das_partition.t list ->
+  join_attrs:string list -> Relation.t -> encrypted_relation
+(** Per-tuple hybrid encryption through the {!Batch} executor on
+    independent per-tuple PRNG streams: bit-identical rows at any
+    [domains] count (default {!Batch.default_domains}). *)
 
 val server_query_pairs :
   left_tables:Das_partition.t list ->

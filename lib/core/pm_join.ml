@@ -55,22 +55,23 @@ type side_output = {
 
 (* Steps 5/6 of Listing 4: for each own value a, homomorphically evaluate
    the opposite polynomial at a, mask with fresh randomness and add the
-   packed (a ‖ payload). *)
-let evaluate_side ~variant ~prng ~pk ~opp_coeffs ~request ~which ~next_id =
-  let id_entries = ref [] in
-  let e_values =
-    List.map
-      (fun (a, tuples) ->
-        let payload =
+   packed (a ‖ payload).  Each group entry runs on its own PRNG stream
+   (split from the side's seed) through the Batch executor: the Horner
+   evaluation plus mask-and-add per entry is the source's dominant cost
+   and is independent across entries.  IDs are assigned by position —
+   entry i of this side gets [first_id + i] — which reproduces the
+   sequential numbering for any domain count. *)
+let evaluate_side ~variant ~prng ~pk ~opp_coeffs ~request ~which ~first_id =
+  let items =
+    Batch.map_seeded ~prng ~label:"pm-eval"
+      (fun i prng (a, tuples) ->
+        let payload, id_entry =
           match variant with
-          | Direct_payload -> encode_tuple_set tuples
+          | Direct_payload -> (encode_tuple_set tuples, None)
           | Session_keys ->
             let key = Hybrid.random_session_key prng in
-            let id = !next_id in
-            next_id := id + 1;
-            id_entries :=
-              (id, Hybrid.dem_encrypt prng ~key (encode_tuple_set tuples)) :: !id_entries;
-            key ^ be64 id
+            let id = first_id + i in
+            (key ^ be64 id, Some (id, Hybrid.dem_encrypt prng ~key (encode_tuple_set tuples)))
         in
         let packed = root_bytes a ^ payload in
         let message =
@@ -84,10 +85,11 @@ let evaluate_side ~variant ~prng ~pk ~opp_coeffs ~request ~which ~next_id =
                  (Paillier.max_plaintext_bytes pk))
         in
         let evaluated = Pm_poly.eval_encrypted pk opp_coeffs (root_of_key a) in
-        Pm_poly.mask_and_add prng pk evaluated ~payload:message)
-      (Request.groups request which)
+        (Pm_poly.mask_and_add prng pk evaluated ~payload:message, id_entry))
+      (Array.of_list (Request.groups request which))
   in
-  let id_table = List.rev !id_entries in
+  let e_values = Array.to_list (Array.map fst items) in
+  let id_table = List.filter_map snd (Array.to_list items) in
   let id_table_bytes =
     List.fold_left (fun acc (_, blob) -> acc + 8 + String.length blob) 0 id_table
   in
@@ -101,9 +103,12 @@ type decrypted_entry = {
 
 let decrypt_entries sk e_values =
   let pk = Paillier.public sk in
+  (* Step 8's n+m CRT decryptions fan out across domains; decryption is
+     deterministic, so plain parallel_map keeps the list order. *)
+  let plains = Batch.map_list (Paillier.decrypt sk) e_values in
   List.filter_map
-    (fun c ->
-      match Paillier.decode_bytes pk (Paillier.decrypt sk c) with
+    (fun plain ->
+      match Paillier.decode_bytes pk plain with
       | Some packed when String.length packed >= 16 ->
         Some
           {
@@ -111,7 +116,7 @@ let decrypt_entries sk e_values =
             entry_payload = String.sub packed 16 (String.length packed - 16);
           }
       | Some _ | None -> None)
-    e_values
+    plains
 
 let recover_tuples ~variant ~id_lookup entry =
   match variant with
@@ -231,13 +236,15 @@ let run ?fault ?endpoint ?(variant = Session_keys) env client ~query =
 
         (* Steps 5/6: each source evaluates the opposite polynomial at its
            own values and returns the masked e-values. *)
-        let next_id = ref 0 in
+        let next_first_id = ref 0 in
         let eval_side which prng sid opp_coeffs =
           Outcome.Builder.timed b ~party:(Transcript.party_name (Source sid)) "source-evaluate" (fun () ->
               validate_ciphertexts ~phase:"source-evaluate" ~party:(Source sid)
                 "opposite polynomial" opp_coeffs;
+              let first_id = !next_first_id in
+              next_first_id := first_id + List.length (Request.groups request which);
               let output =
-                evaluate_side ~variant ~prng ~pk ~opp_coeffs ~request ~which ~next_id
+                evaluate_side ~variant ~prng ~pk ~opp_coeffs ~request ~which ~first_id
               in
               (* A byzantine source damages the DEM blobs of its ID table
                  (session-key variant); the client's authenticated DEM

@@ -30,7 +30,14 @@ let eval p x =
     (fun c acc -> Bigint.emod (Bigint.add (Bigint.mul acc x) c) p.modulus)
     p.coeffs Bigint.zero
 
-let encrypt prng pk p = List.map (Paillier.encrypt prng pk) (coefficients p)
+let encrypt ?(label = "pm-coeff") prng pk p =
+  (* One independent randomness stream per coefficient (split from the
+     parent seed, position-free), so the encryptions parallelize with
+     bit-identical output at any domain count.  Callers encrypting more
+     than one polynomial must use distinct parent PRNGs or labels. *)
+  Batch.map_seeded_list ~prng ~label
+    (fun _ prng c -> Paillier.encrypt prng pk c)
+    (coefficients p)
 
 let eval_encrypted pk encrypted_coeffs x =
   match List.rev encrypted_coeffs with
@@ -74,18 +81,31 @@ let eval_encrypted_naive prng pk encrypted_coeffs x =
 
 let mask_and_add prng pk evaluated ~payload =
   Counters.bump Counters.Random_number;
-  let r =
-    Bigint.succ (Bigint.random_below (Prng.byte_source prng) (Bigint.pred pk.Paillier.n))
-  in
-  let payload_ct = Paillier.encrypt prng pk payload in
+  let n = pk.Paillier.n in
+  let r = Bigint.succ (Bigint.random_below (Prng.byte_source prng) (Bigint.pred n)) in
   let ctx = pk.Paillier.n2_ctx in
   if Bigint.Ctx.uses_montgomery ctx then begin
-    (* E(eval)^r * E(payload) in one in-domain pass. *)
+    (* E(eval)^r * E(payload; s) = eval^r * s^n * (1 + payload*n): the
+       two variable-base exponentiations (same n^2 modulus, same-width
+       exponents) share one squaring chain via Shamir's trick, and the
+       binomial factor folds in with a single in-domain multiplication.
+       The counter bumps mirror the operations the generic route
+       performs, keeping Table 2 reproductions identical. *)
+    Counters.bump Counters.Homomorphic_encrypt;
+    let s = Paillier.random_unit prng pk in
     Counters.bump Counters.Homomorphic_scalar;
     Counters.bump Counters.Homomorphic_add;
+    if Bigint.sign payload < 0 || Bigint.compare payload n >= 0 then
+      invalid_arg "Pm_poly.mask_and_add: payload out of range";
+    let g_m = Bigint.emod (Bigint.succ (Bigint.mul payload n)) pk.Paillier.n_squared in
     let eval_m = Bigint.Ctx.to_mont ctx (Paillier.ciphertext_to_bigint evaluated) in
-    let payload_m = Bigint.Ctx.to_mont ctx (Paillier.ciphertext_to_bigint payload_ct) in
-    let masked = Bigint.Ctx.mont_mul ctx (Bigint.Ctx.mont_pow ctx eval_m r) payload_m in
+    let pair_m = Bigint.Multi_exp.mont_pow2 ctx eval_m r (Bigint.Ctx.to_mont ctx s) n in
+    let masked = Bigint.Ctx.mont_mul ctx pair_m (Bigint.Ctx.to_mont ctx g_m) in
     Paillier.ciphertext_of_bigint pk (Bigint.Ctx.of_mont ctx masked)
   end
-  else Paillier.add pk (Paillier.scalar_mul pk r evaluated) payload_ct
+  else
+    (* Non-Montgomery route: same draws in the same order (r, then the
+       blinding unit inside [encrypt]), so both routes consume the PRNG
+       identically. *)
+    Paillier.add pk (Paillier.scalar_mul pk r evaluated)
+      (Paillier.encrypt prng pk payload)

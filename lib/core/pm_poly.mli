@@ -23,8 +23,14 @@ val degree : t -> int
 val eval : t -> Bigint.t -> Bigint.t
 (** Horner evaluation mod n (plaintext reference). *)
 
-val encrypt : Prng.t -> Paillier.public_key -> t -> Paillier.ciphertext list
-(** E(c_0)..E(c_d): what the source transmits. *)
+val encrypt :
+  ?label:string -> Prng.t -> Paillier.public_key -> t -> Paillier.ciphertext list
+(** E(c_0)..E(c_d): what the source transmits.  Coefficient encryptions
+    run through the {!Batch} executor on independent per-coefficient
+    PRNG streams split from the parent seed under [label] (default
+    ["pm-coeff"]) — bit-identical at any domain count; callers
+    encrypting several polynomials must vary the parent PRNG or
+    [label]. *)
 
 val eval_encrypted :
   Paillier.public_key -> Paillier.ciphertext list -> Bigint.t -> Paillier.ciphertext

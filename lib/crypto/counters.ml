@@ -44,24 +44,33 @@ let index = function
 
 let width = List.length all
 
-let table = Array.make width 0
-
 (* Scoped attribution: a stack of open frames (innermost first), each a
    private count array, plus a table folding closed frames by
    (party, phase).  Every bump lands in exactly one place — the
    innermost open frame, or the [unattributed] key when none is open —
-   so per-scope counts always sum to the global table. *)
+   so per-scope counts always sum to the global table.
+
+   All state is domain-local: a worker domain starts from zero, bumps
+   its own table, and its totals are folded back into the spawning
+   domain's open frame via {!merge} (the Batch executor does this at
+   join time), preserving the sums-equal-snapshot invariant without any
+   synchronisation on the hot bump path. *)
 let unattributed = ("unattributed", "")
 
 type attr_state = {
+  table : int array;
   mutable frames : int array list;
   order : (string * string) list ref;
   totals : (string * string, int array) Hashtbl.t;
 }
 
-let attr = { frames = []; order = ref []; totals = Hashtbl.create 8 }
+let state_key : attr_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { table = Array.make width 0; frames = []; order = ref []; totals = Hashtbl.create 8 })
 
-let totals_for key =
+let state () = Domain.DLS.get state_key
+
+let totals_for attr key =
   match Hashtbl.find_opt attr.totals key with
   | Some a -> a
   | None ->
@@ -71,16 +80,22 @@ let totals_for key =
     a
 
 let bump_by p n =
-  table.(index p) <- table.(index p) + n;
+  let attr = state () in
+  attr.table.(index p) <- attr.table.(index p) + n;
   (match attr.frames with
    | frame :: _ -> frame.(index p) <- frame.(index p) + n
-   | [] -> (totals_for unattributed).(index p) <- (totals_for unattributed).(index p) + n)
+   | [] ->
+     (totals_for attr unattributed).(index p) <-
+       (totals_for attr unattributed).(index p) + n)
 
 let bump p = bump_by p 1
+
+let merge counts = List.iter (fun (p, n) -> if n <> 0 then bump_by p n) counts
 
 let counts_of array = List.map (fun p -> (p, array.(index p))) all
 
 let scoped ~party ~phase f =
+  let attr = state () in
   let frame = Array.make width 0 in
   attr.frames <- frame :: attr.frames;
   let close () =
@@ -90,7 +105,7 @@ let scoped ~party ~phase f =
       | x :: rest -> if x == frame then rest else pop rest
     in
     attr.frames <- pop attr.frames;
-    let sum = totals_for (party, phase) in
+    let sum = totals_for attr (party, phase) in
     Array.iteri (fun i n -> sum.(i) <- sum.(i) + n) frame;
     List.iter
       (fun p ->
@@ -107,6 +122,7 @@ let scoped ~party ~phase f =
     raise e
 
 let attribution () =
+  let attr = state () in
   List.filter_map
     (fun key ->
       match Hashtbl.find_opt attr.totals key with
@@ -115,28 +131,31 @@ let attribution () =
     !(attr.order)
 
 let reset_attribution () =
+  let attr = state () in
   attr.frames <- [];
   attr.order := [];
   Hashtbl.reset attr.totals
 
 let reset () =
-  Array.fill table 0 (Array.length table) 0;
+  let attr = state () in
+  Array.fill attr.table 0 width 0;
   reset_attribution ()
 
-let count p = table.(index p)
+let count p = (state ()).table.(index p)
 
-let snapshot () = counts_of table
+let snapshot () = counts_of (state ()).table
 
 let used () = List.filter (fun p -> count p > 0) all
 
 let with_fresh f =
-  let saved = Array.copy table in
+  let attr = state () in
+  let saved = Array.copy attr.table in
   let saved_frames = attr.frames in
   let saved_order = !(attr.order) in
   let saved_totals = Hashtbl.copy attr.totals in
   reset ();
   let restore () =
-    Array.blit saved 0 table 0 (Array.length table);
+    Array.blit saved 0 attr.table 0 width;
     attr.frames <- saved_frames;
     attr.order := saved_order;
     Hashtbl.reset attr.totals;

@@ -4,6 +4,13 @@
     paper ("applied cryptographic primitives") can be regenerated from
     actual executions rather than asserted. *)
 
+(** All counter state (global table, attribution scopes) is domain-local:
+    each OCaml 5 domain counts independently from zero.  A parallel
+    executor snapshots each worker domain's counts at join time and folds
+    them into the spawning domain with {!merge}, which lands them in the
+    caller's innermost open {!scoped} frame exactly as if the work had run
+    sequentially. *)
+
 type primitive =
   | Hash                  (** collision-free hash (SHA-256 in index tables) *)
   | Ideal_hash            (** random-oracle hash into the commutative domain *)
@@ -22,6 +29,13 @@ val name : primitive -> string
 
 val bump : primitive -> unit
 val bump_by : primitive -> int -> unit
+
+val merge : (primitive * int) list -> unit
+(** Folds a {!snapshot} taken in another domain into this domain's
+    counts, as a batch of {!bump_by}s — zero entries are skipped.  Used
+    by the Batch executor to re-attribute worker-domain counts to the
+    caller's open scope at join time. *)
+
 val reset : unit -> unit
 
 val count : primitive -> int

@@ -21,16 +21,29 @@ let encrypt prng pk m =
   let y_fb =
     Bigint.Fixed_base.cached ~base:pk.y ~modulus:group.p ~bits:(Group.exponent_bits group)
   in
-  let c2 = Bigint.emod (Bigint.mul m (Bigint.Fixed_base.pow y_fb r)) group.p in
+  (* m * y^r with the window multiplications accumulating directly onto
+     m in the Montgomery domain. *)
+  let c2 = Bigint.Multi_exp.mul_pow_fb y_fb (Bigint.emod m group.p) r in
   { c1; c2 }
 
 let decrypt sk { c1; c2 } =
   let group = sk.public.group in
-  (* m = c2 * c1^{-x} = c2 * c1^{q - x mod q} in the prime-order subgroup. *)
-  let shared = Bigint.mod_pow c1 sk.x group.p in
-  match Bigint.mod_inverse shared group.p with
-  | Some inv -> Bigint.emod (Bigint.mul c2 inv) group.p
-  | None -> invalid_arg "Elgamal.decrypt: degenerate ciphertext"
+  (* m = c2 * c1^{-x} = c2 * c1^{q - x} in the prime-order subgroup. *)
+  if Bigint.jacobi c1 group.p = 1 then
+    (* Honest c1 lands in QR_p = <g>, which has order q, so the inverse
+       of c1^x is c1^{q-x}: one fused multiply-exponentiate, no extended
+       Euclid.  The context comes from the same domain-local cache that
+       mod_pow uses, so the Montgomery setup for p is already paid. *)
+    Bigint.Multi_exp.mul_pow (Bigint.cached_ctx group.p) c2 c1
+      (Bigint.emod (Bigint.sub group.q sk.x) group.q)
+  else begin
+    (* Adversarial c1 outside the subgroup: fall back to the generic
+       inverse-based route, which is total on all units. *)
+    let shared = Bigint.mod_pow c1 sk.x group.p in
+    match Bigint.mod_inverse shared group.p with
+    | Some inv -> Bigint.emod (Bigint.mul c2 inv) group.p
+    | None -> invalid_arg "Elgamal.decrypt: degenerate ciphertext"
+  end
 
 let secret_of_element group m =
   Sha256.digest ("secmed-kem" ^ Bigint.to_bytes_be group.Group.p ^ Bigint.to_bytes_be m)

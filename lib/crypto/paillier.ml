@@ -7,10 +7,29 @@ type public_key = {
   n2_ctx : Bigint.Ctx.ctx; (* reusable Montgomery context for n^2 *)
 }
 
+(* CRT decryption state: with the factorization n = p*q, c^lambda mod n^2
+   splits into two half-size exponentiations mod p^2 and q^2 (exponents
+   p-1 and q-1 instead of lambda), recombined by the CRT.  Half-width
+   moduli quarter the multiplication cost and half-width exponents halve
+   the chain length, so the two half computations together run ~4x
+   faster than the full-width one. *)
+type crt = {
+  crt_p : Bigint.t;
+  crt_q : Bigint.t;
+  p2_ctx : Bigint.Ctx.ctx; (* Montgomery context for p^2 *)
+  q2_ctx : Bigint.Ctx.ctx; (* Montgomery context for q^2 *)
+  p_minus_1 : Bigint.t;
+  q_minus_1 : Bigint.t;
+  hp : Bigint.t; (* (L_p(g^{p-1} mod p^2))^{-1} mod p *)
+  hq : Bigint.t; (* (L_q(g^{q-1} mod q^2))^{-1} mod q *)
+  q_inv_p : Bigint.t; (* q^{-1} mod p *)
+}
+
 type private_key = {
   pk : public_key;
   lambda : Bigint.t; (* lcm(p-1, q-1) *)
   mu : Bigint.t; (* (L(g^lambda mod n^2))^{-1} mod n *)
+  crt : crt option; (* present when keygen retained the factorization *)
 }
 
 let public_of_n n =
@@ -18,6 +37,32 @@ let public_of_n n =
   { n; n_squared; bits = Bigint.numbits n; n2_ctx = Bigint.Ctx.create n_squared }
 
 let l_function n u = Bigint.div (Bigint.pred u) n
+
+(* CRT precomputation for one prime factor: hp = (L_p(g^{p-1} mod p^2))^{-1}
+   mod p with g = n+1.  By the binomial theorem g^{p-1} = 1 + (p-1)*n
+   (mod p^2) since n^2 = 0 (mod p^2), so no exponentiation is needed. *)
+let crt_half n p =
+  let p2 = Bigint.mul p p in
+  let u = Bigint.emod (Bigint.succ (Bigint.mul (Bigint.pred p) n)) p2 in
+  let lp = Bigint.div (Bigint.pred u) p in
+  Bigint.mod_inverse lp p
+
+let crt_of_factors n p q =
+  match crt_half n p, crt_half n q, Bigint.mod_inverse q p with
+  | Some hp, Some hq, Some q_inv_p ->
+    Some
+      {
+        crt_p = p;
+        crt_q = q;
+        p2_ctx = Bigint.Ctx.create (Bigint.mul p p);
+        q2_ctx = Bigint.Ctx.create (Bigint.mul q q);
+        p_minus_1 = Bigint.pred p;
+        q_minus_1 = Bigint.pred q;
+        hp;
+        hq;
+        q_inv_p;
+      }
+  | _ -> None
 
 let keygen prng ~bits =
   if bits < 16 then invalid_arg "Paillier.keygen: modulus too small";
@@ -35,9 +80,9 @@ let keygen prng ~bits =
       let g_lambda =
         Bigint.emod (Bigint.succ (Bigint.mul lambda n)) pk.n_squared
       in
-      match Bigint.mod_inverse (l_function n g_lambda) n with
-      | Some mu -> { pk; lambda; mu }
-      | None -> go ()
+      match Bigint.mod_inverse (l_function n g_lambda) n, crt_of_factors n p q with
+      | Some mu, (Some _ as crt) -> { pk; lambda; mu; crt }
+      | _ -> go ()
     end
   in
   go ()
@@ -61,13 +106,31 @@ let encrypt prng pk m =
     invalid_arg "Paillier.encrypt: plaintext out of range";
   let r = random_unit prng pk in
   let g_m = Bigint.emod (Bigint.succ (Bigint.mul m pk.n)) pk.n_squared in
-  Bigint.Ctx.mod_mul pk.n2_ctx g_m (Bigint.Ctx.mod_pow pk.n2_ctx r pk.n)
+  Bigint.Multi_exp.mul_pow pk.n2_ctx g_m r pk.n
 
-let decrypt sk c =
+let decrypt_plain sk c =
   Counters.bump Counters.Homomorphic_decrypt;
   let pk = sk.pk in
   let u = Bigint.Ctx.mod_pow pk.n2_ctx c sk.lambda in
   Bigint.emod (Bigint.mul (l_function pk.n u) sk.mu) pk.n
+
+let decrypt_crt crt c =
+  Counters.bump Counters.Homomorphic_decrypt;
+  let half ctx prime exp h =
+    (* mod_pow reduces c mod p^2 itself; L_p then maps 1 + m'*p to m'. *)
+    let u = Bigint.Ctx.mod_pow ctx c exp in
+    Bigint.emod (Bigint.mul (Bigint.div (Bigint.pred u) prime) h) prime
+  in
+  let mp = half crt.p2_ctx crt.crt_p crt.p_minus_1 crt.hp in
+  let mq = half crt.q2_ctx crt.crt_q crt.q_minus_1 crt.hq in
+  (* Garner recombination: m = mq + q * ((mp - mq) * q^{-1} mod p). *)
+  let diff = Bigint.emod (Bigint.mul (Bigint.sub mp mq) crt.q_inv_p) crt.crt_p in
+  Bigint.add mq (Bigint.mul crt.crt_q diff)
+
+let decrypt sk c =
+  match sk.crt with
+  | Some crt -> decrypt_crt crt c
+  | None -> decrypt_plain sk c
 
 let add pk a b =
   Counters.bump Counters.Homomorphic_add;
@@ -79,7 +142,7 @@ let scalar_mul pk k c =
 
 let rerandomize prng pk c =
   let r = random_unit prng pk in
-  Bigint.Ctx.mod_mul pk.n2_ctx c (Bigint.Ctx.mod_pow pk.n2_ctx r pk.n)
+  Bigint.Multi_exp.mul_pow pk.n2_ctx c r pk.n
 
 let ciphertext_to_bigint c = c
 

@@ -27,10 +27,29 @@ val public_of_n : Bigint.t -> public_key
 
 type ciphertext = private Bigint.t
 
+val random_unit : Prng.t -> public_key -> Bigint.t
+(** A uniform unit of Z_n^* in [\[1, n)] — the blinding factor shape used
+    by {!encrypt}; exposed so callers fusing encryption into a larger
+    multi-exponentiation (see [Pm_poly.mask_and_add]) draw the identical
+    randomness. *)
+
 val encrypt : Prng.t -> public_key -> Bigint.t -> ciphertext
-(** Plaintext must lie in [\[0, n)]. *)
+(** Plaintext must lie in [\[0, n)].  Computes (1 + m·n) · r^n mod n^2
+    with the multiply fused into the exponentiation's Montgomery domain
+    ({!Bigint.Multi_exp.mul_pow}). *)
 
 val decrypt : private_key -> ciphertext -> Bigint.t
+(** CRT-accelerated when the key carries its factorization (always true
+    for {!keygen} keys): two half-width exponentiations mod p^2 and q^2
+    with exponents p-1 and q-1, recombined by Garner's formula — ~4x
+    faster than the full-width path.  Falls back to {!decrypt_plain}
+    otherwise.  Both paths return identical values on every ciphertext
+    in [\[0, n^2)] (differentially tested). *)
+
+val decrypt_plain : private_key -> ciphertext -> Bigint.t
+(** The textbook full-width path, L(c^lambda mod n^2)·mu mod n — kept as
+    the reference implementation for differential tests and the
+    decryption benchmark baseline. *)
 
 val add : public_key -> ciphertext -> ciphertext -> ciphertext
 (** E(a) ⊞ E(b) = E(a + b mod n). *)

@@ -254,6 +254,127 @@ let test_ctx_cache () =
   let again = Bigint.mod_pow base e m in
   Alcotest.(check bool) "post-eviction recompute agrees" true (Bigint.equal cold again)
 
+let test_multi_exp () =
+  let rng = Secmed_crypto.Prng.of_int_seed 4242 in
+  let rand bits = Bigint.random_bits (Secmed_crypto.Prng.byte_source rng) bits in
+  let reference c b1 e1 b2 e2 =
+    Bigint.Ctx.mod_mul c (Bigint.Ctx.mod_pow c b1 e1) (Bigint.Ctx.mod_pow c b2 e2)
+  in
+  let moduli =
+    [
+      b "0xc000000000000000000000000000000d" (* odd: Montgomery route *);
+      Bigint.succ (b "0xc000000000000000000000000000000d") (* even: fallback *);
+      i 2;
+      i 1 (* ring collapses to 0 *);
+    ]
+  in
+  List.iter
+    (fun m ->
+      let c = Bigint.Ctx.create m in
+      for _ = 1 to 25 do
+        let b1 = Bigint.emod (rand 130) m and b2 = Bigint.emod (rand 130) m in
+        let e1 = rand 130 and e2 = rand 130 in
+        check_big "pow2 matches two mod_pows"
+          (Bigint.to_string (reference c b1 e1 b2 e2))
+          (Bigint.Multi_exp.pow2 c (b1, e1) (b2, e2))
+      done;
+      (* Degenerate exponent shapes. *)
+      let b1 = Bigint.emod (rand 100) m and b2 = Bigint.emod (rand 100) m in
+      List.iter
+        (fun (e1, e2) ->
+          check_big "pow2 edge exponents"
+            (Bigint.to_string (reference c b1 e1 b2 e2))
+            (Bigint.Multi_exp.pow2 c (b1, e1) (b2, e2)))
+        [
+          (Bigint.zero, Bigint.zero);
+          (Bigint.zero, rand 90);
+          (rand 90, Bigint.zero);
+          (Bigint.one, rand 4);
+          (rand 300, rand 5) (* very unbalanced widths *);
+          (rand 5, rand 300);
+        ])
+    moduli;
+  (* mul_pow against multiply-then-pow. *)
+  let m = b "0xffffffff00000001" in
+  let c = Bigint.Ctx.create m in
+  for _ = 1 to 25 do
+    let a = Bigint.emod (rand 64) m and base = Bigint.emod (rand 64) m in
+    let e = rand 64 in
+    check_big "mul_pow"
+      (Bigint.to_string (Bigint.Ctx.mod_mul c a (Bigint.Ctx.mod_pow c base e)))
+      (Bigint.Multi_exp.mul_pow c a base e)
+  done;
+  (* Fixed-base composition: in-table, out-of-table, and knob-off paths. *)
+  let g = i 7 in
+  let fb = Bigint.Fixed_base.create ~base:g ~modulus:m ~bits:64 in
+  let check_fb e1 b2 e2 =
+    check_big "pow2_fb"
+      (Bigint.to_string
+         (Bigint.Ctx.mod_mul c (Bigint.mod_pow g e1 m) (Bigint.Ctx.mod_pow c b2 e2)))
+      (Bigint.Multi_exp.pow2_fb fb e1 (b2, e2));
+    check_big "mul_pow_fb"
+      (Bigint.to_string (Bigint.Ctx.mod_mul c b2 (Bigint.mod_pow g e1 m)))
+      (Bigint.Multi_exp.mul_pow_fb fb b2 e1)
+  in
+  for _ = 1 to 25 do
+    check_fb (rand 64) (Bigint.emod (rand 64) m) (rand 64)
+  done;
+  check_fb (rand 100) (Bigint.emod (rand 64) m) (rand 64);
+  check_fb Bigint.zero (Bigint.emod (rand 64) m) Bigint.zero;
+  Bigint.use_montgomery := false;
+  check_fb (rand 64) (Bigint.emod (rand 64) m) (rand 64);
+  let b1 = Bigint.emod (rand 64) m and e1 = rand 64 in
+  let b2 = Bigint.emod (rand 64) m and e2 = rand 64 in
+  check_big "pow2 with knob off"
+    (Bigint.to_string
+       (Bigint.emod (Bigint.mul (Bigint.mod_pow b1 e1 m) (Bigint.mod_pow b2 e2 m)) m))
+    (Bigint.Multi_exp.pow2 c (b1, e1) (b2, e2));
+  Bigint.use_montgomery := true
+
+let test_cache_domain_stress () =
+  (* Domains hammer the transparent context cache with more distinct odd
+     moduli than slots, concurrently; every result must match the plain
+     reference, and the main domain's counters must be untouched. *)
+  Bigint.ctx_cache_reset ();
+  let base_m = b "0xc000000000000000000000000000000d" in
+  let e = b "0x87654321fedcba987654321" in
+  let worker d () =
+    let ok = ref true in
+    for round = 0 to 19 do
+      let mk = Bigint.add base_m (i (2 * (((d * 20) + round) mod 12))) in
+      let base = Bigint.add (i (d + 2)) (i round) in
+      let got = Bigint.mod_pow base e mk in
+      let want = Bigint.mod_pow_plain (Bigint.emod base mk) e mk in
+      if not (Bigint.equal got want) then ok := false
+    done;
+    let hits, misses = Bigint.ctx_cache_stats () in
+    (!ok, hits + misses)
+  in
+  let hits0, misses0 = Bigint.ctx_cache_stats () in
+  let doms = Array.init 4 (fun d -> Domain.spawn (worker d)) in
+  let results = Array.map Domain.join doms in
+  Array.iter
+    (fun (ok, touched) ->
+      Alcotest.(check bool) "worker results correct" true ok;
+      Alcotest.(check bool) "worker used its own cache" true (touched > 0))
+    results;
+  let hits1, misses1 = Bigint.ctx_cache_stats () in
+  Alcotest.(check (pair int int)) "main-domain stats isolated" (hits0, misses0)
+    (hits1, misses1);
+  (* Fixed-base table cache: same base/modulus from several domains at
+     once, each domain building (then reusing) its own table. *)
+  let m = b "0xffffffff00000001" in
+  let fb_worker d () =
+    let fb = Bigint.Fixed_base.cached ~base:(i 7) ~modulus:m ~bits:64 in
+    let fb' = Bigint.Fixed_base.cached ~base:(i 7) ~modulus:m ~bits:64 in
+    let e = Bigint.add (b "0x123456789abcdef") (i d) in
+    fb == fb' && Bigint.equal (Bigint.Fixed_base.pow fb e) (Bigint.mod_pow_plain (i 7) e m)
+  in
+  let doms = Array.init 4 (fun d -> Domain.spawn (fb_worker d)) in
+  Array.iter
+    (fun d -> Alcotest.(check bool) "fixed-base cache per domain" true (Domain.join d))
+    doms
+
 let test_infix () =
   let open Bigint.Infix in
   Alcotest.(check bool) "arith" true (i 2 + i 3 * i 4 = i 14);
@@ -543,6 +664,9 @@ let () =
           Alcotest.test_case "explicit context edges" `Quick test_ctx_edges;
           Alcotest.test_case "fixed-base edges" `Quick test_fixed_base_edges;
           Alcotest.test_case "context cache" `Quick test_ctx_cache;
+          Alcotest.test_case "simultaneous multi-exponentiation" `Quick test_multi_exp;
+          Alcotest.test_case "domain-local caches under stress" `Quick
+            test_cache_domain_stress;
           Alcotest.test_case "infix operators" `Quick test_infix;
         ] );
       ("properties", props);
