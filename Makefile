@@ -1,6 +1,6 @@
 # Convenience entry points; everything below is plain dune.
 
-.PHONY: all check test check-fault check-obs check-resilience check-net check-crypto-perf bench bench-json clean
+.PHONY: all check test check-fault check-obs check-resilience check-net check-serve check-crypto-perf bench bench-json clean
 
 all:
 	dune build
@@ -45,6 +45,15 @@ check-net:
 	dune exec test/test_net.exe -- test -e
 	dune exec bench/main.exe -- json-net
 	dune exec bin/secmed.exe -- check-bench BENCH_net.json
+
+# Sustained-load serving suite: the deterministic loadgen fleet against
+# a forked loopback cluster (64 verified sessions, typed backpressure,
+# domain-parallel mux consumers), then a smoke concurrency sweep of the
+# BENCH_serve.json emitter with schema validation.
+check-serve:
+	dune exec test/test_serve.exe -- test -e
+	dune exec bench/main.exe -- json-serve --smoke
+	dune exec bin/secmed.exe -- check-bench BENCH_serve.json
 
 # Crypto hot-path suite: the bigint/crypto differential tests (CRT vs
 # plain decryption, Multi_exp vs separate mod_pows, domain-local cache

@@ -23,6 +23,10 @@ let rounds_arg =
   in
   Arg.(value & opt int 7 & info [ "rounds" ] ~docv:"N" ~doc)
 
+let smoke_arg =
+  let doc = "Shrink the concurrency sweep to 1/2/4/8 for a CI smoke run." in
+  Arg.(value & flag & info [ "smoke" ] ~doc)
+
 let experiments : (string * string * (unit -> unit) Term.t) list =
   [
     ("table1", "Table 1: extra information disclosed to client and mediator",
@@ -86,6 +90,10 @@ let experiments : (string * string * (unit -> unit) Term.t) list =
      "Write BENCH_net.json: in-process vs loopback-TCP cost per scheme, with socket-level \
       byte accounting",
      Term.(const (fun () () -> Net_json.write ()) $ const ()));
+    ("json-serve",
+     "Write BENCH_serve.json: loadgen throughput and latency percentiles per scheme at \
+      increasing session concurrency, clean vs chaos",
+     Term.(const (fun smoke () -> Serve_json.write ~smoke ()) $ smoke_arg));
   ]
 
 let run_all () =

@@ -1,0 +1,158 @@
+(* BENCH_serve.json: sustained-load serving under concurrency — a
+   deterministic {!Secmed_net.Loadgen} fleet against a forked loopback
+   cluster at 1/8/64/256 concurrent sessions (--smoke: 1/2/4/8), each
+   level measured clean and under chaos (a times-bounded corrupt proxy
+   on source 1's link plus a retry budget).  Each entry records
+   throughput, outcome counts (the typed [Refused] column is the
+   mediator's admission backpressure), and latency percentiles overall
+   and per scheme.  The schema is validated by `secmed check-bench`
+   (and by make check-serve in CI). *)
+
+open Secmed_mediation
+open Secmed_core
+open Secmed_net
+module Json = Secmed_obs.Json
+module Metrics = Secmed_obs.Metrics
+
+let small_spec =
+  {
+    Workload.default with
+    rows_left = 12;
+    rows_right = 12;
+    distinct_left = 6;
+    distinct_right = 6;
+    overlap = 3;
+    extra_attrs = 1;
+    seed = 2007;
+  }
+
+(* Bounded chaos: two corrupted frames, each of which severs one pooled
+   mediator->source connection and so faults *every* session bound to
+   that slot at once.  The retry budget in the query's fault spec is
+   sized for that amplification — a session can be hit by both events
+   plus a redial race and still recover. *)
+let chaos_plan () =
+  match Fault.of_spec "corrupt:mediator->source1:times=2" with
+  | Ok plan -> plan
+  | Error e -> failwith ("serve_json: bad chaos spec: " ^ e)
+
+let chaos_fault_spec = "retries=4"
+
+(* The sweep's chaos rows measure sever → retry → redial recovery, so
+   the source breakers must stay closed: one corrupted frame severs a
+   pooled mediator->source connection and fails every session bound to
+   that slot at once, instantly tripping a rate breaker — and a
+   short-circuit is terminal for the whole query (by design: an open
+   breaker refuses up front), so any session whose ~50ms first backoff
+   lands inside the cooldown is stranded with budget to spare.  A
+   threshold above 1.0 can never be reached, which disables tripping
+   without touching the rest of the policy; the breaker's trip and
+   half-open behavior is pinned by its own tests. *)
+let bench_policy =
+  {
+    Resilience.default_policy with
+    breaker_config = { Resilience.default_breaker with failure_threshold = 2.0 };
+  }
+
+let ms h q = Metrics.quantile h q *. 1000.
+
+let scheme_entry elapsed (scheme, h) =
+  let sessions = Metrics.histogram_count h in
+  Json.Obj
+    [
+      ("scheme", Json.Str scheme);
+      ("sessions", Json.Int sessions);
+      ("qps", Json.Float (if elapsed <= 0. then 0. else float_of_int sessions /. elapsed));
+      ("p50_ms", Json.Float (ms h 0.5));
+      ("p95_ms", Json.Float (ms h 0.95));
+      ("p99_ms", Json.Float (ms h 0.99));
+    ]
+
+let level_entry ~mode ~concurrency ~sessions_per_worker report =
+  let count k = Loadgen.count k report in
+  Json.Obj
+    [
+      ("mode", Json.Str mode);
+      ("concurrency", Json.Int concurrency);
+      ("sessions_per_worker", Json.Int sessions_per_worker);
+      ("sessions", Json.Int (List.length report.Loadgen.records));
+      ("seconds", Json.Float report.Loadgen.elapsed);
+      ("qps", Json.Float (Loadgen.qps report));
+      ("served", Json.Int (count Loadgen.Served));
+      ("degraded", Json.Int (count Loadgen.Degraded));
+      ("unserved", Json.Int (count Loadgen.Unserved));
+      ("refused", Json.Int (count Loadgen.Refused));
+      ("failed", Json.Int (count Loadgen.Failed));
+      ("p50_ms", Json.Float (ms report.Loadgen.latency 0.5));
+      ("p95_ms", Json.Float (ms report.Loadgen.latency 0.95));
+      ("p99_ms", Json.Float (ms report.Loadgen.latency 0.99));
+      ( "schemes",
+        Json.List (List.map (scheme_entry report.Loadgen.elapsed) report.Loadgen.per_scheme)
+      );
+    ]
+
+let run_level ~mode ~concurrency ~sessions_per_worker =
+  let chaos, fault_spec =
+    match mode with
+    | "chaos" -> ([ (1, chaos_plan ()) ], chaos_fault_spec)
+    | _ -> ([], "")
+  in
+  (* A per-operation timeout scaled to the offered concurrency: at
+     64-256 concurrent drivers the runtime is saturated and frame
+     exchanges legitimately take tens of seconds — the sweep measures
+     queueing delay, and must not let the io_timeout misread saturation
+     as link faults (which retry, degrade, and amplify the very
+     overload being measured). *)
+  let io_timeout = Float.max 60. (0.75 *. float_of_int concurrency) in
+  Loopback.with_cluster ~params:Experiments.bench_params ~policy:bench_policy
+    ~spec:small_spec ~chaos ~max_sessions:concurrency ~workers:concurrency ~io_timeout
+  @@ fun c ->
+  let config =
+    {
+      Loadgen.default_config with
+      workers = concurrency;
+      sessions_per_worker;
+      (* Workers stay systhreads in the bench: the harness forks a fresh
+         cluster per level, and OCaml forbids Unix.fork once any domain
+         has been spawned. *)
+      domains = 1;
+      seed = Printf.sprintf "serve-%s-%d" mode concurrency;
+      fault_spec;
+      io_timeout;
+    }
+  in
+  let report = Loadgen.run config (Loopback.target c) in
+  Printf.printf "  %-5s c=%-3d %s%!" mode concurrency (Loadgen.render report);
+  level_entry ~mode ~concurrency ~sessions_per_worker report
+
+let write ?(smoke = false) ?(path = "BENCH_serve.json") () =
+  let levels = if smoke then [ 1; 2; 4; 8 ] else [ 1; 8; 64; 256 ] in
+  let sessions_per_worker = 2 in
+  Printf.printf "json-serve: loadgen sweep at concurrency %s\n%!"
+    (String.concat "/" (List.map string_of_int levels));
+  let entries =
+    List.concat_map
+      (fun concurrency ->
+        List.map
+          (fun mode -> run_level ~mode ~concurrency ~sessions_per_worker)
+          [ "clean"; "chaos" ])
+      levels
+  in
+  let json =
+    Json.Obj
+      [
+        ( "params",
+          Json.Obj
+            [
+              ("group_bits", Json.Int Experiments.bench_params.Env.group_bits);
+              ("paillier_bits", Json.Int Experiments.bench_params.Env.paillier_bits);
+              ("smoke", Json.Bool smoke);
+            ] );
+        ("serve", Json.List entries);
+      ]
+  in
+  let contents = Json.to_string_pretty json ^ "\n" in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "wrote %s (%d bytes)\n" path (String.length contents)

@@ -376,7 +376,20 @@ let serve_cmd =
          & info [ "max-sessions" ] ~docv:"N"
              ~doc:"Concurrent client sessions admitted before answering Busy.")
   in
-  let action bind port sources max_sessions io_timeout deadline breaker spec =
+  let source_conns =
+    Arg.(value & opt int 2
+         & info [ "source-conns" ] ~docv:"K"
+             ~doc:"Pooled connections per datasource daemon; sessions check one out \
+                   round-robin by session id.")
+  in
+  let workers =
+    Arg.(value & opt (some int) None
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Concurrent protocol drivers (default: --max-sessions); admitted \
+                   sessions beyond this queue FIFO.")
+  in
+  let action bind port sources max_sessions source_conns workers io_timeout deadline breaker
+      spec =
     let parse_source spec_str =
       match String.index_opt spec_str '=' with
       | None -> failwith (Printf.sprintf "--source expects ID=HOST:PORT, got %S" spec_str)
@@ -412,11 +425,11 @@ let serve_cmd =
       sources;
     Net.Server.serve
       (Net.Server.create ~env ~client ~scenario ~sources ~listen_fd ~policy ~max_sessions
-         ~io_timeout ())
+         ~io_timeout ~source_conns ?workers ())
   in
   let term =
-    Term.(const action $ bind_arg $ port $ source $ max_sessions $ io_timeout_arg
-          $ deadline_arg $ breaker_arg $ spec_term)
+    Term.(const action $ bind_arg $ port $ source $ max_sessions $ source_conns $ workers
+          $ io_timeout_arg $ deadline_arg $ breaker_arg $ spec_term)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -446,6 +459,128 @@ let source_cmd =
   let term = Term.(const action $ bind_arg $ id $ port $ io_timeout_arg $ spec_term) in
   Cmd.v
     (Cmd.info "source" ~doc:"Run one datasource as a daemon for a `secmed serve' mediator")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* secmed loadgen *)
+
+let mix_conv =
+  let parse s =
+    try
+      Ok
+        (List.map
+           (fun field ->
+             match String.split_on_char '=' (String.trim field) with
+             | [ scheme; w ] -> (
+               let scheme = String.trim scheme in
+               if Option.is_none (Protocol.scheme_of_name scheme) then
+                 failwith (Printf.sprintf "unknown scheme %S" scheme);
+               match int_of_string_opt (String.trim w) with
+               | Some w when w >= 0 -> (scheme, w)
+               | _ -> failwith (Printf.sprintf "bad weight in %S" field))
+             | _ -> failwith (Printf.sprintf "expected SCHEME=WEIGHT, got %S" field))
+           (String.split_on_char ',' s))
+    with Failure msg -> Error (`Msg ("--mix: " ^ msg))
+  in
+  let print fmt mix =
+    Format.pp_print_string fmt
+      (String.concat "," (List.map (fun (s, w) -> Printf.sprintf "%s=%d" s w) mix))
+  in
+  Arg.conv (parse, print)
+
+let loadgen_cmd =
+  let connect =
+    Arg.(required & opt (some string) None
+         & info [ "connect" ] ~docv:"HOST:PORT" ~doc:"Mediator address to drive load at.")
+  in
+  let workers =
+    Arg.(value & opt int 8
+         & info [ "workers" ] ~docv:"N" ~doc:"Concurrent client workers in the fleet.")
+  in
+  let sessions =
+    Arg.(value & opt int 4
+         & info [ "sessions" ] ~docv:"N" ~doc:"Sessions each worker poses.")
+  in
+  let domains =
+    Arg.(value & opt int 1
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"OCaml domains the workers are grouped onto (1 = plain threads; more \
+                   parallelizes client-side crypto).")
+  in
+  let mix =
+    Arg.(value
+         & opt mix_conv [ ("das", 1); ("commutative", 1); ("pm", 1) ]
+         & info [ "mix" ] ~docv:"SCHEME=W,..."
+             ~doc:"Weighted scheme mix each session draws from, e.g. \
+                   $(b,das=2,commutative=1,pm=1).")
+  in
+  let rate =
+    Arg.(value & opt (some float) None
+         & info [ "rate" ] ~docv:"QPS"
+             ~doc:"Open-loop (Poisson) aggregate arrival rate in sessions/sec.  Without \
+                   it the fleet runs closed-loop: each worker poses its next session \
+                   when the previous one finishes.")
+  in
+  let seed =
+    Arg.(value & opt string "loadgen"
+         & info [ "loadgen-seed" ] ~docv:"SEED"
+             ~doc:"Seed for the fleet's scheme draws and arrival times; the same seed \
+                   and config replay the identical workload.")
+  in
+  let verify =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"Check every served session bit-for-bit (result, transcript, \
+                   primitive counters) against the in-process reference execution of \
+                   its scheme.")
+  in
+  let action connect workers sessions domains mix rate seed verify fault deadline fallback
+      io_timeout spec =
+    let host, port = parse_host_port "--connect" connect in
+    Workload.validate spec;
+    let env, client, query = Workload.scenario spec in
+    let scenario = Net.Scenario.digest spec in
+    let config =
+      {
+        Net.Loadgen.workers;
+        sessions_per_worker = sessions;
+        domains;
+        mix;
+        arrival =
+          (match rate with
+          | None -> Net.Loadgen.Closed
+          | Some r when r > 0. -> Net.Loadgen.Poisson r
+          | Some _ -> failwith "--rate must be positive");
+        seed;
+        fault_spec = (match fault with None -> "" | Some (raw, _) -> raw);
+        deadline = Option.value deadline ~default:0.;
+        fallback = (match fallback with `None -> false | `Auto | `Chain _ -> true);
+        io_timeout;
+        verify;
+      }
+    in
+    let target = { Net.Loadgen.host; port; scenario; env; client; query } in
+    let report =
+      try Net.Loadgen.run config target
+      with Net.Io.Transport_error msg ->
+        Printf.eprintf "transport error: %s\n" msg;
+        exit exit_fault
+    in
+    print_string (Net.Loadgen.render report);
+    if report.Net.Loadgen.verify_failures <> [] then exit exit_fault;
+    if Net.Loadgen.count Net.Loadgen.Served report
+       + Net.Loadgen.count Net.Loadgen.Degraded report
+       = 0
+    then exit exit_fault
+  in
+  let term =
+    Term.(const action $ connect $ workers $ sessions $ domains $ mix $ rate $ seed
+          $ verify $ fault_arg $ deadline_arg $ fallback_arg $ io_timeout_arg $ spec_term)
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Drive a deterministic client fleet at a `secmed serve' mediator and report \
+             throughput, latency percentiles, and backpressure")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -725,7 +860,7 @@ let check_bench_cmd =
     | Error e -> fail ("invalid JSON: " ^ e)
     | Ok json ->
       let str = function Some (Obs.Json.Str s) -> Some s | _ -> None in
-      let check_entries ~what ~name_key ~required entries =
+      let check_keys ~what ~name_key ~required entries =
         List.iter
           (fun entry ->
             let name =
@@ -738,38 +873,58 @@ let check_bench_cmd =
                 if Obs.Json.member key entry = None then
                   fail (Printf.sprintf "%s %S: missing key %S" what name key))
               required)
-          entries;
+          entries
+      in
+      let check_entries ~what ~name_key ~required entries =
+        check_keys ~what ~name_key ~required entries;
         Printf.printf "%s: ok (%d %s entries)\n" file (List.length entries) what
       in
-      (* Four validated shapes: BENCH_protocols.json carries a "schemes"
+      (* Five validated shapes: BENCH_protocols.json carries a "schemes"
          array, BENCH_resilience.json a "scenarios" array, BENCH_net.json
-         a "net" array, BENCH_modexp.json a "modexp_ops_per_sec" array
-         plus the hot-path sections. *)
+         a "net" array, BENCH_serve.json a "serve" array,
+         BENCH_modexp.json a "modexp_ops_per_sec" array plus the
+         hot-path sections. *)
       (match
          ( Obs.Json.member "schemes" json,
            Obs.Json.member "scenarios" json,
            Obs.Json.member "net" json,
+           Obs.Json.member "serve" json,
            Obs.Json.member "modexp_ops_per_sec" json )
        with
-       | Some (Obs.Json.List entries), _, _, _ when entries <> [] ->
+       | Some (Obs.Json.List entries), _, _, _, _ when entries <> [] ->
          check_entries ~what:"scheme" ~name_key:"scheme"
            ~required:
              [ "domain_size"; "seconds"; "phases"; "parties"; "messages";
                "bytes"; "rounds"; "counters" ]
            entries
-       | _, Some (Obs.Json.List entries), _, _ when entries <> [] ->
+       | _, Some (Obs.Json.List entries), _, _, _ when entries <> [] ->
          check_entries ~what:"scenario" ~name_key:"scenario"
            ~required:
              [ "scheme"; "outcome"; "attempts"; "seconds"; "degraded_from";
                "breaker_transitions" ]
            entries
-       | _, _, Some (Obs.Json.List entries), _ when entries <> [] ->
+       | _, _, Some (Obs.Json.List entries), _, _ when entries <> [] ->
          check_entries ~what:"net" ~name_key:"scheme"
            ~required:
              [ "seconds_inproc"; "seconds_net"; "messages"; "bytes";
                "socket_bytes_in"; "socket_bytes_out"; "epochs"; "match" ]
            entries
-       | _, _, _, Some (Obs.Json.List entries) when entries <> [] ->
+       | _, _, _, Some (Obs.Json.List entries), _ when entries <> [] ->
+         List.iter
+           (fun entry ->
+             (match Obs.Json.member "schemes" entry with
+             | Some (Obs.Json.List per_scheme) when per_scheme <> [] ->
+               check_keys ~what:"serve scheme" ~name_key:"scheme"
+                 ~required:[ "sessions"; "qps"; "p50_ms"; "p95_ms"; "p99_ms" ]
+                 per_scheme
+             | _ -> fail "serve entry: missing or empty \"schemes\" array"))
+           entries;
+         check_entries ~what:"serve" ~name_key:"mode"
+           ~required:
+             [ "concurrency"; "sessions"; "seconds"; "qps"; "served"; "degraded";
+               "unserved"; "refused"; "failed"; "p50_ms"; "p95_ms"; "p99_ms"; "schemes" ]
+           entries
+       | _, _, _, _, Some (Obs.Json.List entries) when entries <> [] ->
          List.iter
            (fun entry ->
              List.iter
@@ -789,13 +944,14 @@ let check_bench_cmd =
            (List.length entries)
        | _ ->
          fail
-           "missing or empty \"schemes\" / \"scenarios\" / \"net\" / \
+           "missing or empty \"schemes\" / \"scenarios\" / \"net\" / \"serve\" / \
             \"modexp_ops_per_sec\" array")
   in
   Cmd.v
     (Cmd.info "check-bench"
-       ~doc:"Validate that a BENCH_protocols.json, BENCH_resilience.json, BENCH_net.json \
-             or BENCH_modexp.json file parses and carries the expected keys")
+       ~doc:"Validate that a BENCH_protocols.json, BENCH_resilience.json, BENCH_net.json, \
+             BENCH_serve.json or BENCH_modexp.json file parses and carries the expected \
+             keys")
     Term.(const action $ file)
 
 (* ------------------------------------------------------------------ *)
@@ -827,5 +983,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; serve_cmd; source_cmd; query_cmd; setop_cmd; chain_cmd; select_cmd;
+          [ run_cmd; serve_cmd; source_cmd; loadgen_cmd; query_cmd; setop_cmd; chain_cmd;
+            select_cmd;
             report_cmd; check_bench_cmd; schemes_cmd ]))

@@ -176,7 +176,7 @@ let degradation_chain = function
   | Commutative _ -> [ default_das ]
   | Das _ | Mobile_code | Plain -> []
 
-let degradations = lazy (Secmed_obs.Metrics.counter "resilience.degradations")
+let degradations = Secmed_obs.Metrics.counter "resilience.degradations"
 
 let run_session ?fault ?endpoint ?coordinator ?on_deadline ?session ?chain scheme env client
     ~query =
@@ -199,7 +199,7 @@ let run_session ?fault ?endpoint ?coordinator ?on_deadline ?session ?chain schem
   in
   let serve_degraded outcome last_failure =
     let from_scheme = scheme_name scheme in
-    Obs.Metrics.incr (Lazy.force degradations);
+    Obs.Metrics.incr degradations;
     Obs.Trace.event "degraded"
       ~attrs:
         [

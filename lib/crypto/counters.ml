@@ -50,11 +50,19 @@ let width = List.length all
    innermost open frame, or the [unattributed] key when none is open —
    so per-scope counts always sum to the global table.
 
-   All state is domain-local: a worker domain starts from zero, bumps
-   its own table, and its totals are folded back into the spawning
-   domain's open frame via {!merge} (the Batch executor does this at
+   All state is thread-local: every systhread (and thus every domain's
+   initial thread) counts independently from zero, so concurrent
+   protocol drivers — the mediator's session workers, a source daemon's
+   per-session handlers, a loadgen fleet — never corrupt each other's
+   accounting.  A worker's totals are folded back into the spawning
+   thread's open frame via {!merge} (the Batch executor does this at
    join time), preserving the sums-equal-snapshot invariant without any
-   synchronisation on the hot bump path. *)
+   synchronisation on the hot bump path.
+
+   The registry below maps thread id → state inside a domain-local
+   slot; the mutex only guards the registry lookup (a rare miss
+   allocates), never the bump path, which touches exclusively
+   thread-private arrays. *)
 let unattributed = ("unattributed", "")
 
 type attr_state = {
@@ -64,11 +72,33 @@ type attr_state = {
   totals : (string * string, int array) Hashtbl.t;
 }
 
-let state_key : attr_state Domain.DLS.key =
-  Domain.DLS.new_key (fun () ->
-      { table = Array.make width 0; frames = []; order = ref []; totals = Hashtbl.create 8 })
+type registry = {
+  reg_mu : Mutex.t;
+  reg_tbl : (int, attr_state) Hashtbl.t;
+}
 
-let state () = Domain.DLS.get state_key
+let registry_key : registry Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { reg_mu = Mutex.create (); reg_tbl = Hashtbl.create 8 })
+
+let fresh_state () =
+  { table = Array.make width 0; frames = []; order = ref []; totals = Hashtbl.create 8 }
+
+let state () =
+  let reg = Domain.DLS.get registry_key in
+  let id = Thread.id (Thread.self ()) in
+  Mutex.protect reg.reg_mu (fun () ->
+      match Hashtbl.find_opt reg.reg_tbl id with
+      | Some s -> s
+      | None ->
+        let s = fresh_state () in
+        Hashtbl.add reg.reg_tbl id s;
+        s)
+
+let release () =
+  let reg = Domain.DLS.get registry_key in
+  let id = Thread.id (Thread.self ()) in
+  Mutex.protect reg.reg_mu (fun () -> Hashtbl.remove reg.reg_tbl id)
 
 let totals_for attr key =
   match Hashtbl.find_opt attr.totals key with

@@ -4,12 +4,16 @@
     paper ("applied cryptographic primitives") can be regenerated from
     actual executions rather than asserted. *)
 
-(** All counter state (global table, attribution scopes) is domain-local:
-    each OCaml 5 domain counts independently from zero.  A parallel
-    executor snapshots each worker domain's counts at join time and folds
-    them into the spawning domain with {!merge}, which lands them in the
+(** All counter state (global table, attribution scopes) is thread-local:
+    each systhread — and therefore each OCaml 5 domain's initial thread —
+    counts independently from zero, so concurrent protocol drivers (the
+    mediator's session workers, a source daemon's per-session handlers, a
+    loadgen fleet) never observe each other's accounting.  A parallel
+    executor snapshots each worker's counts at join time and folds them
+    into the spawning thread with {!merge}, which lands them in the
     caller's innermost open {!scoped} frame exactly as if the work had run
-    sequentially. *)
+    sequentially.  Long-lived servers should {!release} a session
+    thread's slot when the thread retires. *)
 
 type primitive =
   | Hash                  (** collision-free hash (SHA-256 in index tables) *)
@@ -37,6 +41,13 @@ val merge : (primitive * int) list -> unit
     caller's open scope at join time. *)
 
 val reset : unit -> unit
+
+val release : unit -> unit
+(** Drops the calling thread's counter state entirely (the next bump on
+    this thread starts from a fresh zero state).  Call from a session
+    thread's teardown in long-lived servers so retired thread ids don't
+    accumulate state in the per-domain registry.  Never required for
+    correctness in short-lived programs. *)
 
 val count : primitive -> int
 

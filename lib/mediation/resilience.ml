@@ -67,12 +67,15 @@ let elapsed d = d.d_clock.now () -. d.start +. d.charged
 let remaining d = Float.max 0.0 (d.budget -. elapsed d)
 let expired d = elapsed d > d.budget
 
-let deadline_trips = lazy (Obs.Metrics.counter "resilience.deadline.trips")
+(* Interned eagerly at module init: these are bumped from concurrent
+   session workers, and [Lazy.force] is not reentrancy-safe across
+   threads. *)
+let deadline_trips = Obs.Metrics.counter "resilience.deadline.trips"
 
 let check d ~phase =
   if expired d then begin
     let elapsed = elapsed d in
-    Obs.Metrics.incr (Lazy.force deadline_trips);
+    Obs.Metrics.incr deadline_trips;
     if Obs.Trace.enabled () then
       Obs.Trace.event "deadline-exceeded"
         ~attrs:
@@ -143,8 +146,14 @@ let breaker_party b = b.b_party
 let breaker_state b = b.state
 let breaker_transitions b = List.rev b.rev_transitions
 
-let transition_counter to_state =
-  Obs.Metrics.counter ("resilience.breaker." ^ breaker_state_name to_state)
+(* Pre-interned per target state: [transition] runs inside concurrent
+   session workers, and the metrics registry itself is unsynchronised. *)
+let transition_counters =
+  List.map
+    (fun st -> (st, Obs.Metrics.counter ("resilience.breaker." ^ breaker_state_name st)))
+    [ Closed; Open; Half_open ]
+
+let transition_counter to_state = List.assoc to_state transition_counters
 
 let transition b to_state =
   let from_state = b.state in
@@ -215,19 +224,26 @@ type policy = {
 let default_policy =
   { deadline_budget = None; retry_backoff = backoff (); breaker_config = default_breaker }
 
+(* A session may be shared by concurrent queries (the mediator server
+   funnels every query without a private deadline through one long-lived
+   session so breaker history accumulates across clients), so the
+   breaker table and every breaker state transition are guarded by
+   [s_mu].  The lock is held only around table lookups and the short
+   pure state-machine steps — never across an attempt. *)
 type session = {
   s_policy : policy;
   s_clock : clock;
   s_breakers : (Transcript.party, breaker) Hashtbl.t;
+  s_mu : Mutex.t;
 }
 
 let session ?(policy = default_policy) ?(clock = monotonic) () =
-  { s_policy = policy; s_clock = clock; s_breakers = Hashtbl.create 7 }
+  { s_policy = policy; s_clock = clock; s_breakers = Hashtbl.create 7; s_mu = Mutex.create () }
 
 let session_policy s = s.s_policy
 let session_clock s = s.s_clock
 
-let breaker_for s party =
+let breaker_for_unlocked s party =
   match Hashtbl.find_opt s.s_breakers party with
   | Some b -> b
   | None ->
@@ -235,7 +251,10 @@ let breaker_for s party =
     Hashtbl.add s.s_breakers party b;
     b
 
-let breakers s = Hashtbl.fold (fun _ b acc -> b :: acc) s.s_breakers []
+let breaker_for s party = Mutex.protect s.s_mu (fun () -> breaker_for_unlocked s party)
+
+let breakers s =
+  Mutex.protect s.s_mu (fun () -> Hashtbl.fold (fun _ b acc -> b :: acc) s.s_breakers [])
 
 let new_deadline s =
   match s.s_policy.deadline_budget with
@@ -251,9 +270,9 @@ type 'a verdict =
   | Timed_out of { phase : string; elapsed : float; budget : float; attempts : int }
   | Short_circuited of { party : Transcript.party; attempts : int }
 
-let retries_counter = lazy (Obs.Metrics.counter "resilience.retries")
-let short_circuits = lazy (Obs.Metrics.counter "resilience.short_circuits")
-let backoff_hist = lazy (Obs.Metrics.histogram "resilience.backoff.seconds")
+let retries_counter = Obs.Metrics.counter "resilience.retries"
+let short_circuits = Obs.Metrics.counter "resilience.short_circuits"
+let backoff_hist = Obs.Metrics.histogram "resilience.backoff.seconds"
 
 let execute ?session ~deadline ~label ~retryable ~budget ~parties_of attempt =
   let clock, backoff_cfg =
@@ -268,12 +287,13 @@ let execute ?session ~deadline ~label ~retryable ~budget ~parties_of attempt =
     match session with
     | None -> None
     | Some s ->
-      Hashtbl.fold
-        (fun party b acc ->
-          match acc with
-          | Some _ -> acc
-          | None -> if breaker_allow b then None else Some party)
-        s.s_breakers None
+      Mutex.protect s.s_mu (fun () ->
+          Hashtbl.fold
+            (fun party b acc ->
+              match acc with
+              | Some _ -> acc
+              | None -> if breaker_allow b then None else Some party)
+            s.s_breakers None)
   in
   (* Breakers guard datasources only: a fault blamed on the client or the
      mediator is not a reason to stop talking to either — there is nobody
@@ -282,17 +302,18 @@ let execute ?session ~deadline ~label ~retryable ~budget ~parties_of attempt =
     match session with
     | None -> ()
     | Some s ->
-      List.iter
-        (fun party ->
-          match (party : Transcript.party) with
-          | Transcript.Source _ -> breaker_record (breaker_for s party) ~ok
-          | Transcript.Client | Transcript.Mediator | Transcript.Authority -> ())
-        parties
+      Mutex.protect s.s_mu (fun () ->
+          List.iter
+            (fun party ->
+              match (party : Transcript.party) with
+              | Transcript.Source _ -> breaker_record (breaker_for_unlocked s party) ~ok
+              | Transcript.Client | Transcript.Mediator | Transcript.Authority -> ())
+            parties)
   in
   let rec go n =
     match refused () with
     | Some party ->
-      Obs.Metrics.incr (Lazy.force short_circuits);
+      Obs.Metrics.incr short_circuits;
       if Obs.Trace.enabled () then
         Obs.Trace.event "short-circuit"
           ~attrs:
@@ -315,7 +336,7 @@ let execute ?session ~deadline ~label ~retryable ~budget ~parties_of attempt =
           if n < budget && retryable then begin
             (* The one retry path: every re-attempt is traced, whatever
                kind of fault provoked it. *)
-            Obs.Metrics.incr (Lazy.force retries_counter);
+            Obs.Metrics.incr retries_counter;
             Obs.Trace.event "retry"
               ~attrs:
                 [
@@ -325,7 +346,7 @@ let execute ?session ~deadline ~label ~retryable ~budget ~parties_of attempt =
                 ];
             let delay = backoff_delay backoff_cfg ~attempt:n in
             if delay > 0.0 then begin
-              Obs.Metrics.observe (Lazy.force backoff_hist) delay;
+              Obs.Metrics.observe backoff_hist delay;
               if Obs.Trace.enabled () then
                 Obs.Trace.event "backoff"
                   ~attrs:

@@ -108,10 +108,14 @@ end
 
 type route = { r_send : Frame.t -> unit; r_next : timeout:float -> Frame.t }
 
-let frames_out = lazy (Obs.Metrics.counter "net.frames.out")
-let frames_in = lazy (Obs.Metrics.counter "net.frames.in")
-let payload_out = lazy (Obs.Metrics.counter "net.payload.out")
-let payload_in = lazy (Obs.Metrics.counter "net.payload.in")
+(* Interned eagerly at module init (single-threaded, main domain):
+   [Lazy.force] from two domains at once raises [Undefined], and these
+   counters are bumped from recv threads and session workers that may
+   live in loadgen worker domains. *)
+let frames_out = Obs.Metrics.counter "net.frames.out"
+let frames_in = Obs.Metrics.counter "net.frames.in"
+let payload_out = Obs.Metrics.counter "net.payload.out"
+let payload_in = Obs.Metrics.counter "net.payload.in"
 
 let trace_frame dir ~phase ~party ~label ~size =
   if Obs.Trace.enabled () then
@@ -138,8 +142,8 @@ let transport ~role ~session ~epoch ~io_timeout ~route_of ?(after_io = fun ~phas
          (* The link itself is down: a typed, retryable fault blamed at
             the unreachable party, like a simulated severed link. *)
          Fault.fail ~phase ~party:receiver (label ^ ": link down: " ^ msg));
-      Obs.Metrics.incr (Lazy.force frames_out);
-      Obs.Metrics.incr ~by:size (Lazy.force payload_out);
+      Obs.Metrics.incr frames_out;
+      Obs.Metrics.incr ~by:size payload_out;
       trace_frame "send" ~phase ~party:receiver ~label ~size;
       after_io ~phase
   in
@@ -178,8 +182,8 @@ let transport ~role ~session ~epoch ~io_timeout ~route_of ?(after_io = fun ~phas
             (Printf.sprintf "%s never arrived: %s" label msg)
       in
       let payload = go () in
-      Obs.Metrics.incr (Lazy.force frames_in);
-      Obs.Metrics.incr ~by:(String.length payload) (Lazy.force payload_in);
+      Obs.Metrics.incr frames_in;
+      Obs.Metrics.incr ~by:(String.length payload) payload_in;
       trace_frame "recv" ~phase ~party:sender ~label ~size:(String.length payload);
       after_io ~phase;
       payload

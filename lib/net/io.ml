@@ -53,7 +53,10 @@ let connect ?timeout ~host ~port () =
      fail "connect %s:%d: %s" host port (Unix.error_message e));
   of_fd ?timeout ~peer:(Printf.sprintf "%s:%d" host port) fd
 
-let listen ?(backlog = 16) ?(host = "127.0.0.1") ~port () =
+(* Backlog sized for a loadgen fleet's connect burst: admission answers
+   fast (admit or typed Busy), so the queue only has to absorb the SYN
+   spike, not hold sessions. *)
+let listen ?(backlog = 256) ?(host = "127.0.0.1") ~port () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt fd Unix.SO_REUSEADDR true;

@@ -31,7 +31,8 @@ let fork_proc f =
     Unix._exit 0
   | pid -> pid
 
-let with_cluster ?params ?policy ?(chaos = []) ?(max_sessions = 8) ?(io_timeout = 10.) ~spec f =
+let with_cluster ?params ?policy ?(chaos = []) ?(max_sessions = 8) ?(io_timeout = 10.)
+    ?source_conns ?workers ~spec f =
   let c_env, c_client, c_query = Workload.scenario ?params spec in
   let c_scenario = Scenario.digest ?params spec in
   (* Reserve every port before any process starts: a pre-bound listener
@@ -63,7 +64,8 @@ let with_cluster ?params ?policy ?(chaos = []) ?(max_sessions = 8) ?(io_timeout 
             in
             Server.serve
               (Server.create ~env:c_env ~client:c_client ~scenario:c_scenario ~sources
-                 ~listen_fd:med_fd ?policy ~max_sessions ~io_timeout ()));
+                 ~listen_fd:med_fd ?policy ~max_sessions ~io_timeout ?source_conns ?workers
+                 ()));
       ]
   in
   (* The children own the listeners now; the proxies, which live as
@@ -92,6 +94,16 @@ let with_cluster ?params ?policy ?(chaos = []) ?(max_sessions = 8) ?(io_timeout 
           try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
         pids)
     (fun () -> f cluster)
+
+let target c =
+  {
+    Loadgen.host = "127.0.0.1";
+    port = c.c_port;
+    scenario = c.c_scenario;
+    env = c.c_env;
+    client = c.c_client;
+    query = c.c_query;
+  }
 
 let query c ?fault_spec ?deadline ?fallback ?io_timeout ~scheme () =
   Peer.run ~host:"127.0.0.1" ~port:c.c_port ~scenario:c.c_scenario ~scheme ~query:c.c_query

@@ -33,11 +33,17 @@ val with_cluster :
   ?chaos:(int * Fault.plan) list ->
   ?max_sessions:int ->
   ?io_timeout:float ->
+  ?source_conns:int ->
+  ?workers:int ->
   spec:Workload.spec ->
   (cluster -> 'a) ->
   'a
 (** Children are killed (and proxies stopped) however the callback
-    ends. *)
+    ends.  [source_conns]/[workers] forward to {!Server.create}. *)
+
+val target : cluster -> Loadgen.target
+(** The cluster's mediator as a {!Loadgen} target (the parent process
+    plays the whole client fleet). *)
 
 val query :
   cluster ->

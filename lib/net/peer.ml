@@ -2,6 +2,8 @@ open Secmed_mediation
 open Secmed_core
 module Mux = Endpoint.Mux
 
+exception Refused of string
+
 (* ------------------------------------------------------------------ *)
 (* Datasource daemon *)
 
@@ -81,6 +83,7 @@ let source ~id ~env ~client ~scenario ~listen_fd ?(io_timeout = 10.) () =
                  (fun () ->
                    Fun.protect
                      ~finally:(fun () ->
+                       Secmed_crypto.Counters.release ();
                        Mutex.protect live_mu (fun () -> Hashtbl.remove live session))
                      (fun () -> source_session ~role ~env ~client ~io_timeout mux session))
                  ()
@@ -98,11 +101,14 @@ let source ~id ~env ~client ~scenario ~listen_fd ?(io_timeout = 10.) () =
     | exception (Io.Transport_error _ | Wire.Malformed _) -> Io.close conn
   in
   (* A daemon waits for its mediator indefinitely; [io_timeout] guards
-     per-operation I/O once a connection exists, not the accept. *)
+     per-operation I/O once a connection exists, not the accept.  Each
+     accepted connection gets its own thread: a mediator with a
+     connection pool dials this daemon [source_conns] times, and every
+     pooled link must be serviceable at once. *)
   let rec accept_loop () =
     match Io.accept listen_fd with
     | conn ->
-      serve_conn conn;
+      ignore (Thread.create serve_conn conn : Thread.t);
       accept_loop ()
     | exception Io.Transport_error _ -> ()
   in
@@ -129,7 +135,7 @@ let run ~host ~port ~scenario ~scheme ~query ?(fault_spec = "") ?(deadline = 0.)
   (match Frame.decode (Io.recv_frame conn) with
   | Frame.Hello_ok { scenario = s } when String.equal s scenario -> ()
   | Frame.Hello_ok _ -> raise (Io.Transport_error "scenario digest mismatch with the mediator")
-  | Frame.Busy reason -> raise (Io.Transport_error ("mediator refused: " ^ reason))
+  | Frame.Busy reason -> raise (Refused reason)
   | f -> raise (Io.Transport_error ("unexpected " ^ Frame.tag_name f ^ " in handshake")));
   Io.send_frame conn (Frame.encode (Frame.Query { scheme; query; fault_spec; deadline; fallback }));
   let route =
@@ -202,7 +208,7 @@ let run ~host ~port ~scenario ~scheme ~query ?(fault_spec = "") ?(deadline = 0.)
       Io.send_frame conn (Frame.encode (Frame.Report { session; epoch; status }));
       serve_loop ()
     | Frame.Session_result { result; _ } -> finish result
-    | Frame.Busy reason -> raise (Io.Transport_error ("mediator refused: " ^ reason))
+    | Frame.Busy reason -> raise (Refused reason)
     | Frame.Msg _ | Frame.Abort _ | Frame.Report _ | Frame.Session_end _ -> serve_loop ()
     | f -> raise (Io.Transport_error ("unexpected " ^ Frame.tag_name f))
   in

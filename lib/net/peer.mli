@@ -8,6 +8,13 @@
 open Secmed_mediation
 open Secmed_core
 
+exception Refused of string
+(** The mediator (or a datasource) turned the connection away with a
+    typed [Busy] frame — at capacity (admission-control backpressure)
+    or a scenario digest mismatch.  The payload is the peer's reason.
+    Distinct from {!Io.Transport_error} so a load generator can count
+    backpressure separately from broken links. *)
+
 val source :
   id:int ->
   env:Env.t ->
@@ -17,8 +24,9 @@ val source :
   ?io_timeout:float ->
   unit ->
   unit
-(** Run datasource [id] as a daemon: accept one mediator connection at a
-    time, multiplex concurrent sessions over it (a thread per session),
+(** Run datasource [id] as a daemon: accept mediator connections (a
+    thread per connection — a pooling mediator dials several),
+    multiplex concurrent sessions over each (a thread per session),
     and per [Session_start] run this source's replica of the attempt and
     report how it ended.  The session's fault spec is parsed once, so a
     [times]-bounded rule burns down across attempts exactly as it does
@@ -50,6 +58,7 @@ val run :
   Env.client ->
   response
 (** Connect to a mediator, pose one query, and play the client replica
-    for every attempt the mediator announces.  Raises
-    {!Io.Transport_error} when the mediator is unreachable, refuses the
-    connection ([Busy]), or the scenario digests disagree. *)
+    for every attempt the mediator announces.  Raises {!Refused} when
+    the mediator turns the connection away ([Busy]: at capacity, or its
+    scenario digest disagrees), {!Io.Transport_error} when the mediator
+    is unreachable or the link dies mid-session. *)

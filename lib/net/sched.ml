@@ -1,0 +1,94 @@
+(* A bounded pool of worker systhreads with a FIFO submission queue.
+
+   The mediator hands each accepted session to [run], which blocks the
+   connection thread until a worker has executed the thunk and either
+   returns its result or re-raises its exception.  Admission control
+   (Server.max_sessions) bounds how many sessions are accepted at all;
+   the pool bounds how many protocol drivers execute at once — sessions
+   beyond [workers] queue in FIFO order instead of failing.  Workers are
+   plain systhreads: driver state (Counters, Bigint caches) is
+   thread-local, so concurrent drivers on different workers never
+   interleave their accounting. *)
+
+type job = Job : (unit -> 'a) * 'a slot -> job
+
+and 'a slot = {
+  mutable outcome : 'a outcome;
+  s_mu : Mutex.t;
+  s_cond : Condition.t;
+}
+
+and 'a outcome = Pending | Done of 'a | Raised of exn * Printexc.raw_backtrace
+
+type t = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  queue : job Queue.t;
+  mutable stopping : bool;
+  mutable threads : Thread.t list;
+  workers : int;
+}
+
+let worker t =
+  let rec loop () =
+    let job =
+      Mutex.protect t.mu (fun () ->
+          while Queue.is_empty t.queue && not t.stopping do
+            Condition.wait t.cond t.mu
+          done;
+          if Queue.is_empty t.queue then None else Some (Queue.pop t.queue))
+    in
+    match job with
+    | None -> ()
+    | Some (Job (f, slot)) ->
+      let outcome =
+        match f () with
+        | v -> Done v
+        | exception e -> Raised (e, Printexc.get_raw_backtrace ())
+      in
+      Mutex.protect slot.s_mu (fun () ->
+          slot.outcome <- outcome;
+          Condition.signal slot.s_cond);
+      loop ()
+  in
+  loop ()
+
+let create ~workers =
+  let workers = max 1 workers in
+  let t =
+    {
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      threads = [];
+      workers;
+    }
+  in
+  t.threads <- List.init workers (fun _ -> Thread.create worker t);
+  t
+
+let workers t = t.workers
+
+let run t f =
+  let slot = { outcome = Pending; s_mu = Mutex.create (); s_cond = Condition.create () } in
+  Mutex.protect t.mu (fun () ->
+      if t.stopping then invalid_arg "Sched.run: pool is stopped";
+      Queue.push (Job (f, slot)) t.queue;
+      Condition.signal t.cond);
+  let pending () = match slot.outcome with Pending -> true | _ -> false in
+  Mutex.protect slot.s_mu (fun () ->
+      while pending () do
+        Condition.wait slot.s_cond slot.s_mu
+      done);
+  match slot.outcome with
+  | Done v -> v
+  | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+let stop t =
+  Mutex.protect t.mu (fun () ->
+      t.stopping <- true;
+      Condition.broadcast t.cond);
+  List.iter Thread.join t.threads;
+  t.threads <- []

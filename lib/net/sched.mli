@@ -1,0 +1,27 @@
+(** A bounded worker-thread pool with a FIFO submission queue — the
+    mediator's per-session scheduler.
+
+    Admission control decides how many sessions get {e accepted};
+    the pool decides how many protocol drivers {e execute} at once.
+    Submissions beyond the worker count queue in arrival order, so a
+    burst degrades to queueing delay rather than refusals or
+    interleaved execution.  Workers are systhreads: every piece of
+    driver state that matters ([Counters] attribution, Bigint
+    context caches) is thread-local, so drivers on distinct workers
+    never corrupt each other. *)
+
+type t
+
+val create : workers:int -> t
+(** Spawns [max 1 workers] worker threads, all idle. *)
+
+val workers : t -> int
+
+val run : t -> (unit -> 'a) -> 'a
+(** Submit a thunk and block until a worker has run it; returns its
+    result or re-raises its exception (with backtrace).  FIFO across
+    concurrent submitters.  Raises [Invalid_argument] after {!stop}. *)
+
+val stop : t -> unit
+(** Drains nothing: queued jobs still run; then workers exit and are
+    joined.  Idempotent. *)

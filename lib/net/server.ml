@@ -3,12 +3,21 @@ open Secmed_core
 module R = Resilience
 module Mux = Endpoint.Mux
 
+(* One pooled connection to a datasource.  Each slot owns at most one
+   live mux; a session checks out exactly one slot per source for its
+   whole lifetime, so a severed pooled connection faults only the
+   sessions bound to that slot — the others never notice. *)
+type source_slot = {
+  ss_index : int;
+  ss_mu : Mutex.t;
+  mutable ss_mux : Mux.t option;
+}
+
 type source_link = {
   sl_id : int;
   sl_host : string;
   sl_port : int;
-  mutable sl_mux : Mux.t option;
-  sl_mu : Mutex.t;
+  sl_slots : source_slot array;
 }
 
 type t = {
@@ -21,15 +30,22 @@ type t = {
   rsession : R.session;
   max_sessions : int;
   io_timeout : float;
-  exec_mu : Mutex.t;  (* counters and traces are process-global: one driver at a time *)
+  sched : Sched.t;  (* bounds concurrent protocol drivers; overflow queues FIFO *)
   admission_mu : Mutex.t;
   mutable active : int;
   mutable next_session : int;
   mutable stopped : bool;
 }
 
+(* Interned eagerly at module init — see the note in {!Endpoint}. *)
+let sessions_admitted = Secmed_obs.Metrics.counter "serve.sessions.admitted"
+let sessions_refused = Secmed_obs.Metrics.counter "serve.sessions.refused"
+let active_gauge = Secmed_obs.Metrics.gauge "serve.sessions.active"
+
 let create ~env ~client ~scenario ~sources ~listen_fd ?(policy = R.default_policy)
-    ?(max_sessions = 8) ?(io_timeout = 10.) () =
+    ?(max_sessions = 8) ?(io_timeout = 10.) ?(source_conns = 2) ?workers () =
+  let source_conns = max 1 source_conns in
+  let workers = match workers with Some w -> max 1 w | None -> max_sessions in
   {
     env;
     client;
@@ -37,33 +53,45 @@ let create ~env ~client ~scenario ~sources ~listen_fd ?(policy = R.default_polic
     sources =
       List.map
         (fun (sl_id, sl_host, sl_port) ->
-          { sl_id; sl_host; sl_port; sl_mux = None; sl_mu = Mutex.create () })
+          {
+            sl_id;
+            sl_host;
+            sl_port;
+            sl_slots =
+              Array.init source_conns (fun ss_index ->
+                  { ss_index; ss_mu = Mutex.create (); ss_mux = None });
+          })
         sources;
     listen_fd;
     policy;
     rsession = R.session ~policy ();
     max_sessions;
     io_timeout;
-    exec_mu = Mutex.create ();
+    sched = Sched.create ~workers;
     admission_mu = Mutex.create ();
     active = 0;
     next_session = 1;
     stopped = false;
   }
 
-(* The persistent datasource connection, dialed on first use and
-   redialed when a previous incarnation died (e.g. severed by the chaos
-   proxy) — the transport-level half of "a connection failure is a
-   typed, retryable fault". *)
-let ensure_mux t sl =
-  Mutex.protect sl.sl_mu (fun () ->
-      match sl.sl_mux with
+(* A session's slot for a source: round-robin by session id, so tests
+   can predict which sessions share a pooled connection. *)
+let slot_of sl sid = sl.sl_slots.((sid - 1) mod Array.length sl.sl_slots)
+
+(* The pooled datasource connection, dialed on first use and redialed
+   when a previous incarnation died (e.g. severed by the chaos proxy) —
+   the transport-level half of "a connection failure is a typed,
+   retryable fault".  Lazy redial is per slot: only the sessions
+   checked out on the dead slot pay the reconnect. *)
+let ensure_slot t sl slot =
+  Mutex.protect slot.ss_mu (fun () ->
+      match slot.ss_mux with
       | Some m when Mux.alive m -> Ok m
       | previous -> (
         (match previous with
         | Some m -> Io.close (Mux.conn m)
         | None -> ());
-        sl.sl_mux <- None;
+        slot.ss_mux <- None;
         match Io.connect ~timeout:t.io_timeout ~host:sl.sl_host ~port:sl.sl_port () with
         | exception Io.Transport_error msg -> Error msg
         | conn -> (
@@ -75,7 +103,7 @@ let ensure_mux t sl =
               (* The mux receive thread must outlive idle periods. *)
               Io.set_timeout conn 0.;
               let m = Mux.create conn in
-              sl.sl_mux <- Some m;
+              slot.ss_mux <- Some m;
               Ok m
             | Frame.Hello_ok _ ->
               Io.close conn;
@@ -158,17 +186,19 @@ let make_routes t conn sid ~epoch =
                Frame.decode (Io.recv_frame conn));
          })
   in
-  (* A source route resolves its mux on every call: when the previous
-     incarnation died (peer crashed, chaos proxy severed the stream),
-     the next send or receive redials through {!ensure_mux} — so a
-     connection failure costs one attempt, not the whole query. *)
+  (* A source route resolves its slot's mux on every call: when the
+     previous incarnation died (peer crashed, chaos proxy severed the
+     stream), the next send or receive redials through {!ensure_slot}
+     — so a connection failure costs one attempt, not the whole query,
+     and only for the sessions bound to that slot. *)
   let with_stats =
     List.map
       (fun sl ->
         let s = stat (Transcript.Source sl.sl_id) in
         let cell = ref None in
+        let slot = slot_of sl sid in
         let mux () =
-          match ensure_mux t sl with
+          match ensure_slot t sl slot with
           | Ok m ->
             Mux.subscribe m sid;
             m
@@ -263,8 +293,12 @@ let coordinator t ~sid ~query ~fault_spec ~routes ~epoch ~failures =
   in
   { Protocol.begin_attempt; end_attempt }
 
-let run_query t conn sid ~scheme ~query ~fault_spec ~deadline ~fallback =
+let run_query t conn sid ~release ~scheme ~query ~fault_spec ~deadline ~fallback =
   let reply result =
+    (* The admission slot is free before the client can observe the
+       verdict: a closed-loop client that reconnects the instant its
+       result lands must find room, not race the server's teardown. *)
+    release ();
     try Io.send_frame conn (Frame.encode (Frame.Session_result { session = sid; result }))
     with Io.Transport_error _ -> ()
   in
@@ -286,7 +320,7 @@ let run_query t conn sid ~scheme ~query ~fault_spec ~deadline ~fallback =
       let rec dial acc = function
         | [] -> Ok (List.rev acc)
         | sl :: rest -> (
-          match ensure_mux t sl with
+          match ensure_slot t sl (slot_of sl sid) with
           | Ok m -> dial ((sl.sl_id, m) :: acc) rest
           | Error msg -> Error (sl.sl_id, msg))
       in
@@ -297,12 +331,13 @@ let run_query t conn sid ~scheme ~query ~fault_spec ~deadline ~fallback =
       | Ok smuxes ->
         List.iter (fun (_, m) -> Mux.subscribe m sid) smuxes;
         Fun.protect ~finally:(fun () ->
-            (* Whatever mux each source link holds *now* — possibly a
+            (* Whatever mux this session's slot holds *now* — possibly a
                redialed incarnation — gets the end-of-session notice. *)
             List.iter
               (fun sl ->
-                Mutex.protect sl.sl_mu (fun () ->
-                    match sl.sl_mux with
+                let slot = slot_of sl sid in
+                Mutex.protect slot.ss_mu (fun () ->
+                    match slot.ss_mux with
                     | Some m ->
                       (try Mux.send m (Frame.Session_end { session = sid })
                        with Io.Transport_error _ -> ());
@@ -338,19 +373,20 @@ let run_query t conn sid ~scheme ~query ~fault_spec ~deadline ~fallback =
         in
         (* A per-query deadline narrows the budget but must not discard
            the long-lived breaker state, which only the shared session
-           holds; queries content with the server policy share it. *)
+           holds; queries content with the server policy share it (the
+           shared session's breaker table is internally locked, so
+           concurrent workers may use it directly). *)
         let rsession =
           if deadline > 0. then
             R.session ~policy:{ t.policy with R.deadline_budget = Some deadline } ()
           else t.rsession
         in
         let verdict =
-          Mutex.protect t.exec_mu (fun () ->
-              Protocol.run_session ?fault ~endpoint:(Link.Remote transport) ~coordinator
-                ~on_deadline:(fun d -> deadline_ref := Some d)
-                ~session:rsession
-                ?chain:(if fallback then None else Some [])
-                sch t.env t.client ~query)
+          Protocol.run_session ?fault ~endpoint:(Link.Remote transport) ~coordinator
+            ~on_deadline:(fun d -> deadline_ref := Some d)
+            ~session:rsession
+            ?chain:(if fallback then None else Some [])
+            sch t.env t.client ~query
         in
         (match verdict with
         | Protocol.Served outcome ->
@@ -413,7 +449,12 @@ let run_query t conn sid ~scheme ~query ~fault_spec ~deadline ~fallback =
 (* ------------------------------------------------------------------ *)
 (* Accept loop *)
 
-let handle t conn =
+(* The connection thread performs the handshake and query read, then
+   blocks in {!Sched.run} while a pool worker executes the driver.
+   Scheduling whole sessions (not individual frames) keeps each
+   driver's thread-local state — counter attribution, bigint caches —
+   private to one worker for the session's entire lifetime. *)
+let handle t conn ~release =
   match Frame.decode (Io.recv_frame conn) with
   | Frame.Hello { role = Transcript.Client; scenario } ->
     if not (String.equal scenario t.scenario) then
@@ -429,7 +470,8 @@ let handle t conn =
               t.next_session <- sid + 1;
               sid)
         in
-        run_query t conn sid ~scheme ~query ~fault_spec ~deadline ~fallback
+        Sched.run t.sched (fun () ->
+            run_query t conn sid ~release ~scheme ~query ~fault_spec ~deadline ~fallback)
       | _ -> ()
     end
   | Frame.Hello _ ->
@@ -437,11 +479,23 @@ let handle t conn =
   | _ -> ()
 
 let session_thread t conn =
+  (* Called at most once per session: by [reply] on the worker thread
+     (strictly before [Sched.run] returns), or by the teardown below
+     when the session never reached a verdict. *)
+  let released = ref false in
+  let release () =
+    if not !released then begin
+      released := true;
+      Mutex.protect t.admission_mu (fun () ->
+          t.active <- t.active - 1;
+          Secmed_obs.Metrics.set_gauge active_gauge (float_of_int t.active))
+    end
+  in
   Fun.protect
     ~finally:(fun () ->
       Io.close conn;
-      Mutex.protect t.admission_mu (fun () -> t.active <- t.active - 1))
-    (fun () -> try handle t conn with Io.Transport_error _ | Wire.Malformed _ -> ())
+      release ())
+    (fun () -> try handle t conn ~release with Io.Transport_error _ | Wire.Malformed _ -> ())
 
 let serve t =
   let rec loop () =
@@ -452,12 +506,20 @@ let serve t =
         Mutex.protect t.admission_mu (fun () ->
             if t.active < t.max_sessions then begin
               t.active <- t.active + 1;
+              Secmed_obs.Metrics.set_gauge active_gauge (float_of_int t.active);
               true
             end
             else false)
       in
-      if admitted then ignore (Thread.create (session_thread t) conn : Thread.t)
+      if admitted then begin
+        Secmed_obs.Metrics.incr sessions_admitted;
+        ignore (Thread.create (session_thread t) conn : Thread.t)
+      end
       else begin
+        (* Backpressure, not a hang: the typed [Busy] goes out on a
+           throwaway thread so a slow or dead client can't stall the
+           accept loop. *)
+        Secmed_obs.Metrics.incr sessions_refused;
         ignore
           (Thread.create
              (fun () ->
@@ -480,10 +542,14 @@ let stop t =
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   List.iter
     (fun sl ->
-      Mutex.protect sl.sl_mu (fun () ->
-          match sl.sl_mux with
-          | Some m ->
-            Io.close (Mux.conn m);
-            sl.sl_mux <- None
-          | None -> ()))
-    t.sources
+      Array.iter
+        (fun slot ->
+          Mutex.protect slot.ss_mu (fun () ->
+              match slot.ss_mux with
+              | Some m ->
+                Io.close (Mux.conn m);
+                slot.ss_mux <- None
+              | None -> ()))
+        sl.sl_slots)
+    t.sources;
+  Sched.stop t.sched

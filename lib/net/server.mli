@@ -2,10 +2,13 @@
 
     One process owns the hub of the star topology: it accepts client
     connections (thread-per-session, bounded by [max_sessions] — excess
-    connections are refused with a [Busy] frame), keeps one persistent,
-    multiplexed connection per datasource daemon (dialed lazily,
-    redialed when found dead), and drives each query through
-    {!Secmed_core.Protocol.run_session} with
+    connections are refused with a typed [Busy] frame the load layer
+    counts as backpressure), keeps a pool of [source_conns] persistent,
+    multiplexed connections per datasource daemon (each dialed lazily,
+    redialed when found dead; a session checks out one pooled
+    connection per source by round-robin on its session id, so a
+    severed pooled link faults only the sessions bound to it), and
+    drives each query through {!Secmed_core.Protocol.run_session} with
 
     - a [Remote] link endpoint, so the mediator's protocol messages
       cross real sockets;
@@ -20,9 +23,13 @@
       state persists across queries (a per-query deadline in the [Query]
       frame gets a fresh session scoped to that budget).
 
-    Driver execution is serialized by a global lock: the crypto counters
-    and trace collector are process-global, and the protocol layer is
-    what this subsystem distributes, not intra-mediator parallelism. *)
+    Drivers execute concurrently on a bounded {!Sched} worker pool
+    ([workers], default [max_sessions]) — no head-of-line blocking:
+    admission bounds how many sessions are accepted, the pool bounds how
+    many drivers run at once, and sessions beyond the pool queue FIFO.
+    This is safe because every piece of cross-driver state is either
+    thread-local (crypto counter attribution, bigint caches) or
+    internally locked (the shared resilience session's breakers). *)
 
 open Secmed_mediation
 open Secmed_core
@@ -38,16 +45,21 @@ val create :
   ?policy:Resilience.policy ->
   ?max_sessions:int ->
   ?io_timeout:float ->
+  ?source_conns:int ->
+  ?workers:int ->
   unit ->
   t
 (** [sources] maps each datasource id to the [(host, port)] its daemon
     listens on; [scenario] is the {!Scenario.digest} every peer must
     present.  [io_timeout] (default 10s) bounds each blocking frame
     exchange; [max_sessions] (default 8) the concurrent client
-    sessions. *)
+    sessions; [source_conns] (default 2) the pooled connections per
+    datasource; [workers] (default [max_sessions]) the concurrent
+    protocol drivers. *)
 
 val serve : t -> unit
 (** Accept loop; returns when the listening socket is closed. *)
 
 val stop : t -> unit
-(** Close the listener (and the datasource connections). *)
+(** Close the listener and the pooled datasource connections, and
+    retire the worker pool. *)

@@ -80,6 +80,18 @@ let histogram name =
       | _ ->
         invalid_arg (Printf.sprintf "Metrics.histogram: %S is registered as another kind" name))
 
+(* A fresh unregistered cell — never visible to the registry, so a
+   recorder (one per loadgen worker, say) can own it without
+   synchronisation and fold it into a shared histogram afterwards. *)
+let private_histogram () =
+  {
+    counts = Array.make buckets 0;
+    h_count = 0;
+    h_sum = 0.0;
+    h_min = Float.infinity;
+    h_max = Float.neg_infinity;
+  }
+
 let observe h v =
   let i = bucket_of v in
   h.counts.(i) <- h.counts.(i) + 1;
@@ -90,6 +102,21 @@ let observe h v =
 
 let histogram_count h = h.h_count
 let histogram_sum h = h.h_sum
+let histogram_min h = if h.h_count = 0 then 0.0 else h.h_min
+let histogram_max h = if h.h_count = 0 then 0.0 else h.h_max
+
+(* Bucket-wise addition: because every observation lands in exactly one
+   bucket, merging per-recorder histograms is exact — the merged counts,
+   sum, extrema, and therefore every quantile estimate equal what a
+   single recorder seeing all the samples would report. *)
+let merge_into ~into src =
+  Array.iteri (fun i n -> if n <> 0 then into.counts.(i) <- into.counts.(i) + n) src.counts;
+  into.h_count <- into.h_count + src.h_count;
+  into.h_sum <- into.h_sum +. src.h_sum;
+  if src.h_count > 0 then begin
+    if src.h_min < into.h_min then into.h_min <- src.h_min;
+    if src.h_max > into.h_max then into.h_max <- src.h_max
+  end
 
 let quantile h q =
   if h.h_count = 0 then 0.0

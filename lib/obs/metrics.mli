@@ -30,9 +30,27 @@ type histogram
     estimate is within one bucket — a factor of [2^(1/4)] — of exact. *)
 
 val histogram : string -> histogram
+
+val private_histogram : unit -> histogram
+(** A fresh cell outside the registry: never interned, never reset by
+    {!reset}, invisible to {!snapshot}.  Give one to each concurrent
+    recorder (a loadgen worker, a worker domain) so the hot observe path
+    needs no synchronisation, then fold them together with
+    {!merge_into}. *)
+
 val observe : histogram -> float -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
+
+val histogram_min : histogram -> float
+val histogram_max : histogram -> float
+(** Observed extrema; [0.0] on an empty histogram. *)
+
+val merge_into : into:histogram -> histogram -> unit
+(** Bucket-wise addition of [src] into [into] (count, sum, and extrema
+    included).  Exact: quantiles of the merged histogram equal those of a
+    single histogram that observed every sample itself, because each
+    observation occupies exactly one bucket.  [src] is unchanged. *)
 
 val quantile : histogram -> float -> float
 (** [quantile h q] for [q] in [0,1]: the geometric midpoint of the bucket

@@ -195,6 +195,82 @@ let test_mux_drops_frames_of_closed_sessions () =
   | Frame.Busy "marker" -> ()
   | f -> Alcotest.fail ("expected the marker, got " ^ Frame.tag_name f)
 
+(* A seeded concurrency stress: one producer interleaves the frames of
+   many sessions on the wire (the interleaving drawn from a PRNG, so a
+   failure replays exactly), while one consumer thread per session
+   drains its queue concurrently.  Every session must see exactly its
+   own frames, in order — nothing lost, duplicated, or cross-delivered
+   through the shared stream. *)
+let test_mux_concurrent_sessions_stress () =
+  let sessions = 8 and frames_per_session = 40 in
+  List.iter
+    (fun round ->
+      let a, b = socket_pair () in
+      Fun.protect ~finally:(fun () -> Io.close a; Io.close b) @@ fun () ->
+      let mux = Endpoint.Mux.create b in
+      (* Fresh session ids per round: a closed session's id is a
+         tombstone, never reused. *)
+      let sid k = (round * 100) + k + 1 in
+      let schedule =
+        (* All (session, seq) pairs, shuffled by the round's seed. *)
+        let all =
+          Array.init (sessions * frames_per_session) (fun i ->
+              (sid (i / frames_per_session), i mod frames_per_session))
+        in
+        Secmed_crypto.Prng.shuffle
+          (Secmed_crypto.Prng.create ~seed:(Printf.sprintf "mux-stress-%d" round))
+          all;
+        all
+      in
+      let received = Array.make sessions [] in
+      let errors = ref [] in
+      let consumers =
+        List.init sessions (fun k ->
+            Endpoint.Mux.subscribe mux (sid k);
+            Thread.create
+              (fun () ->
+                try
+                  for _ = 1 to frames_per_session do
+                    match Endpoint.Mux.next mux ~session:(sid k) ~timeout:10. with
+                    | Frame.Msg { session; seq; label; _ } ->
+                      received.(k) <- (session, seq, label) :: received.(k)
+                    | f ->
+                      errors := Frame.tag_name f :: !errors
+                  done
+                with Io.Transport_error msg -> errors := msg :: !errors)
+              ())
+      in
+      Array.iter
+        (fun (session, seq) ->
+          Io.send_frame a
+            (Frame.encode
+               (Frame.Msg
+                  { session; epoch = 1; seq; sender = Transcript.Mediator;
+                    receiver = Transcript.Source 1;
+                    label = Printf.sprintf "s%d-%d" session seq;
+                    declared = 2; payload = "xy" })))
+        schedule;
+      List.iter Thread.join consumers;
+      Alcotest.(check (list string)) "no consumer errors" [] !errors;
+      (* A session's queue must replay its own subsequence of the wire,
+         in wire order: the shuffle scrambles seqs within a session too,
+         and the mux routes — it never reorders. *)
+      List.iter
+        (fun k ->
+          let expected =
+            Array.to_list schedule
+            |> List.filter_map (fun (session, seq) ->
+                   if session = sid k then
+                     Some (session, seq, Printf.sprintf "s%d-%d" session seq)
+                   else None)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "round %d session %d intact and in wire order" round (sid k))
+            true
+            (List.rev received.(k) = expected))
+        (List.init sessions Fun.id))
+    [ 0; 1; 2 ]
+
 (* ------------------------------------------------------------------ *)
 (* Scenario digests. *)
 
@@ -409,7 +485,7 @@ let test_server_at_capacity_refuses () =
   Loopback.with_cluster ~params:fast ~spec:small_spec ~max_sessions:0 @@ fun c ->
   match Loopback.query c ~scheme:"plain" () with
   | _ -> Alcotest.fail "a zero-capacity mediator must refuse"
-  | exception Io.Transport_error msg ->
+  | exception Peer.Refused msg ->
     Alcotest.(check bool) "refusal names capacity" true (contains msg "at capacity")
 
 let test_scenario_digest_mismatch_refused () =
@@ -420,8 +496,65 @@ let test_scenario_digest_mismatch_refused () =
       (Loopback.client_of c)
   with
   | _ -> Alcotest.fail "a divergent scenario digest must be refused"
-  | exception Io.Transport_error msg ->
+  | exception Peer.Refused msg ->
     Alcotest.(check bool) "refusal names the digest" true (contains msg "digest mismatch")
+
+(* Admission is a slot machine, not a one-way valve: a full mediator
+   refuses the (N+1)th session with the typed Busy, and a completed
+   session frees its slot for the next arrival. *)
+let test_admission_slot_freed_after_completion () =
+  let plan = chaos_rule ~times:1 (Fault.Delay 1.2) in
+  Loopback.with_cluster ~params:fast ~spec:small_spec ~chaos:[ (1, plan) ] ~max_sessions:1
+  @@ fun c ->
+  (* Session A occupies the only slot: the delayed source frame holds it
+     in flight long enough to observe the refusal deterministically. *)
+  let a_result = ref None in
+  let a_thread =
+    Thread.create
+      (fun () ->
+        a_result := Some (Loopback.query c ~scheme:"commutative" ~fallback:false ()))
+      ()
+  in
+  Thread.delay 0.4;
+  (* B arrives while A holds the slot: typed backpressure, not a hang. *)
+  (match Loopback.query c ~scheme:"plain" () with
+  | _ -> Alcotest.fail "the second concurrent session must be refused"
+  | exception Peer.Refused msg ->
+    Alcotest.(check bool) "refusal names capacity" true (contains msg "at capacity"));
+  Thread.join a_thread;
+  (match !a_result with
+  | Some { Peer.result; _ } -> ignore (served_exn "commutative" result)
+  | None -> Alcotest.fail "session A vanished");
+  (* A completed, so its slot is free: C must be served, not refused. *)
+  let c_response = Loopback.query c ~scheme:"plain" () in
+  ignore (served_exn "plain" c_response.Peer.result)
+
+(* The source connection pool isolates transport faults: with two pooled
+   connections per source, session ids bind slots round-robin (sid 1 and
+   3 share slot 0, sid 2 rides slot 1), so a severed pooled link costs
+   the bound session one retry (lazy redial, exactly like the
+   single-connection case) and the other slot's sessions nothing. *)
+let test_pooled_connection_sever_isolated () =
+  let plan = chaos_rule ~times:1 (Fault.Truncate 6) in
+  Loopback.with_cluster ~params:fast ~spec:small_spec ~chaos:[ (1, plan) ]
+    ~source_conns:2 ~io_timeout:1.5
+  @@ fun c ->
+  (* sid 1 on slot 0: the truncate severs its pooled connection
+     mid-attempt; the retry redials the slot and serves. *)
+  let r1 = Loopback.query c ~scheme:"commutative" ~fault_spec:"retries=2" ~fallback:false () in
+  ignore (served_exn "commutative" r1.Peer.result);
+  Alcotest.(check int) "bound session paid one retry" 2 r1.Peer.epochs;
+  (* sid 2 on slot 1: a different pooled connection — never faulted. *)
+  let r2 = Loopback.query c ~scheme:"commutative" ~fault_spec:"retries=2" ~fallback:false () in
+  ignore (served_exn "commutative" r2.Peer.result);
+  Alcotest.(check int) "other slot untouched" 1 r2.Peer.epochs;
+  (* sid 3 back on slot 0: the redialed incarnation serves first try. *)
+  let r3 = Loopback.query c ~scheme:"commutative" ~fault_spec:"retries=2" ~fallback:false () in
+  ignore (served_exn "commutative" r3.Peer.result);
+  Alcotest.(check int) "redialed slot serves clean" 1 r3.Peer.epochs;
+  match Loopback.chaos_events c 1 with
+  | [ { Fault.event_action = Fault.Truncate _; _ } ] -> ()
+  | es -> Alcotest.failf "expected exactly one proxy event, got %d" (List.length es)
 
 let test_net_metrics_counted () =
   Obs.Metrics.reset ();
@@ -494,6 +627,8 @@ let () =
             test_mux_parks_frames_before_subscription;
           Alcotest.test_case "drops closed-session frames" `Quick
             test_mux_drops_frames_of_closed_sessions;
+          Alcotest.test_case "concurrent sessions never cross-deliver" `Quick
+            test_mux_concurrent_sessions_stress;
         ] );
       ( "scenario",
         [ Alcotest.test_case "digest deterministic" `Quick test_scenario_digest_deterministic ] );
@@ -504,6 +639,10 @@ let () =
           Alcotest.test_case "at capacity refuses" `Quick test_server_at_capacity_refuses;
           Alcotest.test_case "digest mismatch refused" `Quick
             test_scenario_digest_mismatch_refused;
+          Alcotest.test_case "completed session frees its slot" `Slow
+            test_admission_slot_freed_after_completion;
+          Alcotest.test_case "pooled connection sever isolated" `Slow
+            test_pooled_connection_sever_isolated;
           Alcotest.test_case "net metrics counted" `Quick test_net_metrics_counted;
         ] );
       ( "chaos",

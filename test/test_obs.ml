@@ -137,6 +137,48 @@ let test_metrics_singleton_quantile () =
     (fun q -> Alcotest.(check (float 1e-9)) "clamped to the one sample" 3.0 q)
     [ p50; p90; p99 ]
 
+(* The loadgen recipe: each concurrent recorder observes into its own
+   private histogram, merged after the join.  Because merge adds whole
+   buckets, the merged quantiles must equal those of one histogram that
+   observed every sample itself — bit-for-bit, not approximately. *)
+let test_histogram_merge_concurrent_recorders () =
+  let recorders = 4 and samples_each = 2500 in
+  let sample r i = float_of_int ((r * samples_each) + i + 1) /. 1000. in
+  let privates = Array.init recorders (fun _ -> Metrics.private_histogram ()) in
+  let domains =
+    List.init recorders (fun r ->
+        Domain.spawn (fun () ->
+            for i = 0 to samples_each - 1 do
+              Metrics.observe privates.(r) (sample r i)
+            done))
+  in
+  List.iter Domain.join domains;
+  let merged = Metrics.private_histogram () in
+  Array.iter (fun h -> Metrics.merge_into ~into:merged h) privates;
+  let reference = Metrics.private_histogram () in
+  for r = 0 to recorders - 1 do
+    for i = 0 to samples_each - 1 do
+      Metrics.observe reference (sample r i)
+    done
+  done;
+  Alcotest.(check int) "no sample lost" (recorders * samples_each)
+    (Metrics.histogram_count merged);
+  Alcotest.(check (float 1e-9)) "sums equal"
+    (Metrics.histogram_sum reference) (Metrics.histogram_sum merged);
+  Alcotest.(check (float 1e-9)) "min equal"
+    (Metrics.histogram_min reference) (Metrics.histogram_min merged);
+  Alcotest.(check (float 1e-9)) "max equal"
+    (Metrics.histogram_max reference) (Metrics.histogram_max merged);
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "q=%.2f identical to single-threaded" q)
+        (Metrics.quantile reference q) (Metrics.quantile merged q))
+    [ 0.01; 0.25; 0.5; 0.75; 0.9; 0.95; 0.99; 1.0 ];
+  (* The sources survive the merge unchanged. *)
+  Alcotest.(check int) "source histogram intact" samples_each
+    (Metrics.histogram_count privates.(0))
+
 (* ------------------------------------------------------------------ *)
 (* Trace. *)
 
@@ -484,6 +526,8 @@ let () =
           Alcotest.test_case "counter and gauge" `Quick test_metrics_counter_gauge;
           Alcotest.test_case "histogram percentiles" `Quick test_metrics_histogram;
           Alcotest.test_case "singleton quantile" `Quick test_metrics_singleton_quantile;
+          Alcotest.test_case "merge under concurrent recorders" `Quick
+            test_histogram_merge_concurrent_recorders;
         ] );
       ( "trace",
         [

@@ -1,0 +1,242 @@
+(* Sustained-load serving: the deterministic loadgen fleet against a
+   forked loopback cluster, plus the domain-level concurrency pieces it
+   rides on.
+
+   Ordering note: the final suite spawns OCaml domains, and Unix.fork
+   is illegal once any domain has been spawned — every cluster-forking
+   test must (and does) run before it. *)
+
+open Secmed_core
+open Secmed_net
+module Metrics = Secmed_obs.Metrics
+
+let fast = { Env.group_bits = 160; paillier_bits = 384 }
+
+let small_spec =
+  {
+    Workload.default with
+    rows_left = 10;
+    rows_right = 10;
+    distinct_left = 5;
+    distinct_right = 5;
+    overlap = 3;
+    extra_attrs = 1;
+    seed = 11;
+  }
+
+let base_config =
+  {
+    Loadgen.default_config with
+    Loadgen.workers = 8;
+    sessions_per_worker = 2;
+    domains = 1;
+    seed = "serve-test";
+  }
+
+let scheme_sequences plans =
+  List.map (fun worker -> List.map (fun p -> p.Loadgen.p_scheme) worker) plans
+
+(* ------------------------------------------------------------------ *)
+(* The plan is pure and replayable. *)
+
+let test_plan_deterministic () =
+  let p1 = Loadgen.plan base_config and p2 = Loadgen.plan base_config in
+  Alcotest.(check bool) "same seed, same plan" true (p1 = p2);
+  let other = Loadgen.plan { base_config with Loadgen.seed = "other" } in
+  Alcotest.(check bool) "different seed, different draws" true
+    (scheme_sequences p1 <> scheme_sequences other);
+  List.iter
+    (fun worker ->
+      List.iter
+        (fun p ->
+          Alcotest.(check bool) "scheme from the mix" true
+            (List.mem_assoc p.Loadgen.p_scheme base_config.Loadgen.mix))
+        worker)
+    p1
+
+let test_plan_poisson_arrivals () =
+  let config = { base_config with Loadgen.arrival = Loadgen.Poisson 50. } in
+  let plans = Loadgen.plan config in
+  List.iter
+    (fun worker ->
+      ignore
+        (List.fold_left
+           (fun prev p ->
+             Alcotest.(check bool) "arrival times strictly increase" true
+               (p.Loadgen.p_at > prev);
+             p.Loadgen.p_at)
+           (-1.) worker))
+    plans;
+  (* The scheme draws come from their own split: pacing does not change
+     which schemes a worker poses. *)
+  Alcotest.(check bool) "same schemes as closed loop" true
+    (scheme_sequences plans = scheme_sequences (Loadgen.plan base_config))
+
+(* ------------------------------------------------------------------ *)
+(* The fleet against a live cluster. *)
+
+let signature report =
+  List.map
+    (fun r -> (r.Loadgen.r_worker, r.Loadgen.r_index, r.Loadgen.r_scheme))
+    report.Loadgen.records
+
+(* CI smoke (8 workers x 2 sessions) doubling as the run-level
+   determinism check: the same seed replays the identical per-worker
+   scheme sequences, whatever the cluster's timing did. *)
+let test_run_deterministic_smoke () =
+  Loopback.with_cluster ~params:fast ~spec:small_spec ~max_sessions:8 @@ fun c ->
+  let target = Loopback.target c in
+  let r1 = Loadgen.run base_config target in
+  let r2 = Loadgen.run base_config target in
+  Alcotest.(check int) "all sessions accounted (run 1)" 16
+    (List.length r1.Loadgen.records);
+  Alcotest.(check bool) "same seed, same per-worker scheme sequences" true
+    (signature r1 = signature r2);
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "nothing failed" 0 (Loadgen.count Loadgen.Failed r);
+      Alcotest.(check int) "nothing unserved" 0 (Loadgen.count Loadgen.Unserved r);
+      Alcotest.(check int) "nothing refused" 0 (Loadgen.count Loadgen.Refused r);
+      Alcotest.(check int) "all served" 16
+        (Loadgen.count Loadgen.Served r + Loadgen.count Loadgen.Degraded r);
+      Alcotest.(check int) "latency histogram saw every session" 16
+        (Metrics.histogram_count r.Loadgen.latency))
+    [ r1; r2 ]
+
+(* The acceptance bar: 64 concurrent-fleet sessions, every served one
+   verified bit-for-bit (result relation, transcript messages, primitive
+   counters) against the in-process reference execution. *)
+let test_64_sessions_verified () =
+  Loopback.with_cluster ~params:fast ~spec:small_spec ~max_sessions:8 @@ fun c ->
+  let config =
+    {
+      base_config with
+      Loadgen.workers = 8;
+      sessions_per_worker = 8;
+      seed = "verified-64";
+      verify = true;
+    }
+  in
+  let report = Loadgen.run config (Loopback.target c) in
+  Alcotest.(check int) "64 sessions" 64 (List.length report.Loadgen.records);
+  Alcotest.(check int) "zero refused" 0 (Loadgen.count Loadgen.Refused report);
+  Alcotest.(check int) "zero unserved" 0 (Loadgen.count Loadgen.Unserved report);
+  Alcotest.(check int) "zero failed" 0 (Loadgen.count Loadgen.Failed report);
+  Alcotest.(check int) "all 64 served" 64 (Loadgen.count Loadgen.Served report);
+  Alcotest.(check (list string)) "every session bit-identical to the reference" []
+    report.Loadgen.verify_failures
+
+let test_backpressure_counted_as_refused () =
+  Loopback.with_cluster ~params:fast ~spec:small_spec ~max_sessions:0 @@ fun c ->
+  let config = { base_config with Loadgen.workers = 4; sessions_per_worker = 2 } in
+  let report = Loadgen.run config (Loopback.target c) in
+  Alcotest.(check int) "every session typed Busy" 8
+    (Loadgen.count Loadgen.Refused report);
+  Alcotest.(check int) "none misfiled as failed" 0 (Loadgen.count Loadgen.Failed report);
+  Alcotest.(check int) "none served" 0 (Loadgen.count Loadgen.Served report)
+
+let test_poisson_open_loop_serves () =
+  Loopback.with_cluster ~params:fast ~spec:small_spec ~max_sessions:8 @@ fun c ->
+  let config =
+    {
+      base_config with
+      Loadgen.workers = 2;
+      sessions_per_worker = 2;
+      arrival = Loadgen.Poisson 10.;
+      seed = "poisson-run";
+    }
+  in
+  let report = Loadgen.run config (Loopback.target c) in
+  Alcotest.(check int) "all served" 4 (Loadgen.count Loadgen.Served report);
+  Alcotest.(check bool) "throughput recorded" true (Loadgen.qps report > 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel mux consumers.  LAST: domains forbid later forks. *)
+
+(* The seeded interleaving stress again, but with each session's
+   consumer in its own OCaml domain: real parallelism on the shared
+   queues, same invariant — no frame lost, duplicated, or
+   cross-delivered. *)
+let test_mux_domain_parallel_consumers () =
+  let sessions = 4 and frames_per_session = 30 in
+  let fd_a, fd_b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let a = Io.of_fd ~peer:"producer" fd_a in
+  let b = Io.of_fd ~peer:"consumer" fd_b in
+  Fun.protect ~finally:(fun () -> Io.close a; Io.close b) @@ fun () ->
+  let mux = Endpoint.Mux.create b in
+  let schedule =
+    let all =
+      Array.init (sessions * frames_per_session) (fun i ->
+          ((i / frames_per_session) + 1, i mod frames_per_session))
+    in
+    Secmed_crypto.Prng.shuffle (Secmed_crypto.Prng.create ~seed:"mux-domains") all;
+    all
+  in
+  List.iter (fun k -> Endpoint.Mux.subscribe mux (k + 1)) (List.init sessions Fun.id);
+  let consumers =
+    List.init sessions (fun k ->
+        Domain.spawn (fun () ->
+            let received = ref [] in
+            (try
+               for _ = 1 to frames_per_session do
+                 match Endpoint.Mux.next mux ~session:(k + 1) ~timeout:10. with
+                 | Frame.Msg { session; seq; _ } -> received := (session, seq) :: !received
+                 | _ -> ()
+               done
+             with Io.Transport_error _ -> ());
+            List.rev !received))
+  in
+  Array.iter
+    (fun (session, seq) ->
+      Io.send_frame a
+        (Frame.encode
+           (Frame.Msg
+              {
+                session;
+                epoch = 1;
+                seq;
+                sender = Secmed_mediation.Transcript.Mediator;
+                receiver = Secmed_mediation.Transcript.Source 1;
+                label = Printf.sprintf "s%d-%d" session seq;
+                declared = 2;
+                payload = "xy";
+              })))
+    schedule;
+  let results = List.map Domain.join consumers in
+  List.iteri
+    (fun k received ->
+      let expected =
+        Array.to_list schedule |> List.filter (fun (session, _) -> session = k + 1)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "domain consumer %d saw its wire subsequence" (k + 1))
+        true (received = expected))
+    results
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "deterministic and seed-sensitive" `Quick
+            test_plan_deterministic;
+          Alcotest.test_case "poisson arrivals well-formed" `Quick
+            test_plan_poisson_arrivals;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "smoke run replays byte-identically" `Slow
+            test_run_deterministic_smoke;
+          Alcotest.test_case "64 sessions verified against reference" `Slow
+            test_64_sessions_verified;
+          Alcotest.test_case "backpressure counted as refused" `Quick
+            test_backpressure_counted_as_refused;
+          Alcotest.test_case "poisson open loop serves" `Slow
+            test_poisson_open_loop_serves;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "mux consumers across domains" `Quick
+            test_mux_domain_parallel_consumers;
+        ] );
+    ]
