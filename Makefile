@@ -1,6 +1,6 @@
 # Convenience entry points; everything below is plain dune.
 
-.PHONY: all check test check-fault check-obs check-resilience check-net check-serve check-crypto-perf bench bench-json clean
+.PHONY: all check test check-fault check-obs check-obs-net check-resilience check-net check-serve check-crypto-perf bench bench-json clean
 
 all:
 	dune build
@@ -24,6 +24,14 @@ check-obs:
 	    --trace _build/trace_ci.json
 	dune exec bench/main.exe -- json-protocols --sizes 4
 	dune exec bin/secmed.exe -- check-bench BENCH_protocols.json
+
+# Distributed-tracing suite: the Trace_wire codec, the forked loopback
+# cluster traced end to end (one merged Chrome trace, per-process phase
+# structure differentially equal to the in-process run, source spans
+# rooted under the mediator's session span), and the live stats surface
+# of a loaded mediator.
+check-obs-net:
+	dune exec test/test_trace_net.exe -- test -e
 
 # Resilience suite: deterministic session-layer tests (manual clocks,
 # seeded jitter — never sleeps), a CLI run that must degrade gracefully

@@ -91,7 +91,7 @@ let level_entry ~mode ~concurrency ~sessions_per_worker report =
       );
     ]
 
-let run_level ~mode ~concurrency ~sessions_per_worker =
+let run_level ?(trace = false) ~mode ~concurrency ~sessions_per_worker () =
   let chaos, fault_spec =
     match mode with
     | "chaos" -> ([ (1, chaos_plan ()) ], chaos_fault_spec)
@@ -119,11 +119,40 @@ let run_level ~mode ~concurrency ~sessions_per_worker =
       seed = Printf.sprintf "serve-%s-%d" mode concurrency;
       fault_spec;
       io_timeout;
+      trace;
     }
   in
   let report = Loadgen.run config (Loopback.target c) in
   Printf.printf "  %-5s c=%-3d %s%!" mode concurrency (Loadgen.render report);
   level_entry ~mode ~concurrency ~sessions_per_worker report
+
+(* The cost of observing: the same clean closed-loop level twice, spans
+   off vs spans on (collectors in every process, batches shipped and
+   forwarded).  Separate clusters so the off run carries no residue. *)
+let run_tracing_overhead ~concurrency ~sessions_per_worker =
+  Printf.printf "  tracing overhead at c=%d\n%!" concurrency;
+  let qps_of entry =
+    match Json.member "qps" entry with
+    | Some (Json.Float q) -> q
+    | Some (Json.Int q) -> float_of_int q
+    | _ -> 0.
+  in
+  let off = run_level ~mode:"clean" ~concurrency ~sessions_per_worker () in
+  let on = run_level ~trace:true ~mode:"clean" ~concurrency ~sessions_per_worker () in
+  let qps_off = qps_of off and qps_on = qps_of on in
+  let overhead_pct =
+    if qps_on <= 0. then 0. else 100. *. ((qps_off /. qps_on) -. 1.)
+  in
+  Json.Obj
+    [
+      ("concurrency", Json.Int concurrency);
+      ("sessions_per_worker", Json.Int sessions_per_worker);
+      ("qps_off", Json.Float qps_off);
+      ("qps_on", Json.Float qps_on);
+      ("overhead_pct", Json.Float overhead_pct);
+      ("tracing_off", off);
+      ("tracing_on", on);
+    ]
 
 let write ?(smoke = false) ?(path = "BENCH_serve.json") () =
   let levels = if smoke then [ 1; 2; 4; 8 ] else [ 1; 8; 64; 256 ] in
@@ -134,9 +163,12 @@ let write ?(smoke = false) ?(path = "BENCH_serve.json") () =
     List.concat_map
       (fun concurrency ->
         List.map
-          (fun mode -> run_level ~mode ~concurrency ~sessions_per_worker)
+          (fun mode -> run_level ~mode ~concurrency ~sessions_per_worker ())
           [ "clean"; "chaos" ])
       levels
+  in
+  let overhead =
+    run_tracing_overhead ~concurrency:(if smoke then 8 else 64) ~sessions_per_worker
   in
   let json =
     Json.Obj
@@ -149,6 +181,7 @@ let write ?(smoke = false) ?(path = "BENCH_serve.json") () =
               ("smoke", Json.Bool smoke);
             ] );
         ("serve", Json.List entries);
+        ("tracing_overhead", overhead);
       ]
   in
   let contents = Json.to_string_pretty json ^ "\n" in

@@ -190,6 +190,21 @@ let write_trace path trace =
     (List.length (Obs.Trace.spans trace))
     (List.length (Obs.Trace.events trace))
 
+(* A distributed run merges the remote span batches under the client's
+   own collector: one file, one pid lane per process. *)
+let write_trace_merged path trace remote_spans =
+  let processes = Net.Trace_wire.merge ~client:trace remote_spans in
+  let contents =
+    match Obs.Export.format_of_path path with
+    | `Chrome -> Obs.Export.chrome_json_processes processes
+    | `Jsonl -> Obs.Export.jsonl_processes processes
+  in
+  Obs.Export.write_file path contents;
+  let spans =
+    List.fold_left (fun acc p -> acc + List.length p.Obs.Export.pr_spans) 0 processes
+  in
+  Printf.printf "\ntrace: %s (%d processes, %d spans)\n" path (List.length processes) spans
+
 (* ------------------------------------------------------------------ *)
 (* secmed run *)
 
@@ -258,7 +273,7 @@ let run_remote ~target ~spec ~scheme ~fault ~deadline ~fallback ~io_timeout ~tra
     Obs.Trace.collect (fun () ->
         Net.Peer.run ~host ~port ~scenario ~scheme:(Protocol.scheme_name scheme) ~query
           ?fault_spec:fault ~deadline:(Option.value deadline ~default:0.) ~fallback
-          ~io_timeout env client)
+          ~io_timeout ~trace:(Option.is_some trace_file) env client)
   in
   let bytes_in, bytes_out = response.Net.Peer.socket_bytes in
   match response.Net.Peer.result with
@@ -268,6 +283,9 @@ let run_remote ~target ~spec ~scheme ~fault ~deadline ~fallback ~io_timeout ~tra
       ~ground_truth:(Some (Ground_truth.compute left right ~join_attr:"a_join"));
     Printf.printf "\nwire: %d attempt(s); client socket %d bytes in / %d bytes out\n"
       response.Net.Peer.epochs bytes_in bytes_out;
+    (let cv name = Obs.Metrics.counter_value (Obs.Metrics.counter name) in
+     Printf.printf "      net.* counters: %d frames sent / %d received\n"
+       (cv "net.frames_sent") (cv "net.frames_recv"));
     if response.Net.Peer.link_stats <> [] then begin
       print_endline "mediator links:";
       List.iter
@@ -276,7 +294,9 @@ let run_remote ~target ~spec ~scheme ~fault ~deadline ~fallback ~io_timeout ~tra
             (Transcript.party_name party) out_bytes in_bytes)
         response.Net.Peer.link_stats
     end;
-    Option.iter (fun path -> write_trace path trace) trace_file;
+    Option.iter
+      (fun path -> write_trace_merged path trace response.Net.Peer.remote_spans)
+      trace_file;
     (match outcome.Outcome.degraded_from with
     | None -> ()
     | Some from_scheme ->
@@ -285,7 +305,9 @@ let run_remote ~target ~spec ~scheme ~fault ~deadline ~fallback ~io_timeout ~tra
       exit exit_degraded)
   | Protocol.Unserved tried ->
     Format.printf "FAULT: query not served@.%a" Protocol.pp_session_failures tried;
-    Option.iter (fun path -> write_trace path trace) trace_file;
+    Option.iter
+      (fun path -> write_trace_merged path trace response.Net.Peer.remote_spans)
+      trace_file;
     exit exit_fault
 
 let run_cmd =
@@ -534,8 +556,14 @@ let loadgen_cmd =
                    primitive counters) against the in-process reference execution of \
                    its scheme.")
   in
-  let action connect workers sessions domains mix rate seed verify fault deadline fallback
-      io_timeout spec =
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Request distributed tracing on every session (batches are \
+                   discarded) — measures the span pipeline's overhead under load.")
+  in
+  let action connect workers sessions domains mix rate seed verify trace fault deadline
+      fallback io_timeout spec =
     let host, port = parse_host_port "--connect" connect in
     Workload.validate spec;
     let env, client, query = Workload.scenario spec in
@@ -557,6 +585,7 @@ let loadgen_cmd =
         fallback = (match fallback with `None -> false | `Auto | `Chain _ -> true);
         io_timeout;
         verify;
+        trace;
       }
     in
     let target = { Net.Loadgen.host; port; scenario; env; client; query } in
@@ -575,12 +604,147 @@ let loadgen_cmd =
   in
   let term =
     Term.(const action $ connect $ workers $ sessions $ domains $ mix $ rate $ seed
-          $ verify $ fault_arg $ deadline_arg $ fallback_arg $ io_timeout_arg $ spec_term)
+          $ verify $ trace $ fault_arg $ deadline_arg $ fallback_arg $ io_timeout_arg
+          $ spec_term)
   in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:"Drive a deterministic client fleet at a `secmed serve' mediator and report \
              throughput, latency percentiles, and backpressure")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* secmed stats *)
+
+let render_stats j =
+  let module J = Obs.Json in
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let mem path v =
+    List.fold_left (fun acc k -> Option.bind acc (J.member k)) (Some v) path
+  in
+  let num path = Option.value ~default:0. (Option.bind (mem path j) J.to_float) in
+  let i path = Option.value ~default:0 (Option.bind (mem path j) J.to_int) in
+  let s path = Option.value ~default:"" (Option.bind (mem path j) J.to_str) in
+  add "uptime %.1fs  scenario %s\n" (num [ "uptime_seconds" ])
+    (let sc = s [ "scenario" ] in
+     if String.length sc > 12 then String.sub sc 0 12 else sc);
+  add "sessions:  %d/%d active, %d admitted, %d refused\n" (i [ "sessions"; "active" ])
+    (i [ "sessions"; "max" ])
+    (i [ "sessions"; "admitted" ])
+    (i [ "sessions"; "refused" ]);
+  add "scheduler: %d workers, %d busy, %d queued, %d/%d completed, utilization %.1f%%\n"
+    (i [ "scheduler"; "workers" ])
+    (i [ "scheduler"; "busy" ])
+    (i [ "scheduler"; "queued" ])
+    (i [ "scheduler"; "completed" ])
+    (i [ "scheduler"; "submitted" ])
+    (100. *. num [ "scheduler"; "utilization" ]);
+  (match Option.bind (mem [ "pool" ] j) J.to_list with
+  | None | Some [] -> ()
+  | Some sources ->
+    add "pool:\n";
+    List.iter
+      (fun src ->
+        let si path = Option.value ~default:0 (Option.bind (mem path src) J.to_int) in
+        let slots =
+          match Option.bind (mem [ "slots" ] src) J.to_list with
+          | None -> ""
+          | Some slots ->
+            String.concat ", "
+              (List.map
+                 (fun sl ->
+                   let up =
+                     match J.member "connected" sl with Some (J.Bool b) -> b | _ -> false
+                   in
+                   Printf.sprintf "slot %d %s (%d dial%s)"
+                     (Option.value ~default:0 (Option.bind (J.member "slot" sl) J.to_int))
+                     (if up then "up" else "down")
+                     (Option.value ~default:0 (Option.bind (J.member "dials" sl) J.to_int))
+                     (if Option.value ~default:0 (Option.bind (J.member "dials" sl) J.to_int)
+                         = 1
+                      then ""
+                      else "s"))
+                 slots)
+        in
+        add "  source %d @%s: %s\n" (si [ "source" ])
+          (Option.value ~default:"" (Option.bind (mem [ "addr" ] src) J.to_str))
+          slots)
+      sources);
+  (match Option.bind (mem [ "breakers" ] j) J.to_list with
+  | None | Some [] -> add "breakers:  none created yet\n"
+  | Some breakers ->
+    add "breakers:  %s\n"
+      (String.concat ", "
+         (List.map
+            (fun b ->
+              Printf.sprintf "%s %s (%d transitions)"
+                (Option.value ~default:"?" (Option.bind (J.member "party" b) J.to_str))
+                (Option.value ~default:"?" (Option.bind (J.member "state" b) J.to_str))
+                (Option.value ~default:0 (Option.bind (J.member "transitions" b) J.to_int)))
+            breakers)));
+  add "net:       %d bytes sent / %d recv (%d / %d frames)\n" (i [ "net"; "bytes_sent" ])
+    (i [ "net"; "bytes_recv" ])
+    (i [ "net"; "frames_sent" ])
+    (i [ "net"; "frames_recv" ]);
+  (match mem [ "schemes" ] j with
+  | Some (J.Obj []) | None -> add "schemes:   none served yet\n"
+  | Some (J.Obj schemes) ->
+    add "schemes:\n";
+    List.iter
+      (fun (name, st) ->
+        let si path = Option.value ~default:0 (Option.bind (mem path st) J.to_int) in
+        let sn path = Option.value ~default:0. (Option.bind (mem path st) J.to_float) in
+        add "  %-14s %d served (%d degraded), %d failed; latency p50=%.1fms p90=%.1fms p99=%.1fms\n"
+          name (si [ "served" ]) (si [ "degraded" ]) (si [ "failed" ])
+          (1000. *. sn [ "latency_seconds"; "p50" ])
+          (1000. *. sn [ "latency_seconds"; "p90" ])
+          (1000. *. sn [ "latency_seconds"; "p99" ]))
+      schemes
+  | Some _ -> ());
+  Buffer.contents buf
+
+let stats_cmd =
+  let target =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"HOST:PORT" ~doc:"Mediator address to query.")
+  in
+  let watch =
+    Arg.(value & opt (some float) None
+         & info [ "watch" ] ~docv:"SECONDS"
+             ~doc:"Refresh the snapshot every $(docv) seconds until interrupted.")
+  in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the raw JSON snapshot instead.")
+  in
+  let action target watch json_flag io_timeout =
+    let host, port = parse_host_port "stats" target in
+    let once () =
+      let payload = Net.Peer.stats ~host ~port ~io_timeout () in
+      if json_flag then print_endline payload
+      else
+        match Obs.Json.parse payload with
+        | Error e -> failwith ("unparseable stats payload: " ^ e)
+        | Ok j -> print_string (render_stats j)
+    in
+    match watch with
+    | None -> once ()
+    | Some interval ->
+      let interval = Float.max 0.2 interval in
+      let rec go () =
+        once ();
+        print_newline ();
+        flush stdout;
+        Thread.delay interval;
+        go ()
+      in
+      go ()
+  in
+  let term = Term.(const action $ target $ watch $ json_flag $ io_timeout_arg) in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Show a running mediator's live serving telemetry (admission, scheduler \
+             utilization, connection pool, breakers, per-scheme latency)")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -919,11 +1083,22 @@ let check_bench_cmd =
                  per_scheme
              | _ -> fail "serve entry: missing or empty \"schemes\" array"))
            entries;
-         check_entries ~what:"serve" ~name_key:"mode"
+         check_keys ~what:"serve" ~name_key:"mode"
            ~required:
              [ "concurrency"; "sessions"; "seconds"; "qps"; "served"; "degraded";
                "unserved"; "refused"; "failed"; "p50_ms"; "p95_ms"; "p99_ms"; "schemes" ]
-           entries
+           entries;
+         (match Obs.Json.member "tracing_overhead" json with
+         | Some overhead ->
+           List.iter
+             (fun key ->
+               if Obs.Json.member key overhead = None then
+                 fail (Printf.sprintf "tracing_overhead: missing key %S" key))
+             [ "concurrency"; "sessions_per_worker"; "qps_off"; "qps_on";
+               "overhead_pct"; "tracing_off"; "tracing_on" ]
+         | None -> fail "missing section \"tracing_overhead\"");
+         Printf.printf "%s: ok (%d serve entries + tracing overhead)\n" file
+           (List.length entries)
        | _, _, _, _, Some (Obs.Json.List entries) when entries <> [] ->
          List.iter
            (fun entry ->
@@ -983,6 +1158,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; serve_cmd; source_cmd; loadgen_cmd; query_cmd; setop_cmd; chain_cmd;
-            select_cmd;
+          [ run_cmd; serve_cmd; source_cmd; loadgen_cmd; stats_cmd; query_cmd; setop_cmd;
+            chain_cmd; select_cmd;
             report_cmd; check_bench_cmd; schemes_cmd ]))

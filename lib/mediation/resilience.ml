@@ -256,6 +256,23 @@ let breaker_for s party = Mutex.protect s.s_mu (fun () -> breaker_for_unlocked s
 let breakers s =
   Mutex.protect s.s_mu (fun () -> Hashtbl.fold (fun _ b acc -> b :: acc) s.s_breakers [])
 
+let breakers_json s =
+  let sorted =
+    List.sort
+      (fun a b -> compare (Transcript.party_name a.b_party) (Transcript.party_name b.b_party))
+      (breakers s)
+  in
+  Obs.Json.List
+    (List.map
+       (fun b ->
+         Obs.Json.Obj
+           [
+             ("party", Obs.Json.Str (Transcript.party_name b.b_party));
+             ("state", Obs.Json.Str (breaker_state_name b.state));
+             ("transitions", Obs.Json.Int (List.length b.rev_transitions));
+           ])
+       sorted)
+
 let new_deadline s =
   match s.s_policy.deadline_budget with
   | None -> unlimited s.s_clock

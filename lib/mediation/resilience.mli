@@ -183,6 +183,11 @@ val breaker_for : session -> Transcript.party -> breaker
 val breakers : session -> breaker list
 (** All breakers created so far, in no particular order. *)
 
+val breakers_json : session -> Secmed_obs.Json.t
+(** Every breaker as [{party; state; transitions}], sorted by party name
+    — the ops-surface view a running mediator serves in its stats
+    snapshot. *)
+
 val new_deadline : session -> deadline
 (** A fresh per-query deadline from the session policy and clock. *)
 

@@ -172,6 +172,10 @@ let transport ~role ~session ~epoch ~io_timeout ~route_of ?(after_io = fun ~phas
         | Frame.Abort { epoch = e; failure; _ } when e >= here -> raise (Aborted failure)
         | Frame.Abort _ | Frame.Report _ -> go ()
         | Frame.Session_start { epoch = e; _ } when e <= here -> go ()
+        (* Span traffic is observability, never protocol: skippable
+           wherever it lands (the mediator's batching route normally
+           intercepts it first). *)
+        | Frame.Span_batch _ -> go ()
         | f ->
           Fault.fail ~phase ~party:receiver
             (Printf.sprintf "%s: unexpected %s frame mid-attempt" label (Frame.tag_name f))

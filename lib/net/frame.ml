@@ -32,6 +32,7 @@ type t =
       fault_spec : string;
       deadline : float;
       fallback : bool;
+      trace : bool;
     }
   | Session_start of {
       session : int;
@@ -40,12 +41,22 @@ type t =
       scheme : string;
       query : string;
       fault_spec : string;
+      trace_id : string;
+      trace_parent : int;
     }
   | Msg of msg
   | Report of { session : int; epoch : int; status : status }
   | Abort of { session : int; epoch : int; failure : Fault.failure }
   | Session_result of { session : int; result : wire_result }
   | Session_end of { session : int }
+  | Span_batch of {
+      session : int;
+      party : Transcript.party;
+      parent : int;
+      payload : string;
+    }
+  | Stats_request
+  | Stats of { payload : string }
 
 let malformed fmt = Printf.ksprintf (fun m -> raise (Wire.Malformed m)) fmt
 
@@ -165,21 +176,26 @@ let encode t =
   | Busy reason ->
     Wire.write_int w 2;
     Wire.write_string w reason
-  | Query { scheme; query; fault_spec; deadline; fallback } ->
+  | Query { scheme; query; fault_spec; deadline; fallback; trace } ->
     Wire.write_int w 3;
     Wire.write_string w scheme;
     Wire.write_string w query;
     Wire.write_string w fault_spec;
     write_seconds w deadline;
-    Wire.write_int w (if fallback then 1 else 0)
-  | Session_start { session; epoch; attempt; scheme; query; fault_spec } ->
+    Wire.write_int w (if fallback then 1 else 0);
+    Wire.write_int w (if trace then 1 else 0)
+  | Session_start { session; epoch; attempt; scheme; query; fault_spec; trace_id; trace_parent }
+    ->
     Wire.write_int w 4;
     Wire.write_int w session;
     Wire.write_int w epoch;
     Wire.write_int w attempt;
     Wire.write_string w scheme;
     Wire.write_string w query;
-    Wire.write_string w fault_spec
+    Wire.write_string w fault_spec;
+    Wire.write_string w trace_id;
+    (* +1 keeps the on-wire value non-negative (-1 = no parent). *)
+    Wire.write_int w (trace_parent + 1)
   | Msg { session; epoch; seq; sender; receiver; label; declared; payload } ->
     Wire.write_int w 5;
     Wire.write_int w session;
@@ -206,7 +222,17 @@ let encode t =
     write_result w result
   | Session_end { session } ->
     Wire.write_int w 9;
-    Wire.write_int w session);
+    Wire.write_int w session
+  | Span_batch { session; party; parent; payload } ->
+    Wire.write_int w 10;
+    Wire.write_int w session;
+    write_party w party;
+    Wire.write_int w (parent + 1);
+    Wire.write_string w payload
+  | Stats_request -> Wire.write_int w 11
+  | Stats { payload } ->
+    Wire.write_int w 12;
+    Wire.write_string w payload);
   Wire.contents w
 
 let decode body =
@@ -225,7 +251,8 @@ let decode body =
       let fault_spec = Wire.read_string r in
       let deadline = read_seconds r in
       let fallback = Wire.read_int r <> 0 in
-      Query { scheme; query; fault_spec; deadline; fallback }
+      let trace = Wire.read_int r <> 0 in
+      Query { scheme; query; fault_spec; deadline; fallback; trace }
     | 4 ->
       let session = Wire.read_int r in
       let epoch = Wire.read_int r in
@@ -233,7 +260,9 @@ let decode body =
       let scheme = Wire.read_string r in
       let query = Wire.read_string r in
       let fault_spec = Wire.read_string r in
-      Session_start { session; epoch; attempt; scheme; query; fault_spec }
+      let trace_id = Wire.read_string r in
+      let trace_parent = Wire.read_int r - 1 in
+      Session_start { session; epoch; attempt; scheme; query; fault_spec; trace_id; trace_parent }
     | 5 ->
       let session = Wire.read_int r in
       let epoch = Wire.read_int r in
@@ -259,6 +288,14 @@ let decode body =
       let result = read_result r in
       Session_result { session; result }
     | 9 -> Session_end { session = Wire.read_int r }
+    | 10 ->
+      let session = Wire.read_int r in
+      let party = read_party r in
+      let parent = Wire.read_int r - 1 in
+      let payload = Wire.read_string r in
+      Span_batch { session; party; parent; payload }
+    | 11 -> Stats_request
+    | 12 -> Stats { payload = Wire.read_string r }
     | n -> malformed "unknown frame tag %d" n
   in
   Wire.expect_end r;
@@ -275,12 +312,16 @@ let tag_name = function
   | Abort _ -> "abort"
   | Session_result _ -> "session-result"
   | Session_end _ -> "session-end"
+  | Span_batch _ -> "span-batch"
+  | Stats_request -> "stats-request"
+  | Stats _ -> "stats"
 
 let session_of = function
-  | Hello _ | Hello_ok _ | Busy _ | Query _ -> None
+  | Hello _ | Hello_ok _ | Busy _ | Query _ | Stats_request | Stats _ -> None
   | Session_start { session; _ }
   | Msg { session; _ }
   | Report { session; _ }
   | Abort { session; _ }
   | Session_result { session; _ }
-  | Session_end { session } -> Some session
+  | Session_end { session }
+  | Span_batch { session; _ } -> Some session

@@ -62,6 +62,7 @@ type t =
       fault_spec : string;  (** [""] = none; parsed by each replica *)
       deadline : float;     (** seconds; [0.] = the server's default policy *)
       fallback : bool;      (** enable the scheme degradation chain *)
+      trace : bool;         (** ask every process to trace and ship spans back *)
     }
   | Session_start of {
       session : int;
@@ -70,12 +71,26 @@ type t =
       scheme : string;
       query : string;
       fault_spec : string;
+      trace_id : string;  (** [""] = tracing off for this session *)
+      trace_parent : int;
+          (** the mediator's session span id — the root every replica's
+              span batch hangs under; [-1] when tracing is off *)
     }
   | Msg of msg
   | Report of { session : int; epoch : int; status : status }
   | Abort of { session : int; epoch : int; failure : Fault.failure }
   | Session_result of { session : int; result : wire_result }
   | Session_end of { session : int }
+  | Span_batch of {
+      session : int;
+      party : Transcript.party;  (** whose collector the payload came from *)
+      parent : int;
+          (** span id {e in the mediator's id space} the batch's roots
+              belong under; [-1] = none (the mediator's own batch) *)
+      payload : string;  (** a [Trace_wire] batch: epoch + spans + events *)
+    }
+  | Stats_request  (** connection-level: answered without admission *)
+  | Stats of { payload : string }  (** the server's stats snapshot as JSON text *)
 
 val encode : t -> string
 val decode : string -> t
@@ -86,4 +101,5 @@ val tag_name : t -> string
 
 val session_of : t -> int option
 (** The session id a frame belongs to; [None] for connection-level
-    frames ([Hello], [Hello_ok], [Busy], [Query]). *)
+    frames ([Hello], [Hello_ok], [Busy], [Query], [Stats_request],
+    [Stats]). *)

@@ -12,8 +12,19 @@ type conn = {
   send_mu : Mutex.t;
   mutable bytes_in : int;
   mutable bytes_out : int;
+  mutable frames_in : int;
+  mutable frames_out : int;
   mutable closed : bool;
 }
+
+(* Process-wide transport volume, summed over every connection.
+   Interned eagerly at module init (see the note in {!Endpoint}) and
+   bumped unconditionally: lossy-but-safe unsynchronised counters, like
+   the transcript's. *)
+let m_bytes_sent = Secmed_obs.Metrics.counter "net.bytes_sent"
+let m_bytes_recv = Secmed_obs.Metrics.counter "net.bytes_recv"
+let m_frames_sent = Secmed_obs.Metrics.counter "net.frames_sent"
+let m_frames_recv = Secmed_obs.Metrics.counter "net.frames_recv"
 
 let set_fd_timeout fd seconds =
   (* 0. disables the timeout (the setsockopt convention). *)
@@ -30,6 +41,8 @@ let of_fd ?(timeout = 0.) ~peer fd =
     send_mu = Mutex.create ();
     bytes_in = 0;
     bytes_out = 0;
+    frames_in = 0;
+    frames_out = 0;
     closed = false;
   }
 
@@ -81,6 +94,8 @@ let set_timeout t seconds = set_fd_timeout t.fd seconds
 let peer t = t.peer
 let bytes_in t = t.bytes_in
 let bytes_out t = t.bytes_out
+let frames_in t = t.frames_in
+let frames_out t = t.frames_out
 
 (* A full write in the face of short writes, EINTR, and timeouts.  The
    caller holds [send_mu], so the frame lands contiguously even when
@@ -94,7 +109,8 @@ let write_all t s =
     | 0 -> fail "send to %s: connection closed" t.peer
     | n ->
       off := !off + n;
-      t.bytes_out <- t.bytes_out + n
+      t.bytes_out <- t.bytes_out + n;
+      Secmed_obs.Metrics.incr ~by:n m_bytes_sent
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
       fail "send to %s: timeout" t.peer
@@ -106,18 +122,27 @@ let locked mu f =
   Mutex.lock mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
 
-let send_frame t body = locked t.send_mu (fun () -> write_all t (Wire.frame body))
+let send_frame t body =
+  locked t.send_mu (fun () ->
+      write_all t (Wire.frame body);
+      t.frames_out <- t.frames_out + 1;
+      Secmed_obs.Metrics.incr m_frames_sent)
+
 let send_raw t s = locked t.send_mu (fun () -> write_all t s)
 
 let recv_frame t =
   let rec next () =
     match Wire.Stream.next_frame t.stream with
-    | Some body -> body
+    | Some body ->
+      t.frames_in <- t.frames_in + 1;
+      Secmed_obs.Metrics.incr m_frames_recv;
+      body
     | None -> (
       match Unix.read t.fd t.rbuf 0 (Bytes.length t.rbuf) with
       | 0 -> fail "recv from %s: connection closed" t.peer
       | n ->
         t.bytes_in <- t.bytes_in + n;
+        Secmed_obs.Metrics.incr ~by:n m_bytes_recv;
         Wire.Stream.feed_bytes t.stream t.rbuf ~off:0 ~len:n;
         next ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> next ()

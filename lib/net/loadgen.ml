@@ -21,6 +21,7 @@ type config = {
   fallback : bool;
   io_timeout : float;
   verify : bool;
+  trace : bool;
 }
 
 let default_config =
@@ -36,6 +37,7 @@ let default_config =
     fallback = true;
     io_timeout = 10.;
     verify = false;
+    trace = false;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -142,9 +144,13 @@ let run_one config target scheme =
       r_latency = Clock.now () -. started; r_epochs = epochs }
   in
   match
+    (* [trace] exercises the whole span pipeline (collect, batch,
+       forward) for overhead measurement; the batches themselves are
+       discarded — loadgen measures, it does not render. *)
     Peer.run ~host:target.host ~port:target.port ~scenario:target.scenario ~scheme
       ~query:target.query ~fault_spec:config.fault_spec ~deadline:config.deadline
-      ~fallback:config.fallback ~io_timeout:config.io_timeout target.env target.client
+      ~fallback:config.fallback ~io_timeout:config.io_timeout ~trace:config.trace target.env
+      target.client
   with
   | response ->
     let kind =

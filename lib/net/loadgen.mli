@@ -51,6 +51,10 @@ type config = {
   fallback : bool;
   io_timeout : float;
   verify : bool;
+  trace : bool;
+      (** request distributed tracing on every session; the returned
+          span batches are discarded — the knob exists to measure the
+          pipeline's overhead under load *)
 }
 
 val default_config : config

@@ -105,8 +105,8 @@ let target c =
     query = c.c_query;
   }
 
-let query c ?fault_spec ?deadline ?fallback ?io_timeout ~scheme () =
+let query c ?fault_spec ?deadline ?fallback ?io_timeout ?trace ~scheme () =
   Peer.run ~host:"127.0.0.1" ~port:c.c_port ~scenario:c.c_scenario ~scheme ~query:c.c_query
     ?fault_spec ?deadline ?fallback
     ~io_timeout:(Option.value io_timeout ~default:c.c_io_timeout)
-    c.c_env c.c_client
+    ?trace c.c_env c.c_client

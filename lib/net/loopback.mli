@@ -51,8 +51,10 @@ val query :
   ?deadline:float ->
   ?fallback:bool ->
   ?io_timeout:float ->
+  ?trace:bool ->
   scheme:string ->
   unit ->
   Peer.response
 (** One remote query from the parent process (a fresh client connection
-    per call). *)
+    per call).  [trace] forwards to {!Peer.run}: every process collects
+    spans and the response carries the merged-ready batches. *)

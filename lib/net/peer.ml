@@ -1,6 +1,7 @@
 open Secmed_mediation
 open Secmed_core
 module Mux = Endpoint.Mux
+module Obs = Secmed_obs
 
 exception Refused of string
 
@@ -25,18 +26,37 @@ let source_session ~role ~env ~client ~io_timeout mux session =
   let parsed = ref false in
   let rec loop () =
     match Mux.next mux ~session ~timeout:120. with
-    | Frame.Session_start { epoch; attempt; scheme; query; fault_spec; _ } ->
+    | Frame.Session_start { epoch; attempt; scheme; query; fault_spec; trace_id; trace_parent; _ }
+      ->
       if not !parsed then begin
         (* One plan for the whole session: rule [times] counters burn
            down across attempts, mirroring the mediator's single plan. *)
         fault := parse_fault fault_spec;
         parsed := true
       end;
-      let status, _ =
+      let run_attempt () =
         Endpoint.run_replica ~role ~fault:!fault ~session ~epoch ~attempt ~scheme ~query
           ~io_timeout ~route env client
       in
-      (try Mux.send mux (Frame.Report { session; epoch; status })
+      let status, batch =
+        if String.equal trace_id "" then (fst (run_attempt ()), None)
+        else begin
+          (* A fresh collector per attempt, bound to this session's
+             thread only: concurrent sessions on the shared mux never
+             interleave spans.  The batch ships after the Report so the
+             mediator's verdict path is never blocked on span traffic. *)
+          let collector = Obs.Trace.create () in
+          let status, _ = Obs.Trace.with_collector collector run_attempt in
+          (status, Some (Trace_wire.payload_of collector))
+        end
+      in
+      (try
+         Mux.send mux (Frame.Report { session; epoch; status });
+         match batch with
+         | Some payload ->
+           Mux.send mux
+             (Frame.Span_batch { session; party = role; parent = trace_parent; payload })
+         | None -> ()
        with Io.Transport_error _ -> ());
       loop ()
     | Frame.Session_end _ -> Mux.unsubscribe mux session
@@ -122,13 +142,14 @@ type response = {
   epochs : int;
   link_stats : (Transcript.party * int * int) list;
   socket_bytes : int * int;
+  remote_spans : Trace_wire.remote list;
 }
 
 let failure_of_wire attempts (f : Fault.failure) =
   { Protocol.phase = f.Fault.phase; party = f.Fault.party; reason = f.Fault.reason; attempts }
 
 let run ~host ~port ~scenario ~scheme ~query ?(fault_spec = "") ?(deadline = 0.)
-    ?(fallback = true) ?(io_timeout = 10.) env client =
+    ?(fallback = true) ?(io_timeout = 10.) ?(trace = false) env client =
   let conn = Io.connect ~timeout:io_timeout ~host ~port () in
   Fun.protect ~finally:(fun () -> Io.close conn) @@ fun () ->
   Io.send_frame conn (Frame.encode (Frame.Hello { role = Transcript.Client; scenario }));
@@ -137,7 +158,8 @@ let run ~host ~port ~scenario ~scheme ~query ?(fault_spec = "") ?(deadline = 0.)
   | Frame.Hello_ok _ -> raise (Io.Transport_error "scenario digest mismatch with the mediator")
   | Frame.Busy reason -> raise (Refused reason)
   | f -> raise (Io.Transport_error ("unexpected " ^ Frame.tag_name f ^ " in handshake")));
-  Io.send_frame conn (Frame.encode (Frame.Query { scheme; query; fault_spec; deadline; fallback }));
+  Io.send_frame conn
+    (Frame.encode (Frame.Query { scheme; query; fault_spec; deadline; fallback; trace }));
   let route =
     {
       Endpoint.r_send = (fun f -> Io.send_frame conn (Frame.encode f));
@@ -151,8 +173,10 @@ let run ~host ~port ~scenario ~scheme ~query ?(fault_spec = "") ?(deadline = 0.)
   let parsed = ref false in
   let outcomes = Hashtbl.create 4 in
   let last_epoch = ref 0 in
+  let batches = ref [] in
   let finish result =
     let socket_bytes = (Io.bytes_in conn, Io.bytes_out conn) in
+    let remote_spans = List.rev !batches in
     match result with
     | Frame.W_served { w_scheme; w_attempts; w_degraded; w_link_stats } ->
       let outcome =
@@ -174,6 +198,7 @@ let run ~host ~port ~scenario ~scheme ~query ?(fault_spec = "") ?(deadline = 0.)
         epochs = w_attempts;
         link_stats = w_link_stats;
         socket_bytes;
+        remote_spans;
       }
     | Frame.W_unserved tried ->
       {
@@ -183,6 +208,7 @@ let run ~host ~port ~scenario ~scheme ~query ?(fault_spec = "") ?(deadline = 0.)
         epochs = !last_epoch;
         link_stats = [];
         socket_bytes;
+        remote_spans;
       }
   in
   (* Between attempts the mediator may be backing off, running another
@@ -191,8 +217,8 @@ let run ~host ~port ~scenario ~scheme ~query ?(fault_spec = "") ?(deadline = 0.)
   let rec serve_loop () =
     Io.set_timeout conn idle_timeout;
     match Frame.decode (Io.recv_frame conn) with
-    | Frame.Session_start { session; epoch; attempt; scheme = sname; query = q; fault_spec = fs }
-      ->
+    | Frame.Session_start
+        { session; epoch; attempt; scheme = sname; query = q; fault_spec = fs; _ } ->
       last_epoch := epoch;
       if not !parsed then begin
         fault := parse_fault fs;
@@ -209,7 +235,23 @@ let run ~host ~port ~scenario ~scheme ~query ?(fault_spec = "") ?(deadline = 0.)
       serve_loop ()
     | Frame.Session_result { result; _ } -> finish result
     | Frame.Busy reason -> raise (Refused reason)
+    | Frame.Span_batch { party; parent; payload; _ } ->
+      batches := { Trace_wire.rm_party = party; rm_parent = parent; rm_payload = payload }
+                 :: !batches;
+      serve_loop ()
     | Frame.Msg _ | Frame.Abort _ | Frame.Report _ | Frame.Session_end _ -> serve_loop ()
     | f -> raise (Io.Transport_error ("unexpected " ^ Frame.tag_name f))
   in
   serve_loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Ops client *)
+
+let stats ~host ~port ?(io_timeout = 10.) () =
+  let conn = Io.connect ~timeout:io_timeout ~host ~port () in
+  Fun.protect ~finally:(fun () -> Io.close conn) @@ fun () ->
+  Io.send_frame conn (Frame.encode Frame.Stats_request);
+  match Frame.decode (Io.recv_frame conn) with
+  | Frame.Stats { payload } -> payload
+  | Frame.Busy reason -> raise (Refused reason)
+  | f -> raise (Io.Transport_error ("unexpected " ^ Frame.tag_name f ^ " to a stats request"))

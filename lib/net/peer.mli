@@ -42,6 +42,9 @@ type response = {
   epochs : int;  (** attempts broadcast across the whole session *)
   link_stats : (Transcript.party * int * int) list;
   socket_bytes : int * int;  (** (received, sent) on the client socket *)
+  remote_spans : Trace_wire.remote list;
+      (** span batches forwarded by the mediator (its own plus every
+          source's), in arrival order; [[]] unless [trace] was set *)
 }
 
 val run :
@@ -54,11 +57,20 @@ val run :
   ?deadline:float ->
   ?fallback:bool ->
   ?io_timeout:float ->
+  ?trace:bool ->
   Env.t ->
   Env.client ->
   response
 (** Connect to a mediator, pose one query, and play the client replica
-    for every attempt the mediator announces.  Raises {!Refused} when
-    the mediator turns the connection away ([Busy]: at capacity, or its
-    scenario digest disagrees), {!Io.Transport_error} when the mediator
-    is unreachable or the link dies mid-session. *)
+    for every attempt the mediator announces.  With [trace] (default
+    off) the query asks every process to collect spans and ship them
+    back; merge [remote_spans] with the caller's own collector via
+    {!Trace_wire.merge}.  Raises {!Refused} when the mediator turns the
+    connection away ([Busy]: at capacity, or its scenario digest
+    disagrees), {!Io.Transport_error} when the mediator is unreachable
+    or the link dies mid-session. *)
+
+val stats : host:string -> port:int -> ?io_timeout:float -> unit -> string
+(** Ask a running mediator for its live stats snapshot (JSON text, the
+    [Stats] frame payload).  Answered without admission control, so it
+    works against a server at capacity. *)

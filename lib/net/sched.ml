@@ -27,6 +27,22 @@ type t = {
   mutable stopping : bool;
   mutable threads : Thread.t list;
   workers : int;
+  (* Lifetime accounting, all under [mu]; [busy_seconds] accumulates
+     wall time inside job thunks, so utilization over an interval is
+     (Δbusy_seconds / Δwall) / workers. *)
+  mutable busy : int;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable busy_seconds : float;
+}
+
+type stats = {
+  st_workers : int;
+  st_busy : int;
+  st_queued : int;
+  st_submitted : int;
+  st_completed : int;
+  st_busy_seconds : float;
 }
 
 let worker t =
@@ -36,16 +52,25 @@ let worker t =
           while Queue.is_empty t.queue && not t.stopping do
             Condition.wait t.cond t.mu
           done;
-          if Queue.is_empty t.queue then None else Some (Queue.pop t.queue))
+          if Queue.is_empty t.queue then None
+          else begin
+            t.busy <- t.busy + 1;
+            Some (Queue.pop t.queue)
+          end)
     in
     match job with
     | None -> ()
     | Some (Job (f, slot)) ->
+      let started = Unix.gettimeofday () in
       let outcome =
         match f () with
         | v -> Done v
         | exception e -> Raised (e, Printexc.get_raw_backtrace ())
       in
+      Mutex.protect t.mu (fun () ->
+          t.busy <- t.busy - 1;
+          t.completed <- t.completed + 1;
+          t.busy_seconds <- t.busy_seconds +. (Unix.gettimeofday () -. started));
       Mutex.protect slot.s_mu (fun () ->
           slot.outcome <- outcome;
           Condition.signal slot.s_cond);
@@ -63,6 +88,10 @@ let create ~workers =
       stopping = false;
       threads = [];
       workers;
+      busy = 0;
+      submitted = 0;
+      completed = 0;
+      busy_seconds = 0.;
     }
   in
   t.threads <- List.init workers (fun _ -> Thread.create worker t);
@@ -70,10 +99,22 @@ let create ~workers =
 
 let workers t = t.workers
 
+let stats t =
+  Mutex.protect t.mu (fun () ->
+      {
+        st_workers = t.workers;
+        st_busy = t.busy;
+        st_queued = Queue.length t.queue;
+        st_submitted = t.submitted;
+        st_completed = t.completed;
+        st_busy_seconds = t.busy_seconds;
+      })
+
 let run t f =
   let slot = { outcome = Pending; s_mu = Mutex.create (); s_cond = Condition.create () } in
   Mutex.protect t.mu (fun () ->
       if t.stopping then invalid_arg "Sched.run: pool is stopped";
+      t.submitted <- t.submitted + 1;
       Queue.push (Job (f, slot)) t.queue;
       Condition.signal t.cond);
   let pending () = match slot.outcome with Pending -> true | _ -> false in

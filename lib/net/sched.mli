@@ -17,6 +17,21 @@ val create : workers:int -> t
 
 val workers : t -> int
 
+(** A consistent snapshot of the pool's accounting, read under the pool
+    lock.  [st_busy_seconds] is cumulative wall time spent inside job
+    thunks since creation, so utilization over an observation interval
+    is [Δst_busy_seconds / (interval × st_workers)]. *)
+type stats = {
+  st_workers : int;
+  st_busy : int;       (** workers executing a job right now *)
+  st_queued : int;     (** submitted jobs not yet picked up *)
+  st_submitted : int;
+  st_completed : int;
+  st_busy_seconds : float;
+}
+
+val stats : t -> stats
+
 val run : t -> (unit -> 'a) -> 'a
 (** Submit a thunk and block until a worker has run it; returns its
     result or re-raises its exception (with backtrace).  FIFO across

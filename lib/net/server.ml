@@ -2,15 +2,30 @@ open Secmed_mediation
 open Secmed_core
 module R = Resilience
 module Mux = Endpoint.Mux
+module Obs = Secmed_obs
 
 (* One pooled connection to a datasource.  Each slot owns at most one
    live mux; a session checks out exactly one slot per source for its
    whole lifetime, so a severed pooled connection faults only the
-   sessions bound to that slot — the others never notice. *)
+   sessions bound to that slot — the others never notice.  [ss_epoch]
+   counts successful dials: 1 on the first connect, +1 per redial, so
+   the ops surface can tell a stable slot from a flapping one. *)
 type source_slot = {
   ss_index : int;
   ss_mu : Mutex.t;
   mutable ss_mux : Mux.t option;
+  mutable ss_epoch : int;
+}
+
+(* Live per-scheme serving tallies, keyed by the scheme that answered
+   (or was asked, for failures).  The latency histogram is a private
+   cell — observed under [stats_mu], unconditionally, so the ops
+   surface works without the global metrics registry recording. *)
+type scheme_stat = {
+  mutable sc_served : int;
+  mutable sc_degraded : int;
+  mutable sc_failed : int;
+  sc_latency : Obs.Metrics.histogram;
 }
 
 type source_link = {
@@ -35,6 +50,9 @@ type t = {
   mutable active : int;
   mutable next_session : int;
   mutable stopped : bool;
+  started_at : float;
+  stats_mu : Mutex.t;
+  scheme_stats : (string, scheme_stat) Hashtbl.t;
 }
 
 (* Interned eagerly at module init — see the note in {!Endpoint}. *)
@@ -59,7 +77,7 @@ let create ~env ~client ~scenario ~sources ~listen_fd ?(policy = R.default_polic
             sl_port;
             sl_slots =
               Array.init source_conns (fun ss_index ->
-                  { ss_index; ss_mu = Mutex.create (); ss_mux = None });
+                  { ss_index; ss_mu = Mutex.create (); ss_mux = None; ss_epoch = 0 });
           })
         sources;
     listen_fd;
@@ -72,6 +90,9 @@ let create ~env ~client ~scenario ~sources ~listen_fd ?(policy = R.default_polic
     active = 0;
     next_session = 1;
     stopped = false;
+    started_at = Unix.gettimeofday ();
+    stats_mu = Mutex.create ();
+    scheme_stats = Hashtbl.create 8;
   }
 
 (* A session's slot for a source: round-robin by session id, so tests
@@ -104,6 +125,7 @@ let ensure_slot t sl slot =
               Io.set_timeout conn 0.;
               let m = Mux.create conn in
               slot.ss_mux <- Some m;
+              slot.ss_epoch <- slot.ss_epoch + 1;
               Ok m
             | Frame.Hello_ok _ ->
               Io.close conn;
@@ -154,6 +176,25 @@ let stashing ~epoch ~party cell (route : Endpoint.route) =
         | f -> f);
   }
 
+(* Span batches are observability riding the session stream: record
+   each one into the accumulator as it passes.  The frame is returned,
+   not swallowed — every downstream reader (the endpoint's receive
+   filter, the commit barrier, the post-verdict drain) skips it, and
+   returning lets the drain notice a completed count without waiting
+   out another read timeout. *)
+let batching acc (route : Endpoint.route) =
+  {
+    route with
+    Endpoint.r_next =
+      (fun ~timeout ->
+        match route.Endpoint.r_next ~timeout with
+        | Frame.Span_batch { party; parent; payload; _ } as f ->
+          acc := { Trace_wire.rm_party = party; rm_parent = parent; rm_payload = payload }
+                 :: !acc;
+          f
+        | f -> f);
+  }
+
 let counted (_, out_c, in_c) (route : Endpoint.route) =
   {
     Endpoint.r_send =
@@ -171,7 +212,7 @@ let counted (_, out_c, in_c) (route : Endpoint.route) =
         f);
   }
 
-let make_routes t conn sid ~epoch =
+let make_routes t conn sid ~epoch ~batches =
   let stat party = (party, ref 0, ref 0) in
   let client_stat = stat Transcript.Client in
   let client_report = ref None in
@@ -208,11 +249,12 @@ let make_routes t conn sid ~epoch =
         ( s,
           ( sl.sl_id,
             stashing ~epoch ~party:(Transcript.Source sl.sl_id) cell
-              (counted s
-                 {
-                   Endpoint.r_send = (fun f -> Mux.send (mux ()) f);
-                   r_next = (fun ~timeout -> Mux.next (mux ()) ~session:sid ~timeout);
-                 }),
+              (batching batches
+                 (counted s
+                    {
+                      Endpoint.r_send = (fun f -> Mux.send (mux ()) f);
+                      r_next = (fun ~timeout -> Mux.next (mux ()) ~session:sid ~timeout);
+                    })),
             cell ) ))
       t.sources
   in
@@ -227,7 +269,7 @@ let make_routes t conn sid ~epoch =
    collect every replica's report so no stale frames leak into the next
    attempt.  A replica's own typed fault is the root cause and outranks
    whatever downstream stall the mediator observed locally. *)
-let coordinator t ~sid ~query ~fault_spec ~routes ~epoch ~failures =
+let coordinator t ~sid ~query ~fault_spec ~routes ~epoch ~failures ~trace_id ~session_span =
   let cells = routes.client_report :: List.map (fun (_, _, c) -> c) routes.source_routes in
   let broadcast frame =
     (try routes.client_route.Endpoint.r_send frame with Io.Transport_error _ -> ());
@@ -239,7 +281,17 @@ let coordinator t ~sid ~query ~fault_spec ~routes ~epoch ~failures =
     incr epoch;
     List.iter (fun c -> c := None) cells;
     broadcast
-      (Frame.Session_start { session = sid; epoch = !epoch; attempt; scheme; query; fault_spec })
+      (Frame.Session_start
+         {
+           session = sid;
+           epoch = !epoch;
+           attempt;
+           scheme;
+           query;
+           fault_spec;
+           trace_id;
+           trace_parent = !session_span;
+         })
   in
   (* The {!stashing} wrapper intercepts every current-epoch Report, so
      the stash cell — not the frame stream — is where a report lands,
@@ -293,7 +345,31 @@ let coordinator t ~sid ~query ~fault_spec ~routes ~epoch ~failures =
   in
   { Protocol.begin_attempt; end_attempt }
 
-let run_query t conn sid ~release ~scheme ~query ~fault_spec ~deadline ~fallback =
+(* Per-scheme tallies for the ops surface; [key] is the scheme that
+   answered (or, for a failure, the one that was asked). *)
+let note_result t ~key ~elapsed outcome =
+  Mutex.protect t.stats_mu (fun () ->
+      let st =
+        match Hashtbl.find_opt t.scheme_stats key with
+        | Some st -> st
+        | None ->
+          let st =
+            { sc_served = 0; sc_degraded = 0; sc_failed = 0;
+              sc_latency = Obs.Metrics.private_histogram () }
+          in
+          Hashtbl.replace t.scheme_stats key st;
+          st
+      in
+      (match outcome with
+      | `Served -> st.sc_served <- st.sc_served + 1
+      | `Degraded ->
+        st.sc_served <- st.sc_served + 1;
+        st.sc_degraded <- st.sc_degraded + 1
+      | `Failed -> st.sc_failed <- st.sc_failed + 1);
+      Obs.Metrics.observe st.sc_latency elapsed)
+
+let run_query t conn sid ~release ~scheme ~query ~fault_spec ~deadline ~fallback ~trace =
+  let started = Unix.gettimeofday () in
   let reply result =
     (* The admission slot is free before the client can observe the
        verdict: a closed-loop client that reconnects the instant its
@@ -302,7 +378,10 @@ let run_query t conn sid ~release ~scheme ~query ~fault_spec ~deadline ~fallback
     try Io.send_frame conn (Frame.encode (Frame.Session_result { session = sid; result }))
     with Io.Transport_error _ -> ()
   in
-  let refuse failure = reply (Frame.W_unserved [ (scheme, failure, 0) ]) in
+  let refuse failure =
+    note_result t ~key:scheme ~elapsed:(Unix.gettimeofday () -. started) `Failed;
+    reply (Frame.W_unserved [ (scheme, failure, 0) ])
+  in
   match Protocol.scheme_of_name scheme with
   | None ->
     refuse
@@ -346,9 +425,19 @@ let run_query t conn sid ~release ~scheme ~query ~fault_spec ~deadline ~fallback
               t.sources)
         @@ fun () ->
         let epoch = ref 0 in
-        let routes = make_routes t conn sid ~epoch in
+        let batches = ref [] in
+        let routes = make_routes t conn sid ~epoch ~batches in
         let failures = ref [] in
-        let coordinator = coordinator t ~sid ~query ~fault_spec ~routes ~epoch ~failures in
+        (* Tracing: one collector for the whole session, bound to this
+           worker thread, with a root "session" span whose id every
+           [Session_start] carries as [trace_parent] — the anchor each
+           replica's batch roots hang under. *)
+        let trace_id = if trace then Printf.sprintf "s%d" sid else "" in
+        let collector = if trace then Some (Obs.Trace.create ()) else None in
+        let session_span = ref (-1) in
+        let coordinator =
+          coordinator t ~sid ~query ~fault_spec ~routes ~epoch ~failures ~trace_id ~session_span
+        in
         let route_of = function
           | Transcript.Client -> Some routes.client_route
           | Transcript.Source i ->
@@ -381,13 +470,81 @@ let run_query t conn sid ~release ~scheme ~query ~fault_spec ~deadline ~fallback
             R.session ~policy:{ t.policy with R.deadline_budget = Some deadline } ()
           else t.rsession
         in
-        let verdict =
+        let run_driver () =
           Protocol.run_session ?fault ~endpoint:(Link.Remote transport) ~coordinator
             ~on_deadline:(fun d -> deadline_ref := Some d)
             ~session:rsession
             ?chain:(if fallback then None else Some [])
             sch t.env t.client ~query
         in
+        let verdict =
+          match collector with
+          | None -> run_driver ()
+          | Some c ->
+            Obs.Trace.with_collector c (fun () ->
+                Obs.Trace.with_span ~kind:Obs.Trace.Protocol
+                  ~attrs:
+                    [
+                      ("session", Obs.Json.Int sid);
+                      ("scheme", Obs.Json.Str scheme);
+                      ("party", Obs.Json.Str "mediator");
+                    ]
+                  "session"
+                  (fun () ->
+                    (match Obs.Trace.current_span_id () with
+                    | Some id -> session_span := id
+                    | None -> ());
+                    run_driver ()))
+        in
+        (* Each source owes one batch per epoch; a bounded drain picks
+           up the ones racing in behind the final Reports.  Best-effort:
+           a dead or silent source just stops its own drain. *)
+        let drain_batches () =
+          let timeout = Float.min 2.0 t.io_timeout in
+          List.iter
+            (fun (id, (r : Endpoint.route), _) ->
+              let have () =
+                List.length
+                  (List.filter
+                     (fun b -> b.Trace_wire.rm_party = Transcript.Source id)
+                     !batches)
+              in
+              let rec go () =
+                if have () < !epoch then
+                  match r.Endpoint.r_next ~timeout with
+                  | _ -> go ()
+                  | exception Io.Transport_error _ -> ()
+              in
+              go ())
+            routes.source_routes
+        in
+        let forward_spans () =
+          match collector with
+          | None -> ()
+          | Some c ->
+            drain_batches ();
+            let send rm =
+              try
+                Io.send_frame conn
+                  (Frame.encode
+                     (Frame.Span_batch
+                        {
+                          session = sid;
+                          party = rm.Trace_wire.rm_party;
+                          parent = rm.Trace_wire.rm_parent;
+                          payload = rm.Trace_wire.rm_payload;
+                        }))
+              with Io.Transport_error _ -> ()
+            in
+            List.iter send (List.rev !batches);
+            send
+              {
+                Trace_wire.rm_party = Transcript.Mediator;
+                rm_parent = -1;
+                rm_payload = Trace_wire.payload_of c;
+              }
+        in
+        let elapsed = Unix.gettimeofday () -. started in
         (match verdict with
         | Protocol.Served outcome ->
           let w_degraded =
@@ -405,6 +562,9 @@ let run_query t conn sid ~release ~scheme ~query ~fault_spec ~deadline ~fallback
               in
               Some (from_scheme, reason)
           in
+          note_result t ~key:outcome.Outcome.scheme ~elapsed
+            (match w_degraded with None -> `Served | Some _ -> `Degraded);
+          forward_spans ();
           reply
             (Frame.W_served
                {
@@ -440,6 +600,8 @@ let run_query t conn sid ~release ~scheme ~query ~fault_spec ~deadline ~fallback
               with Io.Transport_error _ -> ())
             routes.source_routes;
           (* The client replica's Report to the final abort, if any. *)
+          note_result t ~key:scheme ~elapsed `Failed;
+          forward_spans ();
           reply
             (Frame.W_unserved
                (List.map
@@ -447,23 +609,146 @@ let run_query t conn sid ~release ~scheme ~query ~fault_spec ~deadline ~fallback
                   tried)))))
 
 (* ------------------------------------------------------------------ *)
+(* Live stats snapshot *)
+
+let stats_json t =
+  let module J = Obs.Json in
+  let now = Unix.gettimeofday () in
+  let uptime = now -. t.started_at in
+  let active, next_session =
+    Mutex.protect t.admission_mu (fun () -> (t.active, t.next_session))
+  in
+  let sched = Sched.stats t.sched in
+  let utilization =
+    if uptime <= 0. then 0.
+    else sched.Sched.st_busy_seconds /. (uptime *. float_of_int sched.Sched.st_workers)
+  in
+  let pool =
+    List.map
+      (fun sl ->
+        J.Obj
+          [
+            ("source", J.Int sl.sl_id);
+            ("addr", J.Str (Printf.sprintf "%s:%d" sl.sl_host sl.sl_port));
+            ( "slots",
+              J.List
+                (Array.to_list
+                   (Array.map
+                      (fun slot ->
+                        let connected, dials =
+                          Mutex.protect slot.ss_mu (fun () ->
+                              ( (match slot.ss_mux with
+                                | Some m -> Mux.alive m
+                                | None -> false),
+                                slot.ss_epoch ))
+                        in
+                        J.Obj
+                          [
+                            ("slot", J.Int slot.ss_index);
+                            ("connected", J.Bool connected);
+                            ("dials", J.Int dials);
+                          ])
+                      sl.sl_slots)) );
+          ])
+      t.sources
+  in
+  let schemes =
+    Mutex.protect t.stats_mu (fun () ->
+        Hashtbl.fold (fun k st acc -> (k, st) :: acc) t.scheme_stats [])
+  in
+  let schemes =
+    List.map
+      (fun (k, st) ->
+        let p50, p90, p99 = Obs.Metrics.percentiles st.sc_latency in
+        ( k,
+          J.Obj
+            [
+              ("served", J.Int st.sc_served);
+              ("degraded", J.Int st.sc_degraded);
+              ("failed", J.Int st.sc_failed);
+              ( "latency_seconds",
+                J.Obj
+                  [
+                    ("count", J.Int (Obs.Metrics.histogram_count st.sc_latency));
+                    ("p50", J.Float p50);
+                    ("p90", J.Float p90);
+                    ("p99", J.Float p99);
+                    ("max", J.Float (Obs.Metrics.histogram_max st.sc_latency));
+                  ] );
+            ] ))
+      (List.sort (fun (a, _) (b, _) -> compare a b) schemes)
+  in
+  let cv name = Obs.Metrics.counter_value (Obs.Metrics.counter name) in
+  J.Obj
+    [
+      ("uptime_seconds", J.Float uptime);
+      ("scenario", J.Str t.scenario);
+      ( "sessions",
+        J.Obj
+          [
+            ("active", J.Int active);
+            ("max", J.Int t.max_sessions);
+            ("next_id", J.Int next_session);
+            ("admitted", J.Int (Obs.Metrics.counter_value sessions_admitted));
+            ("refused", J.Int (Obs.Metrics.counter_value sessions_refused));
+          ] );
+      ( "scheduler",
+        J.Obj
+          [
+            ("workers", J.Int sched.Sched.st_workers);
+            ("busy", J.Int sched.Sched.st_busy);
+            ("queued", J.Int sched.Sched.st_queued);
+            ("submitted", J.Int sched.Sched.st_submitted);
+            ("completed", J.Int sched.Sched.st_completed);
+            ("busy_seconds", J.Float sched.Sched.st_busy_seconds);
+            ("utilization", J.Float utilization);
+          ] );
+      ("pool", J.List pool);
+      ("breakers", R.breakers_json t.rsession);
+      ( "net",
+        J.Obj
+          [
+            ("bytes_sent", J.Int (cv "net.bytes_sent"));
+            ("bytes_recv", J.Int (cv "net.bytes_recv"));
+            ("frames_sent", J.Int (cv "net.frames_sent"));
+            ("frames_recv", J.Int (cv "net.frames_recv"));
+          ] );
+      ("schemes", J.Obj schemes);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Accept loop *)
 
-(* The connection thread performs the handshake and query read, then
-   blocks in {!Sched.run} while a pool worker executes the driver.
-   Scheduling whole sessions (not individual frames) keeps each
-   driver's thread-local state — counter attribution, bigint caches —
-   private to one worker for the session's entire lifetime. *)
-let handle t conn ~release =
+(* The connection thread reads the first frame to route it: a stats
+   probe is answered immediately — no admission, no worker — so the ops
+   surface stays responsive on a server at capacity; a client Hello
+   goes through scenario check, then admission, then the handshake and
+   query read, then blocks in {!Sched.run} while a pool worker executes
+   the driver.  Scheduling whole sessions (not individual frames) keeps
+   each driver's thread-local state — counter attribution, bigint
+   caches — private to one worker for the session's entire lifetime. *)
+let handle t conn ~admit ~release =
   match Frame.decode (Io.recv_frame conn) with
+  | Frame.Stats_request ->
+    Io.send_frame conn
+      (Frame.encode (Frame.Stats { payload = Obs.Json.to_string (stats_json t) }))
   | Frame.Hello { role = Transcript.Client; scenario } ->
     if not (String.equal scenario t.scenario) then
       Io.send_frame conn
         (Frame.encode (Frame.Busy "scenario digest mismatch (wrong workload or parameters)"))
+    else if not (admit ()) then begin
+      (* Backpressure, not a hang: a typed refusal the load layer can
+         count, sent before the handshake commits any session state. *)
+      Secmed_obs.Metrics.incr sessions_refused;
+      Io.send_frame conn
+        (Frame.encode
+           (Frame.Busy (Printf.sprintf "at capacity (%d concurrent sessions)" t.max_sessions)))
+    end
     else begin
+      Secmed_obs.Metrics.incr sessions_admitted;
       Io.send_frame conn (Frame.encode (Frame.Hello_ok { scenario = t.scenario }));
       match Frame.decode (Io.recv_frame conn) with
-      | Frame.Query { scheme; query; fault_spec; deadline; fallback } ->
+      | Frame.Query { scheme; query; fault_spec; deadline; fallback; trace } ->
         let sid =
           Mutex.protect t.admission_mu (fun () ->
               let sid = t.next_session in
@@ -471,68 +756,60 @@ let handle t conn ~release =
               sid)
         in
         Sched.run t.sched (fun () ->
-            run_query t conn sid ~release ~scheme ~query ~fault_spec ~deadline ~fallback)
+            run_query t conn sid ~release ~scheme ~query ~fault_spec ~deadline ~fallback ~trace)
       | _ -> ()
     end
   | Frame.Hello _ ->
     Io.send_frame conn (Frame.encode (Frame.Busy "only clients may connect to this port"))
   | _ -> ()
 
-let session_thread t conn =
-  (* Called at most once per session: by [reply] on the worker thread
-     (strictly before [Sched.run] returns), or by the teardown below
-     when the session never reached a verdict. *)
+let conn_thread t conn =
+  (* [release] is called at most once per admitted session: by [reply]
+     on the worker thread (strictly before [Sched.run] returns), or by
+     the teardown below when the session never reached a verdict. *)
+  let state_mu = Mutex.create () in
+  let admitted = ref false in
   let released = ref false in
+  let admit () =
+    let ok =
+      Mutex.protect t.admission_mu (fun () ->
+          if t.active < t.max_sessions then begin
+            t.active <- t.active + 1;
+            Secmed_obs.Metrics.set_gauge active_gauge (float_of_int t.active);
+            true
+          end
+          else false)
+    in
+    if ok then Mutex.protect state_mu (fun () -> admitted := true);
+    ok
+  in
   let release () =
-    if not !released then begin
-      released := true;
+    let owe =
+      Mutex.protect state_mu (fun () ->
+          if !admitted && not !released then begin
+            released := true;
+            true
+          end
+          else false)
+    in
+    if owe then
       Mutex.protect t.admission_mu (fun () ->
           t.active <- t.active - 1;
           Secmed_obs.Metrics.set_gauge active_gauge (float_of_int t.active))
-    end
   in
   Fun.protect
     ~finally:(fun () ->
       Io.close conn;
       release ())
-    (fun () -> try handle t conn ~release with Io.Transport_error _ | Wire.Malformed _ -> ())
+    (fun () ->
+      try handle t conn ~admit ~release with Io.Transport_error _ | Wire.Malformed _ -> ())
 
 let serve t =
   let rec loop () =
     match Io.accept ~timeout:t.io_timeout t.listen_fd with
     | exception Io.Transport_error _ -> if not t.stopped then loop ()
     | conn ->
-      let admitted =
-        Mutex.protect t.admission_mu (fun () ->
-            if t.active < t.max_sessions then begin
-              t.active <- t.active + 1;
-              Secmed_obs.Metrics.set_gauge active_gauge (float_of_int t.active);
-              true
-            end
-            else false)
-      in
-      if admitted then begin
-        Secmed_obs.Metrics.incr sessions_admitted;
-        ignore (Thread.create (session_thread t) conn : Thread.t)
-      end
-      else begin
-        (* Backpressure, not a hang: the typed [Busy] goes out on a
-           throwaway thread so a slow or dead client can't stall the
-           accept loop. *)
-        Secmed_obs.Metrics.incr sessions_refused;
-        ignore
-          (Thread.create
-             (fun () ->
-               (try
-                  Io.send_frame conn
-                    (Frame.encode
-                       (Frame.Busy
-                          (Printf.sprintf "at capacity (%d concurrent sessions)" t.max_sessions)))
-                with Io.Transport_error _ -> ());
-               Io.close conn)
-             ()
-            : Thread.t)
-      end;
+      ignore (Thread.create (conn_thread t) conn : Thread.t);
       loop ()
   in
   loop ()

@@ -58,7 +58,19 @@ val create :
     protocol drivers. *)
 
 val serve : t -> unit
-(** Accept loop; returns when the listening socket is closed. *)
+(** Accept loop; returns when the listening socket is closed.  Every
+    accepted connection is routed by its first frame: a [Stats_request]
+    is answered immediately — without admission control, so the ops
+    surface works on a server at capacity — and a client [Hello] goes
+    through scenario check, admission, handshake, and the scheduler. *)
+
+val stats_json : t -> Secmed_obs.Json.t
+(** The live serving snapshot the [Stats] frame carries: uptime,
+    admission state, scheduler utilization, per-source pool slots (with
+    dial counts), breaker states, process-wide transport volume, and
+    per-scheme served/degraded/failed tallies with latency
+    percentiles.  Lock order is per-subsystem; the snapshot is
+    consistent per field group, not globally atomic. *)
 
 val stop : t -> unit
 (** Close the listener and the pooled datasource connections, and

@@ -1,0 +1,208 @@
+open Secmed_mediation
+module Obs = Secmed_obs
+module Trace = Obs.Trace
+
+let malformed fmt = Printf.ksprintf (fun m -> raise (Wire.Malformed m)) fmt
+
+let write_attrs w attrs =
+  Wire.write_list w
+    (fun (k, v) ->
+      Wire.write_string w k;
+      Wire.write_string w (Obs.Json.to_string v))
+    attrs
+
+let read_attrs r =
+  Wire.read_list r (fun () ->
+      let k = Wire.read_string r in
+      let raw = Wire.read_string r in
+      match Obs.Json.parse raw with
+      | Ok v -> (k, v)
+      | Error e -> malformed "bad attr json for %s: %s" k e)
+
+(* Optional span ids travel +1 (0 = none) so the codec never sees a
+   negative int. *)
+let write_opt_id w = function
+  | Some id -> Wire.write_int w (id + 1)
+  | None -> Wire.write_int w 0
+
+let read_opt_id r =
+  match Wire.read_int r with 0 -> None | n -> Some (n - 1)
+
+let write_kind w = function
+  | Trace.Protocol -> Wire.write_int w 0
+  | Trace.Phase -> Wire.write_int w 1
+  | Trace.Operation -> Wire.write_int w 2
+
+let read_kind r =
+  match Wire.read_int r with
+  | 0 -> Trace.Protocol
+  | 1 -> Trace.Phase
+  | 2 -> Trace.Operation
+  | n -> malformed "unknown span kind %d" n
+
+let payload_of t =
+  let w = Wire.writer () in
+  Wire.write_int w (Int64.to_int (Trace.epoch_ns t));
+  Wire.write_list w
+    (fun (s : Trace.span) ->
+      Wire.write_int w s.Trace.id;
+      write_opt_id w s.Trace.parent;
+      Wire.write_string w s.Trace.name;
+      write_kind w s.Trace.kind;
+      Wire.write_int w (Int64.to_int s.Trace.start_ns);
+      Wire.write_int w (Int64.to_int s.Trace.stop_ns);
+      write_attrs w (Trace.attrs s))
+    (Trace.spans t);
+  Wire.write_list w
+    (fun (e : Trace.event) ->
+      Wire.write_string w e.Trace.ev_name;
+      write_opt_id w e.Trace.ev_span;
+      Wire.write_int w (Int64.to_int e.Trace.ev_ns);
+      write_attrs w e.Trace.ev_attrs)
+    (Trace.events t);
+  Wire.contents w
+
+let decode payload =
+  let r = Wire.reader payload in
+  let epoch_ns = Int64.of_int (Wire.read_int r) in
+  let spans =
+    Wire.read_list r (fun () ->
+        let id = Wire.read_int r in
+        let parent = read_opt_id r in
+        let name = Wire.read_string r in
+        let kind = read_kind r in
+        let start_ns = Int64.of_int (Wire.read_int r) in
+        let stop_ns = Int64.of_int (Wire.read_int r) in
+        let attrs = read_attrs r in
+        { Trace.id; parent; name; kind; start_ns; stop_ns;
+          rev_attrs = List.rev attrs })
+  in
+  let events =
+    Wire.read_list r (fun () ->
+        let ev_name = Wire.read_string r in
+        let ev_span = read_opt_id r in
+        let ev_ns = Int64.of_int (Wire.read_int r) in
+        let ev_attrs = read_attrs r in
+        { Trace.ev_name; ev_span; ev_ns; ev_attrs })
+  in
+  Wire.expect_end r;
+  (epoch_ns, spans, events)
+
+type remote = {
+  rm_party : Transcript.party;
+  rm_parent : int;
+  rm_payload : string;
+}
+
+let pid_of = function
+  | Transcript.Client -> 1
+  | Transcript.Mediator -> 2
+  | Transcript.Authority -> 100
+  | Transcript.Source i -> 2 + i
+
+let process_name_of = function
+  | Transcript.Client -> "client"
+  | Transcript.Mediator -> "mediator"
+  | Transcript.Authority -> "authority"
+  | Transcript.Source i -> Printf.sprintf "source-%d" i
+
+(* Rebase one decoded batch into the merged space: shift every span id
+   by [id_offset], hang parentless spans under [root_parent], and move
+   timestamps from the batch collector's epoch onto the client's. *)
+let rebase ~id_offset ~ns_delta ~root_parent (spans, events) =
+  let spans =
+    List.map
+      (fun (s : Trace.span) ->
+        {
+          s with
+          Trace.id = s.Trace.id + id_offset;
+          parent =
+            (match s.Trace.parent with
+            | Some p -> Some (p + id_offset)
+            | None -> root_parent);
+          start_ns = Int64.add s.Trace.start_ns ns_delta;
+          stop_ns = Int64.add s.Trace.stop_ns ns_delta;
+        })
+      spans
+  in
+  let events =
+    List.map
+      (fun (e : Trace.event) ->
+        {
+          e with
+          Trace.ev_span =
+            (match e.Trace.ev_span with
+            | Some p -> Some (p + id_offset)
+            | None -> None);
+          ev_ns = Int64.add e.Trace.ev_ns ns_delta;
+        })
+      events
+  in
+  (spans, events)
+
+let max_span_id spans =
+  List.fold_left (fun m (s : Trace.span) -> max m s.Trace.id) (-1) spans
+
+(* Mediator lane first (its session span is everyone's root), then the
+   sources by index; arrival order is preserved within a party so the
+   per-epoch source batches stay chronological. *)
+let party_rank = function
+  | Transcript.Mediator -> (0, 0)
+  | Transcript.Source i -> (1, i)
+  | Transcript.Client -> (2, 0)
+  | Transcript.Authority -> (3, 0)
+
+let merge ~client remotes =
+  let client_epoch = Trace.epoch_ns client in
+  let client_spans = Trace.spans client in
+  let ordered =
+    List.stable_sort
+      (fun a b -> compare (party_rank a.rm_party) (party_rank b.rm_party))
+      remotes
+  in
+  let next_base = ref (max_span_id client_spans + 1) in
+  let mediator_offset = ref 0 in
+  let lanes = Hashtbl.create 8 in
+  let lane_order = ref [] in
+  List.iter
+    (fun rm ->
+      let epoch, spans, events = decode rm.rm_payload in
+      let id_offset = !next_base in
+      (match rm.rm_party with
+      | Transcript.Mediator ->
+        if not (Hashtbl.mem lanes Transcript.Mediator) then
+          mediator_offset := id_offset
+      | _ -> ());
+      let root_parent =
+        if rm.rm_parent < 0 then None
+        else Some (rm.rm_parent + !mediator_offset)
+      in
+      let ns_delta = Int64.sub epoch client_epoch in
+      let spans, events = rebase ~id_offset ~ns_delta ~root_parent (spans, events) in
+      next_base := max !next_base (max_span_id spans + 1);
+      (if not (Hashtbl.mem lanes rm.rm_party) then (
+         Hashtbl.replace lanes rm.rm_party (ref [], ref []);
+         lane_order := rm.rm_party :: !lane_order));
+      let lane_spans, lane_events = Hashtbl.find lanes rm.rm_party in
+      lane_spans := !lane_spans @ spans;
+      lane_events := !lane_events @ events)
+    ordered;
+  let client_process =
+    {
+      Secmed_obs.Export.pr_pid = pid_of Transcript.Client;
+      pr_name = process_name_of Transcript.Client;
+      pr_spans = client_spans;
+      pr_events = Trace.events client;
+    }
+  in
+  client_process
+  :: List.rev_map
+       (fun party ->
+         let spans, events = Hashtbl.find lanes party in
+         {
+           Secmed_obs.Export.pr_pid = pid_of party;
+           pr_name = process_name_of party;
+           pr_spans = !spans;
+           pr_events = !events;
+         })
+       !lane_order

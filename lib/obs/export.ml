@@ -5,13 +5,13 @@ let party_of_span s =
 
 (* Stable party -> Chrome thread-id assignment, in order of first
    appearance; "run" (un-attributed spans, the roots) is tid 0. *)
-let tid_table trace =
+let tid_table spans =
   let order = ref [ "run" ] in
   List.iter
     (fun s ->
       let p = party_of_span s in
       if not (List.mem p !order) then order := !order @ [ p ])
-    (Trace.spans trace);
+    spans;
   let table = Hashtbl.create 8 in
   List.iteri (fun i p -> Hashtbl.add table p i) !order;
   (table, !order)
@@ -20,19 +20,47 @@ let us ns = Int64.to_float ns /. 1e3
 
 let args_of attrs = match attrs with [] -> [] | attrs -> [ ("args", Json.Obj attrs) ]
 
-let chrome_json trace =
-  let tids, order = tid_table trace in
-  let tid_of p = Option.value ~default:0 (Hashtbl.find_opt tids p) in
+type process = {
+  pr_pid : int;
+  pr_name : string;
+  pr_spans : Trace.span list;
+  pr_events : Trace.event list;
+}
+
+let process_of_trace ?(pid = 1) ?(name = "") trace =
+  { pr_pid = pid; pr_name = name; pr_spans = Trace.spans trace; pr_events = Trace.events trace }
+
+(* One process's slice of the Chrome event array: its metadata (the
+   process_name only when the process is named — the anonymous
+   single-process export stays byte-identical to the historical format),
+   its thread lanes, its spans, its instants. *)
+let chrome_events_of p =
+  let tids, order = tid_table p.pr_spans in
+  let tid_of name = Option.value ~default:0 (Hashtbl.find_opt tids name) in
+  let process_metadata =
+    if String.equal p.pr_name "" then []
+    else
+      [
+        Json.Obj
+          [
+            ("name", Json.Str "process_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.Int p.pr_pid);
+            ("tid", Json.Int 0);
+            ("args", Json.Obj [ ("name", Json.Str p.pr_name) ]);
+          ];
+      ]
+  in
   let metadata =
     List.map
-      (fun p ->
+      (fun name ->
         Json.Obj
           [
             ("name", Json.Str "thread_name");
             ("ph", Json.Str "M");
-            ("pid", Json.Int 1);
-            ("tid", Json.Int (tid_of p));
-            ("args", Json.Obj [ ("name", Json.Str p) ]);
+            ("pid", Json.Int p.pr_pid);
+            ("tid", Json.Int (tid_of name));
+            ("args", Json.Obj [ ("name", Json.Str name) ]);
           ])
       order
   in
@@ -44,17 +72,17 @@ let chrome_json trace =
              ("name", Json.Str s.Trace.name);
              ("cat", Json.Str (Trace.kind_name s.Trace.kind));
              ("ph", Json.Str "X");
-             ("pid", Json.Int 1);
+             ("pid", Json.Int p.pr_pid);
              ("tid", Json.Int (tid_of (party_of_span s)));
              ("ts", Json.Float (us s.Trace.start_ns));
              ("dur", Json.Float (us (Trace.duration_ns s)));
            ]
           @ args_of (("span_id", Json.Int s.Trace.id) :: Trace.attrs s)))
-      (Trace.spans trace)
+      p.pr_spans
   in
   let span_by_id =
     let t = Hashtbl.create 64 in
-    List.iter (fun s -> Hashtbl.replace t s.Trace.id s) (Trace.spans trace);
+    List.iter (fun s -> Hashtbl.replace t s.Trace.id s) p.pr_spans;
     t
   in
   let instant_events =
@@ -74,14 +102,55 @@ let chrome_json trace =
              ("cat", Json.Str "event");
              ("ph", Json.Str "i");
              ("s", Json.Str "t");
-             ("pid", Json.Int 1);
+             ("pid", Json.Int p.pr_pid);
              ("tid", Json.Int tid);
              ("ts", Json.Float (us e.Trace.ev_ns));
            ]
           @ args_of e.Trace.ev_attrs))
-      (Trace.events trace)
+      p.pr_events
   in
-  Json.to_string_pretty (Json.List (metadata @ span_events @ instant_events))
+  process_metadata @ metadata @ span_events @ instant_events
+
+let has_content p = p.pr_spans <> [] || p.pr_events <> []
+
+let chrome_json_processes processes =
+  Json.to_string_pretty
+    (Json.List (List.concat_map chrome_events_of (List.filter has_content processes)))
+
+let chrome_json trace =
+  Json.to_string_pretty (Json.List (chrome_events_of (process_of_trace trace)))
+
+let span_json ?pid s =
+  let pid_field = match pid with None -> [] | Some p -> [ ("pid", Json.Int p) ] in
+  Json.Obj
+    (("type", Json.Str "span")
+     :: pid_field
+    @ [
+        ("id", Json.Int s.Trace.id);
+        ( "parent",
+          match s.Trace.parent with Some p -> Json.Int p | None -> Json.Null );
+        ("name", Json.Str s.Trace.name);
+        ("kind", Json.Str (Trace.kind_name s.Trace.kind));
+        ("start_ns", Json.Int (Int64.to_int s.Trace.start_ns));
+        ("dur_ns", Json.Int (Int64.to_int (Trace.duration_ns s)));
+        ("attrs", Json.Obj (Trace.attrs s));
+      ])
+
+let event_json ?pid e =
+  let pid_field = match pid with None -> [] | Some p -> [ ("pid", Json.Int p) ] in
+  Json.Obj
+    (("type", Json.Str "event")
+     :: pid_field
+    @ [
+        ("name", Json.Str e.Trace.ev_name);
+        ( "span",
+          match e.Trace.ev_span with Some p -> Json.Int p | None -> Json.Null );
+        ("at_ns", Json.Int (Int64.to_int e.Trace.ev_ns));
+        ("attrs", Json.Obj e.Trace.ev_attrs);
+      ])
+
+let clock_line =
+  Json.Obj [ ("type", Json.Str "clock"); ("unit", Json.Str "ns"); ("monotonic", Json.Bool true) ]
 
 let jsonl trace =
   let buf = Buffer.create 4096 in
@@ -89,36 +158,27 @@ let jsonl trace =
     Buffer.add_string buf (Json.to_string v);
     Buffer.add_char buf '\n'
   in
-  line (Json.Obj [ ("type", Json.Str "clock"); ("unit", Json.Str "ns"); ("monotonic", Json.Bool true) ]);
+  line clock_line;
+  List.iter (fun s -> line (span_json s)) (Trace.spans trace);
+  List.iter (fun e -> line (event_json e)) (Trace.events trace);
+  Buffer.contents buf
+
+let jsonl_processes processes =
+  let buf = Buffer.create 4096 in
+  let line v =
+    Buffer.add_string buf (Json.to_string v);
+    Buffer.add_char buf '\n'
+  in
+  line clock_line;
   List.iter
-    (fun s ->
+    (fun p ->
       line
         (Json.Obj
-           [
-             ("type", Json.Str "span");
-             ("id", Json.Int s.Trace.id);
-             ( "parent",
-               match s.Trace.parent with Some p -> Json.Int p | None -> Json.Null );
-             ("name", Json.Str s.Trace.name);
-             ("kind", Json.Str (Trace.kind_name s.Trace.kind));
-             ("start_ns", Json.Int (Int64.to_int s.Trace.start_ns));
-             ("dur_ns", Json.Int (Int64.to_int (Trace.duration_ns s)));
-             ("attrs", Json.Obj (Trace.attrs s));
-           ]))
-    (Trace.spans trace);
-  List.iter
-    (fun e ->
-      line
-        (Json.Obj
-           [
-             ("type", Json.Str "event");
-             ("name", Json.Str e.Trace.ev_name);
-             ( "span",
-               match e.Trace.ev_span with Some p -> Json.Int p | None -> Json.Null );
-             ("at_ns", Json.Int (Int64.to_int e.Trace.ev_ns));
-             ("attrs", Json.Obj e.Trace.ev_attrs);
-           ]))
-    (Trace.events trace);
+           [ ("type", Json.Str "process"); ("pid", Json.Int p.pr_pid);
+             ("name", Json.Str p.pr_name) ]);
+      List.iter (fun s -> line (span_json ~pid:p.pr_pid s)) p.pr_spans;
+      List.iter (fun e -> line (event_json ~pid:p.pr_pid e)) p.pr_events)
+    (List.filter has_content processes);
   Buffer.contents buf
 
 let write_file path contents =

@@ -25,29 +25,92 @@ type event = {
   ev_attrs : (string * Json.t) list;
 }
 
+(* The collector is internally locked: span-id allocation, span/event
+   appends, and stack edits all happen under [mu], so pool workers can
+   share one collector (a process-global sink) without interleaving ids
+   or losing appends.  Open-span stacks are per (domain, thread) — a
+   systhread id is only unique within its domain — so each thread nests
+   its own spans and never sees a sibling's stack. *)
 type t = {
   epoch_ns : int64;
+  mu : Mutex.t;
   mutable rev_spans : span list;
   mutable rev_events : event list;
-  mutable stack : span list; (* innermost first *)
+  stacks : (int * int, span list) Hashtbl.t; (* innermost first *)
   mutable next_id : int;
 }
 
 let create () =
-  { epoch_ns = Clock.now_ns (); rev_spans = []; rev_events = []; stack = []; next_id = 0 }
+  {
+    epoch_ns = Clock.now_ns ();
+    mu = Mutex.create ();
+    rev_spans = [];
+    rev_events = [];
+    stacks = Hashtbl.create 8;
+    next_id = 0;
+  }
+
+let epoch_ns t = t.epoch_ns
+
+let thread_key () = ((Domain.self () :> int), Thread.id (Thread.self ()))
+
+let stack_of t key = Option.value ~default:[] (Hashtbl.find_opt t.stacks key)
+
+(* ------------------------------------------------------------------ *)
+(* Sink selection: a thread-local binding shadows the global sink.
+
+   [with_collector] registers the collector for the calling thread only
+   (in a per-domain, mutex-guarded registry, like the per-thread crypto
+   counters), so a server can give every concurrent session its own
+   trace while unrelated threads still see the process-global sink.
+   The disabled fast path stays two loads: an atomic binding count and
+   the sink ref. *)
+
+type binding_reg = { breg_mu : Mutex.t; breg : (int, t) Hashtbl.t }
+
+let bindings_key : binding_reg Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { breg_mu = Mutex.create (); breg = Hashtbl.create 8 })
+
+let bound_count = Atomic.make 0
 
 let sink : t option ref = ref None
 
 let install t = sink := Some t
 let uninstall () = sink := None
-let enabled () = Option.is_some !sink
+
+let current () =
+  if Atomic.get bound_count = 0 then !sink
+  else begin
+    let reg = Domain.DLS.get bindings_key in
+    let id = Thread.id (Thread.self ()) in
+    match Mutex.protect reg.breg_mu (fun () -> Hashtbl.find_opt reg.breg id) with
+    | Some t -> Some t
+    | None -> !sink
+  end
+
+let enabled () = Option.is_some (current ())
+
+let with_collector t f =
+  let reg = Domain.DLS.get bindings_key in
+  let id = Thread.id (Thread.self ()) in
+  let previous = Mutex.protect reg.breg_mu (fun () -> Hashtbl.find_opt reg.breg id) in
+  Mutex.protect reg.breg_mu (fun () -> Hashtbl.replace reg.breg id t);
+  Atomic.incr bound_count;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.protect reg.breg_mu (fun () ->
+          match previous with
+          | Some p -> Hashtbl.replace reg.breg id p
+          | None -> Hashtbl.remove reg.breg id);
+      Atomic.decr bound_count)
+    f
 
 let collect f =
   let previous = !sink in
   let t = create () in
   sink := Some t;
   let restore () = sink := previous in
-  match f () with
+  match with_collector t f with
   | result ->
     restore ();
     (result, t)
@@ -57,31 +120,44 @@ let collect f =
 
 let rel t = Int64.sub (Clock.now_ns ()) t.epoch_ns
 
+(* Span-close histogram observes go through one lock: the registry's
+   histograms are shared across collectors, and an unsynchronized
+   bucket bump from two pool workers could lose a count. *)
+let metrics_mu = Mutex.create ()
+
 let with_span ?(kind = Operation) ?(attrs = []) name f =
-  match !sink with
+  match current () with
   | None -> f ()
   | Some t ->
-    let parent = match t.stack with [] -> None | s :: _ -> Some s.id in
-    let now = rel t in
+    let key = thread_key () in
     let s =
-      { id = t.next_id; parent; name; kind; start_ns = now; stop_ns = now;
-        rev_attrs = List.rev attrs }
+      Mutex.protect t.mu (fun () ->
+          let stack = stack_of t key in
+          let parent = match stack with [] -> None | s :: _ -> Some s.id in
+          let now = rel t in
+          let s =
+            { id = t.next_id; parent; name; kind; start_ns = now; stop_ns = now;
+              rev_attrs = List.rev attrs }
+          in
+          t.next_id <- t.next_id + 1;
+          t.rev_spans <- s :: t.rev_spans;
+          Hashtbl.replace t.stacks key (s :: stack);
+          s)
     in
-    t.next_id <- t.next_id + 1;
-    t.rev_spans <- s :: t.rev_spans;
-    t.stack <- s :: t.stack;
     let close () =
-      s.stop_ns <- rel t;
-      (* Pop through any spans an escaping exception left open. *)
-      let rec pop = function
-        | [] -> []
-        | x :: rest -> if x == s then rest else pop rest
-      in
-      t.stack <- pop t.stack;
+      Mutex.protect t.mu (fun () ->
+          s.stop_ns <- rel t;
+          (* Pop through any spans an escaping exception left open. *)
+          let rec pop = function
+            | [] -> []
+            | x :: rest -> if x == s then rest else pop rest
+          in
+          Hashtbl.replace t.stacks key (pop (stack_of t key)));
       if Metrics.recording () then
-        Metrics.observe
-          (Metrics.histogram ("span." ^ name ^ ".seconds"))
-          (Int64.to_float (Int64.sub s.stop_ns s.start_ns) /. 1e9)
+        Mutex.protect metrics_mu (fun () ->
+            Metrics.observe
+              (Metrics.histogram ("span." ^ name ^ ".seconds"))
+              (Int64.to_float (Int64.sub s.stop_ns s.start_ns) /. 1e9))
     in
     (match f () with
      | result ->
@@ -92,22 +168,34 @@ let with_span ?(kind = Operation) ?(attrs = []) name f =
        raise e)
 
 let add_attr name value =
-  match !sink with
+  match current () with
   | None -> ()
   | Some t ->
-    (match t.stack with
-     | [] -> ()
-     | s :: _ -> s.rev_attrs <- (name, value) :: s.rev_attrs)
+    Mutex.protect t.mu (fun () ->
+        match stack_of t (thread_key ()) with
+        | [] -> ()
+        | s :: _ -> s.rev_attrs <- (name, value) :: s.rev_attrs)
 
 let event ?(attrs = []) name =
-  match !sink with
+  match current () with
   | None -> ()
   | Some t ->
-    let ev_span = match t.stack with [] -> None | s :: _ -> Some s.id in
-    t.rev_events <- { ev_name = name; ev_span; ev_ns = rel t; ev_attrs = attrs } :: t.rev_events
+    Mutex.protect t.mu (fun () ->
+        let ev_span =
+          match stack_of t (thread_key ()) with [] -> None | s :: _ -> Some s.id
+        in
+        t.rev_events <-
+          { ev_name = name; ev_span; ev_ns = rel t; ev_attrs = attrs } :: t.rev_events)
 
-let spans t = List.rev t.rev_spans
-let events t = List.rev t.rev_events
+let current_span_id () =
+  match current () with
+  | None -> None
+  | Some t ->
+    Mutex.protect t.mu (fun () ->
+        match stack_of t (thread_key ()) with [] -> None | s :: _ -> Some s.id)
+
+let spans t = Mutex.protect t.mu (fun () -> List.rev t.rev_spans)
+let events t = Mutex.protect t.mu (fun () -> List.rev t.rev_events)
 
 let duration_ns s =
   let d = Int64.sub s.stop_ns s.start_ns in

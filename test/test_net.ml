@@ -101,9 +101,17 @@ let roundtrip_frames =
     Frame.Busy "at capacity";
     Frame.Query
       { scheme = "pm"; query = "select * from L natural join R";
-        fault_spec = "drop:mediator->source1;retries=2"; deadline = 1.25; fallback = true };
+        fault_spec = "drop:mediator->source1;retries=2"; deadline = 1.25; fallback = true;
+        trace = false };
+    Frame.Query
+      { scheme = "das"; query = "q"; fault_spec = ""; deadline = 0.; fallback = false;
+        trace = true };
     Frame.Session_start
-      { session = 3; epoch = 5; attempt = 2; scheme = "das"; query = "q"; fault_spec = "" };
+      { session = 3; epoch = 5; attempt = 2; scheme = "das"; query = "q"; fault_spec = "";
+        trace_id = ""; trace_parent = -1 };
+    Frame.Session_start
+      { session = 3; epoch = 6; attempt = 3; scheme = "pm"; query = "q"; fault_spec = "";
+        trace_id = "s3"; trace_parent = 0 };
     Frame.Msg
       { session = 3; epoch = 5; seq = 12; sender = Transcript.Mediator;
         receiver = Transcript.Source 1; label = "rewritten-query";
@@ -122,6 +130,12 @@ let roundtrip_frames =
     Frame.Session_result
       { session = 4; result = Frame.W_unserved [ ("pm", sample_failure, 3) ] };
     Frame.Session_end { session = 9 };
+    Frame.Span_batch
+      { session = 3; party = Transcript.Source 2; parent = 4; payload = "\x00\x01spans" };
+    Frame.Span_batch
+      { session = 3; party = Transcript.Mediator; parent = -1; payload = "" };
+    Frame.Stats_request;
+    Frame.Stats { payload = "{\"uptime_seconds\":1.5}" };
   ]
 
 let test_frame_roundtrip () =
@@ -140,7 +154,8 @@ let test_frame_rejects_garbage () =
 (* The millisecond encoding must not mangle deadlines. *)
 let test_frame_deadline_precision () =
   match Frame.decode (Frame.encode (Frame.Query
-      { scheme = "das"; query = "q"; fault_spec = ""; deadline = 0.75; fallback = false }))
+      { scheme = "das"; query = "q"; fault_spec = ""; deadline = 0.75; fallback = false;
+        trace = false }))
   with
   | Frame.Query { deadline; _ } -> Alcotest.(check (float 1e-9)) "0.75s survives" 0.75 deadline
   | _ -> Alcotest.fail "not a Query"
@@ -164,7 +179,8 @@ let test_mux_parks_frames_before_subscription () =
   (* Burst: announcement plus the frames right behind it, all on the
      wire before the consumer even creates its handler. *)
   send (Frame.Session_start
-          { session = 1; epoch = 1; attempt = 1; scheme = "das"; query = "q"; fault_spec = "" });
+          { session = 1; epoch = 1; attempt = 1; scheme = "das"; query = "q"; fault_spec = "";
+            trace_id = ""; trace_parent = -1 });
   send (msg ~seq:0 "first");
   send (msg ~seq:1 "second");
   let mux = Endpoint.Mux.create b in

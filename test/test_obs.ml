@@ -244,6 +244,69 @@ let test_trace_collect_restores () =
   Trace.uninstall ();
   Alcotest.(check int) "outer got only its own span" 1 (List.length (Trace.spans outer))
 
+(* One installed collector hammered from 8 systhreads: ids stay unique,
+   every child's parent is its own thread's outer span (the per-thread
+   stacks never bleed into each other), and every span closes. *)
+let test_trace_concurrent_threads () =
+  let c = Trace.create () in
+  Trace.install c;
+  Fun.protect ~finally:Trace.uninstall (fun () ->
+      let threads =
+        List.init 8 (fun w ->
+            Thread.create
+              (fun () ->
+                for i = 1 to 25 do
+                  Trace.with_span ~kind:Trace.Phase
+                    ~attrs:[ ("worker", Json.Int w) ] "outer" (fun () ->
+                      Trace.with_span "inner" (fun () ->
+                          if i mod 5 = 0 then Trace.event "tick"))
+                done)
+              ())
+      in
+      List.iter Thread.join threads);
+  let spans = Trace.spans c in
+  Alcotest.(check int) "all spans recorded" (8 * 25 * 2) (List.length spans);
+  let ids = List.map (fun s -> s.Trace.id) spans in
+  Alcotest.(check int) "ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  let by_id = Hashtbl.create 512 in
+  List.iter (fun s -> Hashtbl.replace by_id s.Trace.id s) spans;
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "stop after start" true
+        (Int64.compare s.Trace.stop_ns s.Trace.start_ns >= 0);
+      match s.Trace.parent with
+      | None -> Alcotest.(check string) "roots are outer spans" "outer" s.Trace.name
+      | Some p -> (
+        Alcotest.(check string) "only inner spans have parents" "inner" s.Trace.name;
+        match Hashtbl.find_opt by_id p with
+        | None -> Alcotest.failf "span %d has unknown parent %d" s.Trace.id p
+        | Some parent ->
+          Alcotest.(check string) "inner under an outer" "outer" parent.Trace.name;
+          Alcotest.(check bool) "same worker as its parent" true
+            (Trace.find_attr parent "worker" <> None)))
+    spans
+
+(* [with_collector] shadows the global sink for the binding thread only:
+   concurrent threads keep writing to the installed collector. *)
+let test_trace_with_collector_isolation () =
+  let global = Trace.create () and bound = Trace.create () in
+  Trace.install global;
+  Fun.protect ~finally:Trace.uninstall (fun () ->
+      let t =
+        Thread.create
+          (fun () ->
+            Trace.with_collector bound (fun () ->
+                Trace.with_span "bound" (fun () -> Thread.delay 0.005)))
+          ()
+      in
+      Trace.with_span "global" (fun () -> ());
+      Thread.join t);
+  Alcotest.(check (list string)) "global sink" [ "global" ]
+    (List.map (fun s -> s.Trace.name) (Trace.spans global));
+  Alcotest.(check (list string)) "bound sink" [ "bound" ]
+    (List.map (fun s -> s.Trace.name) (Trace.spans bound))
+
 (* ------------------------------------------------------------------ *)
 (* Exporters. *)
 
@@ -299,6 +362,112 @@ let test_export_jsonl_parses () =
 let test_export_format_of_path () =
   Alcotest.(check bool) "jsonl" true (Export.format_of_path "t.jsonl" = `Jsonl);
   Alcotest.(check bool) "chrome" true (Export.format_of_path "t.json" = `Chrome)
+
+(* The single-trace export is the one-process special case of the
+   multi-process export, byte for byte — the guarantee that lets the
+   distributed path share the in-process renderer. *)
+let test_export_processes_byte_identity () =
+  let t = sample_trace () in
+  Alcotest.(check string) "single-process flavours agree" (Export.chrome_json t)
+    (Export.chrome_json_processes [ Export.process_of_trace t ])
+
+(* Multi-process Chrome export: deterministic pid/tid lanes, named
+   process metadata, and no dangling lane for an empty span batch. *)
+let test_export_process_lanes () =
+  let t1 = sample_trace () in
+  let (), t2 =
+    Trace.collect (fun () ->
+        Trace.with_span ~kind:Trace.Phase
+          ~attrs:[ ("party", Json.Str "Source 1") ] "phase-b" (fun () -> ()))
+  in
+  let processes =
+    [
+      Export.process_of_trace ~pid:1 ~name:"client" t1;
+      (* A participant that shipped an empty batch must not leave a lane. *)
+      Export.process_of_trace ~pid:2 ~name:"mediator" (Trace.create ());
+      Export.process_of_trace ~pid:3 ~name:"source-1" t2;
+    ]
+  in
+  match Json.parse (Export.chrome_json_processes processes) with
+  | Error e -> Alcotest.failf "merged trace does not parse: %s" e
+  | Ok (Json.List entries) ->
+    let pid_of e =
+      match Json.member "pid" e with Some (Json.Int p) -> Some p | _ -> None
+    in
+    Alcotest.(check (list int)) "empty process omitted" [ 1; 3 ]
+      (List.sort_uniq compare (List.filter_map pid_of entries));
+    let process_names =
+      List.filter_map
+        (fun e ->
+          if
+            Json.member "ph" e = Some (Json.Str "M")
+            && Json.member "name" e = Some (Json.Str "process_name")
+          then
+            match (pid_of e, Json.member "args" e) with
+            | Some pid, Some args ->
+              Option.map (fun n -> (pid, n)) (Option.bind (Json.member "name" args) Json.to_str)
+            | _ -> None
+          else None)
+        entries
+    in
+    Alcotest.(check bool) "process names" true
+      (process_names = [ (1, "client"); (3, "source-1") ]);
+    let span_lane name =
+      List.find_map
+        (fun e ->
+          if
+            Json.member "ph" e = Some (Json.Str "X")
+            && Json.member "name" e = Some (Json.Str name)
+          then
+            match (pid_of e, Json.member "tid" e) with
+            | Some pid, Some (Json.Int tid) -> Some (pid, tid)
+            | _ -> None
+          else None)
+        entries
+    in
+    (* tids are per process in order of first appearance, "run" = 0. *)
+    Alcotest.(check (option (pair int int))) "root on run lane" (Some (1, 0))
+      (span_lane "proto");
+    Alcotest.(check (option (pair int int))) "client party lane" (Some (1, 1))
+      (span_lane "phase-a");
+    Alcotest.(check (option (pair int int))) "source party lane" (Some (3, 1))
+      (span_lane "phase-b")
+  | Ok _ -> Alcotest.fail "merged trace is not a JSON array"
+
+(* Span nesting survives the JSONL round trip: parse every line back and
+   re-link children to parents by id. *)
+let test_export_jsonl_processes_roundtrip () =
+  let t = sample_trace () in
+  let out = Export.jsonl_processes [ Export.process_of_trace ~pid:7 ~name:"client" t ] in
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' out)
+  in
+  let parsed =
+    List.map
+      (fun line ->
+        match Json.parse line with
+        | Ok v -> v
+        | Error e -> Alcotest.failf "line does not parse: %s (%s)" line e)
+      lines
+  in
+  let type_of v = Option.bind (Json.member "type" v) Json.to_str in
+  Alcotest.(check (list string)) "line types"
+    [ "clock"; "process"; "span"; "span"; "event" ]
+    (List.filter_map type_of parsed);
+  let spans = List.filter (fun v -> type_of v = Some "span") parsed in
+  (match spans with
+   | [ root; child ] ->
+     Alcotest.(check bool) "root has no parent" true
+       (Json.member "parent" root = Some Json.Null);
+     Alcotest.(check bool) "child links to root" true
+       (Json.member "parent" child = Json.member "id" root
+        && Json.member "id" root <> None);
+     List.iter
+       (fun v ->
+         Alcotest.(check bool) "carries the pid" true
+           (Json.member "pid" v = Some (Json.Int 7)))
+       spans
+   | _ -> Alcotest.fail "expected exactly two span lines")
 
 (* ------------------------------------------------------------------ *)
 (* Counters: scoped attribution. *)
@@ -535,12 +704,20 @@ let () =
           Alcotest.test_case "nesting" `Quick test_trace_nesting;
           Alcotest.test_case "exception safety" `Quick test_trace_exception_safety;
           Alcotest.test_case "collect restores" `Quick test_trace_collect_restores;
+          Alcotest.test_case "concurrent threads" `Quick test_trace_concurrent_threads;
+          Alcotest.test_case "with_collector isolation" `Quick
+            test_trace_with_collector_isolation;
         ] );
       ( "export",
         [
           Alcotest.test_case "chrome parses" `Quick test_export_chrome_parses;
           Alcotest.test_case "jsonl parses" `Quick test_export_jsonl_parses;
           Alcotest.test_case "format of path" `Quick test_export_format_of_path;
+          Alcotest.test_case "processes byte identity" `Quick
+            test_export_processes_byte_identity;
+          Alcotest.test_case "process lanes" `Quick test_export_process_lanes;
+          Alcotest.test_case "jsonl processes roundtrip" `Quick
+            test_export_jsonl_processes_roundtrip;
         ] );
       ( "attribution",
         [
