@@ -1,6 +1,6 @@
 # Convenience entry points; everything below is plain dune.
 
-.PHONY: all check test check-fault check-obs check-obs-net check-resilience check-net check-serve check-crypto-perf bench bench-json clean
+.PHONY: all check test check-fault check-obs check-obs-net check-resilience check-net check-serve check-soak check-crypto-perf bench bench-json clean
 
 all:
 	dune build
@@ -62,6 +62,16 @@ check-serve:
 	dune exec test/test_serve.exe -- test -e
 	dune exec bench/main.exe -- json-serve --smoke
 	dune exec bin/secmed.exe -- check-bench BENCH_serve.json
+
+# Crash/restart chaos suite: the pure-schedule and smoke-soak tests,
+# then a seeded CLI soak — real SIGKILLs against source replicas and a
+# SIGTERM drain-restart of the mediator under a verifying fleet — that
+# must hold every robustness invariant (exit 0) and leaves its
+# machine-readable transition log as a CI artifact.
+check-soak:
+	dune exec test/test_soak.exe -- test -e
+	dune exec bin/secmed.exe -- soak --fast --workers 2 --sessions 3 --kills 2 \
+	    --drains 1 --rate 6 --log SOAK_transitions.jsonl
 
 # Crypto hot-path suite: the bigint/crypto differential tests (CRT vs
 # plain decryption, Multi_exp vs separate mod_pows, domain-local cache

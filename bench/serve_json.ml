@@ -154,11 +154,41 @@ let run_tracing_overhead ~concurrency ~sessions_per_worker =
       ("tracing_on", on);
     ]
 
+(* The failover row: a seeded chaos soak (process SIGKILLs + a mediator
+   drain-restart under load, every invariant checked) distilled into
+   availability numbers.  Runs first: Soak.run forks its supervisor on
+   entry, and the cleanest fork is one taken before this process has
+   spawned any fleet thread. *)
+let run_failover ~smoke =
+  let cfg =
+    {
+      Secmed_net.Soak.default_config with
+      params = Some Experiments.bench_params;
+      spec = small_spec;
+      workers = 4;
+      sessions_per_worker = (if smoke then 6 else 12);
+      standbys = 1;
+      kills = 4;
+      drains = 1;
+      seed = "serve-failover";
+      rate = (if smoke then 12. else 10.);
+      verify = true;
+    }
+  in
+  Printf.printf "  failover soak: %d kills + %d drains over %d sessions\n%!" cfg.kills
+    cfg.drains
+    (cfg.workers * cfg.sessions_per_worker);
+  let report = Soak.run cfg in
+  Printf.printf "%s%!" (Soak.render report);
+  if not (Soak.ok report) then failwith "serve_json: failover soak violated invariants";
+  Soak.summary_json report
+
 let write ?(smoke = false) ?(path = "BENCH_serve.json") () =
   let levels = if smoke then [ 1; 2; 4; 8 ] else [ 1; 8; 64; 256 ] in
   let sessions_per_worker = 2 in
   Printf.printf "json-serve: loadgen sweep at concurrency %s\n%!"
     (String.concat "/" (List.map string_of_int levels));
+  let failover = run_failover ~smoke in
   let entries =
     List.concat_map
       (fun concurrency ->
@@ -181,6 +211,7 @@ let write ?(smoke = false) ?(path = "BENCH_serve.json") () =
               ("smoke", Json.Bool smoke);
             ] );
         ("serve", Json.List entries);
+        ("failover", failover);
         ("tracing_overhead", overhead);
       ]
   in

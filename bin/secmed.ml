@@ -388,10 +388,25 @@ let serve_cmd =
   in
   let source =
     let doc =
-      "Datasource daemon address as $(b,ID=HOST:PORT); repeat once per source.  The \
-       two-relation workload needs sources 1 and 2."
+      "Datasource address as $(b,ID=HOST:PORT[,HOST:PORT...]); repeat once per source.  \
+       Extra comma-separated endpoints are standby replicas: the pool dials the first \
+       one that is up (primary first) and fails a severed or draining endpoint over to \
+       the next, failing back after a cooldown.  The two-relation workload needs \
+       sources 1 and 2."
     in
-    Arg.(value & opt_all string [] & info [ "source" ] ~docv:"ID=HOST:PORT" ~doc)
+    Arg.(value & opt_all string [] & info [ "source" ] ~docv:"ID=HOST:PORT,..." ~doc)
+  in
+  let health_interval =
+    Arg.(value & opt float 1.0
+         & info [ "health-interval" ] ~docv:"SECONDS"
+             ~doc:"Probe every source replica with a Ping frame this often and \
+                   proactively mark dead or draining ones down (0 disables probing).")
+  in
+  let drain_deadline =
+    Arg.(value & opt float 30.
+         & info [ "drain-deadline" ] ~docv:"SECONDS"
+             ~doc:"On SIGTERM (or an authenticated Drain frame) stop admitting \
+                   sessions, let in-flight ones finish up to this long, then exit 0.")
   in
   let max_sessions =
     Arg.(value & opt int 8
@@ -411,26 +426,30 @@ let serve_cmd =
                    sessions beyond this queue FIFO.")
   in
   let action bind port sources max_sessions source_conns workers io_timeout deadline breaker
-      spec =
+      health_interval drain_deadline spec =
     let parse_source spec_str =
       match String.index_opt spec_str '=' with
-      | None -> failwith (Printf.sprintf "--source expects ID=HOST:PORT, got %S" spec_str)
+      | None ->
+        failwith
+          (Printf.sprintf "--source expects ID=HOST:PORT[,HOST:PORT...], got %S" spec_str)
       | Some i ->
         let id =
           match int_of_string_opt (String.sub spec_str 0 i) with
           | Some id when id > 0 -> id
           | _ -> failwith (Printf.sprintf "--source: bad id in %S" spec_str)
         in
-        let host, port =
-          parse_host_port "--source"
-            (String.sub spec_str (i + 1) (String.length spec_str - i - 1))
+        let replicas =
+          List.map
+            (fun addr -> parse_host_port "--source" (String.trim addr))
+            (String.split_on_char ','
+               (String.sub spec_str (i + 1) (String.length spec_str - i - 1)))
         in
-        (id, host, port)
+        (id, replicas)
     in
     let sources = List.map parse_source sources in
     List.iter
       (fun id ->
-        if not (List.exists (fun (sid, _, _) -> sid = id) sources) then
+        if not (List.mem_assoc id sources) then
           failwith (Printf.sprintf "missing --source %d=HOST:PORT" id))
       [ 1; 2 ];
     Workload.validate spec;
@@ -443,15 +462,23 @@ let serve_cmd =
     Printf.printf "mediator listening on %s:%d (scenario %s)\n%!" bind bound
       (String.sub scenario 0 12);
     List.iter
-      (fun (id, host, port) -> Printf.printf "  source %d at %s:%d\n%!" id host port)
+      (fun (id, replicas) ->
+        Printf.printf "  source %d at %s\n%!" id
+          (String.concat ", "
+             (List.map (fun (h, p) -> Printf.sprintf "%s:%d" h p) replicas)))
       sources;
-    Net.Server.serve
-      (Net.Server.create ~env ~client ~scenario ~sources ~listen_fd ~policy ~max_sessions
-         ~io_timeout ~source_conns ?workers ())
+    let server =
+      Net.Server.create ~env ~client ~scenario ~sources ~listen_fd ~policy ~max_sessions
+        ~io_timeout ~source_conns ?workers ~drain_deadline ~health_interval ()
+    in
+    Sys.set_signal Sys.sigterm
+      (Sys.Signal_handle (fun _ -> Net.Server.begin_drain server));
+    Net.Server.serve server
   in
   let term =
     Term.(const action $ bind_arg $ port $ source $ max_sessions $ source_conns $ workers
-          $ io_timeout_arg $ deadline_arg $ breaker_arg $ spec_term)
+          $ io_timeout_arg $ deadline_arg $ breaker_arg $ health_interval $ drain_deadline
+          $ spec_term)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -468,7 +495,13 @@ let source_cmd =
          & info [ "port" ] ~docv:"PORT"
              ~doc:"TCP port to listen on (0 picks an ephemeral port).")
   in
-  let action bind id port io_timeout spec =
+  let drain_deadline =
+    Arg.(value & opt float 30.
+         & info [ "drain-deadline" ] ~docv:"SECONDS"
+             ~doc:"On SIGTERM (or an authenticated Drain frame) refuse new sessions, \
+                   let in-flight ones finish up to this long, then exit 0.")
+  in
+  let action bind id port io_timeout drain_deadline spec =
     if id < 1 || id > 2 then failwith "the synthetic workload has sources 1 and 2";
     Workload.validate spec;
     let env, client, _query = Workload.scenario spec in
@@ -476,9 +509,12 @@ let source_cmd =
     let listen_fd, bound = Net.Io.listen ~host:bind ~port () in
     Printf.printf "source %d listening on %s:%d (scenario %s)\n%!" id bind bound
       (String.sub scenario 0 12);
-    Net.Peer.source ~id ~env ~client ~scenario ~listen_fd ~io_timeout ()
+    Net.Peer.source ~id ~env ~client ~scenario ~listen_fd ~io_timeout ~drain_deadline
+      ~drain_on_sigterm:true ()
   in
-  let term = Term.(const action $ bind_arg $ id $ port $ io_timeout_arg $ spec_term) in
+  let term =
+    Term.(const action $ bind_arg $ id $ port $ io_timeout_arg $ drain_deadline $ spec_term)
+  in
   Cmd.v
     (Cmd.info "source" ~doc:"Run one datasource as a daemon for a `secmed serve' mediator")
     term
@@ -562,8 +598,16 @@ let loadgen_cmd =
              ~doc:"Request distributed tracing on every session (batches are \
                    discarded) — measures the span pipeline's overhead under load.")
   in
-  let action connect workers sessions domains mix rate seed verify trace fault deadline
-      fallback io_timeout spec =
+  let retry =
+    Arg.(value & opt int 0
+         & info [ "retry" ] ~docv:"N"
+             ~doc:"Re-pose a session that never started (unreachable peer, link death \
+                   before the verdict, typed Draining) up to $(docv) times with \
+                   exponential backoff — lets the fleet ride out a rolling restart.  \
+                   Busy is never retried.")
+  in
+  let action connect workers sessions domains mix rate seed verify trace retry fault
+      deadline fallback io_timeout spec =
     let host, port = parse_host_port "--connect" connect in
     Workload.validate spec;
     let env, client, query = Workload.scenario spec in
@@ -586,6 +630,8 @@ let loadgen_cmd =
         io_timeout;
         verify;
         trace;
+        retry_connect = retry;
+        retry_backoff = 0.25;
       }
     in
     let target = { Net.Loadgen.host; port; scenario; env; client; query } in
@@ -604,8 +650,8 @@ let loadgen_cmd =
   in
   let term =
     Term.(const action $ connect $ workers $ sessions $ domains $ mix $ rate $ seed
-          $ verify $ trace $ fault_arg $ deadline_arg $ fallback_arg $ io_timeout_arg
-          $ spec_term)
+          $ verify $ trace $ retry $ fault_arg $ deadline_arg $ fallback_arg
+          $ io_timeout_arg $ spec_term)
   in
   Cmd.v
     (Cmd.info "loadgen"
@@ -629,10 +675,15 @@ let render_stats j =
   add "uptime %.1fs  scenario %s\n" (num [ "uptime_seconds" ])
     (let sc = s [ "scenario" ] in
      if String.length sc > 12 then String.sub sc 0 12 else sc);
-  add "sessions:  %d/%d active, %d admitted, %d refused\n" (i [ "sessions"; "active" ])
+  add "sessions:  %d/%d active, %d admitted, %d refused (%d while draining)\n"
+    (i [ "sessions"; "active" ])
     (i [ "sessions"; "max" ])
     (i [ "sessions"; "admitted" ])
-    (i [ "sessions"; "refused" ]);
+    (i [ "sessions"; "refused" ])
+    (i [ "sessions"; "drain_refused" ]);
+  (match mem [ "sessions"; "draining" ] j with
+  | Some (J.Bool true) -> add "draining:  yes (new sessions refused)\n"
+  | _ -> ());
   add "scheduler: %d workers, %d busy, %d queued, %d/%d completed, utilization %.1f%%\n"
     (i [ "scheduler"; "workers" ])
     (i [ "scheduler"; "busy" ])
@@ -667,10 +718,46 @@ let render_stats j =
                       else "s"))
                  slots)
         in
-        add "  source %d @%s: %s\n" (si [ "source" ])
+        let replicas =
+          match Option.bind (mem [ "replicas" ] src) J.to_list with
+          | None | Some [] | Some [ _ ] -> ""
+          | Some reps ->
+            Printf.sprintf " [%s]"
+              (String.concat ", "
+                 (List.map
+                    (fun re ->
+                      Printf.sprintf "replica %d %s"
+                        (Option.value ~default:0
+                           (Option.bind (J.member "replica" re) J.to_int))
+                        (match J.member "up" re with
+                        | Some (J.Bool true) -> "up"
+                        | _ -> "down"))
+                    reps))
+        in
+        add "  source %d @%s%s: %s\n" (si [ "source" ])
           (Option.value ~default:"" (Option.bind (mem [ "addr" ] src) J.to_str))
-          slots)
+          replicas slots)
       sources);
+  (match
+     Option.bind (mem [ "failover"; "count" ] j) J.to_int
+   with
+  | Some count when count > 0 ->
+    add "failover:  %d transitions\n" count;
+    (match Option.bind (mem [ "failover"; "events" ] j) J.to_list with
+    | Some events ->
+      let n = List.length events in
+      List.iteri
+        (fun idx e ->
+          if idx >= n - 5 then
+            add "  %7.2fs source %d replica %d %-8s %s\n"
+              (Option.value ~default:0. (Option.bind (J.member "at" e) J.to_float))
+              (Option.value ~default:0 (Option.bind (J.member "source" e) J.to_int))
+              (Option.value ~default:0 (Option.bind (J.member "replica" e) J.to_int))
+              (Option.value ~default:"" (Option.bind (J.member "kind" e) J.to_str))
+              (Option.value ~default:"" (Option.bind (J.member "detail" e) J.to_str)))
+        events
+    | None -> ())
+  | _ -> ());
   (match Option.bind (mem [ "breakers" ] j) J.to_list with
   | None | Some [] -> add "breakers:  none created yet\n"
   | Some breakers ->
@@ -731,20 +818,205 @@ let stats_cmd =
     | None -> once ()
     | Some interval ->
       let interval = Float.max 0.2 interval in
-      let rec go () =
-        once ();
-        print_newline ();
-        flush stdout;
-        Thread.delay interval;
-        go ()
+      (* A drain-restarting mediator refuses connections for a moment;
+         a watch should ride that out, not die on the first
+         ECONNREFUSED/EPIPE.  Bounded exponential backoff: ~10
+         consecutive failures (about a minute) means it really is gone. *)
+      let max_failures = 10 in
+      let rec go failures =
+        match once () with
+        | () ->
+          print_newline ();
+          flush stdout;
+          Thread.delay interval;
+          go 0
+        | exception Net.Io.Transport_error msg ->
+          if failures + 1 >= max_failures then begin
+            Printf.eprintf "mediator unreachable after %d attempts: %s\n" max_failures msg;
+            exit exit_fault
+          end;
+          Printf.printf "-- mediator unreachable (%s); retrying\n%!" msg;
+          Thread.delay (Float.min 10. (interval *. (2. ** float_of_int failures)));
+          go (failures + 1)
       in
-      go ()
+      go 0
   in
   let term = Term.(const action $ target $ watch $ json_flag $ io_timeout_arg) in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Show a running mediator's live serving telemetry (admission, scheduler \
              utilization, connection pool, breakers, per-scheme latency)")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* secmed ping / drain *)
+
+let ping_cmd =
+  let target =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"HOST:PORT" ~doc:"Mediator or datasource address to probe.")
+  in
+  let action target io_timeout =
+    let host, port = parse_host_port "ping" target in
+    match Net.Peer.ping ~host ~port ~io_timeout () with
+    | h ->
+      Printf.printf "%s: %s, %d active session%s\n"
+        (Transcript.party_name h.Net.Peer.h_role)
+        (if h.Net.Peer.h_draining then "draining" else "up")
+        h.Net.Peer.h_active
+        (if h.Net.Peer.h_active = 1 then "" else "s")
+    | exception Net.Io.Transport_error msg ->
+      Printf.eprintf "down: %s\n" msg;
+      exit exit_fault
+  in
+  Cmd.v
+    (Cmd.info "ping"
+       ~doc:"Probe a mediator or datasource daemon with a Ping frame (answered before \
+             admission, so it works against a process at capacity)")
+    Term.(const action $ target $ io_timeout_arg)
+
+let drain_cmd =
+  let target =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"HOST:PORT" ~doc:"Mediator or datasource address to drain.")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "drain-deadline" ] ~docv:"SECONDS"
+             ~doc:"Override the peer's drain deadline for this drain.")
+  in
+  let action target deadline io_timeout spec =
+    Workload.validate spec;
+    let scenario = Net.Scenario.digest spec in
+    let host, port = parse_host_port "drain" target in
+    match
+      Net.Peer.drain ~host ~port ~scenario
+        ~deadline:(Option.value deadline ~default:0.)
+        ~io_timeout ()
+    with
+    | () -> Printf.printf "draining: peer stopped admitting, finishing in-flight sessions\n"
+    | exception Net.Peer.Refused reason ->
+      Printf.eprintf "drain refused: %s\n" reason;
+      exit exit_fault
+    | exception Net.Io.Transport_error msg ->
+      Printf.eprintf "unreachable: %s\n" msg;
+      exit exit_fault
+  in
+  Cmd.v
+    (Cmd.info "drain"
+       ~doc:"Gracefully drain a running mediator or datasource daemon.  The Drain frame \
+             is authenticated by the scenario digest, so the workload flags must match \
+             the peer's")
+    Term.(const action $ target $ deadline $ io_timeout_arg $ spec_term)
+
+(* ------------------------------------------------------------------ *)
+(* secmed soak *)
+
+let soak_cmd =
+  let workers =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc:"Concurrent client workers.")
+  in
+  let sessions =
+    Arg.(value & opt int 8
+         & info [ "sessions" ] ~docv:"N" ~doc:"Sessions each worker poses.")
+  in
+  let standbys =
+    Arg.(value & opt int 1
+         & info [ "standbys" ] ~docv:"N" ~doc:"Standby replica daemons per source.")
+  in
+  let kills =
+    Arg.(value & opt int 4
+         & info [ "kills" ] ~docv:"N"
+             ~doc:"SIGKILL/restart cycles, cycling over every source replica.")
+  in
+  let drains =
+    Arg.(value & opt int 1
+         & info [ "drains" ] ~docv:"N" ~doc:"Mediator drain-restart cycles.")
+  in
+  let rate =
+    Arg.(value & opt float 10.
+         & info [ "rate" ] ~docv:"QPS"
+             ~doc:"Open-loop (Poisson) aggregate arrival rate; 0 = closed loop.")
+  in
+  let seed =
+    Arg.(value & opt string "soak"
+         & info [ "soak-seed" ] ~docv:"SEED"
+             ~doc:"Seeds both the kill schedule's shuffle and the client fleet; the \
+                   same seed and config replay the identical soak.")
+  in
+  let gap =
+    Arg.(value & opt float 0.5
+         & info [ "gap" ] ~docv:"SECONDS" ~doc:"Settle time before each schedule action.")
+  in
+  let hold =
+    Arg.(value & opt float 1.0
+         & info [ "hold" ] ~docv:"SECONDS" ~doc:"How long a killed process stays dead.")
+  in
+  let retry =
+    Arg.(value & opt int 10
+         & info [ "retry" ] ~docv:"N"
+             ~doc:"Per-session connect-retry budget (rides out restarts).")
+  in
+  let no_verify =
+    Arg.(value & flag
+         & info [ "no-verify" ]
+             ~doc:"Skip the bit-for-bit comparison of served sessions against the \
+                   in-process reference execution.")
+  in
+  let log =
+    Arg.(value & opt (some string) None
+         & info [ "log" ] ~docv:"FILE"
+             ~doc:"Write the machine-readable transition log (JSON lines: executed \
+                   schedule, recovered failover transitions, drain exit codes, \
+                   violations, summary).")
+  in
+  let fast =
+    Arg.(value & flag
+         & info [ "fast" ]
+             ~doc:"Small crypto parameters (160-bit group, 384-bit Paillier) — smoke \
+                   speed, not security.")
+  in
+  let action workers sessions standbys kills drains rate seed gap hold retry no_verify log
+      fast io_timeout spec =
+    Workload.validate spec;
+    let cfg =
+      {
+        Net.Soak.params =
+          (if fast then Some { Env.group_bits = 160; paillier_bits = 384 } else None);
+        spec;
+        workers;
+        sessions_per_worker = sessions;
+        standbys;
+        kills;
+        drains;
+        seed;
+        rate;
+        gap;
+        kill_hold = hold;
+        retry_connect = retry;
+        io_timeout;
+        verify = not no_verify;
+      }
+    in
+    let report = Net.Soak.run ~progress:(fun line -> Printf.printf "%s\n%!" line) cfg in
+    print_string (Net.Soak.render report);
+    Option.iter
+      (fun path ->
+        Net.Soak.write_log ~path report;
+        Printf.printf "wrote %s\n" path)
+      log;
+    if not (Net.Soak.ok report) then exit exit_fault
+  in
+  let term =
+    Term.(const action $ workers $ sessions $ standbys $ kills $ drains $ rate $ seed $ gap
+          $ hold $ retry $ no_verify $ log $ fast $ io_timeout_arg $ spec_term)
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:"Run a seeded crash/restart chaos soak: SIGKILL and restart source replicas \
+             and drain-restart the mediator under a verifying client fleet, then check \
+             the robustness invariants (no failed or lost sessions, bit-identical \
+             results, clean drain exits, failover transitions matching the schedule)")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -1097,8 +1369,22 @@ let check_bench_cmd =
              [ "concurrency"; "sessions_per_worker"; "qps_off"; "qps_on";
                "overhead_pct"; "tracing_off"; "tracing_on" ]
          | None -> fail "missing section \"tracing_overhead\"");
-         Printf.printf "%s: ok (%d serve entries + tracing overhead)\n" file
-           (List.length entries)
+         (match Obs.Json.member "failover" json with
+         | Some failover ->
+           List.iter
+             (fun key ->
+               if Obs.Json.member key failover = None then
+                 fail (Printf.sprintf "failover: missing key %S" key))
+             [ "availability_pct"; "kill_window_p99_ms"; "failover_latency_s"; "kills";
+               "drains"; "sessions"; "failed"; "violations" ];
+           (match Obs.Json.member "violations" failover with
+           | Some (Obs.Json.List []) -> ()
+           | Some (Obs.Json.List vs) ->
+             fail (Printf.sprintf "failover: soak recorded %d violations" (List.length vs))
+           | _ -> fail "failover: \"violations\" is not a list")
+         | None -> fail "missing section \"failover\"");
+         Printf.printf "%s: ok (%d serve entries + failover soak + tracing overhead)\n"
+           file (List.length entries)
        | _, _, _, _, Some (Obs.Json.List entries) when entries <> [] ->
          List.iter
            (fun entry ->
@@ -1158,6 +1444,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; serve_cmd; source_cmd; loadgen_cmd; stats_cmd; query_cmd; setop_cmd;
+          [ run_cmd; serve_cmd; source_cmd; loadgen_cmd; stats_cmd; ping_cmd; drain_cmd;
+            soak_cmd; query_cmd; setop_cmd;
             chain_cmd; select_cmd;
             report_cmd; check_bench_cmd; schemes_cmd ]))

@@ -10,7 +10,10 @@ module Mux = struct
     mu : Mutex.t;
     subs : (int, Frame.t Queue.t) Hashtbl.t;
     closed : (int, unit) Hashtbl.t;
+    closed_order : int Queue.t;  (* tombstone insertion order, for FIFO eviction *)
+    max_tombstones : int;
     control : Frame.t Queue.t;
+    mutable dropped : int;  (* frames discarded because their session was closed *)
     mutable dead : string option;
   }
 
@@ -29,7 +32,7 @@ module Mux = struct
     Mutex.protect t.mu (fun () ->
         match Frame.session_of frame with
         | None -> Queue.push frame t.control
-        | Some sid when Hashtbl.mem t.closed sid -> ()
+        | Some sid when Hashtbl.mem t.closed sid -> t.dropped <- t.dropped + 1
         | Some sid ->
           let q =
             match Hashtbl.find_opt t.subs sid with
@@ -44,10 +47,11 @@ module Mux = struct
           | Frame.Session_start _ -> Queue.push frame t.control
           | _ -> ()))
 
-  let create conn =
+  let create ?(max_tombstones = 1024) conn =
     let t =
       { conn; mu = Mutex.create (); subs = Hashtbl.create 8; closed = Hashtbl.create 8;
-        control = Queue.create (); dead = None }
+        closed_order = Queue.create (); max_tombstones = max max_tombstones 1;
+        control = Queue.create (); dropped = 0; dead = None }
     in
     let rec recv_loop () =
       match Frame.decode (Io.recv_frame conn) with
@@ -64,14 +68,36 @@ module Mux = struct
   let alive t = Mutex.protect t.mu (fun () -> t.dead = None)
   let send t frame = Io.send_frame t.conn (Frame.encode frame)
 
+  (* Subscribing clears any tombstone for the id: a session id revived
+     after an epoch bump (the server pairs every reuse with an epoch
+     increment, and the transport's epoch filter skips the stale frames)
+     must be routable again, not silently dropped. *)
   let subscribe t sid =
     Mutex.protect t.mu (fun () ->
+        Hashtbl.remove t.closed sid;
         if not (Hashtbl.mem t.subs sid) then Hashtbl.replace t.subs sid (Queue.create ()))
 
+  (* Tombstones are bounded: eviction is FIFO over insertion order, so a
+     long-lived pooled connection serving an unbounded session stream
+     keeps O(max_tombstones) state.  [closed_order] may hold stale ids
+     whose tombstone a later [subscribe] already cleared; popping those
+     is a harmless no-op, and the queue is always at least as long as
+     the table, so the loop terminates. *)
   let unsubscribe t sid =
     Mutex.protect t.mu (fun () ->
         Hashtbl.remove t.subs sid;
-        Hashtbl.replace t.closed sid ())
+        if not (Hashtbl.mem t.closed sid) then begin
+          Hashtbl.replace t.closed sid ();
+          Queue.push sid t.closed_order;
+          while Hashtbl.length t.closed > t.max_tombstones do
+            match Queue.take_opt t.closed_order with
+            | Some old -> Hashtbl.remove t.closed old
+            | None -> Hashtbl.reset t.closed
+          done
+        end)
+
+  let tombstones t = Mutex.protect t.mu (fun () -> Hashtbl.length t.closed)
+  let dropped t = Mutex.protect t.mu (fun () -> t.dropped)
 
   (* The stdlib has no timed condition wait, so waiting is a polling
      loop at 1 ms granularity — coarse enough to stay invisible next to

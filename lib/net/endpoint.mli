@@ -21,9 +21,12 @@ exception Aborted of Fault.failure
 module Mux : sig
   type t
 
-  val create : Io.conn -> t
+  val create : ?max_tombstones:int -> Io.conn -> t
   (** Spawn the receive thread.  The connection must have no other
-      reader from this point on. *)
+      reader from this point on.  [max_tombstones] (default 1024) bounds
+      the closed-session tombstone set; the oldest tombstones are
+      evicted FIFO so a long-lived pooled connection keeps O(1) state
+      per retained session. *)
 
   val conn : t -> Io.conn
   val alive : t -> bool
@@ -37,10 +40,20 @@ module Mux : sig
       also opened implicitly by the first frame that names the session —
       the receive thread must never race a consumer's subscription —
       with a [Session_start] additionally announced on the control
-      queue so a daemon can spawn the session's handler. *)
+      queue so a daemon can spawn the session's handler.  Subscribing
+      clears any tombstone for the id, so a session id reused after an
+      epoch bump routes again (the transport's epoch filter discards
+      whatever stale frames slip through). *)
 
   val unsubscribe : t -> int -> unit
-  (** Close the session's queue; late frames for it are dropped. *)
+  (** Close the session's queue; late frames for it are dropped (and
+      counted in {!dropped}). *)
+
+  val tombstones : t -> int
+  (** Closed-session tombstones currently retained (≤ [max_tombstones]). *)
+
+  val dropped : t -> int
+  (** Frames discarded because their session was already closed. *)
 
   val next : t -> session:int -> timeout:float -> Frame.t
   (** Block (polling) until the session's queue yields a frame.  Raises

@@ -57,6 +57,11 @@ type t =
     }
   | Stats_request
   | Stats of { payload : string }
+  | Ping
+  | Health of { h_role : Transcript.party; h_draining : bool; h_active : int }
+  | Drain of { scenario : string; deadline : float }
+  | Drain_ok
+  | Draining of string
 
 let malformed fmt = Printf.ksprintf (fun m -> raise (Wire.Malformed m)) fmt
 
@@ -232,7 +237,21 @@ let encode t =
   | Stats_request -> Wire.write_int w 11
   | Stats { payload } ->
     Wire.write_int w 12;
-    Wire.write_string w payload);
+    Wire.write_string w payload
+  | Ping -> Wire.write_int w 13
+  | Health { h_role; h_draining; h_active } ->
+    Wire.write_int w 14;
+    write_party w h_role;
+    Wire.write_int w (if h_draining then 1 else 0);
+    Wire.write_int w h_active
+  | Drain { scenario; deadline } ->
+    Wire.write_int w 15;
+    Wire.write_string w scenario;
+    write_seconds w deadline
+  | Drain_ok -> Wire.write_int w 16
+  | Draining reason ->
+    Wire.write_int w 17;
+    Wire.write_string w reason);
   Wire.contents w
 
 let decode body =
@@ -296,6 +315,18 @@ let decode body =
       Span_batch { session; party; parent; payload }
     | 11 -> Stats_request
     | 12 -> Stats { payload = Wire.read_string r }
+    | 13 -> Ping
+    | 14 ->
+      let h_role = read_party r in
+      let h_draining = Wire.read_int r <> 0 in
+      let h_active = Wire.read_int r in
+      Health { h_role; h_draining; h_active }
+    | 15 ->
+      let scenario = Wire.read_string r in
+      let deadline = read_seconds r in
+      Drain { scenario; deadline }
+    | 16 -> Drain_ok
+    | 17 -> Draining (Wire.read_string r)
     | n -> malformed "unknown frame tag %d" n
   in
   Wire.expect_end r;
@@ -315,9 +346,15 @@ let tag_name = function
   | Span_batch _ -> "span-batch"
   | Stats_request -> "stats-request"
   | Stats _ -> "stats"
+  | Ping -> "ping"
+  | Health _ -> "health"
+  | Drain _ -> "drain"
+  | Drain_ok -> "drain-ok"
+  | Draining _ -> "draining"
 
 let session_of = function
-  | Hello _ | Hello_ok _ | Busy _ | Query _ | Stats_request | Stats _ -> None
+  | Hello _ | Hello_ok _ | Busy _ | Query _ | Stats_request | Stats _ | Ping | Health _
+  | Drain _ | Drain_ok | Draining _ -> None
   | Session_start { session; _ }
   | Msg { session; _ }
   | Report { session; _ }

@@ -91,6 +91,20 @@ type t =
     }
   | Stats_request  (** connection-level: answered without admission *)
   | Stats of { payload : string }  (** the server's stats snapshot as JSON text *)
+  | Ping  (** connection-level liveness probe, answered before admission *)
+  | Health of {
+      h_role : Transcript.party;  (** who answered: [Mediator] or [Source i] *)
+      h_draining : bool;          (** refusing new sessions, finishing old ones *)
+      h_active : int;             (** sessions currently in flight *)
+    }
+  | Drain of { scenario : string; deadline : float }
+      (** ask the peer to drain; [scenario] must match the peer's digest
+          (the same shared-seed credential the [Hello] handshake checks),
+          [deadline] bounds how long in-flight sessions may linger *)
+  | Drain_ok  (** the peer accepted the [Drain] and is now draining *)
+  | Draining of string
+      (** typed refusal of a new session while draining — distinct from
+          [Busy] so clients can retry against a restarted process *)
 
 val encode : t -> string
 val decode : string -> t
@@ -102,4 +116,4 @@ val tag_name : t -> string
 val session_of : t -> int option
 (** The session id a frame belongs to; [None] for connection-level
     frames ([Hello], [Hello_ok], [Busy], [Query], [Stats_request],
-    [Stats]). *)
+    [Stats], [Ping], [Health], [Drain], [Drain_ok], [Draining]). *)

@@ -17,6 +17,13 @@ type conn = {
   mutable closed : bool;
 }
 
+(* A write to a peer-reset or locally-shutdown socket must surface as
+   [EPIPE] -> [Transport_error] at the writer, not kill the process:
+   OCaml leaves SIGPIPE at its fatal default.  Installed once, here,
+   because every networked secmed process goes through this module. *)
+let () =
+  if not Sys.win32 then Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
 (* Process-wide transport volume, summed over every connection.
    Interned eagerly at module init (see the note in {!Endpoint}) and
    bumped unconditionally: lossy-but-safe unsynchronised counters, like
@@ -159,3 +166,11 @@ let close t =
     t.closed <- true;
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
+
+(* Unlike [close], shutdown reliably wakes a thread blocked in read on
+   this socket (close from another thread need not), so an owner can
+   sever a connection whose reader it does not control.  The eventual
+   [close] still releases the descriptor. *)
+let shutdown t =
+  if not t.closed then
+    try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()

@@ -66,3 +66,10 @@ val recv_frame : conn -> string
 
 val close : conn -> unit
 (** Idempotent. *)
+
+val shutdown : conn -> unit
+(** [Unix.shutdown] both directions without releasing the descriptor:
+    reliably wakes any thread blocked reading this socket (which a
+    cross-thread [close] need not), surfacing as {!Transport_error} at
+    the reader.  Safe to call concurrently with the owner; idempotent
+    and silent on an already-closed connection. *)

@@ -22,6 +22,8 @@ type config = {
   io_timeout : float;
   verify : bool;
   trace : bool;
+  retry_connect : int;
+  retry_backoff : float;
 }
 
 let default_config =
@@ -38,6 +40,8 @@ let default_config =
     io_timeout = 10.;
     verify = false;
     trace = false;
+    retry_connect = 0;
+    retry_backoff = 0.25;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -108,6 +112,9 @@ type record = {
   r_kind : outcome_kind;
   r_latency : float;  (** seconds, connect to verdict *)
   r_epochs : int;
+  r_started : float;
+  r_finished : float;
+  r_retries : int;
 }
 
 type report = {
@@ -137,39 +144,60 @@ type target = {
   query : string;
 }
 
-let run_one config target scheme =
-  let started = Clock.now () in
-  let finish kind epochs =
-    { r_worker = 0; r_index = 0; r_scheme = scheme; r_kind = kind;
-      r_latency = Clock.now () -. started; r_epochs = epochs }
-  in
-  match
-    (* [trace] exercises the whole span pipeline (collect, batch,
-       forward) for overhead measurement; the batches themselves are
-       discarded — loadgen measures, it does not render. *)
-    Peer.run ~host:target.host ~port:target.port ~scenario:target.scenario ~scheme
-      ~query:target.query ~fault_spec:config.fault_spec ~deadline:config.deadline
-      ~fallback:config.fallback ~io_timeout:config.io_timeout ~trace:config.trace target.env
-      target.client
-  with
-  | response ->
-    let kind =
-      match response.Peer.result with
-      | Protocol.Served o ->
-        if Option.is_some o.Outcome.degraded_from then Degraded else Served
-      | Protocol.Unserved _ -> Unserved
+(* [retry_connect] bounds how many times a session that never started —
+   the peer was unreachable, the link died before the verdict, or it
+   answered with a typed [Draining] — is re-posed, with exponential
+   backoff between tries.  A [Busy] refusal is never retried (that is
+   backpressure, not death); an exhausted [Draining] counts as Refused
+   (the peer answered, typed) while an exhausted transport error stays
+   Failed.  This is what lets a fleet ride out a process restart
+   without losing sessions. *)
+let run_one config target ~t0 scheme =
+  let first_started = Clock.now () in
+  let rec go k =
+    let started = Clock.now () in
+    let finish kind epochs =
+      let now = Clock.now () in
+      { r_worker = 0; r_index = 0; r_scheme = scheme; r_kind = kind;
+        r_latency = now -. started; r_epochs = epochs; r_started = first_started -. t0;
+        r_finished = now -. t0; r_retries = k }
     in
-    (finish kind response.Peer.epochs, Some response)
-  | exception Peer.Refused _ -> (finish Refused 0, None)
-  | exception (Io.Transport_error _ | Secmed_mediation.Wire.Malformed _) ->
-    (finish Failed 0, None)
+    let backoff_retry () =
+      Thread.delay (Float.min 2. (config.retry_backoff *. (2. ** float_of_int k)));
+      go (k + 1)
+    in
+    match
+      (* [trace] exercises the whole span pipeline (collect, batch,
+         forward) for overhead measurement; the batches themselves are
+         discarded — loadgen measures, it does not render. *)
+      Peer.run ~host:target.host ~port:target.port ~scenario:target.scenario ~scheme
+        ~query:target.query ~fault_spec:config.fault_spec ~deadline:config.deadline
+        ~fallback:config.fallback ~io_timeout:config.io_timeout ~trace:config.trace target.env
+        target.client
+    with
+    | response ->
+      let kind =
+        match response.Peer.result with
+        | Protocol.Served o ->
+          if Option.is_some o.Outcome.degraded_from then Degraded else Served
+        | Protocol.Unserved _ -> Unserved
+      in
+      (finish kind response.Peer.epochs, Some response)
+    | exception Peer.Refused _ -> (finish Refused 0, None)
+    | exception Peer.Draining _ ->
+      if k < config.retry_connect then backoff_retry () else (finish Refused 0, None)
+    | exception (Io.Transport_error _ | Secmed_mediation.Wire.Malformed _) ->
+      if k < config.retry_connect then backoff_retry () else (finish Failed 0, None)
+  in
+  go 0
 
 (* One worker: its slice of the plan, one session at a time (closed
    loop), or paced by the planned arrival times (open loop — a session
    that outlives the next arrival is simply late, the open-loop
-   property loadgen exists to measure). *)
-let run_worker config target planned results =
-  let t0 = Clock.now () in
+   property loadgen exists to measure).  [t0] is the fleet's start
+   instant, the common timebase every record's start/finish offsets are
+   relative to. *)
+let run_worker config target ~t0 planned results =
   List.iter
     (fun p ->
       (match config.arrival with
@@ -177,7 +205,7 @@ let run_worker config target planned results =
       | Poisson _ ->
         let wait = p.p_at -. (Clock.now () -. t0) in
         if wait > 0. then Thread.delay wait);
-      let record, response = run_one config target p.p_scheme in
+      let record, response = run_one config target ~t0 p.p_scheme in
       results :=
         ({ record with r_worker = p.p_worker; r_index = p.p_index }, response) :: !results)
     planned;
@@ -200,7 +228,7 @@ let run config target =
     let threads =
       List.map
         (fun (planned, results) ->
-          Thread.create (fun () -> run_worker config target planned results) ())
+          Thread.create (fun () -> run_worker config target ~t0:started planned results) ())
         jobs
     in
     List.iter Thread.join threads
@@ -235,7 +263,14 @@ let run config target =
   (* Verification against the in-process reference: the environment is
      rebuilt from one seed and every per-run PRNG is a pure split of
      it, so each scheme has exactly one reference execution — every
-     served session must be bit-identical to it. *)
+     served session must be bit-identical to it.  The reference runs
+     under a fresh parse of the same fault spec, because plan presence
+     is protocol-visible by design (the commutative canary audit only
+     runs when a plan is installed).  Sessions that took more than one
+     protocol epoch recovered mid-flight (a severed link, a killed
+     replica): their final attempt may carry retry residue, so they are
+     held to result bit-identity only — the same standard the chaos
+     tests pin. *)
   let messages_of tr =
     List.map
       (fun (m : Secmed_mediation.Transcript.message) ->
@@ -254,9 +289,17 @@ let run config target =
             match Protocol.scheme_of_name scheme with
             | None -> Error ("unknown scheme: " ^ scheme)
             | Some sch -> (
+              let fault =
+                if String.equal config.fault_spec "" then None
+                else
+                  match Secmed_mediation.Fault.of_spec config.fault_spec with
+                  | Ok plan -> Some plan
+                  | Error _ -> None
+              in
               match
                 Counters.with_fresh (fun () ->
-                    Protocol.run_exn sch target.env target.client ~query:target.query)
+                    Protocol.run_exn ?fault sch target.env target.client
+                      ~query:target.query)
               with
               | outcome, _ -> Ok outcome
               | exception e -> Error (Printexc.to_string e))
@@ -293,11 +336,35 @@ let run config target =
                      (Relation.to_string ref_outcome.Outcome.result)
                      (Relation.to_string o.Outcome.result))
               then fail "result differs from in-process reference"
+              else if response.Peer.epochs > 1 then
+                (* Recovered mid-session: the served relation above is
+                   the bit-identity claim; transcript accounting of the
+                   aborted attempt is epoch-local. *)
+                None
               else if
                 not
                   (messages_of ref_outcome.Outcome.transcript
                   = messages_of o.Outcome.transcript)
-              then fail "transcript differs from in-process reference"
+              then begin
+                let show (seq, s, r, label, size) =
+                  Printf.sprintf "#%d %s->%s %s (%d bytes)" seq
+                    (Secmed_mediation.Transcript.party_name s)
+                    (Secmed_mediation.Transcript.party_name r)
+                    label size
+                in
+                let ref_ms = messages_of ref_outcome.Outcome.transcript in
+                let got_ms = messages_of o.Outcome.transcript in
+                let rec first_diff i = function
+                  | [], [] -> Printf.sprintf "equal prefixes but lengths %d/%d" (List.length ref_ms) (List.length got_ms)
+                  | a :: _, [] -> Printf.sprintf "at %d: reference %s, session ended" i (show a)
+                  | [], b :: _ -> Printf.sprintf "at %d: reference ended, session %s" i (show b)
+                  | a :: tl, b :: tl' ->
+                    if a = b then first_diff (i + 1) (tl, tl')
+                    else Printf.sprintf "at %d: reference %s, session %s" i (show a) (show b)
+                in
+                fail "transcript differs from in-process reference (%s)"
+                  (first_diff 0 (ref_ms, got_ms))
+              end
               else if not (ref_outcome.Outcome.counters = o.Outcome.counters) then
                 fail "primitive counters differ from in-process reference"
               else None))

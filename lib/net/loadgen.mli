@@ -55,6 +55,13 @@ type config = {
       (** request distributed tracing on every session; the returned
           span batches are discarded — the knob exists to measure the
           pipeline's overhead under load *)
+  retry_connect : int;
+      (** how many times a session that never started (unreachable
+          peer, link death before the verdict, typed [Draining]) is
+          re-posed; 0 = never.  [Busy] is never retried.  What lets a
+          fleet ride out a process restart without losing sessions. *)
+  retry_backoff : float;
+      (** base of the exponential retry backoff, seconds (capped 2s) *)
 }
 
 val default_config : config
@@ -77,8 +84,11 @@ type record = {
   r_index : int;
   r_scheme : string;
   r_kind : outcome_kind;
-  r_latency : float;  (** seconds, connect to verdict *)
+  r_latency : float;  (** seconds, connect to verdict (final try only) *)
   r_epochs : int;
+  r_started : float;  (** first try's start, seconds since fleet start *)
+  r_finished : float;  (** verdict instant, seconds since fleet start *)
+  r_retries : int;  (** connect retries this session burned *)
 }
 
 type report = {

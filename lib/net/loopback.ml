@@ -9,6 +9,8 @@ type cluster = {
   c_port : int;
   c_io_timeout : float;
   c_proxies : (int * Chaos.t) list;
+  c_source_pids : ((int * int) * int) list;  (* (source id, replica) -> pid *)
+  c_mediator_pid : int;
 }
 
 let env c = c.c_env
@@ -16,6 +18,12 @@ let client_of c = c.c_client
 let canonical_query c = c.c_query
 let scenario c = c.c_scenario
 let port c = c.c_port
+let mediator_pid c = c.c_mediator_pid
+
+let source_pid c ~id ~replica =
+  match List.assoc_opt (id, replica) c.c_source_pids with
+  | Some pid -> pid
+  | None -> invalid_arg (Printf.sprintf "Loopback.source_pid: no source %d replica %d" id replica)
 
 let chaos_events c sid =
   match List.assoc_opt sid c.c_proxies with
@@ -32,42 +40,60 @@ let fork_proc f =
   | pid -> pid
 
 let with_cluster ?params ?policy ?(chaos = []) ?(max_sessions = 8) ?(io_timeout = 10.)
-    ?source_conns ?workers ~spec f =
+    ?source_conns ?workers ?(standbys = 0) ?health_interval ?drain_deadline ~spec f =
   let c_env, c_client, c_query = Workload.scenario ?params spec in
   let c_scenario = Scenario.digest ?params spec in
+  let replicas = 1 + max 0 standbys in
   (* Reserve every port before any process starts: a pre-bound listener
      queues connections until its owner calls accept, so there is no
-     startup race to sleep around. *)
-  let source_fds = List.map (fun sid -> (sid, Io.listen ~port:0 ())) [ 1; 2 ] in
+     startup race to sleep around.  With [standbys], each source id gets
+     that many extra daemon processes — every replica a deterministic
+     twin built from the same seed. *)
+  let source_fds =
+    List.concat_map
+      (fun sid -> List.init replicas (fun r -> ((sid, r), Io.listen ~port:0 ())))
+      [ 1; 2 ]
+  in
   let med_fd, med_port = Io.listen ~port:0 () in
   let proxy_fds = List.map (fun (sid, plan) -> (sid, plan, Io.listen ~port:0 ())) chaos in
-  let addr_for sid port =
-    match List.find_opt (fun (psid, _, _) -> psid = sid) proxy_fds with
+  (* A chaos proxy interposes on the primary (replica 0) only: the plan
+     narrates one link's faults, and failover tests want the standby
+     clean. *)
+  let addr_for (sid, r) port =
+    match List.find_opt (fun (psid, _, _) -> psid = sid && r = 0) proxy_fds with
     | Some (_, _, (_, pport)) -> ("127.0.0.1", pport)
     | None -> ("127.0.0.1", port)
   in
-  let pids =
+  let c_source_pids =
     List.map
-      (fun (sid, (fd, _)) ->
-        fork_proc (fun () ->
-            Peer.source ~id:sid ~env:c_env ~client:c_client ~scenario:c_scenario ~listen_fd:fd
-              ~io_timeout ()))
+      (fun ((sid, r), (fd, _)) ->
+        ( (sid, r),
+          fork_proc (fun () ->
+              Peer.source ~id:sid ~env:c_env ~client:c_client ~scenario:c_scenario
+                ~listen_fd:fd ~io_timeout ?drain_deadline ~drain_on_sigterm:true ()) ))
       source_fds
-    @ [
-        fork_proc (fun () ->
-            let sources =
-              List.map
-                (fun (sid, (_, sport)) ->
-                  let host, port = addr_for sid sport in
-                  (sid, host, port))
-                source_fds
-            in
-            Server.serve
-              (Server.create ~env:c_env ~client:c_client ~scenario:c_scenario ~sources
-                 ~listen_fd:med_fd ?policy ~max_sessions ~io_timeout ?source_conns ?workers
-                 ()));
-      ]
   in
+  let c_mediator_pid =
+    fork_proc (fun () ->
+        let sources =
+          List.map
+            (fun sid ->
+              ( sid,
+                List.init replicas (fun r ->
+                    let _, sport = List.assoc (sid, r) source_fds in
+                    addr_for (sid, r) sport) ))
+            [ 1; 2 ]
+        in
+        let server =
+          Server.create ~env:c_env ~client:c_client ~scenario:c_scenario ~sources
+            ~listen_fd:med_fd ?policy ~max_sessions ~io_timeout ?source_conns ?workers
+            ?drain_deadline ?health_interval ()
+        in
+        Sys.set_signal Sys.sigterm
+          (Sys.Signal_handle (fun _ -> Server.begin_drain server));
+        Server.serve server)
+  in
+  let pids = List.map snd c_source_pids @ [ c_mediator_pid ] in
   (* The children own the listeners now; the proxies, which live as
      threads in this process, start only after the forks so no thread
      state is cloned into a child. *)
@@ -76,14 +102,15 @@ let with_cluster ?params ?policy ?(chaos = []) ?(max_sessions = 8) ?(io_timeout 
   let c_proxies =
     List.map
       (fun (sid, plan, (pfd, pport)) ->
-        let _, sport = List.assoc sid source_fds in
+        let _, sport = List.assoc (sid, 0) source_fds in
         ( sid,
           Chaos.start ~plan ~target_host:"127.0.0.1" ~target_port:sport
             ~listen:(pfd, pport) () ))
       proxy_fds
   in
   let cluster =
-    { c_env; c_client; c_query; c_scenario; c_port = med_port; c_io_timeout = io_timeout; c_proxies }
+    { c_env; c_client; c_query; c_scenario; c_port = med_port; c_io_timeout = io_timeout;
+      c_proxies; c_source_pids; c_mediator_pid }
   in
   Fun.protect
     ~finally:(fun () ->

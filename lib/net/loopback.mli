@@ -35,11 +35,26 @@ val with_cluster :
   ?io_timeout:float ->
   ?source_conns:int ->
   ?workers:int ->
+  ?standbys:int ->
+  ?health_interval:float ->
+  ?drain_deadline:float ->
   spec:Workload.spec ->
   (cluster -> 'a) ->
   'a
 (** Children are killed (and proxies stopped) however the callback
-    ends.  [source_conns]/[workers] forward to {!Server.create}. *)
+    ends.  [source_conns]/[workers]/[health_interval]/[drain_deadline]
+    forward to {!Server.create}.  [standbys] (default 0) forks that
+    many extra replica daemons per source — deterministic twins the
+    mediator's pool lists as failover candidates behind the primary;
+    chaos proxies, when given, interpose on the primary only.  The
+    mediator installs a SIGTERM → {!Server.begin_drain} handler, so a
+    test can drain-restart it like a real deployment would. *)
+
+val source_pid : cluster -> id:int -> replica:int -> int
+(** The daemon process serving [replica] (0 = primary) of source [id] —
+    for tests that SIGKILL a specific process. *)
+
+val mediator_pid : cluster -> int
 
 val target : cluster -> Loadgen.target
 (** The cluster's mediator as a {!Loadgen} target (the parent process

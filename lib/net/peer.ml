@@ -4,6 +4,9 @@ module Mux = Endpoint.Mux
 module Obs = Secmed_obs
 
 exception Refused of string
+exception Draining of string
+
+type health = { h_role : Transcript.party; h_draining : bool; h_active : int }
 
 (* ------------------------------------------------------------------ *)
 (* Datasource daemon *)
@@ -68,10 +71,57 @@ let source_session ~role ~env ~client ~io_timeout mux session =
   in
   loop ()
 
-let source ~id ~env ~client ~scenario ~listen_fd ?(io_timeout = 10.) () =
+(* The daemon's drain state.  [sd_draining] is flipped by only
+   idempotent field writes so the SIGTERM handler may call it at any
+   safe point; [sd_active] counts live session threads across every
+   pooled connection. *)
+type source_drain = {
+  sd_mu : Mutex.t;
+  mutable sd_active : int;
+  mutable sd_draining : bool;
+  mutable sd_deadline_at : float;
+}
+
+let source ~id ~env ~client ~scenario ~listen_fd ?(io_timeout = 10.)
+    ?(drain_deadline = 30.) ?(drain_on_sigterm = false) () =
   let role = Transcript.Source id in
+  let sd =
+    { sd_mu = Mutex.create (); sd_active = 0; sd_draining = false; sd_deadline_at = infinity }
+  in
+  let begin_drain deadline =
+    if not sd.sd_draining then begin
+      sd.sd_deadline_at <- Unix.gettimeofday () +. deadline;
+      sd.sd_draining <- true
+    end
+  in
+  if drain_on_sigterm then
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> begin_drain drain_deadline));
   let serve_conn conn =
     match Frame.decode (Io.recv_frame conn) with
+    | Frame.Ping ->
+      let h_active = Mutex.protect sd.sd_mu (fun () -> sd.sd_active) in
+      (try
+         Io.send_frame conn
+           (Frame.encode (Frame.Health { h_role = role; h_draining = sd.sd_draining; h_active }))
+       with Io.Transport_error _ -> ());
+      Io.close conn
+    | Frame.Drain { scenario = s; deadline } ->
+      (* Same credential as the Hello handshake: only a process built
+         from the shared seed can present the digest. *)
+      (try
+         if String.equal s scenario then begin
+           begin_drain (if deadline > 0. then deadline else drain_deadline);
+           Io.send_frame conn (Frame.encode Frame.Drain_ok)
+         end
+         else
+           Io.send_frame conn
+             (Frame.encode (Frame.Busy "drain refused: scenario digest mismatch"))
+       with Io.Transport_error _ -> ());
+      Io.close conn
+    | Frame.Hello { role = Transcript.Mediator; scenario = s }
+      when String.equal s scenario && sd.sd_draining ->
+      Io.send_frame conn (Frame.encode (Frame.Draining "source is draining"));
+      Io.close conn
     | Frame.Hello { role = Transcript.Mediator; scenario = s } when String.equal s scenario ->
       Io.send_frame conn (Frame.encode (Frame.Hello_ok { scenario }));
       (* Sessions wait with their own timeouts; the shared socket must
@@ -85,7 +135,7 @@ let source ~id ~env ~client ~scenario ~listen_fd ?(io_timeout = 10.) () =
       let live = Hashtbl.create 8 in
       let rec control () =
         match Mux.next_control mux ~timeout:0. with
-        | Frame.Session_start { session; _ } ->
+        | Frame.Session_start { session; epoch; _ } ->
           (* The mux already parked this frame (and anything racing in
              behind it) on the session's own queue; this copy is just
              the announcement. *)
@@ -97,17 +147,38 @@ let source ~id ~env ~client ~scenario ~listen_fd ?(io_timeout = 10.) () =
                   true
                 end)
           in
-          if fresh then
-            ignore
-              (Thread.create
-                 (fun () ->
-                   Fun.protect
-                     ~finally:(fun () ->
-                       Secmed_crypto.Counters.release ();
-                       Mutex.protect live_mu (fun () -> Hashtbl.remove live session))
-                     (fun () -> source_session ~role ~env ~client ~io_timeout mux session))
-                 ()
-                : Thread.t);
+          if fresh then begin
+            if sd.sd_draining then begin
+              (* A brand-new session on a pooled connection that predates
+                 the drain: refuse it with a typed report (the mediator
+                 marks this replica down and retries on a standby) rather
+                 than admitting work the deadline may cut short. *)
+              Mutex.protect live_mu (fun () -> Hashtbl.remove live session);
+              Mux.unsubscribe mux session;
+              try
+                Mux.send mux
+                  (Frame.Report
+                     { session; epoch;
+                       status =
+                         Frame.St_failed
+                           { Fault.phase = "admission"; party = role; reason = "draining" } })
+              with Io.Transport_error _ -> ()
+            end
+            else begin
+              Mutex.protect sd.sd_mu (fun () -> sd.sd_active <- sd.sd_active + 1);
+              ignore
+                (Thread.create
+                   (fun () ->
+                     Fun.protect
+                       ~finally:(fun () ->
+                         Secmed_crypto.Counters.release ();
+                         Mutex.protect live_mu (fun () -> Hashtbl.remove live session);
+                         Mutex.protect sd.sd_mu (fun () -> sd.sd_active <- sd.sd_active - 1))
+                       (fun () -> source_session ~role ~env ~client ~io_timeout mux session))
+                   ()
+                  : Thread.t)
+            end
+          end;
           control ()
         | _ -> control ()
         | exception Io.Transport_error _ -> Io.close conn
@@ -124,15 +195,31 @@ let source ~id ~env ~client ~scenario ~listen_fd ?(io_timeout = 10.) () =
      per-operation I/O once a connection exists, not the accept.  Each
      accepted connection gets its own thread: a mediator with a
      connection pool dials this daemon [source_conns] times, and every
-     pooled link must be serviceable at once. *)
+     pooled link must be serviceable at once.  The loop ticks on a
+     short select (an accept with no timeout would pin a drained daemon
+     to its socket) and exits once draining and idle — or past the
+     drain deadline. *)
   let rec accept_loop () =
-    match Io.accept listen_fd with
-    | conn ->
-      ignore (Thread.create serve_conn conn : Thread.t);
-      accept_loop ()
-    | exception Io.Transport_error _ -> ()
+    if
+      sd.sd_draining
+      && (Mutex.protect sd.sd_mu (fun () -> sd.sd_active) = 0
+         || Unix.gettimeofday () > sd.sd_deadline_at)
+    then ()
+    else begin
+      match Unix.select [ listen_fd ] [] [] 0.2 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | exception Unix.Unix_error _ -> ()
+      | [], _, _ -> accept_loop ()
+      | _ :: _, _, _ -> (
+        match Io.accept listen_fd with
+        | conn ->
+          ignore (Thread.create serve_conn conn : Thread.t);
+          accept_loop ()
+        | exception Io.Transport_error _ -> ())
+    end
   in
-  accept_loop ()
+  accept_loop ();
+  if sd.sd_draining then (try Unix.close listen_fd with Unix.Unix_error _ -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Remote client *)
@@ -157,6 +244,7 @@ let run ~host ~port ~scenario ~scheme ~query ?(fault_spec = "") ?(deadline = 0.)
   | Frame.Hello_ok { scenario = s } when String.equal s scenario -> ()
   | Frame.Hello_ok _ -> raise (Io.Transport_error "scenario digest mismatch with the mediator")
   | Frame.Busy reason -> raise (Refused reason)
+  | Frame.Draining reason -> raise (Draining reason)
   | f -> raise (Io.Transport_error ("unexpected " ^ Frame.tag_name f ^ " in handshake")));
   Io.send_frame conn
     (Frame.encode (Frame.Query { scheme; query; fault_spec; deadline; fallback; trace }));
@@ -235,6 +323,7 @@ let run ~host ~port ~scenario ~scheme ~query ?(fault_spec = "") ?(deadline = 0.)
       serve_loop ()
     | Frame.Session_result { result; _ } -> finish result
     | Frame.Busy reason -> raise (Refused reason)
+    | Frame.Draining reason -> raise (Draining reason)
     | Frame.Span_batch { party; parent; payload; _ } ->
       batches := { Trace_wire.rm_party = party; rm_parent = parent; rm_payload = payload }
                  :: !batches;
@@ -255,3 +344,21 @@ let stats ~host ~port ?(io_timeout = 10.) () =
   | Frame.Stats { payload } -> payload
   | Frame.Busy reason -> raise (Refused reason)
   | f -> raise (Io.Transport_error ("unexpected " ^ Frame.tag_name f ^ " to a stats request"))
+
+let ping ~host ~port ?(io_timeout = 10.) () =
+  let conn = Io.connect ~timeout:io_timeout ~host ~port () in
+  Fun.protect ~finally:(fun () -> Io.close conn) @@ fun () ->
+  Io.send_frame conn (Frame.encode Frame.Ping);
+  match Frame.decode (Io.recv_frame conn) with
+  | Frame.Health { h_role; h_draining; h_active } -> { h_role; h_draining; h_active }
+  | Frame.Busy reason -> raise (Refused reason)
+  | f -> raise (Io.Transport_error ("unexpected " ^ Frame.tag_name f ^ " to a ping"))
+
+let drain ~host ~port ~scenario ?(deadline = 0.) ?(io_timeout = 10.) () =
+  let conn = Io.connect ~timeout:io_timeout ~host ~port () in
+  Fun.protect ~finally:(fun () -> Io.close conn) @@ fun () ->
+  Io.send_frame conn (Frame.encode (Frame.Drain { scenario; deadline }));
+  match Frame.decode (Io.recv_frame conn) with
+  | Frame.Drain_ok -> ()
+  | Frame.Busy reason -> raise (Refused reason)
+  | f -> raise (Io.Transport_error ("unexpected " ^ Frame.tag_name f ^ " to a drain request"))

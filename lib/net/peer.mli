@@ -15,6 +15,19 @@ exception Refused of string
     Distinct from {!Io.Transport_error} so a load generator can count
     backpressure separately from broken links. *)
 
+exception Draining of string
+(** The peer refused a new session with a typed [Draining] frame: it is
+    shutting down gracefully.  Distinct from {!Refused} ([Busy]) — a
+    draining process will not come back, so the right reaction is to
+    retry against its restarted successor, not to back off. *)
+
+(** A peer's answer to a [Ping] probe. *)
+type health = {
+  h_role : Secmed_mediation.Transcript.party;
+  h_draining : bool;
+  h_active : int;  (** sessions currently in flight at the peer *)
+}
+
 val source :
   id:int ->
   env:Env.t ->
@@ -22,6 +35,8 @@ val source :
   scenario:string ->
   listen_fd:Unix.file_descr ->
   ?io_timeout:float ->
+  ?drain_deadline:float ->
+  ?drain_on_sigterm:bool ->
   unit ->
   unit
 (** Run datasource [id] as a daemon: accept mediator connections (a
@@ -30,7 +45,17 @@ val source :
     and per [Session_start] run this source's replica of the attempt and
     report how it ended.  The session's fault spec is parsed once, so a
     [times]-bounded rule burns down across attempts exactly as it does
-    in-process.  Returns when the listening socket is closed. *)
+    in-process.  Returns when the listening socket is closed.
+
+    [Ping] probes are answered with a [Health] frame before any
+    handshake.  A [Drain] frame carrying the right scenario digest (or
+    SIGTERM, when [drain_on_sigterm] is set — default off so embedding
+    processes keep their own handlers) flips the daemon into draining:
+    new connections are refused with [Draining], brand-new sessions on
+    existing pooled connections are refused with a typed
+    [St_failed]/"draining" report (the mediator fails them over to a
+    standby), in-flight sessions finish under [drain_deadline] (default
+    30s), and the daemon then returns cleanly. *)
 
 (** What a remote query yields on the client side.  [result] is
     reconstructed from the client replica's own outcomes plus the
@@ -74,3 +99,17 @@ val stats : host:string -> port:int -> ?io_timeout:float -> unit -> string
 (** Ask a running mediator for its live stats snapshot (JSON text, the
     [Stats] frame payload).  Answered without admission control, so it
     works against a server at capacity. *)
+
+val ping : host:string -> port:int -> ?io_timeout:float -> unit -> health
+(** One liveness probe against a mediator or datasource daemon.
+    Answered before admission and before any handshake; raises
+    {!Io.Transport_error} when the peer is unreachable. *)
+
+val drain :
+  host:string -> port:int -> scenario:string -> ?deadline:float -> ?io_timeout:float ->
+  unit -> unit
+(** Ask a peer to drain gracefully.  [scenario] must be the peer's
+    {!Scenario.digest} — the drain frame is authenticated by the same
+    shared-seed credential as the session handshake.  [deadline] [> 0]
+    overrides the peer's default drain deadline.  Raises {!Refused} when
+    the digest does not match. *)

@@ -10,6 +10,8 @@
    thread-local, so concurrent drivers on different workers never
    interleave their accounting. *)
 
+exception Stopped
+
 type job = Job : (unit -> 'a) * 'a slot -> job
 
 and 'a slot = {
@@ -33,6 +35,7 @@ type t = {
   mutable busy : int;
   mutable submitted : int;
   mutable completed : int;
+  mutable rejected : int;
   mutable busy_seconds : float;
 }
 
@@ -42,6 +45,7 @@ type stats = {
   st_queued : int;
   st_submitted : int;
   st_completed : int;
+  st_rejected : int;
   st_busy_seconds : float;
 }
 
@@ -91,6 +95,7 @@ let create ~workers =
       busy = 0;
       submitted = 0;
       completed = 0;
+      rejected = 0;
       busy_seconds = 0.;
     }
   in
@@ -107,13 +112,14 @@ let stats t =
         st_queued = Queue.length t.queue;
         st_submitted = t.submitted;
         st_completed = t.completed;
+        st_rejected = t.rejected;
         st_busy_seconds = t.busy_seconds;
       })
 
 let run t f =
   let slot = { outcome = Pending; s_mu = Mutex.create (); s_cond = Condition.create () } in
   Mutex.protect t.mu (fun () ->
-      if t.stopping then invalid_arg "Sched.run: pool is stopped";
+      if t.stopping then raise Stopped;
       t.submitted <- t.submitted + 1;
       Queue.push (Job (f, slot)) t.queue;
       Condition.signal t.cond);
@@ -127,9 +133,31 @@ let run t f =
   | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
   | Pending -> assert false
 
-let stop t =
-  Mutex.protect t.mu (fun () ->
-      t.stopping <- true;
-      Condition.broadcast t.cond);
+(* With [drain:false], queued-but-unstarted jobs are rejected with a
+   typed [Stopped] raised at their blocked submitter, not silently
+   dropped (which would leave the submitter waiting forever on a slot
+   no worker will ever fill). *)
+let stop ?(drain = true) t =
+  let rejected =
+    Mutex.protect t.mu (fun () ->
+        t.stopping <- true;
+        let rejected =
+          if drain then []
+          else begin
+            let jobs = List.of_seq (Queue.to_seq t.queue) in
+            Queue.clear t.queue;
+            t.rejected <- t.rejected + List.length jobs;
+            jobs
+          end
+        in
+        Condition.broadcast t.cond;
+        rejected)
+  in
+  List.iter
+    (fun (Job (_, slot)) ->
+      Mutex.protect slot.s_mu (fun () ->
+          slot.outcome <- Raised (Stopped, Printexc.get_callstack 0);
+          Condition.signal slot.s_cond))
+    rejected;
   List.iter Thread.join t.threads;
   t.threads <- []

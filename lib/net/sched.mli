@@ -12,6 +12,10 @@
 
 type t
 
+exception Stopped
+(** Raised at a submitter whose job was refused ({!run} after {!stop})
+    or rejected while queued ({!stop} [~drain:false]). *)
+
 val create : workers:int -> t
 (** Spawns [max 1 workers] worker threads, all idle. *)
 
@@ -27,6 +31,7 @@ type stats = {
   st_queued : int;     (** submitted jobs not yet picked up *)
   st_submitted : int;
   st_completed : int;
+  st_rejected : int;   (** queued jobs rejected by [stop ~drain:false] *)
   st_busy_seconds : float;
 }
 
@@ -35,8 +40,11 @@ val stats : t -> stats
 val run : t -> (unit -> 'a) -> 'a
 (** Submit a thunk and block until a worker has run it; returns its
     result or re-raises its exception (with backtrace).  FIFO across
-    concurrent submitters.  Raises [Invalid_argument] after {!stop}. *)
+    concurrent submitters.  Raises {!Stopped} after {!stop}. *)
 
-val stop : t -> unit
-(** Drains nothing: queued jobs still run; then workers exit and are
-    joined.  Idempotent. *)
+val stop : ?drain:bool -> t -> unit
+(** With [drain:true] (default), queued jobs still run before workers
+    exit and are joined.  With [drain:false], queued-but-unstarted jobs
+    are rejected: each blocked submitter gets a typed {!Stopped} instead
+    of hanging on a slot no worker will fill; jobs already executing
+    still finish.  Idempotent. *)

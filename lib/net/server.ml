@@ -4,17 +4,35 @@ module R = Resilience
 module Mux = Endpoint.Mux
 module Obs = Secmed_obs
 
+(* One replica endpoint of a datasource.  Health fields are guarded by
+   the link's [sl_mu]: [re_up] is the last known verdict (assumed up
+   until a dial, probe, or draining report proves otherwise),
+   [re_down_until] gates failback — a down replica is not redialed
+   before its cooldown expires unless no other candidate exists. *)
+type replica = {
+  re_index : int;
+  re_host : string;
+  re_port : int;
+  mutable re_up : bool;
+  mutable re_down_until : float;
+  mutable re_dials : int;
+  mutable re_transitions : int;
+}
+
 (* One pooled connection to a datasource.  Each slot owns at most one
    live mux; a session checks out exactly one slot per source for its
    whole lifetime, so a severed pooled connection faults only the
    sessions bound to that slot — the others never notice.  [ss_epoch]
    counts successful dials: 1 on the first connect, +1 per redial, so
-   the ops surface can tell a stable slot from a flapping one. *)
+   the ops surface can tell a stable slot from a flapping one.
+   [ss_replica] is the slot's replica cursor: which endpoint the live
+   mux is (or was last) dialed to. *)
 type source_slot = {
   ss_index : int;
   ss_mu : Mutex.t;
   mutable ss_mux : Mux.t option;
   mutable ss_epoch : int;
+  mutable ss_replica : int;
 }
 
 (* Live per-scheme serving tallies, keyed by the scheme that answered
@@ -30,9 +48,20 @@ type scheme_stat = {
 
 type source_link = {
   sl_id : int;
-  sl_host : string;
-  sl_port : int;
+  sl_mu : Mutex.t;  (* guards every replica's health fields *)
+  sl_replicas : replica array;
   sl_slots : source_slot array;
+}
+
+(* One entry of the failover transition log: replica health flips and
+   slot cursor moves, timestamped relative to server start so a soak
+   harness can match them against its seeded kill schedule. *)
+type fo_event = {
+  fo_at : float;
+  fo_source : int;
+  fo_replica : int;
+  fo_kind : string;  (* "down" | "up" | "failover" *)
+  fo_detail : string;
 }
 
 type t = {
@@ -45,23 +74,36 @@ type t = {
   rsession : R.session;
   max_sessions : int;
   io_timeout : float;
+  drain_deadline : float;
+  health_interval : float;  (* 0. = no prober thread *)
+  replica_cooldown : float;
   sched : Sched.t;  (* bounds concurrent protocol drivers; overflow queues FIFO *)
   admission_mu : Mutex.t;
   mutable active : int;
   mutable next_session : int;
   mutable stopped : bool;
+  mutable draining : bool;
+  mutable drain_deadline_at : float;
   started_at : float;
   stats_mu : Mutex.t;
   scheme_stats : (string, scheme_stat) Hashtbl.t;
+  fo_mu : Mutex.t;
+  mutable fo_events : fo_event list;  (* newest first, capped *)
+  mutable fo_count : int;
+  conns_mu : Mutex.t;
+  mutable conn_seq : int;
+  live_conns : (int, Io.conn) Hashtbl.t;  (* open client connections *)
 }
 
 (* Interned eagerly at module init — see the note in {!Endpoint}. *)
 let sessions_admitted = Secmed_obs.Metrics.counter "serve.sessions.admitted"
 let sessions_refused = Secmed_obs.Metrics.counter "serve.sessions.refused"
+let sessions_drain_refused = Secmed_obs.Metrics.counter "serve.sessions.drain_refused"
 let active_gauge = Secmed_obs.Metrics.gauge "serve.sessions.active"
 
 let create ~env ~client ~scenario ~sources ~listen_fd ?(policy = R.default_policy)
-    ?(max_sessions = 8) ?(io_timeout = 10.) ?(source_conns = 2) ?workers () =
+    ?(max_sessions = 8) ?(io_timeout = 10.) ?(source_conns = 2) ?workers
+    ?(drain_deadline = 30.) ?(health_interval = 0.) ?(replica_cooldown = 1.) () =
   let source_conns = max 1 source_conns in
   let workers = match workers with Some w -> max 1 w | None -> max_sessions in
   {
@@ -70,14 +112,22 @@ let create ~env ~client ~scenario ~sources ~listen_fd ?(policy = R.default_polic
     scenario;
     sources =
       List.map
-        (fun (sl_id, sl_host, sl_port) ->
+        (fun (sl_id, replicas) ->
+          if replicas = [] then invalid_arg "Server.create: source with no replicas";
           {
             sl_id;
-            sl_host;
-            sl_port;
+            sl_mu = Mutex.create ();
+            sl_replicas =
+              Array.of_list
+                (List.mapi
+                   (fun re_index (re_host, re_port) ->
+                     { re_index; re_host; re_port; re_up = true; re_down_until = 0.;
+                       re_dials = 0; re_transitions = 0 })
+                   replicas);
             sl_slots =
               Array.init source_conns (fun ss_index ->
-                  { ss_index; ss_mu = Mutex.create (); ss_mux = None; ss_epoch = 0 });
+                  { ss_index; ss_mu = Mutex.create (); ss_mux = None; ss_epoch = 0;
+                    ss_replica = 0 });
           })
         sources;
     listen_fd;
@@ -85,35 +135,118 @@ let create ~env ~client ~scenario ~sources ~listen_fd ?(policy = R.default_polic
     rsession = R.session ~policy ();
     max_sessions;
     io_timeout;
+    drain_deadline;
+    health_interval;
+    replica_cooldown;
     sched = Sched.create ~workers;
     admission_mu = Mutex.create ();
     active = 0;
     next_session = 1;
     stopped = false;
+    draining = false;
+    drain_deadline_at = infinity;
     started_at = Unix.gettimeofday ();
     stats_mu = Mutex.create ();
     scheme_stats = Hashtbl.create 8;
+    fo_mu = Mutex.create ();
+    fo_events = [];
+    fo_count = 0;
+    conns_mu = Mutex.create ();
+    conn_seq = 0;
+    live_conns = Hashtbl.create 32;
   }
 
 (* A session's slot for a source: round-robin by session id, so tests
    can predict which sessions share a pooled connection. *)
 let slot_of sl sid = sl.sl_slots.((sid - 1) mod Array.length sl.sl_slots)
 
+let log_fo t ~source ~replica ~kind ~detail =
+  Mutex.protect t.fo_mu (fun () ->
+      t.fo_count <- t.fo_count + 1;
+      let kept =
+        if List.length t.fo_events >= 512 then List.filteri (fun i _ -> i < 511) t.fo_events
+        else t.fo_events
+      in
+      t.fo_events <-
+        { fo_at = Unix.gettimeofday () -. t.started_at; fo_source = source;
+          fo_replica = replica; fo_kind = kind; fo_detail = detail }
+        :: kept)
+
+let failover_events t =
+  Mutex.protect t.fo_mu (fun () -> List.rev t.fo_events)
+
+(* Health flips log a transition only on an actual edge, so the log
+   length is proportional to real world events, not probe frequency. *)
+let mark_down t sl idx ~reason =
+  let re = sl.sl_replicas.(idx) in
+  let flipped =
+    Mutex.protect sl.sl_mu (fun () ->
+        re.re_down_until <- Unix.gettimeofday () +. t.replica_cooldown;
+        if re.re_up then begin
+          re.re_up <- false;
+          re.re_transitions <- re.re_transitions + 1;
+          true
+        end
+        else false)
+  in
+  if flipped then log_fo t ~source:sl.sl_id ~replica:idx ~kind:"down" ~detail:reason
+
+let mark_up t sl idx =
+  let re = sl.sl_replicas.(idx) in
+  let flipped =
+    Mutex.protect sl.sl_mu (fun () ->
+        re.re_down_until <- 0.;
+        if not re.re_up then begin
+          re.re_up <- true;
+          re.re_transitions <- re.re_transitions + 1;
+          true
+        end
+        else false)
+  in
+  if flipped then log_fo t ~source:sl.sl_id ~replica:idx ~kind:"up" ~detail:""
+
+(* Dial order: healthy replicas first (primary-first within each band),
+   then down replicas whose cooldown expired (failback probing).  If
+   nothing is eligible — every replica freshly down — fall back to
+   trying them all anyway: with a single replica this degrades to
+   exactly the old redial-immediately behavior, and with several it
+   means a fully-partitioned pool still probes rather than giving up
+   without a dial. *)
+let candidates sl =
+  let now = Unix.gettimeofday () in
+  let idxs = List.init (Array.length sl.sl_replicas) Fun.id in
+  let up, cooled =
+    Mutex.protect sl.sl_mu (fun () ->
+        ( List.filter (fun i -> sl.sl_replicas.(i).re_up) idxs,
+          List.filter
+            (fun i ->
+              (not sl.sl_replicas.(i).re_up) && now >= sl.sl_replicas.(i).re_down_until)
+            idxs ))
+  in
+  match up @ cooled with [] -> idxs | eligible -> eligible
+
 (* The pooled datasource connection, dialed on first use and redialed
-   when a previous incarnation died (e.g. severed by the chaos proxy) —
-   the transport-level half of "a connection failure is a typed,
-   retryable fault".  Lazy redial is per slot: only the sessions
-   checked out on the dead slot pay the reconnect. *)
+   when a previous incarnation died (e.g. peer SIGKILLed, or severed by
+   the chaos proxy) — the transport-level half of "a connection failure
+   is a typed, retryable fault".  Lazy redial is per slot: only the
+   sessions checked out on the dead slot pay the reconnect.  The redial
+   walks the replica candidates in health order, so a dead primary
+   fails the bound sessions over to a standby within their one typed
+   retry; a later redial after the cooldown fails back.  A live mux
+   whose replica was marked down out-of-band (health probe, draining
+   report) is proactively switched — but only when some other replica
+   is known up, so a single-replica pool never churns a working
+   connection. *)
 let ensure_slot t sl slot =
   Mutex.protect slot.ss_mu (fun () ->
-      match slot.ss_mux with
-      | Some m when Mux.alive m -> Ok m
-      | previous -> (
-        (match previous with
-        | Some m -> Io.close (Mux.conn m)
-        | None -> ());
-        slot.ss_mux <- None;
-        match Io.connect ~timeout:t.io_timeout ~host:sl.sl_host ~port:sl.sl_port () with
+      (* A stopped server must not open fresh source connections: the
+         teardown sweep severs the muxes it can see, and a session that
+         transparently redialed behind it would sit out a full transport
+         timeout on a connection nobody will ever tear down. *)
+      if t.stopped then Error "mediator stopped"
+      else
+      let dial_replica re =
+        match Io.connect ~timeout:t.io_timeout ~host:re.re_host ~port:re.re_port () with
         | exception Io.Transport_error msg -> Error msg
         | conn -> (
           try
@@ -123,20 +256,62 @@ let ensure_slot t sl slot =
             | Frame.Hello_ok { scenario } when String.equal scenario t.scenario ->
               (* The mux receive thread must outlive idle periods. *)
               Io.set_timeout conn 0.;
-              let m = Mux.create conn in
-              slot.ss_mux <- Some m;
-              slot.ss_epoch <- slot.ss_epoch + 1;
-              Ok m
+              Ok (Mux.create conn)
             | Frame.Hello_ok _ ->
               Io.close conn;
               Error "scenario digest mismatch (daemon built a different workload)"
+            | Frame.Draining reason ->
+              Io.close conn;
+              Error ("draining: " ^ reason)
             | f ->
               Io.close conn;
               Error ("unexpected " ^ Frame.tag_name f ^ " in handshake")
           with
           | Io.Transport_error msg | Wire.Malformed msg ->
             Io.close conn;
-            Error msg)))
+            Error msg)
+      in
+      let redial () =
+        (match slot.ss_mux with
+        | Some m -> Io.close (Mux.conn m)
+        | None -> ());
+        slot.ss_mux <- None;
+        let rec try_each last = function
+          | [] -> Error (Option.value last ~default:"no replica reachable")
+          | idx :: rest -> (
+            let re = sl.sl_replicas.(idx) in
+            Mutex.protect sl.sl_mu (fun () -> re.re_dials <- re.re_dials + 1);
+            match dial_replica re with
+            | Ok m ->
+              mark_up t sl idx;
+              if slot.ss_epoch > 0 && slot.ss_replica <> idx then
+                log_fo t ~source:sl.sl_id ~replica:idx ~kind:"failover"
+                  ~detail:
+                    (Printf.sprintf "slot %d: replica %d -> %d" slot.ss_index
+                       slot.ss_replica idx);
+              slot.ss_replica <- idx;
+              slot.ss_mux <- Some m;
+              slot.ss_epoch <- slot.ss_epoch + 1;
+              Ok m
+            | Error msg ->
+              mark_down t sl idx ~reason:msg;
+              try_each
+                (Some (Printf.sprintf "replica %d (%s:%d): %s" idx re.re_host re.re_port msg))
+                rest)
+        in
+        try_each None (candidates sl)
+      in
+      match slot.ss_mux with
+      | Some m when Mux.alive m ->
+        let switch =
+          Mutex.protect sl.sl_mu (fun () ->
+              (not sl.sl_replicas.(slot.ss_replica).re_up)
+              && Array.exists
+                   (fun re -> re.re_up && re.re_index <> slot.ss_replica)
+                   sl.sl_replicas)
+        in
+        if switch then redial () else Ok m
+      | Some _ | None -> redial ())
 
 let wire_failure (f : Protocol.failure) =
   { Fault.phase = f.Protocol.phase; party = f.Protocol.party; reason = f.Protocol.reason }
@@ -158,7 +333,8 @@ type peer_routes = {
    current-epoch Report is stashed where the commit barrier can find
    it, and a St_failed fails the blocked receive fast — the frame it
    was waiting for will never come. *)
-let stashing ~epoch ~party cell (route : Endpoint.route) =
+let stashing ?(on_failed = fun (_ : Fault.failure) -> ()) ~epoch ~party cell
+    (route : Endpoint.route) =
   {
     route with
     Endpoint.r_next =
@@ -167,7 +343,8 @@ let stashing ~epoch ~party cell (route : Endpoint.route) =
         | Frame.Report { epoch = e; status; _ } as f when e = !epoch ->
           cell := Some status;
           (match status with
-          | Frame.St_failed _ ->
+          | Frame.St_failed failure ->
+            on_failed failure;
             raise (Io.Transport_error (Transcript.party_name party ^ " reported a failure"))
           | Frame.St_ok | Frame.St_aborted ->
             (* Returned (not swallowed) so a blocked caller re-examines
@@ -246,9 +423,17 @@ let make_routes t conn sid ~epoch ~batches =
           | Error msg ->
             raise (Io.Transport_error (Printf.sprintf "source %d: %s" sl.sl_id msg))
         in
+        (* A replica that reports "draining" is refusing new work but
+           still healthy enough to answer: mark it down so the retry's
+           {!ensure_slot} proactively switches this slot to a standby
+           instead of knocking on the same draining daemon again. *)
+        let on_failed (f : Fault.failure) =
+          if String.equal f.Fault.reason "draining" then
+            mark_down t sl slot.ss_replica ~reason:"peer draining"
+        in
         ( s,
           ( sl.sl_id,
-            stashing ~epoch ~party:(Transcript.Source sl.sl_id) cell
+            stashing ~on_failed ~epoch ~party:(Transcript.Source sl.sl_id) cell
               (batching batches
                  (counted s
                     {
@@ -341,6 +526,14 @@ let coordinator t ~sid ~query ~fault_spec ~routes ~epoch ~failures ~trace_id ~se
     (match verdict with
     | Error f -> failures := (scheme, f) :: !failures
     | Ok _ -> ());
+    (* A failed attempt on a stopped server must not enter the retry /
+       degradation ladder: the client connection was severed by the
+       teardown, so every further attempt (some of them crypto-heavy)
+       would burn a worker the [Sched.stop] join is waiting on.  The
+       typed abort unwinds the driver immediately. *)
+    (match verdict with
+    | Error f when t.stopped -> raise (Endpoint.Aborted f)
+    | _ -> ());
     verdict
   in
   { Protocol.begin_attempt; end_attempt }
@@ -477,7 +670,7 @@ let run_query t conn sid ~release ~scheme ~query ~fault_spec ~deadline ~fallback
             ?chain:(if fallback then None else Some [])
             sch t.env t.client ~query
         in
-        let verdict =
+        let run_traced () =
           match collector with
           | None -> run_driver ()
           | Some c ->
@@ -495,6 +688,17 @@ let run_query t conn sid ~release ~scheme ~query ~fault_spec ~deadline ~fallback
                     | Some id -> session_span := id
                     | None -> ());
                     run_driver ()))
+        in
+        let verdict =
+          match run_traced () with
+          | v -> Some v
+          | exception Endpoint.Aborted _ ->
+            (* The coordinator cut the session short (stopped server).
+               No reply: a cut at the drain deadline must look to the
+               client exactly like the process death it stands in for —
+               a severed connection it redials — not a terminal Unserved
+               verdict racing the teardown's socket sweep. *)
+            None
         in
         (* Each source owes one batch per epoch; a bounded drain picks
            up the ones racing in behind the final Reports.  Best-effort:
@@ -546,7 +750,10 @@ let run_query t conn sid ~release ~scheme ~query ~fault_spec ~deadline ~fallback
         in
         let elapsed = Unix.gettimeofday () -. started in
         (match verdict with
-        | Protocol.Served outcome ->
+        | None ->
+          note_result t ~key:scheme ~elapsed `Failed;
+          release ()
+        | Some (Protocol.Served outcome) ->
           let w_degraded =
             match outcome.Outcome.degraded_from with
             | None -> None
@@ -574,7 +781,7 @@ let run_query t conn sid ~release ~scheme ~query ~fault_spec ~deadline ~fallback
                  w_link_stats =
                    List.map (fun (p, out_c, in_c) -> (p, !out_c, !in_c)) routes.stats;
                })
-        | Protocol.Unserved tried ->
+        | Some (Protocol.Unserved tried) ->
           (* A deadline can trip mid-attempt, leaving replicas blocked on
              a frame that will never come: release them before the
              result, so the client's replica unwinds ahead of reading it. *)
@@ -626,31 +833,71 @@ let stats_json t =
   let pool =
     List.map
       (fun sl ->
+        let replicas =
+          Mutex.protect sl.sl_mu (fun () ->
+              Array.to_list
+                (Array.map
+                   (fun re ->
+                     J.Obj
+                       [
+                         ("replica", J.Int re.re_index);
+                         ("addr", J.Str (Printf.sprintf "%s:%d" re.re_host re.re_port));
+                         ("up", J.Bool re.re_up);
+                         ("dials", J.Int re.re_dials);
+                         ("transitions", J.Int re.re_transitions);
+                       ])
+                   sl.sl_replicas))
+        in
         J.Obj
           [
             ("source", J.Int sl.sl_id);
-            ("addr", J.Str (Printf.sprintf "%s:%d" sl.sl_host sl.sl_port));
+            ( "addr",
+              J.Str
+                (Printf.sprintf "%s:%d" sl.sl_replicas.(0).re_host sl.sl_replicas.(0).re_port)
+            );
+            ("replicas", J.List replicas);
             ( "slots",
               J.List
                 (Array.to_list
                    (Array.map
                       (fun slot ->
-                        let connected, dials =
+                        let connected, dials, replica =
                           Mutex.protect slot.ss_mu (fun () ->
                               ( (match slot.ss_mux with
                                 | Some m -> Mux.alive m
                                 | None -> false),
-                                slot.ss_epoch ))
+                                slot.ss_epoch, slot.ss_replica ))
                         in
                         J.Obj
                           [
                             ("slot", J.Int slot.ss_index);
                             ("connected", J.Bool connected);
                             ("dials", J.Int dials);
+                            ("replica", J.Int replica);
                           ])
                       sl.sl_slots)) );
           ])
       t.sources
+  in
+  let failover =
+    let events, count = Mutex.protect t.fo_mu (fun () -> (List.rev t.fo_events, t.fo_count)) in
+    J.Obj
+      [
+        ("count", J.Int count);
+        ( "events",
+          J.List
+            (List.map
+               (fun e ->
+                 J.Obj
+                   [
+                     ("at", J.Float e.fo_at);
+                     ("source", J.Int e.fo_source);
+                     ("replica", J.Int e.fo_replica);
+                     ("kind", J.Str e.fo_kind);
+                     ("detail", J.Str e.fo_detail);
+                   ])
+               events) );
+      ]
   in
   let schemes =
     Mutex.protect t.stats_mu (fun () ->
@@ -691,6 +938,8 @@ let stats_json t =
             ("next_id", J.Int next_session);
             ("admitted", J.Int (Obs.Metrics.counter_value sessions_admitted));
             ("refused", J.Int (Obs.Metrics.counter_value sessions_refused));
+            ("drain_refused", J.Int (Obs.Metrics.counter_value sessions_drain_refused));
+            ("draining", J.Bool t.draining);
           ] );
       ( "scheduler",
         J.Obj
@@ -700,10 +949,12 @@ let stats_json t =
             ("queued", J.Int sched.Sched.st_queued);
             ("submitted", J.Int sched.Sched.st_submitted);
             ("completed", J.Int sched.Sched.st_completed);
+            ("rejected", J.Int sched.Sched.st_rejected);
             ("busy_seconds", J.Float sched.Sched.st_busy_seconds);
             ("utilization", J.Float utilization);
           ] );
       ("pool", J.List pool);
+      ("failover", failover);
       ("breakers", R.breakers_json t.rsession);
       ( "net",
         J.Obj
@@ -717,25 +968,72 @@ let stats_json t =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Drain *)
+
+(* Only idempotent field writes: this is what the SIGTERM handler calls,
+   and OCaml signal handlers may run at any safe point — taking a mutex
+   here could deadlock against the very thread that was interrupted. *)
+let begin_drain ?deadline t =
+  if not t.draining then begin
+    t.drain_deadline_at <-
+      Unix.gettimeofday () +. (match deadline with Some d -> d | None -> t.drain_deadline);
+    t.draining <- true
+  end
+
+let draining t = t.draining
+
+(* Done draining when nothing is admitted, executing, or queued.  The
+   admission slot frees just before the worker sends [Session_result],
+   so [st_busy] (which drops only when the thunk returns, strictly
+   after the send) is what keeps the barrier honest. *)
+let drained t =
+  let active = Mutex.protect t.admission_mu (fun () -> t.active) in
+  let s = Sched.stats t.sched in
+  active = 0 && s.Sched.st_busy = 0 && s.Sched.st_queued = 0
+
+(* ------------------------------------------------------------------ *)
 (* Accept loop *)
 
-(* The connection thread reads the first frame to route it: a stats
-   probe is answered immediately — no admission, no worker — so the ops
-   surface stays responsive on a server at capacity; a client Hello
-   goes through scenario check, then admission, then the handshake and
-   query read, then blocks in {!Sched.run} while a pool worker executes
-   the driver.  Scheduling whole sessions (not individual frames) keeps
-   each driver's thread-local state — counter attribution, bigint
-   caches — private to one worker for the session's entire lifetime. *)
+(* The connection thread reads the first frame to route it: a stats or
+   health probe is answered immediately — no admission, no worker — so
+   the ops surface stays responsive on a server at capacity; a client
+   Hello goes through scenario check, then admission, then the
+   handshake and query read, then blocks in {!Sched.run} while a pool
+   worker executes the driver.  Scheduling whole sessions (not
+   individual frames) keeps each driver's thread-local state — counter
+   attribution, bigint caches — private to one worker for the
+   session's entire lifetime. *)
 let handle t conn ~admit ~release =
   match Frame.decode (Io.recv_frame conn) with
   | Frame.Stats_request ->
     Io.send_frame conn
       (Frame.encode (Frame.Stats { payload = Obs.Json.to_string (stats_json t) }))
+  | Frame.Ping ->
+    let h_active = Mutex.protect t.admission_mu (fun () -> t.active) in
+    Io.send_frame conn
+      (Frame.encode
+         (Frame.Health { h_role = Transcript.Mediator; h_draining = t.draining; h_active }))
+  | Frame.Drain { scenario; deadline } ->
+    (* The drain frame is authenticated the same way the Hello handshake
+       is: by knowledge of the scenario digest, which only a process
+       built from the shared seed can present. *)
+    if String.equal scenario t.scenario then begin
+      begin_drain ?deadline:(if deadline > 0. then Some deadline else None) t;
+      Io.send_frame conn (Frame.encode Frame.Drain_ok)
+    end
+    else
+      Io.send_frame conn (Frame.encode (Frame.Busy "drain refused: scenario digest mismatch"))
   | Frame.Hello { role = Transcript.Client; scenario } ->
     if not (String.equal scenario t.scenario) then
       Io.send_frame conn
         (Frame.encode (Frame.Busy "scenario digest mismatch (wrong workload or parameters)"))
+    else if t.draining then begin
+      (* Typed and distinct from [Busy]: the client knows the refusal is
+         terminal for this incarnation and retries against the restarted
+         process instead of backing off against a full one. *)
+      Secmed_obs.Metrics.incr sessions_drain_refused;
+      Io.send_frame conn (Frame.encode (Frame.Draining "mediator is draining"))
+    end
     else if not (admit ()) then begin
       (* Backpressure, not a hang: a typed refusal the load layer can
          count, sent before the handshake commits any session state. *)
@@ -755,8 +1053,15 @@ let handle t conn ~admit ~release =
               t.next_session <- sid + 1;
               sid)
         in
-        Sched.run t.sched (fun () ->
-            run_query t conn sid ~release ~scheme ~query ~fault_spec ~deadline ~fallback ~trace)
+        (try
+           Sched.run t.sched (fun () ->
+               run_query t conn sid ~release ~scheme ~query ~fault_spec ~deadline ~fallback
+                 ~trace)
+         with Sched.Stopped ->
+           (* The pool was torn down (drain deadline) with this session
+              still queued: a typed refusal, not a silent hang. *)
+           Io.send_frame conn
+             (Frame.encode (Frame.Draining "mediator drained before the session started")))
       | _ -> ()
     end
   | Frame.Hello _ ->
@@ -764,6 +1069,14 @@ let handle t conn ~admit ~release =
   | _ -> ()
 
 let conn_thread t conn =
+  (* Registered so a deadline-expired teardown can sever this
+     connection and wake whichever worker is blocked on it. *)
+  let token =
+    Mutex.protect t.conns_mu (fun () ->
+        t.conn_seq <- t.conn_seq + 1;
+        Hashtbl.replace t.live_conns t.conn_seq conn;
+        t.conn_seq)
+  in
   (* [release] is called at most once per admitted session: by [reply]
      on the worker thread (strictly before [Sched.run] returns), or by
      the teardown below when the session never reached a verdict. *)
@@ -799,22 +1112,55 @@ let conn_thread t conn =
   in
   Fun.protect
     ~finally:(fun () ->
+      Mutex.protect t.conns_mu (fun () -> Hashtbl.remove t.live_conns token);
       Io.close conn;
       release ())
     (fun () ->
       try handle t conn ~admit ~release with Io.Transport_error _ | Wire.Malformed _ -> ())
 
-let serve t =
-  let rec loop () =
-    match Io.accept ~timeout:t.io_timeout t.listen_fd with
-    | exception Io.Transport_error _ -> if not t.stopped then loop ()
-    | conn ->
-      ignore (Thread.create (conn_thread t) conn : Thread.t);
-      loop ()
-  in
-  loop ()
+(* One health-probe pass: a short-lived connection per replica carrying
+   a single Ping.  A draining or unreachable replica is marked down, so
+   the pool proactively switches slots away from it instead of paying a
+   session fault to discover the death. *)
+let probe_replica t re =
+  let timeout = Float.min 2. t.io_timeout in
+  match Io.connect ~timeout ~host:re.re_host ~port:re.re_port () with
+  | exception Io.Transport_error msg -> Error msg
+  | conn -> (
+    Fun.protect ~finally:(fun () -> Io.close conn) @@ fun () ->
+    try
+      Io.send_frame conn (Frame.encode Frame.Ping);
+      match Frame.decode (Io.recv_frame conn) with
+      | Frame.Health { h_draining = false; _ } -> Ok ()
+      | Frame.Health _ -> Error "probe: peer is draining"
+      | f -> Error ("probe: unexpected " ^ Frame.tag_name f)
+    with Io.Transport_error msg | Wire.Malformed msg -> Error ("probe: " ^ msg))
 
-let stop t =
+let prober t () =
+  let nap seconds =
+    let rec go left =
+      if left > 0. && not t.stopped then begin
+        Thread.delay (Float.min 0.2 left);
+        go (left -. 0.2)
+      end
+    in
+    go seconds
+  in
+  while not t.stopped do
+    List.iter
+      (fun sl ->
+        Array.iter
+          (fun re ->
+            if not t.stopped then
+              match probe_replica t re with
+              | Ok () -> mark_up t sl re.re_index
+              | Error msg -> mark_down t sl re.re_index ~reason:msg)
+          sl.sl_replicas)
+      t.sources;
+    nap t.health_interval
+  done
+
+let teardown ~drain t =
   t.stopped <- true;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   List.iter
@@ -824,9 +1170,54 @@ let stop t =
           Mutex.protect slot.ss_mu (fun () ->
               match slot.ss_mux with
               | Some m ->
+                (* Shutdown first: close alone need not wake the mux's
+                   receive thread out of a blocked read, and sessions
+                   waiting on its replies would sit out the full I/O
+                   timeout. *)
+                Io.shutdown (Mux.conn m);
                 Io.close (Mux.conn m);
                 slot.ss_mux <- None
               | None -> ()))
         sl.sl_slots)
     t.sources;
-  Sched.stop t.sched
+  (* A forced stop (drain deadline expired) severs every open client
+     connection before joining the pool: a worker mid-session may be
+     blocked reading its client for up to [io_timeout], and [Sched.stop]
+     joins — without the shutdown the "deadline" would quietly stretch
+     by a full I/O timeout.  The severed client sees a transport fault
+     and redials the restarted mediator.  A graceful stop keeps them:
+     its sessions already reached verdicts. *)
+  if not drain then
+    Mutex.protect t.conns_mu (fun () ->
+        Hashtbl.iter (fun _ conn -> Io.shutdown conn) t.live_conns);
+  Sched.stop ~drain t.sched
+
+(* The accept loop ticks on a short select so draining is observed
+   promptly: [Io.accept]'s timeout binds the accepted connection, not
+   the accept call, so a blocking accept would pin a drained server to
+   its socket until one more client showed up.  During a drain the loop
+   keeps accepting — probes stay answerable and late Hellos get their
+   typed [Draining] — until the in-flight sessions finish or the
+   deadline passes, then tears down without running whatever is still
+   queued. *)
+let serve t =
+  if t.health_interval > 0. then ignore (Thread.create (prober t) () : Thread.t);
+  let rec loop () =
+    if t.stopped then ()
+    else if t.draining && (drained t || Unix.gettimeofday () > t.drain_deadline_at) then ()
+    else begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ -> if not t.stopped then Thread.delay 0.05
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Io.accept ~timeout:t.io_timeout t.listen_fd with
+        | exception Io.Transport_error _ -> ()
+        | conn -> ignore (Thread.create (conn_thread t) conn : Thread.t)));
+      loop ()
+    end
+  in
+  loop ();
+  if t.draining && not t.stopped then teardown ~drain:false t
+
+let stop t = if not t.stopped then teardown ~drain:true t

@@ -36,41 +36,83 @@ open Secmed_core
 
 type t
 
+(** One entry of the failover transition log: a replica health flip
+    ([fo_kind] ["down"]/["up"]) or a slot's replica cursor move
+    (["failover"]), timestamped in seconds since server start. *)
+type fo_event = {
+  fo_at : float;
+  fo_source : int;
+  fo_replica : int;
+  fo_kind : string;
+  fo_detail : string;
+}
+
 val create :
   env:Env.t ->
   client:Env.client ->
   scenario:string ->
-  sources:(int * string * int) list ->
+  sources:(int * (string * int) list) list ->
   listen_fd:Unix.file_descr ->
   ?policy:Resilience.policy ->
   ?max_sessions:int ->
   ?io_timeout:float ->
   ?source_conns:int ->
   ?workers:int ->
+  ?drain_deadline:float ->
+  ?health_interval:float ->
+  ?replica_cooldown:float ->
   unit ->
   t
-(** [sources] maps each datasource id to the [(host, port)] its daemon
-    listens on; [scenario] is the {!Scenario.digest} every peer must
-    present.  [io_timeout] (default 10s) bounds each blocking frame
-    exchange; [max_sessions] (default 8) the concurrent client
-    sessions; [source_conns] (default 2) the pooled connections per
-    datasource; [workers] (default [max_sessions]) the concurrent
-    protocol drivers. *)
+(** [sources] maps each datasource id to its replica list — [(host,
+    port)] endpoints, primary first, every one a daemon serving the
+    same deterministic replica of that source; [scenario] is the
+    {!Scenario.digest} every peer must present.  [io_timeout] (default
+    10s) bounds each blocking frame exchange; [max_sessions] (default
+    8) the concurrent client sessions; [source_conns] (default 2) the
+    pooled connections per datasource; [workers] (default
+    [max_sessions]) the concurrent protocol drivers.
+
+    Each pool slot keeps a replica cursor: a redial walks the replicas
+    in health order (up first, then cooldown-expired, primary first),
+    so a dead primary fails the slot over to a standby within a
+    session's one typed retry, and a later redial after
+    [replica_cooldown] (default 1s) fails back.  [drain_deadline]
+    (default 30s) bounds how long {!begin_drain} waits for in-flight
+    sessions; [health_interval] > 0 (default 0 = off) starts a prober
+    thread that Pings every replica and proactively marks draining or
+    unreachable ones down. *)
 
 val serve : t -> unit
-(** Accept loop; returns when the listening socket is closed.  Every
-    accepted connection is routed by its first frame: a [Stats_request]
-    is answered immediately — without admission control, so the ops
-    surface works on a server at capacity — and a client [Hello] goes
-    through scenario check, admission, handshake, and the scheduler. *)
+(** Accept loop; returns when {!stop} is called or a drain completes
+    (all in-flight sessions finished, or the drain deadline passed —
+    the draining teardown rejects still-queued sessions with a typed
+    [Draining]).  Every accepted connection is routed by its first
+    frame: [Stats_request] and [Ping] are answered immediately —
+    without admission control, so the ops surface works on a server at
+    capacity — a [Drain] carrying the right scenario digest flips the
+    server into draining, and a client [Hello] goes through scenario
+    check, drain check, admission, handshake, and the scheduler. *)
+
+val begin_drain : ?deadline:float -> t -> unit
+(** Flip into draining (idempotent, async-signal-safe: only field
+    writes, so it may be called from a SIGTERM handler).  New sessions
+    are refused with [Draining]; {!serve} returns once in-flight
+    sessions finish or [deadline] (default [drain_deadline]) passes. *)
+
+val draining : t -> bool
+
+val failover_events : t -> fo_event list
+(** The failover transition log, oldest first (capped at 512 newest). *)
 
 val stats_json : t -> Secmed_obs.Json.t
 (** The live serving snapshot the [Stats] frame carries: uptime,
-    admission state, scheduler utilization, per-source pool slots (with
-    dial counts), breaker states, process-wide transport volume, and
-    per-scheme served/degraded/failed tallies with latency
-    percentiles.  Lock order is per-subsystem; the snapshot is
-    consistent per field group, not globally atomic. *)
+    admission state (including draining), scheduler utilization,
+    per-source pool slots (with dial counts and replica cursors),
+    per-replica health, the failover transition log, breaker states,
+    process-wide transport volume, and per-scheme
+    served/degraded/failed tallies with latency percentiles.  Lock
+    order is per-subsystem; the snapshot is consistent per field
+    group, not globally atomic. *)
 
 val stop : t -> unit
 (** Close the listener and the pooled datasource connections, and

@@ -136,6 +136,13 @@ let roundtrip_frames =
       { session = 3; party = Transcript.Mediator; parent = -1; payload = "" };
     Frame.Stats_request;
     Frame.Stats { payload = "{\"uptime_seconds\":1.5}" };
+    Frame.Ping;
+    Frame.Health { h_role = Transcript.Mediator; h_draining = false; h_active = 3 };
+    Frame.Health { h_role = Transcript.Source 2; h_draining = true; h_active = 0 };
+    Frame.Drain { scenario = "abcd1234"; deadline = 12.5 };
+    Frame.Drain { scenario = ""; deadline = 0. };
+    Frame.Drain_ok;
+    Frame.Draining "mediator is draining; retry after restart";
   ]
 
 let test_frame_roundtrip () =
@@ -210,6 +217,71 @@ let test_mux_drops_frames_of_closed_sessions () =
   match Endpoint.Mux.next_control mux ~timeout:5. with
   | Frame.Busy "marker" -> ()
   | f -> Alcotest.fail ("expected the marker, got " ^ Frame.tag_name f)
+
+(* Tombstone lifecycle.  A marker control frame after the payload under
+   test synchronizes with the recv thread: the mux routes frames in wire
+   order, so once the marker is observable the verdicts before it are
+   final. *)
+let mux_sync a mux =
+  Io.send_frame a (Frame.encode (Frame.Busy "sync"));
+  match Endpoint.Mux.next_control mux ~timeout:5. with
+  | Frame.Busy "sync" -> ()
+  | f -> Alcotest.fail ("expected sync marker, got " ^ Frame.tag_name f)
+
+let test_mux_tombstone_drops_counted () =
+  let a, b = socket_pair () in
+  Fun.protect ~finally:(fun () -> Io.close a; Io.close b) @@ fun () ->
+  let mux = Endpoint.Mux.create b in
+  Endpoint.Mux.subscribe mux 1;
+  Endpoint.Mux.unsubscribe mux 1;
+  Alcotest.(check int) "one tombstone" 1 (Endpoint.Mux.tombstones mux);
+  for seq = 0 to 2 do
+    Io.send_frame a (Frame.encode (msg ~seq "stale"))
+  done;
+  mux_sync a mux;
+  Alcotest.(check int) "three drops" 3 (Endpoint.Mux.dropped mux);
+  Alcotest.(check int) "still one tombstone" 1 (Endpoint.Mux.tombstones mux)
+
+let test_mux_tombstones_bounded () =
+  let a, b = socket_pair () in
+  Fun.protect ~finally:(fun () -> Io.close a; Io.close b) @@ fun () ->
+  let mux = Endpoint.Mux.create ~max_tombstones:4 b in
+  for sid = 1 to 10 do
+    Endpoint.Mux.subscribe mux sid;
+    Endpoint.Mux.unsubscribe mux sid
+  done;
+  Alcotest.(check int) "eviction keeps the cap" 4 (Endpoint.Mux.tombstones mux);
+  (* FIFO eviction: session 1's tombstone is long gone, so its late
+     frame is parked as an unknown session, not dropped; session 10's
+     tombstone survives, so its late frame is dropped. *)
+  Io.send_frame a (Frame.encode (msg ~seq:0 "late-evicted"));
+  Io.send_frame a
+    (Frame.encode
+       (Frame.Msg
+          { session = 10; epoch = 1; seq = 0; sender = Transcript.Mediator;
+            receiver = Transcript.Source 1; label = "late-tombstoned"; declared = 2;
+            payload = "xy" }));
+  mux_sync a mux;
+  Alcotest.(check int) "tombstoned frame dropped" 1 (Endpoint.Mux.dropped mux);
+  match Endpoint.Mux.next mux ~session:1 ~timeout:5. with
+  | Frame.Msg { label = "late-evicted"; _ } -> ()
+  | f -> Alcotest.fail ("expected the parked frame, got " ^ Frame.tag_name f)
+
+let test_mux_subscribe_resurrects_tombstoned_id () =
+  let a, b = socket_pair () in
+  Fun.protect ~finally:(fun () -> Io.close a; Io.close b) @@ fun () ->
+  let mux = Endpoint.Mux.create b in
+  Endpoint.Mux.subscribe mux 1;
+  Endpoint.Mux.unsubscribe mux 1;
+  (* The server reuses ids only with an epoch bump; the resubscribe must
+     clear the tombstone so the revived session is routable again. *)
+  Endpoint.Mux.subscribe mux 1;
+  Alcotest.(check int) "tombstone cleared" 0 (Endpoint.Mux.tombstones mux);
+  Io.send_frame a (Frame.encode (msg ~seq:0 "revived"));
+  (match Endpoint.Mux.next mux ~session:1 ~timeout:5. with
+  | Frame.Msg { label = "revived"; _ } -> ()
+  | f -> Alcotest.fail ("expected the revived frame, got " ^ Frame.tag_name f));
+  Alcotest.(check int) "nothing dropped" 0 (Endpoint.Mux.dropped mux)
 
 (* A seeded concurrency stress: one producer interleaves the frames of
    many sessions on the wire (the interleaving drawn from a PRNG, so a
@@ -643,6 +715,12 @@ let () =
             test_mux_parks_frames_before_subscription;
           Alcotest.test_case "drops closed-session frames" `Quick
             test_mux_drops_frames_of_closed_sessions;
+          Alcotest.test_case "tombstone drops counted" `Quick
+            test_mux_tombstone_drops_counted;
+          Alcotest.test_case "tombstones bounded with FIFO eviction" `Quick
+            test_mux_tombstones_bounded;
+          Alcotest.test_case "subscribe resurrects tombstoned id" `Quick
+            test_mux_subscribe_resurrects_tombstoned_id;
           Alcotest.test_case "concurrent sessions never cross-deliver" `Quick
             test_mux_concurrent_sessions_stress;
         ] );

@@ -151,6 +151,111 @@ let test_poisson_open_loop_serves () =
   Alcotest.(check bool) "throughput recorded" true (Loadgen.qps report > 0.)
 
 (* ------------------------------------------------------------------ *)
+(* Process death and graceful drain.  Still cluster-forking: these must
+   also run before any domain is spawned. *)
+
+(* The single in-process reference execution for a scheme, under the
+   same fault plan the remote query carries (plan presence is
+   protocol-visible: the commutative canary audit only runs when a plan
+   is installed). *)
+let reference_outcome c ~scheme ~fault_spec =
+  let fault =
+    if String.equal fault_spec "" then None
+    else
+      match Secmed_mediation.Fault.of_spec fault_spec with
+      | Ok plan -> Some plan
+      | Error msg -> Alcotest.fail msg
+  in
+  let sch =
+    match Protocol.scheme_of_name scheme with
+    | Some sch -> sch
+    | None -> Alcotest.failf "unknown scheme %s" scheme
+  in
+  let outcome, _ =
+    Secmed_crypto.Counters.with_fresh (fun () ->
+        Protocol.run_exn ?fault sch (Loopback.env c) (Loopback.client_of c)
+          ~query:(Loopback.canonical_query c))
+  in
+  outcome
+
+let served_relation = function
+  | Protocol.Served o -> Secmed_relalg.Relation.to_string o.Outcome.result
+  | Protocol.Unserved _ -> Alcotest.fail "session unserved"
+
+(* The survival tests need sessions that are slow in wall-clock terms,
+   so a kill or drain deterministically lands mid-flight: with [fast]
+   params, pm on the default 32x32 workload runs ~2s remotely, against
+   ~0.2s on [small_spec]. *)
+let slow_spec = Workload.default
+
+(* SIGKILL the primary replica of source 1 while a session is mid-
+   flight: the mediator fails over to the standby, reruns the session
+   on a fresh epoch, and the served relation is byte-identical to the
+   in-process reference.  The primary stays dead afterwards, so a
+   second session pins the standby steady state too. *)
+let test_failover_mid_session_bit_identical () =
+  Loopback.with_cluster ~params:fast ~spec:slow_spec ~max_sessions:4 ~standbys:1
+    ~health_interval:0.2 @@ fun c ->
+  let scheme = "pm" and fault_spec = "retries=4" in
+  let resp = ref None in
+  let t =
+    Thread.create (fun () -> resp := Some (Loopback.query c ~fault_spec ~scheme ())) ()
+  in
+  Thread.delay 0.5;
+  Unix.kill (Loopback.source_pid c ~id:1 ~replica:0) Sys.sigkill;
+  Thread.join t;
+  let response =
+    match !resp with Some r -> r | None -> Alcotest.fail "query thread died"
+  in
+  let reference = reference_outcome c ~scheme ~fault_spec in
+  Alcotest.(check string) "mid-session failover rerun is bit-identical"
+    (Secmed_relalg.Relation.to_string reference.Outcome.result)
+    (served_relation response.Peer.result);
+  Alcotest.(check bool) "recovery took another protocol epoch" true
+    (response.Peer.epochs >= 2);
+  let again = Loopback.query c ~fault_spec ~scheme () in
+  Alcotest.(check string) "standby serves the same bytes"
+    (Secmed_relalg.Relation.to_string reference.Outcome.result)
+    (served_relation again.Peer.result);
+  Alcotest.(check int) "single epoch against the standby" 1 again.Peer.epochs
+
+(* The authenticated drain frame: a wrong digest is refused and changes
+   nothing; the right digest flips the mediator into draining, where a
+   new session gets the typed [Draining] (never misfiled as [Busy]),
+   the in-flight session still finishes, and the process exits 0. *)
+let test_drain_typed_refusal_then_exit_zero () =
+  Loopback.with_cluster ~params:fast ~spec:slow_spec ~max_sessions:4
+    ~drain_deadline:8. @@ fun c ->
+  (match
+     Peer.drain ~host:"127.0.0.1" ~port:(Loopback.port c) ~scenario:"deadbeef" ()
+   with
+  | () -> Alcotest.fail "unauthenticated drain accepted"
+  | exception Peer.Refused _ -> ());
+  let probe = Loopback.query c ~scheme:"das" () in
+  Alcotest.(check bool) "still serving after the refused drain" true
+    (match probe.Peer.result with Protocol.Served _ -> true | _ -> false);
+  let inflight = ref None in
+  let t =
+    Thread.create (fun () -> inflight := Some (Loopback.query c ~scheme:"pm" ())) ()
+  in
+  Thread.delay 0.3;
+  Peer.drain ~host:"127.0.0.1" ~port:(Loopback.port c) ~scenario:(Loopback.scenario c)
+    ();
+  (match Loopback.query c ~scheme:"das" () with
+  | _ -> Alcotest.fail "drained mediator admitted a new session"
+  | exception Peer.Draining _ -> ()
+  | exception Peer.Refused reason ->
+    Alcotest.failf "drain misfiled as Busy: %s" reason);
+  Thread.join t;
+  let response =
+    match !inflight with Some r -> r | None -> Alcotest.fail "in-flight thread died"
+  in
+  Alcotest.(check bool) "in-flight session finished under drain" true
+    (match response.Peer.result with Protocol.Served _ -> true | _ -> false);
+  let _, status = Unix.waitpid [] (Loopback.mediator_pid c) in
+  Alcotest.(check bool) "drained mediator exits 0" true (status = Unix.WEXITED 0)
+
+(* ------------------------------------------------------------------ *)
 (* Domain-parallel mux consumers.  LAST: domains forbid later forks. *)
 
 (* The seeded interleaving stress again, but with each session's
@@ -233,6 +338,13 @@ let () =
             test_backpressure_counted_as_refused;
           Alcotest.test_case "poisson open loop serves" `Slow
             test_poisson_open_loop_serves;
+        ] );
+      ( "survival",
+        [
+          Alcotest.test_case "mid-session failover is bit-identical" `Slow
+            test_failover_mid_session_bit_identical;
+          Alcotest.test_case "drain refuses typed, finishes in-flight, exits 0"
+            `Slow test_drain_typed_refusal_then_exit_zero;
         ] );
       ( "domains",
         [
