@@ -1,6 +1,6 @@
 # Convenience entry points; everything below is plain dune.
 
-.PHONY: all check test check-fault check-obs check-obs-net check-resilience check-net check-serve check-soak check-crypto-perf bench bench-json clean
+.PHONY: all check test check-fault check-obs check-obs-net check-resilience check-net check-serve check-soak check-stream check-crypto-perf bench bench-json clean
 
 all:
 	dune build
@@ -72,6 +72,18 @@ check-soak:
 	dune exec test/test_soak.exe -- test -e
 	dune exec bin/secmed.exe -- soak --fast --workers 2 --sessions 3 --kills 2 \
 	    --drains 1 --rate 6 --log SOAK_transitions.jsonl
+
+# Streaming-delivery suite: chunk codec / reassembly / credit-flow
+# units, the sharded-vs-single differential (k=4, all five schemes,
+# bit-identical results and transcripts), then a smoke run of the
+# BENCH_stream.json emitter — bounded merge-window high-water marks and
+# the receive-buffer reuse allocation comparison — with schema
+# validation (the validator also enforces the bounds).
+check-stream:
+	dune exec test/test_stream.exe -- test -e
+	dune exec test/test_shard.exe -- test -e
+	dune exec bench/main.exe -- json-stream --smoke
+	dune exec bin/secmed.exe -- check-bench BENCH_stream.json
 
 # Crypto hot-path suite: the bigint/crypto differential tests (CRT vs
 # plain decryption, Multi_exp vs separate mod_pows, domain-local cache

@@ -94,6 +94,11 @@ let experiments : (string * string * (unit -> unit) Term.t) list =
      "Write BENCH_serve.json: loadgen throughput and latency percentiles per scheme at \
       increasing session concurrency, clean vs chaos",
      Term.(const (fun smoke () -> Serve_json.write ~smoke ()) $ smoke_arg));
+    ("json-stream",
+     "Write BENCH_stream.json: chunked streaming throughput with bounded-memory high-water \
+      marks (unsharded and k=4), protocol-level stream flatness, and receive-buffer reuse \
+      allocation counts",
+     Term.(const (fun smoke () -> Stream_json.write ~smoke ()) $ smoke_arg));
   ]
 
 let run_all () =

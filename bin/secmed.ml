@@ -388,13 +388,16 @@ let serve_cmd =
   in
   let source =
     let doc =
-      "Datasource address as $(b,ID=HOST:PORT[,HOST:PORT...]); repeat once per source.  \
-       Extra comma-separated endpoints are standby replicas: the pool dials the first \
-       one that is up (primary first) and fails a severed or draining endpoint over to \
-       the next, failing back after a cooldown.  The two-relation workload needs \
-       sources 1 and 2."
+      "Datasource address as $(b,ID=shard@HOST:PORT[,HOST:PORT...][;shard@...]); repeat \
+       once per source.  Comma-separated endpoints are standby replicas: the pool dials \
+       the first one that is up (primary first) and fails a severed or draining endpoint \
+       over to the next, failing back after a cooldown.  Semicolon-separated groups are \
+       shards (the optional $(b,shard@) marker is cosmetic): each must run `secmed \
+       source --shard J/K', streamed deliveries arrive as K partitioned chunk streams \
+       merged in row order, and results are bit-identical to the unsharded run.  The \
+       two-relation workload needs sources 1 and 2."
     in
-    Arg.(value & opt_all string [] & info [ "source" ] ~docv:"ID=HOST:PORT,..." ~doc)
+    Arg.(value & opt_all string [] & info [ "source" ] ~docv:"ID=[shard@]H:P,...;..." ~doc)
   in
   let health_interval =
     Arg.(value & opt float 1.0
@@ -428,23 +431,10 @@ let serve_cmd =
   let action bind port sources max_sessions source_conns workers io_timeout deadline breaker
       health_interval drain_deadline spec =
     let parse_source spec_str =
-      match String.index_opt spec_str '=' with
-      | None ->
-        failwith
-          (Printf.sprintf "--source expects ID=HOST:PORT[,HOST:PORT...], got %S" spec_str)
-      | Some i ->
-        let id =
-          match int_of_string_opt (String.sub spec_str 0 i) with
-          | Some id when id > 0 -> id
-          | _ -> failwith (Printf.sprintf "--source: bad id in %S" spec_str)
-        in
-        let replicas =
-          List.map
-            (fun addr -> parse_host_port "--source" (String.trim addr))
-            (String.split_on_char ','
-               (String.sub spec_str (i + 1) (String.length spec_str - i - 1)))
-        in
-        (id, replicas)
+      match Net.Shard.parse_source (String.trim spec_str) with
+      | Ok (id, _) when id < 1 -> failwith (Printf.sprintf "--source: bad id in %S" spec_str)
+      | Ok parsed -> parsed
+      | Error msg -> failwith ("--source: " ^ msg)
     in
     let sources = List.map parse_source sources in
     List.iter
@@ -462,10 +452,14 @@ let serve_cmd =
     Printf.printf "mediator listening on %s:%d (scenario %s)\n%!" bind bound
       (String.sub scenario 0 12);
     List.iter
-      (fun (id, replicas) ->
+      (fun (id, shards) ->
         Printf.printf "  source %d at %s\n%!" id
-          (String.concat ", "
-             (List.map (fun (h, p) -> Printf.sprintf "%s:%d" h p) replicas)))
+          (String.concat "; "
+             (List.map
+                (fun replicas ->
+                  String.concat ", "
+                    (List.map (fun (h, p) -> Printf.sprintf "%s:%d" h p) replicas))
+                shards)))
       sources;
     let server =
       Net.Server.create ~env ~client ~scenario ~sources ~listen_fd ~policy ~max_sessions
@@ -501,19 +495,36 @@ let source_cmd =
              ~doc:"On SIGTERM (or an authenticated Drain frame) refuse new sessions, \
                    let in-flight ones finish up to this long, then exit 0.")
   in
-  let action bind id port io_timeout drain_deadline spec =
+  let shard_arg =
+    Arg.(value & opt string "0/1"
+         & info [ "shard" ] ~docv:"J/K"
+             ~doc:"Serve shard J of K of this source: transmit only the rows with \
+                   index mod K = J in streamed deliveries (shard 0 alone speaks the \
+                   scalar frames).  The mediator must list all K shards for this \
+                   source, semicolon-separated, in its matching --source flag.")
+  in
+  let action bind id port shard_str io_timeout drain_deadline spec =
     if id < 1 || id > 2 then failwith "the synthetic workload has sources 1 and 2";
+    let shard =
+      match Net.Shard.parse_shard_flag shard_str with
+      | Ok s -> s
+      | Error msg -> failwith ("--shard: " ^ msg)
+    in
     Workload.validate spec;
     let env, client, _query = Workload.scenario spec in
-    let scenario = Net.Scenario.digest spec in
+    let scenario = Net.Shard.digest (Net.Scenario.digest spec) ~shard in
     let listen_fd, bound = Net.Io.listen ~host:bind ~port () in
-    Printf.printf "source %d listening on %s:%d (scenario %s)\n%!" id bind bound
+    let j, k = shard in
+    Printf.printf "source %d%s listening on %s:%d (scenario %s)\n%!" id
+      (if k > 1 then Printf.sprintf " shard %d/%d" j k else "")
+      bind bound
       (String.sub scenario 0 12);
-    Net.Peer.source ~id ~env ~client ~scenario ~listen_fd ~io_timeout ~drain_deadline
+    Net.Peer.source ~id ~env ~client ~scenario ~listen_fd ~shard ~io_timeout ~drain_deadline
       ~drain_on_sigterm:true ()
   in
   let term =
-    Term.(const action $ bind_arg $ id $ port $ io_timeout_arg $ drain_deadline $ spec_term)
+    Term.(const action $ bind_arg $ id $ port $ shard_arg $ io_timeout_arg $ drain_deadline
+          $ spec_term)
   in
   Cmd.v
     (Cmd.info "source" ~doc:"Run one datasource as a daemon for a `secmed serve' mediator")
@@ -774,6 +785,28 @@ let render_stats j =
     (i [ "net"; "bytes_recv" ])
     (i [ "net"; "frames_sent" ])
     (i [ "net"; "frames_recv" ]);
+  add "streams:   %d rows in / %d out, %d bytes in / %d out, backlog %d chunk%s\n"
+    (i [ "streams"; "rows_in" ])
+    (i [ "streams"; "rows_out" ])
+    (i [ "streams"; "bytes_in" ])
+    (i [ "streams"; "bytes_out" ])
+    (i [ "streams"; "backlog_chunks" ])
+    (if i [ "streams"; "backlog_chunks" ] = 1 then "" else "s");
+  (match Option.bind (mem [ "streams"; "sessions" ] j) J.to_list with
+  | None | Some [] -> ()
+  | Some sessions ->
+    List.iteri
+      (fun idx st ->
+        if idx < 5 then
+          let si path = Option.value ~default:0 (Option.bind (mem path st) J.to_int) in
+          add "  session %d%s: %d rows in / %d out, %d bytes in / %d out\n"
+            (si [ "session" ])
+            (match mem [ "active" ] st with
+            | Some (J.Bool true) -> " (streaming)"
+            | _ -> "")
+            (si [ "rows_in" ]) (si [ "rows_out" ])
+            (si [ "bytes_in" ]) (si [ "bytes_out" ]))
+      sessions);
   (match mem [ "schemes" ] j with
   | Some (J.Obj []) | None -> add "schemes:   none served yet\n"
   | Some (J.Obj schemes) ->
@@ -1315,37 +1348,39 @@ let check_bench_cmd =
         check_keys ~what ~name_key ~required entries;
         Printf.printf "%s: ok (%d %s entries)\n" file (List.length entries) what
       in
-      (* Five validated shapes: BENCH_protocols.json carries a "schemes"
+      (* Six validated shapes: BENCH_protocols.json carries a "schemes"
          array, BENCH_resilience.json a "scenarios" array, BENCH_net.json
          a "net" array, BENCH_serve.json a "serve" array,
          BENCH_modexp.json a "modexp_ops_per_sec" array plus the
-         hot-path sections. *)
+         hot-path sections, BENCH_stream.json a "stream" array plus the
+         protocol-level and allocation sections. *)
       (match
          ( Obs.Json.member "schemes" json,
            Obs.Json.member "scenarios" json,
            Obs.Json.member "net" json,
            Obs.Json.member "serve" json,
-           Obs.Json.member "modexp_ops_per_sec" json )
+           Obs.Json.member "modexp_ops_per_sec" json,
+           Obs.Json.member "stream" json )
        with
-       | Some (Obs.Json.List entries), _, _, _, _ when entries <> [] ->
+       | Some (Obs.Json.List entries), _, _, _, _, _ when entries <> [] ->
          check_entries ~what:"scheme" ~name_key:"scheme"
            ~required:
              [ "domain_size"; "seconds"; "phases"; "parties"; "messages";
                "bytes"; "rounds"; "counters" ]
            entries
-       | _, Some (Obs.Json.List entries), _, _, _ when entries <> [] ->
+       | _, Some (Obs.Json.List entries), _, _, _, _ when entries <> [] ->
          check_entries ~what:"scenario" ~name_key:"scenario"
            ~required:
              [ "scheme"; "outcome"; "attempts"; "seconds"; "degraded_from";
                "breaker_transitions" ]
            entries
-       | _, _, Some (Obs.Json.List entries), _, _ when entries <> [] ->
+       | _, _, Some (Obs.Json.List entries), _, _, _ when entries <> [] ->
          check_entries ~what:"net" ~name_key:"scheme"
            ~required:
              [ "seconds_inproc"; "seconds_net"; "messages"; "bytes";
                "socket_bytes_in"; "socket_bytes_out"; "epochs"; "match" ]
            entries
-       | _, _, _, Some (Obs.Json.List entries), _ when entries <> [] ->
+       | _, _, _, Some (Obs.Json.List entries), _, _ when entries <> [] ->
          List.iter
            (fun entry ->
              (match Obs.Json.member "schemes" entry with
@@ -1385,7 +1420,7 @@ let check_bench_cmd =
          | None -> fail "missing section \"failover\"");
          Printf.printf "%s: ok (%d serve entries + failover soak + tracing overhead)\n"
            file (List.length entries)
-       | _, _, _, _, Some (Obs.Json.List entries) when entries <> [] ->
+       | _, _, _, _, Some (Obs.Json.List entries), _ when entries <> [] ->
          List.iter
            (fun entry ->
              List.iter
@@ -1403,16 +1438,59 @@ let check_bench_cmd =
              "karatsuba"; "perf_sweep_seconds"; "ctx_cache" ];
          Printf.printf "%s: ok (%d modexp entries + hot-path sections)\n" file
            (List.length entries)
+       | _, _, _, _, _, Some (Obs.Json.List entries) when entries <> [] ->
+         (* Shape plus the two load-bearing invariants: every transfer's
+            merge window stayed within its per-shard chunk bound, and
+            the reused receive path allocated less than the baseline. *)
+         List.iter
+           (fun entry ->
+             List.iter
+               (fun key ->
+                 if Obs.Json.member key entry = None then
+                   fail (Printf.sprintf "stream entry: missing key %S" key))
+               [ "rows"; "row_bytes"; "total_bytes"; "shards"; "seconds";
+                 "rows_per_s"; "hwm_pending_peak"; "pending_bound"; "bounded";
+                 "backlog_after" ];
+             (match Obs.Json.member "bounded" entry with
+             | Some (Obs.Json.Bool true) -> ()
+             | _ -> fail "stream entry: merge window exceeded its chunk bound");
+             match Obs.Json.member "backlog_after" entry with
+             | Some (Obs.Json.Int 0) -> ()
+             | _ -> fail "stream entry: chunk backlog not drained to zero")
+           entries;
+         (match Obs.Json.member "protocol_stream" json with
+         | Some (Obs.Json.List per_scheme) when per_scheme <> [] ->
+           check_keys ~what:"protocol_stream" ~name_key:"scheme"
+             ~required:
+               [ "rows_per_source"; "seconds"; "messages"; "bytes"; "epochs";
+                 "hwm_pending_peak" ]
+             per_scheme
+         | _ -> fail "missing or empty \"protocol_stream\" array");
+         (match Obs.Json.member "io_alloc" json with
+         | Some io_alloc ->
+           List.iter
+             (fun key ->
+               if Obs.Json.member key io_alloc = None then
+                 fail (Printf.sprintf "io_alloc: missing key %S" key))
+             [ "frames"; "frame_bytes"; "alloc_bytes_per_frame_reused";
+               "alloc_bytes_per_frame_naive"; "reused_cheaper" ];
+           (match Obs.Json.member "reused_cheaper" io_alloc with
+           | Some (Obs.Json.Bool true) -> ()
+           | _ ->
+             fail "io_alloc: reused receive buffer allocated more than the baseline")
+         | None -> fail "missing section \"io_alloc\"");
+         Printf.printf "%s: ok (%d stream entries + protocol sweep + io_alloc)\n" file
+           (List.length entries)
        | _ ->
          fail
            "missing or empty \"schemes\" / \"scenarios\" / \"net\" / \"serve\" / \
-            \"modexp_ops_per_sec\" array")
+            \"modexp_ops_per_sec\" / \"stream\" array")
   in
   Cmd.v
     (Cmd.info "check-bench"
        ~doc:"Validate that a BENCH_protocols.json, BENCH_resilience.json, BENCH_net.json, \
-             BENCH_serve.json or BENCH_modexp.json file parses and carries the expected \
-             keys")
+             BENCH_serve.json, BENCH_modexp.json or BENCH_stream.json file parses and \
+             carries the expected keys")
     Term.(const action $ file)
 
 (* ------------------------------------------------------------------ *)

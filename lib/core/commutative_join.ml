@@ -40,28 +40,27 @@ let message_set_size group messages =
 
 (* Canonical payloads: hashed keys at the group's fixed byte width and
    IDs as 8-byte integers, so each message's wire form is exactly the
-   size the transcript declares. *)
-let messages_payload group messages =
+   size the transcript declares.  One string per message, so the sets
+   can travel row-wise ([Link.deliver_rows]). *)
+let message_rows group messages =
   let gb = group_bytes group in
-  let w = Wire.writer () in
-  List.iter
-    (fun (h, ct) ->
-      Wire.write_raw w (Bigint.to_bytes_be_padded gb h);
-      Wire.write_raw w (Hybrid.to_wire ct))
-    messages;
-  Wire.contents w
+  List.map
+    (fun (h, ct) -> Bigint.to_bytes_be_padded gb h ^ Hybrid.to_wire ct)
+    messages
 
-let entries_payload group entries =
+let entry_rows group entries =
   let gb = group_bytes group in
-  let w = Wire.writer () in
-  List.iter
+  List.map
     (fun (h, payload) ->
+      let w = Wire.writer () in
       Wire.write_raw w (Bigint.to_bytes_be_padded gb h);
-      match payload with
-      | `Id i -> Wire.write_int w i
-      | `Ct ct -> Wire.write_raw w (Hybrid.to_wire ct))
-    entries;
-  Wire.contents w
+      (match payload with
+       | `Id i -> Wire.write_int w i
+       | `Ct ct -> Wire.write_raw w (Hybrid.to_wire ct));
+      Wire.contents w)
+    entries
+
+let entries_payload group entries = String.concat "" (entry_rows group entries)
 
 let run ?fault ?endpoint ?(use_ids = false) env client ~query =
   let b = Outcome.Builder.create ~scheme:"commutative" in
@@ -101,9 +100,9 @@ let run ?fault ?endpoint ?(use_ids = false) env client ~query =
                 messages
             | _ -> messages
           in
-          Link.deliver link ~phase:"mediator-exchange" ~sender:(Source sid)
+          Link.deliver_rows link ~phase:"mediator-exchange" ~sender:(Source sid)
             ~receiver:Mediator ~label:"M_i" ~size:(message_set_size group messages)
-            (fun () -> messages_payload group messages);
+            (fun () -> message_rows group messages);
           (sid, key, messages)
         in
         let s1, key1, m1 = side `Left in
@@ -170,9 +169,9 @@ let run ?fault ?endpoint ?(use_ids = false) env client ~query =
               let reencrypted =
                 List.map (fun (h, payload) -> (Commutative.apply key h, payload)) entries
               in
-              Link.deliver link ~phase:"mediator-match" ~sender:(Source sid)
+              Link.deliver_rows link ~phase:"mediator-match" ~sender:(Source sid)
                 ~receiver:Mediator ~label:"doubly-encrypted" ~size:(wire_size reencrypted)
-                (fun () -> entries_payload group reencrypted);
+                (fun () -> entry_rows group reencrypted);
               (reencrypted, Option.map (Commutative.apply key) other_canary))
         in
         let from_s1, double_canary1 = double_encrypt s1 key1 to_s1 canary2 in
@@ -223,13 +222,10 @@ let run ?fault ?endpoint ?(use_ids = false) env client ~query =
             (fun acc (a, c) -> acc + Hybrid.size a + Hybrid.size c)
             0 result_messages
         in
-        Link.deliver link ~phase:"client-postprocess" ~sender:Mediator ~receiver:Client
+        Link.deliver_rows link ~phase:"client-postprocess" ~sender:Mediator ~receiver:Client
           ~label:"result-messages" ~size:result_size
           (fun () ->
-            String.concat ""
-              (List.concat_map
-                 (fun (a, c) -> [ Hybrid.to_wire a; Hybrid.to_wire c ])
-                 result_messages));
+            List.map (fun (a, c) -> Hybrid.to_wire a ^ Hybrid.to_wire c) result_messages);
 
         (* Step 8: the client decrypts and combines the tuple sets. *)
         let join_attrs = Request.join_attrs request in

@@ -214,15 +214,17 @@ let validate_indexes which er =
 (* Canonical wire form of an encrypted relation: each row's hybrid
    ciphertext followed by its 8-byte big-endian partition indexes —
    exactly [er.wire_size] bytes, so socket-level byte counts match the
-   transcript entry in distributed runs. *)
-let er_payload er =
-  let w = Wire.writer () in
-  List.iter
+   transcript entry in distributed runs.  One string per row, so the
+   upload can travel row-wise ([Link.deliver_rows]) without ever
+   concatenating the relation. *)
+let er_rows er =
+  List.map
     (fun (ct, idx) ->
+      let w = Wire.writer () in
       Wire.write_raw w (Hybrid.to_wire ct);
-      Array.iter (fun i -> Wire.write_int w i) idx)
-    er.rows;
-  Wire.contents w
+      Array.iter (fun i -> Wire.write_int w i) idx;
+      Wire.contents w)
+    er.rows
 
 (* Canonical q_S encoding: 16 bytes per overlapping pair (two 8-byte
    big-endian indexes), matching the 16*|pairs| transcript size. *)
@@ -287,10 +289,14 @@ let run ?fault ?endpoint ?(strategy = Das_partition.Equi_depth 4) ?(server_eval 
            form of the index tables (so sources still "send data once"). *)
         let record_upload sid which ~rows_size ?(tables_payload = 0)
             ?(tables_wire = fun () -> "") ~rows () =
-          Link.deliver link ~phase:"source-upload" ~sender:(Source sid) ~receiver:Mediator
+          Link.deliver_rows link ~phase:"source-upload" ~sender:(Source sid)
+            ~receiver:Mediator
             ~label:(Printf.sprintf "R%dS+ITables" which)
             ~size:(rows_size + tables_payload)
-            (fun () -> er_payload rows ^ tables_wire ())
+            (fun () ->
+              match tables_wire () with
+              | "" -> er_rows rows
+              | tables -> er_rows rows @ [ tables ])
         in
         let s1 = request.Request.decomposition.Catalog.left.Catalog.source in
         let s2 = request.Request.decomposition.Catalog.right.Catalog.source in
@@ -427,11 +433,9 @@ let run ?fault ?endpoint ?(strategy = Das_partition.Equi_depth 4) ?(server_eval 
         let rc_size =
           List.fold_left (fun acc (x, y) -> acc + Hybrid.size x + Hybrid.size y) 0 rc
         in
-        Link.deliver link ~phase:"client-postprocess" ~sender:Mediator ~receiver:Client
+        Link.deliver_rows link ~phase:"client-postprocess" ~sender:Mediator ~receiver:Client
           ~label:"RC" ~size:rc_size
-          (fun () ->
-            String.concat ""
-              (List.concat_map (fun (x, y) -> [ Hybrid.to_wire x; Hybrid.to_wire y ]) rc));
+          (fun () -> List.map (fun (x, y) -> Hybrid.to_wire x ^ Hybrid.to_wire y) rc);
         Outcome.Builder.client_sees b "candidate-pairs-received" (List.length rc);
 
         (* Step 7: the client decrypts R_C and applies q_C. *)

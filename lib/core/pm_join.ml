@@ -140,15 +140,17 @@ let recover_tuples ~variant ~id_lookup entry =
 
 (* Canonical payloads: every Paillier ciphertext at the fixed modulus
    width, ID-table entries as 8-byte id + DEM blob — so each message's
-   wire form is exactly the size the transcript declares. *)
-let cts_payload ct_bytes cts =
-  String.concat ""
-    (List.map
-       (fun c -> Bigint.to_bytes_be_padded ct_bytes (Paillier.ciphertext_to_bigint c))
-       cts)
+   wire form is exactly the size the transcript declares.  One string
+   per ciphertext / table entry, so the e-value messages can travel
+   row-wise ([Link.deliver_rows]). *)
+let cts_rows ct_bytes cts =
+  List.map
+    (fun c -> Bigint.to_bytes_be_padded ct_bytes (Paillier.ciphertext_to_bigint c))
+    cts
 
-let id_table_payload table =
-  String.concat "" (List.map (fun (id, blob) -> be64 id ^ blob) table)
+let cts_payload ct_bytes cts = String.concat "" (cts_rows ct_bytes cts)
+
+let id_table_rows table = List.map (fun (id, blob) -> be64 id ^ blob) table
 
 (* Receiver-side range/group check: a valid Paillier ciphertext is a unit
    of Z_{n^2}, so 0 never appears honestly; the private-type constructor
@@ -206,10 +208,10 @@ let run ?fault ?endpoint ?(variant = Session_keys) env client ~query =
                   List.map (fun _ -> Paillier.ciphertext_of_bigint pk Bigint.zero) coeffs
                 | _ -> coeffs
               in
-              Link.deliver link ~phase:"mediator-forward" ~sender:(Source sid)
+              Link.deliver_rows link ~phase:"mediator-forward" ~sender:(Source sid)
                 ~receiver:Mediator ~label:"encrypted-coefficients"
                 ~size:(ct_bytes * List.length coeffs)
-                (fun () -> cts_payload ct_bytes coeffs);
+                (fun () -> cts_rows ct_bytes coeffs);
               coeffs)
         in
         let coeffs1 = build_poly `Left prng1 s1 in
@@ -259,11 +261,11 @@ let run ?fault ?endpoint ?(variant = Session_keys) env client ~query =
                   }
                 | _ -> output
               in
-              Link.deliver link ~phase:"mediator-forward" ~sender:(Source sid)
+              Link.deliver_rows link ~phase:"mediator-forward" ~sender:(Source sid)
                 ~receiver:Mediator ~label:"e-values"
                 ~size:((ct_bytes * List.length output.e_values) + output.id_table_bytes)
                 (fun () ->
-                  cts_payload ct_bytes output.e_values ^ id_table_payload output.id_table);
+                  cts_rows ct_bytes output.e_values @ id_table_rows output.id_table);
               output)
         in
         let out1 = eval_side `Left prng1 s1 coeffs2 in
@@ -272,14 +274,14 @@ let run ?fault ?endpoint ?(variant = Session_keys) env client ~query =
         (* Step 7: the mediator sends the n+m encrypted values (and, in the
            session-key variant, the ID tables) to the client. *)
         let total_e = List.length out1.e_values + List.length out2.e_values in
-        Link.deliver link ~phase:"client-postprocess" ~sender:Mediator ~receiver:Client
+        Link.deliver_rows link ~phase:"client-postprocess" ~sender:Mediator ~receiver:Client
           ~label:"e-values"
           ~size:((ct_bytes * total_e) + out1.id_table_bytes + out2.id_table_bytes)
           (fun () ->
-            cts_payload ct_bytes out1.e_values
-            ^ cts_payload ct_bytes out2.e_values
-            ^ id_table_payload out1.id_table
-            ^ id_table_payload out2.id_table);
+            cts_rows ct_bytes out1.e_values
+            @ cts_rows ct_bytes out2.e_values
+            @ id_table_rows out1.id_table
+            @ id_table_rows out2.id_table);
         Outcome.Builder.client_sees b "ciphertexts-received" total_e;
 
         (* Step 8: the client decrypts everything and keeps the matches. *)

@@ -1,0 +1,42 @@
+(** Chunked row streams: planning and codec for [Msg_chunk] frames
+    (DESIGN.md §16).
+
+    A row-wise delivery is split into bounded chunks of
+    (row index, bytes) entries; the explicit indexes let k shards each
+    transmit their own partition ([index mod k]) while the receiver
+    merges the streams back into index order, making a sharded run
+    byte-identical to the single-source run by construction. *)
+
+type entry = { s_row : int; s_bytes : string }
+
+val default_chunk_bytes : int
+(** Target encoded payload per chunk (64 KiB). *)
+
+val max_chunks : int
+(** Hostile cap on a frame's declared chunk count; receivers reject
+    frames claiming more. *)
+
+val encode_entries : entry list -> string
+val decode_entries : string -> entry list
+(** Raises [Wire.Malformed] on truncation, trailing bytes, or an entry
+    count exceeding what the payload can hold. *)
+
+val total_bytes : (int * string) list -> int
+(** Sum of the row byte lengths (the transcript size of the stream). *)
+
+val entry_overhead : int
+(** Encoded bytes per entry beyond the row bytes themselves. *)
+
+val payload_row_bytes : string -> int
+(** The row bytes carried by an encoded chunk payload, peeked from its
+    count prefix without decoding — for byte accounting. *)
+
+val plan : ?chunk_bytes:int -> (int * string) list -> entry list list
+(** Split rows (in order) into batches whose encoded size stays near
+    [chunk_bytes]; an oversized single row forms a chunk of one. *)
+
+val shard_of_row : k:int -> int -> int
+(** Round-robin partition: the shard owning a row index. *)
+
+val partition : k:int -> shard:int -> (int * string) list -> (int * string) list
+(** The sub-list of rows owned by [shard] of [k], order preserved. *)

@@ -1,3 +1,24 @@
+type rows_transport = {
+  send_rows :
+    phase:string ->
+    seq:int ->
+    sender:Transcript.party ->
+    receiver:Transcript.party ->
+    label:string ->
+    size:int ->
+    (int * string) list ->
+    unit;
+  recv_rows :
+    phase:string ->
+    seq:int ->
+    sender:Transcript.party ->
+    receiver:Transcript.party ->
+    label:string ->
+    size:int ->
+    expect:(int * string) list ->
+    unit;
+}
+
 type transport = {
   role : Transcript.party;
   send :
@@ -17,6 +38,7 @@ type transport = {
     label:string ->
     size:int ->
     string;
+  rows : rows_transport option;
 }
 
 type endpoint = Inproc | Remote of transport
@@ -78,3 +100,33 @@ let deliver t ~phase ~sender ~receiver ~label ?(guard = true) ?size payload =
              (Printf.sprintf "%s rejected: wire payload mismatch (%d bytes received, %d computed)"
                 label (String.length received) (String.length (padded p size)))
        end)
+
+(* Row-wise delivery: same transcript entry, same sequence slot, same
+   declared size as [deliver] of the concatenated rows — the scalar and
+   streamed encodings of a message are interchangeable at every layer
+   above the transport.  The streamed path engages only on a fault-free
+   remote link whose transport implements it; with a fault plan (which
+   every replica agrees on, since the spec rides in the session
+   announcement) the rows collapse to one payload so the fault layer's
+   rule matching and padding semantics are untouched. *)
+let deliver_rows t ~phase ~sender ~receiver ~label ?(guard = true) ~size rows =
+  match (t.endpoint, t.fault) with
+  | Remote ({ rows = Some rt; _ } as tr), None ->
+    let indexed = List.mapi (fun i b -> (i, b)) (rows ()) in
+    let total = List.fold_left (fun acc (_, b) -> acc + String.length b) 0 indexed in
+    let indexed =
+      (* Mirror [padded]: a declared size above the materialised bytes
+         travels as one trailing zero-filled row. *)
+      if total < size then indexed @ [ (List.length indexed, String.make (size - total) '\000') ]
+      else indexed
+    in
+    Transcript.record t.transcript ~sender ~receiver ~label ~size;
+    let seq = t.seq in
+    t.seq <- seq + 1;
+    if Transcript.party_equal tr.role sender then
+      rt.send_rows ~phase ~seq ~sender ~receiver ~label ~size indexed
+    else if Transcript.party_equal tr.role receiver then
+      rt.recv_rows ~phase ~seq ~sender ~receiver ~label ~size ~expect:indexed
+  | _ ->
+    deliver t ~phase ~sender ~receiver ~label ~guard ~size (fun () ->
+        String.concat "" (rows ()))

@@ -26,11 +26,40 @@
     {!Inproc}, which performs no I/O and keeps the thunk-never-forced
     fast path of the fault layer. *)
 
-(** One process's view of a live transport, as closures so this library
-    stays below [Secmed_net].  [seq] is the global per-attempt delivery
-    index — identical across replicas because they execute the same
-    deliver calls in the same order — used to discard duplicated or
-    stale frames. *)
+(* One process's view of a live transport is {!transport} below, as
+   closures so this library stays below [Secmed_net].  [seq] is the
+   global per-attempt delivery index — identical across replicas because
+   they execute the same deliver calls in the same order — used to
+   discard duplicated or stale frames. *)
+
+(** Streamed variant of a delivery: the message as (row index, bytes)
+    entries instead of one payload.  [send_rows] chunks and transmits
+    (a sharded sender transmits only its partition); [recv_rows] pulls
+    chunk frames and verifies each entry against the locally recomputed
+    [expect] list incrementally — the received relation is never
+    materialised as one string.  Both raise typed faults like
+    {!transport.recv}. *)
+type rows_transport = {
+  send_rows :
+    phase:string ->
+    seq:int ->
+    sender:Transcript.party ->
+    receiver:Transcript.party ->
+    label:string ->
+    size:int ->
+    (int * string) list ->
+    unit;
+  recv_rows :
+    phase:string ->
+    seq:int ->
+    sender:Transcript.party ->
+    receiver:Transcript.party ->
+    label:string ->
+    size:int ->
+    expect:(int * string) list ->
+    unit;
+}
+
 type transport = {
   role : Transcript.party;  (** the party this process plays *)
   send :
@@ -53,6 +82,9 @@ type transport = {
       (** Must return the received payload bytes; raises on transport
           failure (timeout, closed stream), ideally as a typed
           {!Fault.Fault_detected}. *)
+  rows : rows_transport option;
+      (** [None] on transports predating chunked delivery;
+          {!deliver_rows} then falls back to the scalar path. *)
 }
 
 type endpoint = Inproc | Remote of transport
@@ -97,3 +129,24 @@ val deliver :
     against the locally computed payload (mismatch ⇒
     {!Fault.Fault_detected} blamed on the receiving party); otherwise
     only the sequence number advances. *)
+
+val deliver_rows :
+  t ->
+  phase:string ->
+  sender:Transcript.party ->
+  receiver:Transcript.party ->
+  label:string ->
+  ?guard:bool ->
+  size:int ->
+  (unit -> string list) ->
+  unit
+(** Record one row-wise protocol message.  Semantically identical to
+    {!deliver} of the concatenated rows (same transcript entry, same
+    sequence slot, same padding to [size]) — but on a fault-free remote
+    link with a rows-capable transport the message travels as bounded
+    chunks of (index, bytes) entries, incrementally verified at the
+    receiver, so neither side materialises the whole relation.  On any
+    other link (in-process, fault plan active, legacy transport) the
+    rows collapse to one payload and the scalar path runs, preserving
+    fault-injection semantics exactly; since a fault plan is part of the
+    shared session announcement, every replica takes the same branch. *)

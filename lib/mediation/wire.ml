@@ -86,15 +86,29 @@ module Stream = struct
     mutable start : int;  (* offset of the first unconsumed byte *)
     mutable len : int;    (* unconsumed bytes from [start] *)
     max_frame : int;
+    mutable disposed : bool;
   }
 
   let default_max_frame = 1 lsl 26
 
+  (* Reassembly buffers are the first memory a fast peer can balloon, so
+     their capacity is charged to a high-water region: the stream bench
+     asserts this stays flat while row counts scale 1000x. *)
+  let hwm = Secmed_obs.Hwm.region "wire.stream"
+
   let create ?(max_frame = default_max_frame) () =
     if max_frame <= 0 then invalid_arg "Wire.Stream.create: max_frame must be positive";
-    { buf = Bytes.create 4096; start = 0; len = 0; max_frame }
+    Secmed_obs.Hwm.alloc hwm 4096;
+    { buf = Bytes.create 4096; start = 0; len = 0; max_frame; disposed = false }
 
   let buffered t = t.len
+  let capacity t = Bytes.length t.buf
+
+  let dispose t =
+    if not t.disposed then begin
+      t.disposed <- true;
+      Secmed_obs.Hwm.release hwm (Bytes.length t.buf)
+    end
 
   (* Make room for [extra] more bytes after the unconsumed region,
      compacting to the front and doubling the buffer as needed. *)
@@ -111,6 +125,7 @@ module Stream = struct
       done;
       let grown = Bytes.create !cap in
       Bytes.blit t.buf t.start grown 0 t.len;
+      if not t.disposed then Secmed_obs.Hwm.alloc hwm (!cap - Bytes.length t.buf);
       t.buf <- grown;
       t.start <- 0
     end
@@ -127,6 +142,22 @@ module Stream = struct
     ensure t len;
     Bytes.blit_string s 0 t.buf (t.start + t.len) len;
     t.len <- t.len + len
+
+  (* Zero-copy receive: a transport reads from the socket directly into
+     the reassembly buffer instead of through its own scratch buffer.
+     [reserve] hands back the write window, [commit] publishes however
+     many bytes the read actually produced.  The window is invalidated
+     by any other mutation of the stream, so the pattern is strictly
+     reserve -> read -> commit with nothing in between. *)
+  let reserve t n =
+    if n <= 0 then invalid_arg "Wire.Stream.reserve";
+    ensure t n;
+    (t.buf, t.start + t.len)
+
+  let commit t n =
+    if n < 0 || t.start + t.len + n > Bytes.length t.buf then
+      invalid_arg "Wire.Stream.commit";
+    t.len <- t.len + n
 
   let next_frame t =
     if t.len < 4 then None

@@ -86,4 +86,25 @@ module Stream : sig
 
   val buffered : t -> int
   (** Bytes fed but not yet consumed by {!next_frame}. *)
+
+  val capacity : t -> int
+  (** Current size of the underlying buffer (monotone; grows to the
+      largest frame seen). *)
+
+  val reserve : t -> int -> Bytes.t * int
+  (** [reserve t n] makes room for at least [n] more bytes and returns
+      the buffer and the offset of the write window, so a transport can
+      [Unix.read] straight into the reassembly buffer — no per-read
+      scratch allocation, no copy.  The window is invalidated by any
+      other call on [t]; follow with {!commit} before touching the
+      stream again. *)
+
+  val commit : t -> int -> unit
+  (** [commit t n] publishes [n] bytes written into the window returned
+      by the matching {!reserve}.  Raises [Invalid_argument] when [n]
+      overruns the reservation. *)
+
+  val dispose : t -> unit
+  (** Return the buffer's bytes to the ["wire.stream"] high-water
+      region (idempotent).  Call when the owning connection closes. *)
 end

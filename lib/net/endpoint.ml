@@ -1,6 +1,7 @@
 open Secmed_mediation
 module Obs = Secmed_obs
 module Protocol = Secmed_core.Protocol
+module Stream = Secmed_core.Stream
 
 exception Aborted of Fault.failure
 
@@ -8,14 +9,33 @@ module Mux = struct
   type t = {
     conn : Io.conn;
     mu : Mutex.t;
-    subs : (int, Frame.t Queue.t) Hashtbl.t;
+    subs : (int, (Frame.t * int) Queue.t) Hashtbl.t;
     closed : (int, unit) Hashtbl.t;
     closed_order : int Queue.t;  (* tombstone insertion order, for FIFO eviction *)
     max_tombstones : int;
-    control : Frame.t Queue.t;
+    max_queue : int;
+    over : (int, unit) Hashtbl.t;  (* sessions whose queue overflowed *)
+    control : (Frame.t * int) Queue.t;
     mutable dropped : int;  (* frames discarded because their session was closed *)
     mutable dead : string option;
   }
+
+  (* Parked frames are mediator memory a fast peer controls, so they are
+     charged to a high-water region and each session queue is bounded:
+     overflow tombstones nothing silently — the frame is dropped and the
+     session's next consumer read raises a typed transport error, the
+     same failure shape as a severed link. *)
+  let hwm = Obs.Hwm.region "mux.parked"
+
+  let cost_of frame =
+    64
+    +
+    match frame with
+    | Frame.Msg { payload; _ } -> String.length payload
+    | Frame.Msg_chunk { ck_payload; _ } -> String.length ck_payload
+    | Frame.Span_batch { payload; _ } -> String.length payload
+    | Frame.Stats { payload; _ } -> String.length payload
+    | _ -> 0
 
   (* Routing must not depend on a consumer having subscribed yet: the
      recv thread sees a session's [Session_start] and, microseconds
@@ -31,7 +51,7 @@ module Mux = struct
   let route t frame =
     Mutex.protect t.mu (fun () ->
         match Frame.session_of frame with
-        | None -> Queue.push frame t.control
+        | None -> Queue.push (frame, 0) t.control
         | Some sid when Hashtbl.mem t.closed sid -> t.dropped <- t.dropped + 1
         | Some sid ->
           let q =
@@ -42,15 +62,26 @@ module Mux = struct
               Hashtbl.replace t.subs sid q;
               q
           in
-          Queue.push frame q;
+          if Queue.length q >= t.max_queue then begin
+            (* The bound is the memory guarantee: drop and poison rather
+               than balloon.  The consumer finds out on its next read. *)
+            Hashtbl.replace t.over sid ();
+            t.dropped <- t.dropped + 1
+          end
+          else begin
+            let cost = cost_of frame in
+            Obs.Hwm.alloc hwm cost;
+            Queue.push (frame, cost) q
+          end;
           (match frame with
-          | Frame.Session_start _ -> Queue.push frame t.control
+          | Frame.Session_start _ -> Queue.push (frame, 0) t.control
           | _ -> ()))
 
-  let create ?(max_tombstones = 1024) conn =
+  let create ?(max_tombstones = 1024) ?(max_queue = 1024) conn =
     let t =
       { conn; mu = Mutex.create (); subs = Hashtbl.create 8; closed = Hashtbl.create 8;
         closed_order = Queue.create (); max_tombstones = max max_tombstones 1;
+        max_queue = max max_queue 1; over = Hashtbl.create 4;
         control = Queue.create (); dropped = 0; dead = None }
     in
     let rec recv_loop () =
@@ -68,6 +99,10 @@ module Mux = struct
   let alive t = Mutex.protect t.mu (fun () -> t.dead = None)
   let send t frame = Io.send_frame t.conn (Frame.encode frame)
 
+  let release_queue q =
+    Queue.iter (fun (_, cost) -> Obs.Hwm.release hwm cost) q;
+    Queue.clear q
+
   (* Subscribing clears any tombstone for the id: a session id revived
      after an epoch bump (the server pairs every reuse with an epoch
      increment, and the transport's epoch filter skips the stale frames)
@@ -75,6 +110,7 @@ module Mux = struct
   let subscribe t sid =
     Mutex.protect t.mu (fun () ->
         Hashtbl.remove t.closed sid;
+        Hashtbl.remove t.over sid;
         if not (Hashtbl.mem t.subs sid) then Hashtbl.replace t.subs sid (Queue.create ()))
 
   (* Tombstones are bounded: eviction is FIFO over insertion order, so a
@@ -85,7 +121,11 @@ module Mux = struct
      the table, so the loop terminates. *)
   let unsubscribe t sid =
     Mutex.protect t.mu (fun () ->
+        (match Hashtbl.find_opt t.subs sid with
+        | Some q -> release_queue q
+        | None -> ());
         Hashtbl.remove t.subs sid;
+        Hashtbl.remove t.over sid;
         if not (Hashtbl.mem t.closed sid) then begin
           Hashtbl.replace t.closed sid ();
           Queue.push sid t.closed_order;
@@ -98,6 +138,11 @@ module Mux = struct
 
   let tombstones t = Mutex.protect t.mu (fun () -> Hashtbl.length t.closed)
   let dropped t = Mutex.protect t.mu (fun () -> t.dropped)
+  let overflowed t sid = Mutex.protect t.mu (fun () -> Hashtbl.mem t.over sid)
+
+  let backlog t =
+    Mutex.protect t.mu (fun () ->
+        Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.subs (Queue.length t.control))
 
   (* The stdlib has no timed condition wait, so waiting is a polling
      loop at 1 ms granularity — coarse enough to stay invisible next to
@@ -108,7 +153,13 @@ module Mux = struct
       let item, dead =
         Mutex.protect t.mu (fun () ->
             let q = q_of () in
-            ((if Queue.is_empty q then None else Some (Queue.pop q)), t.dead))
+            ( (if Queue.is_empty q then None
+               else begin
+                 let frame, cost = Queue.pop q in
+                 Obs.Hwm.release hwm cost;
+                 Some frame
+               end),
+              t.dead ))
       in
       match item with
       | Some frame -> frame
@@ -125,6 +176,11 @@ module Mux = struct
 
   let next t ~session ~timeout =
     wait t ~timeout ~what:(Printf.sprintf "session %d" session) (fun () ->
+        if Hashtbl.mem t.over session then
+          raise
+            (Io.Transport_error
+               (Printf.sprintf "session %d: receive queue overflow (cap %d frames)" session
+                  t.max_queue));
         match Hashtbl.find_opt t.subs session with
         | Some q -> q
         | None -> invalid_arg "Mux.next: session not subscribed")
@@ -132,7 +188,17 @@ module Mux = struct
   let next_control t ~timeout = wait t ~timeout ~what:"control" (fun () -> t.control)
 end
 
-type route = { r_send : Frame.t -> unit; r_next : timeout:float -> Frame.t }
+(* [r_sub]: the per-shard sub-routes behind a fanned-out logical source.
+   Scalar traffic uses the merged route ([r_send] broadcasts, [r_next]
+   reads the designated shard 0); streamed deliveries merge chunk
+   streams from every sub-route in row order. *)
+type route = {
+  r_send : Frame.t -> unit;
+  r_next : timeout:float -> Frame.t;
+  r_sub : route array option;
+}
+
+let plain_route ~send ~next = { r_send = send; r_next = next; r_sub = None }
 
 (* Interned eagerly at module init (single-threaded, main domain):
    [Lazy.force] from two domains at once raises [Undefined], and these
@@ -142,6 +208,36 @@ let frames_out = Obs.Metrics.counter "net.frames.out"
 let frames_in = Obs.Metrics.counter "net.frames.in"
 let payload_out = Obs.Metrics.counter "net.payload.out"
 let payload_in = Obs.Metrics.counter "net.payload.in"
+let stream_rows_out = Obs.Metrics.counter "stream.rows.out"
+let stream_rows_in = Obs.Metrics.counter "stream.rows.in"
+let stream_bytes_out = Obs.Metrics.counter "stream.bytes.out"
+let stream_bytes_in = Obs.Metrics.counter "stream.bytes.in"
+
+(* Unacknowledged chunks currently in flight from this process, summed
+   over all live streamed sends — the operator's "is streaming stuck"
+   gauge. *)
+let backlog_gauge = Obs.Metrics.gauge "stream.backlog.chunks"
+let backlog_mu = Mutex.create ()
+let backlog_now = ref 0
+
+let backlog_add d =
+  Mutex.protect backlog_mu (fun () ->
+      backlog_now := max 0 (!backlog_now + d);
+      Obs.Metrics.set_gauge backlog_gauge (float_of_int !backlog_now))
+
+(* Read directly (not via the gauge): the ops surface must work without
+   the global metrics registry recording. *)
+let stream_backlog () = Mutex.protect backlog_mu (fun () -> !backlog_now)
+
+(* Sender window: how many chunks may be unacknowledged before the
+   sender blocks awaiting a [Credit].  Sized so the in-flight bytes
+   (window x chunk) stay near half a megabyte — comfortably inside the
+   mux queue bound, far above what keeps a loopback pipe busy. *)
+let credit_window = 8
+
+(* Decoded-but-unmerged entries buffered while interleaving per-shard
+   streams: bounded by one chunk per shard, and the bench asserts it. *)
+let hwm_pending = Obs.Hwm.region "stream.pending"
 
 let trace_frame dir ~phase ~party ~label ~size =
   if Obs.Trace.enabled () then
@@ -154,11 +250,20 @@ let trace_frame dir ~phase ~party ~label ~size =
           ("bytes", Obs.Json.Int size);
         ]
 
-let transport ~role ~session ~epoch ~io_timeout ~route_of ?(after_io = fun ~phase:_ -> ())
-    () =
+let transport ~role ~session ~epoch ~io_timeout ~route_of ?(shard = (0, 1))
+    ?(after_io = fun ~phase:_ -> ()) () =
+  let shard_index, shard_count = shard in
+  if shard_count <= 0 || shard_index < 0 || shard_index >= shard_count then
+    invalid_arg "Endpoint.transport: shard out of range";
   let send ~phase ~seq ~sender ~receiver ~label ~size payload =
     match route_of receiver with
     | None -> ()
+    | Some r when shard_index <> 0 ->
+      (* Scalar payloads are whole-message: exactly one shard may put
+         them on the wire or the receiver would see k copies.  Shard 0
+         is the designated scalar speaker; the others advance their
+         sequence numbers silently. *)
+      ignore r
     | Some r ->
       (try
          r.r_send
@@ -195,6 +300,11 @@ let transport ~role ~session ~epoch ~io_timeout ~route_of ?(after_io = fun ~phas
           Fault.fail ~phase ~party:receiver
             (Printf.sprintf "%s: frame gap: awaiting #%d of epoch %d, got #%d of epoch %d"
                label seq here m.seq m.epoch)
+        | Frame.Msg_chunk m when m.ck_epoch < here || (m.ck_epoch = here && m.ck_seq < seq) ->
+          go ()
+        | Frame.Credit _ ->
+          (* Flow-control residue of an earlier streamed send. *)
+          go ()
         | Frame.Abort { epoch = e; failure; _ } when e >= here -> raise (Aborted failure)
         | Frame.Abort _ | Frame.Report _ -> go ()
         | Frame.Session_start { epoch = e; _ } when e <= here -> go ()
@@ -218,10 +328,204 @@ let transport ~role ~session ~epoch ~io_timeout ~route_of ?(after_io = fun ~phas
       after_io ~phase;
       payload
   in
-  { Link.role; send; recv }
+  (* Streamed sender: chunk this process's partition of the rows and
+     keep at most [credit_window] chunks unacknowledged, replenished by
+     the receiver's [Credit] grants arriving on the same route. *)
+  let send_rows ~phase ~seq ~sender ~receiver ~label ~size rows =
+    match route_of receiver with
+    | None -> ()
+    | Some r ->
+      let here = epoch () in
+      let rows =
+        if shard_count = 1 then rows
+        else Stream.partition ~k:shard_count ~shard:shard_index rows
+      in
+      let chunks = Stream.plan rows in
+      let n = List.length chunks in
+      let credits = ref credit_window in
+      let outstanding = ref 0 in
+      let await_credit () =
+        match r.r_next ~timeout:io_timeout with
+        | Frame.Credit { cr_epoch; cr_seq; cr_n; _ } when cr_epoch = here && cr_seq = seq ->
+          credits := !credits + cr_n;
+          outstanding := max 0 (!outstanding - cr_n);
+          backlog_add (-cr_n)
+        | Frame.Credit _ -> ()
+        | Frame.Abort { epoch = e; failure; _ } when e >= here -> raise (Aborted failure)
+        | Frame.Abort _ | Frame.Report _ | Frame.Span_batch _ -> ()
+        | Frame.Session_start { epoch = e; _ } when e <= here -> ()
+        | Frame.Msg m when m.epoch < here || (m.epoch = here && m.seq < seq) -> ()
+        | Frame.Msg_chunk m when m.ck_epoch < here || (m.ck_epoch = here && m.ck_seq < seq) ->
+          ()
+        | f ->
+          Fault.fail ~phase ~party:receiver
+            (Printf.sprintf "%s: unexpected %s frame awaiting stream credit" label
+               (Frame.tag_name f))
+        | exception Io.Transport_error msg ->
+          Fault.fail ~phase ~party:receiver
+            (Printf.sprintf "%s: stream credit never arrived: %s" label msg)
+      in
+      List.iteri
+        (fun ci entries ->
+          while !credits <= 0 do
+            await_credit ()
+          done;
+          let payload = Stream.encode_entries entries in
+          (try
+             r.r_send
+               (Frame.Msg_chunk
+                  { ck_session = session; ck_epoch = here; ck_seq = seq; ck_sender = sender;
+                    ck_receiver = receiver; ck_label = label; ck_chunk = ci; ck_chunks = n;
+                    ck_declared = size; ck_payload = payload })
+           with Io.Transport_error msg ->
+             Fault.fail ~phase ~party:receiver (label ^ ": link down: " ^ msg));
+          decr credits;
+          incr outstanding;
+          backlog_add 1;
+          Obs.Metrics.incr frames_out;
+          let bytes =
+            List.fold_left (fun acc e -> acc + String.length e.Stream.s_bytes) 0 entries
+          in
+          Obs.Metrics.incr ~by:bytes payload_out;
+          Obs.Metrics.incr ~by:bytes stream_bytes_out;
+          Obs.Metrics.incr ~by:(List.length entries) stream_rows_out)
+        chunks;
+      (* Trailing credits are granted but never awaited; the stale-credit
+         skip absorbs them later.  Settle the backlog gauge now. *)
+      backlog_add (- !outstanding);
+      trace_frame "send" ~phase ~party:receiver ~label ~size;
+      after_io ~phase
+  in
+  (* Streamed receiver: pull the per-shard chunk streams and verify each
+     entry against the locally recomputed rows in index order.  Nothing
+     is concatenated: at most one decoded chunk per shard is held at a
+     time (charged to the "stream.pending" region), so receive-side
+     memory is bounded by shards x chunk size however many rows flow. *)
+  let recv_rows ~phase ~seq ~sender ~receiver ~label ~size ~expect =
+    match route_of sender with
+    | None -> Fault.fail ~phase ~party:receiver (label ^ ": no route to its sender")
+    | Some r ->
+      let subs = match r.r_sub with Some a when Array.length a > 0 -> a | _ -> [| r |] in
+      let k = Array.length subs in
+      let here = epoch () in
+      let pending = Array.make k ([] : Stream.entry list) in
+      let next_chunk = Array.make k 0 in
+      let declared_chunks = Array.make k max_int in
+      let pull si =
+        let sub = subs.(si) in
+        let rec go () =
+          match sub.r_next ~timeout:io_timeout with
+          | Frame.Msg_chunk m when m.ck_epoch = here && m.ck_seq = seq ->
+            if
+              (not (Transcript.party_equal m.ck_sender sender))
+              || not (String.equal m.ck_label label)
+            then
+              Fault.fail ~phase ~party:receiver
+                (Printf.sprintf "frame #%d: expected %s chunk from %s, got %s from %s" seq
+                   label (Transcript.party_name sender) m.ck_label
+                   (Transcript.party_name m.ck_sender))
+            else if m.ck_chunk < next_chunk.(si) then
+              (* A replayed chunk (chaos Duplicate): already merged. *)
+              go ()
+            else if m.ck_chunk > next_chunk.(si) then
+              Fault.fail ~phase ~party:receiver
+                (Printf.sprintf "%s: chunk gap: awaiting chunk %d, got %d" label
+                   next_chunk.(si) m.ck_chunk)
+            else if m.ck_declared <> size then
+              Fault.fail ~phase ~party:receiver
+                (Printf.sprintf "%s rejected: stream declares %d bytes, %d computed" label
+                   m.ck_declared size)
+            else begin
+              next_chunk.(si) <- m.ck_chunk + 1;
+              declared_chunks.(si) <- m.ck_chunks;
+              let entries =
+                try Stream.decode_entries m.ck_payload
+                with Wire.Malformed msg ->
+                  Fault.fail ~phase ~party:receiver
+                    (Printf.sprintf "%s rejected: malformed chunk %d: %s" label m.ck_chunk msg)
+              in
+              (* Grant the replacement credit before merging so the
+                 sender's pipeline never drains on our account.  A dead
+                 return path surfaces on the next pull, not here. *)
+              (try
+                 sub.r_send
+                   (Frame.Credit
+                      { cr_session = session; cr_epoch = here; cr_seq = seq; cr_n = 1 })
+               with Io.Transport_error _ -> ());
+              let bytes =
+                List.fold_left (fun acc e -> acc + String.length e.Stream.s_bytes) 0 entries
+              in
+              Obs.Hwm.alloc hwm_pending bytes;
+              Obs.Metrics.incr frames_in;
+              Obs.Metrics.incr ~by:bytes payload_in;
+              Obs.Metrics.incr ~by:bytes stream_bytes_in;
+              Obs.Metrics.incr ~by:(List.length entries) stream_rows_in;
+              pending.(si) <- entries
+            end
+          | Frame.Msg_chunk m when m.ck_epoch < here || (m.ck_epoch = here && m.ck_seq < seq)
+            ->
+            go ()
+          | Frame.Msg_chunk m ->
+            Fault.fail ~phase ~party:receiver
+              (Printf.sprintf "%s: frame gap: awaiting stream #%d of epoch %d, got #%d of epoch %d"
+                 label seq here m.ck_seq m.ck_epoch)
+          | Frame.Msg m when m.epoch < here || (m.epoch = here && m.seq < seq) -> go ()
+          | Frame.Credit _ -> go ()
+          | Frame.Abort { epoch = e; failure; _ } when e >= here -> raise (Aborted failure)
+          | Frame.Abort _ | Frame.Report _ -> go ()
+          | Frame.Session_start { epoch = e; _ } when e <= here -> go ()
+          | Frame.Span_batch _ -> go ()
+          | f ->
+            Fault.fail ~phase ~party:receiver
+              (Printf.sprintf "%s: unexpected %s frame mid-stream" label (Frame.tag_name f))
+          | exception Io.Transport_error msg ->
+            Fault.fail ~phase ~party:receiver
+              (Printf.sprintf "%s never arrived: %s" label msg)
+        in
+        go ()
+      in
+      List.iter
+        (fun (row, bytes) ->
+          let si = if k = 1 then 0 else Stream.shard_of_row ~k row in
+          while pending.(si) = [] do
+            if next_chunk.(si) >= declared_chunks.(si) then
+              (* The shard's stream is exhausted but rows remain: an
+                 elided tail is a mismatch, not a hang. *)
+              Fault.fail ~phase ~party:receiver
+                (Printf.sprintf
+                   "%s rejected: wire payload mismatch (stream ended before row %d)" label row)
+            else pull si
+          done;
+          match pending.(si) with
+          | [] -> assert false
+          | e :: rest ->
+            pending.(si) <- rest;
+            Obs.Hwm.release hwm_pending (String.length e.Stream.s_bytes);
+            if e.Stream.s_row <> row || not (String.equal e.Stream.s_bytes bytes) then
+              Fault.fail ~phase ~party:receiver
+                (Printf.sprintf
+                   "%s rejected: wire payload mismatch (stream row %d: %d bytes received, %d computed)"
+                   label row
+                   (String.length e.Stream.s_bytes)
+                   (String.length bytes)))
+        expect;
+      Array.iteri
+        (fun si p ->
+          if p <> [] then begin
+            Obs.Hwm.release hwm_pending
+              (List.fold_left (fun acc e -> acc + String.length e.Stream.s_bytes) 0 p);
+            Fault.fail ~phase ~party:receiver
+              (Printf.sprintf "%s rejected: %d trailing stream entries from shard %d" label
+                 (List.length p) si)
+          end)
+        pending;
+      trace_frame "recv" ~phase ~party:sender ~label ~size;
+      after_io ~phase
+  in
+  { Link.role; send; recv; rows = Some { Link.send_rows; recv_rows } }
 
-let run_replica ~role ~fault ~session ~epoch ~attempt ~scheme ~query ~io_timeout ~route env
-    client =
+let run_replica ~role ~fault ~session ~epoch ~attempt ~scheme ~query ~io_timeout ?shard
+    ~route env client =
   match Protocol.scheme_of_name scheme with
   | None ->
     ( Frame.St_failed
@@ -229,7 +533,7 @@ let run_replica ~role ~fault ~session ~epoch ~attempt ~scheme ~query ~io_timeout
       None )
   | Some sch -> (
     let tr =
-      transport ~role ~session ~epoch:(fun () -> epoch) ~io_timeout
+      transport ~role ~session ~epoch:(fun () -> epoch) ~io_timeout ?shard
         ~route_of:(fun _ -> Some route) ()
     in
     match Protocol.attempt ?fault ~endpoint:(Link.Remote tr) sch env client ~query ~attempt with

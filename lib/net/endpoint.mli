@@ -8,6 +8,11 @@
     seq) so duplicated or stale frames from an abandoned attempt are
     discarded rather than misdelivered.
 
+    Row-wise deliveries ([Link.deliver_rows]) travel as bounded
+    [Msg_chunk] frames under credit-based flow control, and a logical
+    source split into shards fans the stream out across the shard routes
+    (DESIGN.md §16).
+
     {!Mux} demultiplexes one shared connection (a mediator↔datasource
     link carries every concurrent session) into per-session frame queues
     fed by a single receive thread. *)
@@ -21,12 +26,17 @@ exception Aborted of Fault.failure
 module Mux : sig
   type t
 
-  val create : ?max_tombstones:int -> Io.conn -> t
+  val create : ?max_tombstones:int -> ?max_queue:int -> Io.conn -> t
   (** Spawn the receive thread.  The connection must have no other
       reader from this point on.  [max_tombstones] (default 1024) bounds
       the closed-session tombstone set; the oldest tombstones are
       evicted FIFO so a long-lived pooled connection keeps O(1) state
-      per retained session. *)
+      per retained session.  [max_queue] (default 1024) bounds each
+      session's parked-frame queue: a frame arriving at a full queue is
+      dropped and the session poisoned, so its next {!next} raises
+      {!Io.Transport_error} — memory stays bounded and the consumer sees
+      the same typed failure as a severed link.  Parked frame bytes are
+      charged to the ["mux.parked"] {!Secmed_obs.Hwm} region. *)
 
   val conn : t -> Io.conn
   val alive : t -> bool
@@ -41,9 +51,10 @@ module Mux : sig
       the receive thread must never race a consumer's subscription —
       with a [Session_start] additionally announced on the control
       queue so a daemon can spawn the session's handler.  Subscribing
-      clears any tombstone for the id, so a session id reused after an
-      epoch bump routes again (the transport's epoch filter discards
-      whatever stale frames slip through). *)
+      clears any tombstone (and any overflow poisoning) for the id, so a
+      session id reused after an epoch bump routes again (the
+      transport's epoch filter discards whatever stale frames slip
+      through). *)
 
   val unsubscribe : t -> int -> unit
   (** Close the session's queue; late frames for it are dropped (and
@@ -53,12 +64,20 @@ module Mux : sig
   (** Closed-session tombstones currently retained (≤ [max_tombstones]). *)
 
   val dropped : t -> int
-  (** Frames discarded because their session was already closed. *)
+  (** Frames discarded because their session was already closed, plus
+      frames discarded by the per-session queue bound. *)
+
+  val overflowed : t -> int -> bool
+  (** Whether the session's queue has overflowed since it was last
+      subscribed. *)
+
+  val backlog : t -> int
+  (** Frames currently parked across all queues (control included). *)
 
   val next : t -> session:int -> timeout:float -> Frame.t
   (** Block (polling) until the session's queue yields a frame.  Raises
-      {!Io.Transport_error} on timeout or when the receive thread died
-      and the queue is drained. *)
+      {!Io.Transport_error} on timeout, when the receive thread died and
+      the queue is drained, or when the session's queue overflowed. *)
 
   val next_control : t -> timeout:float -> Frame.t
   (** Same, for connection-level frames and session announcements. *)
@@ -67,10 +86,28 @@ end
 type route = {
   r_send : Frame.t -> unit;
   r_next : timeout:float -> Frame.t;  (** already session-filtered *)
+  r_sub : route array option;
+      (** per-shard sub-routes behind a fanned-out logical source:
+          [r_send] on the merged route broadcasts and [r_next] reads the
+          designated shard 0, while streamed receives interleave every
+          sub-route's chunk stream in row order.  [None] for an unsharded
+          counterpart. *)
 }
 (** One counterpart this process exchanges frames with.  A leaf (client
     or datasource) has exactly one route — its mediator connection; the
     mediator has one per remote counterpart. *)
+
+val plain_route : send:(Frame.t -> unit) -> next:(timeout:float -> Frame.t) -> route
+(** An unsharded route ([r_sub = None]). *)
+
+val credit_window : int
+(** Chunks a streaming sender may leave unacknowledged before blocking
+    on a [Credit] grant. *)
+
+val stream_backlog : unit -> int
+(** Unacknowledged chunks currently in flight from this process, summed
+    over all live streamed sends.  Read directly (works without the
+    metrics registry recording). *)
 
 val transport :
   role:Transcript.party ->
@@ -78,6 +115,7 @@ val transport :
   epoch:(unit -> int) ->
   io_timeout:float ->
   route_of:(Transcript.party -> route option) ->
+  ?shard:int * int ->
   ?after_io:(phase:string -> unit) ->
   unit ->
   Link.transport
@@ -90,7 +128,16 @@ val transport :
     after every blocking send/recv — the mediator hooks its real-time
     deadline check here so wall-clock stalls trip the budget
     mid-attempt.  [epoch] is read per frame so the mediator can reuse
-    one transport across every attempt of a resilient session. *)
+    one transport across every attempt of a resilient session.
+
+    [shard] (default [(0, 1)]) is this process's (index, count) within a
+    sharded logical source: shard 0 alone speaks scalar messages for the
+    party, and a streamed [send_rows] transmits only the shard's
+    row partition ([Secmed_core.Stream.partition]).  A streamed
+    [recv_rows] holds at most one decoded chunk per shard (charged to
+    the ["stream.pending"] {!Secmed_obs.Hwm} region) while merging, so
+    receive memory is bounded by shards × chunk size regardless of how
+    many rows flow. *)
 
 val run_replica :
   role:Transcript.party ->
@@ -101,6 +148,7 @@ val run_replica :
   scheme:string ->
   query:string ->
   io_timeout:float ->
+  ?shard:int * int ->
   route:route ->
   Secmed_core.Env.t ->
   Secmed_core.Env.client ->

@@ -22,6 +22,24 @@ type msg = {
   payload : string;
 }
 
+(* One bounded slice of a streamed delivery: [chunk] of [chunks], same
+   addressing as the scalar [msg] it replaces, payload a counted batch
+   of (row index, bytes) entries (Secmed_core.Stream codec).  [declared]
+   repeats the whole stream's transcript size on every chunk so any one
+   frame identifies the delivery it belongs to. *)
+type chunk = {
+  ck_session : int;
+  ck_epoch : int;
+  ck_seq : int;
+  ck_sender : Transcript.party;
+  ck_receiver : Transcript.party;
+  ck_label : string;
+  ck_chunk : int;
+  ck_chunks : int;
+  ck_declared : int;
+  ck_payload : string;
+}
+
 type t =
   | Hello of { role : Transcript.party; scenario : string }
   | Hello_ok of { scenario : string }
@@ -45,6 +63,12 @@ type t =
       trace_parent : int;
     }
   | Msg of msg
+  | Msg_chunk of chunk
+  | Credit of { cr_session : int; cr_epoch : int; cr_seq : int; cr_n : int }
+      (** Flow-control grant: the receiver of a streamed delivery has
+          consumed a chunk of (epoch, seq) and permits [cr_n] more in
+          flight.  Residue outside an active [send_rows] is skipped
+          wherever it lands. *)
   | Report of { session : int; epoch : int; status : status }
   | Abort of { session : int; epoch : int; failure : Fault.failure }
   | Session_result of { session : int; result : wire_result }
@@ -251,7 +275,27 @@ let encode t =
   | Drain_ok -> Wire.write_int w 16
   | Draining reason ->
     Wire.write_int w 17;
-    Wire.write_string w reason);
+    Wire.write_string w reason
+  | Msg_chunk
+      { ck_session; ck_epoch; ck_seq; ck_sender; ck_receiver; ck_label; ck_chunk; ck_chunks;
+        ck_declared; ck_payload } ->
+    Wire.write_int w 18;
+    Wire.write_int w ck_session;
+    Wire.write_int w ck_epoch;
+    Wire.write_int w ck_seq;
+    write_party w ck_sender;
+    write_party w ck_receiver;
+    Wire.write_string w ck_label;
+    Wire.write_int w ck_chunk;
+    Wire.write_int w ck_chunks;
+    Wire.write_int w ck_declared;
+    Wire.write_string w ck_payload
+  | Credit { cr_session; cr_epoch; cr_seq; cr_n } ->
+    Wire.write_int w 19;
+    Wire.write_int w cr_session;
+    Wire.write_int w cr_epoch;
+    Wire.write_int w cr_seq;
+    Wire.write_int w cr_n);
   Wire.contents w
 
 let decode body =
@@ -327,6 +371,30 @@ let decode body =
       Drain { scenario; deadline }
     | 16 -> Drain_ok
     | 17 -> Draining (Wire.read_string r)
+    | 18 ->
+      let ck_session = Wire.read_int r in
+      let ck_epoch = Wire.read_int r in
+      let ck_seq = Wire.read_int r in
+      let ck_sender = read_party r in
+      let ck_receiver = read_party r in
+      let ck_label = Wire.read_string r in
+      let ck_chunk = Wire.read_int r in
+      let ck_chunks = Wire.read_int r in
+      if ck_chunks < 0 || ck_chunks > Secmed_core.Stream.max_chunks then
+        malformed "chunk count %d exceeds the %d cap" ck_chunks Secmed_core.Stream.max_chunks;
+      if ck_chunk < 0 || ck_chunk >= ck_chunks then
+        malformed "chunk index %d out of range for %d chunks" ck_chunk ck_chunks;
+      let ck_declared = Wire.read_int r in
+      let ck_payload = Wire.read_string r in
+      Msg_chunk
+        { ck_session; ck_epoch; ck_seq; ck_sender; ck_receiver; ck_label; ck_chunk; ck_chunks;
+          ck_declared; ck_payload }
+    | 19 ->
+      let cr_session = Wire.read_int r in
+      let cr_epoch = Wire.read_int r in
+      let cr_seq = Wire.read_int r in
+      let cr_n = Wire.read_int r in
+      Credit { cr_session; cr_epoch; cr_seq; cr_n }
     | n -> malformed "unknown frame tag %d" n
   in
   Wire.expect_end r;
@@ -351,6 +419,8 @@ let tag_name = function
   | Drain _ -> "drain"
   | Drain_ok -> "drain-ok"
   | Draining _ -> "draining"
+  | Msg_chunk _ -> "msg-chunk"
+  | Credit _ -> "credit"
 
 let session_of = function
   | Hello _ | Hello_ok _ | Busy _ | Query _ | Stats_request | Stats _ | Ping | Health _
@@ -362,3 +432,5 @@ let session_of = function
   | Session_result { session; _ }
   | Session_end { session }
   | Span_batch { session; _ } -> Some session
+  | Msg_chunk { ck_session; _ } -> Some ck_session
+  | Credit { cr_session; _ } -> Some cr_session

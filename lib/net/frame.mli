@@ -52,6 +52,27 @@ type msg = {
   payload : string;
 }
 
+(** One bounded slice of a streamed delivery (DESIGN.md §16): same
+    addressing as the scalar [msg] it replaces, plus its position
+    [ck_chunk] of [ck_chunks].  [ck_payload] is a counted batch of
+    (row index, bytes) entries in the [Secmed_core.Stream] codec;
+    [ck_declared] repeats the whole stream's transcript size so any one
+    frame identifies its delivery.  The decoder enforces the
+    [Stream.max_chunks] cap, so a corrupted header cannot promise a
+    pathological chunk count. *)
+type chunk = {
+  ck_session : int;
+  ck_epoch : int;
+  ck_seq : int;
+  ck_sender : Transcript.party;
+  ck_receiver : Transcript.party;
+  ck_label : string;
+  ck_chunk : int;
+  ck_chunks : int;
+  ck_declared : int;
+  ck_payload : string;
+}
+
 type t =
   | Hello of { role : Transcript.party; scenario : string }
   | Hello_ok of { scenario : string }
@@ -77,6 +98,12 @@ type t =
               span batch hangs under; [-1] when tracing is off *)
     }
   | Msg of msg
+  | Msg_chunk of chunk
+  | Credit of { cr_session : int; cr_epoch : int; cr_seq : int; cr_n : int }
+      (** Flow-control grant: the consumer of stream (epoch, seq) has
+          absorbed a chunk and permits [cr_n] more in flight.  Residue
+          arriving outside an active [send_rows] is skipped wherever it
+          lands. *)
   | Report of { session : int; epoch : int; status : status }
   | Abort of { session : int; epoch : int; failure : Fault.failure }
   | Session_result of { session : int; result : wire_result }

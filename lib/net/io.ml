@@ -8,8 +8,8 @@ type conn = {
   fd : Unix.file_descr;
   peer : string;
   stream : Wire.Stream.t;
-  rbuf : Bytes.t;
   send_mu : Mutex.t;
+  mutable wbuf : Bytes.t;
   mutable bytes_in : int;
   mutable bytes_out : int;
   mutable frames_in : int;
@@ -33,6 +33,15 @@ let m_bytes_recv = Secmed_obs.Metrics.counter "net.bytes_recv"
 let m_frames_sent = Secmed_obs.Metrics.counter "net.frames_sent"
 let m_frames_recv = Secmed_obs.Metrics.counter "net.frames_recv"
 
+(* Per-connection send scratch: header + body assembled in one reused
+   buffer so the steady-state frame path allocates nothing.  Capped so a
+   rare oversized frame (which takes the allocating fallback) cannot pin
+   megabytes to every connection; chunked deliveries sit far below the
+   cap by construction. *)
+let hwm_send = Secmed_obs.Hwm.region "io.send"
+let max_inline_frame = 1 lsl 18
+let read_quantum = 65536
+
 let set_fd_timeout fd seconds =
   (* 0. disables the timeout (the setsockopt convention). *)
   Unix.setsockopt_float fd Unix.SO_RCVTIMEO seconds;
@@ -40,12 +49,13 @@ let set_fd_timeout fd seconds =
 
 let of_fd ?(timeout = 0.) ~peer fd =
   if timeout > 0. then set_fd_timeout fd timeout;
+  Secmed_obs.Hwm.alloc hwm_send 256;
   {
     fd;
     peer;
     stream = Wire.Stream.create ();
-    rbuf = Bytes.create 65536;
     send_mu = Mutex.create ();
+    wbuf = Bytes.create 256;
     bytes_in = 0;
     bytes_out = 0;
     frames_in = 0;
@@ -107,10 +117,9 @@ let frames_out t = t.frames_out
 (* A full write in the face of short writes, EINTR, and timeouts.  The
    caller holds [send_mu], so the frame lands contiguously even when
    several session threads share the connection. *)
-let write_all t s =
-  let b = Bytes.unsafe_of_string s in
-  let len = Bytes.length b in
-  let off = ref 0 in
+let write_all_sub t b first len =
+  let off = ref first in
+  let len = first + len in
   while !off < len do
     match Unix.write t.fd b !off (len - !off) with
     | 0 -> fail "send to %s: connection closed" t.peer
@@ -125,13 +134,35 @@ let write_all t s =
       fail "send to %s: %s" t.peer (Unix.error_message e)
   done
 
+let write_all t s = write_all_sub t (Bytes.unsafe_of_string s) 0 (String.length s)
+
 let locked mu f =
   Mutex.lock mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
 
 let send_frame t body =
   locked t.send_mu (fun () ->
-      write_all t (Wire.frame body);
+      let n = String.length body in
+      if n + 4 <= max_inline_frame then begin
+        if Bytes.length t.wbuf < n + 4 then begin
+          let cap = ref (Bytes.length t.wbuf) in
+          while !cap < n + 4 do
+            cap := !cap * 2
+          done;
+          Secmed_obs.Hwm.alloc hwm_send (!cap - Bytes.length t.wbuf);
+          t.wbuf <- Bytes.create !cap
+        end;
+        Bytes.set t.wbuf 0 (Char.chr ((n lsr 24) land 0xff));
+        Bytes.set t.wbuf 1 (Char.chr ((n lsr 16) land 0xff));
+        Bytes.set t.wbuf 2 (Char.chr ((n lsr 8) land 0xff));
+        Bytes.set t.wbuf 3 (Char.chr (n land 0xff));
+        Bytes.blit_string body 0 t.wbuf 4 n;
+        write_all_sub t t.wbuf 0 (n + 4)
+      end
+      else
+        (* Oversized one-off: pay the concat rather than pinning a huge
+           scratch buffer to the connection for its whole life. *)
+        write_all t (Wire.frame body);
       t.frames_out <- t.frames_out + 1;
       Secmed_obs.Metrics.incr m_frames_sent)
 
@@ -145,12 +176,16 @@ let recv_frame t =
       Secmed_obs.Metrics.incr m_frames_recv;
       body
     | None -> (
-      match Unix.read t.fd t.rbuf 0 (Bytes.length t.rbuf) with
+      (* Read straight into the reassembly buffer (Wire.Stream.reserve):
+         the receive path allocates nothing per read beyond the frame
+         body itself. *)
+      let buf, off = Wire.Stream.reserve t.stream read_quantum in
+      match Unix.read t.fd buf off read_quantum with
       | 0 -> fail "recv from %s: connection closed" t.peer
       | n ->
+        Wire.Stream.commit t.stream n;
         t.bytes_in <- t.bytes_in + n;
         Secmed_obs.Metrics.incr ~by:n m_bytes_recv;
-        Wire.Stream.feed_bytes t.stream t.rbuf ~off:0 ~len:n;
         next ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> next ()
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
@@ -164,6 +199,8 @@ let recv_frame t =
 let close t =
   if not t.closed then begin
     t.closed <- true;
+    Wire.Stream.dispose t.stream;
+    Secmed_obs.Hwm.release hwm_send (Bytes.length t.wbuf);
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 

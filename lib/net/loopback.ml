@@ -9,7 +9,7 @@ type cluster = {
   c_port : int;
   c_io_timeout : float;
   c_proxies : (int * Chaos.t) list;
-  c_source_pids : ((int * int) * int) list;  (* (source id, replica) -> pid *)
+  c_source_pids : ((int * int * int) * int) list;  (* (source id, shard, replica) -> pid *)
   c_mediator_pid : int;
 }
 
@@ -20,10 +20,12 @@ let scenario c = c.c_scenario
 let port c = c.c_port
 let mediator_pid c = c.c_mediator_pid
 
-let source_pid c ~id ~replica =
-  match List.assoc_opt (id, replica) c.c_source_pids with
+let source_pid c ?(shard = 0) ~id ~replica () =
+  match List.assoc_opt (id, shard, replica) c.c_source_pids with
   | Some pid -> pid
-  | None -> invalid_arg (Printf.sprintf "Loopback.source_pid: no source %d replica %d" id replica)
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Loopback.source_pid: no source %d shard %d replica %d" id shard replica)
 
 let chaos_events c sid =
   match List.assoc_opt sid c.c_proxies with
@@ -40,37 +42,47 @@ let fork_proc f =
   | pid -> pid
 
 let with_cluster ?params ?policy ?(chaos = []) ?(max_sessions = 8) ?(io_timeout = 10.)
-    ?source_conns ?workers ?(standbys = 0) ?health_interval ?drain_deadline ~spec f =
+    ?source_conns ?workers ?(standbys = 0) ?(shards = 1) ?health_interval ?drain_deadline
+    ~spec f =
+  if shards < 1 then invalid_arg "Loopback.with_cluster: shards must be >= 1";
   let c_env, c_client, c_query = Workload.scenario ?params spec in
   let c_scenario = Scenario.digest ?params spec in
   let replicas = 1 + max 0 standbys in
   (* Reserve every port before any process starts: a pre-bound listener
      queues connections until its owner calls accept, so there is no
-     startup race to sleep around.  With [standbys], each source id gets
+     startup race to sleep around.  With [standbys], each shard gets
      that many extra daemon processes — every replica a deterministic
-     twin built from the same seed. *)
+     twin built from the same seed; with [shards] > 1, each source id
+     splits into that many partitioned daemons (DESIGN.md §16). *)
   let source_fds =
     List.concat_map
-      (fun sid -> List.init replicas (fun r -> ((sid, r), Io.listen ~port:0 ())))
+      (fun sid ->
+        List.concat_map
+          (fun sh -> List.init replicas (fun r -> ((sid, sh, r), Io.listen ~port:0 ())))
+          (List.init shards Fun.id))
       [ 1; 2 ]
   in
   let med_fd, med_port = Io.listen ~port:0 () in
   let proxy_fds = List.map (fun (sid, plan) -> (sid, plan, Io.listen ~port:0 ())) chaos in
-  (* A chaos proxy interposes on the primary (replica 0) only: the plan
-     narrates one link's faults, and failover tests want the standby
-     clean. *)
-  let addr_for (sid, r) port =
-    match List.find_opt (fun (psid, _, _) -> psid = sid && r = 0) proxy_fds with
+  (* A chaos proxy interposes on the primary (shard 0, replica 0) only:
+     the plan narrates one link's faults, and failover tests want the
+     standby clean. *)
+  let addr_for (sid, sh, r) port =
+    match
+      List.find_opt (fun (psid, _, _) -> psid = sid && sh = 0 && r = 0) proxy_fds
+    with
     | Some (_, _, (_, pport)) -> ("127.0.0.1", pport)
     | None -> ("127.0.0.1", port)
   in
   let c_source_pids =
     List.map
-      (fun ((sid, r), (fd, _)) ->
-        ( (sid, r),
+      (fun ((sid, sh, r), (fd, _)) ->
+        ( (sid, sh, r),
           fork_proc (fun () ->
-              Peer.source ~id:sid ~env:c_env ~client:c_client ~scenario:c_scenario
-                ~listen_fd:fd ~io_timeout ?drain_deadline ~drain_on_sigterm:true ()) ))
+              Peer.source ~id:sid ~env:c_env ~client:c_client
+                ~scenario:(Shard.digest c_scenario ~shard:(sh, shards))
+                ~listen_fd:fd ~shard:(sh, shards) ~io_timeout ?drain_deadline
+                ~drain_on_sigterm:true ()) ))
       source_fds
   in
   let c_mediator_pid =
@@ -79,9 +91,10 @@ let with_cluster ?params ?policy ?(chaos = []) ?(max_sessions = 8) ?(io_timeout 
           List.map
             (fun sid ->
               ( sid,
-                List.init replicas (fun r ->
-                    let _, sport = List.assoc (sid, r) source_fds in
-                    addr_for (sid, r) sport) ))
+                List.init shards (fun sh ->
+                    List.init replicas (fun r ->
+                        let _, sport = List.assoc (sid, sh, r) source_fds in
+                        addr_for (sid, sh, r) sport)) ))
             [ 1; 2 ]
         in
         let server =
@@ -102,7 +115,7 @@ let with_cluster ?params ?policy ?(chaos = []) ?(max_sessions = 8) ?(io_timeout 
   let c_proxies =
     List.map
       (fun (sid, plan, (pfd, pport)) ->
-        let _, sport = List.assoc (sid, 0) source_fds in
+        let _, sport = List.assoc (sid, 0, 0) source_fds in
         ( sid,
           Chaos.start ~plan ~target_host:"127.0.0.1" ~target_port:sport
             ~listen:(pfd, pport) () ))

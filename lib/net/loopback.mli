@@ -36,6 +36,7 @@ val with_cluster :
   ?source_conns:int ->
   ?workers:int ->
   ?standbys:int ->
+  ?shards:int ->
   ?health_interval:float ->
   ?drain_deadline:float ->
   spec:Workload.spec ->
@@ -44,15 +45,19 @@ val with_cluster :
 (** Children are killed (and proxies stopped) however the callback
     ends.  [source_conns]/[workers]/[health_interval]/[drain_deadline]
     forward to {!Server.create}.  [standbys] (default 0) forks that
-    many extra replica daemons per source — deterministic twins the
+    many extra replica daemons per shard — deterministic twins the
     mediator's pool lists as failover candidates behind the primary;
-    chaos proxies, when given, interpose on the primary only.  The
-    mediator installs a SIGTERM → {!Server.begin_drain} handler, so a
-    test can drain-restart it like a real deployment would. *)
+    chaos proxies, when given, interpose on the primary (shard 0,
+    replica 0) only.  [shards] (default 1) splits each source into that
+    many partitioned daemons: streamed deliveries arrive as k merged
+    chunk streams, and results must be bit-identical to the unsharded
+    run (DESIGN.md §16).  The mediator installs a SIGTERM →
+    {!Server.begin_drain} handler, so a test can drain-restart it like
+    a real deployment would. *)
 
-val source_pid : cluster -> id:int -> replica:int -> int
-(** The daemon process serving [replica] (0 = primary) of source [id] —
-    for tests that SIGKILL a specific process. *)
+val source_pid : cluster -> ?shard:int -> id:int -> replica:int -> unit -> int
+(** The daemon process serving [replica] (0 = primary) of source [id]
+    (shard 0 by default) — for tests that SIGKILL a specific process. *)
 
 val mediator_pid : cluster -> int
 

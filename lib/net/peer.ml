@@ -18,12 +18,11 @@ let parse_fault fault_spec =
     | Ok p -> Some p
     | Error _ -> None (* the mediator validated it; fail open rather than diverge *)
 
-let source_session ~role ~env ~client ~io_timeout mux session =
+let source_session ~role ~shard ~env ~client ~io_timeout mux session =
   let route =
-    {
-      Endpoint.r_send = (fun f -> Mux.send mux f);
-      r_next = (fun ~timeout -> Mux.next mux ~session ~timeout);
-    }
+    Endpoint.plain_route
+      ~send:(fun f -> Mux.send mux f)
+      ~next:(fun ~timeout -> Mux.next mux ~session ~timeout)
   in
   let fault = ref None in
   let parsed = ref false in
@@ -39,7 +38,7 @@ let source_session ~role ~env ~client ~io_timeout mux session =
       end;
       let run_attempt () =
         Endpoint.run_replica ~role ~fault:!fault ~session ~epoch ~attempt ~scheme ~query
-          ~io_timeout ~route env client
+          ~io_timeout ~shard ~route env client
       in
       let status, batch =
         if String.equal trace_id "" then (fst (run_attempt ()), None)
@@ -82,7 +81,7 @@ type source_drain = {
   mutable sd_deadline_at : float;
 }
 
-let source ~id ~env ~client ~scenario ~listen_fd ?(io_timeout = 10.)
+let source ~id ~env ~client ~scenario ~listen_fd ?(shard = (0, 1)) ?(io_timeout = 10.)
     ?(drain_deadline = 30.) ?(drain_on_sigterm = false) () =
   let role = Transcript.Source id in
   let sd =
@@ -174,7 +173,7 @@ let source ~id ~env ~client ~scenario ~listen_fd ?(io_timeout = 10.)
                          Secmed_crypto.Counters.release ();
                          Mutex.protect live_mu (fun () -> Hashtbl.remove live session);
                          Mutex.protect sd.sd_mu (fun () -> sd.sd_active <- sd.sd_active - 1))
-                       (fun () -> source_session ~role ~env ~client ~io_timeout mux session))
+                       (fun () -> source_session ~role ~shard ~env ~client ~io_timeout mux session))
                    ()
                   : Thread.t)
             end
@@ -249,13 +248,11 @@ let run ~host ~port ~scenario ~scheme ~query ?(fault_spec = "") ?(deadline = 0.)
   Io.send_frame conn
     (Frame.encode (Frame.Query { scheme; query; fault_spec; deadline; fallback; trace }));
   let route =
-    {
-      Endpoint.r_send = (fun f -> Io.send_frame conn (Frame.encode f));
-      r_next =
-        (fun ~timeout ->
-          Io.set_timeout conn timeout;
-          Frame.decode (Io.recv_frame conn));
-    }
+    Endpoint.plain_route
+      ~send:(fun f -> Io.send_frame conn (Frame.encode f))
+      ~next:(fun ~timeout ->
+        Io.set_timeout conn timeout;
+        Frame.decode (Io.recv_frame conn))
   in
   let fault = ref None in
   let parsed = ref false in

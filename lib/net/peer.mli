@@ -34,6 +34,7 @@ val source :
   client:Env.client ->
   scenario:string ->
   listen_fd:Unix.file_descr ->
+  ?shard:int * int ->
   ?io_timeout:float ->
   ?drain_deadline:float ->
   ?drain_on_sigterm:bool ->
@@ -43,7 +44,10 @@ val source :
     thread per connection — a pooling mediator dials several),
     multiplex concurrent sessions over each (a thread per session),
     and per [Session_start] run this source's replica of the attempt and
-    report how it ended.  The session's fault spec is parsed once, so a
+    report how it ended.  [shard] (default [(0, 1)]) makes this daemon
+    shard j of k of the logical source: it transmits only its row
+    partition of streamed deliveries (shard 0 alone speaks the scalar
+    frames), and [scenario] must then be the matching {!Shard.digest}.  The session's fault spec is parsed once, so a
     [times]-bounded rule burns down across attempts exactly as it does
     in-process.  Returns when the listening socket is closed.
 

@@ -46,11 +46,31 @@ type scheme_stat = {
   sc_latency : Obs.Metrics.histogram;
 }
 
+(* One shard of a logical source.  An unsharded source is the k = 1
+   special case, so the whole pool/failover machinery below is per
+   shard: each shard has its own replica set, its own slots, its own
+   health state, and is dialed with its own scenario digest
+   ({!Shard.digest}) so a miswired partition fails the handshake. *)
 type source_link = {
   sl_id : int;
+  sl_shard : int;
+  sl_shard_count : int;
+  sl_scenario : string;  (* the shard digest this link dials with *)
   sl_mu : Mutex.t;  (* guards every replica's health fields *)
   sl_replicas : replica array;
   sl_slots : source_slot array;
+}
+
+(* Per-session streamed-delivery tallies for the ops surface: filled by
+   the counting route wrapper, retired into a bounded recent list when
+   the session ends. *)
+type stream_stat = {
+  st_session : int;
+  mutable st_rows_in : int;
+  mutable st_rows_out : int;
+  mutable st_bytes_in : int;
+  mutable st_bytes_out : int;
+  mutable st_active : bool;
 }
 
 (* One entry of the failover transition log: replica health flips and
@@ -93,6 +113,10 @@ type t = {
   conns_mu : Mutex.t;
   mutable conn_seq : int;
   live_conns : (int, Io.conn) Hashtbl.t;  (* open client connections *)
+  stream_mu : Mutex.t;
+  stream_stats : (int, stream_stat) Hashtbl.t;  (* by session id *)
+  mutable stream_recent : stream_stat list;  (* retired sessions, newest first, capped *)
+  mutable stream_evicted : stream_stat;  (* folded tallies of sessions past the cap *)
 }
 
 (* Interned eagerly at module init — see the note in {!Endpoint}. *)
@@ -111,24 +135,36 @@ let create ~env ~client ~scenario ~sources ~listen_fd ?(policy = R.default_polic
     client;
     scenario;
     sources =
-      List.map
-        (fun (sl_id, replicas) ->
-          if replicas = [] then invalid_arg "Server.create: source with no replicas";
-          {
-            sl_id;
-            sl_mu = Mutex.create ();
-            sl_replicas =
-              Array.of_list
-                (List.mapi
-                   (fun re_index (re_host, re_port) ->
-                     { re_index; re_host; re_port; re_up = true; re_down_until = 0.;
-                       re_dials = 0; re_transitions = 0 })
-                   replicas);
-            sl_slots =
-              Array.init source_conns (fun ss_index ->
-                  { ss_index; ss_mu = Mutex.create (); ss_mux = None; ss_epoch = 0;
-                    ss_replica = 0 });
-          })
+      (* Flattened over shards: every piece of pool machinery (dialing,
+         failover, probing, teardown) iterates physical endpoints; the
+         logical grouping is recovered by [sl_id] where it matters (the
+         route merge in [make_routes]). *)
+      List.concat_map
+        (fun (sl_id, shards) ->
+          if shards = [] then invalid_arg "Server.create: source with no shards";
+          let sl_shard_count = List.length shards in
+          List.mapi
+            (fun sl_shard replicas ->
+              if replicas = [] then invalid_arg "Server.create: source with no replicas";
+              {
+                sl_id;
+                sl_shard;
+                sl_shard_count;
+                sl_scenario = Shard.digest scenario ~shard:(sl_shard, sl_shard_count);
+                sl_mu = Mutex.create ();
+                sl_replicas =
+                  Array.of_list
+                    (List.mapi
+                       (fun re_index (re_host, re_port) ->
+                         { re_index; re_host; re_port; re_up = true; re_down_until = 0.;
+                           re_dials = 0; re_transitions = 0 })
+                       replicas);
+                sl_slots =
+                  Array.init source_conns (fun ss_index ->
+                      { ss_index; ss_mu = Mutex.create (); ss_mux = None; ss_epoch = 0;
+                        ss_replica = 0 });
+              })
+            shards)
         sources;
     listen_fd;
     policy;
@@ -154,6 +190,12 @@ let create ~env ~client ~scenario ~sources ~listen_fd ?(policy = R.default_polic
     conns_mu = Mutex.create ();
     conn_seq = 0;
     live_conns = Hashtbl.create 32;
+    stream_mu = Mutex.create ();
+    stream_stats = Hashtbl.create 16;
+    stream_recent = [];
+    stream_evicted =
+      { st_session = 0; st_rows_in = 0; st_rows_out = 0; st_bytes_in = 0; st_bytes_out = 0;
+        st_active = false };
   }
 
 (* A session's slot for a source: round-robin by session id, so tests
@@ -250,10 +292,14 @@ let ensure_slot t sl slot =
         | exception Io.Transport_error msg -> Error msg
         | conn -> (
           try
+            (* Each shard is dialed with its own digest: shard daemons
+               prove which partition they serve the same way every peer
+               proves which workload it built. *)
             Io.send_frame conn
-              (Frame.encode (Frame.Hello { role = Transcript.Mediator; scenario = t.scenario }));
+              (Frame.encode
+                 (Frame.Hello { role = Transcript.Mediator; scenario = sl.sl_scenario }));
             match Frame.decode (Io.recv_frame conn) with
-            | Frame.Hello_ok { scenario } when String.equal scenario t.scenario ->
+            | Frame.Hello_ok { scenario } when String.equal scenario sl.sl_scenario ->
               (* The mux receive thread must outlive idle periods. *)
               Io.set_timeout conn 0.;
               Ok (Mux.create conn)
@@ -287,8 +333,11 @@ let ensure_slot t sl slot =
               if slot.ss_epoch > 0 && slot.ss_replica <> idx then
                 log_fo t ~source:sl.sl_id ~replica:idx ~kind:"failover"
                   ~detail:
-                    (Printf.sprintf "slot %d: replica %d -> %d" slot.ss_index
-                       slot.ss_replica idx);
+                    (Printf.sprintf "%sslot %d: replica %d -> %d"
+                       (if sl.sl_shard_count > 1 then
+                          Printf.sprintf "shard %d " sl.sl_shard
+                        else "")
+                       slot.ss_index slot.ss_replica idx);
               slot.ss_replica <- idx;
               slot.ss_mux <- Some m;
               slot.ss_epoch <- slot.ss_epoch + 1;
@@ -322,7 +371,14 @@ let wire_failure (f : Protocol.failure) =
 type peer_routes = {
   client_route : Endpoint.route;
   client_report : Frame.status option ref;
-  source_routes : (int * Endpoint.route * Frame.status option ref) list;
+  source_routes : (int * Endpoint.route) list;
+      (* per logical source: the merged route the driver's transport
+         uses — [r_send] broadcasts to every shard, [r_next] reads the
+         designated scalar speaker (shard 0), [r_sub] carries the
+         per-shard routes a streamed receive merges *)
+  source_reports : (int * int * Endpoint.route * Frame.status option ref) list;
+      (* one per physical shard: (source id, shard, shard route, report
+         cell) — the commit barrier awaits every shard's report *)
   stats : (Transcript.party * int ref * int ref) list;
 }
 
@@ -372,12 +428,44 @@ let batching acc (route : Endpoint.route) =
         | f -> f);
   }
 
-let counted (_, out_c, in_c) (route : Endpoint.route) =
+(* Payload byte accounting per counterpart, plus per-session streamed
+   tallies for the ops surface.  A [Msg_chunk] counts its row bytes
+   (peeked from the count prefix, no decode), so for an unsharded run
+   the per-link totals still equal the transcript's bytes-on-link —
+   scalar and streamed encodings are interchangeable in the accounting
+   too. *)
+let counted ?stream (_, out_c, in_c) (route : Endpoint.route) =
+  let note_stream dir rows bytes =
+    match stream with
+    | None -> ()
+    | Some st ->
+      if dir then begin
+        st.st_rows_out <- st.st_rows_out + rows;
+        st.st_bytes_out <- st.st_bytes_out + bytes
+      end
+      else begin
+        st.st_rows_in <- st.st_rows_in + rows;
+        st.st_bytes_in <- st.st_bytes_in + bytes
+      end
+  in
+  let chunk_rows payload =
+    if String.length payload < 4 then 0
+    else
+      (Char.code payload.[0] lsl 24)
+      lor (Char.code payload.[1] lsl 16)
+      lor (Char.code payload.[2] lsl 8)
+      lor Char.code payload.[3]
+  in
   {
+    route with
     Endpoint.r_send =
       (fun f ->
         (match f with
         | Frame.Msg m -> out_c := !out_c + String.length m.Frame.payload
+        | Frame.Msg_chunk m ->
+          let b = Stream.payload_row_bytes m.Frame.ck_payload in
+          out_c := !out_c + b;
+          note_stream true (chunk_rows m.Frame.ck_payload) b
         | _ -> ());
         route.Endpoint.r_send f);
     r_next =
@@ -385,69 +473,151 @@ let counted (_, out_c, in_c) (route : Endpoint.route) =
         let f = route.Endpoint.r_next ~timeout in
         (match f with
         | Frame.Msg m -> in_c := !in_c + String.length m.Frame.payload
+        | Frame.Msg_chunk m ->
+          let b = Stream.payload_row_bytes m.Frame.ck_payload in
+          in_c := !in_c + b;
+          note_stream false (chunk_rows m.Frame.ck_payload) b
         | _ -> ());
         f);
   }
+
+(* The per-session streamed-delivery tally, created on first use and
+   retired into a bounded recent list when the session ends.  The stat's
+   fields are mutated by the session's single worker thread; the stats
+   reader may observe a mid-session value, which is exactly what a live
+   gauge should show. *)
+let stream_stat_for t sid =
+  Mutex.protect t.stream_mu (fun () ->
+      match Hashtbl.find_opt t.stream_stats sid with
+      | Some st -> st
+      | None ->
+        let st =
+          { st_session = sid; st_rows_in = 0; st_rows_out = 0; st_bytes_in = 0;
+            st_bytes_out = 0; st_active = true }
+        in
+        Hashtbl.replace t.stream_stats sid st;
+        st)
+
+let retire_stream_stat t sid =
+  Mutex.protect t.stream_mu (fun () ->
+      match Hashtbl.find_opt t.stream_stats sid with
+      | None -> ()
+      | Some st ->
+        Hashtbl.remove t.stream_stats sid;
+        st.st_active <- false;
+        (* Only sessions that actually streamed earn a line; the recent
+           list is the ops surface's memory, capped so an unbounded
+           session history costs bounded state.  Sessions pushed past
+           the cap fold into the evicted tally, so the totals stay
+           exact however long the server runs. *)
+        if st.st_rows_in + st.st_rows_out > 0 then begin
+          let rec split i = function
+            | [] -> ([], [])
+            | x :: rest when i < 31 ->
+              let kept, dropped = split (i + 1) rest in
+              (x :: kept, dropped)
+            | dropped -> ([], dropped)
+          in
+          let kept, dropped = split 0 t.stream_recent in
+          List.iter
+            (fun d ->
+              let e = t.stream_evicted in
+              e.st_rows_in <- e.st_rows_in + d.st_rows_in;
+              e.st_rows_out <- e.st_rows_out + d.st_rows_out;
+              e.st_bytes_in <- e.st_bytes_in + d.st_bytes_in;
+              e.st_bytes_out <- e.st_bytes_out + d.st_bytes_out)
+            dropped;
+          t.stream_recent <- st :: kept
+        end)
 
 let make_routes t conn sid ~epoch ~batches =
   let stat party = (party, ref 0, ref 0) in
   let client_stat = stat Transcript.Client in
   let client_report = ref None in
+  let sstat = stream_stat_for t sid in
   let client_route =
     stashing ~epoch ~party:Transcript.Client client_report
-      (counted client_stat
-         {
-           Endpoint.r_send = (fun f -> Io.send_frame conn (Frame.encode f));
-           r_next =
-             (fun ~timeout ->
-               Io.set_timeout conn timeout;
-               Frame.decode (Io.recv_frame conn));
-         })
+      (counted ~stream:sstat client_stat
+         (Endpoint.plain_route
+            ~send:(fun f -> Io.send_frame conn (Frame.encode f))
+            ~next:(fun ~timeout ->
+              Io.set_timeout conn timeout;
+              Frame.decode (Io.recv_frame conn))))
   in
   (* A source route resolves its slot's mux on every call: when the
      previous incarnation died (peer crashed, chaos proxy severed the
      stream), the next send or receive redials through {!ensure_slot}
      — so a connection failure costs one attempt, not the whole query,
-     and only for the sessions bound to that slot. *)
-  let with_stats =
+     and only for the sessions bound to that slot.
+
+     A sharded source builds one such route per shard, then merges them:
+     scalar sends broadcast (every shard replica awaits the mediator's
+     messages), scalar receives read shard 0 (the designated scalar
+     speaker), and the per-shard routes ride along in [r_sub] for the
+     streamed receive to interleave. *)
+  let ids = List.sort_uniq compare (List.map (fun sl -> sl.sl_id) t.sources) in
+  let per_source =
     List.map
-      (fun sl ->
-        let s = stat (Transcript.Source sl.sl_id) in
-        let cell = ref None in
-        let slot = slot_of sl sid in
-        let mux () =
-          match ensure_slot t sl slot with
-          | Ok m ->
-            Mux.subscribe m sid;
-            m
-          | Error msg ->
-            raise (Io.Transport_error (Printf.sprintf "source %d: %s" sl.sl_id msg))
+      (fun id ->
+        let shards = List.filter (fun sl -> sl.sl_id = id) t.sources in
+        let s = stat (Transcript.Source id) in
+        let with_cells =
+          List.map
+            (fun sl ->
+              let cell = ref None in
+              let slot = slot_of sl sid in
+              let describe () =
+                if sl.sl_shard_count > 1 then
+                  Printf.sprintf "source %d shard %d" id sl.sl_shard
+                else Printf.sprintf "source %d" id
+              in
+              let mux () =
+                match ensure_slot t sl slot with
+                | Ok m ->
+                  Mux.subscribe m sid;
+                  m
+                | Error msg ->
+                  raise (Io.Transport_error (Printf.sprintf "%s: %s" (describe ()) msg))
+              in
+              (* A replica that reports "draining" is refusing new work
+                 but still healthy enough to answer: mark it down so the
+                 retry's {!ensure_slot} proactively switches this slot to
+                 a standby instead of knocking on the same draining
+                 daemon again. *)
+              let on_failed (f : Fault.failure) =
+                if String.equal f.Fault.reason "draining" then
+                  mark_down t sl slot.ss_replica ~reason:"peer draining"
+              in
+              let r =
+                stashing ~on_failed ~epoch ~party:(Transcript.Source id) cell
+                  (batching batches
+                     (counted ~stream:sstat s
+                        (Endpoint.plain_route
+                           ~send:(fun f -> Mux.send (mux ()) f)
+                           ~next:(fun ~timeout -> Mux.next (mux ()) ~session:sid ~timeout))))
+              in
+              (sl.sl_shard, r, cell))
+            shards
         in
-        (* A replica that reports "draining" is refusing new work but
-           still healthy enough to answer: mark it down so the retry's
-           {!ensure_slot} proactively switches this slot to a standby
-           instead of knocking on the same draining daemon again. *)
-        let on_failed (f : Fault.failure) =
-          if String.equal f.Fault.reason "draining" then
-            mark_down t sl slot.ss_replica ~reason:"peer draining"
+        let arr = Array.of_list (List.map (fun (_, r, _) -> r) with_cells) in
+        let merged =
+          if Array.length arr = 1 then arr.(0)
+          else
+            {
+              Endpoint.r_send = (fun f -> Array.iter (fun r -> r.Endpoint.r_send f) arr);
+              r_next = arr.(0).Endpoint.r_next;
+              r_sub = Some arr;
+            }
         in
-        ( s,
-          ( sl.sl_id,
-            stashing ~on_failed ~epoch ~party:(Transcript.Source sl.sl_id) cell
-              (batching batches
-                 (counted s
-                    {
-                      Endpoint.r_send = (fun f -> Mux.send (mux ()) f);
-                      r_next = (fun ~timeout -> Mux.next (mux ()) ~session:sid ~timeout);
-                    })),
-            cell ) ))
-      t.sources
+        (id, s, merged, List.map (fun (shard, r, c) -> (id, shard, r, c)) with_cells))
+      ids
   in
   {
     client_route;
     client_report;
-    source_routes = List.map snd with_stats;
-    stats = client_stat :: List.map fst with_stats;
+    source_routes = List.map (fun (id, _, merged, _) -> (id, merged)) per_source;
+    source_reports = List.concat_map (fun (_, _, _, reps) -> reps) per_source;
+    stats = client_stat :: List.map (fun (_, s, _, _) -> s) per_source;
   }
 
 (* The commit barrier around each attempt: announce it, and afterwards
@@ -455,11 +625,14 @@ let make_routes t conn sid ~epoch ~batches =
    attempt.  A replica's own typed fault is the root cause and outranks
    whatever downstream stall the mediator observed locally. *)
 let coordinator t ~sid ~query ~fault_spec ~routes ~epoch ~failures ~trace_id ~session_span =
-  let cells = routes.client_report :: List.map (fun (_, _, c) -> c) routes.source_routes in
+  let cells =
+    routes.client_report :: List.map (fun (_, _, _, c) -> c) routes.source_reports
+  in
   let broadcast frame =
     (try routes.client_route.Endpoint.r_send frame with Io.Transport_error _ -> ());
+    (* The merged route's send fans out to every shard. *)
     List.iter
-      (fun (_, r, _) -> try r.Endpoint.r_send frame with Io.Transport_error _ -> ())
+      (fun (_, r) -> try r.Endpoint.r_send frame with Io.Transport_error _ -> ())
       routes.source_routes
   in
   let begin_attempt ~scheme ~attempt =
@@ -507,11 +680,18 @@ let coordinator t ~sid ~query ~fault_spec ~routes ~epoch ~failures ~trace_id ~se
        downstream of every mediator stall, so when a source frame was
        lost the client's "mediator went quiet" timeout is a symptom —
        the source's own failure is the root cause and must win the
-       blame, exactly as it does in the simulated (in-process) run. *)
+       blame, exactly as it does in the simulated (in-process) run.
+       Every shard replica owes its own report. *)
     let statuses =
       List.map
-        (fun (id, r, c) -> await (Printf.sprintf "source %d" id) (Transcript.Source id) r c)
-        routes.source_routes
+        (fun (id, shard, r, c) ->
+          let name =
+            if List.exists (fun (i, s, _, _) -> i = id && s <> shard) routes.source_reports
+            then Printf.sprintf "source %d shard %d" id shard
+            else Printf.sprintf "source %d" id
+          in
+          await name (Transcript.Source id) r c)
+        routes.source_reports
       @ [ await "client" Transcript.Client routes.client_route routes.client_report ]
     in
     let peer_failure =
@@ -603,8 +783,11 @@ let run_query t conn sid ~release ~scheme ~query ~fault_spec ~deadline ~fallback
       | Ok smuxes ->
         List.iter (fun (_, m) -> Mux.subscribe m sid) smuxes;
         Fun.protect ~finally:(fun () ->
+            retire_stream_stat t sid;
             (* Whatever mux this session's slot holds *now* — possibly a
-               redialed incarnation — gets the end-of-session notice. *)
+               redialed incarnation — gets the end-of-session notice.
+               [t.sources] is flat over shards, so every shard daemon
+               hears it. *)
             List.iter
               (fun sl ->
                 let slot = slot_of sl sid in
@@ -635,7 +818,7 @@ let run_query t conn sid ~release ~scheme ~query ~fault_spec ~deadline ~fallback
           | Transcript.Client -> Some routes.client_route
           | Transcript.Source i ->
             List.find_map
-              (fun (id, r, _) -> if id = i then Some r else None)
+              (fun (id, r) -> if id = i then Some r else None)
               routes.source_routes
           | Transcript.Mediator | Transcript.Authority -> None
         in
@@ -705,8 +888,15 @@ let run_query t conn sid ~release ~scheme ~query ~fault_spec ~deadline ~fallback
            a dead or silent source just stops its own drain. *)
         let drain_batches () =
           let timeout = Float.min 2.0 t.io_timeout in
+          (* Each shard replica ships one batch per epoch, all tagged
+             with the same source party; drain each shard's own route
+             until the source's total reaches epochs x shards (or the
+             window closes — best-effort). *)
           List.iter
-            (fun (id, (r : Endpoint.route), _) ->
+            (fun (id, _, (r : Endpoint.route), _) ->
+              let shards =
+                List.length (List.filter (fun (i, _, _, _) -> i = id) routes.source_reports)
+              in
               let have () =
                 List.length
                   (List.filter
@@ -714,13 +904,13 @@ let run_query t conn sid ~release ~scheme ~query ~fault_spec ~deadline ~fallback
                      !batches)
               in
               let rec go () =
-                if have () < !epoch then
+                if have () < !epoch * shards then
                   match r.Endpoint.r_next ~timeout with
                   | _ -> go ()
                   | exception Io.Transport_error _ -> ()
               in
               go ())
-            routes.source_routes
+            routes.source_reports
         in
         let forward_spans () =
           match collector with
@@ -800,7 +990,7 @@ let run_query t conn sid ~release ~scheme ~query ~fault_spec ~deadline ~fallback
                (Frame.Abort { session = sid; epoch = !epoch; failure = last_failure })
            with Io.Transport_error _ -> ());
           List.iter
-            (fun (_, r, _) ->
+            (fun (_, r) ->
               try
                 r.Endpoint.r_send
                   (Frame.Abort { session = sid; epoch = !epoch; failure = last_failure })
@@ -851,6 +1041,8 @@ let stats_json t =
         J.Obj
           [
             ("source", J.Int sl.sl_id);
+            ("shard", J.Int sl.sl_shard);
+            ("shards", J.Int sl.sl_shard_count);
             ( "addr",
               J.Str
                 (Printf.sprintf "%s:%d" sl.sl_replicas.(0).re_host sl.sl_replicas.(0).re_port)
@@ -925,6 +1117,40 @@ let stats_json t =
             ] ))
       (List.sort (fun (a, _) (b, _) -> compare a b) schemes)
   in
+  let streams =
+    let live, recent, evicted =
+      Mutex.protect t.stream_mu (fun () ->
+          ( Hashtbl.fold (fun _ st acc -> st :: acc) t.stream_stats [],
+            t.stream_recent, t.stream_evicted ))
+    in
+    let sessions =
+      List.sort (fun a b -> compare b.st_session a.st_session) (live @ recent)
+    in
+    let sum f = List.fold_left (fun acc st -> acc + f st) (f evicted) sessions in
+    J.Obj
+      [
+        ("rows_in", J.Int (sum (fun st -> st.st_rows_in)));
+        ("rows_out", J.Int (sum (fun st -> st.st_rows_out)));
+        ("bytes_in", J.Int (sum (fun st -> st.st_bytes_in)));
+        ("bytes_out", J.Int (sum (fun st -> st.st_bytes_out)));
+        ("backlog_chunks", J.Int (Endpoint.stream_backlog ()));
+        ( "sessions",
+          J.List
+            (List.map
+               (fun st ->
+                 J.Obj
+                   [
+                     ("session", J.Int st.st_session);
+                     ("active", J.Bool st.st_active);
+                     ("rows_in", J.Int st.st_rows_in);
+                     ("rows_out", J.Int st.st_rows_out);
+                     ("bytes_in", J.Int st.st_bytes_in);
+                     ("bytes_out", J.Int st.st_bytes_out);
+                   ])
+               sessions) );
+        ("hwm", Obs.Hwm.snapshot ());
+      ]
+  in
   let cv name = Obs.Metrics.counter_value (Obs.Metrics.counter name) in
   J.Obj
     [
@@ -964,6 +1190,7 @@ let stats_json t =
             ("frames_sent", J.Int (cv "net.frames_sent"));
             ("frames_recv", J.Int (cv "net.frames_recv"));
           ] );
+      ("streams", streams);
       ("schemes", J.Obj schemes);
     ]
 

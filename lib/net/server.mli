@@ -51,7 +51,7 @@ val create :
   env:Env.t ->
   client:Env.client ->
   scenario:string ->
-  sources:(int * (string * int) list) list ->
+  sources:(int * (string * int) list list) list ->
   listen_fd:Unix.file_descr ->
   ?policy:Resilience.policy ->
   ?max_sessions:int ->
@@ -63,14 +63,18 @@ val create :
   ?replica_cooldown:float ->
   unit ->
   t
-(** [sources] maps each datasource id to its replica list — [(host,
-    port)] endpoints, primary first, every one a daemon serving the
-    same deterministic replica of that source; [scenario] is the
-    {!Scenario.digest} every peer must present.  [io_timeout] (default
-    10s) bounds each blocking frame exchange; [max_sessions] (default
-    8) the concurrent client sessions; [source_conns] (default 2) the
-    pooled connections per datasource; [workers] (default
-    [max_sessions]) the concurrent protocol drivers.
+(** [sources] maps each datasource id to its shards, each shard a
+    replica list — [(host, port)] endpoints, primary first, every one a
+    daemon serving the same deterministic replica of that source.  A
+    single-shard entry is the classic unsharded deployment; with k
+    shards, streamed deliveries arrive as k partitioned chunk streams
+    merged back into row order (DESIGN.md §16), and each shard is
+    dialed with its own {!Shard.digest} of [scenario] (which the client
+    handshake still uses in base form).  [io_timeout] (default 10s)
+    bounds each blocking frame exchange; [max_sessions] (default 8) the
+    concurrent client sessions; [source_conns] (default 2) the pooled
+    connections per shard; [workers] (default [max_sessions]) the
+    concurrent protocol drivers.
 
     Each pool slot keeps a replica cursor: a redial walks the replicas
     in health order (up first, then cooldown-expired, primary first),
@@ -109,9 +113,11 @@ val stats_json : t -> Secmed_obs.Json.t
     admission state (including draining), scheduler utilization,
     per-source pool slots (with dial counts and replica cursors),
     per-replica health, the failover transition log, breaker states,
-    process-wide transport volume, and per-scheme
-    served/degraded/failed tallies with latency percentiles.  Lock
-    order is per-subsystem; the snapshot is consistent per field
+    process-wide transport volume, streamed-delivery tallies (totals,
+    per-session rows/bytes for live and recent sessions, the current
+    chunk backlog, and the tracked high-water memory regions), and
+    per-scheme served/degraded/failed tallies with latency percentiles.
+    Lock order is per-subsystem; the snapshot is consistent per field
     group, not globally atomic. *)
 
 val stop : t -> unit

@@ -1,0 +1,22 @@
+(** Sharded datasource addressing (DESIGN.md §16): the CLI address
+    syntax and the per-shard scenario digest the mediator and each shard
+    daemon must agree on. *)
+
+val digest : string -> shard:int * int -> string
+(** [digest base ~shard:(j, k)]: the scenario digest shard [j] of [k]
+    presents in its Hello handshake.  Equal to [base] when [k = 1]
+    (unsharded deployments interoperate unchanged); otherwise a hash
+    mixing the shard coordinates, so a miswired shard fails the
+    handshake instead of corrupting the merge.  Raises [Invalid_argument]
+    unless [0 <= j < k]. *)
+
+val parse_addr : string -> (string * int, string) result
+(** ["HOST:PORT"], optionally prefixed ["shard@"]. *)
+
+val parse_source : string -> (int * (string * int) list list, string) result
+(** ["ID=shard@H:P,H:P;shard@H:P"]: [;] separates shards, [,] separates
+    a shard's failover replicas, the [shard@] marker is optional.  The
+    unsharded ["ID=H:P,H:P"] parses as a single shard. *)
+
+val parse_shard_flag : string -> (int * int, string) result
+(** ["J/K"] as passed to [secmed source --shard]. *)

@@ -119,13 +119,16 @@ let soak_policy =
 let supervisor ~env ~client ~scenario ~cfg ~source_fds ~med_fd ~med_port ~ctl_fd =
   let ctl = Io.of_fd ~peer:"soak-parent" ctl_fd in
   let sources =
+    (* Single-shard: the soak exercises failover, not partitioning. *)
     List.map
       (fun sid ->
         ( sid,
-          List.filter_map
-            (fun ((s, _), (_, port)) ->
-              if s = sid then Some ("127.0.0.1", port) else None)
-            source_fds ))
+          [
+            List.filter_map
+              (fun ((s, _), (_, port)) ->
+                if s = sid then Some ("127.0.0.1", port) else None)
+              source_fds;
+          ] ))
       [ 1; 2 ]
   in
   let ports = Hashtbl.create 8 in
@@ -412,6 +415,32 @@ let run ?(progress = fun (_ : string) -> ()) cfg =
     (schedule cfg);
   Thread.join fleet;
   record "fleet done";
+  (* A replica restarted moments before the fleet drained still needs
+     the health checker one probe (cooldown + interval) before its up
+     transition exists to be stashed: wait for the expected transitions
+     (bounded) rather than race the checker. *)
+  let has_up payloads (sid, r) =
+    List.exists
+      (fun payload ->
+        List.exists
+          (fun tr -> tr.tr_source = sid && tr.tr_replica = r && tr.tr_kind = "up")
+          (transitions_of_payload ~incarnation:0 payload))
+      payloads
+  in
+  let restarted = List.sort_uniq compare !kills in
+  let rec await_ups deadline =
+    match Peer.stats ~host:"127.0.0.1" ~port:med_port ~io_timeout:2.0 () with
+    | payload ->
+      if
+        (not (List.for_all (has_up (payload :: !stashes)) restarted))
+        && Unix.gettimeofday () < deadline
+      then begin
+        Thread.delay 0.1;
+        await_ups deadline
+      end
+    | exception _ -> ()
+  in
+  await_ups (Unix.gettimeofday () +. 5.);
   stash_stats "at end";
   let sk_transitions =
     List.concat

@@ -202,7 +202,7 @@ let test_failover_mid_session_bit_identical () =
     Thread.create (fun () -> resp := Some (Loopback.query c ~fault_spec ~scheme ())) ()
   in
   Thread.delay 0.5;
-  Unix.kill (Loopback.source_pid c ~id:1 ~replica:0) Sys.sigkill;
+  Unix.kill (Loopback.source_pid c ~id:1 ~replica:0 ()) Sys.sigkill;
   Thread.join t;
   let response =
     match !resp with Some r -> r | None -> Alcotest.fail "query thread died"
